@@ -1,0 +1,40 @@
+//! Criterion smoke benches for the figure pipelines: tiny-scale versions
+//! of the same code paths the `fig*` binaries run at full scale, so
+//! `cargo bench` exercises every experiment end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use owan_bench::figs::{fig7, fig8, fig9};
+use owan_bench::micro::{fig10b, fig10c};
+use owan_bench::scale::{net_by_name, Scale};
+
+fn tiny() -> Scale {
+    Scale {
+        duration_s: 900.0,
+        max_requests: 8,
+        anneal_iterations: 30,
+        loads: vec![1.0],
+        deadline_factors: vec![10.0],
+        ..Scale::quick()
+    }
+}
+
+fn bench_fig_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_pipeline");
+    group.sample_size(10);
+    let net = net_by_name("internet2");
+    group.bench_function("fig7+fig8/internet2_tiny", |b| {
+        b.iter(|| {
+            let points = fig7(&net, &tiny());
+            fig8(&points)
+        })
+    });
+    group.bench_function("fig9/internet2_tiny", |b| b.iter(|| fig9(&net, &tiny())));
+    group.bench_function("fig10b/update_timeline", |b| b.iter(|| fig10b(&tiny())));
+    group.bench_function("fig10c/ablation_tiny", |b| {
+        b.iter(|| fig10c(&Scale { loads: vec![1.0], ..tiny() }))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches for the LP solver on baseline-TE-shaped problems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use owan_solver::McfProblem;
+use std::hint::black_box;
+
+/// A TE-shaped MCF: `links` links, `flows` commodities with 3 paths of 2-4
+/// links each.
+fn te_problem(links: usize, flows: usize) -> McfProblem {
+    let mut p = McfProblem::new((0..links).map(|i| 50.0 + (i % 7) as f64 * 10.0).collect());
+    for f in 0..flows {
+        let paths: Vec<Vec<usize>> = (0..3)
+            .map(|k| {
+                let len = 2 + (f + k) % 3;
+                (0..len).map(|h| (f * 3 + k * 5 + h * 11) % links).collect()
+            })
+            .collect();
+        p.add_commodity(20.0 + (f % 13) as f64, paths);
+    }
+    p
+}
+
+fn bench_max_throughput(c: &mut Criterion) {
+    for (links, flows) in [(26, 40), (64, 150)] {
+        let p = te_problem(links, flows);
+        c.bench_function(&format!("lp_max_throughput/{links}l_{flows}f"), |b| {
+            b.iter(|| black_box(&p).max_throughput())
+        });
+    }
+}
+
+fn bench_max_min(c: &mut Criterion) {
+    let p = te_problem(26, 40);
+    c.bench_function("lp_max_min_fraction/26l_40f", |b| {
+        b.iter(|| black_box(&p).max_min_fraction())
+    });
+}
+
+criterion_group!(benches, bench_max_throughput, bench_max_min);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Algorithm 3's rate-assignment step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use owan_bench::scale::{net_by_name, workload_for, Scale};
+use owan_core::{assign_rates, RateAssignConfig, SchedulingPolicy, Transfer};
+use std::hint::black_box;
+
+fn bench_rate_assign(c: &mut Criterion) {
+    for name in ["internet2", "isp"] {
+        let net = net_by_name(name);
+        let scale = Scale { max_requests: 120, ..Scale::quick() };
+        let transfers: Vec<Transfer> = workload_for(&net, 1.5, None, &scale)
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Transfer::from_request(i, r))
+            .collect();
+        let theta = net.plant.params().wavelength_capacity_gbps;
+        c.bench_function(&format!("assign_rates/{name}"), |b| {
+            b.iter(|| {
+                assign_rates(
+                    black_box(&net.static_topology),
+                    theta,
+                    &transfers,
+                    SchedulingPolicy::ShortestJobFirst,
+                    300.0,
+                    &RateAssignConfig::default(),
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_rate_assign);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for the Dionysus-extended update scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use owan_core::{Allocation, Topology};
+use owan_update::{plan_consistent, plan_one_shot, NetworkDelta, UpdateParams};
+use std::hint::black_box;
+
+/// A delta touching `n/2` links with paths riding half of them.
+fn delta(n: usize) -> NetworkDelta {
+    let mut old_t = Topology::empty(n);
+    for i in 0..n {
+        old_t.add_links(i, (i + 1) % n, 1);
+    }
+    let mut new_t = Topology::empty(n);
+    for i in 0..n {
+        if i % 2 == 0 {
+            new_t.add_links(i, (i + 1) % n, 1);
+        } else {
+            new_t.add_links(i, (i + 2) % n, 1);
+        }
+    }
+    let old_a: Vec<Allocation> = (0..n / 2)
+        .map(|i| Allocation {
+            transfer: i,
+            paths: vec![(vec![2 * i, (2 * i + 1) % n], 40.0)],
+        })
+        .collect();
+    let new_a: Vec<Allocation> = (0..n / 2)
+        .map(|i| Allocation {
+            transfer: i,
+            paths: vec![(vec![2 * i, (2 * i + 1) % n], 60.0)],
+        })
+        .collect();
+    NetworkDelta::from_plans(&old_t, &old_a, &new_t, &new_a, 8)
+}
+
+fn bench_plans(c: &mut Criterion) {
+    for n in [10, 40] {
+        let d = delta(n);
+        let params = UpdateParams::default();
+        c.bench_function(&format!("plan_consistent/{n}_sites"), |b| {
+            b.iter(|| plan_consistent(black_box(&d), &params))
+        });
+        c.bench_function(&format!("plan_one_shot/{n}_sites"), |b| {
+            b.iter(|| plan_one_shot(black_box(&d), &params))
+        });
+    }
+}
+
+criterion_group!(benches, bench_plans);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Quick timing calibration used while sizing the figure harnesses.
+
+use owan_sim::runner::{run_engine, EngineKind, RunnerConfig};
+use owan_sim::SimConfig;
+use owan_topo::{inter_dc, internet2_testbed, isp_backbone};
+use owan_workload::{generate, WorkloadConfig};
+use std::time::Instant;
+
+fn main() {
+    for (name, net, wl) in [
+        ("internet2", internet2_testbed(), WorkloadConfig::testbed(1.0, 42)),
+        ("isp", isp_backbone(7), WorkloadConfig::simulation(1.0, 42)),
+        ("interdc", inter_dc(7), WorkloadConfig::simulation(1.0, 42).with_hotspots()),
+    ] {
+        let reqs = generate(&net, &wl);
+        println!("{name}: {} transfers", reqs.len());
+        for kind in [EngineKind::Owan, EngineKind::MaxFlow, EngineKind::Swan] {
+            let cfg = RunnerConfig {
+                sim: SimConfig { slot_len_s: 300.0, max_slots: 300, ..Default::default() },
+                anneal_iterations: 150,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let res = run_engine(kind, &net, &reqs, &cfg);
+            println!(
+                "  {kind:?}: {:.1}s wall, slots={}, completed={}",
+                t0.elapsed().as_secs_f64(),
+                res.slots,
+                res.all_completed()
+            );
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 10(a): simulated annealing vs greedy separate-layer
+//! optimization.
+//!
+//! Usage: `cargo run --release -p owan-bench --bin fig10a [-- --quick]`
+
+use owan_bench::micro::print_fig10a;
+use owan_bench::{fig10a, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (sa, greedy) = fig10a(&scale);
+    print_fig10a(&sa, &greedy);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 10(b): carried throughput during an update,
+//! consistent (Dionysus-extended) vs one-shot.
+//!
+//! Usage: `cargo run --release -p owan-bench --bin fig10b [-- --quick]`
+
+use owan_bench::micro::print_fig10b;
+use owan_bench::{fig10b, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (consistent, one_shot) = fig10b(&scale);
+    print_fig10b(&consistent, &one_shot);
+}

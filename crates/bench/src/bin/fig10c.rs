@@ -1,0 +1,13 @@
+//! Regenerates Figure 10(c): breakdown of gains (rate / +routing /
+//! +topology).
+//!
+//! Usage: `cargo run --release -p owan-bench --bin fig10c [-- --quick]`
+
+use owan_bench::micro::print_fig10c;
+use owan_bench::{fig10c, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = fig10c(&scale);
+    print_fig10c(&rows);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 10(d): impact of the simulated-annealing running
+//! time on the result quality.
+//!
+//! Usage: `cargo run --release -p owan-bench --bin fig10d [-- --quick]`
+
+use owan_bench::micro::print_fig10d;
+use owan_bench::{fig10d, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = fig10d(&scale);
+    print_fig10d(&rows);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 7 (transfer completion time, deadline-unconstrained).
+//!
+//! Usage: `cargo run --release -p owan-bench --bin fig7 -- --net internet2|isp|interdc [--quick]`
+
+use owan_bench::figs::{fig7, print_fig7};
+use owan_bench::scale::{net_by_name, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let net = net_by_name(&Scale::net_arg());
+    let points = fig7(&net, &scale);
+    print_fig7(&net, &points);
+}

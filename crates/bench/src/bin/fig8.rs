@@ -1,0 +1,18 @@
+//! Regenerates Figure 8 (makespan improvement) for all three networks —
+//! and, since the runs are shared, also prints the Figure 7 tables.
+//!
+//! Usage: `cargo run --release -p owan-bench --bin fig8 [-- --quick]`
+
+use owan_bench::figs::{fig7, fig8, print_fig7, print_fig8};
+use owan_bench::scale::{net_by_name, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    for name in ["internet2", "isp", "interdc"] {
+        let net = net_by_name(name);
+        let f7 = fig7(&net, &scale);
+        print_fig7(&net, &f7);
+        let f8 = fig8(&f7);
+        print_fig8(&net, &f8);
+    }
+}

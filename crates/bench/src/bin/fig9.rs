@@ -1,0 +1,13 @@
+//! Regenerates Figure 9 (deadline-constrained traffic).
+//!
+//! Usage: `cargo run --release -p owan-bench --bin fig9 -- --net internet2|isp|interdc [--quick]`
+
+use owan_bench::figs::{fig9, print_fig9};
+use owan_bench::scale::{net_by_name, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let net = net_by_name(&Scale::net_arg());
+    let points = fig9(&net, &scale);
+    print_fig9(&net, &points);
+}

@@ -1,0 +1,12 @@
+//! Regenerates the §5.1 simulator-vs-testbed validation table.
+//!
+//! Usage: `cargo run --release -p owan-bench --bin validation [-- --quick]`
+
+use owan_bench::micro::print_validation;
+use owan_bench::{validation, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let reports = validation(&scale);
+    print_validation(&reports);
+}

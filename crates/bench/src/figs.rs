@@ -1,0 +1,264 @@
+//! Figures 7, 8, and 9: the headline comparisons.
+
+use crate::scale::{workload_for, Scale};
+use owan_core::SchedulingPolicy;
+use owan_sim::metrics::{self, SizeBin};
+use owan_sim::runner::{run_comparison, EngineKind, RunnerConfig};
+use owan_sim::{SimConfig, SimResult};
+use owan_topo::Network;
+
+fn runner_config(scale: &Scale, policy: SchedulingPolicy) -> RunnerConfig {
+    RunnerConfig {
+        sim: SimConfig {
+            slot_len_s: scale.slot_len_s,
+            max_slots: 2_000,
+            ..Default::default()
+        },
+        anneal_iterations: scale.anneal_iterations,
+        seed: scale.seed,
+        policy,
+        ..Default::default()
+    }
+}
+
+/// One load point of Figure 7: results per engine, Owan first.
+#[derive(Debug, Clone)]
+pub struct Fig7Point {
+    /// The traffic load factor λ.
+    pub load: f64,
+    /// Results aligned with [`EngineKind::UNCONSTRAINED`].
+    pub results: Vec<SimResult>,
+}
+
+impl Fig7Point {
+    /// Factor of improvement of Owan over engine `i` on (avg, p95).
+    pub fn improvement(&self, i: usize, bin: SizeBin) -> (f64, f64) {
+        let (o_avg, o_p95) = metrics::summary(&self.results[0], bin);
+        let (b_avg, b_p95) = metrics::summary(&self.results[i], bin);
+        (
+            metrics::improvement_factor(o_avg, b_avg),
+            metrics::improvement_factor(o_p95, b_p95),
+        )
+    }
+}
+
+/// Runs the Figure 7 pipeline (panels a-c for `internet2`, d-f for `isp`,
+/// g-i for `interdc`): deadline-unconstrained traffic, completion-time
+/// improvements vs load, per-size-bin breakdown and CDF at λ = 1.
+pub fn fig7(network: &Network, scale: &Scale) -> Vec<Fig7Point> {
+    let cfg = runner_config(scale, SchedulingPolicy::ShortestJobFirst);
+    scale
+        .loads
+        .iter()
+        .map(|&load| {
+            let reqs = workload_for(network, load, None, scale);
+            let results =
+                run_comparison(&EngineKind::UNCONSTRAINED, network, &reqs, &cfg);
+            Fig7Point { load, results }
+        })
+        .collect()
+}
+
+/// Prints the Figure 7 tables for one network.
+pub fn print_fig7(network: &Network, points: &[Fig7Point]) {
+    println!("# Figure 7 — transfer completion time ({})", network.name);
+    println!("## panel (a/d/g): factor of improvement vs load");
+    println!("load,vs,avg_improvement,p95_improvement");
+    for p in points {
+        for (i, kind) in EngineKind::UNCONSTRAINED.iter().enumerate().skip(1) {
+            let (avg, p95) = p.improvement(i, SizeBin::All);
+            println!("{},{:?},{:.2},{:.2}", p.load, kind, avg, p95);
+        }
+    }
+    if let Some(p1) = points.iter().find(|p| (p.load - 1.0).abs() < 1e-9) {
+        println!("## panel (b/e/h): improvement by size bin at load 1");
+        println!("bin,vs,avg_improvement,p95_improvement");
+        for bin in SizeBin::BINS {
+            for (i, kind) in EngineKind::UNCONSTRAINED.iter().enumerate().skip(1) {
+                let (avg, p95) = p1.improvement(i, bin);
+                println!("{},{:?},{:.2},{:.2}", bin.label(), kind, avg, p95);
+            }
+        }
+        println!("## panel (c/f/i): completion-time CDF at load 1 (deciles)");
+        println!("engine,p10,p20,p30,p40,p50,p60,p70,p80,p90,p100");
+        for r in &p1.results {
+            let xs = metrics::completion_times(r, SizeBin::All);
+            let row: Vec<String> = (1..=10)
+                .map(|d| format!("{:.0}", metrics::percentile(&xs, d as f64 * 10.0)))
+                .collect();
+            println!("{},{}", r.engine, row.join(","));
+        }
+    }
+}
+
+/// One load point of Figure 8 for one network.
+#[derive(Debug, Clone)]
+pub struct Fig8Point {
+    /// The traffic load factor λ.
+    pub load: f64,
+    /// Makespan improvement of Owan over each baseline, aligned with
+    /// `EngineKind::UNCONSTRAINED[1..]`.
+    pub improvements: Vec<f64>,
+}
+
+/// Runs the Figure 8 pipeline: makespan improvement vs load. Reuses the
+/// Figure 7 runs (same workloads, same engines).
+pub fn fig8(points: &[Fig7Point]) -> Vec<Fig8Point> {
+    points
+        .iter()
+        .map(|p| {
+            let owan = p.results[0].makespan_s;
+            let improvements = p.results[1..]
+                .iter()
+                .map(|r| metrics::improvement_factor(owan, r.makespan_s))
+                .collect();
+            Fig8Point { load: p.load, improvements }
+        })
+        .collect()
+}
+
+/// Prints the Figure 8 table for one network.
+pub fn print_fig8(network: &Network, points: &[Fig8Point]) {
+    println!("# Figure 8 — makespan improvement ({})", network.name);
+    println!("load,vs,makespan_improvement");
+    for p in points {
+        for (i, kind) in EngineKind::UNCONSTRAINED.iter().enumerate().skip(1) {
+            println!("{},{:?},{:.2}", p.load, kind, p.improvements[i - 1]);
+        }
+    }
+}
+
+/// One deadline-factor point of Figure 9.
+#[derive(Debug, Clone)]
+pub struct Fig9Point {
+    /// The deadline factor σ.
+    pub deadline_factor: f64,
+    /// Results aligned with [`EngineKind::DEADLINE`].
+    pub results: Vec<SimResult>,
+}
+
+impl Fig9Point {
+    /// % of transfers meeting deadlines per engine.
+    pub fn pct_met(&self, bin: SizeBin) -> Vec<f64> {
+        self.results
+            .iter()
+            .map(|r| metrics::pct_deadlines_met(r, bin))
+            .collect()
+    }
+
+    /// % of bytes finishing before deadlines per engine.
+    pub fn pct_bytes(&self) -> Vec<f64> {
+        self.results.iter().map(metrics::pct_bytes_by_deadline).collect()
+    }
+}
+
+/// Runs the Figure 9 pipeline (panels a-c / d-f / g-i): deadline-
+/// constrained traffic under EDF, sweeping the deadline factor σ.
+pub fn fig9(network: &Network, scale: &Scale) -> Vec<Fig9Point> {
+    let cfg = runner_config(scale, SchedulingPolicy::EarliestDeadlineFirst);
+    scale
+        .deadline_factors
+        .iter()
+        .map(|&sigma| {
+            let reqs = workload_for(network, 1.0, Some(sigma), scale);
+            let results = run_comparison(&EngineKind::DEADLINE, network, &reqs, &cfg);
+            Fig9Point { deadline_factor: sigma, results }
+        })
+        .collect()
+}
+
+/// Prints the Figure 9 tables for one network.
+pub fn print_fig9(network: &Network, points: &[Fig9Point]) {
+    println!("# Figure 9 — deadline-constrained traffic ({})", network.name);
+    println!("## panel (a/d/g): % of transfers meeting deadlines");
+    print!("deadline_factor");
+    for kind in EngineKind::DEADLINE {
+        print!(",{kind:?}");
+    }
+    println!();
+    for p in points {
+        print!("{}", p.deadline_factor);
+        for v in p.pct_met(SizeBin::All) {
+            print!(",{v:.1}");
+        }
+        println!();
+    }
+    println!("## panel (b/e/h): % of bytes finishing before deadlines");
+    for p in points {
+        print!("{}", p.deadline_factor);
+        for v in p.pct_bytes() {
+            print!(",{v:.1}");
+        }
+        println!();
+    }
+    // Per-bin panel at σ = 20 (or the largest swept σ).
+    if let Some(p20) = points
+        .iter()
+        .find(|p| (p.deadline_factor - 20.0).abs() < 1e-9)
+        .or_else(|| points.last())
+    {
+        println!(
+            "## panel (c/f/i): % meeting deadlines by size bin at sigma = {}",
+            p20.deadline_factor
+        );
+        for bin in SizeBin::BINS {
+            print!("{}", bin.label());
+            for v in p20.pct_met(bin) {
+                print!(",{v:.1}");
+            }
+            println!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::net_by_name;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            duration_s: 900.0,
+            max_requests: 10,
+            anneal_iterations: 40,
+            loads: vec![1.0],
+            deadline_factors: vec![10.0],
+            ..Scale::quick()
+        }
+    }
+
+    #[test]
+    fn fig7_pipeline_produces_improvements() {
+        let net = net_by_name("internet2");
+        let points = fig7(&net, &tiny_scale());
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].results.len(), 4);
+        let (avg, p95) = points[0].improvement(1, SizeBin::All);
+        assert!(avg.is_finite() && avg > 0.0);
+        assert!(p95.is_finite() && p95 > 0.0);
+    }
+
+    #[test]
+    fn fig8_reuses_fig7_runs() {
+        let net = net_by_name("internet2");
+        let points = fig7(&net, &tiny_scale());
+        let f8 = fig8(&points);
+        assert_eq!(f8.len(), 1);
+        assert_eq!(f8[0].improvements.len(), 3);
+        assert!(f8[0].improvements.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn fig9_pipeline_reports_percentages() {
+        let net = net_by_name("internet2");
+        let points = fig9(&net, &tiny_scale());
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].results.len(), 6);
+        for v in points[0].pct_met(SizeBin::All) {
+            assert!((0.0..=100.0).contains(&v));
+        }
+        for v in points[0].pct_bytes() {
+            assert!((0.0..=100.0 + 1e-9).contains(&v));
+        }
+    }
+}

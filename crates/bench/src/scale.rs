@@ -1,0 +1,151 @@
+//! Experiment scaling and shared setup.
+
+use owan_core::TransferRequest;
+use owan_topo::{inter_dc, internet2_testbed, isp_backbone, Network};
+use owan_workload::{generate, WorkloadConfig};
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Workload arrival window, seconds.
+    pub duration_s: f64,
+    /// Slot length, seconds.
+    pub slot_len_s: f64,
+    /// Owan annealing iterations per slot.
+    pub anneal_iterations: usize,
+    /// Cap on generated transfers (`usize::MAX` = none).
+    pub max_requests: usize,
+    /// Traffic load factors swept by Figures 7/8/10(c).
+    pub loads: Vec<f64>,
+    /// Deadline factors σ swept by Figure 9.
+    pub deadline_factors: Vec<f64>,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's parameters: two-hour workloads, five-minute slots,
+    /// λ ∈ {0.5, 1.0, 1.5, 2.0}, σ ∈ {2 … 50}.
+    pub fn full() -> Self {
+        Scale {
+            duration_s: 7_200.0,
+            slot_len_s: 300.0,
+            anneal_iterations: 150,
+            max_requests: usize::MAX,
+            loads: vec![0.5, 1.0, 1.5, 2.0],
+            deadline_factors: vec![2.0, 5.0, 10.0, 20.0, 35.0, 50.0],
+            seed: 42,
+        }
+    }
+
+    /// A minutes-scale smoke version of the same pipelines.
+    pub fn quick() -> Self {
+        Scale {
+            duration_s: 1_800.0,
+            slot_len_s: 300.0,
+            anneal_iterations: 60,
+            max_requests: 40,
+            loads: vec![0.5, 1.0],
+            deadline_factors: vec![5.0, 20.0],
+            seed: 42,
+        }
+    }
+
+    /// Picks full or quick from a `--quick` flag; `--iters N` overrides
+    /// the annealing iteration budget.
+    pub fn from_args() -> Self {
+        let mut scale = if std::env::args().any(|a| a == "--quick") {
+            Scale::quick()
+        } else {
+            Scale::full()
+        };
+        let args: Vec<String> = std::env::args().collect();
+        if let Some(i) = args.iter().position(|a| a == "--iters") {
+            if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                scale.anneal_iterations = n;
+            }
+        }
+        scale
+    }
+
+    /// The `--net <name>` argument, defaulting to `internet2`.
+    pub fn net_arg() -> String {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--net")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "internet2".into())
+    }
+}
+
+/// Constructs an evaluation network by name: `internet2` (the 9-site
+/// testbed), `isp` (~40 sites), or `interdc` (~25 sites).
+pub fn net_by_name(name: &str) -> Network {
+    match name {
+        "internet2" => internet2_testbed(),
+        "isp" => isp_backbone(7),
+        "interdc" => inter_dc(7),
+        other => panic!("unknown network '{other}' (use internet2 | isp | interdc)"),
+    }
+}
+
+/// Generates the §5.1 workload for a network at the given load factor,
+/// with deadlines drawn from `U[T, σT]` when `deadline_factor` is set.
+pub fn workload_for(
+    network: &Network,
+    load: f64,
+    deadline_factor: Option<f64>,
+    scale: &Scale,
+) -> Vec<TransferRequest> {
+    let mut cfg = if network.name == "internet2" {
+        WorkloadConfig::testbed(load, scale.seed)
+    } else {
+        WorkloadConfig::simulation(load, scale.seed)
+    };
+    cfg.duration_s = scale.duration_s;
+    if network.name == "interdc" {
+        cfg = cfg.with_hotspots();
+    }
+    if let Some(sigma) = deadline_factor {
+        cfg = cfg.with_deadlines(scale.slot_len_s, sigma);
+    }
+    let mut reqs = generate(network, &cfg);
+    reqs.truncate(scale.max_requests);
+    reqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nets_resolve() {
+        assert_eq!(net_by_name("internet2").plant.site_count(), 9);
+        assert_eq!(net_by_name("isp").plant.site_count(), 40);
+        assert_eq!(net_by_name("interdc").plant.site_count(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown network")]
+    fn unknown_net_panics() {
+        net_by_name("nope");
+    }
+
+    #[test]
+    fn workload_respects_scale_cap() {
+        let net = net_by_name("internet2");
+        let scale = Scale::quick();
+        let reqs = workload_for(&net, 1.0, None, &scale);
+        assert!(reqs.len() <= scale.max_requests);
+        assert!(!reqs.is_empty());
+    }
+
+    #[test]
+    fn deadline_factor_passes_through() {
+        let net = net_by_name("internet2");
+        let scale = Scale::quick();
+        let reqs = workload_for(&net, 1.0, Some(10.0), &scale);
+        assert!(reqs.iter().all(|r| r.deadline_s.is_some()));
+    }
+}

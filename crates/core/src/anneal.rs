@@ -1,0 +1,333 @@
+//! Simulated annealing over network-layer topologies — Algorithms 1 and 2.
+//!
+//! The search state is the topology multigraph; the energy is the total
+//! throughput computed by [`compute_energy`](crate::energy::compute_energy)
+//! (Algorithm 3). The neighbor move picks two links `(u,v)` and `(p,q)` and
+//! moves one capacity unit each to `(u,p)` and `(v,q)` — degree-preserving,
+//! so the router-port constraint holds by construction, and only four links
+//! change ("the minimal number of links to change to satisfy the port
+//! number constraints", §3.2).
+//!
+//! Seeding the search from the *current* topology both speeds convergence
+//! and keeps the accepted topology close to it, which minimizes optical
+//! churn during the subsequent network update.
+//!
+//! Note on the acceptance rule: the paper's text writes the probability for
+//! a worse neighbor as `e^{(e_current − e_neighbor)/T}`, which exceeds 1
+//! under maximization — a typo. We use the standard Metropolis rule
+//! `e^{(e_neighbor − e_current)/T}` from the cited Kirkpatrick et al.
+//! formulation (see DESIGN.md §4).
+
+use crate::energy::{compute_energy, EnergyContext, EnergyOutcome};
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+/// Tunables of the annealing search (Algorithm 1).
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealConfig {
+    /// Cooling factor `α` applied to the temperature each iteration.
+    pub alpha: f64,
+    /// Stop once the temperature falls below this value (`ε`).
+    pub epsilon: f64,
+    /// RNG seed (the search is fully deterministic given the seed).
+    pub seed: u64,
+    /// Hard cap on iterations regardless of temperature.
+    pub max_iterations: usize,
+    /// Optional wall-clock budget in seconds (used by the Fig 10(d)
+    /// running-time experiment). `None` = no time limit.
+    pub time_budget_s: Option<f64>,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            alpha: 0.95,
+            epsilon: 1.0,
+            seed: 1,
+            max_iterations: 400,
+            time_budget_s: None,
+        }
+    }
+}
+
+/// Result of one annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult {
+    /// Best topology found (`s*`).
+    pub topology: Topology,
+    /// Its full energy outcome (circuits + rates).
+    pub outcome: EnergyOutcome,
+    /// Energy of the initial state, for diagnostics.
+    pub initial_energy_gbps: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl AnnealResult {
+    /// Best energy found, Gbps.
+    pub fn energy_gbps(&self) -> f64 {
+        self.outcome.energy_gbps()
+    }
+}
+
+/// Generates a random neighbor of `s` (Algorithm 2): pick two link units
+/// `(u,v)`, `(p,q)`, remove one unit from each, add one unit to `(u,p)` and
+/// `(v,q)`. Returns `None` if no valid move exists (e.g. fewer than two
+/// links, or every sampled move would create a self-link).
+pub fn compute_neighbor(s: &Topology, rng: &mut StdRng) -> Option<Topology> {
+    let links = s.links();
+    if links.len() < 1 || s.total_links() < 2 {
+        return None;
+    }
+    // Expand to unit links for uniform sampling by multiplicity.
+    let mut units: Vec<(usize, usize)> = Vec::new();
+    for &(u, v, m) in &links {
+        for _ in 0..m {
+            units.push((u, v));
+        }
+    }
+    for _attempt in 0..64 {
+        let i = rng.random_range(0..units.len());
+        let j = rng.random_range(0..units.len());
+        if i == j {
+            continue;
+        }
+        let (mut u, mut v) = units[i];
+        let (mut p, mut q) = units[j];
+        // Random orientation of each undirected link.
+        if rng.random::<bool>() {
+            std::mem::swap(&mut u, &mut v);
+        }
+        if rng.random::<bool>() {
+            std::mem::swap(&mut p, &mut q);
+        }
+        // New links (u,p) and (v,q) must not be self-links.
+        if u == p || v == q {
+            continue;
+        }
+        let mut t = s.clone();
+        t.remove_links(u, v, 1);
+        t.remove_links(p, q, 1);
+        t.add_links(u, p, 1);
+        t.add_links(v, q, 1);
+        return Some(t);
+    }
+    None
+}
+
+/// Runs simulated annealing (Algorithm 1) from `initial`, maximizing the
+/// energy of Algorithm 3 under `ctx`.
+pub fn anneal(ctx: &EnergyContext<'_>, initial: &Topology, config: &AnnealConfig) -> AnnealResult {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut current = initial.clone();
+    let mut current_outcome = compute_energy(ctx, &current);
+    let mut current_e = current_outcome.energy_gbps();
+    let initial_energy_gbps = current_e;
+
+    let mut best = current.clone();
+    let mut best_outcome = current_outcome.clone();
+    let mut best_e = current_e;
+
+    // Initial temperature = current throughput (Alg 1 line 4); keep it
+    // strictly positive so the loop runs even from an idle network.
+    let mut temperature = current_e.max(config.epsilon * 2.0);
+    let mut iterations = 0;
+
+    while temperature > config.epsilon && iterations < config.max_iterations {
+        if let Some(budget) = config.time_budget_s {
+            if start.elapsed().as_secs_f64() >= budget {
+                break;
+            }
+        }
+        let Some(neighbor) = compute_neighbor(&current, &mut rng) else {
+            break;
+        };
+        let neighbor_outcome = compute_energy(ctx, &neighbor);
+        let neighbor_e = neighbor_outcome.energy_gbps();
+
+        if neighbor_e > best_e {
+            best = neighbor.clone();
+            best_outcome = neighbor_outcome.clone();
+            best_e = neighbor_e;
+        }
+
+        // Metropolis acceptance.
+        let accept = if neighbor_e >= current_e {
+            true
+        } else {
+            let p = ((neighbor_e - current_e) / temperature).exp();
+            rng.random::<f64>() < p
+        };
+        if accept {
+            current = neighbor;
+            current_outcome = neighbor_outcome;
+            current_e = neighbor_e;
+        }
+        let _ = &current_outcome; // kept for symmetry/clarity
+
+        temperature *= config.alpha;
+        iterations += 1;
+    }
+
+    AnnealResult {
+        topology: best,
+        outcome: best_outcome,
+        initial_energy_gbps,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::CircuitBuildConfig;
+    use crate::rates::RateAssignConfig;
+    use crate::types::{SchedulingPolicy, Transfer};
+    use owan_optical::{FiberPlant, OpticalParams};
+
+    fn ring_plant(n: usize, ports: u32) -> FiberPlant {
+        let mut params = OpticalParams::default();
+        params.wavelength_capacity_gbps = 10.0;
+        params.wavelengths_per_fiber = 8;
+        let mut p = FiberPlant::new(params);
+        for i in 0..n {
+            p.add_site(&format!("S{i}"), ports, 1);
+        }
+        for i in 0..n {
+            p.add_fiber(i, (i + 1) % n, 300.0);
+        }
+        p
+    }
+
+    fn transfer(id: usize, src: usize, dst: usize, gbits: f64) -> Transfer {
+        Transfer {
+            id,
+            src,
+            dst,
+            volume_gbits: gbits,
+            remaining_gbits: gbits,
+            arrival_s: 0.0,
+            deadline_s: None,
+            starved_slots: 0,
+        }
+    }
+
+    #[test]
+    fn neighbor_preserves_degrees() {
+        let mut t = Topology::empty(5);
+        t.add_links(0, 1, 2);
+        t.add_links(1, 2, 1);
+        t.add_links(3, 4, 2);
+        let degrees: Vec<u32> = (0..5).map(|v| t.degree(v)).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            if let Some(n) = compute_neighbor(&t, &mut rng) {
+                let nd: Vec<u32> = (0..5).map(|v| n.degree(v)).collect();
+                assert_eq!(degrees, nd, "degree must be invariant");
+                assert!(n.link_distance(&t) <= 4, "at most four links change");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_none_on_tiny_topologies() {
+        let t = Topology::empty(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(compute_neighbor(&t, &mut rng).is_none());
+
+        let mut one = Topology::empty(3);
+        one.add_links(0, 1, 1);
+        assert!(compute_neighbor(&one, &mut rng).is_none());
+    }
+
+    #[test]
+    fn anneal_improves_mismatched_topology() {
+        // Demand is 0<->1 and 2<->3 heavy, but the initial topology wastes
+        // ports on a ring; annealing should find extra direct capacity.
+        let plant = ring_plant(4, 2);
+        let fd = plant.fiber_distance_matrix();
+        let transfers = vec![transfer(0, 0, 1, 100.0), transfer(1, 2, 3, 100.0)];
+        let ctx = EnergyContext {
+            plant: &plant,
+            fiber_dist: &fd,
+            transfers: &transfers,
+            policy: SchedulingPolicy::ShortestJobFirst,
+            slot_len_s: 1.0,
+            circuit_config: CircuitBuildConfig::default(),
+            rate_config: RateAssignConfig::default(),
+        };
+        let mut ring = Topology::empty(4);
+        for i in 0..4 {
+            ring.add_links(i, (i + 1) % 4, 1);
+        }
+        let res = anneal(&ctx, &ring, &AnnealConfig::default());
+        assert!(
+            res.energy_gbps() >= res.initial_energy_gbps,
+            "best is never worse than initial"
+        );
+        assert!(
+            res.energy_gbps() > res.initial_energy_gbps + 1.0,
+            "annealing should find a better topology: {} -> {}",
+            res.initial_energy_gbps,
+            res.energy_gbps()
+        );
+    }
+
+    #[test]
+    fn anneal_is_deterministic_per_seed() {
+        let plant = ring_plant(5, 2);
+        let fd = plant.fiber_distance_matrix();
+        let transfers = vec![transfer(0, 0, 2, 50.0), transfer(1, 1, 3, 50.0)];
+        let ctx = EnergyContext {
+            plant: &plant,
+            fiber_dist: &fd,
+            transfers: &transfers,
+            policy: SchedulingPolicy::ShortestJobFirst,
+            slot_len_s: 1.0,
+            circuit_config: CircuitBuildConfig::default(),
+            rate_config: RateAssignConfig::default(),
+        };
+        let mut ring = Topology::empty(5);
+        for i in 0..5 {
+            ring.add_links(i, (i + 1) % 5, 1);
+        }
+        let cfg = AnnealConfig { seed: 7, ..Default::default() };
+        let a = anneal(&ctx, &ring, &cfg);
+        let b = anneal(&ctx, &ring, &cfg);
+        assert_eq!(a.topology, b.topology);
+        assert_eq!(a.energy_gbps(), b.energy_gbps());
+    }
+
+    #[test]
+    fn time_budget_respected() {
+        let plant = ring_plant(6, 2);
+        let fd = plant.fiber_distance_matrix();
+        let transfers = vec![transfer(0, 0, 3, 500.0)];
+        let ctx = EnergyContext {
+            plant: &plant,
+            fiber_dist: &fd,
+            transfers: &transfers,
+            policy: SchedulingPolicy::ShortestJobFirst,
+            slot_len_s: 1.0,
+            circuit_config: CircuitBuildConfig::default(),
+            rate_config: RateAssignConfig::default(),
+        };
+        let mut ring = Topology::empty(6);
+        for i in 0..6 {
+            ring.add_links(i, (i + 1) % 6, 1);
+        }
+        let cfg = AnnealConfig {
+            time_budget_s: Some(0.0),
+            max_iterations: 1_000_000,
+            ..Default::default()
+        };
+        let start = std::time::Instant::now();
+        let res = anneal(&ctx, &ring, &cfg);
+        assert!(start.elapsed().as_secs_f64() < 1.0);
+        assert_eq!(res.iterations, 0, "zero budget means no search iterations");
+    }
+}

@@ -1,0 +1,180 @@
+//! Building optical circuits for a desired network-layer topology —
+//! Algorithm 3, lines 2–14 ("build optical circuits for each link").
+//!
+//! For every desired link `(u, v)` with multiplicity `m`, the builder asks
+//! the regenerator graph for candidate relay paths in increasing weight
+//! order and tries to provision each as an optical circuit until `m`
+//! circuits exist or the candidates are exhausted. If fewer than `m` can be
+//! built (no wavelengths, no regenerators, reach violations), the achieved
+//! topology records the smaller multiplicity — "If there are not enough
+//! possible optical circuits to satisfy all the desired capacity, we have
+//! to decrease the link capacity" (lines 13–14).
+
+use crate::regen::RegenGraph;
+use crate::topology::Topology;
+use owan_optical::{CircuitId, FiberPlant, OpticalState};
+
+/// Result of realizing a desired topology in the optical layer.
+#[derive(Debug, Clone)]
+pub struct BuiltTopology {
+    /// The topology actually achieved (multiplicities possibly reduced).
+    pub achieved: Topology,
+    /// The optical state with all circuits provisioned.
+    pub optical: OpticalState,
+    /// Circuit ids per link, aligned with `achieved.links()` order.
+    pub circuits: Vec<((usize, usize), Vec<CircuitId>)>,
+}
+
+impl BuiltTopology {
+    /// Total circuits provisioned.
+    pub fn circuit_count(&self) -> usize {
+        self.circuits.iter().map(|(_, c)| c.len()).sum()
+    }
+}
+
+/// Configuration of the circuit builder.
+#[derive(Debug, Clone, Copy)]
+pub struct CircuitBuildConfig {
+    /// Candidate relay paths tried per circuit (Yen's k on the transformed
+    /// regenerator graph).
+    pub relay_candidates: usize,
+}
+
+impl Default for CircuitBuildConfig {
+    fn default() -> Self {
+        CircuitBuildConfig { relay_candidates: 4 }
+    }
+}
+
+/// Provisions circuits for every link of `desired`, in deterministic link
+/// order, against a fresh optical state.
+///
+/// `fiber_dist` is the plant's all-pairs fiber distance matrix (shared
+/// across calls for speed; see [`RegenGraph::build`]).
+pub fn build_topology(
+    plant: &FiberPlant,
+    desired: &Topology,
+    fiber_dist: &[Vec<f64>],
+    config: &CircuitBuildConfig,
+) -> BuiltTopology {
+    let mut optical = OpticalState::new(plant);
+    let mut achieved = Topology::empty(desired.site_count());
+    let mut circuits = Vec::new();
+
+    for (u, v, m) in desired.links() {
+        let mut ids = Vec::new();
+        for _ in 0..m {
+            // The regenerator graph changes as regenerators are consumed,
+            // so rebuild it per circuit.
+            let rg = RegenGraph::build(plant, &optical, fiber_dist, u, v);
+            let mut provisioned = false;
+            for relay in rg.relay_candidates(config.relay_candidates) {
+                if let Ok(id) = optical.provision(plant, &relay) {
+                    ids.push(id);
+                    provisioned = true;
+                    break;
+                }
+            }
+            if !provisioned {
+                break; // reduce this link's capacity (Alg 3 lines 13-14)
+            }
+        }
+        if !ids.is_empty() {
+            achieved.add_links(u, v, ids.len() as u32);
+            circuits.push(((u, v), ids));
+        }
+    }
+
+    BuiltTopology { achieved, optical, circuits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owan_optical::OpticalParams;
+
+    /// Four sites on a ring, 300 km fibers; every site has a router.
+    fn ring_plant(wavelengths: u32, regens: u32, reach: f64) -> FiberPlant {
+        let mut params = OpticalParams::default();
+        params.wavelengths_per_fiber = wavelengths;
+        params.optical_reach_km = reach;
+        let mut p = FiberPlant::new(params);
+        for i in 0..4 {
+            p.add_site(&format!("S{i}"), 4, regens);
+        }
+        for i in 0..4 {
+            p.add_fiber(i, (i + 1) % 4, 300.0);
+        }
+        p
+    }
+
+    #[test]
+    fn simple_topology_fully_built() {
+        let p = ring_plant(8, 2, 2_000.0);
+        let mut desired = Topology::empty(4);
+        desired.add_links(0, 1, 2);
+        desired.add_links(2, 3, 1);
+        let fd = p.fiber_distance_matrix();
+        let built = build_topology(&p, &desired, &fd, &CircuitBuildConfig::default());
+        assert_eq!(built.achieved, desired);
+        assert_eq!(built.circuit_count(), 3);
+        built.optical.check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn capacity_reduced_when_wavelengths_run_out() {
+        // Only 1 wavelength per fiber: a 0-1 link of multiplicity 3 cannot
+        // be satisfied; adjacent fibers allow alternate (longer) routes
+        // around the ring, so 2 circuits are achievable (direct + the long
+        // way), but not 3.
+        let p = ring_plant(1, 4, 2_000.0);
+        let mut desired = Topology::empty(4);
+        desired.add_links(0, 1, 3);
+        let fd = p.fiber_distance_matrix();
+        let built = build_topology(&p, &desired, &fd, &CircuitBuildConfig::default());
+        assert!(built.achieved.multiplicity(0, 1) < 3);
+        assert!(built.achieved.multiplicity(0, 1) >= 1);
+        built.optical.check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn long_links_use_regenerators() {
+        // Reach 350 km: the 2-hop route 0-1-2 (600 km) needs a regenerator
+        // at site 1 (or 3).
+        let p = ring_plant(8, 1, 350.0);
+        let mut desired = Topology::empty(4);
+        desired.add_links(0, 2, 1);
+        let fd = p.fiber_distance_matrix();
+        let built = build_topology(&p, &desired, &fd, &CircuitBuildConfig::default());
+        assert_eq!(built.achieved.multiplicity(0, 2), 1);
+        let (_, ids) = &built.circuits[0];
+        let c = built.optical.circuit(ids[0]).unwrap();
+        assert_eq!(c.regen_sites.len(), 1);
+    }
+
+    #[test]
+    fn no_regenerators_drops_unreachable_link() {
+        let p = ring_plant(8, 0, 350.0);
+        let mut desired = Topology::empty(4);
+        desired.add_links(0, 2, 1); // 600 km, impossible without regen
+        desired.add_links(0, 1, 1); // 300 km, fine
+        let fd = p.fiber_distance_matrix();
+        let built = build_topology(&p, &desired, &fd, &CircuitBuildConfig::default());
+        assert_eq!(built.achieved.multiplicity(0, 2), 0);
+        assert_eq!(built.achieved.multiplicity(0, 1), 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = ring_plant(2, 1, 650.0);
+        let mut desired = Topology::empty(4);
+        desired.add_links(0, 1, 2);
+        desired.add_links(1, 2, 2);
+        desired.add_links(0, 2, 1);
+        let fd = p.fiber_distance_matrix();
+        let a = build_topology(&p, &desired, &fd, &CircuitBuildConfig::default());
+        let b = build_topology(&p, &desired, &fd, &CircuitBuildConfig::default());
+        assert_eq!(a.achieved, b.achieved);
+        assert_eq!(a.circuit_count(), b.circuit_count());
+    }
+}

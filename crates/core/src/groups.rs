@@ -1,0 +1,251 @@
+//! Transfer groups (coflows) — the §3.4 extension.
+//!
+//! "Some applications may need to send traffic to multiple locations and
+//! the important metric is the last completion time of all transfers in
+//! the group. This is similar to the coflow concept in big data
+//! applications … We can either treat them as single transfers or use
+//! better heuristics (like Smallest-Effective-Bottleneck-First) to
+//! optimize for groups."
+//!
+//! This module implements both options: [`TransferGroup`] bookkeeping plus
+//! the **SEBF** ordering of Varys [Chowdhury et al., SIGCOMM 2014]: groups
+//! are prioritized by their *effective bottleneck* — the time the group
+//! would need on its most-loaded router port if it had the network to
+//! itself — and the resulting transfer order feeds the standard rate
+//! assignment (Algorithm 3, step 2).
+
+use crate::topology::Topology;
+use crate::types::{Transfer, TransferId};
+use owan_optical::SiteId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A named group of transfers whose metric is the completion of the *last*
+/// member (coflow completion time).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferGroup {
+    /// Group identifier.
+    pub id: usize,
+    /// Member transfer ids.
+    pub members: Vec<TransferId>,
+}
+
+impl TransferGroup {
+    /// Creates a group.
+    pub fn new(id: usize, members: Vec<TransferId>) -> Self {
+        TransferGroup { id, members }
+    }
+}
+
+/// The effective bottleneck of a group on a topology: the maximum, over
+/// router ports (site ingress/egress), of the group's outstanding volume
+/// through that port divided by the port capacity there. This is the
+/// group's lower-bound completion time in seconds if scheduled alone.
+pub fn effective_bottleneck_s(
+    topology: &Topology,
+    theta_gbps: f64,
+    transfers: &[Transfer],
+    group: &TransferGroup,
+) -> f64 {
+    let mut egress: HashMap<SiteId, f64> = HashMap::new();
+    let mut ingress: HashMap<SiteId, f64> = HashMap::new();
+    for t in transfers {
+        if group.members.contains(&t.id) && !t.is_complete() {
+            *egress.entry(t.src).or_insert(0.0) += t.remaining_gbits;
+            *ingress.entry(t.dst).or_insert(0.0) += t.remaining_gbits;
+        }
+    }
+    let mut bottleneck: f64 = 0.0;
+    for (&site, &vol) in egress.iter().chain(ingress.iter()) {
+        let port_capacity = topology.degree(site) as f64 * theta_gbps;
+        let time = if port_capacity > 0.0 { vol / port_capacity } else { f64::INFINITY };
+        bottleneck = bottleneck.max(time);
+    }
+    bottleneck
+}
+
+/// Orders transfer indices Smallest-Effective-Bottleneck-First: groups are
+/// sorted by ascending bottleneck; within a group (and for ungrouped
+/// transfers, each its own singleton group) transfers go shortest-first.
+/// The returned order plugs directly into
+/// [`assign_rates_ordered`](crate::rates::assign_rates_ordered).
+pub fn sebf_order(
+    topology: &Topology,
+    theta_gbps: f64,
+    transfers: &[Transfer],
+    groups: &[TransferGroup],
+) -> Vec<usize> {
+    // Map transfer id -> group index (or a fresh singleton).
+    let mut group_of: HashMap<TransferId, usize> = HashMap::new();
+    for (gi, g) in groups.iter().enumerate() {
+        for &m in &g.members {
+            group_of.insert(m, gi);
+        }
+    }
+    let mut singletons: Vec<TransferGroup> = Vec::new();
+    for t in transfers {
+        if !group_of.contains_key(&t.id) {
+            let gi = groups.len() + singletons.len();
+            singletons.push(TransferGroup::new(gi, vec![t.id]));
+            group_of.insert(t.id, gi);
+        }
+    }
+    let all_groups: Vec<&TransferGroup> = groups.iter().chain(singletons.iter()).collect();
+    let bottleneck: Vec<f64> = all_groups
+        .iter()
+        .map(|g| effective_bottleneck_s(topology, theta_gbps, transfers, g))
+        .collect();
+
+    let mut idx: Vec<usize> = (0..transfers.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let ga = group_of[&transfers[a].id];
+        let gb = group_of[&transfers[b].id];
+        bottleneck[ga]
+            .total_cmp(&bottleneck[gb])
+            .then_with(|| ga.cmp(&gb))
+            .then_with(|| {
+                transfers[a]
+                    .remaining_gbits
+                    .total_cmp(&transfers[b].remaining_gbits)
+            })
+            .then_with(|| transfers[a].id.cmp(&transfers[b].id))
+    });
+    idx
+}
+
+/// Completion time of a group = completion of its last member (`None` if
+/// any member never finished). `completion_of` maps transfer id to its
+/// absolute completion time.
+pub fn group_completion_s(
+    group: &TransferGroup,
+    completion_of: impl Fn(TransferId) -> Option<f64>,
+) -> Option<f64> {
+    group
+        .members
+        .iter()
+        .map(|&m| completion_of(m))
+        .try_fold(0.0f64, |acc, c| c.map(|c| acc.max(c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transfer(id: usize, src: usize, dst: usize, gbits: f64) -> Transfer {
+        Transfer {
+            id,
+            src,
+            dst,
+            volume_gbits: gbits,
+            remaining_gbits: gbits,
+            arrival_s: 0.0,
+            deadline_s: None,
+            starved_slots: 0,
+        }
+    }
+
+    fn star() -> Topology {
+        // Hub 0 with two ports to each of 1, 2, 3.
+        let mut t = Topology::empty(4);
+        for v in 1..4 {
+            t.add_links(0, v, 2);
+        }
+        t
+    }
+
+    #[test]
+    fn bottleneck_is_port_limited() {
+        let topo = star();
+        // Hub egress: 120 Gb / 60 Gbps = 2 s; but each leaf ingress is
+        // 60 Gb / 20 Gbps = 3 s — the leaves are the bottleneck.
+        let ts = vec![transfer(0, 0, 1, 60.0), transfer(1, 0, 2, 60.0)];
+        let g = TransferGroup::new(0, vec![0, 1]);
+        let b = effective_bottleneck_s(&topo, 10.0, &ts, &g);
+        assert!((b - 3.0).abs() < 1e-9, "60 Gb / 20 Gbps = 3 s, got {b}");
+    }
+
+    #[test]
+    fn bottleneck_counts_ingress_too() {
+        let topo = star();
+        // Both transfers converge on site 1 (degree 2, 20 Gbps ingress).
+        let ts = vec![transfer(0, 2, 1, 40.0), transfer(1, 3, 1, 40.0)];
+        let g = TransferGroup::new(0, vec![0, 1]);
+        let b = effective_bottleneck_s(&topo, 10.0, &ts, &g);
+        assert!((b - 4.0).abs() < 1e-9, "80 Gb / 20 Gbps = 4 s, got {b}");
+    }
+
+    #[test]
+    fn isolated_site_means_infinite_bottleneck() {
+        let mut topo = Topology::empty(3);
+        topo.add_links(0, 1, 1);
+        let ts = vec![transfer(0, 0, 2, 10.0)]; // site 2 has no links
+        let g = TransferGroup::new(0, vec![0]);
+        assert!(effective_bottleneck_s(&topo, 10.0, &ts, &g).is_infinite());
+    }
+
+    #[test]
+    fn sebf_puts_smaller_group_first() {
+        let topo = star();
+        // Group A: 200 Gb through the hub. Group B: 20 Gb.
+        let ts = vec![
+            transfer(0, 0, 1, 100.0),
+            transfer(1, 0, 2, 100.0),
+            transfer(2, 0, 3, 20.0),
+        ];
+        let groups = vec![
+            TransferGroup::new(0, vec![0, 1]),
+            TransferGroup::new(1, vec![2]),
+        ];
+        let order = sebf_order(&topo, 10.0, &ts, &groups);
+        assert_eq!(order[0], 2, "the small group's transfer goes first");
+    }
+
+    #[test]
+    fn sebf_groups_stay_contiguous() {
+        let topo = star();
+        let ts = vec![
+            transfer(0, 0, 1, 50.0),
+            transfer(1, 0, 2, 10.0), // group 1 (small bottleneck)
+            transfer(2, 0, 3, 50.0),
+        ];
+        let groups = vec![
+            TransferGroup::new(0, vec![0, 2]),
+            TransferGroup::new(1, vec![1]),
+        ];
+        let order = sebf_order(&topo, 10.0, &ts, &groups);
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn ungrouped_transfers_become_singletons() {
+        let topo = star();
+        let ts = vec![transfer(0, 0, 1, 100.0), transfer(1, 0, 2, 1.0)];
+        let order = sebf_order(&topo, 10.0, &ts, &[]);
+        assert_eq!(order, vec![1, 0], "tiny singleton first");
+    }
+
+    #[test]
+    fn group_completion_is_last_member() {
+        let g = TransferGroup::new(0, vec![3, 5, 9]);
+        let completion = |id: usize| match id {
+            3 => Some(10.0),
+            5 => Some(30.0),
+            9 => Some(20.0),
+            _ => None,
+        };
+        assert_eq!(group_completion_s(&g, completion), Some(30.0));
+        let partial = |id: usize| if id == 3 { Some(10.0) } else { None };
+        assert_eq!(group_completion_s(&g, partial), None);
+    }
+
+    #[test]
+    fn completed_members_leave_the_bottleneck() {
+        let topo = star();
+        let mut ts = vec![transfer(0, 0, 1, 60.0), transfer(1, 0, 2, 60.0)];
+        ts[0].remaining_gbits = 0.0;
+        let g = TransferGroup::new(0, vec![0, 1]);
+        // Only transfer 1 remains: ingress at leaf 2 is 60 Gb / 20 Gbps.
+        let b = effective_bottleneck_s(&topo, 10.0, &ts, &g);
+        assert!((b - 3.0).abs() < 1e-9, "got {b}");
+    }
+}

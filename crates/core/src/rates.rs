@@ -1,0 +1,482 @@
+//! Multi-path routing and rate assignment — Algorithm 3, lines 15–25.
+//!
+//! Given the (achieved) network-layer topology, transfers are ordered by a
+//! scheduling policy (SJF or EDF, with the starvation guard) and allocated
+//! greedily, **shortest paths first**: the outer loop iterates over path
+//! length `l = 1, 2, …`; at each length, every transfer in policy order
+//! grabs as much rate as its demand and the residual capacities allow on
+//! its length-`l` paths. This "prioritizes transfers to use shorter paths
+//! first" (§3.2), approximating the NP-hard optimal rate allocation.
+
+use crate::topology::Topology;
+use crate::types::{Allocation, SchedulingPolicy, Transfer};
+use owan_optical::SiteId;
+
+const EPS: f64 = 1e-9;
+
+/// Tunables of the rate-assignment step.
+#[derive(Debug, Clone, Copy)]
+pub struct RateAssignConfig {
+    /// Maximum path length in hops considered by the outer loop.
+    pub max_path_hops: usize,
+    /// Maximum number of length-`l` paths enumerated per transfer per
+    /// round (bounds the DFS on dense topologies).
+    pub max_paths_per_round: usize,
+    /// Starvation guard `t̂`: transfers unscheduled for this many slots are
+    /// promoted to the head of the order.
+    pub starvation_threshold: u32,
+}
+
+impl Default for RateAssignConfig {
+    fn default() -> Self {
+        RateAssignConfig {
+            max_path_hops: 8,
+            max_paths_per_round: 8,
+            starvation_threshold: 3,
+        }
+    }
+}
+
+/// The outcome of one rate-assignment pass.
+#[derive(Debug, Clone)]
+pub struct RateOutcome {
+    /// Per-transfer multi-path allocations (transfers with zero rate are
+    /// omitted).
+    pub allocations: Vec<Allocation>,
+    /// Total allocated rate, Gbps — the "energy" of Algorithm 3.
+    pub throughput_gbps: f64,
+}
+
+impl RateOutcome {
+    /// The allocation for `transfer`, if any.
+    pub fn allocation_for(&self, transfer: usize) -> Option<&Allocation> {
+        self.allocations.iter().find(|a| a.transfer == transfer)
+    }
+}
+
+/// Residual link capacities over an achieved topology.
+struct Residual {
+    n: usize,
+    cap: Vec<f64>,
+}
+
+impl Residual {
+    fn new(topology: &Topology, theta: f64) -> Self {
+        let n = topology.site_count();
+        let mut cap = vec![0.0; n * n];
+        for (u, v, m) in topology.links() {
+            cap[u * n + v] = m as f64 * theta;
+            cap[v * n + u] = m as f64 * theta;
+        }
+        Residual { n, cap }
+    }
+
+    #[inline]
+    fn get(&self, u: SiteId, v: SiteId) -> f64 {
+        self.cap[u * self.n + v]
+    }
+
+    fn consume(&mut self, path: &[SiteId], rate: f64) {
+        for w in path.windows(2) {
+            let c = &mut self.cap[w[0] * self.n + w[1]];
+            *c = (*c - rate).max(0.0);
+            let c2 = &mut self.cap[w[1] * self.n + w[0]];
+            *c2 = (*c2 - rate).max(0.0);
+        }
+    }
+
+    fn any_free(&self) -> bool {
+        self.cap.iter().any(|&c| c > EPS)
+    }
+
+    /// Hop distances to `dst` over links with positive residual (BFS).
+    fn hop_distances_to(&self, dst: SiteId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        dist[dst] = 0;
+        let mut queue = std::collections::VecDeque::from([dst]);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..self.n {
+                if dist[v] == usize::MAX && self.get(u, v) > EPS {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Enumerates up to `limit` simple paths from `src` to `dst` with
+    /// exactly `len` hops, each hop having positive residual. Deterministic
+    /// DFS in ascending neighbor order, pruned by hop distance to `dst`
+    /// (`dist_to_dst` as computed by [`Residual::hop_distances_to`]; many
+    /// transfers share a destination, so callers cache it per round).
+    fn paths_of_length(
+        &self,
+        src: SiteId,
+        dst: SiteId,
+        len: usize,
+        limit: usize,
+        dist_to_dst: &[usize],
+    ) -> Vec<Vec<SiteId>> {
+        if dist_to_dst[src] == usize::MAX || dist_to_dst[src] > len {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![src];
+        let mut on_path = vec![false; self.n];
+        on_path[src] = true;
+        self.dfs(dst, len, limit, dist_to_dst, &mut stack, &mut on_path, &mut out);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        dst: SiteId,
+        len: usize,
+        limit: usize,
+        dist_to_dst: &[usize],
+        stack: &mut Vec<SiteId>,
+        on_path: &mut Vec<bool>,
+        out: &mut Vec<Vec<SiteId>>,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        let cur = *stack.last().expect("stack non-empty");
+        let remaining = len + 1 - stack.len();
+        if remaining == 0 {
+            if cur == dst {
+                out.push(stack.clone());
+            }
+            return;
+        }
+        for v in 0..self.n {
+            if !on_path[v]
+                && self.get(cur, v) > EPS
+                && dist_to_dst[v] != usize::MAX
+                && dist_to_dst[v] <= remaining - 1
+            {
+                stack.push(v);
+                on_path[v] = true;
+                self.dfs(dst, len, limit, dist_to_dst, stack, on_path, out);
+                stack.pop();
+                on_path[v] = false;
+            }
+        }
+    }
+}
+
+/// Assigns multi-path routes and rates to `transfers` on `topology`.
+///
+/// `theta` is the per-circuit capacity (Gbps); `slot_len_s` converts each
+/// transfer's remaining volume into its per-slot demand rate.
+pub fn assign_rates(
+    topology: &Topology,
+    theta: f64,
+    transfers: &[Transfer],
+    policy: SchedulingPolicy,
+    slot_len_s: f64,
+    config: &RateAssignConfig,
+) -> RateOutcome {
+    let order = policy.order(transfers, config.starvation_threshold);
+    assign_rates_ordered(topology, theta, transfers, &order, slot_len_s, config)
+}
+
+/// Like [`assign_rates`] but with an explicit transfer order — used by the
+/// coflow extension ([`crate::groups::sebf_order`]) and by experiments that
+/// want custom scheduling disciplines.
+pub fn assign_rates_ordered(
+    topology: &Topology,
+    theta: f64,
+    transfers: &[Transfer],
+    order: &[usize],
+    slot_len_s: f64,
+    config: &RateAssignConfig,
+) -> RateOutcome {
+    debug_assert_eq!(order.len(), transfers.len());
+    let mut residual = Residual::new(topology, theta);
+
+    let mut demand: Vec<f64> = transfers
+        .iter()
+        .map(|t| t.demand_rate_gbps(slot_len_s))
+        .collect();
+    let mut allocations: Vec<Allocation> = transfers
+        .iter()
+        .map(|t| Allocation { transfer: t.id, paths: Vec::new() })
+        .collect();
+    let mut throughput = 0.0;
+
+    'outer: for l in 1..=config.max_path_hops {
+        let any_demand = demand.iter().any(|&d| d > EPS);
+        if !any_demand || !residual.any_free() {
+            break 'outer;
+        }
+        // Hop distances to each destination, computed lazily once per
+        // round — transfers sharing a destination reuse them. Consuming
+        // capacity only ever *increases* true distances, so a stale cache
+        // can only over-admit the DFS, never hide a valid path; feasibility
+        // is still enforced edge-by-edge inside the DFS.
+        let mut dist_cache: std::collections::HashMap<SiteId, Vec<usize>> =
+            std::collections::HashMap::new();
+        for &i in order {
+            if demand[i] <= EPS {
+                continue;
+            }
+            let t = &transfers[i];
+            if t.src == t.dst {
+                demand[i] = 0.0;
+                continue;
+            }
+            let dist_to_dst = dist_cache
+                .entry(t.dst)
+                .or_insert_with(|| residual.hop_distances_to(t.dst));
+            let paths = residual.paths_of_length(
+                t.src,
+                t.dst,
+                l,
+                config.max_paths_per_round,
+                dist_to_dst,
+            );
+            for path in paths {
+                if demand[i] <= EPS {
+                    break;
+                }
+                let min_c = path
+                    .windows(2)
+                    .map(|w| residual.get(w[0], w[1]))
+                    .fold(f64::INFINITY, f64::min);
+                let rate = demand[i].min(min_c);
+                if rate > EPS {
+                    residual.consume(&path, rate);
+                    demand[i] -= rate;
+                    throughput += rate;
+                    allocations[i].paths.push((path, rate));
+                }
+            }
+        }
+    }
+
+    allocations.retain(|a| !a.paths.is_empty());
+    RateOutcome { allocations, throughput_gbps: throughput }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transfer(id: usize, src: usize, dst: usize, gbits: f64) -> Transfer {
+        Transfer {
+            id,
+            src,
+            dst,
+            volume_gbits: gbits,
+            remaining_gbits: gbits,
+            arrival_s: 0.0,
+            deadline_s: None,
+            starved_slots: 0,
+        }
+    }
+
+    /// The motivating example of Figure 3: four routers, unit links of
+    /// capacity 10.
+    fn square() -> Topology {
+        let mut t = Topology::empty(4);
+        t.add_links(0, 1, 1); // R0-R1
+        t.add_links(0, 2, 1); // R0-R2
+        t.add_links(2, 3, 1); // R2-R3
+        t.add_links(1, 3, 1); // R1-R3
+        t
+    }
+
+    #[test]
+    fn single_transfer_uses_both_paths() {
+        // F0: R0->R1, demand 20 Gbps; direct path carries 10, the two-hop
+        // path R0-R2-R3-R1 carries the rest.
+        let topo = square();
+        let ts = vec![transfer(0, 0, 1, 20.0)];
+        let out = assign_rates(
+            &topo,
+            10.0,
+            &ts,
+            SchedulingPolicy::ShortestJobFirst,
+            1.0,
+            &RateAssignConfig::default(),
+        );
+        assert!((out.throughput_gbps - 20.0).abs() < 1e-6);
+        let a = out.allocation_for(0).unwrap();
+        assert_eq!(a.paths.len(), 2);
+        assert_eq!(a.paths[0].0, vec![0, 1], "direct path first");
+        assert!((a.paths[0].1 - 10.0).abs() < 1e-6);
+        assert_eq!(a.paths[1].0, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn figure3_plan_b_order() {
+        // Two transfers R0->R1 (10) and R2->R3 (10) on the square with slot
+        // length 1: both can be fully served (Plan A of Fig 3), total 20.
+        let topo = square();
+        let ts = vec![transfer(0, 0, 1, 10.0), transfer(1, 2, 3, 10.0)];
+        let out = assign_rates(
+            &topo,
+            10.0,
+            &ts,
+            SchedulingPolicy::ShortestJobFirst,
+            1.0,
+            &RateAssignConfig::default(),
+        );
+        assert!((out.throughput_gbps - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sjf_gives_small_transfer_priority() {
+        // One shared link of capacity 10, transfers of 8 and 4 Gb with slot
+        // 1 s: SJF serves the 4 fully, the 8 gets the remaining 6.
+        let mut topo = Topology::empty(2);
+        topo.add_links(0, 1, 1);
+        let ts = vec![transfer(0, 0, 1, 8.0), transfer(1, 0, 1, 4.0)];
+        let out = assign_rates(
+            &topo,
+            10.0,
+            &ts,
+            SchedulingPolicy::ShortestJobFirst,
+            1.0,
+            &RateAssignConfig::default(),
+        );
+        assert!((out.allocation_for(1).unwrap().total_rate() - 4.0).abs() < 1e-6);
+        assert!((out.allocation_for(0).unwrap().total_rate() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edf_prioritizes_deadline() {
+        let mut topo = Topology::empty(2);
+        topo.add_links(0, 1, 1);
+        let mut t0 = transfer(0, 0, 1, 8.0);
+        t0.deadline_s = Some(1_000.0);
+        let mut t1 = transfer(1, 0, 1, 8.0);
+        t1.deadline_s = Some(100.0);
+        let out = assign_rates(
+            &topo,
+            10.0,
+            &[t0, t1],
+            SchedulingPolicy::EarliestDeadlineFirst,
+            1.0,
+            &RateAssignConfig::default(),
+        );
+        assert!((out.allocation_for(1).unwrap().total_rate() - 8.0).abs() < 1e-6);
+        assert!((out.allocation_for(0).unwrap().total_rate() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rates_never_exceed_capacity() {
+        let topo = square();
+        let ts: Vec<Transfer> = (0..6)
+            .map(|i| transfer(i, i % 4, (i + 1) % 4, 100.0))
+            .collect();
+        let out = assign_rates(
+            &topo,
+            10.0,
+            &ts,
+            SchedulingPolicy::ShortestJobFirst,
+            1.0,
+            &RateAssignConfig::default(),
+        );
+        // Recompute per-link loads.
+        let n = 4;
+        let mut load = vec![0.0; n * n];
+        for a in &out.allocations {
+            for (path, r) in &a.paths {
+                for w in path.windows(2) {
+                    load[w[0] * n + w[1]] += r;
+                    load[w[1] * n + w[0]] += r;
+                }
+            }
+        }
+        for u in 0..n {
+            for v in 0..n {
+                let cap = topo.multiplicity(u, v) as f64 * 10.0;
+                assert!(load[u * n + v] <= cap + 1e-6, "({u},{v}): {} > {cap}", load[u * n + v]);
+            }
+        }
+    }
+
+    #[test]
+    fn demand_capped_by_remaining_volume() {
+        let mut topo = Topology::empty(2);
+        topo.add_links(0, 1, 10); // 100 Gbps available
+        let ts = vec![transfer(0, 0, 1, 30.0)]; // only 30 Gb remain
+        let out = assign_rates(
+            &topo,
+            10.0,
+            &ts,
+            SchedulingPolicy::ShortestJobFirst,
+            1.0,
+            &RateAssignConfig::default(),
+        );
+        assert!((out.throughput_gbps - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disconnected_transfer_gets_nothing() {
+        let mut topo = Topology::empty(3);
+        topo.add_links(0, 1, 1);
+        let ts = vec![transfer(0, 0, 2, 10.0)];
+        let out = assign_rates(
+            &topo,
+            10.0,
+            &ts,
+            SchedulingPolicy::ShortestJobFirst,
+            1.0,
+            &RateAssignConfig::default(),
+        );
+        assert_eq!(out.throughput_gbps, 0.0);
+        assert!(out.allocations.is_empty());
+    }
+
+    #[test]
+    fn parallel_links_aggregate_capacity() {
+        let mut topo = Topology::empty(2);
+        topo.add_links(0, 1, 3);
+        let ts = vec![transfer(0, 0, 1, 25.0)];
+        let out = assign_rates(
+            &topo,
+            10.0,
+            &ts,
+            SchedulingPolicy::ShortestJobFirst,
+            1.0,
+            &RateAssignConfig::default(),
+        );
+        assert!((out.throughput_gbps - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_transfer_list() {
+        let topo = square();
+        let out = assign_rates(
+            &topo,
+            10.0,
+            &[],
+            SchedulingPolicy::ShortestJobFirst,
+            1.0,
+            &RateAssignConfig::default(),
+        );
+        assert_eq!(out.throughput_gbps, 0.0);
+    }
+
+    #[test]
+    fn slot_length_scales_demand() {
+        let mut topo = Topology::empty(2);
+        topo.add_links(0, 1, 1);
+        let ts = vec![transfer(0, 0, 1, 100.0)];
+        // slot 100 s: demand rate = 1 Gbps, far below the 10 Gbps link.
+        let out = assign_rates(
+            &topo,
+            10.0,
+            &ts,
+            SchedulingPolicy::ShortestJobFirst,
+            100.0,
+            &RateAssignConfig::default(),
+        );
+        assert!((out.throughput_gbps - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,221 @@
+//! Core domain types: transfers, allocations, slot plans, and the traffic
+//! engineering interface shared by Owan and the baselines.
+
+use owan_optical::SiteId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a transfer, unique within one simulation run.
+pub type TransferId = usize;
+
+/// A client bulk-transfer request (paper §3.1: a tuple
+/// `(src_i, dst_i, size_i, deadline_i)` with the deadline optional).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferRequest {
+    /// Ingress router site.
+    pub src: SiteId,
+    /// Egress router site.
+    pub dst: SiteId,
+    /// Total volume, gigabits.
+    pub volume_gbits: f64,
+    /// Submission time, seconds since simulation start.
+    pub arrival_s: f64,
+    /// Optional absolute deadline, seconds since simulation start.
+    pub deadline_s: Option<f64>,
+}
+
+/// A live transfer tracked by the controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Controller-assigned id.
+    pub id: TransferId,
+    /// Ingress router site.
+    pub src: SiteId,
+    /// Egress router site.
+    pub dst: SiteId,
+    /// Total volume, gigabits.
+    pub volume_gbits: f64,
+    /// Volume still to send, gigabits.
+    pub remaining_gbits: f64,
+    /// Submission time, seconds.
+    pub arrival_s: f64,
+    /// Optional absolute deadline, seconds.
+    pub deadline_s: Option<f64>,
+    /// Consecutive slots in which this transfer received zero rate —
+    /// drives the starvation guard of §3.2 ("we schedule a transfer if it
+    /// is not scheduled for t̂ time slots").
+    pub starved_slots: u32,
+}
+
+impl Transfer {
+    /// Creates a live transfer from a request.
+    pub fn from_request(id: TransferId, req: &TransferRequest) -> Self {
+        Transfer {
+            id,
+            src: req.src,
+            dst: req.dst,
+            volume_gbits: req.volume_gbits,
+            remaining_gbits: req.volume_gbits,
+            arrival_s: req.arrival_s,
+            deadline_s: req.deadline_s,
+            starved_slots: 0,
+        }
+    }
+
+    /// True once the whole volume has been delivered.
+    pub fn is_complete(&self) -> bool {
+        self.remaining_gbits <= 1e-9
+    }
+
+    /// The rate (Gbps) that would finish the transfer within `slot_len_s`.
+    /// Used as the per-slot demand in the rate-assignment step.
+    pub fn demand_rate_gbps(&self, slot_len_s: f64) -> f64 {
+        debug_assert!(slot_len_s > 0.0);
+        self.remaining_gbits / slot_len_s
+    }
+}
+
+/// One transfer's routing configuration for a slot: multi-path rates
+/// (`rc_f = {r_{f,p} | p ∈ P_f}` in Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// The transfer this allocation serves.
+    pub transfer: TransferId,
+    /// `(site path, rate in Gbps)` pairs. Paths are loopless node
+    /// sequences over router sites.
+    pub paths: Vec<(Vec<SiteId>, f64)>,
+}
+
+impl Allocation {
+    /// Total rate across paths, Gbps.
+    pub fn total_rate(&self) -> f64 {
+        self.paths.iter().map(|(_, r)| r).sum()
+    }
+}
+
+/// Scheduling policy for ordering transfers in the rate-assignment step
+/// (§3.2: "We order transfers with classic scheduling policies like
+/// shortest job first (SJF) and earliest deadline first (EDF)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Shortest remaining size first — used for deadline-unconstrained
+    /// traffic to minimize average completion time.
+    ShortestJobFirst,
+    /// Earliest deadline first — used for deadline-constrained traffic.
+    EarliestDeadlineFirst,
+}
+
+impl SchedulingPolicy {
+    /// Sorts transfer indices by the policy, with the starvation guard:
+    /// transfers starved for at least `starvation_threshold` slots are
+    /// promoted to the front (amongst themselves, policy order applies).
+    pub fn order(
+        &self,
+        transfers: &[Transfer],
+        starvation_threshold: u32,
+    ) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..transfers.len()).collect();
+        let key = |t: &Transfer| match self {
+            SchedulingPolicy::ShortestJobFirst => t.remaining_gbits,
+            SchedulingPolicy::EarliestDeadlineFirst => {
+                t.deadline_s.unwrap_or(f64::INFINITY)
+            }
+        };
+        idx.sort_by(|&a, &b| {
+            let sa = transfers[a].starved_slots >= starvation_threshold;
+            let sb = transfers[b].starved_slots >= starvation_threshold;
+            sb.cmp(&sa)
+                .then_with(|| key(&transfers[a]).total_cmp(&key(&transfers[b])))
+                .then_with(|| transfers[a].id.cmp(&transfers[b].id))
+        });
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: usize, remaining: f64, deadline: Option<f64>, starved: u32) -> Transfer {
+        Transfer {
+            id,
+            src: 0,
+            dst: 1,
+            volume_gbits: remaining,
+            remaining_gbits: remaining,
+            arrival_s: 0.0,
+            deadline_s: deadline,
+            starved_slots: starved,
+        }
+    }
+
+    #[test]
+    fn from_request_initializes_remaining() {
+        let req = TransferRequest {
+            src: 2,
+            dst: 5,
+            volume_gbits: 800.0,
+            arrival_s: 10.0,
+            deadline_s: Some(600.0),
+        };
+        let tr = Transfer::from_request(7, &req);
+        assert_eq!(tr.id, 7);
+        assert_eq!(tr.remaining_gbits, 800.0);
+        assert!(!tr.is_complete());
+    }
+
+    #[test]
+    fn completion_threshold() {
+        let mut tr = t(0, 1.0, None, 0);
+        tr.remaining_gbits = 0.0;
+        assert!(tr.is_complete());
+        tr.remaining_gbits = 1e-12;
+        assert!(tr.is_complete());
+    }
+
+    #[test]
+    fn demand_rate() {
+        let tr = t(0, 600.0, None, 0);
+        assert_eq!(tr.demand_rate_gbps(300.0), 2.0);
+    }
+
+    #[test]
+    fn sjf_orders_by_remaining() {
+        let ts = vec![t(0, 50.0, None, 0), t(1, 10.0, None, 0), t(2, 30.0, None, 0)];
+        let order = SchedulingPolicy::ShortestJobFirst.order(&ts, u32::MAX);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_none_last() {
+        let ts = vec![
+            t(0, 50.0, Some(100.0), 0),
+            t(1, 10.0, None, 0),
+            t(2, 30.0, Some(50.0), 0),
+        ];
+        let order = SchedulingPolicy::EarliestDeadlineFirst.order(&ts, u32::MAX);
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn starved_transfers_promoted() {
+        let ts = vec![t(0, 10.0, None, 0), t(1, 500.0, None, 3)];
+        let order = SchedulingPolicy::ShortestJobFirst.order(&ts, 3);
+        assert_eq!(order, vec![1, 0], "starved large transfer jumps the queue");
+    }
+
+    #[test]
+    fn ties_broken_by_id() {
+        let ts = vec![t(1, 10.0, None, 0), t(0, 10.0, None, 0)];
+        let order = SchedulingPolicy::ShortestJobFirst.order(&ts, u32::MAX);
+        assert_eq!(ts[order[0]].id, 0);
+    }
+
+    #[test]
+    fn allocation_total_rate() {
+        let a = Allocation {
+            transfer: 0,
+            paths: vec![(vec![0, 1], 5.0), (vec![0, 2, 1], 3.0)],
+        };
+        assert_eq!(a.total_rate(), 8.0);
+    }
+}

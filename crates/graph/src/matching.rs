@@ -1,0 +1,350 @@
+//! Maximum cardinality matching in general graphs (Edmonds' blossom
+//! algorithm).
+//!
+//! The Owan prototype "implemented the blossom algorithm for maximum matching
+//! in general graphs" (§4.2); the controller uses matchings when pairing
+//! router ports during topology construction. This is the classic `O(V^3)`
+//! augmenting-path formulation with blossom contraction via base pointers.
+
+use crate::graph::{Graph, NodeId};
+
+/// Computes a maximum cardinality matching of `g`.
+///
+/// Returns `mate`, where `mate[v] == Some(u)` iff the edge `(v, u)` is in the
+/// matching (symmetric), and the number of matched pairs. Directed edges are
+/// treated as undirected for the purpose of matching; parallel edges and
+/// self-loops are ignored.
+pub fn maximum_matching(g: &Graph) -> (Vec<Option<NodeId>>, usize) {
+    let n = g.node_count();
+    // Simple-graph adjacency (ignore self loops, dedupe parallels).
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        if e.u != e.v {
+            if !adj[e.u].contains(&e.v) {
+                adj[e.u].push(e.v);
+            }
+            if !adj[e.v].contains(&e.u) {
+                adj[e.v].push(e.u);
+            }
+        }
+    }
+
+    let mut mate: Vec<Option<NodeId>> = vec![None; n];
+    let mut matched = 0usize;
+
+    // Greedy warm start halves the number of augmenting searches.
+    for v in 0..n {
+        if mate[v].is_none() {
+            if let Some(&u) = adj[v].iter().find(|&&u| mate[u].is_none()) {
+                mate[v] = Some(u);
+                mate[u] = Some(v);
+                matched += 1;
+            }
+        }
+    }
+
+    let mut state = Blossom {
+        adj,
+        mate: mate.clone(),
+        base: vec![0; n],
+        parent: vec![None; n],
+        in_queue: vec![false; n],
+        in_blossom: vec![false; n],
+    };
+    state.mate = mate;
+
+    for v in 0..n {
+        if state.mate[v].is_none() && state.augment(v) {
+            matched += 1;
+        }
+    }
+
+    (state.mate.clone(), matched)
+}
+
+struct Blossom {
+    adj: Vec<Vec<NodeId>>,
+    mate: Vec<Option<NodeId>>,
+    /// Base of the blossom containing each node.
+    base: Vec<NodeId>,
+    /// Parent in the alternating forest (None for roots/unvisited).
+    parent: Vec<Option<NodeId>>,
+    in_queue: Vec<bool>,
+    /// Scratch for blossom marking.
+    in_blossom: Vec<bool>,
+}
+
+impl Blossom {
+    /// Finds the lowest common ancestor of `a` and `b` in terms of blossom
+    /// bases along the alternating tree.
+    fn lca(&self, mut a: NodeId, mut b: NodeId) -> NodeId {
+        let n = self.adj.len();
+        let mut used = vec![false; n];
+        loop {
+            a = self.base[a];
+            used[a] = true;
+            match self.mate[a] {
+                Some(m) => match self.parent[m] {
+                    Some(p) => a = p,
+                    None => break,
+                },
+                None => break,
+            }
+        }
+        loop {
+            b = self.base[b];
+            if used[b] {
+                return b;
+            }
+            let m = self.mate[b].expect("non-root must be matched");
+            b = self.parent[m].expect("matched node in tree has parent");
+        }
+    }
+
+    /// Marks the path from `v` up to the blossom base `b`, re-basing nodes.
+    fn mark_path(&mut self, mut v: NodeId, b: NodeId, mut child: NodeId, queue: &mut Vec<NodeId>) {
+        while self.base[v] != b {
+            self.in_blossom[self.base[v]] = true;
+            let m = self.mate[v].expect("blossom path node is matched");
+            self.in_blossom[self.base[m]] = true;
+            self.parent[v] = Some(child);
+            child = m;
+            v = self.parent[m].expect("matched node has parent");
+        }
+        // Enqueue newly-outer nodes.
+        let n = self.adj.len();
+        for u in 0..n {
+            if self.in_blossom[self.base[u]] {
+                self.base[u] = b;
+                if !self.in_queue[u] {
+                    self.in_queue[u] = true;
+                    queue.push(u);
+                }
+            }
+        }
+    }
+
+    /// BFS for an augmenting path from `root`; flips it if found.
+    fn augment(&mut self, root: NodeId) -> bool {
+        let n = self.adj.len();
+        self.parent.iter_mut().for_each(|p| *p = None);
+        self.in_queue.iter_mut().for_each(|q| *q = false);
+        for v in 0..n {
+            self.base[v] = v;
+        }
+
+        let mut queue = vec![root];
+        self.in_queue[root] = true;
+        let mut qi = 0;
+
+        while qi < queue.len() {
+            let v = queue[qi];
+            qi += 1;
+            let nbrs = self.adj[v].clone();
+            for u in nbrs {
+                if self.base[v] == self.base[u] || self.mate[v] == Some(u) {
+                    continue;
+                }
+                if u == root || self.mate[u].map_or(false, |m| self.parent[m].is_some()) {
+                    // Odd cycle: contract a blossom.
+                    let b = self.lca(v, u);
+                    self.in_blossom.iter_mut().for_each(|x| *x = false);
+                    self.mark_path(v, b, u, &mut queue);
+                    self.mark_path(u, b, v, &mut queue);
+                } else if self.parent[u].is_none() {
+                    self.parent[u] = Some(v);
+                    match self.mate[u] {
+                        None => {
+                            // Augmenting path found: flip along parents.
+                            self.flip(u);
+                            return true;
+                        }
+                        Some(m) => {
+                            if !self.in_queue[m] {
+                                self.in_queue[m] = true;
+                                queue.push(m);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Flips the matching along the alternating path ending at exposed `u`.
+    fn flip(&mut self, mut u: NodeId) {
+        while let Some(v) = self.parent[u] {
+            let next = self.mate[v];
+            self.mate[v] = Some(u);
+            self.mate[u] = Some(v);
+            match next {
+                Some(w) => u = w,
+                None => break,
+            }
+        }
+    }
+}
+
+/// Verifies that `mate` is a valid matching of `g` (symmetric, edges exist).
+/// Intended for tests and debug assertions.
+pub fn is_valid_matching(g: &Graph, mate: &[Option<NodeId>]) -> bool {
+    for (v, &m) in mate.iter().enumerate() {
+        if let Some(u) = m {
+            if u >= mate.len() || mate[u] != Some(v) || v == u {
+                return false;
+            }
+            let connected = g
+                .edges()
+                .iter()
+                .any(|e| (e.u == v && e.v == u) || (e.u == u && e.v == v));
+            if !connected {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_empty_matching() {
+        let g = Graph::new(0);
+        let (mate, k) = maximum_matching(&g);
+        assert!(mate.is_empty());
+        assert_eq!(k, 0);
+    }
+
+    #[test]
+    fn single_edge_matched() {
+        let mut g = Graph::new(2);
+        g.add_undirected_edge(0, 1, 1.0);
+        let (mate, k) = maximum_matching(&g);
+        assert_eq!(k, 1);
+        assert_eq!(mate[0], Some(1));
+        assert_eq!(mate[1], Some(0));
+    }
+
+    #[test]
+    fn path_of_three_matches_one() {
+        let mut g = Graph::new(3);
+        g.add_undirected_edge(0, 1, 1.0);
+        g.add_undirected_edge(1, 2, 1.0);
+        let (mate, k) = maximum_matching(&g);
+        assert_eq!(k, 1);
+        assert!(is_valid_matching(&g, &mate));
+    }
+
+    #[test]
+    fn path_of_four_matches_two() {
+        let mut g = Graph::new(4);
+        g.add_undirected_edge(0, 1, 1.0);
+        g.add_undirected_edge(1, 2, 1.0);
+        g.add_undirected_edge(2, 3, 1.0);
+        let (mate, k) = maximum_matching(&g);
+        assert_eq!(k, 2);
+        assert_eq!(mate[0], Some(1));
+        assert_eq!(mate[2], Some(3));
+    }
+
+    #[test]
+    fn odd_cycle_needs_blossom() {
+        // Triangle: maximum matching is 1.
+        let mut g = Graph::new(3);
+        g.add_undirected_edge(0, 1, 1.0);
+        g.add_undirected_edge(1, 2, 1.0);
+        g.add_undirected_edge(2, 0, 1.0);
+        let (mate, k) = maximum_matching(&g);
+        assert_eq!(k, 1);
+        assert!(is_valid_matching(&g, &mate));
+    }
+
+    #[test]
+    fn pentagon_plus_tail() {
+        // 5-cycle with a pendant: matching of size 3 requires blossom logic.
+        let mut g = Graph::new(6);
+        g.add_undirected_edge(0, 1, 1.0);
+        g.add_undirected_edge(1, 2, 1.0);
+        g.add_undirected_edge(2, 3, 1.0);
+        g.add_undirected_edge(3, 4, 1.0);
+        g.add_undirected_edge(4, 0, 1.0);
+        g.add_undirected_edge(2, 5, 1.0);
+        let (mate, k) = maximum_matching(&g);
+        assert_eq!(k, 3);
+        assert!(is_valid_matching(&g, &mate));
+    }
+
+    #[test]
+    fn petersen_graph_perfect_matching() {
+        // The Petersen graph has a perfect matching (5 edges).
+        let mut g = Graph::new(10);
+        // Outer 5-cycle.
+        for i in 0..5 {
+            g.add_undirected_edge(i, (i + 1) % 5, 1.0);
+        }
+        // Spokes.
+        for i in 0..5 {
+            g.add_undirected_edge(i, i + 5, 1.0);
+        }
+        // Inner pentagram.
+        for i in 0..5 {
+            g.add_undirected_edge(5 + i, 5 + (i + 2) % 5, 1.0);
+        }
+        let (mate, k) = maximum_matching(&g);
+        assert_eq!(k, 5);
+        assert!(is_valid_matching(&g, &mate));
+    }
+
+    #[test]
+    fn complete_graph_k4() {
+        let mut g = Graph::new(4);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                g.add_undirected_edge(i, j, 1.0);
+            }
+        }
+        let (mate, k) = maximum_matching(&g);
+        assert_eq!(k, 2);
+        assert!(is_valid_matching(&g, &mate));
+    }
+
+    #[test]
+    fn star_graph_matches_one() {
+        let mut g = Graph::new(5);
+        for leaf in 1..5 {
+            g.add_undirected_edge(0, leaf, 1.0);
+        }
+        let (_, k) = maximum_matching(&g);
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn self_loops_and_parallels_ignored() {
+        let mut g = Graph::new(2);
+        g.add_undirected_edge(0, 0, 1.0);
+        g.add_undirected_edge(0, 1, 1.0);
+        g.add_undirected_edge(0, 1, 2.0);
+        let (mate, k) = maximum_matching(&g);
+        assert_eq!(k, 1);
+        assert!(is_valid_matching(&g, &mate));
+    }
+
+    #[test]
+    fn two_triangles_bridged() {
+        // Two triangles joined by a bridge: perfect matching of size 3.
+        let mut g = Graph::new(6);
+        g.add_undirected_edge(0, 1, 1.0);
+        g.add_undirected_edge(1, 2, 1.0);
+        g.add_undirected_edge(2, 0, 1.0);
+        g.add_undirected_edge(3, 4, 1.0);
+        g.add_undirected_edge(4, 5, 1.0);
+        g.add_undirected_edge(5, 3, 1.0);
+        g.add_undirected_edge(2, 3, 1.0);
+        let (mate, k) = maximum_matching(&g);
+        assert_eq!(k, 3);
+        assert!(is_valid_matching(&g, &mate));
+    }
+}

@@ -1,0 +1,230 @@
+//! Yen's algorithm for the k shortest loopless paths.
+//!
+//! Baseline traffic engineering (`owan-te`) routes each transfer over a small
+//! set of candidate tunnels, exactly as SWAN/B4 do; Yen's algorithm produces
+//! those candidates. Paths are returned in non-decreasing cost order and are
+//! guaranteed loopless.
+
+use crate::dijkstra::{shortest_paths_filtered, ShortestPaths};
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::Path;
+
+/// Computes up to `k` shortest loopless paths from `src` to `dst`.
+///
+/// Returns fewer than `k` paths if the graph does not contain that many
+/// distinct loopless paths, and an empty vector if `dst` is unreachable.
+/// Ties in cost are broken deterministically.
+pub fn k_shortest_paths(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    if k == 0 || src == dst {
+        return Vec::new();
+    }
+    let first = match full_shortest(g, src, dst, &[], &[]) {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+
+    let mut found: Vec<Path> = vec![first];
+    // Candidate pool; kept sorted on extraction. Small k keeps this cheap.
+    let mut candidates: Vec<Path> = Vec::new();
+
+    while found.len() < k {
+        let last = found.last().expect("at least one found path").clone();
+        // Spur from every node of the last found path except the destination.
+        for i in 0..last.nodes.len() - 1 {
+            let spur_node = last.nodes[i];
+            let root = &last.nodes[..=i];
+
+            // Edges to hide: for every found path sharing this root, hide the
+            // edge it takes out of the spur node.
+            let mut banned_edges: Vec<EdgeId> = Vec::new();
+            for p in &found {
+                if p.nodes.len() > i && p.nodes[..=i] == *root {
+                    let a = p.nodes[i];
+                    let b = p.nodes[i + 1];
+                    for (eid, nbr) in g.neighbors(a) {
+                        if nbr == b {
+                            banned_edges.push(eid);
+                        }
+                    }
+                }
+            }
+            // Nodes of the root (except the spur node) are banned to keep
+            // the total path loopless.
+            let banned_nodes: Vec<NodeId> = root[..i].to_vec();
+
+            if let Some(spur) = full_shortest(g, spur_node, dst, &banned_edges, &banned_nodes) {
+                // Stitch root + spur path.
+                let mut nodes = root[..i].to_vec();
+                nodes.extend_from_slice(&spur.nodes);
+                let root_cost = path_cost(g, root);
+                let total = Path::new(nodes, root_cost + spur.cost());
+                if !found.contains(&total) && !candidates.contains(&total) {
+                    candidates.push(total);
+                }
+            }
+        }
+
+        if candidates.is_empty() {
+            break;
+        }
+        // Extract the cheapest candidate (stable tie-break on node sequence).
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.cost()
+                    .partial_cmp(&b.cost())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.nodes.cmp(&b.nodes))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty candidates");
+        found.push(candidates.swap_remove(best));
+    }
+
+    found
+}
+
+/// Shortest path avoiding the given edges and nodes.
+fn full_shortest(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    banned_edges: &[EdgeId],
+    banned_nodes: &[NodeId],
+) -> Option<Path> {
+    if banned_nodes.contains(&src) || banned_nodes.contains(&dst) {
+        return None;
+    }
+    let sp: ShortestPaths = shortest_paths_filtered(g, src, |eid, head| {
+        !banned_edges.contains(&eid) && !banned_nodes.contains(&head)
+    });
+    sp.full_path_to(dst)
+}
+
+/// Cost of walking the node sequence, taking the lightest parallel edge at
+/// every hop. Returns 0 for a single node.
+fn path_cost(g: &Graph, nodes: &[NodeId]) -> f64 {
+    nodes
+        .windows(2)
+        .map(|w| {
+            g.neighbors(w[0])
+                .filter(|&(_, n)| n == w[1])
+                .map(|(e, _)| g.edge(e).weight)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum::<f64>()
+        .max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic Yen example graph.
+    fn yen_graph() -> Graph {
+        // c=0, d=1, e=2, f=3, g=4, h=5
+        let mut g = Graph::new(6);
+        g.add_directed_edge(0, 1, 3.0); // c-d
+        g.add_directed_edge(0, 2, 2.0); // c-e
+        g.add_directed_edge(1, 3, 4.0); // d-f
+        g.add_directed_edge(2, 1, 1.0); // e-d
+        g.add_directed_edge(2, 3, 2.0); // e-f
+        g.add_directed_edge(2, 4, 3.0); // e-g
+        g.add_directed_edge(3, 4, 2.0); // f-g
+        g.add_directed_edge(3, 5, 1.0); // f-h
+        g.add_directed_edge(4, 5, 2.0); // g-h
+        g
+    }
+
+    #[test]
+    fn classic_yen_example() {
+        let g = yen_graph();
+        let paths = k_shortest_paths(&g, 0, 5, 3);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].nodes, vec![0, 2, 3, 5]);
+        assert_eq!(paths[0].cost(), 5.0);
+        assert_eq!(paths[1].cost(), 7.0);
+        assert_eq!(paths[2].cost(), 8.0);
+    }
+
+    #[test]
+    fn costs_non_decreasing() {
+        let g = yen_graph();
+        let paths = k_shortest_paths(&g, 0, 5, 10);
+        for w in paths.windows(2) {
+            assert!(w[0].cost() <= w[1].cost());
+        }
+    }
+
+    #[test]
+    fn paths_are_loopless_and_distinct() {
+        let g = yen_graph();
+        let paths = k_shortest_paths(&g, 0, 5, 10);
+        for p in &paths {
+            let mut seen = p.nodes.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), p.nodes.len(), "loop in {:?}", p.nodes);
+        }
+        for i in 0..paths.len() {
+            for j in i + 1..paths.len() {
+                assert_ne!(paths[i].nodes, paths[j].nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let g = yen_graph();
+        assert!(k_shortest_paths(&g, 0, 5, 0).is_empty());
+    }
+
+    #[test]
+    fn same_src_dst_returns_empty() {
+        let g = yen_graph();
+        assert!(k_shortest_paths(&g, 0, 0, 3).is_empty());
+    }
+
+    #[test]
+    fn unreachable_returns_empty() {
+        let mut g = Graph::new(3);
+        g.add_undirected_edge(0, 1, 1.0);
+        assert!(k_shortest_paths(&g, 0, 2, 3).is_empty());
+    }
+
+    #[test]
+    fn exhausts_when_fewer_than_k_paths_exist() {
+        let mut g = Graph::new(3);
+        g.add_undirected_edge(0, 1, 1.0);
+        g.add_undirected_edge(1, 2, 1.0);
+        let paths = k_shortest_paths(&g, 0, 2, 5);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn undirected_square_has_two_paths() {
+        let mut g = Graph::new(4);
+        g.add_undirected_edge(0, 1, 1.0);
+        g.add_undirected_edge(1, 3, 1.0);
+        g.add_undirected_edge(0, 2, 1.0);
+        g.add_undirected_edge(2, 3, 1.0);
+        let paths = k_shortest_paths(&g, 0, 3, 5);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].cost(), 2.0);
+        assert_eq!(paths[1].cost(), 2.0);
+    }
+
+    #[test]
+    fn parallel_edges_counted_as_distinct_hops_not_paths() {
+        // Yen on node sequences: parallel edges do not create duplicate
+        // node-sequence paths.
+        let mut g = Graph::new(2);
+        g.add_undirected_edge(0, 1, 1.0);
+        g.add_undirected_edge(0, 1, 2.0);
+        let paths = k_shortest_paths(&g, 0, 1, 5);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].cost(), 1.0);
+    }
+}

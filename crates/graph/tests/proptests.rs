@@ -1,0 +1,184 @@
+//! Property-based tests for the graph substrate.
+//!
+//! Random small graphs are cross-checked against brute-force oracles:
+//! Dijkstra against Bellman-Ford, blossom matching against exhaustive
+//! search, Dinic against the max-flow/min-cut duality, and Yen against its
+//! defining properties (looplessness, sortedness, distinctness).
+
+use owan_graph::{dijkstra, k_shortest_paths, matching, max_flow, FlowNetwork, Graph};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph with up to `n` nodes and `m` edges.
+fn random_graph(n: usize, m: usize) -> impl Strategy<Value = Graph> {
+    (2..=n).prop_flat_map(move |nodes| {
+        proptest::collection::vec((0..nodes, 0..nodes, 1u32..100), 0..=m).prop_map(
+            move |edges| {
+                let mut g = Graph::new(nodes);
+                for (u, v, w) in edges {
+                    if u != v {
+                        g.add_undirected_edge(u, v, w as f64);
+                    }
+                }
+                g
+            },
+        )
+    })
+}
+
+/// Bellman-Ford oracle for shortest distances.
+fn bellman_ford(g: &Graph, src: usize) -> Vec<f64> {
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src] = 0.0;
+    for _ in 0..n {
+        let mut changed = false;
+        for e in g.edges() {
+            if dist[e.u] + e.weight < dist[e.v] {
+                dist[e.v] = dist[e.u] + e.weight;
+                changed = true;
+            }
+            if e.undirected && dist[e.v] + e.weight < dist[e.u] {
+                dist[e.u] = dist[e.v] + e.weight;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// Brute-force maximum matching size by recursion over edges.
+fn brute_matching(g: &Graph) -> usize {
+    let mut edges: Vec<(usize, usize)> = g
+        .edges()
+        .iter()
+        .filter(|e| e.u != e.v)
+        .map(|e| (e.u.min(e.v), e.u.max(e.v)))
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    fn rec(edges: &[(usize, usize)], used: &mut Vec<bool>) -> usize {
+        if edges.is_empty() {
+            return 0;
+        }
+        let (u, v) = edges[0];
+        let rest = &edges[1..];
+        let skip = rec(rest, used);
+        if !used[u] && !used[v] {
+            used[u] = true;
+            used[v] = true;
+            let take = 1 + rec(rest, used);
+            used[u] = false;
+            used[v] = false;
+            skip.max(take)
+        } else {
+            skip
+        }
+    }
+    let mut used = vec![false; g.node_count()];
+    rec(&edges, &mut used)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dijkstra_matches_bellman_ford(g in random_graph(8, 16)) {
+        let sp = dijkstra::shortest_paths(&g, 0);
+        let bf = bellman_ford(&g, 0);
+        for v in 0..g.node_count() {
+            let d = sp.distance(v).unwrap_or(f64::INFINITY);
+            prop_assert!((d - bf[v]).abs() < 1e-9 || (d.is_infinite() && bf[v].is_infinite()),
+                "node {v}: dijkstra {d} vs bellman-ford {}", bf[v]);
+        }
+    }
+
+    #[test]
+    fn dijkstra_path_cost_consistent(g in random_graph(8, 16)) {
+        let sp = dijkstra::shortest_paths(&g, 0);
+        for v in 0..g.node_count() {
+            if let Some(p) = sp.full_path_to(v) {
+                // Recompute the path cost hop by hop (lightest parallel edge).
+                let mut cost = 0.0;
+                for (a, b) in p.hops() {
+                    let w = g.neighbors(a)
+                        .filter(|&(_, n)| n == b)
+                        .map(|(e, _)| g.edge(e).weight)
+                        .fold(f64::INFINITY, f64::min);
+                    cost += w;
+                }
+                prop_assert!((cost - p.cost()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn blossom_matches_brute_force(g in random_graph(7, 12)) {
+        let (mate, k) = matching::maximum_matching(&g);
+        prop_assert!(matching::is_valid_matching(&g, &mate));
+        prop_assert_eq!(k, brute_matching(&g));
+    }
+
+    #[test]
+    fn yen_paths_loopless_sorted_distinct(g in random_graph(7, 14)) {
+        let n = g.node_count();
+        let paths = k_shortest_paths(&g, 0, n - 1, 6);
+        for w in paths.windows(2) {
+            prop_assert!(w[0].cost() <= w[1].cost() + 1e-9);
+            prop_assert_ne!(&w[0].nodes, &w[1].nodes);
+        }
+        for p in &paths {
+            let mut ns = p.nodes.clone();
+            ns.sort_unstable();
+            ns.dedup();
+            prop_assert_eq!(ns.len(), p.nodes.len(), "loop in path");
+            prop_assert_eq!(p.source(), 0);
+            prop_assert_eq!(p.destination(), n - 1);
+        }
+        // First path must agree with Dijkstra.
+        let sp = dijkstra::shortest_paths(&g, 0);
+        match (paths.first(), sp.distance(n - 1)) {
+            (Some(p), Some(d)) => prop_assert!((p.cost() - d).abs() < 1e-9),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "mismatch: yen {:?} dijkstra {:?}", a.map(|p| p.cost()), b),
+        }
+    }
+
+    #[test]
+    fn maxflow_bounded_by_degree_cuts(g in random_graph(8, 16)) {
+        let n = g.node_count();
+        let (s, t) = (0, n - 1);
+        let mut net = FlowNetwork::new(n);
+        for e in g.edges() {
+            net.add_undirected_edge(e.u, e.v, e.weight);
+        }
+        let f = max_flow(&mut net, s, t);
+        prop_assert!(f >= -1e-9);
+        // Cut bound: flow cannot exceed total capacity incident to s or t.
+        let cap_at = |v: usize| -> f64 {
+            g.edges().iter()
+                .filter(|e| e.u == v || e.v == v)
+                .map(|e| e.weight)
+                .sum()
+        };
+        prop_assert!(f <= cap_at(s) + 1e-9);
+        prop_assert!(f <= cap_at(t) + 1e-9);
+    }
+
+    #[test]
+    fn maxflow_symmetric_in_undirected_graphs(g in random_graph(7, 14)) {
+        let n = g.node_count();
+        let build = || {
+            let mut net = FlowNetwork::new(n);
+            for e in g.edges() {
+                net.add_undirected_edge(e.u, e.v, e.weight);
+            }
+            net
+        };
+        let f1 = max_flow(&mut build(), 0, n - 1);
+        let f2 = max_flow(&mut build(), n - 1, 0);
+        prop_assert!((f1 - f2).abs() < 1e-6, "{f1} vs {f2}");
+    }
+}

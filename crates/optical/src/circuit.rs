@@ -1,0 +1,474 @@
+//! Dynamic optical state: wavelength occupancy, regenerator consumption, and
+//! provisioned circuits.
+//!
+//! A network-layer link between routers `u` and `v` is implemented by an
+//! optical circuit `oc_uv` (paper §3.2). A circuit is a chain of *segments*;
+//! each segment is an all-optical stretch between two regeneration points
+//! whose physical length must not exceed the optical reach `η` and which
+//! must use the **same wavelength channel on every fiber it traverses**
+//! (wavelength continuity). Regenerators sit between segments and may
+//! convert the signal to a different wavelength, so continuity is only
+//! required per segment — exactly the model of §3.2 constraint 2–4.
+
+use crate::plant::{FiberId, FiberPlant, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a provisioned circuit. Ids are never reused within one
+/// [`OpticalState`].
+pub type CircuitId = usize;
+
+/// An all-optical segment of a circuit between two regeneration points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Fiber ids traversed, in order.
+    pub fibers: Vec<FiberId>,
+    /// Site sequence (one longer than `fibers`).
+    pub sites: Vec<SiteId>,
+    /// Wavelength channel index used on every fiber of this segment.
+    pub channel: u32,
+    /// Total physical length, km.
+    pub length_km: f64,
+}
+
+/// A provisioned optical circuit implementing one network-layer link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    /// Source site (router-facing add/drop).
+    pub src: SiteId,
+    /// Destination site.
+    pub dst: SiteId,
+    /// The all-optical segments, in order from `src` to `dst`.
+    pub segments: Vec<Segment>,
+    /// Sites where the circuit is regenerated (interior relay points);
+    /// one regenerator is consumed at each.
+    pub regen_sites: Vec<SiteId>,
+}
+
+impl Circuit {
+    /// Total physical length of the circuit, km.
+    pub fn length_km(&self) -> f64 {
+        self.segments.iter().map(|s| s.length_km).sum()
+    }
+
+    /// Total number of fiber hops.
+    pub fn fiber_hops(&self) -> usize {
+        self.segments.iter().map(|s| s.fibers.len()).sum()
+    }
+}
+
+/// Why a circuit could not be provisioned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvisionError {
+    /// No fiber route exists between two consecutive relay sites.
+    Disconnected { from: SiteId, to: SiteId },
+    /// A segment's shortest fiber route exceeds the optical reach.
+    ExceedsReach { from: SiteId, to: SiteId, length_km: u64, reach_km: u64 },
+    /// No common free wavelength channel along a segment's fibers.
+    NoWavelength { from: SiteId, to: SiteId },
+    /// An interior relay site has no free regenerator.
+    NoRegenerator { site: SiteId },
+    /// The relay path is degenerate (fewer than two sites, or repeats).
+    InvalidRelayPath,
+}
+
+impl std::fmt::Display for ProvisionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProvisionError::Disconnected { from, to } => {
+                write!(f, "no fiber route between sites {from} and {to}")
+            }
+            ProvisionError::ExceedsReach { from, to, length_km, reach_km } => write!(
+                f,
+                "segment {from}->{to} is {length_km} km, beyond optical reach {reach_km} km"
+            ),
+            ProvisionError::NoWavelength { from, to } => {
+                write!(f, "no common free wavelength on segment {from}->{to}")
+            }
+            ProvisionError::NoRegenerator { site } => {
+                write!(f, "no free regenerator at site {site}")
+            }
+            ProvisionError::InvalidRelayPath => write!(f, "invalid relay path"),
+        }
+    }
+}
+
+impl std::error::Error for ProvisionError {}
+
+/// Dynamic optical-layer state over a [`FiberPlant`].
+///
+/// Tracks per-fiber channel occupancy, per-site free regenerators, and live
+/// circuits. Provisioning is all-or-nothing: on error, no state changes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpticalState {
+    /// `channel_used[fiber][channel]`.
+    channel_used: Vec<Vec<bool>>,
+    /// Free regenerators per site.
+    regens_free: Vec<u32>,
+    /// Live circuits (`None` = torn down).
+    circuits: Vec<Option<Circuit>>,
+}
+
+impl OpticalState {
+    /// Fresh state: all channels free, all regenerators available.
+    pub fn new(plant: &FiberPlant) -> Self {
+        OpticalState {
+            channel_used: vec![
+                vec![false; plant.params().wavelengths_per_fiber as usize];
+                plant.fiber_count()
+            ],
+            regens_free: plant.sites().iter().map(|s| s.regenerators).collect(),
+            circuits: Vec::new(),
+        }
+    }
+
+    /// Free regenerators at `site`.
+    pub fn free_regenerators(&self, site: SiteId) -> u32 {
+        self.regens_free[site]
+    }
+
+    /// Number of channels in use on `fiber`.
+    pub fn channels_used(&self, fiber: FiberId) -> u32 {
+        self.channel_used[fiber].iter().filter(|&&u| u).count() as u32
+    }
+
+    /// Number of free channels on `fiber`.
+    pub fn channels_free(&self, fiber: FiberId) -> u32 {
+        self.channel_used[fiber].iter().filter(|&&u| !u).count() as u32
+    }
+
+    /// The circuit with id `id`, if still provisioned.
+    pub fn circuit(&self, id: CircuitId) -> Option<&Circuit> {
+        self.circuits.get(id).and_then(|c| c.as_ref())
+    }
+
+    /// Iterator over `(id, circuit)` for all live circuits.
+    pub fn circuits(&self) -> impl Iterator<Item = (CircuitId, &Circuit)> {
+        self.circuits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (i, c)))
+    }
+
+    /// Number of live circuits.
+    pub fn circuit_count(&self) -> usize {
+        self.circuits.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Number of live circuits between `u` and `v` (either direction).
+    pub fn circuits_between(&self, u: SiteId, v: SiteId) -> usize {
+        self.circuits()
+            .filter(|(_, c)| (c.src == u && c.dst == v) || (c.src == v && c.dst == u))
+            .count()
+    }
+
+    /// Provisions a circuit along the given relay path
+    /// `[src, relay…, dst]`. Each consecutive pair becomes one all-optical
+    /// segment routed over the shortest fiber route; every interior site
+    /// consumes one regenerator. Returns the new circuit id.
+    ///
+    /// All-or-nothing: on `Err`, the state is unchanged.
+    pub fn provision(
+        &mut self,
+        plant: &FiberPlant,
+        relay_sites: &[SiteId],
+    ) -> Result<CircuitId, ProvisionError> {
+        if relay_sites.len() < 2 {
+            return Err(ProvisionError::InvalidRelayPath);
+        }
+        // A site may not appear twice (would waste regenerators / loop).
+        for (i, &s) in relay_sites.iter().enumerate() {
+            if relay_sites[i + 1..].contains(&s) {
+                return Err(ProvisionError::InvalidRelayPath);
+            }
+        }
+
+        let reach = plant.params().optical_reach_km;
+
+        // Plan phase: compute all segments against a tentative occupancy
+        // overlay so that two segments of the same circuit cannot take the
+        // same channel on a shared fiber.
+        let mut tentative = self.channel_used.clone();
+        let mut segments = Vec::with_capacity(relay_sites.len() - 1);
+        for w in relay_sites.windows(2) {
+            let (from, to) = (w[0], w[1]);
+            let (fibers, sites, length_km) = plant
+                .shortest_fiber_route(from, to)
+                .ok_or(ProvisionError::Disconnected { from, to })?;
+            if length_km > reach {
+                return Err(ProvisionError::ExceedsReach {
+                    from,
+                    to,
+                    length_km: length_km as u64,
+                    reach_km: reach as u64,
+                });
+            }
+            let channel = first_fit_channel(&tentative, &fibers)
+                .ok_or(ProvisionError::NoWavelength { from, to })?;
+            for &fid in &fibers {
+                tentative[fid][channel as usize] = true;
+            }
+            segments.push(Segment { fibers, sites, channel, length_km });
+        }
+
+        // Regenerators at interior relay sites.
+        let regen_sites: Vec<SiteId> = relay_sites[1..relay_sites.len() - 1].to_vec();
+        for &s in &regen_sites {
+            if self.regens_free[s] == 0 {
+                return Err(ProvisionError::NoRegenerator { site: s });
+            }
+        }
+        // Note: the same site cannot appear twice (checked above), so one
+        // decrement per site suffices.
+
+        // Commit.
+        self.channel_used = tentative;
+        for &s in &regen_sites {
+            self.regens_free[s] -= 1;
+        }
+        let circuit = Circuit {
+            src: *relay_sites.first().expect("non-empty"),
+            dst: *relay_sites.last().expect("non-empty"),
+            segments,
+            regen_sites,
+        };
+        self.circuits.push(Some(circuit));
+        Ok(self.circuits.len() - 1)
+    }
+
+    /// Provisions a direct (regeneration-free if possible) circuit between
+    /// two sites — shorthand for `provision(plant, &[src, dst])`.
+    pub fn provision_direct(
+        &mut self,
+        plant: &FiberPlant,
+        src: SiteId,
+        dst: SiteId,
+    ) -> Result<CircuitId, ProvisionError> {
+        self.provision(plant, &[src, dst])
+    }
+
+    /// Tears down a circuit, freeing its channels and regenerators.
+    /// Returns the removed circuit, or `None` if the id was already free.
+    pub fn teardown(&mut self, id: CircuitId) -> Option<Circuit> {
+        let circuit = self.circuits.get_mut(id)?.take()?;
+        for seg in &circuit.segments {
+            for &fid in &seg.fibers {
+                debug_assert!(self.channel_used[fid][seg.channel as usize]);
+                self.channel_used[fid][seg.channel as usize] = false;
+            }
+        }
+        for &s in &circuit.regen_sites {
+            self.regens_free[s] += 1;
+        }
+        Some(circuit)
+    }
+
+    /// Internal consistency check (used in tests and debug assertions):
+    /// channel occupancy must equal the union of live circuits' segments.
+    pub fn check_invariants(&self, plant: &FiberPlant) -> Result<(), String> {
+        let mut expected =
+            vec![vec![false; plant.params().wavelengths_per_fiber as usize]; plant.fiber_count()];
+        let mut regen_used = vec![0u32; plant.site_count()];
+        for (id, c) in self.circuits() {
+            for seg in &c.segments {
+                for &fid in &seg.fibers {
+                    let slot = &mut expected[fid][seg.channel as usize];
+                    if *slot {
+                        return Err(format!(
+                            "circuit {id}: channel {} double-booked on fiber {fid}",
+                            seg.channel
+                        ));
+                    }
+                    *slot = true;
+                }
+            }
+            for &s in &c.regen_sites {
+                regen_used[s] += 1;
+            }
+        }
+        if expected != self.channel_used {
+            return Err("channel occupancy out of sync with circuits".into());
+        }
+        for s in 0..plant.site_count() {
+            let declared = plant.site(s).regenerators;
+            if regen_used[s] + self.regens_free[s] != declared {
+                return Err(format!(
+                    "site {s}: {} used + {} free != {declared} regenerators",
+                    regen_used[s], self.regens_free[s]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lowest channel index free on every fiber of `fibers`, given occupancy.
+fn first_fit_channel(used: &[Vec<bool>], fibers: &[FiberId]) -> Option<u32> {
+    let channels = used.first().map_or(0, |f| f.len());
+    (0..channels)
+        .find(|&c| fibers.iter().all(|&f| !used[f][c]))
+        .map(|c| c as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plant::OpticalParams;
+
+    /// A / B / C in a line, 400 km per hop; B has regenerators.
+    fn line_plant(reach: f64, wavelengths: u32) -> FiberPlant {
+        let mut params = OpticalParams::default();
+        params.optical_reach_km = reach;
+        params.wavelengths_per_fiber = wavelengths;
+        let mut p = FiberPlant::new(params);
+        let a = p.add_site("A", 4, 0);
+        let b = p.add_site("B", 4, 2);
+        let c = p.add_site("C", 4, 0);
+        p.add_fiber(a, b, 400.0);
+        p.add_fiber(b, c, 400.0);
+        p
+    }
+
+    #[test]
+    fn direct_circuit_within_reach() {
+        let p = line_plant(1_000.0, 4);
+        let mut s = OpticalState::new(&p);
+        let id = s.provision_direct(&p, 0, 2).unwrap();
+        let c = s.circuit(id).unwrap();
+        assert_eq!(c.segments.len(), 1);
+        assert!(c.regen_sites.is_empty());
+        assert_eq!(c.length_km(), 800.0);
+        s.check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn beyond_reach_needs_relay() {
+        let p = line_plant(500.0, 4);
+        let mut s = OpticalState::new(&p);
+        // Direct is rejected: 800 km > 500 km reach.
+        let err = s.provision_direct(&p, 0, 2).unwrap_err();
+        assert!(matches!(err, ProvisionError::ExceedsReach { .. }));
+        // Via B it works and consumes one regenerator.
+        let id = s.provision(&p, &[0, 1, 2]).unwrap();
+        let c = s.circuit(id).unwrap();
+        assert_eq!(c.segments.len(), 2);
+        assert_eq!(c.regen_sites, vec![1]);
+        assert_eq!(s.free_regenerators(1), 1);
+        s.check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn regenerators_exhaust() {
+        let p = line_plant(500.0, 8);
+        let mut s = OpticalState::new(&p);
+        s.provision(&p, &[0, 1, 2]).unwrap();
+        s.provision(&p, &[0, 1, 2]).unwrap();
+        let err = s.provision(&p, &[0, 1, 2]).unwrap_err();
+        assert_eq!(err, ProvisionError::NoRegenerator { site: 1 });
+        s.check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn wavelengths_exhaust_per_fiber() {
+        let p = line_plant(1_000.0, 2);
+        let mut s = OpticalState::new(&p);
+        s.provision_direct(&p, 0, 1).unwrap();
+        s.provision_direct(&p, 0, 1).unwrap();
+        let err = s.provision_direct(&p, 0, 1).unwrap_err();
+        assert_eq!(err, ProvisionError::NoWavelength { from: 0, to: 1 });
+        // The other fiber is untouched.
+        assert_eq!(s.channels_free(1), 2);
+    }
+
+    #[test]
+    fn first_fit_assigns_distinct_channels() {
+        let p = line_plant(1_000.0, 4);
+        let mut s = OpticalState::new(&p);
+        let id0 = s.provision_direct(&p, 0, 1).unwrap();
+        let id1 = s.provision_direct(&p, 0, 1).unwrap();
+        assert_eq!(s.circuit(id0).unwrap().segments[0].channel, 0);
+        assert_eq!(s.circuit(id1).unwrap().segments[0].channel, 1);
+    }
+
+    #[test]
+    fn teardown_frees_resources() {
+        let p = line_plant(500.0, 2);
+        let mut s = OpticalState::new(&p);
+        let id = s.provision(&p, &[0, 1, 2]).unwrap();
+        assert_eq!(s.free_regenerators(1), 1);
+        assert_eq!(s.channels_used(0), 1);
+        let c = s.teardown(id).unwrap();
+        assert_eq!(c.src, 0);
+        assert_eq!(s.free_regenerators(1), 2);
+        assert_eq!(s.channels_used(0), 0);
+        assert!(s.teardown(id).is_none(), "double teardown is a no-op");
+        s.check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn failed_provision_leaves_state_unchanged() {
+        let p = line_plant(500.0, 1);
+        let mut s = OpticalState::new(&p);
+        s.provision(&p, &[0, 1, 2]).unwrap(); // consumes channel 0 on both fibers
+        let before = s.clone();
+        // Fails on wavelength (fiber full), even though a regenerator remains.
+        let err = s.provision(&p, &[0, 1, 2]).unwrap_err();
+        assert!(matches!(err, ProvisionError::NoWavelength { .. }));
+        assert_eq!(s.channels_used(0), before.channels_used(0));
+        assert_eq!(s.free_regenerators(1), before.free_regenerators(1));
+    }
+
+    #[test]
+    fn wavelength_conversion_at_regenerator() {
+        // Fiber A-B full on channel 0 only; regenerator at B lets the A-C
+        // circuit use channel 1 on A-B and channel 0 on B-C.
+        let p = line_plant(500.0, 2);
+        let mut s = OpticalState::new(&p);
+        s.provision_direct(&p, 0, 1).unwrap(); // takes channel 0 on fiber 0
+        let id = s.provision(&p, &[0, 1, 2]).unwrap();
+        let c = s.circuit(id).unwrap();
+        assert_eq!(c.segments[0].channel, 1, "converted on first segment");
+        assert_eq!(c.segments[1].channel, 0, "fresh fiber uses channel 0");
+        s.check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn disconnected_sites_rejected() {
+        let mut p = line_plant(1_000.0, 2);
+        let d = p.add_site("D", 2, 0);
+        let mut s = OpticalState::new(&p);
+        let err = s.provision_direct(&p, 0, d).unwrap_err();
+        assert_eq!(err, ProvisionError::Disconnected { from: 0, to: d });
+    }
+
+    #[test]
+    fn degenerate_relay_paths_rejected() {
+        let p = line_plant(1_000.0, 2);
+        let mut s = OpticalState::new(&p);
+        assert_eq!(s.provision(&p, &[0]).unwrap_err(), ProvisionError::InvalidRelayPath);
+        assert_eq!(
+            s.provision(&p, &[0, 1, 0]).unwrap_err(),
+            ProvisionError::InvalidRelayPath
+        );
+    }
+
+    #[test]
+    fn circuits_between_counts_both_directions() {
+        let p = line_plant(1_000.0, 4);
+        let mut s = OpticalState::new(&p);
+        s.provision_direct(&p, 0, 1).unwrap();
+        s.provision_direct(&p, 1, 0).unwrap();
+        assert_eq!(s.circuits_between(0, 1), 2);
+        assert_eq!(s.circuits_between(1, 0), 2);
+        assert_eq!(s.circuits_between(0, 2), 0);
+    }
+
+    #[test]
+    fn ids_not_reused_after_teardown() {
+        let p = line_plant(1_000.0, 4);
+        let mut s = OpticalState::new(&p);
+        let id0 = s.provision_direct(&p, 0, 1).unwrap();
+        s.teardown(id0);
+        let id1 = s.provision_direct(&p, 0, 1).unwrap();
+        assert_ne!(id0, id1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Optical power-budget model of the paper's testbed ROADM (§4.1).
+//!
+//! "To transmit packets from one router to another, the optical signal
+//! passes through multiple optical elements, including MUX, splitter, fiber,
+//! WSS and DEMUX. These five elements introduce typical optical power loss
+//! of 5 dB, 10.5 dB, 0.5 dB, 7 dB, and 5 dB, respectively. The total optical
+//! power loss is ∼28 dB, which is higher than the optical power budget
+//! (∼16 dB) of the transceivers. That is the reason to put an EDFA between
+//! WSS and DEMUX." (§4.1)
+//!
+//! This module reproduces that arithmetic so the library can *verify* that a
+//! candidate ROADM chain closes the link budget instead of assuming it.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-element losses and gains, in dB. Defaults are the testbed values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBudget {
+    /// Multiplexer insertion loss.
+    pub mux_loss_db: f64,
+    /// Broadcast splitter loss.
+    pub splitter_loss_db: f64,
+    /// Fiber span loss (per span between adjacent ROADMs; the testbed spans
+    /// are short patch fibers).
+    pub fiber_loss_db: f64,
+    /// Wavelength-selective switch loss.
+    pub wss_loss_db: f64,
+    /// Demultiplexer loss.
+    pub demux_loss_db: f64,
+    /// EDFA gain (fixed-gain mode).
+    pub edfa_gain_db: f64,
+    /// Transceiver optical power budget: maximum tolerable end-to-end loss.
+    pub transceiver_budget_db: f64,
+}
+
+impl Default for PowerBudget {
+    fn default() -> Self {
+        PowerBudget {
+            mux_loss_db: 5.0,
+            splitter_loss_db: 10.5,
+            fiber_loss_db: 0.5,
+            wss_loss_db: 7.0,
+            demux_loss_db: 5.0,
+            edfa_gain_db: 18.0,
+            transceiver_budget_db: 16.0,
+        }
+    }
+}
+
+/// Net power accounting for one all-optical segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentPower {
+    /// Sum of element losses along the chain, dB.
+    pub total_loss_db: f64,
+    /// Sum of amplifier gains along the chain, dB.
+    pub total_gain_db: f64,
+}
+
+impl SegmentPower {
+    /// Net loss seen by the receiver, dB.
+    pub fn net_loss_db(&self) -> f64 {
+        self.total_loss_db - self.total_gain_db
+    }
+}
+
+impl PowerBudget {
+    /// Power accounting for a segment crossing `roadm_hops` ROADM-to-ROADM
+    /// spans with one EDFA per receiving ROADM (the testbed design: EDFA
+    /// between WSS and DEMUX).
+    ///
+    /// The chain for one span is MUX → splitter → fiber → WSS → EDFA →
+    /// DEMUX; for multi-span segments the intermediate ROADMs contribute a
+    /// splitter + fiber + WSS + EDFA each (express path, no add/drop
+    /// MUX/DEMUX).
+    pub fn segment_power(&self, roadm_hops: usize) -> SegmentPower {
+        assert!(roadm_hops >= 1, "a segment crosses at least one span");
+        let per_span_loss = self.splitter_loss_db + self.fiber_loss_db + self.wss_loss_db;
+        let total_loss_db =
+            self.mux_loss_db + self.demux_loss_db + per_span_loss * roadm_hops as f64;
+        let total_gain_db = self.edfa_gain_db * roadm_hops as f64;
+        SegmentPower { total_loss_db, total_gain_db }
+    }
+
+    /// True if the segment closes the link budget: net loss within the
+    /// transceiver budget and the signal never over-amplified into negative
+    /// net loss beyond one EDFA gain (a crude saturation guard).
+    pub fn segment_feasible(&self, roadm_hops: usize) -> bool {
+        let p = self.segment_power(roadm_hops);
+        p.net_loss_db() <= self.transceiver_budget_db
+    }
+
+    /// Loss without any amplification — demonstrates why the EDFA is
+    /// required (the paper's ~28 dB figure for a single span).
+    pub fn unamplified_loss_db(&self, roadm_hops: usize) -> f64 {
+        self.segment_power(roadm_hops).total_loss_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_single_span_numbers() {
+        let b = PowerBudget::default();
+        // 5 + 10.5 + 0.5 + 7 + 5 = 28 dB total loss, as in §4.1.
+        assert!((b.unamplified_loss_db(1) - 28.0).abs() < 1e-9);
+        // Unamplified, the budget does not close.
+        assert!(b.unamplified_loss_db(1) > b.transceiver_budget_db);
+    }
+
+    #[test]
+    fn edfa_closes_single_span_budget() {
+        let b = PowerBudget::default();
+        let p = b.segment_power(1);
+        assert!((p.net_loss_db() - 10.0).abs() < 1e-9, "28 - 18 = 10 dB net");
+        assert!(b.segment_feasible(1));
+    }
+
+    #[test]
+    fn multi_span_express_path() {
+        let b = PowerBudget::default();
+        // Each extra span adds 18 dB loss and 18 dB gain: net unchanged.
+        let p1 = b.segment_power(1).net_loss_db();
+        let p3 = b.segment_power(3).net_loss_db();
+        assert!((p1 - p3).abs() < 1e-9);
+        assert!(b.segment_feasible(8));
+    }
+
+    #[test]
+    fn weak_amplifier_fails_budget() {
+        let mut b = PowerBudget::default();
+        b.edfa_gain_db = 5.0;
+        assert!(!b.segment_feasible(1), "28 - 5 = 23 dB > 16 dB budget");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one span")]
+    fn zero_hops_panics() {
+        PowerBudget::default().segment_power(0);
+    }
+}

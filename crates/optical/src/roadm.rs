@@ -1,0 +1,157 @@
+//! Per-device ROADM model.
+//!
+//! The testbed ROADM (§4.1) is a 1U box: `n` transceiver ports facing the
+//! router, a MUX combining the `n` wavelengths onto one fiber, a splitter
+//! broadcasting to every neighbor, and per-neighbor WSS + EDFA + DEMUX on
+//! the inward direction. The WSS *selection map* — which wavelengths are
+//! accepted from which neighbor — is the reconfigurable element; changing
+//! it is what retunes the network-layer topology.
+//!
+//! The update scheduler (`owan-update`) uses [`Roadm::diff`] to count how
+//! many WSS operations a topology change requires and derive its duration.
+
+use crate::plant::SiteId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Static description of one ROADM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Roadm {
+    /// The site this ROADM serves.
+    pub site: SiteId,
+    /// Number of add/drop transceiver ports facing the router (`n` in §4.1;
+    /// 15 on the testbed).
+    pub add_drop_ports: u32,
+    /// Neighboring sites reachable by a direct fiber.
+    pub neighbors: Vec<SiteId>,
+}
+
+/// The reconfigurable state of a ROADM: for each neighbor, the set of
+/// wavelength channels the WSS selects from that neighbor's fiber.
+///
+/// Deterministically ordered (`BTreeMap`) so diffs are stable.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RoadmConfig {
+    /// `selected[neighbor] = sorted channel list`.
+    selected: BTreeMap<SiteId, Vec<u32>>,
+}
+
+impl RoadmConfig {
+    /// Empty configuration (no wavelengths selected).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects `channel` from `neighbor`. Idempotent.
+    pub fn select(&mut self, neighbor: SiteId, channel: u32) {
+        let chans = self.selected.entry(neighbor).or_default();
+        if let Err(pos) = chans.binary_search(&channel) {
+            chans.insert(pos, channel);
+        }
+    }
+
+    /// Deselects `channel` from `neighbor`. Idempotent.
+    pub fn deselect(&mut self, neighbor: SiteId, channel: u32) {
+        if let Some(chans) = self.selected.get_mut(&neighbor) {
+            if let Ok(pos) = chans.binary_search(&channel) {
+                chans.remove(pos);
+            }
+            if chans.is_empty() {
+                self.selected.remove(&neighbor);
+            }
+        }
+    }
+
+    /// Is `channel` currently selected from `neighbor`?
+    pub fn is_selected(&self, neighbor: SiteId, channel: u32) -> bool {
+        self.selected
+            .get(&neighbor)
+            .map_or(false, |c| c.binary_search(&channel).is_ok())
+    }
+
+    /// Total number of selected (neighbor, channel) pairs.
+    pub fn selection_count(&self) -> usize {
+        self.selected.values().map(|v| v.len()).sum()
+    }
+
+    /// Number of WSS operations (individual select/deselect actions) needed
+    /// to move from `self` to `target`.
+    pub fn diff(&self, target: &RoadmConfig) -> usize {
+        let mut ops = 0;
+        let neighbors: std::collections::BTreeSet<SiteId> = self
+            .selected
+            .keys()
+            .chain(target.selected.keys())
+            .copied()
+            .collect();
+        for n in neighbors {
+            let empty = Vec::new();
+            let cur = self.selected.get(&n).unwrap_or(&empty);
+            let tgt = target.selected.get(&n).unwrap_or(&empty);
+            ops += cur.iter().filter(|c| !tgt.contains(c)).count();
+            ops += tgt.iter().filter(|c| !cur.contains(c)).count();
+        }
+        ops
+    }
+}
+
+impl Roadm {
+    /// Creates a ROADM for `site` with the given ports and neighbors.
+    pub fn new(site: SiteId, add_drop_ports: u32, neighbors: Vec<SiteId>) -> Self {
+        Roadm { site, add_drop_ports, neighbors }
+    }
+
+    /// Duration of applying `ops` WSS operations, given the per-operation
+    /// switching time. Operations on one device are serialized on its
+    /// micro-controller (the testbed uses a Freescale i.MX53).
+    pub fn reconfig_duration_s(&self, ops: usize, switch_time_s: f64) -> f64 {
+        ops as f64 * switch_time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_is_idempotent() {
+        let mut c = RoadmConfig::new();
+        c.select(1, 3);
+        c.select(1, 3);
+        assert_eq!(c.selection_count(), 1);
+        assert!(c.is_selected(1, 3));
+    }
+
+    #[test]
+    fn deselect_removes() {
+        let mut c = RoadmConfig::new();
+        c.select(1, 3);
+        c.deselect(1, 3);
+        assert!(!c.is_selected(1, 3));
+        assert_eq!(c.selection_count(), 0);
+        c.deselect(1, 3); // idempotent on absent entries
+    }
+
+    #[test]
+    fn diff_counts_adds_and_removes() {
+        let mut a = RoadmConfig::new();
+        a.select(1, 0);
+        a.select(1, 1);
+        a.select(2, 0);
+        let mut b = RoadmConfig::new();
+        b.select(1, 1);
+        b.select(1, 2);
+        b.select(3, 0);
+        // Remove (1,0),(2,0); add (1,2),(3,0) -> 4 ops. (1,1) unchanged.
+        assert_eq!(a.diff(&b), 4);
+        assert_eq!(b.diff(&a), 4);
+        assert_eq!(a.diff(&a), 0);
+    }
+
+    #[test]
+    fn reconfig_duration_scales_with_ops() {
+        let r = Roadm::new(0, 15, vec![1, 2]);
+        assert_eq!(r.reconfig_duration_s(4, 0.2), 0.8);
+        assert_eq!(r.reconfig_duration_s(0, 0.2), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the optical substrate: provision/teardown sequences
+//! must preserve the occupancy invariants, never over-commit wavelengths or
+//! regenerators, and teardown must be an exact inverse of provision.
+
+use owan_optical::{FiberPlant, OpticalParams, OpticalState};
+use proptest::prelude::*;
+
+/// A random connected plant: `n` sites on a ring plus random chords.
+fn random_plant(
+    max_sites: usize,
+) -> impl Strategy<Value = (FiberPlant, Vec<(usize, usize)>)> {
+    (3..=max_sites, 1u32..4, 0u32..3, any::<u64>()).prop_map(|(n, wl, regen, seed)| {
+        let mut params = OpticalParams::default();
+        params.wavelengths_per_fiber = wl;
+        params.optical_reach_km = 900.0;
+        let mut plant = FiberPlant::new(params);
+        for i in 0..n {
+            plant.add_site(&format!("S{i}"), 4, regen);
+        }
+        // Ring keeps it connected; lengths vary deterministically from seed.
+        for i in 0..n {
+            let len = 200.0 + ((seed >> (i % 16)) & 0xff) as f64;
+            plant.add_fiber(i, (i + 1) % n, len);
+        }
+        // A couple of chords.
+        if n >= 5 {
+            plant.add_fiber(0, n / 2, 350.0);
+        }
+        // Candidate relay pairs to try to provision.
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        (plant, pairs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn provision_sequences_preserve_invariants(
+        (plant, pairs) in random_plant(8),
+        choices in proptest::collection::vec((0usize..64, any::<bool>()), 1..40),
+    ) {
+        let mut state = OpticalState::new(&plant);
+        let mut live: Vec<usize> = Vec::new();
+        for (pick, tear) in choices {
+            if tear && !live.is_empty() {
+                let id = live.remove(pick % live.len());
+                prop_assert!(state.teardown(id).is_some());
+            } else {
+                let (src, dst) = pairs[pick % pairs.len()];
+                if let Ok(id) = state.provision_direct(&plant, src, dst) {
+                    live.push(id);
+                }
+            }
+            state.check_invariants(&plant).map_err(|e| {
+                TestCaseError::fail(format!("invariant violated: {e}"))
+            })?;
+        }
+        prop_assert_eq!(state.circuit_count(), live.len());
+    }
+
+    #[test]
+    fn channels_never_exceed_fiber_capacity(
+        (plant, pairs) in random_plant(7),
+        picks in proptest::collection::vec(0usize..64, 1..60),
+    ) {
+        let mut state = OpticalState::new(&plant);
+        for pick in picks {
+            let (src, dst) = pairs[pick % pairs.len()];
+            let _ = state.provision_direct(&plant, src, dst);
+        }
+        let cap = plant.params().wavelengths_per_fiber;
+        for f in 0..plant.fiber_count() {
+            prop_assert!(state.channels_used(f) <= cap);
+            prop_assert_eq!(state.channels_used(f) + state.channels_free(f), cap);
+        }
+    }
+
+    #[test]
+    fn teardown_is_inverse_of_provision(
+        (plant, pairs) in random_plant(7),
+        pick in 0usize..64,
+    ) {
+        let mut state = OpticalState::new(&plant);
+        let fresh = state.clone();
+        let (src, dst) = pairs[pick % pairs.len()];
+        if let Ok(id) = state.provision_direct(&plant, src, dst) {
+            state.teardown(id).unwrap();
+            for f in 0..plant.fiber_count() {
+                prop_assert_eq!(state.channels_used(f), fresh.channels_used(f));
+            }
+            for s in 0..plant.site_count() {
+                prop_assert_eq!(state.free_regenerators(s), fresh.free_regenerators(s));
+            }
+        }
+    }
+
+    #[test]
+    fn provisioned_segments_respect_reach(
+        (plant, pairs) in random_plant(8),
+        picks in proptest::collection::vec(0usize..64, 1..30),
+    ) {
+        let mut state = OpticalState::new(&plant);
+        let reach = plant.params().optical_reach_km;
+        for pick in picks {
+            let (src, dst) = pairs[pick % pairs.len()];
+            if let Ok(id) = state.provision_direct(&plant, src, dst) {
+                let c = state.circuit(id).unwrap();
+                for seg in &c.segments {
+                    prop_assert!(seg.length_km <= reach + 1e-9);
+                }
+                prop_assert_eq!(c.src, src);
+                prop_assert_eq!(c.dst, dst);
+            }
+        }
+    }
+}

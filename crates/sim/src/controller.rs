@@ -1,0 +1,337 @@
+//! The full controller loop of §3.1, including the network-update step.
+//!
+//! [`sim::simulate`](crate::sim::simulate) evaluates scheduling quality
+//! under the paper's assumption that reconfiguration is much faster than a
+//! slot ("a few minutes vs. hundreds or thousands of milliseconds").
+//! [`Controller`] drops that idealization: between consecutive slots it
+//! derives the [`NetworkDelta`](owan_update::NetworkDelta), schedules it
+//! with the consistent (or one-shot) planner, and charges the transition
+//! against the new slot — traffic ramps to the new allocation only as the
+//! update timeline actually carries it, so heavy optical churn costs real
+//! delivered bytes.
+//!
+//! This is the component a deployment would run: submit requests, tick the
+//! clock, read back rate allocations and the device operation schedule.
+
+use crate::sim::CompletionRecord;
+use owan_core::{SlotInput, SlotPlan, TrafficEngineer, Transfer, TransferRequest};
+use owan_optical::FiberPlant;
+use owan_update::{
+    plan_consistent, plan_one_shot, throughput_timeline, NetworkDelta, UpdatePlan, UpdateParams,
+};
+
+const EPS: f64 = 1e-9;
+
+/// Update scheduling discipline used between slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateDiscipline {
+    /// Dionysus-style consistent updates (the paper's §3.3).
+    Consistent,
+    /// Everything fired at once (the §5.4 comparison).
+    OneShot,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// Slot length, seconds.
+    pub slot_len_s: f64,
+    /// Hard cap on slots.
+    pub max_slots: usize,
+    /// Update discipline between slots.
+    pub discipline: UpdateDiscipline,
+    /// Router rule install/remove time, seconds.
+    pub path_time_s: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            slot_len_s: 300.0,
+            max_slots: 2_000,
+            discipline: UpdateDiscipline::Consistent,
+            path_time_s: 0.1,
+        }
+    }
+}
+
+/// Outcome of a controller run.
+#[derive(Debug, Clone)]
+pub struct ControllerResult {
+    /// Per-transfer outcomes (same shape as the plain simulator's).
+    pub completions: Vec<CompletionRecord>,
+    /// Per-slot `(slot start, delivered volume in Gb)` — *delivered*, i.e.
+    /// after update-transition losses, unlike the plain simulator's
+    /// allocated-throughput series.
+    pub delivered_series: Vec<(f64, f64)>,
+    /// Makespan (absolute completion of the last transfer).
+    pub makespan_s: f64,
+    /// Total update operations executed across the run.
+    pub update_ops: usize,
+    /// Gb lost to update transitions relative to the allocated rates
+    /// (what the idealized simulator would have delivered on the same
+    /// plans during the transition windows).
+    pub transition_loss_gbits: f64,
+}
+
+impl ControllerResult {
+    /// True if every transfer completed.
+    pub fn all_completed(&self) -> bool {
+        self.completions.iter().all(|c| c.completion_s.is_some())
+    }
+}
+
+/// Per-transfer delivered volume during one slot, accounting for the
+/// update transition: during `[0, makespan]` of the update plan the
+/// carried rate of each path follows the update timeline; afterwards the
+/// full new allocation applies. To keep the accounting per-transfer we
+/// scale each transfer's allocated volume by the ratio of carried to
+/// allocated network volume during the transition window (the timeline is
+/// a network-level quantity).
+fn transition_scale(
+    delta: &NetworkDelta,
+    plan: &UpdatePlan,
+    params: &UpdateParams,
+    slot_len_s: f64,
+    new_total_gbps: f64,
+) -> (f64, f64) {
+    if plan.ops.is_empty() || new_total_gbps <= EPS {
+        return (1.0, 0.0);
+    }
+    let window = plan.makespan_s.min(slot_len_s);
+    if window <= EPS {
+        return (1.0, 0.0);
+    }
+    let dt = (window / 64.0).max(0.05);
+    let tl = throughput_timeline(delta, plan, params, dt, window);
+    // Trapezoidal integral of carried Gbps over the window.
+    let mut carried_gbits = 0.0;
+    for w in tl.windows(2) {
+        carried_gbits +=
+            0.5 * (w[0].throughput_gbps + w[1].throughput_gbps) * (w[1].time_s - w[0].time_s);
+    }
+    let ideal_gbits = new_total_gbps * window;
+    let steady_gbits = new_total_gbps * (slot_len_s - window);
+    let slot_ideal = new_total_gbps * slot_len_s;
+    let delivered = carried_gbits + steady_gbits;
+    let scale = (delivered / slot_ideal).clamp(0.0, 1.0);
+    (scale, (ideal_gbits - carried_gbits).max(0.0))
+}
+
+/// Runs the controller loop: admit → plan → schedule update → deliver.
+pub fn run_controller(
+    plant: &FiberPlant,
+    requests: &[TransferRequest],
+    engine: &mut dyn TrafficEngineer,
+    config: &ControllerConfig,
+) -> ControllerResult {
+    let theta = plant.params().wavelength_capacity_gbps;
+    let params = UpdateParams {
+        theta_gbps: theta,
+        circuit_time_s: plant.params().circuit_reconfig_time_s,
+        path_time_s: config.path_time_s,
+    };
+
+    let mut transfers: Vec<Transfer> = requests
+        .iter()
+        .enumerate()
+        .map(|(id, r)| Transfer::from_request(id, r))
+        .collect();
+    let mut records: Vec<CompletionRecord> = requests
+        .iter()
+        .enumerate()
+        .map(|(id, r)| CompletionRecord {
+            id,
+            volume_gbits: r.volume_gbits,
+            arrival_s: r.arrival_s,
+            deadline_s: r.deadline_s,
+            completion_s: None,
+            gbits_by_deadline: 0.0,
+        })
+        .collect();
+
+    let mut prev_plan: Option<SlotPlan> = None;
+    let mut delivered_series = Vec::new();
+    let mut makespan_s: f64 = 0.0;
+    let mut update_ops = 0usize;
+    let mut transition_loss_gbits = 0.0;
+
+    for slot in 0..config.max_slots {
+        let now = slot as f64 * config.slot_len_s;
+        let active: Vec<Transfer> = transfers
+            .iter()
+            .filter(|t| t.arrival_s <= now + EPS && !t.is_complete())
+            .cloned()
+            .collect();
+        let pending = transfers
+            .iter()
+            .any(|t| t.arrival_s > now + EPS && !t.is_complete());
+        if active.is_empty() && !pending {
+            break;
+        }
+
+        let plan = engine.plan_slot(
+            plant,
+            &SlotInput { transfers: &active, slot_len_s: config.slot_len_s, now_s: now },
+        );
+        crate::sim::plan_is_feasible(&plan, theta)
+            .unwrap_or_else(|e| panic!("{} emitted an infeasible plan: {e}", engine.name()));
+
+        // Schedule the transition from the previous state.
+        let (scale, loss) = match &prev_plan {
+            Some(prev) => {
+                let delta = NetworkDelta::from_plans(
+                    &prev.topology,
+                    &prev.allocations,
+                    &plan.topology,
+                    &plan.allocations,
+                    plant.params().wavelengths_per_fiber,
+                );
+                let update = match config.discipline {
+                    UpdateDiscipline::Consistent => plan_consistent(&delta, &params),
+                    UpdateDiscipline::OneShot => plan_one_shot(&delta, &params),
+                };
+                update_ops += update.ops.len();
+                transition_scale(&delta, &update, &params, config.slot_len_s, plan.throughput_gbps)
+            }
+            None => (1.0, 0.0),
+        };
+        transition_loss_gbits += loss;
+
+        // Deliver.
+        let mut slot_delivered = 0.0;
+        for alloc in &plan.allocations {
+            let rate_alloc = alloc.total_rate();
+            let rate = rate_alloc * scale;
+            if rate <= EPS {
+                continue;
+            }
+            let t = &mut transfers[alloc.transfer];
+            let rec = &mut records[alloc.transfer];
+            if let Some(d) = t.deadline_s {
+                if d > now {
+                    let usable = (d - now).min(config.slot_len_s);
+                    let by_deadline = (rate * usable).min(t.remaining_gbits);
+                    rec.gbits_by_deadline =
+                        (rec.gbits_by_deadline + by_deadline).min(t.volume_gbits);
+                }
+            }
+            // Completion keys off the *allocated* rate (as in
+            // `sim::simulate`): a transfer whose allocation covers its
+            // remaining volume finishes this slot, merely later when the
+            // transition ate into the slot — otherwise the scaled delivery
+            // would produce an unphysical geometric tail.
+            if rate_alloc * config.slot_len_s + EPS >= t.remaining_gbits {
+                let finish = now + t.remaining_gbits / rate;
+                slot_delivered += t.remaining_gbits;
+                t.remaining_gbits = 0.0;
+                rec.completion_s = Some(finish);
+                makespan_s = makespan_s.max(finish);
+            } else {
+                let vol = rate * config.slot_len_s;
+                t.remaining_gbits -= vol;
+                slot_delivered += vol;
+            }
+        }
+        delivered_series.push((now, slot_delivered));
+        prev_plan = Some(plan);
+    }
+
+    if !records.iter().all(|r| r.completion_s.is_some()) {
+        makespan_s = makespan_s.max(delivered_series.len() as f64 * config.slot_len_s);
+    }
+
+    ControllerResult {
+        completions: records,
+        delivered_series,
+        makespan_s,
+        update_ops,
+        transition_loss_gbits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owan_core::{default_topology, OwanConfig, OwanEngine};
+    use owan_optical::OpticalParams;
+
+    fn plant() -> FiberPlant {
+        let params = OpticalParams {
+            wavelength_capacity_gbps: 10.0,
+            wavelengths_per_fiber: 8,
+            circuit_reconfig_time_s: 4.0,
+            ..Default::default()
+        };
+        let mut p = FiberPlant::new(params);
+        for i in 0..4 {
+            p.add_site(&format!("S{i}"), 2, 1);
+        }
+        for i in 0..4 {
+            p.add_fiber(i, (i + 1) % 4, 300.0);
+        }
+        p
+    }
+
+    fn requests() -> Vec<TransferRequest> {
+        vec![
+            TransferRequest { src: 0, dst: 1, volume_gbits: 2_000.0, arrival_s: 0.0, deadline_s: None },
+            TransferRequest { src: 2, dst: 3, volume_gbits: 1_500.0, arrival_s: 0.0, deadline_s: None },
+            TransferRequest { src: 1, dst: 3, volume_gbits: 700.0, arrival_s: 300.0, deadline_s: None },
+        ]
+    }
+
+    fn run(discipline: UpdateDiscipline) -> ControllerResult {
+        let p = plant();
+        let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
+        let cfg = ControllerConfig { slot_len_s: 100.0, discipline, ..Default::default() };
+        run_controller(&p, &requests(), &mut e, &cfg)
+    }
+
+    #[test]
+    fn controller_drains_workload() {
+        let res = run(UpdateDiscipline::Consistent);
+        assert!(res.all_completed(), "{res:?}");
+        assert!(res.makespan_s > 0.0);
+        let delivered: f64 = res.delivered_series.iter().map(|(_, v)| v).sum();
+        let requested: f64 = requests().iter().map(|r| r.volume_gbits).sum();
+        assert!((delivered - requested).abs() < 1e-3, "{delivered} vs {requested}");
+    }
+
+    #[test]
+    fn updates_are_scheduled_between_slots() {
+        let res = run(UpdateDiscipline::Consistent);
+        // Rates change between slots (transfers shrink), so path ops exist.
+        assert!(res.update_ops > 0);
+    }
+
+    #[test]
+    fn one_shot_loses_comparably_or_more_than_consistent() {
+        // Loss is measured against the ideal volume of each plan's *own*
+        // transition window; the consistent plan's window is longer (it
+        // serializes operations), so its ramp-up counts against it even
+        // though no packet is dropped. The two metrics are therefore only
+        // comparable up to that window difference — one-shot must not
+        // lose meaningfully *less*.
+        let consistent = run(UpdateDiscipline::Consistent);
+        let one_shot = run(UpdateDiscipline::OneShot);
+        assert!(
+            one_shot.transition_loss_gbits >= consistent.transition_loss_gbits * 0.8 - 1e-6,
+            "one-shot loss {} far below consistent {}",
+            one_shot.transition_loss_gbits,
+            consistent.transition_loss_gbits
+        );
+        // And the workload still drains under both disciplines.
+        assert!(consistent.all_completed());
+        assert!(one_shot.all_completed());
+    }
+
+    #[test]
+    fn transition_losses_slow_completion_not_break_it() {
+        let res = run(UpdateDiscipline::OneShot);
+        for c in &res.completions {
+            assert!(c.completion_s.is_some());
+            assert!(c.completion_s.unwrap() >= c.arrival_s);
+        }
+    }
+}

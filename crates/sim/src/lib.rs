@@ -1,0 +1,47 @@
+//! Flow-level simulation and experiment harness for the Owan evaluation.
+//!
+//! * [`sim`] — the time-slotted fluid simulator (validated against the
+//!   paper's testbed methodology, §5.1),
+//! * [`metrics`] — completion time / deadline / makespan metrics,
+//! * [`runner`] — engine construction and parallel comparison sweeps,
+//! * [`failures`] — link/switch failure experiments (§3.4),
+//! * [`validate`] — the simulator-vs-testbed validation (§5.1).
+//!
+//! # Example: compare Owan against SWAN on the Internet2 testbed
+//!
+//! ```
+//! use owan_sim::runner::{run_comparison, EngineKind, RunnerConfig};
+//! use owan_sim::metrics::{self, SizeBin};
+//! use owan_topo::internet2_testbed;
+//! use owan_workload::{generate, WorkloadConfig};
+//!
+//! let net = internet2_testbed();
+//! let mut wl = WorkloadConfig::testbed(0.5, 42);
+//! wl.duration_s = 600.0; // keep the doctest quick
+//! let requests: Vec<_> = generate(&net, &wl).into_iter().take(5).collect();
+//!
+//! let mut cfg = RunnerConfig::default();
+//! cfg.anneal_iterations = 40;
+//! let results = run_comparison(
+//!     &[EngineKind::Owan, EngineKind::Swan],
+//!     &net,
+//!     &requests,
+//!     &cfg,
+//! );
+//! let (owan_avg, _) = metrics::summary(&results[0], SizeBin::All);
+//! let (swan_avg, _) = metrics::summary(&results[1], SizeBin::All);
+//! assert!(owan_avg > 0.0 && swan_avg > 0.0);
+//! ```
+
+pub mod controller;
+pub mod failures;
+pub mod metrics;
+pub mod runner;
+pub mod sim;
+pub mod validate;
+
+pub use controller::{run_controller, ControllerConfig, ControllerResult, UpdateDiscipline};
+pub use failures::{degrade_plant, simulate_with_failures, Failure, FailureEvent};
+pub use runner::{make_engine, run_comparison, run_engine, EngineKind, RunnerConfig};
+pub use sim::{plan_is_feasible, simulate, CompletionRecord, SimConfig, SimResult};
+pub use validate::{validate_simulator, ValidationReport};

@@ -1,0 +1,428 @@
+//! The time-slotted fluid flow simulator.
+//!
+//! Time is divided into slots "much longer than the time to reconfigure the
+//! network and adjust sending rates, i.e., a few minutes vs. hundreds or
+//! thousands of milliseconds" (§3.1). Each slot the simulator:
+//!
+//! 1. admits transfers whose arrival time has passed,
+//! 2. asks the engine for a [`SlotPlan`](owan_core::SlotPlan),
+//! 3. verifies the plan is feasible (no link over capacity),
+//! 4. advances every transfer fluidly by its allocated rate, recording
+//!    mid-slot completion times and per-deadline byte counts,
+//! 5. updates starvation counters (the §3.2 starvation guard's input).
+//!
+//! The paper validated exactly this style of flow-level simulator against
+//! its hardware testbed within 10% (§5.1); [`crate::validate`] reproduces
+//! that comparison with an impaired-rate mode.
+
+use owan_core::{SlotInput, SlotPlan, Transfer, TrafficEngineer, TransferRequest};
+use owan_optical::FiberPlant;
+use serde::{Deserialize, Serialize};
+
+const EPS: f64 = 1e-9;
+
+/// Transfers whose remaining volume falls below this floor (1e-6 Gb = 125
+/// bytes) are counted complete at the end of the slot. LP-based engines
+/// leave numerical dust of this order; without the floor a sub-byte
+/// residue can starve forever below the allocators' rate thresholds.
+const COMPLETION_FLOOR_GBITS: f64 = 1e-6;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Slot length, seconds (paper: five minutes).
+    pub slot_len_s: f64,
+    /// Hard cap on simulated slots (guards against engines that cannot
+    /// drain the workload).
+    pub max_slots: usize,
+    /// Rate efficiency in `(0, 1]`: fraction of each allocated rate that
+    /// is actually delivered. `1.0` is the ideal fluid model; `~0.9`
+    /// emulates the testbed's imperfect rate limiting and prefix-splitting
+    /// (§5.1 performance validation).
+    pub rate_efficiency: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { slot_len_s: 300.0, max_slots: 2_000, rate_efficiency: 1.0 }
+    }
+}
+
+/// Per-transfer outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletionRecord {
+    /// Transfer id (index into the request list).
+    pub id: usize,
+    /// Total volume, gigabits.
+    pub volume_gbits: f64,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// Deadline, if any.
+    pub deadline_s: Option<f64>,
+    /// Completion time (absolute seconds), or `None` if unfinished when
+    /// the simulation ended.
+    pub completion_s: Option<f64>,
+    /// Gigabits delivered before the deadline (equals `volume_gbits` when
+    /// the transfer met its deadline; meaningful only if a deadline is set).
+    pub gbits_by_deadline: f64,
+}
+
+impl CompletionRecord {
+    /// Completion time relative to arrival, if finished.
+    pub fn completion_time_s(&self) -> Option<f64> {
+        self.completion_s.map(|c| c - self.arrival_s)
+    }
+
+    /// True if the transfer finished before its deadline.
+    pub fn met_deadline(&self) -> bool {
+        match (self.completion_s, self.deadline_s) {
+            (Some(c), Some(d)) => c <= d + EPS,
+            _ => false,
+        }
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Name of the engine that produced it.
+    pub engine: String,
+    /// Per-transfer outcomes, ordered by id.
+    pub completions: Vec<CompletionRecord>,
+    /// Absolute time the last transfer completed (the *makespan* measured
+    /// in Figure 8), or the simulation end if some never finished.
+    pub makespan_s: f64,
+    /// Total allocated throughput per slot `(slot start, Gbps)` — the
+    /// series plotted in Figure 10(a).
+    pub throughput_series: Vec<(f64, f64)>,
+    /// Slots simulated.
+    pub slots: usize,
+}
+
+impl SimResult {
+    /// True if every transfer completed.
+    pub fn all_completed(&self) -> bool {
+        self.completions.iter().all(|c| c.completion_s.is_some())
+    }
+}
+
+/// Verifies that a plan does not oversubscribe any link of its topology.
+pub fn plan_is_feasible(plan: &SlotPlan, theta: f64) -> Result<(), String> {
+    let n = plan.topology.site_count();
+    let mut load = vec![0.0f64; n * n];
+    for a in &plan.allocations {
+        for (path, r) in &a.paths {
+            if *r < -EPS {
+                return Err(format!("negative rate {r} for transfer {}", a.transfer));
+            }
+            for w in path.windows(2) {
+                load[w[0] * n + w[1]] += r;
+                load[w[1] * n + w[0]] += r;
+            }
+        }
+    }
+    for u in 0..n {
+        for v in u + 1..n {
+            let cap = plan.topology.multiplicity(u, v) as f64 * theta;
+            if load[u * n + v] > cap + 1e-6 {
+                return Err(format!(
+                    "link ({u},{v}) carries {} over capacity {cap}",
+                    load[u * n + v]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs `engine` over `requests` on `plant` until every transfer completes
+/// (or `max_slots` elapse).
+///
+/// # Panics
+/// Panics if the engine ever emits an infeasible plan — that is a bug in
+/// the engine, not an operational condition.
+pub fn simulate(
+    plant: &FiberPlant,
+    requests: &[TransferRequest],
+    engine: &mut dyn TrafficEngineer,
+    config: &SimConfig,
+) -> SimResult {
+    assert!(config.rate_efficiency > 0.0 && config.rate_efficiency <= 1.0);
+    let theta = plant.params().wavelength_capacity_gbps;
+
+    let mut transfers: Vec<Transfer> = requests
+        .iter()
+        .enumerate()
+        .map(|(id, r)| Transfer::from_request(id, r))
+        .collect();
+    let mut records: Vec<CompletionRecord> = requests
+        .iter()
+        .enumerate()
+        .map(|(id, r)| CompletionRecord {
+            id,
+            volume_gbits: r.volume_gbits,
+            arrival_s: r.arrival_s,
+            deadline_s: r.deadline_s,
+            completion_s: None,
+            gbits_by_deadline: 0.0,
+        })
+        .collect();
+
+    let mut throughput_series = Vec::new();
+    let mut makespan_s: f64 = 0.0;
+    let mut slots = 0;
+
+    for slot in 0..config.max_slots {
+        let now = slot as f64 * config.slot_len_s;
+        slots = slot + 1;
+
+        // Active = arrived and incomplete.
+        let active: Vec<Transfer> = transfers
+            .iter()
+            .filter(|t| t.arrival_s <= now + EPS && !t.is_complete())
+            .cloned()
+            .collect();
+        let pending_future = transfers
+            .iter()
+            .any(|t| t.arrival_s > now + EPS && !t.is_complete());
+        if active.is_empty() && !pending_future {
+            break;
+        }
+
+        let plan = engine.plan_slot(
+            plant,
+            &SlotInput { transfers: &active, slot_len_s: config.slot_len_s, now_s: now },
+        );
+        plan_is_feasible(&plan, theta)
+            .unwrap_or_else(|e| panic!("{} emitted an infeasible plan: {e}", engine.name()));
+        throughput_series.push((now, plan.throughput_gbps));
+
+        // Advance transfers.
+        let mut got_rate = vec![false; transfers.len()];
+        for alloc in &plan.allocations {
+            let rate_alloc = alloc.total_rate();
+            let rate = rate_alloc * config.rate_efficiency;
+            if rate <= EPS {
+                continue;
+            }
+            let t = &mut transfers[alloc.transfer];
+            debug_assert!(!t.is_complete(), "allocation to a finished transfer");
+            got_rate[alloc.transfer] = true;
+
+            let rec = &mut records[alloc.transfer];
+            // Bytes before the deadline (pro-rata within the slot).
+            if let Some(d) = t.deadline_s {
+                if d > now {
+                    let usable = (d - now).min(config.slot_len_s);
+                    let by_deadline = (rate * usable).min(t.remaining_gbits);
+                    rec.gbits_by_deadline =
+                        (rec.gbits_by_deadline + by_deadline).min(t.volume_gbits);
+                }
+            }
+            // A transfer whose *allocated* rate covers its remaining volume
+            // finishes this slot; with impaired delivery it finishes up to
+            // `1/rate_efficiency` later within (or just past) the slot.
+            // Modeling the under-delivered sliver this way avoids the
+            // unphysical geometric tail a demand-capped allocator would
+            // otherwise produce.
+            if rate_alloc * config.slot_len_s + EPS >= t.remaining_gbits {
+                let finish = now + t.remaining_gbits / rate;
+                t.remaining_gbits = 0.0;
+                rec.completion_s = Some(finish);
+                makespan_s = makespan_s.max(finish);
+            } else {
+                t.remaining_gbits -= rate * config.slot_len_s;
+            }
+        }
+
+        // Numerical-dust floor: see COMPLETION_FLOOR_GBITS.
+        for (i, t) in transfers.iter_mut().enumerate() {
+            if !t.is_complete() && t.remaining_gbits < COMPLETION_FLOOR_GBITS {
+                t.remaining_gbits = 0.0;
+                let finish = now + config.slot_len_s;
+                records[i].completion_s = Some(finish);
+                makespan_s = makespan_s.max(finish);
+            }
+        }
+
+        // Starvation guard bookkeeping.
+        for (i, t) in transfers.iter_mut().enumerate() {
+            if t.arrival_s <= now + EPS && !t.is_complete() {
+                if got_rate[i] {
+                    t.starved_slots = 0;
+                } else {
+                    t.starved_slots += 1;
+                }
+            }
+        }
+    }
+
+    if !records.iter().all(|r| r.completion_s.is_some()) {
+        makespan_s = makespan_s.max(slots as f64 * config.slot_len_s);
+    }
+
+    SimResult {
+        engine: engine.name().to_string(),
+        completions: records,
+        makespan_s,
+        throughput_series,
+        slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owan_core::{default_topology, OwanConfig, OwanEngine};
+    use owan_optical::OpticalParams;
+
+    fn plant() -> FiberPlant {
+        let params = OpticalParams {
+            wavelength_capacity_gbps: 10.0,
+            wavelengths_per_fiber: 8,
+            ..Default::default()
+        };
+        let mut p = FiberPlant::new(params);
+        for i in 0..4 {
+            p.add_site(&format!("S{i}"), 2, 1);
+        }
+        for i in 0..4 {
+            p.add_fiber(i, (i + 1) % 4, 300.0);
+        }
+        p
+    }
+
+    fn requests() -> Vec<TransferRequest> {
+        vec![
+            TransferRequest { src: 0, dst: 1, volume_gbits: 600.0, arrival_s: 0.0, deadline_s: None },
+            TransferRequest { src: 2, dst: 3, volume_gbits: 300.0, arrival_s: 0.0, deadline_s: None },
+            TransferRequest { src: 1, dst: 2, volume_gbits: 100.0, arrival_s: 400.0, deadline_s: None },
+        ]
+    }
+
+    #[test]
+    fn owan_drains_workload() {
+        let p = plant();
+        let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
+        let cfg = SimConfig { slot_len_s: 100.0, ..Default::default() };
+        let res = simulate(&p, &requests(), &mut e, &cfg);
+        assert!(res.all_completed(), "{res:?}");
+        for c in &res.completions {
+            let ct = c.completion_time_s().unwrap();
+            assert!(ct > 0.0);
+            assert!(c.completion_s.unwrap() >= c.arrival_s);
+        }
+        assert!(res.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn late_arrival_not_served_early() {
+        let p = plant();
+        let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
+        let cfg = SimConfig { slot_len_s: 100.0, ..Default::default() };
+        let res = simulate(&p, &requests(), &mut e, &cfg);
+        let late = &res.completions[2];
+        assert!(late.completion_s.unwrap() >= 400.0);
+    }
+
+    #[test]
+    fn demand_limited_transfer_finishes_in_one_slot() {
+        // 50 Gb over a 100 s slot: the allocator hands it exactly its
+        // demand rate (0.5 Gbps), so it completes precisely at the slot
+        // boundary — never later.
+        let p = plant();
+        let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
+        let reqs = vec![TransferRequest {
+            src: 0,
+            dst: 1,
+            volume_gbits: 50.0,
+            arrival_s: 0.0,
+            deadline_s: None,
+        }];
+        let cfg = SimConfig { slot_len_s: 100.0, ..Default::default() };
+        let res = simulate(&p, &reqs, &mut e, &cfg);
+        let ct = res.completions[0].completion_time_s().unwrap();
+        assert!((ct - 100.0).abs() < 1e-6, "got {ct}");
+    }
+
+    #[test]
+    fn impaired_final_sliver_finishes_late_not_never() {
+        // With rate efficiency 0.9, the same transfer completes at
+        // 100 / 0.9 ≈ 111 s instead of iterating an asymptotic tail.
+        let p = plant();
+        let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
+        let reqs = vec![TransferRequest {
+            src: 0,
+            dst: 1,
+            volume_gbits: 50.0,
+            arrival_s: 0.0,
+            deadline_s: None,
+        }];
+        let cfg = SimConfig { slot_len_s: 100.0, rate_efficiency: 0.9, ..Default::default() };
+        let res = simulate(&p, &reqs, &mut e, &cfg);
+        let ct = res.completions[0].completion_time_s().unwrap();
+        assert!((ct - 100.0 / 0.9).abs() < 1e-6, "got {ct}");
+    }
+
+    #[test]
+    fn rate_efficiency_slows_completion() {
+        let p = plant();
+        let run = |eff: f64| {
+            let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
+            let cfg = SimConfig { slot_len_s: 100.0, rate_efficiency: eff, ..Default::default() };
+            simulate(&p, &requests(), &mut e, &cfg)
+        };
+        let ideal = run(1.0);
+        let impaired = run(0.9);
+        let avg = |r: &SimResult| {
+            r.completions
+                .iter()
+                .filter_map(|c| c.completion_time_s())
+                .sum::<f64>()
+                / r.completions.len() as f64
+        };
+        assert!(avg(&impaired) >= avg(&ideal), "impairment cannot speed things up");
+    }
+
+    #[test]
+    fn deadline_bookkeeping() {
+        let p = plant();
+        let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
+        let reqs = vec![
+            // Easily met: 100 Gb, deadline after 200 s at >= 10 Gbps.
+            TransferRequest { src: 0, dst: 1, volume_gbits: 100.0, arrival_s: 0.0, deadline_s: Some(200.0) },
+            // Impossible: 10 000 Gb in 100 s.
+            TransferRequest { src: 2, dst: 3, volume_gbits: 10_000.0, arrival_s: 0.0, deadline_s: Some(100.0) },
+        ];
+        let cfg = SimConfig { slot_len_s: 100.0, ..Default::default() };
+        let res = simulate(&p, &reqs, &mut e, &cfg);
+        assert!(res.completions[0].met_deadline());
+        assert!(!res.completions[1].met_deadline());
+        // Partial bytes before the deadline were still delivered.
+        assert!(res.completions[1].gbits_by_deadline > 0.0);
+        assert!(res.completions[1].gbits_by_deadline < 10_000.0);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let p = plant();
+        let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
+        let res = simulate(&p, &[], &mut e, &SimConfig::default());
+        assert_eq!(res.slots, 1);
+        assert!(res.completions.is_empty());
+    }
+
+    #[test]
+    fn feasibility_checker_catches_overload() {
+        use owan_core::{Allocation, SlotPlan, Topology};
+        let mut topo = Topology::empty(2);
+        topo.add_links(0, 1, 1);
+        let plan = SlotPlan {
+            topology: topo,
+            allocations: vec![Allocation { transfer: 0, paths: vec![(vec![0, 1], 25.0)] }],
+            throughput_gbps: 25.0,
+        };
+        assert!(plan_is_feasible(&plan, 10.0).is_err());
+        assert!(plan_is_feasible(&plan, 30.0).is_ok());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the simulator: volume conservation, completion
+//! ordering, determinism, and metric sanity on random workloads.
+
+use owan_core::{SchedulingPolicy, TransferRequest};
+use owan_optical::{FiberPlant, OpticalParams};
+use owan_sim::metrics::{self, SizeBin};
+use owan_sim::runner::{run_engine, EngineKind, RunnerConfig};
+use owan_sim::SimConfig;
+use owan_topo::Network;
+use proptest::prelude::*;
+
+fn ring_network(n: usize) -> Network {
+    let mut plant = FiberPlant::new(OpticalParams {
+        wavelength_capacity_gbps: 10.0,
+        wavelengths_per_fiber: 8,
+        ..Default::default()
+    });
+    for i in 0..n {
+        plant.add_site(&format!("S{i}"), 2, 1);
+    }
+    for i in 0..n {
+        plant.add_fiber(i, (i + 1) % n, 200.0);
+    }
+    let mut topo = owan_core::Topology::empty(n);
+    for i in 0..n {
+        topo.add_links(i, (i + 1) % n, 1);
+    }
+    Network { name: "ring".into(), plant, static_topology: topo }
+}
+
+fn arb_requests(n_sites: usize) -> impl Strategy<Value = Vec<TransferRequest>> {
+    proptest::collection::vec(
+        (0..n_sites, 0..n_sites, 10u32..3_000, 0u32..10, proptest::option::of(5u32..60)),
+        1..12,
+    )
+    .prop_map(move |specs| {
+        specs
+            .into_iter()
+            .filter(|&(s, d, _, _, _)| s != d)
+            .map(|(src, dst, vol, arr, dl)| TransferRequest {
+                src,
+                dst,
+                volume_gbits: vol as f64,
+                arrival_s: arr as f64 * 100.0,
+                deadline_s: dl.map(|x| (arr as f64 * 100.0) + x as f64 * 100.0),
+            })
+            .collect()
+    })
+}
+
+fn config() -> RunnerConfig {
+    RunnerConfig {
+        sim: SimConfig { slot_len_s: 100.0, max_slots: 500, ..Default::default() },
+        anneal_iterations: 25,
+        policy: SchedulingPolicy::ShortestJobFirst,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn simulation_invariants_hold(reqs in arb_requests(5)) {
+        let net = ring_network(5);
+        for kind in [EngineKind::Owan, EngineKind::MaxFlow, EngineKind::RoutingRate] {
+            let res = run_engine(kind, &net, &reqs, &config());
+            prop_assert_eq!(res.completions.len(), reqs.len());
+            for (c, r) in res.completions.iter().zip(&reqs) {
+                // Completion cannot precede arrival.
+                if let Some(ct) = c.completion_s {
+                    prop_assert!(ct >= r.arrival_s - 1e-9, "{:?}", kind);
+                    prop_assert!(ct <= res.makespan_s + 1e-6);
+                }
+                // Bytes-by-deadline never exceed the volume.
+                prop_assert!(c.gbits_by_deadline <= c.volume_gbits + 1e-6);
+                // A transfer that met its deadline delivered everything.
+                if c.met_deadline() {
+                    prop_assert!(c.gbits_by_deadline >= c.volume_gbits - 1e-3);
+                }
+            }
+            // Connected ring: every transfer eventually completes.
+            prop_assert!(res.all_completed(), "{:?} left work undone", kind);
+            // Total delivered volume == total requested (throughput series
+            // integrates to the workload size).
+            let delivered: f64 = res
+                .throughput_series
+                .iter()
+                .map(|(_, gbps)| gbps * 100.0)
+                .sum();
+            let requested: f64 = reqs.iter().map(|r| r.volume_gbits).sum();
+            prop_assert!(
+                delivered >= requested - 1e-3,
+                "{:?}: delivered {delivered} < requested {requested}",
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(reqs in arb_requests(5)) {
+        let net = ring_network(5);
+        let a = run_engine(EngineKind::Owan, &net, &reqs, &config());
+        let b = run_engine(EngineKind::Owan, &net, &reqs, &config());
+        prop_assert_eq!(a.completions, b.completions);
+        prop_assert_eq!(a.throughput_series, b.throughput_series);
+    }
+
+    #[test]
+    fn metrics_are_consistent(reqs in arb_requests(5)) {
+        let net = ring_network(5);
+        let res = run_engine(EngineKind::MaxFlow, &net, &reqs, &config());
+        let all = metrics::completion_times(&res, SizeBin::All);
+        let by_bin: usize = [SizeBin::Small, SizeBin::Middle, SizeBin::Large]
+            .iter()
+            .map(|&b| metrics::completion_times(&res, b).len())
+            .sum();
+        prop_assert_eq!(all.len(), by_bin, "bins partition the transfers");
+        if !all.is_empty() {
+            let mean = metrics::mean(&all);
+            let p95 = metrics::percentile(&all, 95.0);
+            let max = all.iter().fold(0.0f64, |a, &b| a.max(b));
+            prop_assert!(mean <= max + 1e-9);
+            prop_assert!(p95 <= max + 1e-9);
+            let cdf = metrics::cdf(&all);
+            prop_assert_eq!(cdf.last().unwrap().1, 1.0);
+        }
+        let pct = metrics::pct_deadlines_met(&res, SizeBin::All);
+        prop_assert!((0.0..=100.0).contains(&pct));
+    }
+
+    #[test]
+    fn impairment_never_speeds_completion(reqs in arb_requests(4)) {
+        let net = ring_network(4);
+        let ideal = run_engine(EngineKind::MaxFlow, &net, &reqs, &config());
+        let mut impaired_cfg = config();
+        impaired_cfg.sim.rate_efficiency = 0.9;
+        let impaired = run_engine(EngineKind::MaxFlow, &net, &reqs, &impaired_cfg);
+        // Individual transfers may reorder (freed capacity cascades), but
+        // in aggregate impairment cannot speed the workload up.
+        let avg = |r: &owan_sim::SimResult| {
+            metrics::mean(&metrics::completion_times(r, SizeBin::All))
+        };
+        prop_assert!(
+            avg(&impaired) >= avg(&ideal) * 0.999 - 1e-6,
+            "impaired avg {} vs ideal {}",
+            avg(&impaired),
+            avg(&ideal)
+        );
+        prop_assert!(impaired.makespan_s >= ideal.makespan_s * 0.999 - 1e-6);
+    }
+}

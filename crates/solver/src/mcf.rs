@@ -1,0 +1,337 @@
+//! Path-based multicommodity-flow LP builder.
+//!
+//! All the fixed-topology baselines in the paper (§5.1) solve variants of
+//! the same LP: transfers are commodities, each routed over a small set of
+//! candidate paths (tunnels), subject to link capacities. This module
+//! expresses those variants over abstract *link indices* so it stays
+//! independent of any graph representation:
+//!
+//! * [`McfProblem::max_throughput`] — MaxFlow: maximize total served rate,
+//! * [`McfProblem::max_min_fraction`] — MaxMinFract: maximize the minimum
+//!   served fraction,
+//! * [`McfProblem::max_throughput_bounded`] — the inner LP of SWAN's
+//!   approximate max-min iteration (per-commodity fraction floors/ceilings).
+
+use crate::simplex::{LinearProgram, LpOutcome};
+
+/// Identifies one rate variable `r_{f,p}`: commodity `f`, path index `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathVar {
+    /// Commodity index.
+    pub commodity: usize,
+    /// Path index within the commodity.
+    pub path: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Commodity {
+    demand: f64,
+    /// Each path is the list of link indices it crosses.
+    paths: Vec<Vec<usize>>,
+}
+
+/// A path-based MCF instance.
+#[derive(Debug, Clone, Default)]
+pub struct McfProblem {
+    link_capacity: Vec<f64>,
+    commodities: Vec<Commodity>,
+}
+
+/// A solved rate allocation.
+#[derive(Debug, Clone)]
+pub struct McfSolution {
+    /// `rates[f][p]` = rate of commodity `f` on its `p`-th path.
+    pub rates: Vec<Vec<f64>>,
+    /// Sum of all rates.
+    pub total_throughput: f64,
+}
+
+impl McfSolution {
+    /// Total rate served to commodity `f`.
+    pub fn commodity_rate(&self, f: usize) -> f64 {
+        self.rates[f].iter().sum()
+    }
+
+    /// Load placed on each link by this allocation, given the problem.
+    pub fn link_loads(&self, problem: &McfProblem) -> Vec<f64> {
+        let mut load = vec![0.0; problem.link_capacity.len()];
+        for (f, c) in problem.commodities.iter().enumerate() {
+            for (p, path) in c.paths.iter().enumerate() {
+                for &l in path {
+                    load[l] += self.rates[f][p];
+                }
+            }
+        }
+        load
+    }
+}
+
+impl McfProblem {
+    /// A problem over links with the given capacities.
+    pub fn new(link_capacity: Vec<f64>) -> Self {
+        assert!(
+            link_capacity.iter().all(|&c| c >= 0.0 && c.is_finite()),
+            "capacities must be finite and non-negative"
+        );
+        McfProblem { link_capacity, commodities: Vec::new() }
+    }
+
+    /// Adds a commodity with `demand` (rate units) and candidate `paths`
+    /// (each a list of link indices). Returns the commodity index. A
+    /// commodity with no paths simply receives zero rate.
+    pub fn add_commodity(&mut self, demand: f64, paths: Vec<Vec<usize>>) -> usize {
+        assert!(demand >= 0.0 && demand.is_finite(), "demand must be non-negative");
+        for p in &paths {
+            for &l in p {
+                assert!(l < self.link_capacity.len(), "link index {l} out of range");
+            }
+        }
+        self.commodities.push(Commodity { demand, paths });
+        self.commodities.len() - 1
+    }
+
+    /// Number of commodities.
+    pub fn commodity_count(&self) -> usize {
+        self.commodities.len()
+    }
+
+    /// Demand of commodity `f`.
+    pub fn demand(&self, f: usize) -> f64 {
+        self.commodities[f].demand
+    }
+
+    /// Builds the variable layout and the base LP (link capacity and
+    /// per-commodity demand-ceiling constraints). Returns `(lp, var_index)`
+    /// where `var_index[f][p]` is the LP variable of `r_{f,p}`.
+    fn base_lp(&self, demand_ceiling: bool) -> (LinearProgram, Vec<Vec<usize>>) {
+        let n_vars: usize = self.commodities.iter().map(|c| c.paths.len()).sum();
+        let mut lp = LinearProgram::maximize(n_vars);
+        let mut var_index = Vec::with_capacity(self.commodities.len());
+        let mut next = 0;
+        for c in &self.commodities {
+            let vars: Vec<usize> = (0..c.paths.len()).map(|p| next + p).collect();
+            next += c.paths.len();
+            var_index.push(vars);
+        }
+
+        // Link capacity rows.
+        let mut per_link: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.link_capacity.len()];
+        for (f, c) in self.commodities.iter().enumerate() {
+            for (p, path) in c.paths.iter().enumerate() {
+                for &l in path {
+                    per_link[l].push((var_index[f][p], 1.0));
+                }
+            }
+        }
+        for (l, coeffs) in per_link.iter().enumerate() {
+            if !coeffs.is_empty() {
+                lp.add_le(coeffs, self.link_capacity[l]);
+            }
+        }
+
+        // Demand ceilings.
+        if demand_ceiling {
+            for (f, c) in self.commodities.iter().enumerate() {
+                if !c.paths.is_empty() {
+                    let coeffs: Vec<(usize, f64)> =
+                        var_index[f].iter().map(|&v| (v, 1.0)).collect();
+                    lp.add_le(&coeffs, c.demand);
+                }
+            }
+        }
+
+        (lp, var_index)
+    }
+
+    fn extract(&self, var_index: &[Vec<usize>], x: &[f64]) -> McfSolution {
+        let rates: Vec<Vec<f64>> = var_index
+            .iter()
+            .map(|vars| vars.iter().map(|&v| x[v].max(0.0)).collect())
+            .collect();
+        let total_throughput = rates.iter().flatten().sum();
+        McfSolution { rates, total_throughput }
+    }
+
+    /// MaxFlow baseline: maximize total served rate, each commodity capped
+    /// at its demand.
+    pub fn max_throughput(&self) -> McfSolution {
+        let (mut lp, var_index) = self.base_lp(true);
+        for vars in &var_index {
+            for &v in vars {
+                lp.set_objective(v, 1.0);
+            }
+        }
+        let sol = lp.solve().expect_optimal("max_throughput LP is feasible (0 is feasible)");
+        self.extract(&var_index, &sol.x)
+    }
+
+    /// MaxMinFract baseline: maximize the minimum fraction `α` of demand
+    /// served across commodities (commodities without paths or with zero
+    /// demand are excluded from the min), then the allocation is whatever
+    /// the LP chose at optimum. Returns `(α, solution)`.
+    pub fn max_min_fraction(&self) -> (f64, McfSolution) {
+        let (mut lp, var_index) = self.base_lp(true);
+        let alpha = lp.add_var();
+        lp.set_objective(alpha, 1.0);
+        lp.add_le(&[(alpha, 1.0)], 1.0);
+        let mut any = false;
+        for (f, c) in self.commodities.iter().enumerate() {
+            if c.paths.is_empty() || c.demand <= 0.0 {
+                continue;
+            }
+            any = true;
+            // sum_p r_{f,p} - d_f * α >= 0
+            let mut coeffs: Vec<(usize, f64)> =
+                var_index[f].iter().map(|&v| (v, 1.0)).collect();
+            coeffs.push((alpha, -c.demand));
+            lp.add_ge(&coeffs, 0.0);
+        }
+        if !any {
+            return (0.0, self.extract(&var_index, &vec![0.0; lp.n_vars()]));
+        }
+        let sol = lp.solve().expect_optimal("max_min LP is feasible (α=0)");
+        let a = sol.x[alpha].clamp(0.0, 1.0);
+        (a, self.extract(&var_index, &sol.x))
+    }
+
+    /// SWAN inner LP: maximize total throughput subject to per-commodity
+    /// served-rate bounds `floor[f] <= rate_f <= ceil[f]` (absolute rates,
+    /// not fractions). Returns `None` if the bounds are infeasible.
+    pub fn max_throughput_bounded(&self, floor: &[f64], ceil: &[f64]) -> Option<McfSolution> {
+        assert_eq!(floor.len(), self.commodities.len());
+        assert_eq!(ceil.len(), self.commodities.len());
+        let (mut lp, var_index) = self.base_lp(false);
+        for (f, c) in self.commodities.iter().enumerate() {
+            if c.paths.is_empty() {
+                continue;
+            }
+            let coeffs: Vec<(usize, f64)> = var_index[f].iter().map(|&v| (v, 1.0)).collect();
+            lp.add_le(&coeffs, ceil[f].min(c.demand));
+            if floor[f] > 0.0 {
+                lp.add_ge(&coeffs, floor[f]);
+            }
+            for &v in &var_index[f] {
+                lp.set_objective(v, 1.0);
+            }
+        }
+        match lp.solve() {
+            LpOutcome::Optimal(sol) => Some(self.extract(&var_index, &sol.x)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two links in series (0,1) and two parallel one-link paths.
+    #[test]
+    fn single_commodity_single_path() {
+        let mut p = McfProblem::new(vec![10.0, 5.0]);
+        p.add_commodity(100.0, vec![vec![0, 1]]);
+        let s = p.max_throughput();
+        assert!((s.total_throughput - 5.0).abs() < 1e-7, "series bottleneck");
+    }
+
+    #[test]
+    fn demand_caps_rate() {
+        let mut p = McfProblem::new(vec![10.0]);
+        p.add_commodity(3.0, vec![vec![0]]);
+        let s = p.max_throughput();
+        assert!((s.total_throughput - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn two_commodities_share_link() {
+        let mut p = McfProblem::new(vec![10.0]);
+        p.add_commodity(8.0, vec![vec![0]]);
+        p.add_commodity(8.0, vec![vec![0]]);
+        let s = p.max_throughput();
+        assert!((s.total_throughput - 10.0).abs() < 1e-7);
+        let loads = s.link_loads(&p);
+        assert!(loads[0] <= 10.0 + 1e-7);
+    }
+
+    #[test]
+    fn multipath_splits() {
+        // Two disjoint paths of capacity 4 and 6; demand 10 uses both fully.
+        let mut p = McfProblem::new(vec![4.0, 6.0]);
+        p.add_commodity(10.0, vec![vec![0], vec![1]]);
+        let s = p.max_throughput();
+        assert!((s.total_throughput - 10.0).abs() < 1e-7);
+        assert!((s.rates[0][0] - 4.0).abs() < 1e-7);
+        assert!((s.rates[0][1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn max_min_fraction_fair() {
+        // Two commodities share a 10-unit link, demands 10 and 10:
+        // max-min α = 0.5.
+        let mut p = McfProblem::new(vec![10.0]);
+        p.add_commodity(10.0, vec![vec![0]]);
+        p.add_commodity(10.0, vec![vec![0]]);
+        let (alpha, s) = p.max_min_fraction();
+        assert!((alpha - 0.5).abs() < 1e-7, "alpha = {alpha}");
+        assert!((s.commodity_rate(0) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_min_alpha_capped_at_one() {
+        let mut p = McfProblem::new(vec![100.0]);
+        p.add_commodity(1.0, vec![vec![0]]);
+        let (alpha, _) = p.max_min_fraction();
+        assert!((alpha - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn pathless_commodity_ignored_in_min() {
+        let mut p = McfProblem::new(vec![10.0]);
+        p.add_commodity(10.0, vec![vec![0]]);
+        p.add_commodity(10.0, vec![]); // unreachable commodity
+        let (alpha, s) = p.max_min_fraction();
+        assert!(alpha > 0.9, "unreachable commodity must not force α to 0");
+        assert_eq!(s.commodity_rate(1), 0.0);
+    }
+
+    #[test]
+    fn bounded_floor_enforced() {
+        let mut p = McfProblem::new(vec![10.0]);
+        p.add_commodity(10.0, vec![vec![0]]);
+        p.add_commodity(10.0, vec![vec![0]]);
+        let s = p
+            .max_throughput_bounded(&[7.0, 0.0], &[10.0, 10.0])
+            .expect("feasible");
+        assert!(s.commodity_rate(0) >= 7.0 - 1e-7);
+        assert!(s.total_throughput <= 10.0 + 1e-7);
+    }
+
+    #[test]
+    fn bounded_infeasible_floors() {
+        let mut p = McfProblem::new(vec![10.0]);
+        p.add_commodity(10.0, vec![vec![0]]);
+        p.add_commodity(10.0, vec![vec![0]]);
+        assert!(p.max_throughput_bounded(&[8.0, 8.0], &[10.0, 10.0]).is_none());
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = McfProblem::new(vec![10.0]);
+        let s = p.max_throughput();
+        assert_eq!(s.total_throughput, 0.0);
+        let (alpha, _) = p.max_min_fraction();
+        assert_eq!(alpha, 0.0);
+    }
+
+    #[test]
+    fn link_loads_respect_capacity() {
+        let mut p = McfProblem::new(vec![3.0, 4.0, 2.0]);
+        p.add_commodity(10.0, vec![vec![0, 1], vec![2]]);
+        p.add_commodity(10.0, vec![vec![1], vec![0, 2]]);
+        let s = p.max_throughput();
+        let loads = s.link_loads(&p);
+        for (l, &load) in loads.iter().enumerate() {
+            assert!(load <= p.link_capacity[l] + 1e-6, "link {l} overloaded: {load}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the LP solver.
+//!
+//! The strongest oracle available offline is the max-flow/min-cut theorem:
+//! a single-commodity path-based MCF given *all* simple paths must equal the
+//! edge-based maximum flow (flow decomposition), which `owan_graph::maxflow`
+//! computes independently via Dinic's algorithm. Further properties check
+//! feasibility of every returned allocation.
+
+use owan_graph::{max_flow, FlowNetwork};
+use owan_solver::{LinearProgram, McfProblem};
+use proptest::prelude::*;
+
+/// Random directed capacitated graph on `n` nodes as an edge list.
+fn random_edges(n: usize, m: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (3..=n).prop_flat_map(move |nodes| {
+        proptest::collection::vec((0..nodes, 0..nodes, 1u32..20), 1..=m).prop_map(
+            move |raw| {
+                let edges: Vec<(usize, usize, f64)> = raw
+                    .into_iter()
+                    .filter(|&(u, v, _)| u != v)
+                    .map(|(u, v, c)| (u, v, c as f64))
+                    .collect();
+                (nodes, edges)
+            },
+        )
+    })
+}
+
+/// All simple paths from src to dst as lists of edge indices (for small
+/// graphs only).
+fn all_simple_paths(
+    n: usize,
+    edges: &[(usize, usize, f64)],
+    src: usize,
+    dst: usize,
+) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut visited = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    fn rec(
+        cur: usize,
+        dst: usize,
+        edges: &[(usize, usize, f64)],
+        visited: &mut [bool],
+        stack: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if cur == dst {
+            out.push(stack.clone());
+            return;
+        }
+        visited[cur] = true;
+        for (i, &(u, v, _)) in edges.iter().enumerate() {
+            if u == cur && !visited[v] {
+                stack.push(i);
+                rec(v, dst, edges, visited, stack, out);
+                stack.pop();
+            }
+        }
+        visited[cur] = false;
+    }
+    rec(src, dst, edges, &mut visited, &mut stack, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lp_single_commodity_equals_dinic((n, edges) in random_edges(6, 10)) {
+        let (src, dst) = (0, n - 1);
+        // Edge-based oracle.
+        let mut net = FlowNetwork::new(n);
+        for &(u, v, c) in &edges {
+            net.add_edge(u, v, c);
+        }
+        let oracle = max_flow(&mut net, src, dst);
+
+        // Path-based LP over all simple paths.
+        let paths = all_simple_paths(n, &edges, src, dst);
+        let mut mcf = McfProblem::new(edges.iter().map(|&(_, _, c)| c).collect());
+        mcf.add_commodity(1e9, paths);
+        let sol = mcf.max_throughput();
+
+        prop_assert!(
+            (sol.total_throughput - oracle).abs() < 1e-6,
+            "LP {} vs Dinic {}", sol.total_throughput, oracle
+        );
+    }
+
+    #[test]
+    fn lp_solutions_always_feasible((n, edges) in random_edges(6, 12), demands in proptest::collection::vec(1u32..30, 1..4)) {
+        let caps: Vec<f64> = edges.iter().map(|&(_, _, c)| c).collect();
+        let mut mcf = McfProblem::new(caps.clone());
+        for (i, d) in demands.iter().enumerate() {
+            let src = i % n;
+            let dst = (i + n / 2) % n;
+            if src == dst { continue; }
+            let mut paths = all_simple_paths(n, &edges, src, dst);
+            paths.truncate(6);
+            mcf.add_commodity(*d as f64, paths);
+        }
+        let sol = mcf.max_throughput();
+        let loads = sol.link_loads(&mcf);
+        for (l, &load) in loads.iter().enumerate() {
+            prop_assert!(load <= caps[l] + 1e-6, "link {l}: {load} > {}", caps[l]);
+        }
+        for f in 0..mcf.commodity_count() {
+            prop_assert!(sol.commodity_rate(f) <= mcf.demand(f) + 1e-6);
+            for r in &sol.rates[f] {
+                prop_assert!(*r >= -1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn max_min_alpha_is_attained((n, edges) in random_edges(6, 12)) {
+        let caps: Vec<f64> = edges.iter().map(|&(_, _, c)| c).collect();
+        let mut mcf = McfProblem::new(caps);
+        let pairs = [(0usize, n - 1), (n - 1, 0), (1 % n, n / 2)];
+        for &(s, t) in &pairs {
+            if s == t { continue; }
+            let mut paths = all_simple_paths(n, &edges, s, t);
+            paths.truncate(6);
+            mcf.add_commodity(10.0, paths);
+        }
+        let (alpha, sol) = mcf.max_min_fraction();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&alpha));
+        // Every commodity with at least one path is served >= alpha * demand.
+        for f in 0..mcf.commodity_count() {
+            if !sol.rates[f].is_empty() {
+                prop_assert!(
+                    sol.commodity_rate(f) >= alpha * mcf.demand(f) - 1e-6,
+                    "commodity {f} below fair share"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_small_lps_satisfy_constraints(
+        nv in 1usize..5,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0u32..10, 1..5), 1u32..50),
+            1..6,
+        ),
+        obj in proptest::collection::vec(0u32..10, 1..5),
+    ) {
+        let mut lp = LinearProgram::maximize(nv);
+        for (i, &c) in obj.iter().take(nv).enumerate() {
+            lp.set_objective(i, c as f64);
+        }
+        let mut stored = Vec::new();
+        for (coeffs, rhs) in &rows {
+            let cs: Vec<(usize, f64)> = coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (i % nv, c as f64))
+                .collect();
+            lp.add_le(&cs, *rhs as f64);
+            stored.push((cs, *rhs as f64));
+        }
+        if let Some(sol) = lp.solve().optimal() {
+            for (cs, rhs) in &stored {
+                let lhs: f64 = cs.iter().map(|&(v, c)| c * sol.x[v]).sum();
+                prop_assert!(lhs <= rhs + 1e-6, "violated: {lhs} > {rhs}");
+            }
+            for &v in &sol.x {
+                prop_assert!(v >= -1e-9);
+            }
+        }
+        // Note: objective may be unbounded when some variable has positive
+        // objective and never appears in a constraint; both outcomes are fine.
+    }
+}

@@ -1,0 +1,145 @@
+//! Synthetic ~25-site inter-DC network.
+//!
+//! §5.1: "The inter-DC network has about 25 sites. There are several sites
+//! called 'super cores' that are connected to many smaller sites, and the
+//! super cores are connected in a ring topology." This generator builds
+//! exactly that shape: `SUPER_CORES` hubs in a ring (with doubled ring
+//! capacity), each serving a cluster of leaf data centers, plus a few
+//! leaf-to-leaf shortcuts inside clusters.
+
+use crate::Network;
+use owan_core::Topology;
+use owan_optical::{FiberPlant, OpticalParams};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Number of super-core hub sites.
+pub const SUPER_CORES: usize = 4;
+
+/// Leaf data centers per super core.
+pub const LEAVES_PER_CORE: usize = 5;
+
+/// Total sites (`SUPER_CORES * (1 + LEAVES_PER_CORE)`).
+pub const INTERDC_SITES: usize = SUPER_CORES * (1 + LEAVES_PER_CORE);
+
+/// Generates the inter-DC network deterministically from a seed.
+pub fn inter_dc(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = INTERDC_SITES;
+
+    // Ids: 0..SUPER_CORES are the cores; leaves follow, grouped by core.
+    let core = |c: usize| c;
+    let leaf = |c: usize, l: usize| SUPER_CORES + c * LEAVES_PER_CORE + l;
+
+    let mut topo = Topology::empty(n);
+    // Super-core ring, doubled (two circuits per ring adjacency).
+    for c in 0..SUPER_CORES {
+        topo.add_links(core(c), core((c + 1) % SUPER_CORES), 2);
+    }
+    // Each leaf dual-homed to its core.
+    for c in 0..SUPER_CORES {
+        for l in 0..LEAVES_PER_CORE {
+            topo.add_links(core(c), leaf(c, l), 2);
+        }
+    }
+    // One intra-cluster leaf-leaf shortcut per cluster.
+    for c in 0..SUPER_CORES {
+        let a = rng.random_range(0..LEAVES_PER_CORE);
+        let mut b = rng.random_range(0..LEAVES_PER_CORE);
+        if a == b {
+            b = (b + 1) % LEAVES_PER_CORE;
+        }
+        topo.add_links(leaf(c, a), leaf(c, b), 1);
+    }
+
+    // Geography: cores on a square, leaves scattered around their core.
+    // Core spacing stays within the 2,000 km optical reach so every ring
+    // span is a single all-optical segment.
+    let core_pos: [(f64, f64); 4] =
+        [(800.0, 800.0), (2_400.0, 800.0), (2_400.0, 1_900.0), (800.0, 1_900.0)];
+    let mut coords = vec![(0.0, 0.0); n];
+    for c in 0..SUPER_CORES {
+        coords[core(c)] = core_pos[c];
+        for l in 0..LEAVES_PER_CORE {
+            let (cx, cy) = core_pos[c];
+            coords[leaf(c, l)] = (
+                cx + rng.random_range(-500.0..500.0),
+                cy + rng.random_range(-400.0..400.0),
+            );
+        }
+    }
+    let dist = |a: usize, b: usize| -> f64 {
+        let (ax, ay) = coords[a];
+        let (bx, by) = coords[b];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt().max(30.0)
+    };
+
+    let params = OpticalParams {
+        wavelength_capacity_gbps: 100.0,
+        wavelengths_per_fiber: 80,
+        optical_reach_km: 2_000.0,
+        ..Default::default()
+    };
+    let mut plant = FiberPlant::new(params);
+    for s in 0..n {
+        let is_core = s < SUPER_CORES;
+        let regens = if is_core { 16 } else { 2 };
+        plant.add_site(
+            &if is_core { format!("CORE{s}") } else { format!("DC{s:02}") },
+            topo.degree(s),
+            regens,
+        );
+    }
+    // Fibers mirror the adjacency (one fiber pair per distinct adjacency).
+    for (u, v, _m) in topo.links() {
+        plant.add_fiber(u, v, dist(u, v));
+    }
+
+    Network { name: "interdc".into(), plant, static_topology: topo }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_four_sites() {
+        let net = inter_dc(7);
+        assert_eq!(net.plant.site_count(), 24);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn cores_form_doubled_ring() {
+        let net = inter_dc(7);
+        for c in 0..SUPER_CORES {
+            let next = (c + 1) % SUPER_CORES;
+            assert_eq!(net.static_topology.multiplicity(c, next), 2);
+        }
+    }
+
+    #[test]
+    fn leaves_dual_homed() {
+        let net = inter_dc(7);
+        for c in 0..SUPER_CORES {
+            for l in 0..LEAVES_PER_CORE {
+                let leaf = SUPER_CORES + c * LEAVES_PER_CORE + l;
+                assert_eq!(net.static_topology.multiplicity(c, leaf), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn cores_have_many_ports() {
+        let net = inter_dc(7);
+        // Core degree: 2 ring neighbors x2 + 5 leaves x2 = 14.
+        for c in 0..SUPER_CORES {
+            assert_eq!(net.plant.router_ports(c), 14);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(inter_dc(3).static_topology, inter_dc(3).static_topology);
+    }
+}

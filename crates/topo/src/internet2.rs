@@ -1,0 +1,162 @@
+//! The 9-site Internet2 network of Figure 1.
+//!
+//! Sites (matching the figure's labels): SEAT, LOSA, SALT, DENV, KANS,
+//! HOUS, CHIC, ATLA, WASH. The IP-layer reference topology follows
+//! Figure 1(b); fiber distances approximate the physical footprint of
+//! Figure 1(a).
+
+use crate::Network;
+use owan_core::Topology;
+use owan_optical::{FiberPlant, OpticalParams};
+
+/// Site names in id order.
+pub const SITES: [&str; 9] = [
+    "SEAT", "LOSA", "SALT", "DENV", "KANS", "HOUS", "CHIC", "ATLA", "WASH",
+];
+
+/// IP-layer links of Figure 1(b): `(u, v, fiber length km)`.
+const LINKS: [(usize, usize, f64); 12] = [
+    (0, 2, 1_130.0), // SEAT-SALT
+    (0, 1, 1_540.0), // SEAT-LOSA
+    (1, 2, 940.0),   // LOSA-SALT
+    (1, 5, 2_200.0), // LOSA-HOUS
+    (2, 3, 600.0),   // SALT-DENV
+    (3, 4, 880.0),   // DENV-KANS
+    (4, 6, 660.0),   // KANS-CHIC
+    (5, 4, 1_180.0), // HOUS-KANS
+    (5, 7, 1_130.0), // HOUS-ATLA
+    (6, 7, 950.0),   // CHIC-ATLA
+    (6, 8, 960.0),   // CHIC-WASH
+    (7, 8, 870.0),   // ATLA-WASH
+];
+
+/// The static IP-layer reference topology (Figure 1(b)), one circuit per
+/// link.
+fn reference_topology() -> Topology {
+    let mut t = Topology::empty(9);
+    for &(u, v, _) in &LINKS {
+        t.add_links(u, v, 1);
+    }
+    t
+}
+
+/// Router ports per site = degree in the reference topology (all ports in
+/// use, as on the testbed where reconfiguration re-spends the same ports).
+fn ports() -> [u32; 9] {
+    let t = reference_topology();
+    core::array::from_fn(|s| t.degree(s))
+}
+
+/// The paper's hardware testbed (§4.1): nine ROADMs in a **full mesh** of
+/// short patch fibers, 15 wavelengths per fiber at 10 Gbps. The full mesh
+/// means any network-layer topology Internet2 can form is constructible.
+pub fn internet2_testbed() -> Network {
+    let params = OpticalParams {
+        wavelength_capacity_gbps: 10.0,
+        wavelengths_per_fiber: 15,
+        optical_reach_km: 10_000.0, // patch fibers: reach never binds
+        ..Default::default()
+    };
+    let mut plant = FiberPlant::new(params);
+    let ports = ports();
+    for (i, name) in SITES.iter().enumerate() {
+        plant.add_site(name, ports[i], 2);
+    }
+    for i in 0..9 {
+        for j in i + 1..9 {
+            plant.add_fiber(i, j, 10.0); // lab patch fiber
+        }
+    }
+    Network {
+        name: "internet2".into(),
+        plant,
+        static_topology: reference_topology(),
+    }
+}
+
+/// A realistic Internet2-scale WAN: fibers follow the physical footprint of
+/// Figure 1(a) with geographic distances, 100 Gbps wavelengths, 2,000 km
+/// optical reach, and regenerators concentrated at interior sites
+/// (SALT, DENV, KANS, CHIC — cf. the regenerator-concentration practice of
+/// [14, 15]).
+pub fn internet2_wan() -> Network {
+    let params = OpticalParams {
+        wavelength_capacity_gbps: 100.0,
+        wavelengths_per_fiber: 40,
+        optical_reach_km: 2_000.0,
+        ..Default::default()
+    };
+    let mut plant = FiberPlant::new(params);
+    let ports = ports();
+    for (i, name) in SITES.iter().enumerate() {
+        // Regenerator concentration at interior sites.
+        let regens = match *name {
+            "SALT" | "DENV" | "KANS" | "CHIC" => 8,
+            _ => 2,
+        };
+        plant.add_site(name, ports[i], regens);
+    }
+    for &(u, v, km) in &LINKS {
+        plant.add_fiber(u, v, km);
+    }
+    Network {
+        name: "internet2-wan".into(),
+        plant,
+        static_topology: reference_topology(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_sites_twelve_links() {
+        let net = internet2_testbed();
+        assert_eq!(net.plant.site_count(), 9);
+        assert_eq!(net.static_topology.total_links(), 12);
+        assert_eq!(net.plant.fiber_count(), 36, "full mesh of 9 sites");
+    }
+
+    #[test]
+    fn wan_variant_uses_real_fibers() {
+        let net = internet2_wan();
+        assert_eq!(net.plant.fiber_count(), 12);
+        // LOSA-HOUS is the longest span and must exceed the typical reach
+        // budget no site-pair is unreachable though.
+        assert!(net.plant.fiber_distance(1, 5) <= 2_200.0);
+    }
+
+    #[test]
+    fn testbed_matches_paper_hardware() {
+        let net = internet2_testbed();
+        assert_eq!(net.plant.params().wavelengths_per_fiber, 15);
+        assert_eq!(net.plant.params().wavelength_capacity_gbps, 10.0);
+    }
+
+    #[test]
+    fn site_names_resolve() {
+        let net = internet2_wan();
+        assert_eq!(net.plant.site_by_name("SEAT"), Some(0));
+        assert_eq!(net.plant.site_by_name("WASH"), Some(8));
+    }
+
+    #[test]
+    fn ports_equal_reference_degree() {
+        let net = internet2_testbed();
+        // SEAT: links to SALT and LOSA.
+        assert_eq!(net.plant.router_ports(0), 2);
+        // KANS: DENV, CHIC, HOUS.
+        assert_eq!(net.plant.router_ports(4), 3);
+    }
+
+    #[test]
+    fn every_pair_connected_in_wan_plant() {
+        let net = internet2_wan();
+        for i in 0..9 {
+            for j in 0..9 {
+                assert!(net.plant.fiber_distance(i, j).is_finite());
+            }
+        }
+    }
+}

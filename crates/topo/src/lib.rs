@@ -1,0 +1,123 @@
+//! WAN topologies used in the Owan evaluation (§5.1).
+//!
+//! Three networks:
+//!
+//! * [`internet2`] — the 9-site Internet2 footprint of Figure 1, in two
+//!   flavors: the paper's *testbed* (full-mesh fiber, 15 wavelengths of
+//!   10 Gbps) and a realistic *WAN* fiber plant with geographic distances;
+//! * [`isp`] — a ~40-site irregular-mesh ISP backbone (the paper's ISP
+//!   traces are proprietary; the generator reproduces the described
+//!   structure — see DESIGN.md §2);
+//! * [`interdc`] — a ~25-site inter-DC network: "super cores" in a ring,
+//!   each serving a cluster of smaller sites.
+//!
+//! Every constructor returns a [`Network`]: the fiber plant plus the static
+//! network-layer topology that fixed-topology baselines (MaxFlow,
+//! MaxMinFract, SWAN, Tempus, Amoeba) use, with router port counts sized so
+//! the static topology consumes exactly the available ports — reconfiguring
+//! then re-spends the same ports, as on the paper's testbed.
+
+pub mod interdc;
+pub mod internet2;
+pub mod isp;
+
+use owan_core::Topology;
+use owan_optical::FiberPlant;
+
+/// A named evaluation network: physical plant + static reference topology.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Short name used in result tables ("internet2", "isp", "interdc").
+    pub name: String,
+    /// The physical infrastructure.
+    pub plant: FiberPlant,
+    /// The static network-layer topology used by fixed-topology baselines
+    /// and as Owan's initial state.
+    pub static_topology: Topology,
+}
+
+impl Network {
+    /// Per-site relative demand weights used by the workload generator
+    /// (heavier sites source/sink more traffic). Derived from static-
+    /// topology degree — a standard gravity-model proxy when real traces
+    /// are unavailable.
+    pub fn site_weights(&self) -> Vec<f64> {
+        (0..self.plant.site_count())
+            .map(|s| self.static_topology.degree(s) as f64)
+            .collect()
+    }
+
+    /// Total router-port capacity of the network, Gbps (each port drives
+    /// one wavelength of capacity θ). An upper bound on instantaneous
+    /// throughput; used to calibrate workload load factors.
+    pub fn total_port_capacity_gbps(&self) -> f64 {
+        let theta = self.plant.params().wavelength_capacity_gbps;
+        let ports: u32 = (0..self.plant.site_count())
+            .map(|s| self.plant.router_ports(s))
+            .sum();
+        // Each link consumes two ports, so the usable simultaneous
+        // capacity is half the port-rate sum.
+        ports as f64 * theta / 2.0
+    }
+
+    /// Validates internal consistency (ports cover the static topology,
+    /// topology connects all routers). Returns an error message on
+    /// violation; used by tests for every shipped network.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.static_topology.ports_feasible(&self.plant) {
+            return Err(format!("{}: static topology exceeds router ports", self.name));
+        }
+        if !self.static_topology.connects_routers(&self.plant) {
+            return Err(format!("{}: static topology does not connect routers", self.name));
+        }
+        for s in 0..self.plant.site_count() {
+            if self.plant.site(s).has_router()
+                && self.static_topology.degree(s) != self.plant.router_ports(s)
+            {
+                return Err(format!(
+                    "{}: site {s} uses {} of {} ports (must use all, as on the testbed)",
+                    self.name,
+                    self.static_topology.degree(s),
+                    self.plant.router_ports(s)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+pub use interdc::inter_dc;
+pub use internet2::{internet2_testbed, internet2_wan};
+pub use isp::isp_backbone;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_networks_validate() {
+        for net in [
+            internet2_testbed(),
+            internet2_wan(),
+            isp_backbone(7),
+            inter_dc(7),
+        ] {
+            net.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn site_weights_match_degree() {
+        let net = internet2_testbed();
+        let w = net.site_weights();
+        for (s, &weight) in w.iter().enumerate() {
+            assert_eq!(weight, net.static_topology.degree(s) as f64);
+        }
+    }
+
+    #[test]
+    fn port_capacity_positive() {
+        assert!(internet2_testbed().total_port_capacity_gbps() > 0.0);
+        assert!(isp_backbone(1).total_port_capacity_gbps() > 0.0);
+    }
+}

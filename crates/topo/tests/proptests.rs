@@ -1,0 +1,53 @@
+//! Property tests for the topology generators: every seed must yield a
+//! valid, connected, optically-realizable network.
+
+use owan_core::{build_topology, CircuitBuildConfig};
+use owan_topo::{inter_dc, isp_backbone};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn isp_generator_valid_for_every_seed(seed in any::<u64>()) {
+        let net = isp_backbone(seed);
+        net.validate().map_err(TestCaseError::fail)?;
+        // Connected fiber plant.
+        for s in 1..net.plant.site_count() {
+            prop_assert!(net.plant.fiber_distance(0, s).is_finite());
+        }
+        // The static topology must be buildable in full on its own plant —
+        // otherwise the fixed-topology baselines assume capacity that the
+        // optical layer cannot deliver.
+        let fd = net.plant.fiber_distance_matrix();
+        let built = build_topology(
+            &net.plant,
+            &net.static_topology,
+            &fd,
+            &CircuitBuildConfig::default(),
+        );
+        prop_assert_eq!(
+            built.achieved.total_links(),
+            net.static_topology.total_links(),
+            "static ISP topology not fully realizable"
+        );
+    }
+
+    #[test]
+    fn interdc_generator_valid_for_every_seed(seed in any::<u64>()) {
+        let net = inter_dc(seed);
+        net.validate().map_err(TestCaseError::fail)?;
+        let fd = net.plant.fiber_distance_matrix();
+        let built = build_topology(
+            &net.plant,
+            &net.static_topology,
+            &fd,
+            &CircuitBuildConfig::default(),
+        );
+        prop_assert_eq!(
+            built.achieved.total_links(),
+            net.static_topology.total_links(),
+            "static inter-DC topology not fully realizable"
+        );
+    }
+}

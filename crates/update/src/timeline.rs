@@ -1,0 +1,230 @@
+//! Replaying an update schedule into a carried-throughput timeline
+//! (Figure 10(b)).
+//!
+//! At any instant, a path carries traffic iff it is installed (old paths
+//! until their removal *completes*; new paths once their installation
+//! *ends*)
+//! and every link it crosses has enough *lit* circuit capacity. A circuit
+//! goes dark when its teardown starts and a new circuit lights up when its
+//! setup ends — so a one-shot update leaves paths riding dark circuits and
+//! the timeline shows the throughput dip the paper measures.
+
+use crate::plan::{NetworkDelta, OpKind, UpdateParams, UpdatePlan};
+use owan_optical::SiteId;
+use std::collections::HashMap;
+
+/// One sample of the carried-throughput timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePoint {
+    /// Time, seconds from the start of the update.
+    pub time_s: f64,
+    /// Total carried traffic, Gbps.
+    pub throughput_gbps: f64,
+}
+
+/// Replays `plan` over `delta` and samples carried throughput every
+/// `dt_s` seconds from `0` to `horizon_s` (which should cover the plan's
+/// makespan plus some margin).
+pub fn throughput_timeline(
+    delta: &NetworkDelta,
+    plan: &UpdatePlan,
+    params: &UpdateParams,
+    dt_s: f64,
+    horizon_s: f64,
+) -> Vec<TimelinePoint> {
+    assert!(dt_s > 0.0 && horizon_s > 0.0);
+
+    // Precompute per-op windows by identity.
+    let mut remove_end: HashMap<usize, f64> = HashMap::new();
+    let mut add_end: HashMap<usize, f64> = HashMap::new();
+    let mut teardown_start: HashMap<usize, f64> = HashMap::new();
+    let mut setup_end: HashMap<usize, f64> = HashMap::new();
+    for op in &plan.ops {
+        match op.kind {
+            OpKind::RemovePath(i) => {
+                remove_end.insert(i, op.end_s);
+            }
+            OpKind::AddPath(i) => {
+                add_end.insert(i, op.end_s);
+            }
+            OpKind::TeardownCircuit(i) => {
+                teardown_start.insert(i, op.start_s);
+            }
+            OpKind::SetupCircuit(i) => {
+                setup_end.insert(i, op.end_s);
+            }
+        }
+    }
+
+    let key = |u: SiteId, v: SiteId| (u.min(v), u.max(v));
+    let theta = params.theta_gbps;
+
+    let mut points = Vec::new();
+    let steps = (horizon_s / dt_s).ceil() as usize;
+    for step in 0..=steps {
+        let t = step as f64 * dt_s;
+
+        // Lit circuits per link at time t.
+        let mut lit: HashMap<(SiteId, SiteId), f64> = delta
+            .initial_circuits
+            .iter()
+            .map(|(&k, &m)| (k, m as f64 * theta))
+            .collect();
+        for (i, c) in delta.removed_circuits.iter().enumerate() {
+            let start = teardown_start.get(&i).copied().unwrap_or(f64::INFINITY);
+            if t >= start {
+                let e = lit.entry(key(c.u, c.v)).or_insert(0.0);
+                *e = (*e - theta).max(0.0);
+            }
+        }
+        for (i, c) in delta.added_circuits.iter().enumerate() {
+            let end = setup_end.get(&i).copied().unwrap_or(f64::INFINITY);
+            if t >= end {
+                *lit.entry(key(c.u, c.v)).or_insert(0.0) += theta;
+            }
+        }
+
+        // Installed paths at time t, in deterministic order.
+        let mut residual = lit;
+        let mut total = 0.0;
+        let carry = |nodes: &[SiteId], rate: f64, residual: &mut HashMap<(SiteId, SiteId), f64>| {
+            let feasible = nodes
+                .windows(2)
+                .map(|w| residual.get(&key(w[0], w[1])).copied().unwrap_or(0.0))
+                .fold(f64::INFINITY, f64::min);
+            let served = rate.min(feasible.max(0.0));
+            if served > 0.0 {
+                for w in nodes.windows(2) {
+                    *residual.get_mut(&key(w[0], w[1])).expect("seen above") -= served;
+                }
+            }
+            served
+        };
+        for p in &delta.unchanged_paths {
+            total += carry(&p.nodes, p.rate_gbps, &mut residual);
+        }
+        for (i, p) in delta.removed_paths.iter().enumerate() {
+            let stop = remove_end.get(&i).copied().unwrap_or(f64::INFINITY);
+            if t < stop {
+                total += carry(&p.nodes, p.rate_gbps, &mut residual);
+            }
+        }
+        for (i, p) in delta.added_paths.iter().enumerate() {
+            let live = add_end.get(&i).copied().unwrap_or(f64::INFINITY);
+            if t >= live {
+                total += carry(&p.nodes, p.rate_gbps, &mut residual);
+            }
+        }
+
+        points.push(TimelinePoint { time_s: t, throughput_gbps: total });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{plan_consistent, plan_one_shot};
+    use owan_core::{Allocation, Topology};
+
+    /// Old ring with traffic on 1-2; new topology drops 1-2 and doubles
+    /// 0-1, rerouting the transfer over 0-1... built from real plans.
+    fn delta() -> NetworkDelta {
+        let mut old_t = Topology::empty(4);
+        for i in 0..4 {
+            old_t.add_links(i, (i + 1) % 4, 1);
+        }
+        let mut new_t = Topology::empty(4);
+        new_t.add_links(0, 1, 2);
+        new_t.add_links(2, 3, 2);
+        let old_a = vec![
+            Allocation { transfer: 0, paths: vec![(vec![0, 1], 80.0)] },
+            Allocation { transfer: 1, paths: vec![(vec![2, 3], 80.0)] },
+        ];
+        let new_a = vec![
+            Allocation { transfer: 0, paths: vec![(vec![0, 1], 160.0)] },
+            Allocation { transfer: 1, paths: vec![(vec![2, 3], 160.0)] },
+        ];
+        NetworkDelta::from_plans(&old_t, &old_a, &new_t, &new_a, 4)
+    }
+
+    #[test]
+    fn consistent_update_never_dips() {
+        let d = delta();
+        let params = UpdateParams::default();
+        let plan = plan_consistent(&d, &params);
+        let tl = throughput_timeline(&d, &plan, &params, 0.1, plan.makespan_s + 2.0);
+        let initial = tl[0].throughput_gbps;
+        assert!((initial - 160.0).abs() < 1e-6, "initial carried {initial}");
+        for p in &tl {
+            assert!(
+                p.throughput_gbps >= initial - 1e-6,
+                "dip to {} at t={}",
+                p.throughput_gbps,
+                p.time_s
+            );
+        }
+        // And it ends higher (the doubled links carry 320).
+        let final_tp = tl.last().unwrap().throughput_gbps;
+        assert!((final_tp - 320.0).abs() < 1e-6, "final {final_tp}");
+    }
+
+    /// A reroute: the transfer moves from the two-hop path 0-3-2 to a new
+    /// direct 0-2 circuit (the 0-3 link is dropped to pay for it).
+    fn reroute_delta() -> NetworkDelta {
+        let mut old_t = Topology::empty(4);
+        for i in 0..4 {
+            old_t.add_links(i, (i + 1) % 4, 1);
+        }
+        let mut new_t = Topology::empty(4);
+        new_t.add_links(0, 1, 1);
+        new_t.add_links(1, 2, 1);
+        new_t.add_links(2, 3, 1);
+        new_t.add_links(0, 2, 1);
+        let old_a = vec![Allocation { transfer: 0, paths: vec![(vec![0, 3, 2], 80.0)] }];
+        let new_a = vec![Allocation { transfer: 0, paths: vec![(vec![0, 2], 80.0)] }];
+        NetworkDelta::from_plans(&old_t, &old_a, &new_t, &new_a, 4)
+    }
+
+    #[test]
+    fn one_shot_update_dips() {
+        // One-shot removes the old path immediately while the new circuit
+        // is still dark for `circuit_time_s`: traffic gap.
+        let d = reroute_delta();
+        let params = UpdateParams::default();
+        let plan = plan_one_shot(&d, &params);
+        let tl = throughput_timeline(&d, &plan, &params, 0.1, 8.0);
+        let min = tl.iter().map(|p| p.throughput_gbps).fold(f64::INFINITY, f64::min);
+        assert!(min < 1.0, "one-shot should drop the flow, min was {min}");
+        let final_tp = tl.last().unwrap().throughput_gbps;
+        assert!((final_tp - 80.0).abs() < 1e-6, "recovers to {final_tp}");
+    }
+
+    #[test]
+    fn consistent_reroute_is_hitless() {
+        let d = reroute_delta();
+        let params = UpdateParams::default();
+        let plan = plan_consistent(&d, &params);
+        let tl = throughput_timeline(&d, &plan, &params, 0.1, plan.makespan_s + 2.0);
+        for p in &tl {
+            assert!(
+                p.throughput_gbps >= 80.0 - 1e-6,
+                "dip to {} at t={}",
+                p.throughput_gbps,
+                p.time_s
+            );
+        }
+    }
+
+    #[test]
+    fn timeline_is_dense_and_monotone_in_time() {
+        let d = delta();
+        let params = UpdateParams::default();
+        let plan = plan_consistent(&d, &params);
+        let tl = throughput_timeline(&d, &plan, &params, 0.5, 10.0);
+        assert_eq!(tl.len(), 21);
+        for w in tl.windows(2) {
+            assert!(w[1].time_s > w[0].time_s);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the update scheduler: random state transitions must
+//! produce complete, well-formed schedules, and the replayed timeline must
+//! satisfy conservation properties (non-negative, settles at the target
+//! allocation, consistent ≥ one-shot at every instant in carried traffic
+//! floor).
+
+use owan_core::{Allocation, Topology};
+use owan_update::{
+    plan_consistent, plan_one_shot, throughput_timeline, NetworkDelta, OpKind, UpdateParams,
+};
+use proptest::prelude::*;
+
+const THETA: f64 = 10.0;
+
+/// Random topology over `n` sites with ports bounded by 4.
+fn topology(n: usize, pairs: &[(usize, usize)]) -> Topology {
+    let mut t = Topology::empty(n);
+    for &(a, b) in pairs {
+        let (u, v) = (a % n, b % n);
+        if u != v && t.degree(u) < 4 && t.degree(v) < 4 {
+            t.add_links(u, v, 1);
+        }
+    }
+    t
+}
+
+/// Allocations on single-hop paths of the topology, within capacity.
+fn allocations(topo: &Topology, loads: &[(usize, u32)]) -> Vec<Allocation> {
+    let links = topo.links();
+    if links.is_empty() {
+        return Vec::new();
+    }
+    let mut used = std::collections::HashMap::<(usize, usize), f64>::new();
+    loads
+        .iter()
+        .enumerate()
+        .filter_map(|(id, &(pick, load))| {
+            let (u, v, m) = links[pick % links.len()];
+            let cap = m as f64 * THETA;
+            let already = used.entry((u, v)).or_insert(0.0);
+            let rate = (load as f64).min(cap - *already);
+            if rate > 0.5 {
+                *already += rate;
+                Some(Allocation { transfer: id, paths: vec![(vec![u, v], rate)] })
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn arb_case() -> impl Strategy<
+    Value = (usize, Vec<(usize, usize)>, Vec<(usize, u32)>, Vec<(usize, usize)>, Vec<(usize, u32)>),
+> {
+    (4usize..8).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 3..10),
+            proptest::collection::vec((0usize..32, 1u32..10), 0..6),
+            proptest::collection::vec((0..n, 0..n), 3..10),
+            proptest::collection::vec((0usize..32, 1u32..10), 0..6),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn consistent_schedules_every_op_exactly_once(
+        (n, p1, l1, p2, l2) in arb_case()
+    ) {
+        let old_t = topology(n, &p1);
+        let new_t = topology(n, &p2);
+        let old_a = allocations(&old_t, &l1);
+        let new_a = allocations(&new_t, &l2);
+        let delta = NetworkDelta::from_plans(&old_t, &old_a, &new_t, &new_a, 4);
+        let params = UpdateParams { theta_gbps: THETA, ..Default::default() };
+        let plan = plan_consistent(&delta, &params);
+
+        prop_assert_eq!(plan.ops.len(), delta.op_count());
+        // Each identity appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for op in &plan.ops {
+            prop_assert!(seen.insert(format!("{:?}", op.kind)), "duplicate {:?}", op.kind);
+            prop_assert!(op.start_s >= -1e-9);
+            prop_assert!(op.end_s > op.start_s - 1e-9);
+            let dur = op.end_s - op.start_s;
+            match op.kind {
+                OpKind::RemovePath(_) | OpKind::AddPath(_) => {
+                    prop_assert!((dur - params.path_time_s).abs() < 1e-9)
+                }
+                _ => prop_assert!((dur - params.circuit_time_s).abs() < 1e-9),
+            }
+        }
+        prop_assert!(plan.makespan_s <= 100.0 * params.circuit_time_s,
+            "makespan {} unreasonable", plan.makespan_s);
+    }
+
+    #[test]
+    fn timelines_settle_at_the_target(
+        (n, p1, l1, p2, l2) in arb_case()
+    ) {
+        let old_t = topology(n, &p1);
+        let new_t = topology(n, &p2);
+        let old_a = allocations(&old_t, &l1);
+        let new_a = allocations(&new_t, &l2);
+        let delta = NetworkDelta::from_plans(&old_t, &old_a, &new_t, &new_a, 4);
+        let params = UpdateParams { theta_gbps: THETA, ..Default::default() };
+
+        let new_total: f64 = new_a.iter().map(|a| a.total_rate()).sum();
+        for plan in [plan_consistent(&delta, &params), plan_one_shot(&delta, &params)] {
+            let tl = throughput_timeline(&delta, &plan, &params, 0.25, plan.makespan_s + 3.0);
+            for p in &tl {
+                prop_assert!(p.throughput_gbps >= -1e-9);
+            }
+            // After the makespan, exactly the new allocation is carried
+            // (single-hop paths within capacity by construction).
+            let settled = tl.last().expect("non-empty timeline").throughput_gbps;
+            prop_assert!(
+                (settled - new_total).abs() < 1e-6,
+                "settled {settled} vs target {new_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn consistent_always_carries_unchanged_traffic(
+        (n, p1, l1, p2, l2) in arb_case()
+    ) {
+        // The hitless guarantee: traffic that exists in both states (the
+        // unchanged paths) is never disrupted by a consistent update —
+        // teardowns wait until the load fits the surviving circuits. (No
+        // such guarantee holds for one-shot, which is the point of
+        // Figure 10(b).)
+        let old_t = topology(n, &p1);
+        let new_t = topology(n, &p2);
+        let old_a = allocations(&old_t, &l1);
+        let new_a = allocations(&new_t, &l2);
+        let delta = NetworkDelta::from_plans(&old_t, &old_a, &new_t, &new_a, 4);
+        let unchanged_total: f64 = delta.unchanged_paths.iter().map(|p| p.rate_gbps).sum();
+        let params = UpdateParams { theta_gbps: THETA, ..Default::default() };
+        let c = plan_consistent(&delta, &params);
+        if c.ops.iter().any(|o| o.forced) {
+            // A genuine resource deadlock (Dionysus resolves these by rate
+            // reduction, which we surface instead): the guarantee is
+            // waived, exactly as documented on `ScheduledOp::forced`.
+            return Ok(());
+        }
+        let tl = throughput_timeline(&delta, &c, &params, 0.25, c.makespan_s + 2.0);
+        for p in &tl {
+            prop_assert!(
+                p.throughput_gbps >= unchanged_total - 1e-6,
+                "carried {} below unchanged floor {unchanged_total} at t={}",
+                p.throughput_gbps,
+                p.time_s
+            );
+        }
+    }
+}

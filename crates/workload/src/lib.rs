@@ -1,0 +1,335 @@
+//! Synthetic bulk-transfer workload generation, following §5.1 of the
+//! paper.
+//!
+//! The paper derives only *per-site demand sums* from its (proprietary)
+//! traces, then generates synthetic transfers: sizes follow an exponential
+//! distribution, endpoints are drawn among site pairs whose demand budget
+//! is not yet exhausted, arrivals span a two-hour window, and deadlines (if
+//! any) are uniform in `[T, σT]` where `T` is the slot length and `σ` the
+//! *deadline factor*. The inter-DC trace additionally shows "hotspots …
+//! that generate lots of transfers for a period of time, and these hotspots
+//! can move from site to site" — reproduced by the [`HotspotConfig`] model.
+//!
+//! All generation is deterministic given the seed.
+
+use owan_core::TransferRequest;
+use owan_topo::Network;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fraction of the network's port capacity that the λ = 1 workload demands
+/// on average over the generation window. The paper's absolute traffic
+/// volumes are proprietary; this constant calibrates "load factor 1" to a
+/// comfortably-loaded network so the λ sweep (0.5–2.0) spans under- to
+/// over-subscribed, matching the qualitative regime of Figures 7–9.
+pub const BASE_UTILIZATION: f64 = 0.35;
+
+/// Deadline generation parameters (§5.1: deadlines are "chosen from a
+/// uniform distribution between `[T, σT]`").
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineConfig {
+    /// The time-slot length `T`, seconds.
+    pub slot_len_s: f64,
+    /// The deadline factor `σ` controlling deadline tightness.
+    pub factor: f64,
+}
+
+/// Moving-hotspot model for the inter-DC workload.
+#[derive(Debug, Clone, Copy)]
+pub struct HotspotConfig {
+    /// How long one site stays the hotspot, seconds.
+    pub period_s: f64,
+    /// Probability that a transfer generated during a hotspot period has
+    /// the hotspot as its source.
+    pub intensity: f64,
+}
+
+/// Workload generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Arrival window length, seconds (the paper generates "transfers for
+    /// two hours").
+    pub duration_s: f64,
+    /// Mean transfer size, gigabits (exponential distribution). The paper
+    /// uses 500 GB for testbed and 5 TB for simulation experiments.
+    pub mean_size_gbits: f64,
+    /// Traffic load factor λ scaling every site's demand budget.
+    pub load_factor: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Deadline generation; `None` for deadline-unconstrained traffic.
+    pub deadlines: Option<DeadlineConfig>,
+    /// Moving hotspots; `None` for ISP-style traffic.
+    pub hotspots: Option<HotspotConfig>,
+}
+
+impl WorkloadConfig {
+    /// The paper's testbed setting: two hours, 500 GB mean, no deadlines.
+    pub fn testbed(load_factor: f64, seed: u64) -> Self {
+        WorkloadConfig {
+            duration_s: 7_200.0,
+            mean_size_gbits: 500.0 * 8.0,
+            load_factor,
+            seed,
+            deadlines: None,
+            hotspots: None,
+        }
+    }
+
+    /// The paper's simulation setting: two hours, 5 TB mean.
+    pub fn simulation(load_factor: f64, seed: u64) -> Self {
+        WorkloadConfig {
+            duration_s: 7_200.0,
+            mean_size_gbits: 5_000.0 * 8.0,
+            load_factor,
+            seed,
+            deadlines: None,
+            hotspots: None,
+        }
+    }
+
+    /// Adds deadline generation with the given deadline factor σ.
+    pub fn with_deadlines(mut self, slot_len_s: f64, factor: f64) -> Self {
+        self.deadlines = Some(DeadlineConfig { slot_len_s, factor });
+        self
+    }
+
+    /// Adds the inter-DC moving-hotspot model.
+    pub fn with_hotspots(mut self) -> Self {
+        self.hotspots = Some(HotspotConfig { period_s: 1_800.0, intensity: 0.5 });
+        self
+    }
+}
+
+/// Generates a workload for `network`, sorted by arrival time.
+pub fn generate(network: &Network, config: &WorkloadConfig) -> Vec<TransferRequest> {
+    assert!(config.duration_s > 0.0);
+    assert!(config.mean_size_gbits > 0.0);
+    assert!(config.load_factor > 0.0);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let weights = network.site_weights();
+    let weight_sum: f64 = weights.iter().sum();
+    assert!(weight_sum > 0.0, "network has no demand weights");
+
+    // Total volume budget: λ x capacity x window x base utilization,
+    // split across sites by weight. Each transfer debits both endpoints,
+    // so the per-site budgets sum to twice the volume.
+    let total_volume_gbits = config.load_factor
+        * network.total_port_capacity_gbps()
+        * config.duration_s
+        * BASE_UTILIZATION;
+    let mut site_budget: Vec<f64> = weights
+        .iter()
+        .map(|w| 2.0 * total_volume_gbits * w / weight_sum)
+        .collect();
+
+    let hotspot_sites: Vec<usize> = {
+        // Hotspots move among the highest-weight sites.
+        let mut idx: Vec<usize> = (0..weights.len()).collect();
+        idx.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
+        idx.truncate(4.min(idx.len()));
+        idx
+    };
+
+    let mut requests = Vec::new();
+    let mut generated = 0.0;
+    let max_transfers = (4.0 * total_volume_gbits / config.mean_size_gbits) as usize + 64;
+
+    while generated < total_volume_gbits && requests.len() < max_transfers {
+        let arrival_s = rng.random_range(0.0..config.duration_s);
+        let size = sample_exponential(&mut rng, config.mean_size_gbits);
+
+        // Source: hotspot with probability `intensity` during its period,
+        // otherwise budget-weighted.
+        let src = match config.hotspots {
+            Some(h) if rng.random::<f64>() < h.intensity => {
+                let period = (arrival_s / h.period_s) as usize;
+                hotspot_sites[period % hotspot_sites.len()]
+            }
+            _ => match weighted_pick(&mut rng, &site_budget, usize::MAX) {
+                Some(s) => s,
+                None => break,
+            },
+        };
+        let Some(dst) = weighted_pick(&mut rng, &site_budget, src) else {
+            break;
+        };
+
+        site_budget[src] = (site_budget[src] - size).max(0.0);
+        site_budget[dst] = (site_budget[dst] - size).max(0.0);
+        generated += size;
+
+        let deadline_s = config.deadlines.map(|d| {
+            let slack = rng.random_range(d.slot_len_s..=(d.factor * d.slot_len_s).max(d.slot_len_s + 1e-6));
+            arrival_s + slack
+        });
+
+        requests.push(TransferRequest {
+            src,
+            dst,
+            volume_gbits: size,
+            arrival_s,
+            deadline_s,
+        });
+    }
+
+    requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+    requests
+}
+
+/// Exponentially distributed sample with the given mean.
+fn sample_exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.random::<f64>();
+    // Guard against ln(0).
+    -mean * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+}
+
+/// Picks an index weighted by `weights`, excluding `exclude` and zero
+/// weights. Returns `None` if nothing is eligible.
+fn weighted_pick(rng: &mut StdRng, weights: &[f64], exclude: usize) -> Option<usize> {
+    let total: f64 = weights
+        .iter()
+        .enumerate()
+        .filter(|&(i, &w)| i != exclude && w > 0.0)
+        .map(|(_, &w)| w)
+        .sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if i == exclude || w <= 0.0 {
+            continue;
+        }
+        if target < w {
+            return Some(i);
+        }
+        target -= w;
+    }
+    // Floating-point edge: return the last eligible index.
+    weights
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|&(i, &w)| i != exclude && w > 0.0)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owan_topo::internet2_testbed;
+
+    #[test]
+    fn generates_sorted_transfers() {
+        let net = internet2_testbed();
+        let reqs = generate(&net, &WorkloadConfig::testbed(1.0, 42));
+        assert!(!reqs.is_empty());
+        for w in reqs.windows(2) {
+            assert!(w[0].arrival_s <= w[1].arrival_s);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = internet2_testbed();
+        let a = generate(&net, &WorkloadConfig::testbed(1.0, 42));
+        let b = generate(&net, &WorkloadConfig::testbed(1.0, 42));
+        assert_eq!(a, b);
+        let c = generate(&net, &WorkloadConfig::testbed(1.0, 43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn volume_scales_with_load_factor() {
+        let net = internet2_testbed();
+        let vol = |lf: f64| -> f64 {
+            generate(&net, &WorkloadConfig::testbed(lf, 42))
+                .iter()
+                .map(|r| r.volume_gbits)
+                .sum()
+        };
+        let v1 = vol(0.5);
+        let v2 = vol(2.0);
+        assert!(v2 > 3.0 * v1, "4x load factor ≈ 4x volume: {v1} vs {v2}");
+    }
+
+    #[test]
+    fn sizes_roughly_exponential() {
+        let net = internet2_testbed();
+        let cfg = WorkloadConfig::testbed(2.0, 7);
+        let reqs = generate(&net, &cfg);
+        assert!(reqs.len() > 50, "need a sample, got {}", reqs.len());
+        let mean: f64 =
+            reqs.iter().map(|r| r.volume_gbits).sum::<f64>() / reqs.len() as f64;
+        // Budget-capping trims the tail a bit; allow a generous band.
+        assert!(
+            mean > cfg.mean_size_gbits * 0.5 && mean < cfg.mean_size_gbits * 1.8,
+            "sample mean {mean} vs configured {}",
+            cfg.mean_size_gbits
+        );
+        let max = reqs.iter().map(|r| r.volume_gbits).fold(0.0, f64::max);
+        assert!(max > 2.0 * mean, "exponential tail present");
+    }
+
+    #[test]
+    fn endpoints_distinct_and_valid() {
+        let net = internet2_testbed();
+        for r in generate(&net, &WorkloadConfig::testbed(1.5, 11)) {
+            assert_ne!(r.src, r.dst);
+            assert!(r.src < net.plant.site_count());
+            assert!(r.dst < net.plant.site_count());
+        }
+    }
+
+    #[test]
+    fn deadlines_within_band() {
+        let net = internet2_testbed();
+        let cfg = WorkloadConfig::testbed(1.0, 5).with_deadlines(300.0, 20.0);
+        let reqs = generate(&net, &cfg);
+        assert!(!reqs.is_empty());
+        for r in &reqs {
+            let d = r.deadline_s.expect("deadline set");
+            let slack = d - r.arrival_s;
+            assert!(slack >= 300.0 - 1e-9, "slack {slack} below T");
+            assert!(slack <= 20.0 * 300.0 + 1e-9, "slack {slack} above σT");
+        }
+    }
+
+    #[test]
+    fn no_deadlines_by_default() {
+        let net = internet2_testbed();
+        for r in generate(&net, &WorkloadConfig::testbed(1.0, 5)) {
+            assert!(r.deadline_s.is_none());
+        }
+    }
+
+    #[test]
+    fn hotspots_concentrate_sources() {
+        let net = owan_topo::inter_dc(7);
+        let base = generate(&net, &WorkloadConfig::simulation(1.0, 9));
+        let hot = generate(&net, &WorkloadConfig::simulation(1.0, 9).with_hotspots());
+        let top_share = |reqs: &[owan_core::TransferRequest]| -> f64 {
+            let mut counts = vec![0usize; net.plant.site_count()];
+            for r in reqs {
+                counts[r.src] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            max as f64 / reqs.len() as f64
+        };
+        assert!(
+            top_share(&hot) > top_share(&base),
+            "hotspot model should concentrate sources"
+        );
+    }
+
+    #[test]
+    fn arrivals_within_window() {
+        let net = internet2_testbed();
+        let cfg = WorkloadConfig::testbed(1.0, 3);
+        for r in generate(&net, &cfg) {
+            assert!(r.arrival_s >= 0.0 && r.arrival_s < cfg.duration_s);
+        }
+    }
+}

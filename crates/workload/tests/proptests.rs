@@ -1,0 +1,98 @@
+//! Property tests for the workload generator: structural invariants of
+//! §5.1 synthesis across random seeds, loads, and deadline factors.
+
+use owan_topo::{inter_dc, internet2_testbed, isp_backbone};
+use owan_workload::{generate, WorkloadConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn structural_invariants(
+        seed in any::<u64>(),
+        load in 0.3f64..2.5,
+        net_pick in 0usize..3,
+    ) {
+        let net = match net_pick {
+            0 => internet2_testbed(),
+            1 => isp_backbone(7),
+            _ => inter_dc(7),
+        };
+        let cfg = if net_pick == 0 {
+            WorkloadConfig::testbed(load, seed)
+        } else {
+            WorkloadConfig::simulation(load, seed)
+        };
+        let reqs = generate(&net, &cfg);
+        prop_assert!(!reqs.is_empty());
+        for w in reqs.windows(2) {
+            prop_assert!(w[0].arrival_s <= w[1].arrival_s, "sorted by arrival");
+        }
+        for r in &reqs {
+            prop_assert!(r.src != r.dst);
+            prop_assert!(r.src < net.plant.site_count());
+            prop_assert!(r.dst < net.plant.site_count());
+            prop_assert!(r.volume_gbits > 0.0);
+            prop_assert!((0.0..cfg.duration_s).contains(&r.arrival_s));
+            prop_assert!(r.deadline_s.is_none());
+        }
+    }
+
+    #[test]
+    fn deadlines_respect_the_band(
+        seed in any::<u64>(),
+        sigma in 1.5f64..60.0,
+    ) {
+        let net = internet2_testbed();
+        let cfg = WorkloadConfig::testbed(1.0, seed).with_deadlines(300.0, sigma);
+        for r in generate(&net, &cfg) {
+            let slack = r.deadline_s.expect("deadline set") - r.arrival_s;
+            prop_assert!(slack >= 300.0 - 1e-9);
+            prop_assert!(slack <= sigma.max(1.0) * 300.0 + 1e-3);
+        }
+    }
+
+    #[test]
+    fn volume_monotone_in_load(seed in any::<u64>()) {
+        let net = internet2_testbed();
+        let vol = |load: f64| -> f64 {
+            generate(&net, &WorkloadConfig::testbed(load, seed))
+                .iter()
+                .map(|r| r.volume_gbits)
+                .sum()
+        };
+        let lo = vol(0.5);
+        let hi = vol(2.0);
+        prop_assert!(hi > lo, "load 2 volume {hi} <= load 0.5 volume {lo}");
+    }
+
+    #[test]
+    fn site_budgets_bound_per_site_volume(seed in any::<u64>()) {
+        // No site's total (in + out) traffic wildly exceeds its share of
+        // the demand budget: the budget is debited per endpoint, so the
+        // only overshoot is the final transfer that crosses zero.
+        let net = internet2_testbed();
+        let cfg = WorkloadConfig::testbed(1.0, seed);
+        let reqs = generate(&net, &cfg);
+        let weights = net.site_weights();
+        let wsum: f64 = weights.iter().sum();
+        let total: f64 = 1.0
+            * net.total_port_capacity_gbps()
+            * cfg.duration_s
+            * owan_workload::BASE_UTILIZATION;
+        let max_single: f64 = reqs.iter().map(|r| r.volume_gbits).fold(0.0, f64::max);
+        let mut per_site = vec![0.0f64; net.plant.site_count()];
+        for r in &reqs {
+            per_site[r.src] += r.volume_gbits;
+            per_site[r.dst] += r.volume_gbits;
+        }
+        for (s, &v) in per_site.iter().enumerate() {
+            let budget = 2.0 * total * weights[s] / wsum;
+            prop_assert!(
+                v <= budget + max_single + 1e-6,
+                "site {s}: volume {v} way over budget {budget}"
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: build a small optical WAN, submit bulk transfers, and let
+//! the Owan engine jointly pick the topology, routing, and rates for one
+//! time slot.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use owan::core::{
+    default_topology, OwanConfig, OwanEngine, SlotInput, TrafficEngineer, Transfer,
+    TransferRequest,
+};
+use owan::optical::{FiberPlant, OpticalParams};
+
+fn main() {
+    // ---- The physical plant: four sites on a 300 km ring. Each site has a
+    // router with two WAN-facing ports, one regenerator, and a ROADM.
+    let params = OpticalParams {
+        wavelength_capacity_gbps: 10.0,
+        wavelengths_per_fiber: 8,
+        ..Default::default()
+    };
+    let mut plant = FiberPlant::new(params);
+    for name in ["SEA", "SFO", "LAX", "DEN"] {
+        plant.add_site(name, 2, 1);
+    }
+    for i in 0..4 {
+        plant.add_fiber(i, (i + 1) % 4, 300.0);
+    }
+
+    // ---- Two bulk transfers: SEA->SFO and LAX->DEN, 100 Gb each
+    // (the motivating example of the paper's Figure 3).
+    let requests = vec![
+        TransferRequest { src: 0, dst: 1, volume_gbits: 100.0, arrival_s: 0.0, deadline_s: None },
+        TransferRequest { src: 2, dst: 3, volume_gbits: 100.0, arrival_s: 0.0, deadline_s: None },
+    ];
+    let transfers: Vec<Transfer> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Transfer::from_request(i, r))
+        .collect();
+
+    // ---- One slot of joint optimization.
+    let mut engine = OwanEngine::new(default_topology(&plant), OwanConfig::default());
+    let plan = engine.plan_slot(
+        &plant,
+        &SlotInput { transfers: &transfers, slot_len_s: 10.0, now_s: 0.0 },
+    );
+
+    println!("chosen network-layer topology:");
+    for (u, v, m) in plan.topology.links() {
+        println!(
+            "  {} = {} x{m}  ({} Gbps)",
+            plant.site(u).name,
+            plant.site(v).name,
+            m as f64 * plant.params().wavelength_capacity_gbps
+        );
+    }
+    println!("\nrate allocations:");
+    for alloc in &plan.allocations {
+        for (path, rate) in &alloc.paths {
+            let names: Vec<&str> =
+                path.iter().map(|&s| plant.site(s).name.as_str()).collect();
+            println!("  transfer {} via {}: {rate:.1} Gbps", alloc.transfer, names.join("-"));
+        }
+    }
+    println!("\ntotal throughput: {:.1} Gbps", plan.throughput_gbps);
+    assert!(plan.throughput_gbps > 0.0);
+}

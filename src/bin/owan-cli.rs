@@ -1,0 +1,138 @@
+//! Command-line driver: run any engine on any evaluation network and
+//! print the §5.1 metrics.
+//!
+//! ```text
+//! owan-cli [--net internet2|isp|interdc] [--engine owan|maxflow|maxmin|swan|tempus|amoeba|greedy]
+//!          [--load λ] [--sigma σ] [--slot SECONDS] [--duration SECONDS]
+//!          [--seed N] [--iters N] [--max-requests N]
+//! ```
+//!
+//! With `--sigma` the workload carries deadlines and the deadline metrics
+//! are reported; without it, completion-time metrics.
+//!
+//! Example:
+//! `cargo run --release --bin owan-cli -- --net internet2 --engine owan --load 1.5`
+
+use owan::core::SchedulingPolicy;
+use owan::sim::metrics::{self, SizeBin};
+use owan::sim::runner::{run_engine, EngineKind, RunnerConfig};
+use owan::sim::SimConfig;
+use owan::topo::{inter_dc, internet2_testbed, isp_backbone, Network};
+use owan::workload::{generate, WorkloadConfig};
+
+/// Minimal flag parser: `--key value` pairs.
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn main() {
+    let args = Args(std::env::args().collect());
+    if args.0.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: owan-cli [--net internet2|isp|interdc] [--engine NAME] [--load L] \
+             [--sigma S] [--slot SECS] [--duration SECS] [--seed N] [--iters N] \
+             [--max-requests N]"
+        );
+        return;
+    }
+
+    let net_name = args.get("--net").unwrap_or("internet2").to_string();
+    let network: Network = match net_name.as_str() {
+        "internet2" => internet2_testbed(),
+        "isp" => isp_backbone(7),
+        "interdc" => inter_dc(7),
+        other => {
+            eprintln!("unknown network '{other}'");
+            std::process::exit(2);
+        }
+    };
+
+    let engine_name = args.get("--engine").unwrap_or("owan").to_string();
+    let kind = match engine_name.as_str() {
+        "owan" => EngineKind::Owan,
+        "maxflow" => EngineKind::MaxFlow,
+        "maxmin" => EngineKind::MaxMinFract,
+        "swan" => EngineKind::Swan,
+        "tempus" => EngineKind::Tempus,
+        "amoeba" => EngineKind::Amoeba,
+        "greedy" => EngineKind::Greedy,
+        other => {
+            eprintln!("unknown engine '{other}'");
+            std::process::exit(2);
+        }
+    };
+
+    let load = args.parse("--load", 1.0f64);
+    let sigma: Option<f64> = args.get("--sigma").and_then(|v| v.parse().ok());
+    let slot = args.parse("--slot", 300.0f64);
+    let duration = args.parse("--duration", 7_200.0f64);
+    let seed = args.parse("--seed", 42u64);
+    let iters = args.parse("--iters", 150usize);
+    let max_requests = args.parse("--max-requests", usize::MAX);
+
+    let mut wl = if net_name == "internet2" {
+        WorkloadConfig::testbed(load, seed)
+    } else {
+        WorkloadConfig::simulation(load, seed)
+    };
+    wl.duration_s = duration;
+    if net_name == "interdc" {
+        wl = wl.with_hotspots();
+    }
+    if let Some(s) = sigma {
+        wl = wl.with_deadlines(slot, s);
+    }
+    let mut requests = generate(&network, &wl);
+    requests.truncate(max_requests);
+
+    let cfg = RunnerConfig {
+        sim: SimConfig { slot_len_s: slot, max_slots: 5_000, ..Default::default() },
+        anneal_iterations: iters,
+        seed,
+        policy: if sigma.is_some() {
+            SchedulingPolicy::EarliestDeadlineFirst
+        } else {
+            SchedulingPolicy::ShortestJobFirst
+        },
+        ..Default::default()
+    };
+
+    eprintln!(
+        "running {engine_name} on {net_name}: {} transfers, load {load}, slot {slot}s",
+        requests.len()
+    );
+    let result = run_engine(kind, &network, &requests, &cfg);
+
+    println!("engine,{}", result.engine);
+    println!("network,{net_name}");
+    println!("transfers,{}", result.completions.len());
+    println!("completed,{}", result.completions.iter().filter(|c| c.completion_s.is_some()).count());
+    println!("slots,{}", result.slots);
+    println!("makespan_s,{:.0}", result.makespan_s);
+    let (avg, p95) = metrics::summary(&result, SizeBin::All);
+    println!("avg_completion_s,{avg:.0}");
+    println!("p95_completion_s,{p95:.0}");
+    if sigma.is_some() {
+        println!("pct_deadlines_met,{:.1}", metrics::pct_deadlines_met(&result, SizeBin::All));
+        println!("pct_bytes_by_deadline,{:.1}", metrics::pct_bytes_by_deadline(&result));
+    }
+    for bin in [SizeBin::Small, SizeBin::Middle, SizeBin::Large] {
+        let (avg, p95) = metrics::summary(&result, bin);
+        println!("{}_avg_s,{avg:.0}", bin.label().to_lowercase());
+        println!("{}_p95_s,{p95:.0}", bin.label().to_lowercase());
+    }
+}

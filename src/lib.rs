@@ -1,0 +1,16 @@
+//! Umbrella crate re-exporting the full Owan public API.
+//!
+//! See the individual crates for details:
+//! - [`owan_core`] — the Owan joint-optimization algorithms (the paper's contribution)
+//! - [`owan_optical`] — optical-layer substrate (ROADMs, circuits, regenerators)
+//! - [`owan_te`] — baseline traffic-engineering algorithms
+//! - [`owan_sim`] — the time-slotted flow simulator and controller loop
+pub use owan_core as core;
+pub use owan_graph as graph;
+pub use owan_optical as optical;
+pub use owan_sim as sim;
+pub use owan_solver as solver;
+pub use owan_te as te;
+pub use owan_topo as topo;
+pub use owan_update as update;
+pub use owan_workload as workload;

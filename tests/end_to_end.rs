@@ -1,0 +1,119 @@
+//! End-to-end integration tests: the full pipeline (topology → workload →
+//! engines → simulator → metrics) across crates, checking the paper's
+//! headline qualitative claims at reduced scale.
+
+use owan::sim::metrics::{self, SizeBin};
+use owan::sim::runner::{run_comparison, run_engine, EngineKind, RunnerConfig};
+use owan::sim::SimConfig;
+use owan::topo::{inter_dc, internet2_testbed, isp_backbone};
+use owan::workload::{generate, WorkloadConfig};
+
+fn runner(anneal_iterations: usize) -> RunnerConfig {
+    RunnerConfig {
+        sim: SimConfig { slot_len_s: 300.0, max_slots: 1_000, ..Default::default() },
+        anneal_iterations,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn owan_beats_fixed_topology_baselines_on_internet2() {
+    let net = internet2_testbed();
+    let mut wl = WorkloadConfig::testbed(1.0, 42);
+    wl.duration_s = 3_600.0;
+    let reqs = generate(&net, &wl);
+    assert!(reqs.len() >= 20, "meaningful workload, got {}", reqs.len());
+
+    let results =
+        run_comparison(&EngineKind::UNCONSTRAINED, &net, &reqs, &runner(120));
+    for r in &results {
+        assert!(r.all_completed(), "{} left transfers unfinished", r.engine);
+    }
+    let (owan_avg, _) = metrics::summary(&results[0], SizeBin::All);
+    for r in &results[1..] {
+        let (avg, _) = metrics::summary(r, SizeBin::All);
+        assert!(
+            owan_avg <= avg * 1.05,
+            "Owan avg {owan_avg:.0}s should not lose to {} at {avg:.0}s",
+            r.engine
+        );
+    }
+    // And it should win big against at least one baseline (paper: 4.45x
+    // vs MaxFlow on Internet2; shapes vary with the synthetic workload).
+    let best_factor = results[1..]
+        .iter()
+        .map(|r| {
+            let (avg, _) = metrics::summary(r, SizeBin::All);
+            metrics::improvement_factor(owan_avg, avg)
+        })
+        .fold(0.0, f64::max);
+    assert!(best_factor > 1.5, "expected a clear win, best factor {best_factor:.2}");
+}
+
+#[test]
+fn owan_wins_makespan_on_interdc() {
+    let net = inter_dc(7);
+    let mut wl = WorkloadConfig::simulation(1.0, 7).with_hotspots();
+    wl.duration_s = 1_800.0;
+    let reqs: Vec<_> = generate(&net, &wl).into_iter().take(80).collect();
+
+    let owan = run_engine(EngineKind::Owan, &net, &reqs, &runner(120));
+    let maxflow = run_engine(EngineKind::MaxFlow, &net, &reqs, &runner(120));
+    assert!(owan.all_completed());
+    assert!(maxflow.all_completed());
+    assert!(
+        owan.makespan_s <= maxflow.makespan_s,
+        "Owan makespan {} vs MaxFlow {}",
+        owan.makespan_s,
+        maxflow.makespan_s
+    );
+}
+
+#[test]
+fn isp_workload_drains_for_all_unconstrained_engines() {
+    let net = isp_backbone(7);
+    let mut wl = WorkloadConfig::simulation(0.5, 13);
+    wl.duration_s = 1_800.0;
+    let reqs: Vec<_> = generate(&net, &wl).into_iter().take(60).collect();
+    let results = run_comparison(&EngineKind::UNCONSTRAINED, &net, &reqs, &runner(80));
+    for r in &results {
+        assert!(r.all_completed(), "{} failed to drain the ISP workload", r.engine);
+    }
+}
+
+#[test]
+fn deadline_engines_meet_more_deadlines_with_looser_factors() {
+    let net = internet2_testbed();
+    let pct_for = |sigma: f64| -> f64 {
+        let mut wl = WorkloadConfig::testbed(1.0, 42).with_deadlines(300.0, sigma);
+        wl.duration_s = 1_800.0;
+        let reqs: Vec<_> = generate(&net, &wl).into_iter().take(30).collect();
+        let mut cfg = runner(100);
+        cfg.policy = owan::core::SchedulingPolicy::EarliestDeadlineFirst;
+        let res = run_engine(EngineKind::Owan, &net, &reqs, &cfg);
+        metrics::pct_deadlines_met(&res, SizeBin::All)
+    };
+    let tight = pct_for(2.0);
+    let loose = pct_for(50.0);
+    assert!(
+        loose >= tight,
+        "looser deadlines can only help: tight {tight:.0}% vs loose {loose:.0}%"
+    );
+    assert!(loose > 80.0, "nearly everything meets very loose deadlines, got {loose:.0}%");
+}
+
+#[test]
+fn deadline_comparison_runs_all_six_engines() {
+    let net = internet2_testbed();
+    let mut wl = WorkloadConfig::testbed(1.0, 42).with_deadlines(300.0, 10.0);
+    wl.duration_s = 1_200.0;
+    let reqs: Vec<_> = generate(&net, &wl).into_iter().take(20).collect();
+    let mut cfg = runner(80);
+    cfg.policy = owan::core::SchedulingPolicy::EarliestDeadlineFirst;
+    let results = run_comparison(&EngineKind::DEADLINE, &net, &reqs, &cfg);
+    assert_eq!(results.len(), 6);
+    for r in &results {
+        let pct = metrics::pct_deadlines_met(r, SizeBin::All);
+        assert!((0.0..=100.0).contains(&pct), "{}: {pct}", r.engine);
+    }
+}
