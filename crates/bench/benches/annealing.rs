@@ -11,7 +11,10 @@ use std::hint::black_box;
 
 fn setup(net_name: &str) -> (owan_topo::Network, Vec<Transfer>, Vec<Vec<f64>>) {
     let net = net_by_name(net_name);
-    let scale = Scale { max_requests: 60, ..Scale::quick() };
+    let scale = Scale {
+        max_requests: 60,
+        ..Scale::quick()
+    };
     let transfers: Vec<Transfer> = workload_for(&net, 1.0, None, &scale)
         .iter()
         .enumerate()
@@ -33,7 +36,7 @@ fn bench_energy(c: &mut Criterion) {
             circuit_config: CircuitBuildConfig::default(),
             rate_config: RateAssignConfig::default(),
         };
-        c.bench_function(&format!("compute_energy/{name}"), |b| {
+        c.bench_function(format!("compute_energy/{name}"), |b| {
             b.iter(|| compute_energy(black_box(&ctx), &net.static_topology))
         });
     }
@@ -53,7 +56,10 @@ fn bench_anneal(c: &mut Criterion) {
             circuit_config: CircuitBuildConfig::default(),
             rate_config: RateAssignConfig::default(),
         };
-        let cfg = AnnealConfig { max_iterations: 50, ..Default::default() };
+        let cfg = AnnealConfig {
+            max_iterations: 50,
+            ..Default::default()
+        };
         group.bench_function(format!("50_iters/{name}"), |b| {
             b.iter(|| anneal(black_box(&ctx), &net.static_topology, &cfg))
         });

@@ -31,7 +31,12 @@ fn bench_fig_pipelines(c: &mut Criterion) {
     group.bench_function("fig9/internet2_tiny", |b| b.iter(|| fig9(&net, &tiny())));
     group.bench_function("fig10b/update_timeline", |b| b.iter(|| fig10b(&tiny())));
     group.bench_function("fig10c/ablation_tiny", |b| {
-        b.iter(|| fig10c(&Scale { loads: vec![1.0], ..tiny() }))
+        b.iter(|| {
+            fig10c(&Scale {
+                loads: vec![1.0],
+                ..tiny()
+            })
+        })
     });
     group.finish();
 }

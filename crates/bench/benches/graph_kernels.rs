@@ -22,7 +22,7 @@ fn mesh(n: usize) -> Graph {
 fn bench_dijkstra(c: &mut Criterion) {
     for n in [9, 40, 200] {
         let g = mesh(n);
-        c.bench_function(&format!("dijkstra/{n}_nodes"), |b| {
+        c.bench_function(format!("dijkstra/{n}_nodes"), |b| {
             b.iter(|| dijkstra::shortest_paths(black_box(&g), 0))
         });
     }
@@ -55,5 +55,11 @@ fn bench_blossom(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dijkstra, bench_yen, bench_dinic, bench_blossom);
+criterion_group!(
+    benches,
+    bench_dijkstra,
+    bench_yen,
+    bench_dinic,
+    bench_blossom
+);
 criterion_main!(benches);

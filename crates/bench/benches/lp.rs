@@ -23,7 +23,7 @@ fn te_problem(links: usize, flows: usize) -> McfProblem {
 fn bench_max_throughput(c: &mut Criterion) {
     for (links, flows) in [(26, 40), (64, 150)] {
         let p = te_problem(links, flows);
-        c.bench_function(&format!("lp_max_throughput/{links}l_{flows}f"), |b| {
+        c.bench_function(format!("lp_max_throughput/{links}l_{flows}f"), |b| {
             b.iter(|| black_box(&p).max_throughput())
         });
     }

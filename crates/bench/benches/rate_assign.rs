@@ -8,14 +8,17 @@ use std::hint::black_box;
 fn bench_rate_assign(c: &mut Criterion) {
     for name in ["internet2", "isp"] {
         let net = net_by_name(name);
-        let scale = Scale { max_requests: 120, ..Scale::quick() };
+        let scale = Scale {
+            max_requests: 120,
+            ..Scale::quick()
+        };
         let transfers: Vec<Transfer> = workload_for(&net, 1.5, None, &scale)
             .iter()
             .enumerate()
             .map(|(i, r)| Transfer::from_request(i, r))
             .collect();
         let theta = net.plant.params().wavelength_capacity_gbps;
-        c.bench_function(&format!("assign_rates/{name}"), |b| {
+        c.bench_function(format!("assign_rates/{name}"), |b| {
             b.iter(|| {
                 assign_rates(
                     black_box(&net.static_topology),

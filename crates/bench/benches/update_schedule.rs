@@ -38,10 +38,10 @@ fn bench_plans(c: &mut Criterion) {
     for n in [10, 40] {
         let d = delta(n);
         let params = UpdateParams::default();
-        c.bench_function(&format!("plan_consistent/{n}_sites"), |b| {
+        c.bench_function(format!("plan_consistent/{n}_sites"), |b| {
             b.iter(|| plan_consistent(black_box(&d), &params))
         });
-        c.bench_function(&format!("plan_one_shot/{n}_sites"), |b| {
+        c.bench_function(format!("plan_one_shot/{n}_sites"), |b| {
             b.iter(|| plan_one_shot(black_box(&d), &params))
         });
     }

@@ -58,7 +58,11 @@ fn seed_ablation(scale: &Scale) {
             let current = net.static_topology.clone();
             let mut sums = [(0.0f64, 0u32); 2]; // (energy, churn) for current/random
             for seed in SEEDS {
-                let cfg = AnnealConfig { max_iterations: iters, seed, ..Default::default() };
+                let cfg = AnnealConfig {
+                    max_iterations: iters,
+                    seed,
+                    ..Default::default()
+                };
                 let from_current = anneal(&ctx, &current, &cfg);
                 sums[0].0 += from_current.energy_gbps();
                 sums[0].1 += from_current.topology.link_distance(&current);
@@ -68,8 +72,16 @@ fn seed_ablation(scale: &Scale) {
                 sums[1].1 += from_random.topology.link_distance(&current);
             }
             let k = SEEDS.len() as f64;
-            println!("{name},{iters},current,{:.1},{:.1}", sums[0].0 / k, sums[0].1 as f64 / k);
-            println!("{name},{iters},random,{:.1},{:.1}", sums[1].0 / k, sums[1].1 as f64 / k);
+            println!(
+                "{name},{iters},current,{:.1},{:.1}",
+                sums[0].0 / k,
+                sums[0].1 as f64 / k
+            );
+            println!(
+                "{name},{iters},random,{:.1},{:.1}",
+                sums[1].0 / k,
+                sums[1].1 as f64 / k
+            );
         }
     }
 }
@@ -84,7 +96,11 @@ fn starvation_ablation(scale: &Scale) {
     let reqs = workload_for(&net, 1.5, None, scale);
     for threshold in [1u32, 3, 10, u32::MAX] {
         let mut cfg = RunnerConfig {
-            sim: SimConfig { slot_len_s: scale.slot_len_s, max_slots: 2_000, ..Default::default() },
+            sim: SimConfig {
+                slot_len_s: scale.slot_len_s,
+                max_slots: 2_000,
+                ..Default::default()
+            },
             anneal_iterations: scale.anneal_iterations,
             ..Default::default()
         };
@@ -94,7 +110,11 @@ fn starvation_ablation(scale: &Scale) {
         let max = xs.iter().fold(0.0f64, |a, &b| a.max(b));
         println!(
             "{},{:.0},{:.0},{max:.0}",
-            if threshold == u32::MAX { "off".into() } else { threshold.to_string() },
+            if threshold == u32::MAX {
+                "off".into()
+            } else {
+                threshold.to_string()
+            },
             metrics::mean(&xs),
             metrics::percentile(&xs, 95.0),
         );
@@ -145,8 +165,14 @@ fn relay_candidate_ablation(scale: &Scale) {
             &plant,
             &desired,
             &fd,
-            &CircuitBuildConfig { relay_candidates: k },
+            &CircuitBuildConfig {
+                relay_candidates: k,
+            },
         );
-        println!("{k},{},{}", built.achieved.total_links(), desired.total_links());
+        println!(
+            "{k},{},{}",
+            built.achieved.total_links(),
+            desired.total_links()
+        );
     }
 }

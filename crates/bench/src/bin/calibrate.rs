@@ -8,15 +8,27 @@ use std::time::Instant;
 
 fn main() {
     for (name, net, wl) in [
-        ("internet2", internet2_testbed(), WorkloadConfig::testbed(1.0, 42)),
+        (
+            "internet2",
+            internet2_testbed(),
+            WorkloadConfig::testbed(1.0, 42),
+        ),
         ("isp", isp_backbone(7), WorkloadConfig::simulation(1.0, 42)),
-        ("interdc", inter_dc(7), WorkloadConfig::simulation(1.0, 42).with_hotspots()),
+        (
+            "interdc",
+            inter_dc(7),
+            WorkloadConfig::simulation(1.0, 42).with_hotspots(),
+        ),
     ] {
         let reqs = generate(&net, &wl);
         println!("{name}: {} transfers", reqs.len());
         for kind in [EngineKind::Owan, EngineKind::MaxFlow, EngineKind::Swan] {
             let cfg = RunnerConfig {
-                sim: SimConfig { slot_len_s: 300.0, max_slots: 300, ..Default::default() },
+                sim: SimConfig {
+                    slot_len_s: 300.0,
+                    max_slots: 300,
+                    ..Default::default()
+                },
                 anneal_iterations: 150,
                 ..Default::default()
             };

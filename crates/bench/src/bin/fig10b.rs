@@ -8,6 +8,6 @@ use owan_bench::{fig10b, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    let (consistent, one_shot) = fig10b(&scale);
-    print_fig10b(&consistent, &one_shot);
+    let fig = fig10b(&scale);
+    print_fig10b(&fig);
 }

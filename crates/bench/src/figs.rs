@@ -52,8 +52,7 @@ pub fn fig7(network: &Network, scale: &Scale) -> Vec<Fig7Point> {
         .iter()
         .map(|&load| {
             let reqs = workload_for(network, load, None, scale);
-            let results =
-                run_comparison(&EngineKind::UNCONSTRAINED, network, &reqs, &cfg);
+            let results = run_comparison(&EngineKind::UNCONSTRAINED, network, &reqs, &cfg);
             Fig7Point { load, results }
         })
         .collect()
@@ -112,7 +111,10 @@ pub fn fig8(points: &[Fig7Point]) -> Vec<Fig8Point> {
                 .iter()
                 .map(|r| metrics::improvement_factor(owan, r.makespan_s))
                 .collect();
-            Fig8Point { load: p.load, improvements }
+            Fig8Point {
+                load: p.load,
+                improvements,
+            }
         })
         .collect()
 }
@@ -148,7 +150,10 @@ impl Fig9Point {
 
     /// % of bytes finishing before deadlines per engine.
     pub fn pct_bytes(&self) -> Vec<f64> {
-        self.results.iter().map(metrics::pct_bytes_by_deadline).collect()
+        self.results
+            .iter()
+            .map(metrics::pct_bytes_by_deadline)
+            .collect()
     }
 }
 
@@ -162,14 +167,20 @@ pub fn fig9(network: &Network, scale: &Scale) -> Vec<Fig9Point> {
         .map(|&sigma| {
             let reqs = workload_for(network, 1.0, Some(sigma), scale);
             let results = run_comparison(&EngineKind::DEADLINE, network, &reqs, &cfg);
-            Fig9Point { deadline_factor: sigma, results }
+            Fig9Point {
+                deadline_factor: sigma,
+                results,
+            }
         })
         .collect()
 }
 
 /// Prints the Figure 9 tables for one network.
 pub fn print_fig9(network: &Network, points: &[Fig9Point]) {
-    println!("# Figure 9 — deadline-constrained traffic ({})", network.name);
+    println!(
+        "# Figure 9 — deadline-constrained traffic ({})",
+        network.name
+    );
     println!("## panel (a/d/g): % of transfers meeting deadlines");
     print!("deadline_factor");
     for kind in EngineKind::DEADLINE {

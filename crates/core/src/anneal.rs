@@ -18,11 +18,17 @@
 //! `e^{(e_neighbor − e_current)/T}` from the cited Kirkpatrick et al.
 //! formulation (see DESIGN.md §4).
 
-use crate::energy::{compute_energy, EnergyContext, EnergyOutcome};
+use crate::energy::{compute_energy_observed, EnergyContext, EnergyOutcome};
+use crate::telemetry::{names, CoreTelemetry};
 use crate::topology::Topology;
+use owan_obs::Value;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::time::Instant;
+
+/// Energy-trajectory samples recorded per annealing run (spread evenly
+/// over `max_iterations`); bounds event volume on long searches.
+const TRAJECTORY_SAMPLES: usize = 32;
 
 /// Tunables of the annealing search (Algorithm 1).
 #[derive(Debug, Clone, Copy)]
@@ -78,7 +84,7 @@ impl AnnealResult {
 /// links, or every sampled move would create a self-link).
 pub fn compute_neighbor(s: &Topology, rng: &mut StdRng) -> Option<Topology> {
     let links = s.links();
-    if links.len() < 1 || s.total_links() < 2 {
+    if links.is_empty() || s.total_links() < 2 {
         return None;
     }
     // Expand to unit links for uniform sampling by multiplicity.
@@ -120,11 +126,26 @@ pub fn compute_neighbor(s: &Topology, rng: &mut StdRng) -> Option<Topology> {
 /// Runs simulated annealing (Algorithm 1) from `initial`, maximizing the
 /// energy of Algorithm 3 under `ctx`.
 pub fn anneal(ctx: &EnergyContext<'_>, initial: &Topology, config: &AnnealConfig) -> AnnealResult {
+    anneal_observed(ctx, initial, config, &CoreTelemetry::disabled())
+}
+
+/// [`anneal`] with telemetry: counts iterations and accepted/rejected
+/// moves, times each iteration (= one temperature stage, since `T *= α`
+/// every iteration), and emits sampled energy-trajectory events. The
+/// search itself is bit-for-bit identical to the unobserved run — the
+/// recorder never touches the RNG or the accept decisions.
+pub fn anneal_observed(
+    ctx: &EnergyContext<'_>,
+    initial: &Topology,
+    config: &AnnealConfig,
+    telemetry: &CoreTelemetry,
+) -> AnnealResult {
+    let _span = telemetry.anneal.enter();
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     let mut current = initial.clone();
-    let mut current_outcome = compute_energy(ctx, &current);
+    let mut current_outcome = compute_energy_observed(ctx, &current, telemetry);
     let mut current_e = current_outcome.energy_gbps();
     let initial_energy_gbps = current_e;
 
@@ -136,6 +157,7 @@ pub fn anneal(ctx: &EnergyContext<'_>, initial: &Topology, config: &AnnealConfig
     // strictly positive so the loop runs even from an idle network.
     let mut temperature = current_e.max(config.epsilon * 2.0);
     let mut iterations = 0;
+    let sample_every = (config.max_iterations / TRAJECTORY_SAMPLES).max(1);
 
     while temperature > config.epsilon && iterations < config.max_iterations {
         if let Some(budget) = config.time_budget_s {
@@ -143,10 +165,12 @@ pub fn anneal(ctx: &EnergyContext<'_>, initial: &Topology, config: &AnnealConfig
                 break;
             }
         }
+        let iter_span = telemetry.anneal_iter.enter();
         let Some(neighbor) = compute_neighbor(&current, &mut rng) else {
+            iter_span.cancel();
             break;
         };
-        let neighbor_outcome = compute_energy(ctx, &neighbor);
+        let neighbor_outcome = compute_energy_observed(ctx, &neighbor, telemetry);
         let neighbor_e = neighbor_outcome.energy_gbps();
 
         if neighbor_e > best_e {
@@ -163,15 +187,32 @@ pub fn anneal(ctx: &EnergyContext<'_>, initial: &Topology, config: &AnnealConfig
             rng.random::<f64>() < p
         };
         if accept {
+            telemetry.anneal_accepted.incr();
             current = neighbor;
             current_outcome = neighbor_outcome;
             current_e = neighbor_e;
+        } else {
+            telemetry.anneal_rejected.incr();
         }
         let _ = &current_outcome; // kept for symmetry/clarity
+
+        if telemetry.recorder.is_enabled() && iterations % sample_every == 0 {
+            telemetry.recorder.event(
+                names::EVENT_ANNEAL_SAMPLE,
+                &[
+                    ("iteration", Value::U64(iterations as u64)),
+                    ("temperature", Value::F64(temperature)),
+                    ("current_gbps", Value::F64(current_e)),
+                    ("best_gbps", Value::F64(best_e)),
+                ],
+            );
+        }
+        iter_span.finish();
 
         temperature *= config.alpha;
         iterations += 1;
     }
+    telemetry.anneal_iterations.add(iterations as u64);
 
     AnnealResult {
         topology: best,
@@ -190,9 +231,11 @@ mod tests {
     use owan_optical::{FiberPlant, OpticalParams};
 
     fn ring_plant(n: usize, ports: u32) -> FiberPlant {
-        let mut params = OpticalParams::default();
-        params.wavelength_capacity_gbps = 10.0;
-        params.wavelengths_per_fiber = 8;
+        let params = OpticalParams {
+            wavelength_capacity_gbps: 10.0,
+            wavelengths_per_fiber: 8,
+            ..Default::default()
+        };
         let mut p = FiberPlant::new(params);
         for i in 0..n {
             p.add_site(&format!("S{i}"), ports, 1);
@@ -295,7 +338,10 @@ mod tests {
         for i in 0..5 {
             ring.add_links(i, (i + 1) % 5, 1);
         }
-        let cfg = AnnealConfig { seed: 7, ..Default::default() };
+        let cfg = AnnealConfig {
+            seed: 7,
+            ..Default::default()
+        };
         let a = anneal(&ctx, &ring, &cfg);
         let b = anneal(&ctx, &ring, &cfg);
         assert_eq!(a.topology, b.topology);

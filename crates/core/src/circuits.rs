@@ -11,6 +11,7 @@
 //! to decrease the link capacity" (lines 13–14).
 
 use crate::regen::RegenGraph;
+use crate::telemetry::CoreTelemetry;
 use crate::topology::Topology;
 use owan_optical::{CircuitId, FiberPlant, OpticalState};
 
@@ -42,7 +43,9 @@ pub struct CircuitBuildConfig {
 
 impl Default for CircuitBuildConfig {
     fn default() -> Self {
-        CircuitBuildConfig { relay_candidates: 4 }
+        CircuitBuildConfig {
+            relay_candidates: 4,
+        }
     }
 }
 
@@ -57,6 +60,26 @@ pub fn build_topology(
     fiber_dist: &[Vec<f64>],
     config: &CircuitBuildConfig,
 ) -> BuiltTopology {
+    build_topology_observed(
+        plant,
+        desired,
+        fiber_dist,
+        config,
+        &CoreTelemetry::disabled(),
+    )
+}
+
+/// [`build_topology`] with telemetry: counts circuits built, failed
+/// provisioning attempts, regenerators consumed, and regenerator-graph
+/// constructions (the shortest-path workhorse). The built result is
+/// identical to the unobserved call.
+pub fn build_topology_observed(
+    plant: &FiberPlant,
+    desired: &Topology,
+    fiber_dist: &[Vec<f64>],
+    config: &CircuitBuildConfig,
+    telemetry: &CoreTelemetry,
+) -> BuiltTopology {
     let mut optical = OpticalState::new(plant);
     let mut achieved = Topology::empty(desired.site_count());
     let mut circuits = Vec::new();
@@ -67,12 +90,20 @@ pub fn build_topology(
             // The regenerator graph changes as regenerators are consumed,
             // so rebuild it per circuit.
             let rg = RegenGraph::build(plant, &optical, fiber_dist, u, v);
+            telemetry.shortest_path_calls.incr();
             let mut provisioned = false;
             for relay in rg.relay_candidates(config.relay_candidates) {
-                if let Ok(id) = optical.provision(plant, &relay) {
-                    ids.push(id);
-                    provisioned = true;
-                    break;
+                match optical.provision(plant, &relay) {
+                    Ok(id) => {
+                        telemetry.circuits_built.incr();
+                        telemetry
+                            .regens_consumed
+                            .add(optical.circuit(id).map_or(0, |c| c.regen_sites.len()) as u64);
+                        ids.push(id);
+                        provisioned = true;
+                        break;
+                    }
+                    Err(_) => telemetry.wavelength_failures.incr(),
                 }
             }
             if !provisioned {
@@ -85,7 +116,11 @@ pub fn build_topology(
         }
     }
 
-    BuiltTopology { achieved, optical, circuits }
+    BuiltTopology {
+        achieved,
+        optical,
+        circuits,
+    }
 }
 
 #[cfg(test)]
@@ -95,9 +130,11 @@ mod tests {
 
     /// Four sites on a ring, 300 km fibers; every site has a router.
     fn ring_plant(wavelengths: u32, regens: u32, reach: f64) -> FiberPlant {
-        let mut params = OpticalParams::default();
-        params.wavelengths_per_fiber = wavelengths;
-        params.optical_reach_km = reach;
+        let params = OpticalParams {
+            wavelengths_per_fiber: wavelengths,
+            optical_reach_km: reach,
+            ..Default::default()
+        };
         let mut p = FiberPlant::new(params);
         for i in 0..4 {
             p.add_site(&format!("S{i}"), 4, regens);

@@ -6,8 +6,9 @@
 //! run the greedy shortest-paths-first rate assignment over the *achieved*
 //! topology.
 
-use crate::circuits::{build_topology, BuiltTopology, CircuitBuildConfig};
-use crate::rates::{assign_rates, RateAssignConfig, RateOutcome};
+use crate::circuits::{build_topology_observed, BuiltTopology, CircuitBuildConfig};
+use crate::rates::{assign_rates_observed, RateAssignConfig, RateOutcome};
+use crate::telemetry::CoreTelemetry;
 use crate::topology::Topology;
 use crate::types::{SchedulingPolicy, Transfer};
 use owan_optical::FiberPlant;
@@ -50,16 +51,41 @@ pub struct EnergyContext<'a> {
 
 /// Computes the energy of `topology` (Algorithm 3).
 pub fn compute_energy(ctx: &EnergyContext<'_>, topology: &Topology) -> EnergyOutcome {
-    let built = build_topology(ctx.plant, topology, ctx.fiber_dist, &ctx.circuit_config);
+    compute_energy_observed(ctx, topology, &CoreTelemetry::disabled())
+}
+
+/// [`compute_energy`] with telemetry: the circuit-construction and
+/// rate-assignment halves each run under their own span, so annealing
+/// wall time splits into its two dominant costs. The outcome is identical
+/// to the unobserved call.
+pub fn compute_energy_observed(
+    ctx: &EnergyContext<'_>,
+    topology: &Topology,
+    telemetry: &CoreTelemetry,
+) -> EnergyOutcome {
+    let built = {
+        let _span = telemetry.circuits.enter();
+        build_topology_observed(
+            ctx.plant,
+            topology,
+            ctx.fiber_dist,
+            &ctx.circuit_config,
+            telemetry,
+        )
+    };
     let theta = ctx.plant.params().wavelength_capacity_gbps;
-    let rates = assign_rates(
-        &built.achieved,
-        theta,
-        ctx.transfers,
-        ctx.policy,
-        ctx.slot_len_s,
-        &ctx.rate_config,
-    );
+    let rates = {
+        let _span = telemetry.rates.enter();
+        assign_rates_observed(
+            &built.achieved,
+            theta,
+            ctx.transfers,
+            ctx.policy,
+            ctx.slot_len_s,
+            &ctx.rate_config,
+            telemetry,
+        )
+    };
     EnergyOutcome { built, rates }
 }
 
@@ -70,9 +96,11 @@ mod tests {
     use owan_optical::OpticalParams;
 
     fn ring_plant() -> FiberPlant {
-        let mut params = OpticalParams::default();
-        params.wavelength_capacity_gbps = 10.0;
-        params.wavelengths_per_fiber = 4;
+        let params = OpticalParams {
+            wavelength_capacity_gbps: 10.0,
+            wavelengths_per_fiber: 4,
+            ..Default::default()
+        };
         let mut p = FiberPlant::new(params);
         for i in 0..4 {
             p.add_site(&format!("S{i}"), 2, 1);
@@ -129,7 +157,10 @@ mod tests {
             e_matched.energy_gbps(),
             e_ring.energy_gbps()
         );
-        assert!((e_matched.energy_gbps() - 40.0).abs() < 1e-6, "2x20 Gbps served");
+        assert!(
+            (e_matched.energy_gbps() - 40.0).abs() < 1e-6,
+            "2x20 Gbps served"
+        );
     }
 
     #[test]

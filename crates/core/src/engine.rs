@@ -7,11 +7,13 @@
 //! 1–3). The Owan engine runs the simulated-annealing joint optimization;
 //! baselines keep a fixed topology and only recompute routing/rates.
 
-use crate::anneal::{anneal, AnnealConfig};
+use crate::anneal::{anneal_observed, AnnealConfig};
 use crate::circuits::CircuitBuildConfig;
 use crate::rates::RateAssignConfig;
+use crate::telemetry::CoreTelemetry;
 use crate::topology::Topology;
 use crate::types::{Allocation, SchedulingPolicy, Transfer};
+use owan_obs::Recorder;
 use owan_optical::FiberPlant;
 
 /// Input to an engine for one slot.
@@ -26,7 +28,7 @@ pub struct SlotInput<'a> {
 }
 
 /// An engine's decision for one slot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlotPlan {
     /// The network-layer topology in effect during the slot (for Owan, the
     /// *achieved* topology after circuit construction).
@@ -45,6 +47,14 @@ pub trait TrafficEngineer {
     /// Computes the plan for one slot. `plant` is passed per slot so that
     /// failure experiments can present a degraded plant.
     fn plan_slot(&mut self, plant: &FiberPlant, input: &SlotInput<'_>) -> SlotPlan;
+
+    /// Attaches a telemetry recorder. Engines that support instrumentation
+    /// override this; the default ignores the recorder, so baselines stay
+    /// untouched. Must never change planning behavior — with or without a
+    /// recorder, `plan_slot` returns identical plans.
+    fn set_recorder(&mut self, recorder: Recorder) {
+        let _ = recorder;
+    }
 }
 
 /// Configuration of the Owan engine.
@@ -78,13 +88,19 @@ pub struct OwanEngine {
     config: OwanConfig,
     current: Topology,
     slot_counter: u64,
+    telemetry: CoreTelemetry,
 }
 
 impl OwanEngine {
     /// Creates an engine starting from `initial` (typically the network's
     /// static topology).
     pub fn new(initial: Topology, config: OwanConfig) -> Self {
-        OwanEngine { config, current: initial, slot_counter: 0 }
+        OwanEngine {
+            config,
+            current: initial,
+            slot_counter: 0,
+            telemetry: CoreTelemetry::disabled(),
+        }
     }
 
     /// The topology the engine currently holds.
@@ -117,10 +133,13 @@ impl TrafficEngineer for OwanEngine {
         // Vary the seed per slot deterministically so repeated runs agree
         // but successive slots explore differently.
         let mut cfg = self.config.anneal;
-        cfg.seed = cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(self.slot_counter);
+        cfg.seed = cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.slot_counter);
         self.slot_counter += 1;
 
-        let result = anneal(&ctx, &self.current, &cfg);
+        let result = anneal_observed(&ctx, &self.current, &cfg, &self.telemetry);
         self.current = result.outcome.built.achieved.clone();
 
         SlotPlan {
@@ -128,6 +147,10 @@ impl TrafficEngineer for OwanEngine {
             throughput_gbps: result.outcome.rates.throughput_gbps,
             allocations: result.outcome.rates.allocations.clone(),
         }
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.telemetry = CoreTelemetry::new(&recorder);
     }
 }
 
@@ -168,7 +191,7 @@ pub fn repair_spare_ports(
                     continue;
                 }
                 let key = (-demand[u * n + v], d, u, v);
-                if best.map_or(true, |(bd, bdist, bu, bv)| key < (bd, bdist, bu, bv)) {
+                if best.is_none_or(|(bd, bdist, bu, bv)| key < (bd, bdist, bu, bv)) {
                     best = Some(key);
                 }
             }
@@ -257,7 +280,7 @@ pub fn default_topology(plant: &FiberPlant) -> Topology {
                     continue;
                 }
                 let d = dist[u][v];
-                if d.is_finite() && best.map_or(true, |(bd, _, _)| d < bd) {
+                if d.is_finite() && best.is_none_or(|(bd, _, _)| d < bd) {
                     best = Some((d, u, v));
                 }
             }
@@ -276,9 +299,11 @@ mod tests {
     use owan_optical::OpticalParams;
 
     fn plant(n: usize, ports: u32) -> FiberPlant {
-        let mut params = OpticalParams::default();
-        params.wavelength_capacity_gbps = 10.0;
-        params.wavelengths_per_fiber = 8;
+        let params = OpticalParams {
+            wavelength_capacity_gbps: 10.0,
+            wavelengths_per_fiber: 8,
+            ..Default::default()
+        };
         let mut p = FiberPlant::new(params);
         for i in 0..n {
             p.add_site(&format!("S{i}"), ports, 1);
@@ -313,7 +338,10 @@ mod tests {
 
     #[test]
     fn default_topology_handles_portless_sites() {
-        let p_params = OpticalParams { wavelengths_per_fiber: 8, ..Default::default() };
+        let p_params = OpticalParams {
+            wavelengths_per_fiber: 8,
+            ..Default::default()
+        };
         let mut p = FiberPlant::new(p_params);
         p.add_site("A", 2, 0);
         p.add_site("RELAY", 0, 4);
@@ -331,7 +359,11 @@ mod tests {
         let initial = default_topology(&p);
         let mut engine = OwanEngine::new(initial, OwanConfig::default());
         let transfers = vec![transfer(0, 0, 1, 50.0), transfer(1, 2, 3, 50.0)];
-        let input = SlotInput { transfers: &transfers, slot_len_s: 1.0, now_s: 0.0 };
+        let input = SlotInput {
+            transfers: &transfers,
+            slot_len_s: 1.0,
+            now_s: 0.0,
+        };
         let plan = engine.plan_slot(&p, &input);
         assert!(plan.topology.ports_feasible(&p));
         assert!(plan.throughput_gbps > 0.0);
@@ -348,7 +380,11 @@ mod tests {
         let initial = default_topology(&p);
         let mut engine = OwanEngine::new(initial.clone(), OwanConfig::default());
         let transfers = vec![transfer(0, 0, 2, 500.0)];
-        let input = SlotInput { transfers: &transfers, slot_len_s: 1.0, now_s: 0.0 };
+        let input = SlotInput {
+            transfers: &transfers,
+            slot_len_s: 1.0,
+            now_s: 0.0,
+        };
         let plan1 = engine.plan_slot(&p, &input);
         assert_eq!(engine.current_topology(), &plan1.topology);
     }

@@ -58,7 +58,11 @@ pub fn effective_bottleneck_s(
     let mut bottleneck: f64 = 0.0;
     for (&site, &vol) in egress.iter().chain(ingress.iter()) {
         let port_capacity = topology.degree(site) as f64 * theta_gbps;
-        let time = if port_capacity > 0.0 { vol / port_capacity } else { f64::INFINITY };
+        let time = if port_capacity > 0.0 {
+            vol / port_capacity
+        } else {
+            f64::INFINITY
+        };
         bottleneck = bottleneck.max(time);
     }
     bottleneck
@@ -84,11 +88,11 @@ pub fn sebf_order(
     }
     let mut singletons: Vec<TransferGroup> = Vec::new();
     for t in transfers {
-        if !group_of.contains_key(&t.id) {
+        group_of.entry(t.id).or_insert_with(|| {
             let gi = groups.len() + singletons.len();
             singletons.push(TransferGroup::new(gi, vec![t.id]));
-            group_of.insert(t.id, gi);
-        }
+            gi
+        });
     }
     let all_groups: Vec<&TransferGroup> = groups.iter().chain(singletons.iter()).collect();
     let bottleneck: Vec<f64> = all_groups

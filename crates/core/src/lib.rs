@@ -50,18 +50,23 @@ pub mod engine;
 pub mod groups;
 pub mod rates;
 pub mod regen;
+pub mod telemetry;
 pub mod topology;
 pub mod types;
 
-pub use anneal::{anneal, AnnealConfig, AnnealResult};
-pub use circuits::{build_topology, BuiltTopology, CircuitBuildConfig};
-pub use energy::{compute_energy, EnergyContext, EnergyOutcome};
+pub use anneal::{anneal, anneal_observed, AnnealConfig, AnnealResult};
+pub use circuits::{build_topology, build_topology_observed, BuiltTopology, CircuitBuildConfig};
+pub use energy::{compute_energy, compute_energy_observed, EnergyContext, EnergyOutcome};
 pub use engine::{
     default_topology, random_topology, repair_spare_ports, OwanConfig, OwanEngine, SlotInput,
     SlotPlan, TrafficEngineer,
 };
 pub use groups::{effective_bottleneck_s, group_completion_s, sebf_order, TransferGroup};
-pub use rates::{assign_rates, assign_rates_ordered, RateAssignConfig, RateOutcome};
+pub use rates::{
+    assign_rates, assign_rates_observed, assign_rates_ordered, assign_rates_ordered_observed,
+    RateAssignConfig, RateOutcome,
+};
 pub use regen::RegenGraph;
+pub use telemetry::CoreTelemetry;
 pub use topology::Topology;
 pub use types::{Allocation, SchedulingPolicy, Transfer, TransferId, TransferRequest};

@@ -8,6 +8,7 @@
 //! its length-`l` paths. This "prioritizes transfers to use shorter paths
 //! first" (§3.2), approximating the NP-hard optimal rate allocation.
 
+use crate::telemetry::CoreTelemetry;
 use crate::topology::Topology;
 use crate::types::{Allocation, SchedulingPolicy, Transfer};
 use owan_optical::SiteId;
@@ -125,7 +126,15 @@ impl Residual {
         let mut stack = vec![src];
         let mut on_path = vec![false; self.n];
         on_path[src] = true;
-        self.dfs(dst, len, limit, dist_to_dst, &mut stack, &mut on_path, &mut out);
+        self.dfs(
+            dst,
+            len,
+            limit,
+            dist_to_dst,
+            &mut stack,
+            &mut on_path,
+            &mut out,
+        );
         out
     }
 
@@ -155,7 +164,7 @@ impl Residual {
             if !on_path[v]
                 && self.get(cur, v) > EPS
                 && dist_to_dst[v] != usize::MAX
-                && dist_to_dst[v] <= remaining - 1
+                && dist_to_dst[v] < remaining
             {
                 stack.push(v);
                 on_path[v] = true;
@@ -179,8 +188,39 @@ pub fn assign_rates(
     slot_len_s: f64,
     config: &RateAssignConfig,
 ) -> RateOutcome {
+    assign_rates_observed(
+        topology,
+        theta,
+        transfers,
+        policy,
+        slot_len_s,
+        config,
+        &CoreTelemetry::disabled(),
+    )
+}
+
+/// [`assign_rates`] with telemetry: counts candidate paths examined,
+/// allocations made, and transfers promoted by the starvation guard. The
+/// outcome is identical to the unobserved call.
+pub fn assign_rates_observed(
+    topology: &Topology,
+    theta: f64,
+    transfers: &[Transfer],
+    policy: SchedulingPolicy,
+    slot_len_s: f64,
+    config: &RateAssignConfig,
+    telemetry: &CoreTelemetry,
+) -> RateOutcome {
     let order = policy.order(transfers, config.starvation_threshold);
-    assign_rates_ordered(topology, theta, transfers, &order, slot_len_s, config)
+    telemetry.starvation_promotions.add(
+        transfers
+            .iter()
+            .filter(|t| t.starved_slots >= config.starvation_threshold)
+            .count() as u64,
+    );
+    assign_rates_ordered_observed(
+        topology, theta, transfers, &order, slot_len_s, config, telemetry,
+    )
 }
 
 /// Like [`assign_rates`] but with an explicit transfer order — used by the
@@ -194,6 +234,29 @@ pub fn assign_rates_ordered(
     slot_len_s: f64,
     config: &RateAssignConfig,
 ) -> RateOutcome {
+    assign_rates_ordered_observed(
+        topology,
+        theta,
+        transfers,
+        order,
+        slot_len_s,
+        config,
+        &CoreTelemetry::disabled(),
+    )
+}
+
+/// [`assign_rates_ordered`] with telemetry; see
+/// [`assign_rates_observed`].
+#[allow(clippy::too_many_arguments)]
+pub fn assign_rates_ordered_observed(
+    topology: &Topology,
+    theta: f64,
+    transfers: &[Transfer],
+    order: &[usize],
+    slot_len_s: f64,
+    config: &RateAssignConfig,
+    telemetry: &CoreTelemetry,
+) -> RateOutcome {
     debug_assert_eq!(order.len(), transfers.len());
     let mut residual = Residual::new(topology, theta);
 
@@ -203,7 +266,10 @@ pub fn assign_rates_ordered(
         .collect();
     let mut allocations: Vec<Allocation> = transfers
         .iter()
-        .map(|t| Allocation { transfer: t.id, paths: Vec::new() })
+        .map(|t| Allocation {
+            transfer: t.id,
+            paths: Vec::new(),
+        })
         .collect();
     let mut throughput = 0.0;
 
@@ -231,13 +297,9 @@ pub fn assign_rates_ordered(
             let dist_to_dst = dist_cache
                 .entry(t.dst)
                 .or_insert_with(|| residual.hop_distances_to(t.dst));
-            let paths = residual.paths_of_length(
-                t.src,
-                t.dst,
-                l,
-                config.max_paths_per_round,
-                dist_to_dst,
-            );
+            let paths =
+                residual.paths_of_length(t.src, t.dst, l, config.max_paths_per_round, dist_to_dst);
+            telemetry.paths_examined.add(paths.len() as u64);
             for path in paths {
                 if demand[i] <= EPS {
                     break;
@@ -251,6 +313,7 @@ pub fn assign_rates_ordered(
                     residual.consume(&path, rate);
                     demand[i] -= rate;
                     throughput += rate;
+                    telemetry.allocations_made.incr();
                     allocations[i].paths.push((path, rate));
                 }
             }
@@ -258,7 +321,10 @@ pub fn assign_rates_ordered(
     }
 
     allocations.retain(|a| !a.paths.is_empty());
-    RateOutcome { allocations, throughput_gbps: throughput }
+    RateOutcome {
+        allocations,
+        throughput_gbps: throughput,
+    }
 }
 
 #[cfg(test)]
@@ -395,7 +461,11 @@ mod tests {
         for u in 0..n {
             for v in 0..n {
                 let cap = topo.multiplicity(u, v) as f64 * 10.0;
-                assert!(load[u * n + v] <= cap + 1e-6, "({u},{v}): {} > {cap}", load[u * n + v]);
+                assert!(
+                    load[u * n + v] <= cap + 1e-6,
+                    "({u},{v}): {} > {cap}",
+                    load[u * n + v]
+                );
             }
         }
     }

@@ -105,8 +105,10 @@ mod tests {
     /// Line A - B - C - D, 400 km hops, reach 500 km; B and C have
     /// regenerators.
     fn plant(regens: [u32; 4]) -> FiberPlant {
-        let mut params = OpticalParams::default();
-        params.optical_reach_km = 500.0;
+        let params = OpticalParams {
+            optical_reach_km: 500.0,
+            ..Default::default()
+        };
         let mut p = FiberPlant::new(params);
         for (i, &r) in regens.iter().enumerate() {
             p.add_site(&format!("S{i}"), 4, r);
@@ -152,8 +154,10 @@ mod tests {
     fn weight_prefers_sites_with_more_regenerators() {
         // Diamond: src 0, dst 3; relays 1 (1 regen) and 2 (4 regens), both
         // reachable; prefer the better-stocked site 2.
-        let mut params = OpticalParams::default();
-        params.optical_reach_km = 500.0;
+        let params = OpticalParams {
+            optical_reach_km: 500.0,
+            ..Default::default()
+        };
         let mut p = FiberPlant::new(params);
         let a = p.add_site("A", 4, 0);
         let b = p.add_site("B", 4, 1);

@@ -1,0 +1,92 @@
+//! Pre-resolved telemetry handles for the core pipeline.
+//!
+//! Handle acquisition takes the recorder's registry lock, so hot paths
+//! resolve their handles once — here — and update lock-free atomics from
+//! then on. A bundle built from a disabled recorder is all no-ops; the
+//! instrumented code is identical either way and never branches on an
+//! "is telemetry on" flag.
+
+use owan_obs::{Counter, Recorder, Stage};
+
+/// Metric names are centralized here so exporters, tests, and docs agree.
+pub mod names {
+    /// Annealing span (one per [`crate::anneal::anneal`] call).
+    pub const STAGE_ANNEAL: &str = "stage.anneal";
+    /// One annealing iteration = one temperature stage (`T *= α` each
+    /// iteration), so this span's histogram is the per-temperature-stage
+    /// wall time.
+    pub const STAGE_ANNEAL_ITER: &str = "stage.anneal.iter";
+    /// Circuit-construction span (Algorithm 3 lines 2–14). Runs inside
+    /// every energy evaluation, i.e. nested under `stage.anneal`.
+    pub const STAGE_CIRCUITS: &str = "stage.circuits";
+    /// Rate-assignment span (Algorithm 3 lines 15–25), nested like
+    /// `stage.circuits`.
+    pub const STAGE_RATES: &str = "stage.rates";
+    /// Sampled energy-trajectory event emitted during annealing.
+    pub const EVENT_ANNEAL_SAMPLE: &str = "anneal.sample";
+}
+
+/// Counter/stage handles used by `owan-core`'s hot paths.
+#[derive(Debug, Clone, Default)]
+pub struct CoreTelemetry {
+    /// The recorder the handles came from (for event emission).
+    pub recorder: Recorder,
+    /// Span over one full annealing run.
+    pub anneal: Stage,
+    /// Span over one annealing iteration (one temperature stage).
+    pub anneal_iter: Stage,
+    /// Span over one circuit-construction pass.
+    pub circuits: Stage,
+    /// Span over one rate-assignment pass.
+    pub rates: Stage,
+    /// Annealing iterations executed.
+    pub anneal_iterations: Counter,
+    /// Neighbor moves accepted by the Metropolis rule.
+    pub anneal_accepted: Counter,
+    /// Neighbor moves rejected.
+    pub anneal_rejected: Counter,
+    /// Optical circuits successfully provisioned.
+    pub circuits_built: Counter,
+    /// Failed provisioning attempts (no wavelength assignment for a relay
+    /// candidate).
+    pub wavelength_failures: Counter,
+    /// Regenerators consumed by provisioned circuits.
+    pub regens_consumed: Counter,
+    /// Regenerator-graph constructions (each runs shortest-path searches).
+    pub shortest_path_calls: Counter,
+    /// Candidate paths examined by rate assignment.
+    pub paths_examined: Counter,
+    /// Path-rate allocations made.
+    pub allocations_made: Counter,
+    /// Transfers promoted by the starvation guard (§3.2, t̂ threshold).
+    pub starvation_promotions: Counter,
+}
+
+impl CoreTelemetry {
+    /// A bundle where every handle is a no-op.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Resolves all handles against `recorder` (once; cheap to clone
+    /// afterwards).
+    pub fn new(recorder: &Recorder) -> Self {
+        CoreTelemetry {
+            recorder: recorder.clone(),
+            anneal: recorder.stage(names::STAGE_ANNEAL),
+            anneal_iter: recorder.stage(names::STAGE_ANNEAL_ITER),
+            circuits: recorder.stage(names::STAGE_CIRCUITS),
+            rates: recorder.stage(names::STAGE_RATES),
+            anneal_iterations: recorder.counter("anneal.iterations"),
+            anneal_accepted: recorder.counter("anneal.accepted"),
+            anneal_rejected: recorder.counter("anneal.rejected"),
+            circuits_built: recorder.counter("circuits.built"),
+            wavelength_failures: recorder.counter("circuits.wavelength_failures"),
+            regens_consumed: recorder.counter("circuits.regens_consumed"),
+            shortest_path_calls: recorder.counter("circuits.shortest_path_calls"),
+            paths_examined: recorder.counter("rates.paths_examined"),
+            allocations_made: recorder.counter("rates.allocations_made"),
+            starvation_promotions: recorder.counter("rates.starvation_promotions"),
+        }
+    }
+}

@@ -21,7 +21,10 @@ pub struct Topology {
 impl Topology {
     /// An empty topology over `n` sites.
     pub fn empty(n: usize) -> Self {
-        Topology { n, links: vec![0; n * n] }
+        Topology {
+            n,
+            links: vec![0; n * n],
+        }
     }
 
     /// Number of sites.
@@ -51,7 +54,10 @@ impl Topology {
     pub fn remove_links(&mut self, u: SiteId, v: SiteId, count: u32) {
         assert_ne!(u, v, "self-links are not allowed");
         let cur = self.links[u * self.n + v];
-        assert!(cur >= count, "removing {count} links from multiplicity {cur}");
+        assert!(
+            cur >= count,
+            "removing {count} links from multiplicity {cur}"
+        );
         self.links[u * self.n + v] = cur - count;
         self.links[v * self.n + u] = cur - count;
     }
@@ -219,7 +225,10 @@ mod tests {
         t.add_links(0, 1, 1);
         assert!(!t.connects_routers(&p), "router 2 unreachable");
         t.add_links(1, 2, 1);
-        assert!(t.connects_routers(&p), "site 3 (no router) may stay isolated");
+        assert!(
+            t.connects_routers(&p),
+            "site 3 (no router) may stay isolated"
+        );
     }
 
     #[test]

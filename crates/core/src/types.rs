@@ -108,17 +108,11 @@ impl SchedulingPolicy {
     /// Sorts transfer indices by the policy, with the starvation guard:
     /// transfers starved for at least `starvation_threshold` slots are
     /// promoted to the front (amongst themselves, policy order applies).
-    pub fn order(
-        &self,
-        transfers: &[Transfer],
-        starvation_threshold: u32,
-    ) -> Vec<usize> {
+    pub fn order(&self, transfers: &[Transfer], starvation_threshold: u32) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..transfers.len()).collect();
         let key = |t: &Transfer| match self {
             SchedulingPolicy::ShortestJobFirst => t.remaining_gbits,
-            SchedulingPolicy::EarliestDeadlineFirst => {
-                t.deadline_s.unwrap_or(f64::INFINITY)
-            }
+            SchedulingPolicy::EarliestDeadlineFirst => t.deadline_s.unwrap_or(f64::INFINITY),
         };
         idx.sort_by(|&a, &b| {
             let sa = transfers[a].starved_slots >= starvation_threshold;
@@ -180,7 +174,11 @@ mod tests {
 
     #[test]
     fn sjf_orders_by_remaining() {
-        let ts = vec![t(0, 50.0, None, 0), t(1, 10.0, None, 0), t(2, 30.0, None, 0)];
+        let ts = vec![
+            t(0, 50.0, None, 0),
+            t(1, 10.0, None, 0),
+            t(2, 30.0, None, 0),
+        ];
         let order = SchedulingPolicy::ShortestJobFirst.order(&ts, u32::MAX);
         assert_eq!(order, vec![1, 2, 0]);
     }

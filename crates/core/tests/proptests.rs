@@ -89,8 +89,8 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..20 {
             if let Some(n) = owan_core::anneal::compute_neighbor(&topo, &mut rng) {
-                for s in 0..plant.site_count() {
-                    prop_assert_eq!(n.degree(s), degrees[s]);
+                for (s, &deg) in degrees.iter().enumerate() {
+                    prop_assert_eq!(n.degree(s), deg);
                 }
                 prop_assert!(n.link_distance(&topo) <= 4);
             }

@@ -55,7 +55,8 @@ impl ShortestPaths {
 
     /// Like [`path_to`](Self::path_to) but returns a [`Path`] with its cost.
     pub fn full_path_to(&self, dst: NodeId) -> Option<Path> {
-        self.path_to(dst).map(|nodes| Path::new(nodes, self.dist[dst]))
+        self.path_to(dst)
+            .map(|nodes| Path::new(nodes, self.dist[dst]))
     }
 }
 
@@ -108,7 +109,10 @@ where
     let mut heap = BinaryHeap::new();
 
     dist[source] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
 
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if done[u] {
@@ -228,9 +232,9 @@ mod tests {
     fn all_pairs_symmetric_for_undirected() {
         let g = diamond();
         let d = all_pairs_distances(&g);
-        for i in 0..4 {
-            for j in 0..4 {
-                assert_eq!(d[i][j], d[j][i]);
+        for (i, row) in d.iter().enumerate() {
+            for (j, &dij) in row.iter().enumerate() {
+                assert_eq!(dij, d[j][i]);
             }
         }
         assert_eq!(d[0][3], 2.0);

@@ -88,10 +88,21 @@ impl Graph {
     }
 
     fn add_edge_inner(&mut self, u: NodeId, v: NodeId, weight: f64, undirected: bool) -> EdgeId {
-        assert!(u < self.adj.len() && v < self.adj.len(), "endpoint out of range");
-        assert!(weight >= 0.0, "edge weight must be non-negative, got {weight}");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "endpoint out of range"
+        );
+        assert!(
+            weight >= 0.0,
+            "edge weight must be non-negative, got {weight}"
+        );
         let id = self.edges.len();
-        self.edges.push(Edge { u, v, weight, undirected });
+        self.edges.push(Edge {
+            u,
+            v,
+            weight,
+            undirected,
+        });
         self.adj[u].push(id);
         if undirected && u != v {
             self.adj[v].push(id);
@@ -122,7 +133,9 @@ impl Graph {
 
     /// Iterator over `(edge_id, neighbor)` pairs traversable from `n`.
     pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
-        self.adj[n].iter().map(move |&e| (e, self.edges[e].other(n)))
+        self.adj[n]
+            .iter()
+            .map(move |&e| (e, self.edges[e].other(n)))
     }
 
     /// Degree of `n` (number of traversable incident edges).

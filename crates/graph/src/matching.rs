@@ -145,7 +145,7 @@ impl Blossom {
                 if self.base[v] == self.base[u] || self.mate[v] == Some(u) {
                     continue;
                 }
-                if u == root || self.mate[u].map_or(false, |m| self.parent[m].is_some()) {
+                if u == root || self.mate[u].is_some_and(|m| self.parent[m].is_some()) {
                     // Odd cycle: contract a blossom.
                     let b = self.lca(v, u);
                     self.in_blossom.iter_mut().for_each(|x| *x = false);

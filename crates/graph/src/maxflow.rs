@@ -30,7 +30,10 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Creates a flow network with `n` nodes.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { adj: vec![Vec::new(); n], arcs: Vec::new() }
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            arcs: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -42,10 +45,21 @@ impl FlowNetwork {
     /// of zero capacity is added automatically.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, cap: f64) {
         assert!(cap >= 0.0, "capacity must be non-negative");
-        assert!(u < self.adj.len() && v < self.adj.len(), "endpoint out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "endpoint out of range"
+        );
         let fwd = self.arcs.len();
-        self.arcs.push(Arc { to: v, cap, rev: fwd + 1 });
-        self.arcs.push(Arc { to: u, cap: 0.0, rev: fwd });
+        self.arcs.push(Arc {
+            to: v,
+            cap,
+            rev: fwd + 1,
+        });
+        self.arcs.push(Arc {
+            to: u,
+            cap: 0.0,
+            rev: fwd,
+        });
         self.adj[u].push(fwd);
         self.adj[v].push(fwd + 1);
     }

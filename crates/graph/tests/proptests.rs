@@ -11,17 +11,15 @@ use proptest::prelude::*;
 /// Strategy: a random undirected graph with up to `n` nodes and `m` edges.
 fn random_graph(n: usize, m: usize) -> impl Strategy<Value = Graph> {
     (2..=n).prop_flat_map(move |nodes| {
-        proptest::collection::vec((0..nodes, 0..nodes, 1u32..100), 0..=m).prop_map(
-            move |edges| {
-                let mut g = Graph::new(nodes);
-                for (u, v, w) in edges {
-                    if u != v {
-                        g.add_undirected_edge(u, v, w as f64);
-                    }
+        proptest::collection::vec((0..nodes, 0..nodes, 1u32..100), 0..=m).prop_map(move |edges| {
+            let mut g = Graph::new(nodes);
+            for (u, v, w) in edges {
+                if u != v {
+                    g.add_undirected_edge(u, v, w as f64);
                 }
-                g
-            },
-        )
+            }
+            g
+        })
     })
 }
 
@@ -88,10 +86,10 @@ proptest! {
     fn dijkstra_matches_bellman_ford(g in random_graph(8, 16)) {
         let sp = dijkstra::shortest_paths(&g, 0);
         let bf = bellman_ford(&g, 0);
-        for v in 0..g.node_count() {
+        for (v, &bfv) in bf.iter().enumerate() {
             let d = sp.distance(v).unwrap_or(f64::INFINITY);
-            prop_assert!((d - bf[v]).abs() < 1e-9 || (d.is_infinite() && bf[v].is_infinite()),
-                "node {v}: dijkstra {d} vs bellman-ford {}", bf[v]);
+            prop_assert!((d - bfv).abs() < 1e-9 || (d.is_infinite() && bfv.is_infinite()),
+                "node {v}: dijkstra {d} vs bellman-ford {bfv}");
         }
     }
 

@@ -1,0 +1,72 @@
+//! Injectable time sources for span timing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock. Injectable so tests can drive spans with
+/// [`ManualClock`] while production uses [`MonotonicClock`].
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary fixed origin. Must never decrease.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock time from [`Instant`], measured from clock construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // Saturates at u64::MAX after ~584 years of uptime.
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// A clock that only moves when told to — for deterministic span tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the clock forward by `delta_ns` nanoseconds.
+    pub fn advance_ns(&self, delta_ns: u64) {
+        self.now_ns.fetch_add(delta_ns, Ordering::SeqCst);
+    }
+
+    /// Sets the absolute time. Panics if this would move time backwards.
+    pub fn set_ns(&self, t_ns: u64) {
+        let prev = self.now_ns.swap(t_ns, Ordering::SeqCst);
+        assert!(
+            prev <= t_ns,
+            "ManualClock moved backwards: {prev} -> {t_ns}"
+        );
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::SeqCst)
+    }
+}

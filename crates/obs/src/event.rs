@@ -1,0 +1,116 @@
+//! Structured events captured into the recorder's bounded ring.
+
+use crate::json;
+
+/// A telemetry field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float; non-finite values export as JSON `null`.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    pub(crate) fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => json::write_f64(out, *v),
+            Value::Str(s) => json::write_str(out, s),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A timestamped, named event with arbitrary fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Clock reading when the event was recorded.
+    pub ts_ns: u64,
+    /// Event name, e.g. `"slot.telemetry"`.
+    pub name: String,
+    /// Field name/value pairs, in recording order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Writes the event as a single JSON object (no trailing newline).
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str("{\"type\":\"event\",\"ts_ns\":");
+        let _ = write!(out, "{}", self.ts_ns);
+        out.push_str(",\"name\":");
+        json::write_str(out, &self.name);
+        out.push_str(",\"fields\":{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_key(out, key);
+            value.write_json(out);
+        }
+        out.push_str("}}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Minimal hand-rolled JSON writer.
+//!
+//! The telemetry layer is zero-dependency by design, so JSON lines are
+//! assembled with these helpers instead of a serialization crate. Only
+//! what the exporter needs is implemented: string escaping per RFC 8259
+//! and number formatting where non-finite floats become `null`.
+
+use std::fmt::Write as _;
+
+/// Appends `s` as a JSON string (with surrounding quotes) to `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number to `out`; NaN and infinities become
+/// `null` (JSON has no representation for them).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` keeps a fractional part or exponent, so the output
+        // round-trips as a float (`1.0` rather than `1`).
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `key: ` (an object key and its colon) to `out`.
+pub fn write_key(out: &mut String, key: &str) {
+    write_str(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn floats_round_trip_and_nonfinite_is_null() {
+        let mut out = String::new();
+        write_f64(&mut out, 1.0);
+        assert_eq!(out, "1.0");
+        out.clear();
+        write_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        out.clear();
+        write_f64(&mut out, f64::NEG_INFINITY);
+        assert_eq!(out, "null");
+    }
+}

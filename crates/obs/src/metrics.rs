@@ -1,0 +1,178 @@
+//! Atomic metric primitives: counters, gauges, fixed-bucket histograms.
+//!
+//! Handles are cheap clones of `Option<Arc<...>>`. Disabled handles (from
+//! a disabled [`crate::Recorder`]) are `None` and every update is an
+//! early return; enabled handles update atomics with no locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A disabled counter; all updates are no-ops.
+    pub fn disabled() -> Self {
+        Counter(None)
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-write-wins float gauge (stored as f64 bits in an atomic).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A disabled gauge; all updates are no-ops.
+    pub fn disabled() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |cell| f64::from_bits(cell.load(Ordering::Relaxed)))
+    }
+}
+
+/// Shared state of a fixed-bucket histogram.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Sorted upper bounds; an implicit final +inf bucket follows.
+    pub(crate) bounds: Vec<f64>,
+    /// One count per bound plus the overflow bucket.
+    pub(crate) counts: Vec<AtomicU64>,
+    /// Sum of observed values, as f64 bits updated by CAS.
+    pub(crate) sum_bits: AtomicU64,
+    /// Total number of observations.
+    pub(crate) total: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        HistogramCore {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        // A value lands in the first bucket whose upper bound admits it
+        // (`v <= bound`), or the overflow bucket past the last bound.
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            total: self.total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A disabled histogram; all updates are no-ops.
+    pub fn disabled() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.observe(v);
+        }
+    }
+
+    /// Point-in-time view (empty when disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map_or_else(HistogramSnapshot::default, |core| core.snapshot())
+    }
+}
+
+/// Point-in-time histogram contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Sorted upper bounds; the overflow bucket is implicit.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub total: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of observed values, or 0.0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+}

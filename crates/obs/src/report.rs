@@ -1,0 +1,70 @@
+//! Human-readable summary rendering.
+
+use crate::recorder::Snapshot;
+
+/// Renders a per-stage timing table from a snapshot.
+///
+/// `stages` pairs a display label with the stage name passed to
+/// [`crate::Recorder::stage`]; stages that never ran render with zeros so
+/// the table shape is stable.
+pub fn format_stage_table(snapshot: &Snapshot, stages: &[(&str, &str)]) -> String {
+    let label_width = stages
+        .iter()
+        .map(|(label, _)| label.len())
+        .chain(std::iter::once(5))
+        .max()
+        .unwrap_or(5);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<label_width$}  {:>10}  {:>12}  {:>12}\n",
+        "stage", "calls", "total ms", "mean ms"
+    ));
+    for (label, name) in stages {
+        let calls = snapshot
+            .counters
+            .get(&format!("{name}.calls"))
+            .copied()
+            .unwrap_or(0);
+        let total_ns = snapshot
+            .counters
+            .get(&format!("{name}.ns"))
+            .copied()
+            .unwrap_or(0);
+        let total_ms = total_ns as f64 / 1e6;
+        let mean_ms = if calls == 0 {
+            0.0
+        } else {
+            total_ms / calls as f64
+        };
+        out.push_str(&format!(
+            "{label:<label_width$}  {calls:>10}  {total_ms:>12.3}  {mean_ms:>12.3}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::recorder::Recorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn table_covers_requested_stages() {
+        let clock = Arc::new(ManualClock::new());
+        let recorder = Recorder::with_clock(clock.clone());
+        let stage = recorder.stage("stage.anneal");
+        {
+            let _guard = stage.enter();
+            clock.advance_ns(2_000_000);
+        }
+        let table = format_stage_table(
+            &recorder.snapshot(),
+            &[("anneal", "stage.anneal"), ("rates", "stage.rates")],
+        );
+        assert!(table.contains("anneal"));
+        assert!(table.contains("rates"));
+        assert!(table.contains("2.000"));
+    }
+}

@@ -62,7 +62,12 @@ pub enum ProvisionError {
     /// No fiber route exists between two consecutive relay sites.
     Disconnected { from: SiteId, to: SiteId },
     /// A segment's shortest fiber route exceeds the optical reach.
-    ExceedsReach { from: SiteId, to: SiteId, length_km: u64, reach_km: u64 },
+    ExceedsReach {
+        from: SiteId,
+        to: SiteId,
+        length_km: u64,
+        reach_km: u64,
+    },
     /// No common free wavelength channel along a segment's fibers.
     NoWavelength { from: SiteId, to: SiteId },
     /// An interior relay site has no free regenerator.
@@ -77,7 +82,12 @@ impl std::fmt::Display for ProvisionError {
             ProvisionError::Disconnected { from, to } => {
                 write!(f, "no fiber route between sites {from} and {to}")
             }
-            ProvisionError::ExceedsReach { from, to, length_km, reach_km } => write!(
+            ProvisionError::ExceedsReach {
+                from,
+                to,
+                length_km,
+                reach_km,
+            } => write!(
                 f,
                 "segment {from}->{to} is {length_km} km, beyond optical reach {reach_km} km"
             ),
@@ -207,7 +217,12 @@ impl OpticalState {
             for &fid in &fibers {
                 tentative[fid][channel as usize] = true;
             }
-            segments.push(Segment { fibers, sites, channel, length_km });
+            segments.push(Segment {
+                fibers,
+                sites,
+                channel,
+                length_km,
+            });
         }
 
         // Regenerators at interior relay sites.
@@ -288,12 +303,12 @@ impl OpticalState {
         if expected != self.channel_used {
             return Err("channel occupancy out of sync with circuits".into());
         }
-        for s in 0..plant.site_count() {
+        for (s, &used) in regen_used.iter().enumerate() {
             let declared = plant.site(s).regenerators;
-            if regen_used[s] + self.regens_free[s] != declared {
+            if used + self.regens_free[s] != declared {
                 return Err(format!(
-                    "site {s}: {} used + {} free != {declared} regenerators",
-                    regen_used[s], self.regens_free[s]
+                    "site {s}: {used} used + {} free != {declared} regenerators",
+                    self.regens_free[s]
                 ));
             }
         }
@@ -316,9 +331,11 @@ mod tests {
 
     /// A / B / C in a line, 400 km per hop; B has regenerators.
     fn line_plant(reach: f64, wavelengths: u32) -> FiberPlant {
-        let mut params = OpticalParams::default();
-        params.optical_reach_km = reach;
-        params.wavelengths_per_fiber = wavelengths;
+        let params = OpticalParams {
+            optical_reach_km: reach,
+            wavelengths_per_fiber: wavelengths,
+            ..Default::default()
+        };
         let mut p = FiberPlant::new(params);
         let a = p.add_site("A", 4, 0);
         let b = p.add_site("B", 4, 2);
@@ -444,7 +461,10 @@ mod tests {
     fn degenerate_relay_paths_rejected() {
         let p = line_plant(1_000.0, 2);
         let mut s = OpticalState::new(&p);
-        assert_eq!(s.provision(&p, &[0]).unwrap_err(), ProvisionError::InvalidRelayPath);
+        assert_eq!(
+            s.provision(&p, &[0]).unwrap_err(),
+            ProvisionError::InvalidRelayPath
+        );
         assert_eq!(
             s.provision(&p, &[0, 1, 0]).unwrap_err(),
             ProvisionError::InvalidRelayPath

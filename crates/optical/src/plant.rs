@@ -149,7 +149,10 @@ impl FiberPlant {
     /// # Panics
     /// Panics if an endpoint is out of range or the length is not positive.
     pub fn add_fiber(&mut self, a: SiteId, b: SiteId, length_km: f64) -> FiberId {
-        assert!(a < self.sites.len() && b < self.sites.len(), "site out of range");
+        assert!(
+            a < self.sites.len() && b < self.sites.len(),
+            "site out of range"
+        );
         assert!(length_km > 0.0, "fiber length must be positive");
         assert_ne!(a, b, "fiber endpoints must differ");
         let id = self.fibers.len();
@@ -219,7 +222,10 @@ impl FiberPlant {
                 .neighbors(w[0])
                 .filter(|&(_, n)| n == w[1])
                 .min_by(|a, b| {
-                    self.graph.edge(a.0).weight.total_cmp(&self.graph.edge(b.0).weight)
+                    self.graph
+                        .edge(a.0)
+                        .weight
+                        .total_cmp(&self.graph.edge(b.0).weight)
                 })
                 .map(|(e, _)| e)
                 .expect("consecutive path nodes are adjacent");
@@ -345,9 +351,9 @@ mod tests {
     fn distance_matrix_matches_pointwise() {
         let p = line_plant();
         let m = p.fiber_distance_matrix();
-        for i in 0..3 {
-            for j in 0..3 {
-                assert_eq!(m[i][j], p.fiber_distance(i, j));
+        for (i, row) in m.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate() {
+                assert_eq!(d, p.fiber_distance(i, j));
             }
         }
     }

@@ -78,7 +78,10 @@ impl PowerBudget {
         let total_loss_db =
             self.mux_loss_db + self.demux_loss_db + per_span_loss * roadm_hops as f64;
         let total_gain_db = self.edfa_gain_db * roadm_hops as f64;
-        SegmentPower { total_loss_db, total_gain_db }
+        SegmentPower {
+            total_loss_db,
+            total_gain_db,
+        }
     }
 
     /// True if the segment closes the link budget: net loss within the
@@ -129,8 +132,10 @@ mod tests {
 
     #[test]
     fn weak_amplifier_fails_budget() {
-        let mut b = PowerBudget::default();
-        b.edfa_gain_db = 5.0;
+        let b = PowerBudget {
+            edfa_gain_db: 5.0,
+            ..Default::default()
+        };
         assert!(!b.segment_feasible(1), "28 - 5 = 23 dB > 16 dB budget");
     }
 

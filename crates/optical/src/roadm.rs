@@ -66,7 +66,7 @@ impl RoadmConfig {
     pub fn is_selected(&self, neighbor: SiteId, channel: u32) -> bool {
         self.selected
             .get(&neighbor)
-            .map_or(false, |c| c.binary_search(&channel).is_ok())
+            .is_some_and(|c| c.binary_search(&channel).is_ok())
     }
 
     /// Total number of selected (neighbor, channel) pairs.
@@ -98,7 +98,11 @@ impl RoadmConfig {
 impl Roadm {
     /// Creates a ROADM for `site` with the given ports and neighbors.
     pub fn new(site: SiteId, add_drop_ports: u32, neighbors: Vec<SiteId>) -> Self {
-        Roadm { site, add_drop_ports, neighbors }
+        Roadm {
+            site,
+            add_drop_ports,
+            neighbors,
+        }
     }
 
     /// Duration of applying `ops` WSS operations, given the per-operation

@@ -6,13 +6,13 @@ use owan_optical::{FiberPlant, OpticalParams, OpticalState};
 use proptest::prelude::*;
 
 /// A random connected plant: `n` sites on a ring plus random chords.
-fn random_plant(
-    max_sites: usize,
-) -> impl Strategy<Value = (FiberPlant, Vec<(usize, usize)>)> {
+fn random_plant(max_sites: usize) -> impl Strategy<Value = (FiberPlant, Vec<(usize, usize)>)> {
     (3..=max_sites, 1u32..4, 0u32..3, any::<u64>()).prop_map(|(n, wl, regen, seed)| {
-        let mut params = OpticalParams::default();
-        params.wavelengths_per_fiber = wl;
-        params.optical_reach_km = 900.0;
+        let params = OpticalParams {
+            wavelengths_per_fiber: wl,
+            optical_reach_km: 900.0,
+            ..Default::default()
+        };
         let mut plant = FiberPlant::new(params);
         for i in 0..n {
             plant.add_site(&format!("S{i}"), 4, regen);

@@ -14,10 +14,13 @@
 //! clock, read back rate allocations and the device operation schedule.
 
 use crate::sim::CompletionRecord;
+use crate::telemetry::{SimTelemetry, SlotTelemetry};
 use owan_core::{SlotInput, SlotPlan, TrafficEngineer, Transfer, TransferRequest};
+use owan_obs::Recorder;
 use owan_optical::FiberPlant;
 use owan_update::{
-    plan_consistent, plan_one_shot, throughput_timeline, NetworkDelta, UpdatePlan, UpdateParams,
+    plan_consistent_observed, plan_one_shot_observed, throughput_timeline, NetworkDelta,
+    UpdateParams, UpdatePlan, UpdateTelemetry,
 };
 
 const EPS: f64 = 1e-9;
@@ -72,6 +75,9 @@ pub struct ControllerResult {
     /// (what the idealized simulator would have delivered on the same
     /// plans during the transition windows).
     pub transition_loss_gbits: f64,
+    /// Per-slot controller telemetry, present when the run was made with
+    /// a recording recorder (see [`run_controller_observed`]).
+    pub telemetry: Option<Vec<SlotTelemetry>>,
 }
 
 impl ControllerResult {
@@ -125,7 +131,28 @@ pub fn run_controller(
     engine: &mut dyn TrafficEngineer,
     config: &ControllerConfig,
 ) -> ControllerResult {
+    run_controller_observed(plant, requests, engine, config, &Recorder::disabled())
+}
+
+/// [`run_controller`] with telemetry. Unlike [`crate::sim::simulate_observed`],
+/// the update planner here is on the real execution path (its schedule
+/// determines delivered volume), so the `stage.update` span times work
+/// the controller was doing anyway. Delivered results are identical to
+/// the unobserved run.
+pub fn run_controller_observed(
+    plant: &FiberPlant,
+    requests: &[TransferRequest],
+    engine: &mut dyn TrafficEngineer,
+    config: &ControllerConfig,
+    recorder: &Recorder,
+) -> ControllerResult {
     let theta = plant.params().wavelength_capacity_gbps;
+    engine.set_recorder(recorder.clone());
+    let telemetry = recorder.is_enabled().then(|| SimTelemetry::new(recorder));
+    let update_telemetry = telemetry
+        .as_ref()
+        .map_or_else(UpdateTelemetry::disabled, |t| t.update.clone());
+    let mut slot_rows: Vec<SlotTelemetry> = Vec::new();
     let params = UpdateParams {
         theta_gbps: theta,
         circuit_time_s: plant.params().circuit_reconfig_time_s,
@@ -170,14 +197,24 @@ pub fn run_controller(
             break;
         }
 
+        let slot_span = telemetry
+            .as_ref()
+            .map(|t| (t.slot_stage.enter(), t.stage_marks()));
+        let plan_start_ns = recorder.now_ns();
         let plan = engine.plan_slot(
             plant,
-            &SlotInput { transfers: &active, slot_len_s: config.slot_len_s, now_s: now },
+            &SlotInput {
+                transfers: &active,
+                slot_len_s: config.slot_len_s,
+                now_s: now,
+            },
         );
+        let plan_ns = recorder.now_ns().saturating_sub(plan_start_ns);
         crate::sim::plan_is_feasible(&plan, theta)
             .unwrap_or_else(|e| panic!("{} emitted an infeasible plan: {e}", engine.name()));
 
         // Schedule the transition from the previous state.
+        let mut slot_update_ops = 0usize;
         let (scale, loss) = match &prev_plan {
             Some(prev) => {
                 let delta = NetworkDelta::from_plans(
@@ -188,11 +225,22 @@ pub fn run_controller(
                     plant.params().wavelengths_per_fiber,
                 );
                 let update = match config.discipline {
-                    UpdateDiscipline::Consistent => plan_consistent(&delta, &params),
-                    UpdateDiscipline::OneShot => plan_one_shot(&delta, &params),
+                    UpdateDiscipline::Consistent => {
+                        plan_consistent_observed(&delta, &params, &update_telemetry)
+                    }
+                    UpdateDiscipline::OneShot => {
+                        plan_one_shot_observed(&delta, &params, &update_telemetry)
+                    }
                 };
+                slot_update_ops = update.ops.len();
                 update_ops += update.ops.len();
-                transition_scale(&delta, &update, &params, config.slot_len_s, plan.throughput_gbps)
+                transition_scale(
+                    &delta,
+                    &update,
+                    &params,
+                    config.slot_len_s,
+                    plan.throughput_gbps,
+                )
             }
             None => (1.0, 0.0),
         };
@@ -200,12 +248,14 @@ pub fn run_controller(
 
         // Deliver.
         let mut slot_delivered = 0.0;
+        let mut got_rate = vec![false; transfers.len()];
         for alloc in &plan.allocations {
             let rate_alloc = alloc.total_rate();
             let rate = rate_alloc * scale;
             if rate <= EPS {
                 continue;
             }
+            got_rate[alloc.transfer] = true;
             let t = &mut transfers[alloc.transfer];
             let rec = &mut records[alloc.transfer];
             if let Some(d) = t.deadline_s {
@@ -234,6 +284,26 @@ pub fn run_controller(
             }
         }
         delivered_series.push((now, slot_delivered));
+
+        if let (Some(t), Some((span, marks))) = (&telemetry, slot_span) {
+            span.finish();
+            let (anneal_ns, circuits_ns, rates_ns, update_ns) = t.stage_marks().since(&marks);
+            let row = SlotTelemetry {
+                slot,
+                start_s: now,
+                active_transfers: active.len(),
+                queue_depth: active.iter().filter(|a| !got_rate[a.id]).count(),
+                plan_ns,
+                anneal_ns,
+                circuits_ns,
+                rates_ns,
+                update_ns,
+                update_ops: slot_update_ops,
+                throughput_gbps: plan.throughput_gbps,
+            };
+            t.publish_slot(&row);
+            slot_rows.push(row);
+        }
         prev_plan = Some(plan);
     }
 
@@ -247,6 +317,7 @@ pub fn run_controller(
         makespan_s,
         update_ops,
         transition_loss_gbits,
+        telemetry: telemetry.map(|_| slot_rows),
     }
 }
 
@@ -275,16 +346,38 @@ mod tests {
 
     fn requests() -> Vec<TransferRequest> {
         vec![
-            TransferRequest { src: 0, dst: 1, volume_gbits: 2_000.0, arrival_s: 0.0, deadline_s: None },
-            TransferRequest { src: 2, dst: 3, volume_gbits: 1_500.0, arrival_s: 0.0, deadline_s: None },
-            TransferRequest { src: 1, dst: 3, volume_gbits: 700.0, arrival_s: 300.0, deadline_s: None },
+            TransferRequest {
+                src: 0,
+                dst: 1,
+                volume_gbits: 2_000.0,
+                arrival_s: 0.0,
+                deadline_s: None,
+            },
+            TransferRequest {
+                src: 2,
+                dst: 3,
+                volume_gbits: 1_500.0,
+                arrival_s: 0.0,
+                deadline_s: None,
+            },
+            TransferRequest {
+                src: 1,
+                dst: 3,
+                volume_gbits: 700.0,
+                arrival_s: 300.0,
+                deadline_s: None,
+            },
         ]
     }
 
     fn run(discipline: UpdateDiscipline) -> ControllerResult {
         let p = plant();
         let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
-        let cfg = ControllerConfig { slot_len_s: 100.0, discipline, ..Default::default() };
+        let cfg = ControllerConfig {
+            slot_len_s: 100.0,
+            discipline,
+            ..Default::default()
+        };
         run_controller(&p, &requests(), &mut e, &cfg)
     }
 
@@ -295,7 +388,10 @@ mod tests {
         assert!(res.makespan_s > 0.0);
         let delivered: f64 = res.delivered_series.iter().map(|(_, v)| v).sum();
         let requested: f64 = requests().iter().map(|r| r.volume_gbits).sum();
-        assert!((delivered - requested).abs() < 1e-3, "{delivered} vs {requested}");
+        assert!(
+            (delivered - requested).abs() < 1e-3,
+            "{delivered} vs {requested}"
+        );
     }
 
     #[test]

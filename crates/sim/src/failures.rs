@@ -13,7 +13,7 @@
 //! failure events, presenting the degraded plant from each event's slot on.
 
 use crate::sim::{plan_is_feasible, SimConfig, SimResult};
-use owan_core::{SlotInput, Transfer, TrafficEngineer, TransferRequest};
+use owan_core::{SlotInput, TrafficEngineer, Transfer, TransferRequest};
 use owan_optical::{FiberId, FiberPlant, SiteId};
 
 const EPS: f64 = 1e-9;
@@ -112,10 +112,12 @@ pub fn simulate_with_failures(
         slots = slot + 1;
 
         // Apply failures due by this slot.
-        let due = timeline.iter().take_while(|e| e.time_s <= now + EPS).count();
+        let due = timeline
+            .iter()
+            .take_while(|e| e.time_s <= now + EPS)
+            .count();
         if due > applied {
-            let active_failures: Vec<Failure> =
-                timeline[..due].iter().map(|e| e.failure).collect();
+            let active_failures: Vec<Failure> = timeline[..due].iter().map(|e| e.failure).collect();
             current_plant = degrade_plant(plant, &active_failures);
             applied = due;
         }
@@ -142,7 +144,11 @@ pub fn simulate_with_failures(
 
         let plan = engine.plan_slot(
             &current_plant,
-            &SlotInput { transfers: &active, slot_len_s: config.slot_len_s, now_s: now },
+            &SlotInput {
+                transfers: &active,
+                slot_len_s: config.slot_len_s,
+                now_s: now,
+            },
         );
         plan_is_feasible(&plan, theta)
             .unwrap_or_else(|e| panic!("{} emitted an infeasible plan: {e}", engine.name()));
@@ -188,6 +194,7 @@ pub fn simulate_with_failures(
         makespan_s,
         throughput_series,
         slots,
+        telemetry: None,
     }
 }
 
@@ -234,10 +241,19 @@ mod tests {
             arrival_s: 0.0,
             deadline_s: None,
         }];
-        let cfg = SimConfig { slot_len_s: 100.0, ..Default::default() };
-        let events = [FailureEvent { time_s: 150.0, failure: Failure::FiberCut(0) }];
+        let cfg = SimConfig {
+            slot_len_s: 100.0,
+            ..Default::default()
+        };
+        let events = [FailureEvent {
+            time_s: 150.0,
+            failure: Failure::FiberCut(0),
+        }];
         let res = simulate_with_failures(&p, &reqs, &mut e, &cfg, &events);
-        assert!(res.all_completed(), "transfer should reroute around the cut");
+        assert!(
+            res.all_completed(),
+            "transfer should reroute around the cut"
+        );
     }
 
     #[test]
@@ -251,8 +267,15 @@ mod tests {
             arrival_s: 0.0,
             deadline_s: None,
         }];
-        let cfg = SimConfig { slot_len_s: 100.0, max_slots: 50, ..Default::default() };
-        let events = [FailureEvent { time_s: 0.0, failure: Failure::SiteDown(2) }];
+        let cfg = SimConfig {
+            slot_len_s: 100.0,
+            max_slots: 50,
+            ..Default::default()
+        };
+        let events = [FailureEvent {
+            time_s: 0.0,
+            failure: Failure::SiteDown(2),
+        }];
         let res = simulate_with_failures(&p, &reqs, &mut e, &cfg, &events);
         assert!(!res.all_completed());
         assert!(res.slots < 50, "simulation stops early instead of spinning");
@@ -268,10 +291,25 @@ mod tests {
         // so plans may differ slightly, but everything still completes).
         let p = plant();
         let reqs = vec![
-            TransferRequest { src: 0, dst: 1, volume_gbits: 800.0, arrival_s: 0.0, deadline_s: None },
-            TransferRequest { src: 2, dst: 3, volume_gbits: 800.0, arrival_s: 0.0, deadline_s: None },
+            TransferRequest {
+                src: 0,
+                dst: 1,
+                volume_gbits: 800.0,
+                arrival_s: 0.0,
+                deadline_s: None,
+            },
+            TransferRequest {
+                src: 2,
+                dst: 3,
+                volume_gbits: 800.0,
+                arrival_s: 0.0,
+                deadline_s: None,
+            },
         ];
-        let cfg = SimConfig { slot_len_s: 100.0, ..Default::default() };
+        let cfg = SimConfig {
+            slot_len_s: 100.0,
+            ..Default::default()
+        };
         let mut continuous = OwanEngine::new(default_topology(&p), OwanConfig::default());
         let res = crate::sim::simulate(&p, &reqs, &mut continuous, &cfg);
         assert!(res.all_completed());

@@ -38,10 +38,18 @@ pub mod failures;
 pub mod metrics;
 pub mod runner;
 pub mod sim;
+pub mod telemetry;
 pub mod validate;
 
-pub use controller::{run_controller, ControllerConfig, ControllerResult, UpdateDiscipline};
+pub use controller::{
+    run_controller, run_controller_observed, ControllerConfig, ControllerResult, UpdateDiscipline,
+};
 pub use failures::{degrade_plant, simulate_with_failures, Failure, FailureEvent};
-pub use runner::{make_engine, run_comparison, run_engine, EngineKind, RunnerConfig};
-pub use sim::{plan_is_feasible, simulate, CompletionRecord, SimConfig, SimResult};
+pub use runner::{
+    make_engine, run_comparison, run_engine, run_engine_observed, EngineKind, RunnerConfig,
+};
+pub use sim::{
+    plan_is_feasible, simulate, simulate_observed, CompletionRecord, SimConfig, SimResult,
+};
+pub use telemetry::SlotTelemetry;
 pub use validate::{validate_simulator, ValidationReport};

@@ -24,7 +24,12 @@ pub enum SizeBin {
 
 impl SizeBin {
     /// The bins in display order.
-    pub const BINS: [SizeBin; 4] = [SizeBin::Small, SizeBin::Middle, SizeBin::Large, SizeBin::All];
+    pub const BINS: [SizeBin; 4] = [
+        SizeBin::Small,
+        SizeBin::Middle,
+        SizeBin::Large,
+        SizeBin::All,
+    ];
 
     /// Display label.
     pub fn label(&self) -> &'static str {
@@ -129,9 +134,7 @@ pub fn pct_deadlines_met(result: &SimResult, bin: SizeBin) -> f64 {
         .completions
         .iter()
         .enumerate()
-        .filter(|&(i, c)| {
-            c.deadline_s.is_some() && (bin == SizeBin::All || bins[i] == bin)
-        })
+        .filter(|&(i, c)| c.deadline_s.is_some() && (bin == SizeBin::All || bins[i] == bin))
         .map(|(_, c)| c)
         .collect();
     if eligible.is_empty() {
@@ -192,6 +195,7 @@ mod tests {
             makespan_s: 0.0,
             throughput_series: Vec::new(),
             slots: 0,
+            telemetry: None,
         }
     }
 
@@ -215,8 +219,9 @@ mod tests {
 
     #[test]
     fn bins_split_in_thirds() {
-        let recs: Vec<CompletionRecord> =
-            (0..9).map(|i| record(i, (i + 1) as f64, Some(1.0), None)).collect();
+        let recs: Vec<CompletionRecord> = (0..9)
+            .map(|i| record(i, (i + 1) as f64, Some(1.0), None))
+            .collect();
         let bins = size_bins(&recs);
         assert_eq!(bins.iter().filter(|&&b| b == SizeBin::Small).count(), 3);
         assert_eq!(bins.iter().filter(|&&b| b == SizeBin::Middle).count(), 3);
@@ -254,7 +259,10 @@ mod tests {
 
     #[test]
     fn unfinished_excluded_from_completion_times() {
-        let r = result(vec![record(0, 10.0, Some(5.0), None), record(1, 10.0, None, None)]);
+        let r = result(vec![
+            record(0, 10.0, Some(5.0), None),
+            record(1, 10.0, None, None),
+        ]);
         assert_eq!(completion_times(&r, SizeBin::All).len(), 1);
     }
 }

@@ -1,14 +1,15 @@
 //! Experiment runner: constructs engines by name and drives whole
 //! comparison sweeps, optionally in parallel across engines/loads.
 
-use crate::sim::{simulate, SimConfig, SimResult};
+use crate::sim::{simulate, simulate_observed, SimConfig, SimResult};
 use owan_core::{
     default_topology, AnnealConfig, OwanConfig, OwanEngine, SchedulingPolicy, TrafficEngineer,
     TransferRequest,
 };
+use owan_obs::Recorder;
 use owan_te::{
-    AmoebaConfig, AmoebaTe, GreedyTe, MaxFlowTe, MaxMinFractTe, RateOnlyTe, RoutingRateTe,
-    SwanTe, TempusConfig, TempusTe,
+    AmoebaConfig, AmoebaTe, GreedyTe, MaxFlowTe, MaxMinFractTe, RateOnlyTe, RoutingRateTe, SwanTe,
+    TempusConfig, TempusTe,
 };
 use owan_topo::Network;
 
@@ -123,12 +124,8 @@ pub fn make_engine(
         EngineKind::MaxFlow => Box::new(MaxFlowTe::new(topo, theta, k)),
         EngineKind::MaxMinFract => Box::new(MaxMinFractTe::new(topo, theta, k)),
         EngineKind::Swan => Box::new(SwanTe::new(topo, theta, k)),
-        EngineKind::Tempus => {
-            Box::new(TempusTe::new(topo, theta, k, TempusConfig::default()))
-        }
-        EngineKind::Amoeba => {
-            Box::new(AmoebaTe::new(topo, theta, k, AmoebaConfig::default()))
-        }
+        EngineKind::Tempus => Box::new(TempusTe::new(topo, theta, k, TempusConfig::default())),
+        EngineKind::Amoeba => Box::new(AmoebaTe::new(topo, theta, k, AmoebaConfig::default())),
         EngineKind::Greedy => Box::new(GreedyTe::new(config.policy)),
         EngineKind::RateOnly => Box::new(RateOnlyTe::new(topo, theta, config.policy)),
         EngineKind::RoutingRate => Box::new(RoutingRateTe::new(topo, theta, config.policy)),
@@ -146,8 +143,29 @@ pub fn run_engine(
     simulate(&network.plant, requests, engine.as_mut(), &config.sim)
 }
 
+/// [`run_engine`] with a telemetry recorder attached to the engine and
+/// the simulation loop. With a disabled recorder this is exactly
+/// [`run_engine`].
+pub fn run_engine_observed(
+    kind: EngineKind,
+    network: &Network,
+    requests: &[TransferRequest],
+    config: &RunnerConfig,
+    recorder: &Recorder,
+) -> SimResult {
+    let mut engine = make_engine(kind, network, config);
+    simulate_observed(
+        &network.plant,
+        requests,
+        engine.as_mut(),
+        &config.sim,
+        recorder,
+    )
+}
+
 /// Runs several engines over the same workload, in parallel (one thread
-/// per engine via crossbeam's scoped threads).
+/// per engine via `std::thread::scope`, which joins all threads and
+/// propagates panics before returning).
 pub fn run_comparison(
     kinds: &[EngineKind],
     network: &Network,
@@ -155,15 +173,17 @@ pub fn run_comparison(
     config: &RunnerConfig,
 ) -> Vec<SimResult> {
     let mut results: Vec<Option<SimResult>> = (0..kinds.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &kind) in results.iter_mut().zip(kinds) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(run_engine(kind, network, requests, config));
             });
         }
-    })
-    .expect("comparison threads do not panic");
-    results.into_iter().map(|r| r.expect("thread filled slot")).collect()
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("thread filled slot"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -181,7 +201,11 @@ mod tests {
 
     fn fast_runner() -> RunnerConfig {
         RunnerConfig {
-            sim: SimConfig { slot_len_s: 300.0, max_slots: 400, ..Default::default() },
+            sim: SimConfig {
+                slot_len_s: 300.0,
+                max_slots: 400,
+                ..Default::default()
+            },
             anneal_iterations: 60,
             ..Default::default()
         }
@@ -213,12 +237,7 @@ mod tests {
         let (net, reqs) = small_workload();
         let reqs: Vec<_> = reqs.into_iter().take(5).collect();
         let cfg = fast_runner();
-        let results = run_comparison(
-            &[EngineKind::MaxFlow, EngineKind::Swan],
-            &net,
-            &reqs,
-            &cfg,
-        );
+        let results = run_comparison(&[EngineKind::MaxFlow, EngineKind::Swan], &net, &reqs, &cfg);
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].engine, "MaxFlow");
         assert_eq!(results[1].engine, "SWAN");

@@ -15,8 +15,11 @@
 //! its hardware testbed within 10% (§5.1); [`crate::validate`] reproduces
 //! that comparison with an impaired-rate mode.
 
-use owan_core::{SlotInput, SlotPlan, Transfer, TrafficEngineer, TransferRequest};
+use crate::telemetry::{SimTelemetry, SlotTelemetry};
+use owan_core::{SlotInput, SlotPlan, TrafficEngineer, Transfer, TransferRequest};
+use owan_obs::Recorder;
 use owan_optical::FiberPlant;
+use owan_update::{plan_consistent_observed, NetworkDelta, UpdateParams};
 use serde::{Deserialize, Serialize};
 
 const EPS: f64 = 1e-9;
@@ -44,7 +47,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { slot_len_s: 300.0, max_slots: 2_000, rate_efficiency: 1.0 }
+        SimConfig {
+            slot_len_s: 300.0,
+            max_slots: 2_000,
+            rate_efficiency: 1.0,
+        }
     }
 }
 
@@ -97,6 +104,9 @@ pub struct SimResult {
     pub throughput_series: Vec<(f64, f64)>,
     /// Slots simulated.
     pub slots: usize,
+    /// Per-slot controller telemetry, present when the run was made with
+    /// a recording [`Recorder`] (see [`simulate_observed`]).
+    pub telemetry: Option<Vec<SlotTelemetry>>,
 }
 
 impl SimResult {
@@ -147,8 +157,36 @@ pub fn simulate(
     engine: &mut dyn TrafficEngineer,
     config: &SimConfig,
 ) -> SimResult {
+    simulate_observed(plant, requests, engine, config, &Recorder::disabled())
+}
+
+/// [`simulate`] with telemetry. When `recorder` is enabled the engine
+/// gets it attached (via [`TrafficEngineer::set_recorder`]), each slot is
+/// timed as a `stage.slot` span, and the result carries one
+/// [`SlotTelemetry`] row per slot. The update-scheduling stage is
+/// measured by running the consistent planner between consecutive plans
+/// purely for telemetry — the idealized simulator still delivers the full
+/// allocation, so the emitted `SlotPlan`s and all completion metrics are
+/// identical to the unobserved run (the determinism test in
+/// `tests/observability.rs` checks exactly this).
+pub fn simulate_observed(
+    plant: &FiberPlant,
+    requests: &[TransferRequest],
+    engine: &mut dyn TrafficEngineer,
+    config: &SimConfig,
+    recorder: &Recorder,
+) -> SimResult {
     assert!(config.rate_efficiency > 0.0 && config.rate_efficiency <= 1.0);
     let theta = plant.params().wavelength_capacity_gbps;
+    engine.set_recorder(recorder.clone());
+    let telemetry = recorder.is_enabled().then(|| SimTelemetry::new(recorder));
+    let update_params = UpdateParams {
+        theta_gbps: theta,
+        circuit_time_s: plant.params().circuit_reconfig_time_s,
+        ..Default::default()
+    };
+    let mut slot_rows: Vec<SlotTelemetry> = Vec::new();
+    let mut prev_plan: Option<SlotPlan> = None;
 
     let mut transfers: Vec<Transfer> = requests
         .iter()
@@ -189,13 +227,43 @@ pub fn simulate(
             break;
         }
 
+        let slot_span = telemetry
+            .as_ref()
+            .map(|t| (t.slot_stage.enter(), t.stage_marks()));
+        let plan_start_ns = recorder.now_ns();
         let plan = engine.plan_slot(
             plant,
-            &SlotInput { transfers: &active, slot_len_s: config.slot_len_s, now_s: now },
+            &SlotInput {
+                transfers: &active,
+                slot_len_s: config.slot_len_s,
+                now_s: now,
+            },
         );
+        let plan_ns = recorder.now_ns().saturating_sub(plan_start_ns);
         plan_is_feasible(&plan, theta)
             .unwrap_or_else(|e| panic!("{} emitted an infeasible plan: {e}", engine.name()));
         throughput_series.push((now, plan.throughput_gbps));
+
+        // Telemetry-only update scheduling: the idealized simulator does
+        // not charge transitions (see [`crate::controller`] for the loop
+        // that does), but measuring the consistent planner here lets one
+        // run report every controller stage. The plan is dropped after
+        // counting; delivery below uses the full allocation either way.
+        let update_ops = match (&telemetry, &prev_plan) {
+            (Some(t), Some(prev)) => {
+                let delta = NetworkDelta::from_plans(
+                    &prev.topology,
+                    &prev.allocations,
+                    &plan.topology,
+                    &plan.allocations,
+                    plant.params().wavelengths_per_fiber,
+                );
+                plan_consistent_observed(&delta, &update_params, &t.update)
+                    .ops
+                    .len()
+            }
+            _ => 0,
+        };
 
         // Advance transfers.
         let mut got_rate = vec![false; transfers.len()];
@@ -246,14 +314,37 @@ pub fn simulate(
         }
 
         // Starvation guard bookkeeping.
+        let mut queue_depth = 0usize;
         for (i, t) in transfers.iter_mut().enumerate() {
             if t.arrival_s <= now + EPS && !t.is_complete() {
                 if got_rate[i] {
                     t.starved_slots = 0;
                 } else {
                     t.starved_slots += 1;
+                    queue_depth += 1;
                 }
             }
+        }
+
+        if let (Some(t), Some((span, marks))) = (&telemetry, slot_span) {
+            span.finish();
+            let (anneal_ns, circuits_ns, rates_ns, update_ns) = t.stage_marks().since(&marks);
+            let row = SlotTelemetry {
+                slot,
+                start_s: now,
+                active_transfers: active.len(),
+                queue_depth,
+                plan_ns,
+                anneal_ns,
+                circuits_ns,
+                rates_ns,
+                update_ns,
+                update_ops,
+                throughput_gbps: plan.throughput_gbps,
+            };
+            t.publish_slot(&row);
+            slot_rows.push(row);
+            prev_plan = Some(plan);
         }
     }
 
@@ -267,6 +358,7 @@ pub fn simulate(
         makespan_s,
         throughput_series,
         slots,
+        telemetry: telemetry.map(|_| slot_rows),
     }
 }
 
@@ -294,9 +386,27 @@ mod tests {
 
     fn requests() -> Vec<TransferRequest> {
         vec![
-            TransferRequest { src: 0, dst: 1, volume_gbits: 600.0, arrival_s: 0.0, deadline_s: None },
-            TransferRequest { src: 2, dst: 3, volume_gbits: 300.0, arrival_s: 0.0, deadline_s: None },
-            TransferRequest { src: 1, dst: 2, volume_gbits: 100.0, arrival_s: 400.0, deadline_s: None },
+            TransferRequest {
+                src: 0,
+                dst: 1,
+                volume_gbits: 600.0,
+                arrival_s: 0.0,
+                deadline_s: None,
+            },
+            TransferRequest {
+                src: 2,
+                dst: 3,
+                volume_gbits: 300.0,
+                arrival_s: 0.0,
+                deadline_s: None,
+            },
+            TransferRequest {
+                src: 1,
+                dst: 2,
+                volume_gbits: 100.0,
+                arrival_s: 400.0,
+                deadline_s: None,
+            },
         ]
     }
 
@@ -304,7 +414,10 @@ mod tests {
     fn owan_drains_workload() {
         let p = plant();
         let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
-        let cfg = SimConfig { slot_len_s: 100.0, ..Default::default() };
+        let cfg = SimConfig {
+            slot_len_s: 100.0,
+            ..Default::default()
+        };
         let res = simulate(&p, &requests(), &mut e, &cfg);
         assert!(res.all_completed(), "{res:?}");
         for c in &res.completions {
@@ -319,7 +432,10 @@ mod tests {
     fn late_arrival_not_served_early() {
         let p = plant();
         let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
-        let cfg = SimConfig { slot_len_s: 100.0, ..Default::default() };
+        let cfg = SimConfig {
+            slot_len_s: 100.0,
+            ..Default::default()
+        };
         let res = simulate(&p, &requests(), &mut e, &cfg);
         let late = &res.completions[2];
         assert!(late.completion_s.unwrap() >= 400.0);
@@ -339,7 +455,10 @@ mod tests {
             arrival_s: 0.0,
             deadline_s: None,
         }];
-        let cfg = SimConfig { slot_len_s: 100.0, ..Default::default() };
+        let cfg = SimConfig {
+            slot_len_s: 100.0,
+            ..Default::default()
+        };
         let res = simulate(&p, &reqs, &mut e, &cfg);
         let ct = res.completions[0].completion_time_s().unwrap();
         assert!((ct - 100.0).abs() < 1e-6, "got {ct}");
@@ -358,7 +477,11 @@ mod tests {
             arrival_s: 0.0,
             deadline_s: None,
         }];
-        let cfg = SimConfig { slot_len_s: 100.0, rate_efficiency: 0.9, ..Default::default() };
+        let cfg = SimConfig {
+            slot_len_s: 100.0,
+            rate_efficiency: 0.9,
+            ..Default::default()
+        };
         let res = simulate(&p, &reqs, &mut e, &cfg);
         let ct = res.completions[0].completion_time_s().unwrap();
         assert!((ct - 100.0 / 0.9).abs() < 1e-6, "got {ct}");
@@ -369,7 +492,11 @@ mod tests {
         let p = plant();
         let run = |eff: f64| {
             let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
-            let cfg = SimConfig { slot_len_s: 100.0, rate_efficiency: eff, ..Default::default() };
+            let cfg = SimConfig {
+                slot_len_s: 100.0,
+                rate_efficiency: eff,
+                ..Default::default()
+            };
             simulate(&p, &requests(), &mut e, &cfg)
         };
         let ideal = run(1.0);
@@ -381,7 +508,10 @@ mod tests {
                 .sum::<f64>()
                 / r.completions.len() as f64
         };
-        assert!(avg(&impaired) >= avg(&ideal), "impairment cannot speed things up");
+        assert!(
+            avg(&impaired) >= avg(&ideal),
+            "impairment cannot speed things up"
+        );
     }
 
     #[test]
@@ -390,11 +520,26 @@ mod tests {
         let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
         let reqs = vec![
             // Easily met: 100 Gb, deadline after 200 s at >= 10 Gbps.
-            TransferRequest { src: 0, dst: 1, volume_gbits: 100.0, arrival_s: 0.0, deadline_s: Some(200.0) },
+            TransferRequest {
+                src: 0,
+                dst: 1,
+                volume_gbits: 100.0,
+                arrival_s: 0.0,
+                deadline_s: Some(200.0),
+            },
             // Impossible: 10 000 Gb in 100 s.
-            TransferRequest { src: 2, dst: 3, volume_gbits: 10_000.0, arrival_s: 0.0, deadline_s: Some(100.0) },
+            TransferRequest {
+                src: 2,
+                dst: 3,
+                volume_gbits: 10_000.0,
+                arrival_s: 0.0,
+                deadline_s: Some(100.0),
+            },
         ];
-        let cfg = SimConfig { slot_len_s: 100.0, ..Default::default() };
+        let cfg = SimConfig {
+            slot_len_s: 100.0,
+            ..Default::default()
+        };
         let res = simulate(&p, &reqs, &mut e, &cfg);
         assert!(res.completions[0].met_deadline());
         assert!(!res.completions[1].met_deadline());
@@ -419,7 +564,10 @@ mod tests {
         topo.add_links(0, 1, 1);
         let plan = SlotPlan {
             topology: topo,
-            allocations: vec![Allocation { transfer: 0, paths: vec![(vec![0, 1], 25.0)] }],
+            allocations: vec![Allocation {
+                transfer: 0,
+                paths: vec![(vec![0, 1], 25.0)],
+            }],
             throughput_gbps: 25.0,
         };
         assert!(plan_is_feasible(&plan, 10.0).is_err());

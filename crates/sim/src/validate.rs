@@ -66,11 +66,17 @@ pub fn validate_simulator(
     testbed_rate_efficiency: f64,
 ) -> ValidationReport {
     let ideal_cfg = RunnerConfig {
-        sim: SimConfig { rate_efficiency: 1.0, ..config.sim },
+        sim: SimConfig {
+            rate_efficiency: 1.0,
+            ..config.sim
+        },
         ..*config
     };
     let impaired_cfg = RunnerConfig {
-        sim: SimConfig { rate_efficiency: testbed_rate_efficiency, ..config.sim },
+        sim: SimConfig {
+            rate_efficiency: testbed_rate_efficiency,
+            ..config.sim
+        },
         ..*config
     };
     let ideal = run_engine(kind, network, requests, &ideal_cfg);
@@ -104,7 +110,10 @@ mod tests {
         };
         let report = validate_simulator(EngineKind::MaxFlow, &net, &reqs, &cfg, 0.93);
         assert!(report.sim_avg_s > 0.0);
-        assert!(report.testbed_avg_s >= report.sim_avg_s, "impairment slows completion");
+        assert!(
+            report.testbed_avg_s >= report.sim_avg_s,
+            "impairment slows completion"
+        );
         assert!(
             report.avg_delta() <= 0.15,
             "avg delta {} should be around the paper's 10%",

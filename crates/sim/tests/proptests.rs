@@ -25,12 +25,22 @@ fn ring_network(n: usize) -> Network {
     for i in 0..n {
         topo.add_links(i, (i + 1) % n, 1);
     }
-    Network { name: "ring".into(), plant, static_topology: topo }
+    Network {
+        name: "ring".into(),
+        plant,
+        static_topology: topo,
+    }
 }
 
 fn arb_requests(n_sites: usize) -> impl Strategy<Value = Vec<TransferRequest>> {
     proptest::collection::vec(
-        (0..n_sites, 0..n_sites, 10u32..3_000, 0u32..10, proptest::option::of(5u32..60)),
+        (
+            0..n_sites,
+            0..n_sites,
+            10u32..3_000,
+            0u32..10,
+            proptest::option::of(5u32..60),
+        ),
         1..12,
     )
     .prop_map(move |specs| {
@@ -50,7 +60,11 @@ fn arb_requests(n_sites: usize) -> impl Strategy<Value = Vec<TransferRequest>> {
 
 fn config() -> RunnerConfig {
     RunnerConfig {
-        sim: SimConfig { slot_len_s: 100.0, max_slots: 500, ..Default::default() },
+        sim: SimConfig {
+            slot_len_s: 100.0,
+            max_slots: 500,
+            ..Default::default()
+        },
         anneal_iterations: 25,
         policy: SchedulingPolicy::ShortestJobFirst,
         ..Default::default()

@@ -73,14 +73,20 @@ impl McfProblem {
             link_capacity.iter().all(|&c| c >= 0.0 && c.is_finite()),
             "capacities must be finite and non-negative"
         );
-        McfProblem { link_capacity, commodities: Vec::new() }
+        McfProblem {
+            link_capacity,
+            commodities: Vec::new(),
+        }
     }
 
     /// Adds a commodity with `demand` (rate units) and candidate `paths`
     /// (each a list of link indices). Returns the commodity index. A
     /// commodity with no paths simply receives zero rate.
     pub fn add_commodity(&mut self, demand: f64, paths: Vec<Vec<usize>>) -> usize {
-        assert!(demand >= 0.0 && demand.is_finite(), "demand must be non-negative");
+        assert!(
+            demand >= 0.0 && demand.is_finite(),
+            "demand must be non-negative"
+        );
         for p in &paths {
             for &l in p {
                 assert!(l < self.link_capacity.len(), "link index {l} out of range");
@@ -149,7 +155,10 @@ impl McfProblem {
             .map(|vars| vars.iter().map(|&v| x[v].max(0.0)).collect())
             .collect();
         let total_throughput = rates.iter().flatten().sum();
-        McfSolution { rates, total_throughput }
+        McfSolution {
+            rates,
+            total_throughput,
+        }
     }
 
     /// MaxFlow baseline: maximize total served rate, each commodity capped
@@ -161,7 +170,9 @@ impl McfProblem {
                 lp.set_objective(v, 1.0);
             }
         }
-        let sol = lp.solve().expect_optimal("max_throughput LP is feasible (0 is feasible)");
+        let sol = lp
+            .solve()
+            .expect_optimal("max_throughput LP is feasible (0 is feasible)");
         self.extract(&var_index, &sol.x)
     }
 
@@ -181,8 +192,7 @@ impl McfProblem {
             }
             any = true;
             // sum_p r_{f,p} - d_f * α >= 0
-            let mut coeffs: Vec<(usize, f64)> =
-                var_index[f].iter().map(|&v| (v, 1.0)).collect();
+            let mut coeffs: Vec<(usize, f64)> = var_index[f].iter().map(|&v| (v, 1.0)).collect();
             coeffs.push((alpha, -c.demand));
             lp.add_ge(&coeffs, 0.0);
         }
@@ -311,7 +321,9 @@ mod tests {
         let mut p = McfProblem::new(vec![10.0]);
         p.add_commodity(10.0, vec![vec![0]]);
         p.add_commodity(10.0, vec![vec![0]]);
-        assert!(p.max_throughput_bounded(&[8.0, 8.0], &[10.0, 10.0]).is_none());
+        assert!(p
+            .max_throughput_bounded(&[8.0, 8.0], &[10.0, 10.0])
+            .is_none());
     }
 
     #[test]
@@ -331,7 +343,10 @@ mod tests {
         let s = p.max_throughput();
         let loads = s.link_loads(&p);
         for (l, &load) in loads.iter().enumerate() {
-            assert!(load <= p.link_capacity[l] + 1e-6, "link {l} overloaded: {load}");
+            assert!(
+                load <= p.link_capacity[l] + 1e-6,
+                "link {l} overloaded: {load}"
+            );
         }
     }
 }

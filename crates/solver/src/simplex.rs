@@ -81,12 +81,20 @@ impl LinearProgram {
     /// A maximization LP with `n_vars` non-negative variables and zero
     /// objective coefficients.
     pub fn maximize(n_vars: usize) -> Self {
-        LinearProgram { n_vars, objective: vec![0.0; n_vars], rows: Vec::new(), maximize: true }
+        LinearProgram {
+            n_vars,
+            objective: vec![0.0; n_vars],
+            rows: Vec::new(),
+            maximize: true,
+        }
     }
 
     /// A minimization LP.
     pub fn minimize(n_vars: usize) -> Self {
-        LinearProgram { maximize: false, ..Self::maximize(n_vars) }
+        LinearProgram {
+            maximize: false,
+            ..Self::maximize(n_vars)
+        }
     }
 
     /// Number of structural variables.
@@ -133,7 +141,11 @@ impl LinearProgram {
             assert!(c.is_finite(), "non-finite coefficient");
         }
         assert!(rhs.is_finite(), "non-finite rhs");
-        self.rows.push(Row { coeffs: coeffs.to_vec(), rel, rhs });
+        self.rows.push(Row {
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        });
     }
 
     /// Solves the LP.
@@ -296,8 +308,8 @@ impl Tableau {
             if cb.abs() <= EPS {
                 continue;
             }
-            for j in 0..self.n {
-                r[j] -= cb * self.at(i, j);
+            for (j, rj) in r.iter_mut().enumerate() {
+                *rj -= cb * self.at(i, j);
             }
         }
         r
@@ -315,16 +327,16 @@ impl Tableau {
             // Entering column.
             let mut enter: Option<usize> = None;
             let mut best = EPS;
-            for j in 0..self.n {
-                if !allowed(j) || reduced[j] <= EPS {
+            for (j, &rj) in reduced.iter().enumerate() {
+                if !allowed(j) || rj <= EPS {
                     continue;
                 }
                 if use_bland {
                     enter = Some(j);
                     break;
                 }
-                if reduced[j] > best {
-                    best = reduced[j];
+                if rj > best {
+                    best = rj;
                     enter = Some(j);
                 }
             }
@@ -341,7 +353,7 @@ impl Tableau {
                     let ratio = self.b[i] / aij;
                     let better = ratio < best_ratio - EPS
                         || (ratio < best_ratio + EPS
-                            && leave.map_or(true, |l| self.basis[i] < self.basis[l]));
+                            && leave.is_none_or(|l| self.basis[i] < self.basis[l]));
                     if better {
                         best_ratio = ratio;
                         leave = Some(i);
@@ -356,8 +368,8 @@ impl Tableau {
             // Update reduced costs incrementally: after the pivot the row is
             // normalized; r <- r - r[col] * row.
             let rc = reduced[col];
-            for j in 0..self.n {
-                reduced[j] -= rc * self.at(row, j);
+            for (j, rj) in reduced.iter_mut().enumerate() {
+                *rj -= rc * self.at(row, j);
             }
             reduced[col] = 0.0;
         }
@@ -367,9 +379,7 @@ impl Tableau {
         // ----- Phase 1: minimize sum of artificials (maximize the negation).
         if self.art_start < self.n {
             let mut costs = vec![0.0; self.n];
-            for j in self.art_start..self.n {
-                costs[j] = -1.0;
-            }
+            costs[self.art_start..].fill(-1.0);
             let bounded = self.optimize(&costs, |_| true);
             debug_assert!(bounded, "phase-1 objective is bounded by construction");
             let infeas: f64 = (0..self.m)
@@ -382,9 +392,7 @@ impl Tableau {
             // Pivot remaining (degenerate) artificials out of the basis.
             for i in 0..self.m {
                 if self.basis[i] >= self.art_start {
-                    if let Some(col) =
-                        (0..self.art_start).find(|&j| self.at(i, j).abs() > 1e-7)
-                    {
+                    if let Some(col) = (0..self.art_start).find(|&j| self.at(i, j).abs() > 1e-7) {
                         self.pivot(i, col);
                     }
                     // If no eligible column exists the row is redundant
@@ -417,7 +425,11 @@ impl Tableau {
             .zip(&self.user_objective)
             .map(|(xi, ci)| xi * ci)
             .sum();
-        LpOutcome::Optimal(LpSolution { x, objective, iterations: self.iterations })
+        LpOutcome::Optimal(LpSolution {
+            x,
+            objective,
+            iterations: self.iterations,
+        })
     }
 
     fn phase2_costs(&self) -> Vec<f64> {
@@ -434,11 +446,7 @@ impl Tableau {
 mod tests {
     use super::*;
 
-    fn solve_max(
-        n: usize,
-        obj: &[f64],
-        le: &[(&[(usize, f64)], f64)],
-    ) -> LpOutcome {
+    fn solve_max(n: usize, obj: &[f64], le: &[(&[(usize, f64)], f64)]) -> LpOutcome {
         let mut lp = LinearProgram::maximize(n);
         for (i, &c) in obj.iter().enumerate() {
             lp.set_objective(i, c);

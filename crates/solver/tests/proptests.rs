@@ -13,16 +13,14 @@ use proptest::prelude::*;
 /// Random directed capacitated graph on `n` nodes as an edge list.
 fn random_edges(n: usize, m: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
     (3..=n).prop_flat_map(move |nodes| {
-        proptest::collection::vec((0..nodes, 0..nodes, 1u32..20), 1..=m).prop_map(
-            move |raw| {
-                let edges: Vec<(usize, usize, f64)> = raw
-                    .into_iter()
-                    .filter(|&(u, v, _)| u != v)
-                    .map(|(u, v, c)| (u, v, c as f64))
-                    .collect();
-                (nodes, edges)
-            },
-        )
+        proptest::collection::vec((0..nodes, 0..nodes, 1u32..20), 1..=m).prop_map(move |raw| {
+            let edges: Vec<(usize, usize, f64)> = raw
+                .into_iter()
+                .filter(|&(u, v, _)| u != v)
+                .map(|(u, v, c)| (u, v, c as f64))
+                .collect();
+            (nodes, edges)
+        })
     })
 }
 

@@ -15,8 +15,8 @@
 
 use crate::fixed::FixedContext;
 use owan_core::{
-    assign_rates, Allocation, RateAssignConfig, SchedulingPolicy, SlotInput, SlotPlan,
-    Topology, TrafficEngineer,
+    assign_rates, Allocation, RateAssignConfig, SchedulingPolicy, SlotInput, SlotPlan, Topology,
+    TrafficEngineer,
 };
 use owan_optical::FiberPlant;
 
@@ -33,7 +33,10 @@ impl RateOnlyTe {
     /// Creates the engine over a fixed topology. The policy is accepted
     /// for interface symmetry but unused — fair sharing has no ordering.
     pub fn new(topology: Topology, theta: f64, policy: SchedulingPolicy) -> Self {
-        RateOnlyTe { ctx: FixedContext::new(topology, theta, 1), policy }
+        RateOnlyTe {
+            ctx: FixedContext::new(topology, theta, 1),
+            policy,
+        }
     }
 }
 
@@ -63,16 +66,21 @@ impl TrafficEngineer for RateOnlyTe {
             }
             if let Some(path) = self.ctx.paths(t.src, t.dst).first().cloned() {
                 let links = self.ctx.path_links(&path);
-                pinned.push(Pinned { idx, path, links, rate: 0.0, demand, frozen: false });
+                pinned.push(Pinned {
+                    idx,
+                    path,
+                    links,
+                    rate: 0.0,
+                    demand,
+                    frozen: false,
+                });
             }
         }
 
         // Progressive filling: raise all unfrozen rates uniformly until a
         // link saturates or a demand is met; freeze and repeat.
         loop {
-            let unfrozen: Vec<usize> = (0..pinned.len())
-                .filter(|&i| !pinned[i].frozen)
-                .collect();
+            let unfrozen: Vec<usize> = (0..pinned.len()).filter(|&i| !pinned[i].frozen).collect();
             if unfrozen.is_empty() {
                 break;
             }
@@ -151,7 +159,12 @@ pub struct RoutingRateTe {
 impl RoutingRateTe {
     /// Creates the engine over a fixed topology.
     pub fn new(topology: Topology, theta: f64, policy: SchedulingPolicy) -> Self {
-        RoutingRateTe { topology, theta, policy, rate_config: RateAssignConfig::default() }
+        RoutingRateTe {
+            topology,
+            theta,
+            policy,
+            rate_config: RateAssignConfig::default(),
+        }
     }
 }
 
@@ -220,8 +233,14 @@ mod tests {
         let mut e = RateOnlyTe::new(square(), 10.0, SchedulingPolicy::ShortestJobFirst);
         let ts = vec![transfer(0, 0, 3, 1e6)];
         let p = plant();
-        let plan =
-            e.plan_slot(&p, &SlotInput { transfers: &ts, slot_len_s: 1.0, now_s: 0.0 });
+        let plan = e.plan_slot(
+            &p,
+            &SlotInput {
+                transfers: &ts,
+                slot_len_s: 1.0,
+                now_s: 0.0,
+            },
+        );
         // Only one (shortest) path is used: 10 Gbps, not 20.
         assert!((plan.throughput_gbps - 10.0).abs() < 1e-6);
         assert_eq!(plan.allocations[0].paths.len(), 1);
@@ -229,13 +248,15 @@ mod tests {
 
     #[test]
     fn routing_adds_multipath_gain() {
-        let mut rate_only =
-            RateOnlyTe::new(square(), 10.0, SchedulingPolicy::ShortestJobFirst);
-        let mut routing =
-            RoutingRateTe::new(square(), 10.0, SchedulingPolicy::ShortestJobFirst);
+        let mut rate_only = RateOnlyTe::new(square(), 10.0, SchedulingPolicy::ShortestJobFirst);
+        let mut routing = RoutingRateTe::new(square(), 10.0, SchedulingPolicy::ShortestJobFirst);
         let ts = vec![transfer(0, 0, 3, 1e6)];
         let p = plant();
-        let input = SlotInput { transfers: &ts, slot_len_s: 1.0, now_s: 0.0 };
+        let input = SlotInput {
+            transfers: &ts,
+            slot_len_s: 1.0,
+            now_s: 0.0,
+        };
         let a = rate_only.plan_slot(&p, &input);
         let b = routing.plan_slot(&p, &input);
         assert!(

@@ -28,7 +28,10 @@ pub struct AmoebaConfig {
 
 impl Default for AmoebaConfig {
     fn default() -> Self {
-        AmoebaConfig { max_horizon_slots: 64, paths_per_transfer: 3 }
+        AmoebaConfig {
+            max_horizon_slots: 64,
+            paths_per_transfer: 3,
+        }
     }
 }
 
@@ -41,7 +44,10 @@ pub struct AmoebaTe {
 impl AmoebaTe {
     /// Creates the engine over a fixed topology.
     pub fn new(topology: Topology, theta: f64, k: usize, config: AmoebaConfig) -> Self {
-        AmoebaTe { ctx: FixedContext::new(topology, theta, k), config }
+        AmoebaTe {
+            ctx: FixedContext::new(topology, theta, k),
+            config,
+        }
     }
 }
 
@@ -53,7 +59,11 @@ impl TrafficEngineer for AmoebaTe {
     fn plan_slot(&mut self, _plant: &FiberPlant, input: &SlotInput<'_>) -> SlotPlan {
         let topology = self.ctx.topology().clone();
         if input.transfers.is_empty() {
-            return SlotPlan { topology, allocations: Vec::new(), throughput_gbps: 0.0 };
+            return SlotPlan {
+                topology,
+                allocations: Vec::new(),
+                throughput_gbps: 0.0,
+            };
         }
 
         let caps = self.ctx.capacities();
@@ -84,8 +94,7 @@ impl TrafficEngineer for AmoebaTe {
         });
 
         // slot0_alloc[f] = (site path, volume in slot 0) pairs.
-        let mut slot0_alloc: Vec<Vec<(Vec<usize>, f64)>> =
-            vec![Vec::new(); input.transfers.len()];
+        let mut slot0_alloc: Vec<Vec<(Vec<usize>, f64)>> = vec![Vec::new(); input.transfers.len()];
 
         let mut best_effort: Vec<usize> = Vec::new();
         for &i in &order {
@@ -101,10 +110,7 @@ impl TrafficEngineer for AmoebaTe {
             // Slots usable before the deadline (the slot containing the
             // deadline is usable pro rata).
             let usable_slots = match t.deadline_s {
-                Some(d) => {
-                    let frac = ((d - now) / slot).clamp(0.0, horizon as f64);
-                    frac
-                }
+                Some(d) => ((d - now) / slot).clamp(0.0, horizon as f64),
                 None => {
                     best_effort.push(i);
                     continue;
@@ -201,12 +207,19 @@ impl TrafficEngineer for AmoebaTe {
                 .filter(|&(_, r)| r > 1e-9)
                 .collect();
             if !paths.is_empty() {
-                allocations.push(Allocation { transfer: t.id, paths });
+                allocations.push(Allocation {
+                    transfer: t.id,
+                    paths,
+                });
             }
         }
         crate::fixed::enforce_capacity(&mut allocations, &topology, self.ctx.theta());
         let throughput_gbps = allocations.iter().map(|a| a.total_rate()).sum();
-        SlotPlan { topology, allocations, throughput_gbps }
+        SlotPlan {
+            topology,
+            allocations,
+            throughput_gbps,
+        }
     }
 }
 
@@ -249,7 +262,14 @@ mod tests {
     fn plan(ts: &[Transfer]) -> SlotPlan {
         let mut e = AmoebaTe::new(line(), 10.0, 3, AmoebaConfig::default());
         let p = plant();
-        e.plan_slot(&p, &SlotInput { transfers: ts, slot_len_s: 10.0, now_s: 0.0 })
+        e.plan_slot(
+            &p,
+            &SlotInput {
+                transfers: ts,
+                slot_len_s: 10.0,
+                now_s: 0.0,
+            },
+        )
     }
 
     #[test]
@@ -257,7 +277,11 @@ mod tests {
         // 50 Gb due at t=100 over a 10 Gbps path: earliest-first packs the
         // whole volume into slot 0 (100 Gb capacity), i.e. 5 Gbps for 10 s.
         let p = plan(&[transfer(0, 50.0, Some(100.0))]);
-        assert!((p.throughput_gbps - 5.0).abs() < 1e-6, "{}", p.throughput_gbps);
+        assert!(
+            (p.throughput_gbps - 5.0).abs() < 1e-6,
+            "{}",
+            p.throughput_gbps
+        );
     }
 
     #[test]

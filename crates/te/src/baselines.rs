@@ -20,7 +20,9 @@ pub struct MaxFlowTe {
 impl MaxFlowTe {
     /// Creates the engine over a fixed topology with `k` tunnels per pair.
     pub fn new(topology: Topology, theta: f64, k: usize) -> Self {
-        MaxFlowTe { ctx: FixedContext::new(topology, theta, k) }
+        MaxFlowTe {
+            ctx: FixedContext::new(topology, theta, k),
+        }
     }
 }
 
@@ -49,7 +51,9 @@ pub struct MaxMinFractTe {
 impl MaxMinFractTe {
     /// Creates the engine over a fixed topology with `k` tunnels per pair.
     pub fn new(topology: Topology, theta: f64, k: usize) -> Self {
-        MaxMinFractTe { ctx: FixedContext::new(topology, theta, k) }
+        MaxMinFractTe {
+            ctx: FixedContext::new(topology, theta, k),
+        }
     }
 }
 
@@ -82,7 +86,10 @@ pub struct SwanTe {
 impl SwanTe {
     /// Creates the engine over a fixed topology with `k` tunnels per pair.
     pub fn new(topology: Topology, theta: f64, k: usize) -> Self {
-        SwanTe { ctx: FixedContext::new(topology, theta, k), growth: 2.0 }
+        SwanTe {
+            ctx: FixedContext::new(topology, theta, k),
+            growth: 2.0,
+        }
     }
 }
 
@@ -177,7 +184,14 @@ mod tests {
 
     fn run(engine: &mut dyn TrafficEngineer, transfers: &[Transfer]) -> SlotPlan {
         let p = plant();
-        engine.plan_slot(&p, &SlotInput { transfers, slot_len_s: 1.0, now_s: 0.0 })
+        engine.plan_slot(
+            &p,
+            &SlotInput {
+                transfers,
+                slot_len_s: 1.0,
+                now_s: 0.0,
+            },
+        )
     }
 
     #[test]
@@ -188,7 +202,11 @@ mod tests {
         // total 200 Gbps.
         let ts = vec![transfer(0, 0, 3, 1e6)];
         let plan = run(&mut e, &ts);
-        assert!((plan.throughput_gbps - 200.0).abs() < 1e-4, "{}", plan.throughput_gbps);
+        assert!(
+            (plan.throughput_gbps - 200.0).abs() < 1e-4,
+            "{}",
+            plan.throughput_gbps
+        );
     }
 
     #[test]
@@ -244,7 +262,11 @@ mod tests {
         let ts = vec![transfer(0, 0, 3, 1e6)];
         let plan = run(&mut swan, &ts);
         // A single flow should get everything MaxFlow would give it.
-        assert!((plan.throughput_gbps - 20.0).abs() < 1e-4, "{}", plan.throughput_gbps);
+        assert!(
+            (plan.throughput_gbps - 20.0).abs() < 1e-4,
+            "{}",
+            plan.throughput_gbps
+        );
     }
 
     #[test]

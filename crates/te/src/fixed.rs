@@ -36,7 +36,11 @@ pub fn enforce_capacity(allocations: &mut Vec<Allocation>, topology: &Topology, 
         for v in 0..n {
             let cap = topology.multiplicity(u, v) as f64 * theta;
             if load[u * n + v] > cap {
-                factor[u * n + v] = if load[u * n + v] > 0.0 { cap / load[u * n + v] } else { 1.0 };
+                factor[u * n + v] = if load[u * n + v] > 0.0 {
+                    cap / load[u * n + v]
+                } else {
+                    1.0
+                };
                 any = true;
             }
         }
@@ -83,7 +87,14 @@ impl FixedContext {
             link_index.insert((u, v), i);
             link_index.insert((v, u), i);
         }
-        FixedContext { topology, theta, links, link_index, path_cache: HashMap::new(), k }
+        FixedContext {
+            topology,
+            theta,
+            links,
+            link_index,
+            path_cache: HashMap::new(),
+            k,
+        }
     }
 
     /// The fixed topology.
@@ -132,7 +143,12 @@ impl FixedContext {
     /// Converts a site path to its link-index list.
     pub fn path_links(&self, path: &[SiteId]) -> Vec<usize> {
         path.windows(2)
-            .map(|w| *self.link_index.get(&(w[0], w[1])).expect("path uses known links"))
+            .map(|w| {
+                *self
+                    .link_index
+                    .get(&(w[0], w[1]))
+                    .expect("path uses known links")
+            })
             .collect()
     }
 
@@ -174,7 +190,10 @@ impl FixedContext {
                 .map(|(p, &r)| (p.clone(), r))
                 .collect();
             if !paths.is_empty() {
-                out.push(Allocation { transfer: t.id, paths });
+                out.push(Allocation {
+                    transfer: t.id,
+                    paths,
+                });
             }
         }
         enforce_capacity(&mut out, &self.topology, self.theta);

@@ -145,8 +145,14 @@ mod tests {
         let p = plant();
         let ts = vec![transfer(0, 0, 1, 200.0), transfer(1, 2, 3, 200.0)];
         let mut e = GreedyTe::new(SchedulingPolicy::ShortestJobFirst);
-        let plan =
-            e.plan_slot(&p, &SlotInput { transfers: &ts, slot_len_s: 1.0, now_s: 0.0 });
+        let plan = e.plan_slot(
+            &p,
+            &SlotInput {
+                transfers: &ts,
+                slot_len_s: 1.0,
+                now_s: 0.0,
+            },
+        );
         // Both port pairs of 0-1 and 2-3 should be direct links.
         assert_eq!(plan.topology.multiplicity(0, 1), 2);
         assert_eq!(plan.topology.multiplicity(2, 3), 2);
@@ -156,11 +162,18 @@ mod tests {
     #[test]
     fn respects_port_limits() {
         let p = plant();
-        let ts: Vec<Transfer> =
-            (0..6).map(|i| transfer(i, 0, 1 + (i % 3), 1_000.0)).collect();
+        let ts: Vec<Transfer> = (0..6)
+            .map(|i| transfer(i, 0, 1 + (i % 3), 1_000.0))
+            .collect();
         let mut e = GreedyTe::new(SchedulingPolicy::ShortestJobFirst);
-        let plan =
-            e.plan_slot(&p, &SlotInput { transfers: &ts, slot_len_s: 1.0, now_s: 0.0 });
+        let plan = e.plan_slot(
+            &p,
+            &SlotInput {
+                transfers: &ts,
+                slot_len_s: 1.0,
+                now_s: 0.0,
+            },
+        );
         assert!(plan.topology.ports_feasible(&p));
     }
 
@@ -168,8 +181,14 @@ mod tests {
     fn idle_slot_builds_empty_topology() {
         let p = plant();
         let mut e = GreedyTe::new(SchedulingPolicy::ShortestJobFirst);
-        let plan =
-            e.plan_slot(&p, &SlotInput { transfers: &[], slot_len_s: 1.0, now_s: 0.0 });
+        let plan = e.plan_slot(
+            &p,
+            &SlotInput {
+                transfers: &[],
+                slot_len_s: 1.0,
+                now_s: 0.0,
+            },
+        );
         assert_eq!(plan.throughput_gbps, 0.0);
         assert_eq!(plan.topology.total_links(), 0);
     }

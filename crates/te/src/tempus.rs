@@ -34,7 +34,11 @@ pub struct TempusConfig {
 
 impl Default for TempusConfig {
     fn default() -> Self {
-        TempusConfig { max_buckets: 4, paths_per_transfer: 2, max_planned_transfers: 150 }
+        TempusConfig {
+            max_buckets: 4,
+            paths_per_transfer: 2,
+            max_planned_transfers: 150,
+        }
     }
 }
 
@@ -47,7 +51,10 @@ pub struct TempusTe {
 impl TempusTe {
     /// Creates the engine over a fixed topology.
     pub fn new(topology: Topology, theta: f64, k: usize, config: TempusConfig) -> Self {
-        TempusTe { ctx: FixedContext::new(topology, theta, k), config }
+        TempusTe {
+            ctx: FixedContext::new(topology, theta, k),
+            config,
+        }
     }
 }
 
@@ -119,8 +126,7 @@ impl TrafficEngineer for TempusTe {
             let t = &input.transfers[i];
             let mut paths = self.ctx.paths(t.src, t.dst).to_vec();
             paths.truncate(self.config.paths_per_transfer);
-            let links: Vec<Vec<usize>> =
-                paths.iter().map(|p| self.ctx.path_links(p)).collect();
+            let links: Vec<Vec<usize>> = paths.iter().map(|p| self.ctx.path_links(p)).collect();
             let deadline = t.deadline_s.unwrap_or(f64::INFINITY);
             for (p, _) in paths.iter().enumerate() {
                 for (b, &(start, end)) in buckets.iter().enumerate() {
@@ -130,12 +136,17 @@ impl TrafficEngineer for TempusTe {
                     if b == 0 || end <= deadline + 1e-9 {
                         let _ = start;
                         let var = lp.add_var();
-                        vars.push(Var { f_pos, path: p, bucket: b, var });
+                        vars.push(Var {
+                            f_pos,
+                            path: p,
+                            bucket: b,
+                            var,
+                        });
                     }
                 }
             }
             tunnels.push(links);
-            site_tunnels.push(paths.iter().map(|p| p.clone()).collect());
+            site_tunnels.push(paths.to_vec());
         }
         let site_paths_per_f: Vec<Vec<Vec<usize>>> = site_tunnels;
 
@@ -215,16 +226,19 @@ impl TrafficEngineer for TempusTe {
                 }
             }
             if !paths.is_empty() {
-                allocations.push(Allocation { transfer: t.id, paths });
+                allocations.push(Allocation {
+                    transfer: t.id,
+                    paths,
+                });
             }
         }
-        crate::fixed::enforce_capacity(
-            &mut allocations,
-            &topology,
-            self.ctx.theta(),
-        );
+        crate::fixed::enforce_capacity(&mut allocations, &topology, self.ctx.theta());
         let throughput_gbps = allocations.iter().map(|a| a.total_rate()).sum();
-        SlotPlan { topology, allocations, throughput_gbps }
+        SlotPlan {
+            topology,
+            allocations,
+            throughput_gbps,
+        }
     }
 }
 
@@ -267,7 +281,14 @@ mod tests {
     fn plan(ts: &[Transfer]) -> SlotPlan {
         let mut e = TempusTe::new(line(), 10.0, 2, TempusConfig::default());
         let p = plant();
-        e.plan_slot(&p, &SlotInput { transfers: ts, slot_len_s: 10.0, now_s: 0.0 })
+        e.plan_slot(
+            &p,
+            &SlotInput {
+                transfers: ts,
+                slot_len_s: 10.0,
+                now_s: 0.0,
+            },
+        )
     }
 
     #[test]
@@ -322,8 +343,9 @@ mod tests {
 
     #[test]
     fn rates_respect_capacity() {
-        let ts: Vec<Transfer> =
-            (0..5).map(|i| transfer(i, 500.0, 50.0 + 100.0 * i as f64)).collect();
+        let ts: Vec<Transfer> = (0..5)
+            .map(|i| transfer(i, 500.0, 50.0 + 100.0 * i as f64))
+            .collect();
         let p = plan(&ts);
         let total: f64 = p.allocations.iter().map(|a| a.total_rate()).sum();
         assert!(total <= 10.0 + 1e-6, "one 10 Gbps path end to end: {total}");

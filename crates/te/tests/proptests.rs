@@ -29,13 +29,22 @@ fn plant(n: usize) -> FiberPlant {
     p
 }
 
-fn arb_case() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<(usize, usize, u32, Option<u32>)>)>
-{
+/// `(site count, extra topology links, (src, dst, size, deadline) demands)`.
+type Case = (
+    usize,
+    Vec<(usize, usize)>,
+    Vec<(usize, usize, u32, Option<u32>)>,
+);
+
+fn arb_case() -> impl Strategy<Value = Case> {
     (4usize..8).prop_flat_map(|n| {
         (
             Just(n),
             proptest::collection::vec((0..n, 0..n), 3..10),
-            proptest::collection::vec((0..n, 0..n, 1u32..800, proptest::option::of(1u32..40)), 1..10),
+            proptest::collection::vec(
+                (0..n, 0..n, 1u32..800, proptest::option::of(1u32..40)),
+                1..10,
+            ),
         )
     })
 }

@@ -55,8 +55,12 @@ pub fn inter_dc(seed: u64) -> Network {
     // Geography: cores on a square, leaves scattered around their core.
     // Core spacing stays within the 2,000 km optical reach so every ring
     // span is a single all-optical segment.
-    let core_pos: [(f64, f64); 4] =
-        [(800.0, 800.0), (2_400.0, 800.0), (2_400.0, 1_900.0), (800.0, 1_900.0)];
+    let core_pos: [(f64, f64); 4] = [
+        (800.0, 800.0),
+        (2_400.0, 800.0),
+        (2_400.0, 1_900.0),
+        (800.0, 1_900.0),
+    ];
     let mut coords = vec![(0.0, 0.0); n];
     for c in 0..SUPER_CORES {
         coords[core(c)] = core_pos[c];
@@ -85,7 +89,11 @@ pub fn inter_dc(seed: u64) -> Network {
         let is_core = s < SUPER_CORES;
         let regens = if is_core { 16 } else { 2 };
         plant.add_site(
-            &if is_core { format!("CORE{s}") } else { format!("DC{s:02}") },
+            &if is_core {
+                format!("CORE{s}")
+            } else {
+                format!("DC{s:02}")
+            },
             topo.degree(s),
             regens,
         );
@@ -95,7 +103,11 @@ pub fn inter_dc(seed: u64) -> Network {
         plant.add_fiber(u, v, dist(u, v));
     }
 
-    Network { name: "interdc".into(), plant, static_topology: topo }
+    Network {
+        name: "interdc".into(),
+        plant,
+        static_topology: topo,
+    }
 }
 
 #[cfg(test)]

@@ -29,14 +29,18 @@ pub fn isp_backbone(seed: u64) -> Network {
 
     // Continental-scale site coordinates (km).
     let coords: Vec<(f64, f64)> = (0..n)
-        .map(|_| (rng.random_range(0.0..4_500.0), rng.random_range(0.0..2_500.0)))
+        .map(|_| {
+            (
+                rng.random_range(0.0..4_500.0),
+                rng.random_range(0.0..2_500.0),
+            )
+        })
         .collect();
-    let dist =
-        |a: usize, b: usize| -> f64 {
-            let (ax, ay) = coords[a];
-            let (bx, by) = coords[b];
-            ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt().max(50.0)
-        };
+    let dist = |a: usize, b: usize| -> f64 {
+        let (ax, ay) = coords[a];
+        let (bx, by) = coords[b];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt().max(50.0)
+    };
 
     // Minimum spanning tree for connectivity: fibers follow geography, as
     // in a real backbone (long-haul spans stay within amplifier/ROADM
@@ -63,12 +67,12 @@ pub fn isp_backbone(seed: u64) -> Network {
                 if !in_tree[u] {
                     continue;
                 }
-                for v in 0..n {
-                    if in_tree[v] {
+                for (v, &grown) in in_tree.iter().enumerate() {
+                    if grown {
                         continue;
                     }
                     let d = dist(u, v);
-                    if best.map_or(true, |(bd, _, _)| d < bd) {
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
                         best = Some((d, u, v));
                     }
                 }
@@ -126,20 +130,23 @@ pub fn isp_backbone(seed: u64) -> Network {
     };
     let mut plant = FiberPlant::new(params);
     // Regenerator concentration: top-quartile degree sites get 12, others 3.
-    let mut degrees: Vec<u32> = (0..n).map(|s| topo.degree(s)).collect();
+    let degrees: Vec<u32> = (0..n).map(|s| topo.degree(s)).collect();
     let mut sorted = degrees.clone();
     sorted.sort_unstable();
     let cutoff = sorted[n * 3 / 4];
-    for s in 0..n {
-        let regens = if degrees[s] >= cutoff { 12 } else { 3 };
-        plant.add_site(&format!("ISP{s:02}"), degrees[s], regens);
+    for (s, &deg) in degrees.iter().enumerate() {
+        let regens = if deg >= cutoff { 12 } else { 3 };
+        plant.add_site(&format!("ISP{s:02}"), deg, regens);
     }
     for &(u, v) in &links {
         plant.add_fiber(u, v, dist(u, v));
     }
-    degrees.clear();
 
-    Network { name: "isp".into(), plant, static_topology: topo }
+    Network {
+        name: "isp".into(),
+        plant,
+        static_topology: topo,
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +158,10 @@ mod tests {
         let net = isp_backbone(7);
         assert_eq!(net.plant.site_count(), 40);
         let avg_degree = 2.0 * net.static_topology.total_links() as f64 / 40.0;
-        assert!(avg_degree > 2.5 && avg_degree < 4.5, "avg degree {avg_degree}");
+        assert!(
+            avg_degree > 2.5 && avg_degree < 4.5,
+            "avg degree {avg_degree}"
+        );
         net.validate().unwrap();
     }
 
@@ -173,8 +183,7 @@ mod tests {
     #[test]
     fn degrees_vary() {
         let net = isp_backbone(7);
-        let degrees: Vec<u32> =
-            (0..40).map(|s| net.static_topology.degree(s)).collect();
+        let degrees: Vec<u32> = (0..40).map(|s| net.static_topology.degree(s)).collect();
         let min = degrees.iter().min().unwrap();
         let max = degrees.iter().max().unwrap();
         assert!(max > min, "an irregular mesh has degree variance");

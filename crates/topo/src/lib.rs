@@ -65,10 +65,16 @@ impl Network {
     /// violation; used by tests for every shipped network.
     pub fn validate(&self) -> Result<(), String> {
         if !self.static_topology.ports_feasible(&self.plant) {
-            return Err(format!("{}: static topology exceeds router ports", self.name));
+            return Err(format!(
+                "{}: static topology exceeds router ports",
+                self.name
+            ));
         }
         if !self.static_topology.connects_routers(&self.plant) {
-            return Err(format!("{}: static topology does not connect routers", self.name));
+            return Err(format!(
+                "{}: static topology does not connect routers",
+                self.name
+            ));
         }
         for s in 0..self.plant.site_count() {
             if self.plant.site(s).has_router()

@@ -20,10 +20,13 @@
 //! schedule and reports carried traffic over time.
 
 pub mod plan;
+pub mod telemetry;
 pub mod timeline;
 
 pub use plan::{
-    plan_consistent, plan_one_shot, CircuitDesc, NetworkDelta, OpKind, PathDesc, ScheduledOp,
-    UpdateParams, UpdatePlan,
+    dependency_graph_size, plan_consistent, plan_consistent_observed, plan_one_shot,
+    plan_one_shot_observed, CircuitDesc, NetworkDelta, OpKind, PathDesc, ScheduledOp, UpdateParams,
+    UpdatePlan,
 };
+pub use telemetry::UpdateTelemetry;
 pub use timeline::{throughput_timeline, TimelinePoint};

@@ -1,5 +1,6 @@
 //! Building and scheduling the cross-layer update dependency structure.
 
+use crate::telemetry::UpdateTelemetry;
 use owan_core::{Allocation, Topology, TransferId};
 use owan_optical::{FiberId, SiteId};
 use std::collections::HashMap;
@@ -85,10 +86,18 @@ impl NetworkDelta {
                         .insert(fiber, wavelengths_per_fiber.saturating_sub(old_m));
                 }
                 for _ in new_m..old_m {
-                    delta.removed_circuits.push(CircuitDesc { u, v, fibers: vec![fiber] });
+                    delta.removed_circuits.push(CircuitDesc {
+                        u,
+                        v,
+                        fibers: vec![fiber],
+                    });
                 }
                 for _ in old_m..new_m {
-                    delta.added_circuits.push(CircuitDesc { u, v, fibers: vec![fiber] });
+                    delta.added_circuits.push(CircuitDesc {
+                        u,
+                        v,
+                        fibers: vec![fiber],
+                    });
                 }
             }
         }
@@ -119,9 +128,10 @@ impl NetworkDelta {
                 let np = new_paths.swap_remove(pos);
                 let base = op.rate_gbps.min(np.rate_gbps);
                 if base > EPS {
-                    delta
-                        .unchanged_paths
-                        .push(PathDesc { rate_gbps: base, ..np.clone() });
+                    delta.unchanged_paths.push(PathDesc {
+                        rate_gbps: base,
+                        ..np.clone()
+                    });
                 }
                 if np.rate_gbps > op.rate_gbps + EPS {
                     delta.added_paths.push(PathDesc {
@@ -149,6 +159,53 @@ impl NetworkDelta {
             + self.removed_paths.len()
             + self.added_paths.len()
     }
+}
+
+/// True if `nodes` traverses the undirected link `(u, v)`.
+fn path_uses_link(nodes: &[SiteId], u: SiteId, v: SiteId) -> bool {
+    nodes
+        .windows(2)
+        .any(|w| (w[0] == u && w[1] == v) || (w[0] == v && w[1] == u))
+}
+
+/// Sizes the Dionysus dependency structure of a delta without scheduling
+/// it: `(nodes, edges)` where nodes are update operations and edges are
+/// the resource dependencies among them — make-before-break (a path
+/// removal waits for the same transfer's path installs), path installs
+/// waiting on circuit setups for links they traverse, circuit teardowns
+/// waiting on path removals that drain their link, and circuit setups
+/// waiting on teardowns that free a shared fiber's wavelength.
+pub fn dependency_graph_size(delta: &NetworkDelta) -> (usize, usize) {
+    let mut edges = 0usize;
+    for rp in &delta.removed_paths {
+        edges += delta
+            .added_paths
+            .iter()
+            .filter(|ap| ap.transfer == rp.transfer)
+            .count();
+    }
+    for ap in &delta.added_paths {
+        edges += delta
+            .added_circuits
+            .iter()
+            .filter(|c| path_uses_link(&ap.nodes, c.u, c.v))
+            .count();
+    }
+    for rc in &delta.removed_circuits {
+        edges += delta
+            .removed_paths
+            .iter()
+            .filter(|rp| path_uses_link(&rp.nodes, rc.u, rc.v))
+            .count();
+    }
+    for ac in &delta.added_circuits {
+        edges += delta
+            .removed_circuits
+            .iter()
+            .filter(|rc| rc.fibers.iter().any(|f| ac.fibers.contains(f)))
+            .count();
+    }
+    (delta.op_count(), edges)
 }
 
 /// Operation identity within a plan, indexing into the delta's vectors.
@@ -193,7 +250,11 @@ pub struct UpdateParams {
 
 impl Default for UpdateParams {
     fn default() -> Self {
-        UpdateParams { theta_gbps: 100.0, circuit_time_s: 4.0, path_time_s: 0.1 }
+        UpdateParams {
+            theta_gbps: 100.0,
+            circuit_time_s: 4.0,
+            path_time_s: 0.1,
+        }
     }
 }
 
@@ -244,6 +305,40 @@ impl SchedState {
 /// dependencies — paths wait for circuits, teardowns wait for traffic to
 /// move away, setups wait for freed wavelengths.
 pub fn plan_consistent(delta: &NetworkDelta, params: &UpdateParams) -> UpdatePlan {
+    plan_consistent_observed(delta, params, &UpdateTelemetry::disabled())
+}
+
+/// [`plan_consistent`] with telemetry: the run is timed as one
+/// `stage.update` span and the dependency structure it scheduled is
+/// counted (graph nodes/edges, circuit vs. path operations, forced
+/// starts). The schedule is identical to the unobserved call.
+pub fn plan_consistent_observed(
+    delta: &NetworkDelta,
+    params: &UpdateParams,
+    telemetry: &UpdateTelemetry,
+) -> UpdatePlan {
+    let _span = telemetry.update.enter();
+    if telemetry.recorder.is_enabled() {
+        let (nodes, edges) = dependency_graph_size(delta);
+        telemetry.dep_graph_nodes.add(nodes as u64);
+        telemetry.dep_graph_edges.add(edges as u64);
+        telemetry
+            .circuit_ops
+            .add((delta.removed_circuits.len() + delta.added_circuits.len()) as u64);
+        telemetry
+            .path_ops
+            .add((delta.removed_paths.len() + delta.added_paths.len()) as u64);
+    }
+    let plan = plan_consistent_inner(delta, params);
+    if telemetry.recorder.is_enabled() {
+        telemetry
+            .forced_ops
+            .add(plan.ops.iter().filter(|o| o.forced).count() as u64);
+    }
+    plan
+}
+
+fn plan_consistent_inner(delta: &NetworkDelta, params: &UpdateParams) -> UpdatePlan {
     let theta = params.theta_gbps;
     let mut state = SchedState {
         link_circuits: delta.initial_circuits.clone(),
@@ -304,11 +399,14 @@ pub fn plan_consistent(delta: &NetworkDelta, params: &UpdateParams) -> UpdatePla
             OpKind::TeardownCircuit(i) => {
                 let c = &delta.removed_circuits[i];
                 // Removing one circuit must not strand live traffic.
-                state.load(c.u, c.v) <= (state.circuits(c.u, c.v).saturating_sub(1)) as f64 * theta + EPS
+                state.load(c.u, c.v)
+                    <= (state.circuits(c.u, c.v).saturating_sub(1)) as f64 * theta + EPS
             }
             OpKind::SetupCircuit(i) => {
                 let c = &delta.added_circuits[i];
-                c.fibers.iter().all(|f| *state.fiber_free.get(f).unwrap_or(&0) > 0)
+                c.fibers
+                    .iter()
+                    .all(|f| *state.fiber_free.get(f).unwrap_or(&0) > 0)
             }
             OpKind::AddPath(i) => {
                 let p = &delta.added_paths[i];
@@ -356,7 +454,10 @@ pub fn plan_consistent(delta: &NetworkDelta, params: &UpdateParams) -> UpdatePla
         }
         OpKind::SetupCircuit(i) => {
             let c = &delta.added_circuits[i];
-            *state.link_circuits.entry(SchedState::key(c.u, c.v)).or_insert(0) += 1;
+            *state
+                .link_circuits
+                .entry(SchedState::key(c.u, c.v))
+                .or_insert(0) += 1;
         }
         OpKind::AddPath(i) => {
             let p = &delta.added_paths[i];
@@ -387,9 +488,7 @@ pub fn plan_consistent(delta: &NetworkDelta, params: &UpdateParams) -> UpdatePla
         let done_snapshot: Vec<bool> = status.iter().map(|&s| s == Status::Done).collect();
         let path_added = move |j: usize| done_snapshot[add_op_index[j]];
         let ready_now: Vec<bool> = (0..all_ops.len())
-            .map(|idx| {
-                status[idx] == Status::Pending && ready(all_ops[idx], &state, &path_added)
-            })
+            .map(|idx| status[idx] == Status::Pending && ready(all_ops[idx], &state, &path_added))
             .collect();
         let mut started_any = false;
         for idx in 0..all_ops.len() {
@@ -448,13 +547,36 @@ pub fn plan_consistent(delta: &NetworkDelta, params: &UpdateParams) -> UpdatePla
 
     let makespan_s = scheduled.iter().map(|o| o.end_s).fold(0.0, f64::max);
     scheduled.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
-    UpdatePlan { ops: scheduled, makespan_s }
+    UpdatePlan {
+        ops: scheduled,
+        makespan_s,
+    }
 }
 
 /// The one-shot comparison: every operation starts at `t = 0` ("all links
 /// are updated simultaneously in one shot to minimize update completion
 /// time", §5.4).
 pub fn plan_one_shot(delta: &NetworkDelta, params: &UpdateParams) -> UpdatePlan {
+    plan_one_shot_observed(delta, params, &UpdateTelemetry::disabled())
+}
+
+/// [`plan_one_shot`] with telemetry: timed as one `stage.update` span,
+/// counting circuit and path operations (one-shot has no dependency
+/// structure, so the graph counters stay untouched).
+pub fn plan_one_shot_observed(
+    delta: &NetworkDelta,
+    params: &UpdateParams,
+    telemetry: &UpdateTelemetry,
+) -> UpdatePlan {
+    let _span = telemetry.update.enter();
+    if telemetry.recorder.is_enabled() {
+        telemetry
+            .circuit_ops
+            .add((delta.removed_circuits.len() + delta.added_circuits.len()) as u64);
+        telemetry
+            .path_ops
+            .add((delta.removed_paths.len() + delta.added_paths.len()) as u64);
+    }
     let mut ops = Vec::with_capacity(delta.op_count());
     for i in 0..delta.removed_paths.len() {
         ops.push(ScheduledOp {
@@ -506,8 +628,14 @@ mod tests {
         let mut new_t = Topology::empty(4);
         new_t.add_links(0, 1, 2);
         new_t.add_links(2, 3, 2);
-        let old_a = vec![Allocation { transfer: 0, paths: vec![(vec![0, 1], 50.0)] }];
-        let new_a = vec![Allocation { transfer: 0, paths: vec![(vec![0, 1], 150.0)] }];
+        let old_a = vec![Allocation {
+            transfer: 0,
+            paths: vec![(vec![0, 1], 50.0)],
+        }];
+        let new_a = vec![Allocation {
+            transfer: 0,
+            paths: vec![(vec![0, 1], 150.0)],
+        }];
         NetworkDelta::from_plans(&old_t, &old_a, &new_t, &new_a, 4)
     }
 
@@ -530,7 +658,10 @@ mod tests {
     fn identical_paths_are_unchanged() {
         let mut t = Topology::empty(2);
         t.add_links(0, 1, 1);
-        let a = vec![Allocation { transfer: 3, paths: vec![(vec![0, 1], 10.0)] }];
+        let a = vec![Allocation {
+            transfer: 3,
+            paths: vec![(vec![0, 1], 10.0)],
+        }];
         let d = NetworkDelta::from_plans(&t, &a, &t, &a, 4);
         assert_eq!(d.op_count(), 0);
         assert_eq!(d.unchanged_paths.len(), 1);
@@ -569,7 +700,9 @@ mod tests {
         // The teardown of circuits carrying nothing (1-2, 0-3) may start at
         // t=0, but no teardown of 0-1 exists at all.
         for o in plan.ops_of(|k| matches!(k, OpKind::TeardownCircuit(_))) {
-            let OpKind::TeardownCircuit(i) = o.kind else { unreachable!() };
+            let OpKind::TeardownCircuit(i) = o.kind else {
+                unreachable!()
+            };
             let c = &d.removed_circuits[i];
             assert!((c.u, c.v) != (0, 1), "live link must not be torn down");
         }
@@ -604,8 +737,16 @@ mod tests {
         let mut d = NetworkDelta::default();
         d.initial_circuits.insert((0, 1), 1);
         d.fiber_free.insert(9, 0); // shared fiber, no free wavelength
-        d.removed_circuits.push(CircuitDesc { u: 0, v: 1, fibers: vec![9] });
-        d.added_circuits.push(CircuitDesc { u: 0, v: 2, fibers: vec![9] });
+        d.removed_circuits.push(CircuitDesc {
+            u: 0,
+            v: 1,
+            fibers: vec![9],
+        });
+        d.added_circuits.push(CircuitDesc {
+            u: 0,
+            v: 2,
+            fibers: vec![9],
+        });
         let plan = plan_consistent(&d, &UpdateParams::default());
         let teardown = plan.ops_of(|k| matches!(k, OpKind::TeardownCircuit(_)))[0];
         let setup = plan.ops_of(|k| matches!(k, OpKind::SetupCircuit(_)))[0];
@@ -615,6 +756,35 @@ mod tests {
             setup.start_s,
             teardown.end_s
         );
+    }
+
+    #[test]
+    fn dependency_graph_counts_nodes_and_edges() {
+        let d = fig2_delta();
+        let (nodes, edges) = dependency_graph_size(&d);
+        assert_eq!(nodes, d.op_count());
+        // The +100 Gbps AddPath on 0-1 depends on the added 0-1 circuit
+        // (no other edges: the removed circuits carry no paths and share
+        // no fibers with the added ones in the abstract fiber model).
+        assert_eq!(edges, 1);
+        assert_eq!(dependency_graph_size(&NetworkDelta::default()), (0, 0));
+    }
+
+    #[test]
+    fn observed_plan_matches_unobserved() {
+        let d = fig2_delta();
+        let params = UpdateParams::default();
+        let recorder = owan_obs::Recorder::enabled();
+        let telemetry = UpdateTelemetry::new(&recorder);
+        let observed = plan_consistent_observed(&d, &params, &telemetry);
+        let plain = plan_consistent(&d, &params);
+        assert_eq!(observed.ops, plain.ops);
+        assert_eq!(observed.makespan_s, plain.makespan_s);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counters["update.dep_graph_nodes"], d.op_count() as u64);
+        assert_eq!(snap.counters["update.circuit_ops"], 4);
+        assert_eq!(snap.counters["update.path_ops"], 1);
+        assert_eq!(snap.counters["stage.update.calls"], 1);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Telemetry hooks for the update planner.
+//!
+//! [`UpdateTelemetry`] bundles the recorder handles the scheduler touches:
+//! a span around each planning run plus counters sizing the Dionysus
+//! dependency structure it scheduled. Resolved once per attachment; all
+//! per-plan updates are lock-free. A disabled bundle (the default) makes
+//! every update a no-op, so [`crate::plan_consistent`] costs one `Option`
+//! check over the unobserved path.
+
+use owan_obs::{Counter, Recorder, Stage};
+
+/// Metric names emitted by the update planner.
+pub mod names {
+    /// Span around each consistent/one-shot planning run.
+    pub const STAGE_UPDATE: &str = "stage.update";
+    /// Dependency-graph nodes (update operations) across all plans.
+    pub const DEP_GRAPH_NODES: &str = "update.dep_graph_nodes";
+    /// Dependency-graph edges (resource dependencies) across all plans.
+    pub const DEP_GRAPH_EDGES: &str = "update.dep_graph_edges";
+    /// Circuit setup/teardown operations scheduled.
+    pub const CIRCUIT_OPS: &str = "update.circuit_ops";
+    /// Path install/remove operations scheduled.
+    pub const PATH_OPS: &str = "update.path_ops";
+    /// Operations force-started to break a resource deadlock.
+    pub const FORCED_OPS: &str = "update.forced_ops";
+}
+
+/// Pre-resolved recorder handles for the update planner.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateTelemetry {
+    /// The recorder the handles came from (for enablement checks).
+    pub recorder: Recorder,
+    /// Span around each planning run.
+    pub update: Stage,
+    /// Dependency-graph node count.
+    pub dep_graph_nodes: Counter,
+    /// Dependency-graph edge count.
+    pub dep_graph_edges: Counter,
+    /// Circuit operations scheduled.
+    pub circuit_ops: Counter,
+    /// Path operations scheduled.
+    pub path_ops: Counter,
+    /// Force-started operations.
+    pub forced_ops: Counter,
+}
+
+impl UpdateTelemetry {
+    /// The no-op bundle.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Resolves every handle against `recorder` (one registry pass).
+    pub fn new(recorder: &Recorder) -> Self {
+        UpdateTelemetry {
+            recorder: recorder.clone(),
+            update: recorder.stage(names::STAGE_UPDATE),
+            dep_graph_nodes: recorder.counter(names::DEP_GRAPH_NODES),
+            dep_graph_edges: recorder.counter(names::DEP_GRAPH_EDGES),
+            circuit_ops: recorder.counter(names::CIRCUIT_OPS),
+            path_ops: recorder.counter(names::PATH_OPS),
+            forced_ops: recorder.counter(names::FORCED_OPS),
+        }
+    }
+}

@@ -116,7 +116,10 @@ pub fn throughput_timeline(
             }
         }
 
-        points.push(TimelinePoint { time_s: t, throughput_gbps: total });
+        points.push(TimelinePoint {
+            time_s: t,
+            throughput_gbps: total,
+        });
     }
     points
 }
@@ -138,12 +141,24 @@ mod tests {
         new_t.add_links(0, 1, 2);
         new_t.add_links(2, 3, 2);
         let old_a = vec![
-            Allocation { transfer: 0, paths: vec![(vec![0, 1], 80.0)] },
-            Allocation { transfer: 1, paths: vec![(vec![2, 3], 80.0)] },
+            Allocation {
+                transfer: 0,
+                paths: vec![(vec![0, 1], 80.0)],
+            },
+            Allocation {
+                transfer: 1,
+                paths: vec![(vec![2, 3], 80.0)],
+            },
         ];
         let new_a = vec![
-            Allocation { transfer: 0, paths: vec![(vec![0, 1], 160.0)] },
-            Allocation { transfer: 1, paths: vec![(vec![2, 3], 160.0)] },
+            Allocation {
+                transfer: 0,
+                paths: vec![(vec![0, 1], 160.0)],
+            },
+            Allocation {
+                transfer: 1,
+                paths: vec![(vec![2, 3], 160.0)],
+            },
         ];
         NetworkDelta::from_plans(&old_t, &old_a, &new_t, &new_a, 4)
     }
@@ -181,8 +196,14 @@ mod tests {
         new_t.add_links(1, 2, 1);
         new_t.add_links(2, 3, 1);
         new_t.add_links(0, 2, 1);
-        let old_a = vec![Allocation { transfer: 0, paths: vec![(vec![0, 3, 2], 80.0)] }];
-        let new_a = vec![Allocation { transfer: 0, paths: vec![(vec![0, 2], 80.0)] }];
+        let old_a = vec![Allocation {
+            transfer: 0,
+            paths: vec![(vec![0, 3, 2], 80.0)],
+        }];
+        let new_a = vec![Allocation {
+            transfer: 0,
+            paths: vec![(vec![0, 2], 80.0)],
+        }];
         NetworkDelta::from_plans(&old_t, &old_a, &new_t, &new_a, 4)
     }
 
@@ -194,7 +215,10 @@ mod tests {
         let params = UpdateParams::default();
         let plan = plan_one_shot(&d, &params);
         let tl = throughput_timeline(&d, &plan, &params, 0.1, 8.0);
-        let min = tl.iter().map(|p| p.throughput_gbps).fold(f64::INFINITY, f64::min);
+        let min = tl
+            .iter()
+            .map(|p| p.throughput_gbps)
+            .fold(f64::INFINITY, f64::min);
         assert!(min < 1.0, "one-shot should drop the flow, min was {min}");
         let final_tp = tl.last().unwrap().throughput_gbps;
         assert!((final_tp - 80.0).abs() < 1e-6, "recovers to {final_tp}");

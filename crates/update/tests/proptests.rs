@@ -41,7 +41,10 @@ fn allocations(topo: &Topology, loads: &[(usize, u32)]) -> Vec<Allocation> {
             let rate = (load as f64).min(cap - *already);
             if rate > 0.5 {
                 *already += rate;
-                Some(Allocation { transfer: id, paths: vec![(vec![u, v], rate)] })
+                Some(Allocation {
+                    transfer: id,
+                    paths: vec![(vec![u, v], rate)],
+                })
             } else {
                 None
             }
@@ -49,9 +52,16 @@ fn allocations(topo: &Topology, loads: &[(usize, u32)]) -> Vec<Allocation> {
         .collect()
 }
 
-fn arb_case() -> impl Strategy<
-    Value = (usize, Vec<(usize, usize)>, Vec<(usize, u32)>, Vec<(usize, usize)>, Vec<(usize, u32)>),
-> {
+/// `(site count, old links, old path rates, new links, new path rates)`.
+type Case = (
+    usize,
+    Vec<(usize, usize)>,
+    Vec<(usize, u32)>,
+    Vec<(usize, usize)>,
+    Vec<(usize, u32)>,
+);
+
+fn arb_case() -> impl Strategy<Value = Case> {
     (4usize..8).prop_flat_map(|n| {
         (
             Just(n),

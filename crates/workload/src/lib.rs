@@ -96,7 +96,10 @@ impl WorkloadConfig {
 
     /// Adds the inter-DC moving-hotspot model.
     pub fn with_hotspots(mut self) -> Self {
-        self.hotspots = Some(HotspotConfig { period_s: 1_800.0, intensity: 0.5 });
+        self.hotspots = Some(HotspotConfig {
+            period_s: 1_800.0,
+            intensity: 0.5,
+        });
         self
     }
 }
@@ -161,7 +164,8 @@ pub fn generate(network: &Network, config: &WorkloadConfig) -> Vec<TransferReque
         generated += size;
 
         let deadline_s = config.deadlines.map(|d| {
-            let slack = rng.random_range(d.slot_len_s..=(d.factor * d.slot_len_s).max(d.slot_len_s + 1e-6));
+            let slack =
+                rng.random_range(d.slot_len_s..=(d.factor * d.slot_len_s).max(d.slot_len_s + 1e-6));
             arrival_s + slack
         });
 
@@ -261,8 +265,7 @@ mod tests {
         let cfg = WorkloadConfig::testbed(2.0, 7);
         let reqs = generate(&net, &cfg);
         assert!(reqs.len() > 50, "need a sample, got {}", reqs.len());
-        let mean: f64 =
-            reqs.iter().map(|r| r.volume_gbits).sum::<f64>() / reqs.len() as f64;
+        let mean: f64 = reqs.iter().map(|r| r.volume_gbits).sum::<f64>() / reqs.len() as f64;
         // Budget-capping trims the tail a bit; allow a generous band.
         assert!(
             mean > cfg.mean_size_gbits * 0.5 && mean < cfg.mean_size_gbits * 1.8,

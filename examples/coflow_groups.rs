@@ -82,7 +82,10 @@ fn main() {
     });
     groups[1].members.push(2);
 
-    let cfg = SimConfig { slot_len_s: 30.0, ..Default::default() };
+    let cfg = SimConfig {
+        slot_len_s: 30.0,
+        ..Default::default()
+    };
 
     let mut sebf = SebfTe {
         topology: net.static_topology.clone(),
@@ -109,9 +112,7 @@ fn main() {
     let avg = |res: &owan::sim::SimResult| {
         groups
             .iter()
-            .map(|g| {
-                group_completion_s(g, |id| res.completions[id].completion_s).unwrap_or(0.0)
-            })
+            .map(|g| group_completion_s(g, |id| res.completions[id].completion_s).unwrap_or(0.0))
             .sum::<f64>()
             / groups.len() as f64
     };
@@ -121,5 +122,8 @@ fn main() {
         avg(&sjf_res)
     );
     assert!(sebf_res.all_completed() && sjf_res.all_completed());
-    assert!(avg(&sebf_res) <= avg(&sjf_res) + 1.0, "SEBF should not lose on coflow CCT");
+    assert!(
+        avg(&sebf_res) <= avg(&sjf_res) + 1.0,
+        "SEBF should not lose on coflow CCT"
+    );
 }

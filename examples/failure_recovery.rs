@@ -29,15 +29,18 @@ fn main() {
     let cut = plant
         .fibers()
         .iter()
-        .position(|f| {
-            (f.a == seat || f.b == seat)
-                && (plant.site(f.other(seat)).name == "SALT")
-        })
+        .position(|f| (f.a == seat || f.b == seat) && (plant.site(f.other(seat)).name == "SALT"))
         .expect("SEAT-SALT fiber exists");
-    let events = [FailureEvent { time_s: 1_200.0, failure: Failure::FiberCut(cut) }];
+    let events = [FailureEvent {
+        time_s: 1_200.0,
+        failure: Failure::FiberCut(cut),
+    }];
 
     let mut engine = OwanEngine::new(default_topology(plant), OwanConfig::default());
-    let cfg = SimConfig { slot_len_s: 300.0, ..Default::default() };
+    let cfg = SimConfig {
+        slot_len_s: 300.0,
+        ..Default::default()
+    };
     let result = simulate_with_failures(plant, &requests, &mut engine, &cfg, &events);
 
     println!("fiber SEAT-SALT cut at t=1200 s");

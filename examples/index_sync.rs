@@ -22,13 +22,20 @@ fn main() {
     let requests = generate(&net, &wl);
 
     let cfg = RunnerConfig {
-        sim: SimConfig { slot_len_s: 300.0, ..Default::default() },
+        sim: SimConfig {
+            slot_len_s: 300.0,
+            ..Default::default()
+        },
         anneal_iterations: 150,
         ..Default::default()
     };
     let results = run_comparison(&EngineKind::UNCONSTRAINED, &net, &requests, &cfg);
 
-    println!("index sync: {} shard transfers across {} DCs", requests.len(), 24);
+    println!(
+        "index sync: {} shard transfers across {} DCs",
+        requests.len(),
+        24
+    );
     println!("engine,avg_completion_s,p95_completion_s,makespan_s");
     for r in &results {
         let (avg, p95) = metrics::summary(r, SizeBin::All);

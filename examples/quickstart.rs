@@ -5,8 +5,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use owan::core::{
-    default_topology, OwanConfig, OwanEngine, SlotInput, TrafficEngineer, Transfer,
-    TransferRequest,
+    default_topology, OwanConfig, OwanEngine, SlotInput, TrafficEngineer, Transfer, TransferRequest,
 };
 use owan::optical::{FiberPlant, OpticalParams};
 
@@ -28,9 +27,21 @@ fn main() {
 
     // ---- Two bulk transfers: SEA->SFO and LAX->DEN, 100 Gb each
     // (the motivating example of the paper's Figure 3).
-    let requests = vec![
-        TransferRequest { src: 0, dst: 1, volume_gbits: 100.0, arrival_s: 0.0, deadline_s: None },
-        TransferRequest { src: 2, dst: 3, volume_gbits: 100.0, arrival_s: 0.0, deadline_s: None },
+    let requests = [
+        TransferRequest {
+            src: 0,
+            dst: 1,
+            volume_gbits: 100.0,
+            arrival_s: 0.0,
+            deadline_s: None,
+        },
+        TransferRequest {
+            src: 2,
+            dst: 3,
+            volume_gbits: 100.0,
+            arrival_s: 0.0,
+            deadline_s: None,
+        },
     ];
     let transfers: Vec<Transfer> = requests
         .iter()
@@ -42,7 +53,11 @@ fn main() {
     let mut engine = OwanEngine::new(default_topology(&plant), OwanConfig::default());
     let plan = engine.plan_slot(
         &plant,
-        &SlotInput { transfers: &transfers, slot_len_s: 10.0, now_s: 0.0 },
+        &SlotInput {
+            transfers: &transfers,
+            slot_len_s: 10.0,
+            now_s: 0.0,
+        },
     );
 
     println!("chosen network-layer topology:");
@@ -57,9 +72,12 @@ fn main() {
     println!("\nrate allocations:");
     for alloc in &plan.allocations {
         for (path, rate) in &alloc.paths {
-            let names: Vec<&str> =
-                path.iter().map(|&s| plant.site(s).name.as_str()).collect();
-            println!("  transfer {} via {}: {rate:.1} Gbps", alloc.transfer, names.join("-"));
+            let names: Vec<&str> = path.iter().map(|&s| plant.site(s).name.as_str()).collect();
+            println!(
+                "  transfer {} via {}: {rate:.1} Gbps",
+                alloc.transfer,
+                names.join("-")
+            );
         }
     }
     println!("\ntotal throughput: {:.1} Gbps", plan.throughput_gbps);

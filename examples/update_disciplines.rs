@@ -22,11 +22,18 @@ fn main() {
     println!("discipline,completed,makespan_s,update_ops,transition_loss_gbits");
     for discipline in [UpdateDiscipline::Consistent, UpdateDiscipline::OneShot] {
         let mut engine = OwanEngine::new(default_topology(&net.plant), OwanConfig::default());
-        let cfg = ControllerConfig { slot_len_s: 300.0, discipline, ..Default::default() };
+        let cfg = ControllerConfig {
+            slot_len_s: 300.0,
+            discipline,
+            ..Default::default()
+        };
         let res = run_controller(&net.plant, &requests, &mut engine, &cfg);
         println!(
             "{discipline:?},{}/{},{:.0},{},{:.1}",
-            res.completions.iter().filter(|c| c.completion_s.is_some()).count(),
+            res.completions
+                .iter()
+                .filter(|c| c.completion_s.is_some())
+                .count(),
             res.completions.len(),
             res.makespan_s,
             res.update_ops,

@@ -45,7 +45,10 @@ fn main() {
     }
 
     let cfg = RunnerConfig {
-        sim: SimConfig { slot_len_s: 300.0, ..Default::default() },
+        sim: SimConfig {
+            slot_len_s: 300.0,
+            ..Default::default()
+        },
         policy: SchedulingPolicy::EarliestDeadlineFirst,
         anneal_iterations: 150,
         ..Default::default()

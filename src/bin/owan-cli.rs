@@ -5,22 +5,42 @@
 //! owan-cli [--net internet2|isp|interdc] [--engine owan|maxflow|maxmin|swan|tempus|amoeba|greedy]
 //!          [--load λ] [--sigma σ] [--slot SECONDS] [--duration SECONDS]
 //!          [--seed N] [--iters N] [--max-requests N]
+//!          [--obs FILE.jsonl] [--obs-summary]
 //! ```
 //!
 //! With `--sigma` the workload carries deadlines and the deadline metrics
-//! are reported; without it, completion-time metrics.
+//! are reported; without it, completion-time metrics. `--obs` exports the
+//! run's telemetry as JSON Lines; `--obs-summary` prints a per-stage
+//! timing table. Either flag enables recording (off by default; a
+//! disabled recorder changes no engine output).
 //!
 //! Example:
 //! `cargo run --release --bin owan-cli -- --net internet2 --engine owan --load 1.5`
 
 use owan::core::SchedulingPolicy;
+use owan::obs::{format_stage_table, Recorder};
 use owan::sim::metrics::{self, SizeBin};
-use owan::sim::runner::{run_engine, EngineKind, RunnerConfig};
+use owan::sim::runner::{run_engine_observed, EngineKind, RunnerConfig};
 use owan::sim::SimConfig;
 use owan::topo::{inter_dc, internet2_testbed, isp_backbone, Network};
 use owan::workload::{generate, WorkloadConfig};
 
-/// Minimal flag parser: `--key value` pairs.
+const USAGE: &str = "usage: owan-cli [OPTIONS]
+
+  --net NAME          evaluation network: internet2 | isp | interdc  [internet2]
+  --engine NAME       owan | maxflow | maxmin | swan | tempus | amoeba | greedy  [owan]
+  --load L            workload load factor lambda  [1.0]
+  --sigma S           deadline tightness; enables deadline workload and metrics
+  --slot SECS         slot length, seconds  [300]
+  --duration SECS     workload arrival window, seconds  [7200]
+  --seed N            workload + annealing seed  [42]
+  --iters N           annealing iterations per slot  [150]
+  --max-requests N    truncate the workload to N transfers
+  --obs FILE.jsonl    export run telemetry as JSON Lines to FILE
+  --obs-summary       print a per-stage timing table after the metrics
+  -h, --help          show this help";
+
+/// Minimal flag parser: `--key value` pairs plus boolean switches.
 struct Args(Vec<String>);
 
 impl Args {
@@ -32,21 +52,28 @@ impl Args {
             .map(String::as_str)
     }
 
+    fn flag(&self, key: &str) -> bool {
+        self.0.iter().any(|a| a == key)
+    }
+
+    /// Parses `--key value`, returning `default` only when the flag is
+    /// absent. A present-but-malformed value is an error (naming the
+    /// flag), never a silent fallback to the default.
     fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        match self.get(key) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("owan-cli: invalid value '{raw}' for {key}");
+                std::process::exit(2);
+            }),
+        }
     }
 }
 
 fn main() {
     let args = Args(std::env::args().collect());
-    if args.0.iter().any(|a| a == "--help" || a == "-h") {
-        println!(
-            "usage: owan-cli [--net internet2|isp|interdc] [--engine NAME] [--load L] \
-             [--sigma S] [--slot SECS] [--duration SECS] [--seed N] [--iters N] \
-             [--max-requests N]"
-        );
+    if args.flag("--help") || args.flag("-h") {
+        println!("{USAGE}");
         return;
     }
 
@@ -56,7 +83,7 @@ fn main() {
         "isp" => isp_backbone(7),
         "interdc" => inter_dc(7),
         other => {
-            eprintln!("unknown network '{other}'");
+            eprintln!("owan-cli: unknown network '{other}' for --net");
             std::process::exit(2);
         }
     };
@@ -71,18 +98,25 @@ fn main() {
         "amoeba" => EngineKind::Amoeba,
         "greedy" => EngineKind::Greedy,
         other => {
-            eprintln!("unknown engine '{other}'");
+            eprintln!("owan-cli: unknown engine '{other}' for --engine");
             std::process::exit(2);
         }
     };
 
     let load = args.parse("--load", 1.0f64);
-    let sigma: Option<f64> = args.get("--sigma").and_then(|v| v.parse().ok());
+    let sigma: Option<f64> = args.get("--sigma").map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("owan-cli: invalid value '{raw}' for --sigma");
+            std::process::exit(2);
+        })
+    });
     let slot = args.parse("--slot", 300.0f64);
     let duration = args.parse("--duration", 7_200.0f64);
     let seed = args.parse("--seed", 42u64);
     let iters = args.parse("--iters", 150usize);
     let max_requests = args.parse("--max-requests", usize::MAX);
+    let obs_path = args.get("--obs").map(str::to_string);
+    let obs_summary = args.flag("--obs-summary");
 
     let mut wl = if net_name == "internet2" {
         WorkloadConfig::testbed(load, seed)
@@ -100,7 +134,11 @@ fn main() {
     requests.truncate(max_requests);
 
     let cfg = RunnerConfig {
-        sim: SimConfig { slot_len_s: slot, max_slots: 5_000, ..Default::default() },
+        sim: SimConfig {
+            slot_len_s: slot,
+            max_slots: 5_000,
+            ..Default::default()
+        },
         anneal_iterations: iters,
         seed,
         policy: if sigma.is_some() {
@@ -111,28 +149,81 @@ fn main() {
         ..Default::default()
     };
 
+    let recorder = if obs_path.is_some() || obs_summary {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+
     eprintln!(
         "running {engine_name} on {net_name}: {} transfers, load {load}, slot {slot}s",
         requests.len()
     );
-    let result = run_engine(kind, &network, &requests, &cfg);
+    let result = run_engine_observed(kind, &network, &requests, &cfg, &recorder);
 
     println!("engine,{}", result.engine);
     println!("network,{net_name}");
     println!("transfers,{}", result.completions.len());
-    println!("completed,{}", result.completions.iter().filter(|c| c.completion_s.is_some()).count());
+    println!(
+        "completed,{}",
+        result
+            .completions
+            .iter()
+            .filter(|c| c.completion_s.is_some())
+            .count()
+    );
     println!("slots,{}", result.slots);
     println!("makespan_s,{:.0}", result.makespan_s);
     let (avg, p95) = metrics::summary(&result, SizeBin::All);
     println!("avg_completion_s,{avg:.0}");
     println!("p95_completion_s,{p95:.0}");
     if sigma.is_some() {
-        println!("pct_deadlines_met,{:.1}", metrics::pct_deadlines_met(&result, SizeBin::All));
-        println!("pct_bytes_by_deadline,{:.1}", metrics::pct_bytes_by_deadline(&result));
+        println!(
+            "pct_deadlines_met,{:.1}",
+            metrics::pct_deadlines_met(&result, SizeBin::All)
+        );
+        println!(
+            "pct_bytes_by_deadline,{:.1}",
+            metrics::pct_bytes_by_deadline(&result)
+        );
     }
     for bin in [SizeBin::Small, SizeBin::Middle, SizeBin::Large] {
         let (avg, p95) = metrics::summary(&result, bin);
         println!("{}_avg_s,{avg:.0}", bin.label().to_lowercase());
         println!("{}_p95_s,{p95:.0}", bin.label().to_lowercase());
+    }
+
+    if recorder.is_enabled() {
+        let snapshot = recorder.snapshot();
+        if let Some(path) = &obs_path {
+            let mut out: Vec<u8> = Vec::new();
+            snapshot
+                .write_jsonl(&mut out)
+                .expect("serializing to memory cannot fail");
+            if let Err(e) = std::fs::write(path, &out) {
+                eprintln!("owan-cli: cannot write --obs file '{path}': {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote {} telemetry lines to {path}",
+                out.iter().filter(|&&b| b == b'\n').count()
+            );
+        }
+        if obs_summary {
+            print!(
+                "{}",
+                format_stage_table(
+                    &snapshot,
+                    &[
+                        ("slot", "stage.slot"),
+                        ("anneal", "stage.anneal"),
+                        ("anneal iteration", "stage.anneal.iter"),
+                        ("circuit build", "stage.circuits"),
+                        ("rate assignment", "stage.rates"),
+                        ("update scheduling", "stage.update"),
+                    ],
+                )
+            );
+        }
     }
 }

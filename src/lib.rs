@@ -7,6 +7,7 @@
 //! - [`owan_sim`] — the time-slotted flow simulator and controller loop
 pub use owan_core as core;
 pub use owan_graph as graph;
+pub use owan_obs as obs;
 pub use owan_optical as optical;
 pub use owan_sim as sim;
 pub use owan_solver as solver;

@@ -3,9 +3,7 @@
 //! topologies actually buildable in the optical layer, and consecutive
 //! Owan states updatable by the consistent scheduler.
 
-use owan::core::{
-    build_topology, CircuitBuildConfig, SlotInput, Transfer, TransferRequest,
-};
+use owan::core::{build_topology, CircuitBuildConfig, SlotInput, Transfer, TransferRequest};
 use owan::sim::plan_is_feasible;
 use owan::sim::runner::{make_engine, EngineKind, RunnerConfig};
 use owan::topo::{internet2_testbed, internet2_wan, Network};
@@ -27,7 +25,10 @@ fn every_engine_emits_feasible_plans() {
     let net = internet2_testbed();
     let theta = net.plant.params().wavelength_capacity_gbps;
     let transfers = transfers_for(&net, 12);
-    let cfg = RunnerConfig { anneal_iterations: 80, ..Default::default() };
+    let cfg = RunnerConfig {
+        anneal_iterations: 80,
+        ..Default::default()
+    };
     for kind in [
         EngineKind::Owan,
         EngineKind::MaxFlow,
@@ -42,10 +43,13 @@ fn every_engine_emits_feasible_plans() {
         let mut engine = make_engine(kind, &net, &cfg);
         let plan = engine.plan_slot(
             &net.plant,
-            &SlotInput { transfers: &transfers, slot_len_s: 300.0, now_s: 0.0 },
+            &SlotInput {
+                transfers: &transfers,
+                slot_len_s: 300.0,
+                now_s: 0.0,
+            },
         );
-        plan_is_feasible(&plan, theta)
-            .unwrap_or_else(|e| panic!("{kind:?} infeasible: {e}"));
+        plan_is_feasible(&plan, theta).unwrap_or_else(|e| panic!("{kind:?} infeasible: {e}"));
     }
 }
 
@@ -55,7 +59,10 @@ fn owan_topologies_are_optically_buildable() {
     // from scratch on the same plant must succeed in full.
     let net = internet2_wan();
     let transfers = transfers_for(&net, 10);
-    let cfg = RunnerConfig { anneal_iterations: 80, ..Default::default() };
+    let cfg = RunnerConfig {
+        anneal_iterations: 80,
+        ..Default::default()
+    };
     let mut engine = make_engine(EngineKind::Owan, &net, &cfg);
     let fd = net.plant.fiber_distance_matrix();
     for slot in 0..3 {
@@ -67,8 +74,12 @@ fn owan_topologies_are_optically_buildable() {
                 now_s: slot as f64 * 300.0,
             },
         );
-        let built =
-            build_topology(&net.plant, &plan.topology, &fd, &CircuitBuildConfig::default());
+        let built = build_topology(
+            &net.plant,
+            &plan.topology,
+            &fd,
+            &CircuitBuildConfig::default(),
+        );
         assert_eq!(
             built.achieved, plan.topology,
             "slot {slot}: achieved topology must be rebuildable verbatim"
@@ -82,16 +93,27 @@ fn owan_topologies_are_optically_buildable() {
 fn consecutive_owan_states_update_consistently() {
     let net = internet2_testbed();
     let transfers = transfers_for(&net, 12);
-    let cfg = RunnerConfig { anneal_iterations: 80, ..Default::default() };
+    let cfg = RunnerConfig {
+        anneal_iterations: 80,
+        ..Default::default()
+    };
     let mut engine = make_engine(EngineKind::Owan, &net, &cfg);
     let half = transfers.len() / 2;
     let plan1 = engine.plan_slot(
         &net.plant,
-        &SlotInput { transfers: &transfers[..half], slot_len_s: 300.0, now_s: 0.0 },
+        &SlotInput {
+            transfers: &transfers[..half],
+            slot_len_s: 300.0,
+            now_s: 0.0,
+        },
     );
     let plan2 = engine.plan_slot(
         &net.plant,
-        &SlotInput { transfers: &transfers[half..], slot_len_s: 300.0, now_s: 300.0 },
+        &SlotInput {
+            transfers: &transfers[half..],
+            slot_len_s: 300.0,
+            now_s: 300.0,
+        },
     );
     let delta = NetworkDelta::from_plans(
         &plan1.topology,
@@ -118,10 +140,10 @@ fn consecutive_owan_states_update_consistently() {
                     .iter()
                     .filter(|o| {
                         matches!(o.kind, OpKind::SetupCircuit(j)
-                            if {
-                                let c = &delta.added_circuits[j];
-                                (c.u == w[0] && c.v == w[1]) || (c.u == w[1] && c.v == w[0])
-                            })
+                        if {
+                            let c = &delta.added_circuits[j];
+                            (c.u == w[0] && c.v == w[1]) || (c.u == w[1] && c.v == w[0])
+                        })
                     })
                     .collect();
                 // If this link needed new circuits AND had none before, the

@@ -10,7 +10,11 @@ use owan::workload::{generate, WorkloadConfig};
 
 fn runner(anneal_iterations: usize) -> RunnerConfig {
     RunnerConfig {
-        sim: SimConfig { slot_len_s: 300.0, max_slots: 1_000, ..Default::default() },
+        sim: SimConfig {
+            slot_len_s: 300.0,
+            max_slots: 1_000,
+            ..Default::default()
+        },
         anneal_iterations,
         ..Default::default()
     }
@@ -24,8 +28,7 @@ fn owan_beats_fixed_topology_baselines_on_internet2() {
     let reqs = generate(&net, &wl);
     assert!(reqs.len() >= 20, "meaningful workload, got {}", reqs.len());
 
-    let results =
-        run_comparison(&EngineKind::UNCONSTRAINED, &net, &reqs, &runner(120));
+    let results = run_comparison(&EngineKind::UNCONSTRAINED, &net, &reqs, &runner(120));
     for r in &results {
         assert!(r.all_completed(), "{} left transfers unfinished", r.engine);
     }
@@ -47,7 +50,10 @@ fn owan_beats_fixed_topology_baselines_on_internet2() {
             metrics::improvement_factor(owan_avg, avg)
         })
         .fold(0.0, f64::max);
-    assert!(best_factor > 1.5, "expected a clear win, best factor {best_factor:.2}");
+    assert!(
+        best_factor > 1.5,
+        "expected a clear win, best factor {best_factor:.2}"
+    );
 }
 
 #[test]
@@ -77,7 +83,11 @@ fn isp_workload_drains_for_all_unconstrained_engines() {
     let reqs: Vec<_> = generate(&net, &wl).into_iter().take(60).collect();
     let results = run_comparison(&EngineKind::UNCONSTRAINED, &net, &reqs, &runner(80));
     for r in &results {
-        assert!(r.all_completed(), "{} failed to drain the ISP workload", r.engine);
+        assert!(
+            r.all_completed(),
+            "{} failed to drain the ISP workload",
+            r.engine
+        );
     }
 }
 
@@ -99,7 +109,10 @@ fn deadline_engines_meet_more_deadlines_with_looser_factors() {
         loose >= tight,
         "looser deadlines can only help: tight {tight:.0}% vs loose {loose:.0}%"
     );
-    assert!(loose > 80.0, "nearly everything meets very loose deadlines, got {loose:.0}%");
+    assert!(
+        loose > 80.0,
+        "nearly everything meets very loose deadlines, got {loose:.0}%"
+    );
 }
 
 #[test]

@@ -1,0 +1,119 @@
+//! Offline mini benchmark harness.
+//!
+//! A dependency-free stand-in for `criterion` implementing the subset this
+//! workspace's benches use: `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros. It times a handful of
+//! iterations and prints the mean per iteration — no statistics, no
+//! warm-up, no reports. Good enough to smoke-run benches offline.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const SAMPLES: usize = 10;
+
+/// Entry point handed to bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark.
+    pub fn bench_function<S, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name.as_ref(), &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks; see [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness always runs a fixed
+    /// small number of samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as a named benchmark within the group.
+    pub fn bench_function<S, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name.as_ref()), &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` a fixed number of times, accumulating wall time.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..SAMPLES {
+            black_box(f());
+        }
+        self.total_ns += start.elapsed().as_nanos();
+        self.iters += SAMPLES as u64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iters > 0 {
+        let mean_ns = bencher.total_ns / bencher.iters as u128;
+        println!("bench {name}: {mean_ns} ns/iter (n={})", bencher.iters);
+    } else {
+        println!("bench {name}: no iterations recorded");
+    }
+}
+
+/// Collects bench functions into a runner function named `$group`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` invoking each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates domain types with `#[derive(Serialize,
+//! Deserialize)]` but never serializes through serde (the telemetry layer
+//! hand-rolls its JSON). This stub provides the trait names and no-op
+//! derive macros so those annotations compile without registry access.
+//! Like real serde with the `derive` feature, the macro and the trait
+//! share each name — they live in different namespaces.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; carries no methods.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; carries no methods.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace only uses serde derives as forward-looking annotations —
+//! nothing takes `T: Serialize` bounds or performs serialization — so in
+//! offline builds the derives expand to nothing. If a future change
+//! actually serializes through serde, vendor the real crate instead.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
