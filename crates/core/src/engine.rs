@@ -258,17 +258,19 @@ pub fn default_topology(plant: &FiberPlant) -> Topology {
     if routers.len() < 2 {
         return topo;
     }
-    // Ring for connectivity.
+    let spare = |topo: &Topology, s: usize| plant.router_ports(s).saturating_sub(topo.degree(s));
+    // Ring for connectivity — but never beyond a site's port budget (a
+    // 1-port router can terminate only one ring link, degrading the ring
+    // to a path there). Unchanged when every router has ≥ 2 ports.
     for i in 0..routers.len() {
         let u = routers[i];
         let v = routers[(i + 1) % routers.len()];
-        if u != v {
+        if u != v && spare(&topo, u) > 0 && spare(&topo, v) > 0 {
             topo.add_links(u, v, 1);
         }
     }
     // Spend spare ports on nearest neighbors, greedily and deterministically.
     let dist = plant.fiber_distance_matrix();
-    let spare = |topo: &Topology, s: usize| plant.router_ports(s).saturating_sub(topo.degree(s));
     loop {
         let mut best: Option<(f64, usize, usize)> = None;
         for &u in &routers {

@@ -47,6 +47,46 @@ fn bellman_ford(g: &Graph, src: usize) -> Vec<f64> {
     dist
 }
 
+/// Brute-force k-shortest-paths oracle: enumerate every simple path by
+/// DFS over node sequences (cost = lightest parallel edge per hop) and
+/// sort by cost.
+fn brute_simple_path_costs(g: &Graph, src: usize, dst: usize) -> Vec<f64> {
+    let n = g.node_count();
+    let min_w = |a: usize, b: usize| -> f64 {
+        g.neighbors(a)
+            .filter(|&(_, v)| v == b)
+            .map(|(e, _)| g.edge(e).weight)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut costs = Vec::new();
+    let mut visited = vec![false; n];
+    visited[src] = true;
+    fn dfs(
+        min_w: &dyn Fn(usize, usize) -> f64,
+        u: usize,
+        dst: usize,
+        cost: f64,
+        visited: &mut [bool],
+        costs: &mut Vec<f64>,
+    ) {
+        if u == dst {
+            costs.push(cost);
+            return;
+        }
+        for v in 0..visited.len() {
+            let w = min_w(u, v);
+            if !visited[v] && w.is_finite() {
+                visited[v] = true;
+                dfs(min_w, v, dst, cost + w, visited, costs);
+                visited[v] = false;
+            }
+        }
+    }
+    dfs(&min_w, src, dst, 0.0, &mut visited, &mut costs);
+    costs.sort_by(f64::total_cmp);
+    costs
+}
+
 /// Brute-force maximum matching size by recursion over edges.
 fn brute_matching(g: &Graph) -> usize {
     let mut edges: Vec<(usize, usize)> = g
@@ -141,6 +181,45 @@ proptest! {
             (Some(p), Some(d)) => prop_assert!((p.cost() - d).abs() < 1e-9),
             (None, None) => {}
             (a, b) => prop_assert!(false, "mismatch: yen {:?} dijkstra {:?}", a.map(|p| p.cost()), b),
+        }
+    }
+
+    #[test]
+    fn yen_matches_brute_force_enumeration(g in random_graph(8, 14), k in 1usize..7) {
+        // Completeness + optimality: Yen's k paths must cost exactly the
+        // same as the k cheapest simple paths found by exhaustive DFS
+        // enumeration. (Top-k cost sequences are unique even under ties.)
+        let n = g.node_count();
+        let yen = k_shortest_paths(&g, 0, n - 1, k);
+        let brute = brute_simple_path_costs(&g, 0, n - 1);
+        prop_assert_eq!(
+            yen.len(),
+            brute.len().min(k),
+            "yen returned {} paths, brute force found {} (k = {})",
+            yen.len(), brute.len(), k
+        );
+        for (i, (p, bc)) in yen.iter().zip(&brute).enumerate() {
+            prop_assert!(
+                (p.cost() - bc).abs() < 1e-9,
+                "path {i}: yen cost {} vs brute-force {bc}", p.cost()
+            );
+        }
+        // Every returned path is itself a genuine simple path of the graph
+        // whose stated cost matches a hop-by-hop recomputation.
+        for p in &yen {
+            let mut seen = vec![false; n];
+            let mut cost = 0.0;
+            for (a, b) in p.hops() {
+                prop_assert!(!seen[a], "repeated node {a}");
+                seen[a] = true;
+                let w = g.neighbors(a)
+                    .filter(|&(_, v)| v == b)
+                    .map(|(e, _)| g.edge(e).weight)
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!(w.is_finite(), "hop ({a}, {b}) not in graph");
+                cost += w;
+            }
+            prop_assert!((cost - p.cost()).abs() < 1e-9);
         }
     }
 

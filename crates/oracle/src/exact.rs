@@ -1,0 +1,264 @@
+//! Exact small-instance reference for the annealing topology search.
+//!
+//! On networks with at most [`MAX_ENUM_SITES`] router sites, every
+//! port-feasible multigraph topology can be enumerated outright and scored
+//! with the same energy function the annealing uses (Algorithm 3: build
+//! circuits, assign rates). The enumeration optimum is then a ground truth
+//! the heuristic can be measured against: annealing can never beat it, and
+//! the gap quantifies how much the heuristic leaves on the table.
+
+use owan_core::{anneal, compute_energy, AnnealConfig, EnergyContext, Topology};
+
+/// Hard cap on router sites for enumeration — beyond this the topology
+/// space explodes combinatorially.
+pub const MAX_ENUM_SITES: usize = 6;
+
+/// Safety valve on the number of enumerated topologies (high port counts
+/// on 6 sites can still blow up).
+pub const MAX_ENUM_TOPOLOGIES: usize = 2_000_000;
+
+/// Why an exact reference could not be computed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExactError {
+    /// More router sites than [`MAX_ENUM_SITES`].
+    TooManySites(usize),
+    /// The enumeration exceeded [`MAX_ENUM_TOPOLOGIES`] candidates.
+    TooManyTopologies,
+}
+
+impl std::fmt::Display for ExactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExactError::TooManySites(n) => {
+                write!(
+                    f,
+                    "{n} router sites exceed the enumeration cap {MAX_ENUM_SITES}"
+                )
+            }
+            ExactError::TooManyTopologies => {
+                write!(f, "more than {MAX_ENUM_TOPOLOGIES} candidate topologies")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+/// The brute-force optimum over all implementable topologies.
+#[derive(Debug, Clone)]
+pub struct EnumerationReport {
+    /// A topology attaining the maximum energy.
+    pub best: Topology,
+    /// Its energy (total throughput, Gbps).
+    pub best_energy_gbps: f64,
+    /// How many port-feasible topologies were scored.
+    pub enumerated: usize,
+}
+
+/// Optimality gap of a heuristic result against the exact optimum.
+#[derive(Debug, Clone)]
+pub struct GapReport {
+    /// The heuristic's achieved objective, Gbps.
+    pub heuristic_gbps: f64,
+    /// The exact optimum, Gbps.
+    pub optimal_gbps: f64,
+    /// `(optimal - heuristic) / optimal`, or `0` when the optimum is zero.
+    pub gap_fraction: f64,
+}
+
+impl GapReport {
+    pub(crate) fn new(heuristic_gbps: f64, optimal_gbps: f64) -> Self {
+        let gap_fraction = if optimal_gbps > 1e-12 {
+            ((optimal_gbps - heuristic_gbps) / optimal_gbps).max(0.0)
+        } else {
+            0.0
+        };
+        GapReport {
+            heuristic_gbps,
+            optimal_gbps,
+            gap_fraction,
+        }
+    }
+}
+
+/// Visits every port-feasible topology over the plant's router sites.
+///
+/// Enumerates multiplicities per unordered router pair in lexicographic
+/// order, pruning any prefix that already exceeds a site's port budget.
+/// Non-router sites never receive links (they cannot terminate circuits).
+fn for_each_topology(
+    ctx: &EnergyContext<'_>,
+    mut visit: impl FnMut(&Topology),
+) -> Result<usize, ExactError> {
+    let routers = ctx.plant.router_sites();
+    if routers.len() > MAX_ENUM_SITES {
+        return Err(ExactError::TooManySites(routers.len()));
+    }
+    let n = ctx.plant.site_count();
+    let pairs: Vec<(usize, usize)> = routers
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &u)| routers[i + 1..].iter().map(move |&v| (u, v)))
+        .collect();
+    let ports: Vec<u32> = (0..n).map(|s| ctx.plant.router_ports(s)).collect();
+
+    let mut degree = vec![0u32; n];
+    let mut topo = Topology::empty(n);
+    let mut count = 0usize;
+
+    fn recurse(
+        pairs: &[(usize, usize)],
+        idx: usize,
+        ports: &[u32],
+        degree: &mut [u32],
+        topo: &mut Topology,
+        count: &mut usize,
+        visit: &mut impl FnMut(&Topology),
+    ) -> Result<(), ExactError> {
+        if idx == pairs.len() {
+            *count += 1;
+            if *count > MAX_ENUM_TOPOLOGIES {
+                return Err(ExactError::TooManyTopologies);
+            }
+            visit(topo);
+            return Ok(());
+        }
+        let (u, v) = pairs[idx];
+        let max_m = (ports[u] - degree[u]).min(ports[v] - degree[v]);
+        for m in 0..=max_m {
+            if m > 0 {
+                topo.add_links(u, v, 1);
+                degree[u] += 1;
+                degree[v] += 1;
+            }
+            recurse(pairs, idx + 1, ports, degree, topo, count, visit)?;
+        }
+        if max_m > 0 {
+            topo.remove_links(u, v, max_m);
+            degree[u] -= max_m;
+            degree[v] -= max_m;
+        }
+        Ok(())
+    }
+
+    recurse(
+        &pairs,
+        0,
+        &ports,
+        &mut degree,
+        &mut topo,
+        &mut count,
+        &mut visit,
+    )?;
+    Ok(count)
+}
+
+/// Scores every port-feasible topology with the energy function and
+/// returns the maximum — the exact optimum of the annealing's objective.
+pub fn best_topology_by_enumeration(
+    ctx: &EnergyContext<'_>,
+) -> Result<EnumerationReport, ExactError> {
+    let mut best: Option<(f64, Topology)> = None;
+    let enumerated = for_each_topology(ctx, |topo| {
+        let e = compute_energy(ctx, topo).energy_gbps();
+        if best.as_ref().is_none_or(|(be, _)| e > *be) {
+            best = Some((e, topo.clone()));
+        }
+    })?;
+    let (best_energy_gbps, best) = best.expect("the empty topology is always enumerated");
+    Ok(EnumerationReport {
+        best,
+        best_energy_gbps,
+        enumerated,
+    })
+}
+
+/// Runs the annealing search and reports its gap against the enumeration
+/// optimum. The heuristic can never exceed the optimum (they share the
+/// same objective), so `gap_fraction` is always in `[0, 1]`.
+pub fn anneal_gap(
+    ctx: &EnergyContext<'_>,
+    initial: &Topology,
+    config: &AnnealConfig,
+) -> Result<GapReport, ExactError> {
+    let exact = best_topology_by_enumeration(ctx)?;
+    let result = anneal(ctx, initial, config);
+    Ok(GapReport::new(result.energy_gbps(), exact.best_energy_gbps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owan_core::{CircuitBuildConfig, RateAssignConfig, SchedulingPolicy, Transfer};
+    use owan_optical::{FiberPlant, OpticalParams};
+
+    fn plant(n: usize, ports: u32) -> FiberPlant {
+        let params = OpticalParams {
+            wavelength_capacity_gbps: 10.0,
+            wavelengths_per_fiber: 8,
+            ..Default::default()
+        };
+        let mut p = FiberPlant::new(params);
+        for i in 0..n {
+            p.add_site(&format!("S{i}"), ports, 1);
+        }
+        for i in 0..n {
+            p.add_fiber(i, (i + 1) % n, 300.0);
+        }
+        p
+    }
+
+    fn transfer(id: usize, src: usize, dst: usize, gbits: f64) -> Transfer {
+        Transfer {
+            id,
+            src,
+            dst,
+            volume_gbits: gbits,
+            remaining_gbits: gbits,
+            arrival_s: 0.0,
+            deadline_s: None,
+            starved_slots: 0,
+        }
+    }
+
+    #[test]
+    fn enumeration_finds_demand_matched_optimum() {
+        let p = plant(4, 2);
+        let fd = p.fiber_distance_matrix();
+        let transfers = vec![transfer(0, 0, 1, 400.0), transfer(1, 2, 3, 400.0)];
+        let ctx = EnergyContext {
+            plant: &p,
+            fiber_dist: &fd,
+            transfers: &transfers,
+            policy: SchedulingPolicy::ShortestJobFirst,
+            slot_len_s: 10.0,
+            circuit_config: CircuitBuildConfig::default(),
+            rate_config: RateAssignConfig::default(),
+        };
+        let report = best_topology_by_enumeration(&ctx).unwrap();
+        // Both ports of 0 toward 1 and of 2 toward 3 serve 40 Gbps total.
+        assert!((report.best_energy_gbps - 40.0).abs() < 1e-6);
+        assert_eq!(report.best.multiplicity(0, 1), 2);
+        assert_eq!(report.best.multiplicity(2, 3), 2);
+        assert!(report.enumerated > 1);
+    }
+
+    #[test]
+    fn too_many_sites_rejected() {
+        let p = plant(7, 1);
+        let fd = p.fiber_distance_matrix();
+        let ctx = EnergyContext {
+            plant: &p,
+            fiber_dist: &fd,
+            transfers: &[],
+            policy: SchedulingPolicy::ShortestJobFirst,
+            slot_len_s: 10.0,
+            circuit_config: CircuitBuildConfig::default(),
+            rate_config: RateAssignConfig::default(),
+        };
+        assert_eq!(
+            best_topology_by_enumeration(&ctx).unwrap_err(),
+            ExactError::TooManySites(7)
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Exact rate reference: a path-based multi-commodity max-throughput LP.
+//!
+//! The greedy SJF/EDF rate assignment (Algorithm 3) routes transfers one
+//! at a time over shortest paths. The LP in [`lp_max_throughput`] instead
+//! optimizes all commodities jointly over *every* simple path (up to a hop
+//! bound), giving the true maximum total throughput for a fixed topology.
+//! Two oracle facts follow:
+//!
+//! * the greedy throughput can never exceed the LP optimum, and
+//! * the greedy rates must themselves be feasible for the LP's link
+//!   capacities (checked independently by [`check_rates_lp_feasible`]).
+
+use owan_core::{Allocation, Topology, Transfer};
+use owan_solver::McfProblem;
+use std::collections::HashMap;
+
+use crate::exact::GapReport;
+
+/// Enumerates every simple path from `src` to `dst` with at most
+/// `max_hops` links, over the links present in `topology`.
+pub fn all_simple_paths(
+    topology: &Topology,
+    src: usize,
+    dst: usize,
+    max_hops: usize,
+) -> Vec<Vec<usize>> {
+    let n = topology.site_count();
+    let adj: Vec<Vec<usize>> = (0..n)
+        .map(|u| {
+            (0..n)
+                .filter(|&v| topology.multiplicity(u, v) > 0)
+                .collect()
+        })
+        .collect();
+    let mut paths = Vec::new();
+    let mut stack = vec![src];
+    let mut visited = vec![false; n];
+    visited[src] = true;
+
+    fn dfs(
+        adj: &[Vec<usize>],
+        dst: usize,
+        max_hops: usize,
+        stack: &mut Vec<usize>,
+        visited: &mut [bool],
+        paths: &mut Vec<Vec<usize>>,
+    ) {
+        let u = *stack.last().unwrap();
+        if u == dst {
+            paths.push(stack.clone());
+            return;
+        }
+        if stack.len() > max_hops {
+            return;
+        }
+        for &v in &adj[u] {
+            if !visited[v] {
+                visited[v] = true;
+                stack.push(v);
+                dfs(adj, dst, max_hops, stack, visited, paths);
+                stack.pop();
+                visited[v] = false;
+            }
+        }
+    }
+
+    dfs(&adj, dst, max_hops, &mut stack, &mut visited, &mut paths);
+    paths
+}
+
+/// The LP's view of one instance: link index map plus the solved rates.
+#[derive(Debug, Clone)]
+pub struct LpReference {
+    /// Maximum total throughput over all commodities, Gbps.
+    pub total_throughput_gbps: f64,
+    /// Per-transfer optimal rate, Gbps, keyed by transfer id (transfers
+    /// with no path to their destination are absent).
+    pub rates_gbps: HashMap<usize, f64>,
+}
+
+/// Undirected link key: `(min(u,v), max(u,v))`.
+fn link_key(u: usize, v: usize) -> (usize, usize) {
+    (u.min(v), u.max(v))
+}
+
+/// Solves the path-based max-throughput LP for `transfers` on `topology`.
+///
+/// Each link `(u, v)` with multiplicity `m` has capacity `m * theta`;
+/// each transfer is a commodity with demand `remaining / slot_len`,
+/// routed over all simple paths of at most `max_hops` links.
+pub fn lp_max_throughput(
+    topology: &Topology,
+    theta_gbps: f64,
+    transfers: &[Transfer],
+    slot_len_s: f64,
+    max_hops: usize,
+) -> LpReference {
+    let links = topology.links();
+    let link_index: HashMap<(usize, usize), usize> = links
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v, _))| (link_key(u, v), i))
+        .collect();
+    let capacities: Vec<f64> = links
+        .iter()
+        .map(|&(_, _, m)| m as f64 * theta_gbps)
+        .collect();
+
+    let mut problem = McfProblem::new(capacities);
+    let mut commodity_of: Vec<(usize, usize)> = Vec::new();
+    for t in transfers {
+        let paths = all_simple_paths(topology, t.src, t.dst, max_hops);
+        if paths.is_empty() {
+            continue;
+        }
+        let link_paths: Vec<Vec<usize>> = paths
+            .iter()
+            .map(|p| {
+                p.windows(2)
+                    .map(|w| link_index[&link_key(w[0], w[1])])
+                    .collect()
+            })
+            .collect();
+        let c = problem.add_commodity(t.demand_rate_gbps(slot_len_s), link_paths);
+        commodity_of.push((c, t.id));
+    }
+
+    let solution = problem.max_throughput();
+    let rates_gbps = commodity_of
+        .iter()
+        .map(|&(c, id)| (id, solution.commodity_rate(c)))
+        .collect();
+    LpReference {
+        total_throughput_gbps: solution.total_throughput,
+        rates_gbps,
+    }
+}
+
+/// Compares a greedy throughput against the LP optimum on the same
+/// topology and transfer set.
+pub fn greedy_gap(
+    topology: &Topology,
+    theta_gbps: f64,
+    transfers: &[Transfer],
+    slot_len_s: f64,
+    max_hops: usize,
+    greedy_throughput_gbps: f64,
+) -> GapReport {
+    let lp = lp_max_throughput(topology, theta_gbps, transfers, slot_len_s, max_hops);
+    GapReport::new(greedy_throughput_gbps, lp.total_throughput_gbps)
+}
+
+/// Verifies that a concrete rate assignment respects every LP constraint:
+/// per-link load at most `m * theta` and per-transfer rate at most its
+/// demand. Returns the first violated constraint as text.
+pub fn check_rates_lp_feasible(
+    topology: &Topology,
+    theta_gbps: f64,
+    transfers: &[Transfer],
+    slot_len_s: f64,
+    allocations: &[Allocation],
+) -> Result<(), String> {
+    const EPS: f64 = 1e-6;
+    let demand: HashMap<usize, f64> = transfers
+        .iter()
+        .map(|t| (t.id, t.demand_rate_gbps(slot_len_s)))
+        .collect();
+    let mut load: HashMap<(usize, usize), f64> = HashMap::new();
+    for alloc in allocations {
+        let d = demand
+            .get(&alloc.transfer)
+            .ok_or_else(|| format!("allocation for unknown transfer {}", alloc.transfer))?;
+        if alloc.total_rate() > d + EPS {
+            return Err(format!(
+                "transfer {} allocated {:.3} Gbps above demand {:.3} Gbps",
+                alloc.transfer,
+                alloc.total_rate(),
+                d
+            ));
+        }
+        for (path, rate) in &alloc.paths {
+            for w in path.windows(2) {
+                *load.entry(link_key(w[0], w[1])).or_insert(0.0) += rate;
+            }
+        }
+    }
+    for (&(u, v), &l) in &load {
+        let cap = topology.multiplicity(u, v) as f64 * theta_gbps;
+        if l > cap + EPS {
+            return Err(format!(
+                "link ({u}, {v}) carries {l:.3} Gbps over capacity {cap:.3} Gbps"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transfer(id: usize, src: usize, dst: usize, gbits: f64) -> Transfer {
+        Transfer {
+            id,
+            src,
+            dst,
+            volume_gbits: gbits,
+            remaining_gbits: gbits,
+            arrival_s: 0.0,
+            deadline_s: None,
+            starved_slots: 0,
+        }
+    }
+
+    #[test]
+    fn simple_paths_on_square() {
+        let mut topo = Topology::empty(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            topo.add_links(u, v, 1);
+        }
+        let mut paths = all_simple_paths(&topo, 0, 2, 4);
+        paths.sort();
+        assert_eq!(paths, vec![vec![0, 1, 2], vec![0, 3, 2]]);
+    }
+
+    #[test]
+    fn lp_uses_both_sides_of_a_ring() {
+        // One transfer across a square: the greedy shortest-path assignment
+        // would fill one side; the LP splits over both and doubles the rate.
+        let mut topo = Topology::empty(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            topo.add_links(u, v, 1);
+        }
+        let transfers = vec![transfer(0, 0, 2, 1000.0)];
+        let lp = lp_max_throughput(&topo, 10.0, &transfers, 10.0, 4);
+        assert!((lp.total_throughput_gbps - 20.0).abs() < 1e-6);
+        assert!((lp.rates_gbps[&0] - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn demand_caps_the_lp() {
+        let mut topo = Topology::empty(2);
+        topo.add_links(0, 1, 4);
+        // Demand 100 gbits over 10 s = 10 Gbps, well under the 40 Gbps link.
+        let transfers = vec![transfer(0, 0, 1, 100.0)];
+        let lp = lp_max_throughput(&topo, 10.0, &transfers, 10.0, 4);
+        assert!((lp.total_throughput_gbps - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_rates_detected() {
+        let mut topo = Topology::empty(2);
+        topo.add_links(0, 1, 1);
+        let transfers = vec![transfer(0, 0, 1, 10_000.0)];
+        let allocations = vec![Allocation {
+            transfer: 0,
+            paths: vec![(vec![0, 1], 25.0)],
+        }];
+        let err = check_rates_lp_feasible(&topo, 10.0, &transfers, 10.0, &allocations).unwrap_err();
+        assert!(err.contains("over capacity"), "{err}");
+    }
+}

@@ -1,0 +1,424 @@
+//! Differential replay: drive the full control loop over fuzzed scenarios
+//! and check every invariant at every slot.
+//!
+//! [`replay_scenario`] runs one [`Scenario`] through an [`OwanEngine`]
+//! slot by slot — admitting requests, applying due failures via
+//! [`degrade_plant`], advancing transfers fluidly — and cross-checks each
+//! emitted plan with [`check_plan`] plus the transition between
+//! consecutive plans with [`check_timeline`]. [`fuzz`] sweeps seed ranges;
+//! on divergence the failing scenario is shrunk by [`minimize`] to a
+//! [`Reproducer`] — a seed plus the surviving request/failure indices,
+//! which regenerate the minimal case exactly (generation is
+//! deterministic).
+
+use crate::fuzz::Scenario;
+use crate::invariants::{check_plan, check_timeline};
+use owan_core::{
+    default_topology, AnnealConfig, OwanConfig, OwanEngine, SlotInput, SlotPlan, TrafficEngineer,
+    Transfer,
+};
+use owan_sim::{degrade_plant, plan_is_feasible, Failure};
+use owan_update::{plan_consistent, NetworkDelta, UpdateParams};
+
+const EPS: f64 = 1e-9;
+
+/// Replay tunables. The defaults keep debug-mode replay of one scenario
+/// in the low tens of milliseconds so hundreds of seeds fit in a test.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Annealing iterations per slot (the production default is 400;
+    /// replay shrinks it — the oracle checks hold for *any* iteration
+    /// count).
+    pub anneal_iterations: usize,
+    /// Also verify the update timeline between consecutive plans.
+    pub check_updates: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            anneal_iterations: 40,
+            check_updates: true,
+        }
+    }
+}
+
+/// An invariant violation observed during replay.
+#[derive(Debug, Clone)]
+pub struct ReplayFailure {
+    /// Slot the violation surfaced in.
+    pub slot: usize,
+    /// The violated invariant, rendered (`"LinkCapacity: ..."`).
+    pub message: String,
+}
+
+impl std::fmt::Display for ReplayFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "slot {}: {}", self.slot, self.message)
+    }
+}
+
+/// What a clean replay covered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayStats {
+    /// Slots executed.
+    pub slots: usize,
+    /// Plans checked with [`check_plan`].
+    pub plans_checked: usize,
+    /// Plan transitions checked with [`check_timeline`].
+    pub updates_checked: usize,
+    /// Transfers that completed within the horizon.
+    pub completed: usize,
+}
+
+/// Replays one scenario, checking every invariant at every slot.
+pub fn replay_scenario(
+    scenario: &Scenario,
+    config: &ReplayConfig,
+) -> Result<ReplayStats, ReplayFailure> {
+    let theta = scenario.plant.params().wavelength_capacity_gbps;
+    let update_params = UpdateParams {
+        theta_gbps: theta,
+        circuit_time_s: scenario.plant.params().circuit_reconfig_time_s,
+        ..Default::default()
+    };
+    let owan_config = OwanConfig {
+        anneal: AnnealConfig {
+            max_iterations: config.anneal_iterations,
+            seed: scenario.seed.wrapping_add(1),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut engine = OwanEngine::new(default_topology(&scenario.plant), owan_config);
+
+    let mut transfers: Vec<Transfer> = scenario
+        .requests
+        .iter()
+        .enumerate()
+        .map(|(id, r)| Transfer::from_request(id, r))
+        .collect();
+
+    let mut stats = ReplayStats::default();
+    let mut current_plant = scenario.plant.clone();
+    let mut applied = 0usize;
+    let mut prev_plan: Option<SlotPlan> = None;
+
+    for slot in 0..scenario.max_slots {
+        let now = slot as f64 * scenario.slot_len_s;
+        stats.slots = slot + 1;
+
+        // Apply failures due by this slot (mirrors `simulate_with_failures`).
+        let due = scenario
+            .failures
+            .iter()
+            .take_while(|e| e.time_s <= now + EPS)
+            .count();
+        if due > applied {
+            let active: Vec<Failure> = scenario.failures[..due].iter().map(|e| e.failure).collect();
+            current_plant = degrade_plant(&scenario.plant, &active);
+            applied = due;
+        }
+
+        let active: Vec<Transfer> = transfers
+            .iter()
+            .filter(|t| t.arrival_s <= now + EPS && !t.is_complete())
+            .cloned()
+            .collect();
+        let pending_future = transfers
+            .iter()
+            .any(|t| t.arrival_s > now + EPS && !t.is_complete());
+        if active.is_empty() && !pending_future {
+            break;
+        }
+
+        let plan = engine.plan_slot(
+            &current_plant,
+            &SlotInput {
+                transfers: &active,
+                slot_len_s: scenario.slot_len_s,
+                now_s: now,
+            },
+        );
+
+        // Oracle 1: the simulator's own feasibility gate.
+        if let Err(e) = plan_is_feasible(&plan, theta) {
+            return Err(ReplayFailure {
+                slot,
+                message: format!("PlanError: {e}"),
+            });
+        }
+        // Oracle 2: the full cross-layer invariant suite.
+        if let Err(v) = check_plan(&current_plant, &active, scenario.slot_len_s, &plan) {
+            return Err(ReplayFailure {
+                slot,
+                message: v.to_string(),
+            });
+        }
+        stats.plans_checked += 1;
+
+        // Oracle 3: the transition from the previous plan must stay
+        // blackhole-, loop-, and overload-free throughout the update.
+        if config.check_updates {
+            if let Some(prev) = &prev_plan {
+                let delta = NetworkDelta::from_plans(
+                    &prev.topology,
+                    &prev.allocations,
+                    &plan.topology,
+                    &plan.allocations,
+                    scenario.plant.params().wavelengths_per_fiber,
+                );
+                let update = plan_consistent(&delta, &update_params);
+                if let Err(v) = check_timeline(&delta, &update, &update_params) {
+                    return Err(ReplayFailure {
+                        slot,
+                        message: v.to_string(),
+                    });
+                }
+                stats.updates_checked += 1;
+            }
+        }
+        prev_plan = Some(plan.clone());
+
+        // Fluid advance (rate efficiency 1, as in `sim::simulate`).
+        for alloc in &plan.allocations {
+            let rate = alloc.total_rate();
+            if rate <= EPS {
+                continue;
+            }
+            let t = &mut transfers[alloc.transfer];
+            if rate * scenario.slot_len_s + EPS >= t.remaining_gbits {
+                t.remaining_gbits = 0.0;
+            } else {
+                t.remaining_gbits -= rate * scenario.slot_len_s;
+            }
+        }
+    }
+
+    stats.completed = transfers.iter().filter(|t| t.is_complete()).count();
+    Ok(stats)
+}
+
+/// A minimized failing case: the seed plus the request/failure indices
+/// that survived shrinking. `Scenario::generate(seed).subset(..)`
+/// reconstructs it exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reproducer {
+    /// Generating seed.
+    pub seed: u64,
+    /// Surviving request indices (into the generated request vector).
+    pub request_idx: Vec<usize>,
+    /// Surviving failure indices (into the generated failure vector).
+    pub failure_idx: Vec<usize>,
+    /// The violation the minimal case still triggers.
+    pub message: String,
+}
+
+impl Reproducer {
+    /// Rebuilds the minimal scenario this reproducer describes.
+    pub fn scenario(&self) -> Scenario {
+        Scenario::generate(self.seed).subset(&self.request_idx, &self.failure_idx)
+    }
+
+    /// Plain-text serialization (one `key: value` per line).
+    pub fn to_text(&self) -> String {
+        let join = |v: &[usize]| {
+            v.iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        format!(
+            "owan-oracle reproducer v1\nseed: {}\nrequests: {}\nfailures: {}\nviolation: {}\n",
+            self.seed,
+            join(&self.request_idx),
+            join(&self.failure_idx),
+            self.message
+        )
+    }
+
+    /// Parses [`Reproducer::to_text`] output.
+    pub fn from_text(text: &str) -> Result<Reproducer, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("owan-oracle reproducer v1") => {}
+            other => return Err(format!("bad header: {other:?}")),
+        }
+        let mut seed = None;
+        let mut request_idx = Vec::new();
+        let mut failure_idx = Vec::new();
+        let mut message = String::new();
+        for line in lines {
+            let Some((key, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            match key {
+                "seed" => seed = Some(value.parse::<u64>().map_err(|e| format!("bad seed: {e}"))?),
+                "requests" => {
+                    request_idx = parse_indices(value)?;
+                }
+                "failures" => {
+                    failure_idx = parse_indices(value)?;
+                }
+                "violation" => {
+                    message = value.to_string();
+                }
+                _ => {}
+            }
+        }
+        Ok(Reproducer {
+            seed: seed.ok_or("missing seed")?,
+            request_idx,
+            failure_idx,
+            message,
+        })
+    }
+}
+
+fn parse_indices(value: &str) -> Result<Vec<usize>, String> {
+    value
+        .split_whitespace()
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|e| format!("bad index {s}: {e}"))
+        })
+        .collect()
+}
+
+/// Greedy delta-debugging: drop one request (then one failure) at a time,
+/// keeping any removal that still reproduces *a* violation. The result is
+/// 1-minimal — removing any single surviving element makes the failure
+/// disappear.
+pub fn minimize(scenario: &Scenario, config: &ReplayConfig) -> Reproducer {
+    let mut request_idx: Vec<usize> = (0..scenario.requests.len()).collect();
+    let mut failure_idx: Vec<usize> = (0..scenario.failures.len()).collect();
+    let base = Scenario::generate(scenario.seed);
+
+    let still_fails = |req: &[usize], fail: &[usize]| -> Option<String> {
+        replay_scenario(&base.subset(req, fail), config)
+            .err()
+            .map(|f| f.message)
+    };
+    let mut message = match still_fails(&request_idx, &failure_idx) {
+        Some(m) => m,
+        // The caller observed a failure the base scenario does not
+        // reproduce (e.g. it replayed under different options); return
+        // the unshrunk index set.
+        None => {
+            return Reproducer {
+                seed: scenario.seed,
+                request_idx,
+                failure_idx,
+                message: String::from("not reproducible under minimizer options"),
+            }
+        }
+    };
+
+    let mut shrunk = true;
+    while shrunk {
+        shrunk = false;
+        let mut i = 0;
+        while i < request_idx.len() {
+            let mut candidate = request_idx.clone();
+            candidate.remove(i);
+            if let Some(m) = still_fails(&candidate, &failure_idx) {
+                request_idx = candidate;
+                message = m;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut j = 0;
+        while j < failure_idx.len() {
+            let mut candidate = failure_idx.clone();
+            candidate.remove(j);
+            if let Some(m) = still_fails(&request_idx, &candidate) {
+                failure_idx = candidate;
+                message = m;
+                shrunk = true;
+            } else {
+                j += 1;
+            }
+        }
+    }
+
+    Reproducer {
+        seed: scenario.seed,
+        request_idx,
+        failure_idx,
+        message,
+    }
+}
+
+/// What a fuzz sweep covered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FuzzStats {
+    /// Seeds replayed cleanly.
+    pub seeds: u64,
+    /// Total slots executed.
+    pub slots: usize,
+    /// Total plans checked.
+    pub plans_checked: usize,
+    /// Total transitions checked.
+    pub updates_checked: usize,
+}
+
+/// Replays `count` consecutive seeds starting at `start`. Returns stats on
+/// success, or the first failure minimized to a [`Reproducer`].
+pub fn fuzz(start: u64, count: u64, config: &ReplayConfig) -> Result<FuzzStats, Reproducer> {
+    let mut stats = FuzzStats::default();
+    for seed in start..start + count {
+        let scenario = Scenario::generate(seed);
+        match replay_scenario(&scenario, config) {
+            Ok(s) => {
+                stats.seeds += 1;
+                stats.slots += s.slots;
+                stats.plans_checked += s.plans_checked;
+                stats.updates_checked += s.updates_checked;
+            }
+            Err(_) => return Err(minimize(&scenario, config)),
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_seed_replays_ok() {
+        let scenario = Scenario::generate(0);
+        let stats = replay_scenario(&scenario, &ReplayConfig::default())
+            .unwrap_or_else(|f| panic!("seed 0 diverged: {f}"));
+        assert!(stats.plans_checked > 0);
+    }
+
+    #[test]
+    fn reproducer_text_round_trips() {
+        let r = Reproducer {
+            seed: 42,
+            request_idx: vec![0, 3, 7],
+            failure_idx: vec![1],
+            message: String::from("LinkCapacity: link (0, 1) over capacity"),
+        };
+        let parsed = Reproducer::from_text(&r.to_text()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn reproducer_rejects_garbage() {
+        assert!(Reproducer::from_text("not a reproducer").is_err());
+        assert!(Reproducer::from_text("owan-oracle reproducer v1\nseed: banana\n").is_err());
+    }
+
+    #[test]
+    fn minimize_on_passing_scenario_is_graceful() {
+        let scenario = Scenario::generate(0);
+        let r = minimize(&scenario, &ReplayConfig::default());
+        assert_eq!(r.seed, 0);
+        assert!(r.message.contains("not reproducible"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Differential tests against the exact references: on every enumerable
+//! instance, the annealing search must stay within a quantified gap of the
+//! brute-force topology optimum, and the greedy SJF/EDF rates must be
+//! LP-feasible and LP-bounded.
+
+use owan_core::{
+    anneal, assign_rates, compute_energy, default_topology, AnnealConfig, CircuitBuildConfig,
+    EnergyContext, RateAssignConfig, SchedulingPolicy, Transfer,
+};
+use owan_optical::{FiberPlant, OpticalParams};
+use owan_oracle::exact::best_topology_by_enumeration;
+use owan_oracle::lp::{check_rates_lp_feasible, lp_max_throughput};
+
+fn ring_plant(n: usize, ports: u32, theta: f64, phi: u32) -> FiberPlant {
+    let params = OpticalParams {
+        wavelength_capacity_gbps: theta,
+        wavelengths_per_fiber: phi,
+        ..Default::default()
+    };
+    let mut p = FiberPlant::new(params);
+    for i in 0..n {
+        p.add_site(&format!("S{i}"), ports, 2);
+    }
+    for i in 0..n {
+        p.add_fiber(i, (i + 1) % n, 300.0);
+    }
+    p
+}
+
+fn transfer(id: usize, src: usize, dst: usize, gbits: f64) -> Transfer {
+    Transfer {
+        id,
+        src,
+        dst,
+        volume_gbits: gbits,
+        remaining_gbits: gbits,
+        arrival_s: 0.0,
+        deadline_s: None,
+        starved_slots: 0,
+    }
+}
+
+/// The battery of enumerable instances: (plant, transfers) pairs spanning
+/// 3–6 router sites, skewed and uniform demand, demand-limited and
+/// capacity-limited regimes.
+fn instances() -> Vec<(FiberPlant, Vec<Transfer>, &'static str)> {
+    vec![
+        (
+            ring_plant(3, 2, 10.0, 8),
+            vec![transfer(0, 0, 1, 500.0), transfer(1, 1, 2, 500.0)],
+            "3-ring capacity-limited",
+        ),
+        (
+            ring_plant(4, 2, 10.0, 8),
+            vec![transfer(0, 0, 1, 400.0), transfer(1, 2, 3, 400.0)],
+            "4-ring two disjoint hotspots",
+        ),
+        (
+            ring_plant(4, 3, 10.0, 8),
+            vec![
+                transfer(0, 0, 2, 300.0),
+                transfer(1, 1, 3, 300.0),
+                transfer(2, 0, 1, 50.0),
+            ],
+            "4-ring crossing demands",
+        ),
+        (
+            ring_plant(5, 2, 10.0, 8),
+            vec![
+                transfer(0, 0, 2, 200.0),
+                transfer(1, 1, 4, 200.0),
+                transfer(2, 3, 0, 60.0),
+            ],
+            "5-ring mixed",
+        ),
+        (
+            ring_plant(6, 2, 10.0, 4),
+            vec![
+                transfer(0, 0, 3, 250.0),
+                transfer(1, 1, 4, 250.0),
+                transfer(2, 2, 5, 250.0),
+            ],
+            "6-ring antipodal triple",
+        ),
+        (
+            ring_plant(5, 2, 10.0, 8),
+            vec![transfer(0, 0, 1, 30.0)],
+            "5-ring demand-limited single",
+        ),
+    ]
+}
+
+fn ctx<'a>(
+    plant: &'a FiberPlant,
+    fd: &'a [Vec<f64>],
+    transfers: &'a [Transfer],
+    policy: SchedulingPolicy,
+) -> EnergyContext<'a> {
+    EnergyContext {
+        plant,
+        fiber_dist: fd,
+        transfers,
+        policy,
+        slot_len_s: 10.0,
+        circuit_config: CircuitBuildConfig::default(),
+        rate_config: RateAssignConfig::default(),
+    }
+}
+
+/// Anti-cheat bound: the annealing objective can never exceed the
+/// brute-force optimum, and on these small instances it must land within
+/// half the optimum (in practice it hits the optimum on most of them).
+#[test]
+fn annealing_within_reported_gap_of_enumeration_optimum() {
+    for (plant, transfers, name) in instances() {
+        let fd = plant.fiber_distance_matrix();
+        let c = ctx(&plant, &fd, &transfers, SchedulingPolicy::ShortestJobFirst);
+        let exact = best_topology_by_enumeration(&c)
+            .unwrap_or_else(|e| panic!("{name}: enumeration failed: {e}"));
+        assert!(exact.enumerated > 0, "{name}");
+
+        let config = AnnealConfig {
+            max_iterations: 300,
+            seed: 7,
+            ..Default::default()
+        };
+        let result = anneal(&c, &default_topology(&plant), &config);
+        let heuristic = result.energy_gbps();
+        let optimal = exact.best_energy_gbps;
+        assert!(
+            heuristic <= optimal + 1e-6,
+            "{name}: annealing 'beat' the exact optimum ({heuristic} > {optimal}) — \
+             the enumeration or the energy function is broken"
+        );
+        let gap = if optimal > 1e-9 {
+            (optimal - heuristic) / optimal
+        } else {
+            0.0
+        };
+        assert!(
+            gap <= 0.5,
+            "{name}: annealing gap {gap:.3} ({heuristic} vs optimum {optimal}) too large"
+        );
+    }
+}
+
+/// The enumeration optimum itself must be optically honest: re-scoring the
+/// reported best topology reproduces the reported energy.
+#[test]
+fn enumeration_report_is_reproducible() {
+    for (plant, transfers, name) in instances() {
+        let fd = plant.fiber_distance_matrix();
+        let c = ctx(&plant, &fd, &transfers, SchedulingPolicy::ShortestJobFirst);
+        let exact = best_topology_by_enumeration(&c).unwrap();
+        let rescored = compute_energy(&c, &exact.best).energy_gbps();
+        assert!(
+            (rescored - exact.best_energy_gbps).abs() < 1e-9,
+            "{name}: reported optimum {} does not re-score ({rescored})",
+            exact.best_energy_gbps
+        );
+    }
+}
+
+/// On every instance and both policies: greedy rates are feasible for the
+/// exact LP's constraints, and greedy throughput never exceeds the LP
+/// max-throughput optimum on the same topology.
+#[test]
+fn greedy_rates_lp_feasible_and_lp_bounded() {
+    let slot_len = 10.0;
+    for (plant, transfers, name) in instances() {
+        let fd = plant.fiber_distance_matrix();
+        for policy in [
+            SchedulingPolicy::ShortestJobFirst,
+            SchedulingPolicy::EarliestDeadlineFirst,
+        ] {
+            let c = ctx(&plant, &fd, &transfers, policy);
+            // Rate the transfers on the enumeration-optimal topology (any
+            // fixed topology works; this one exercises dense packings).
+            let exact = best_topology_by_enumeration(&c).unwrap();
+            let theta = plant.params().wavelength_capacity_gbps;
+            let rates = assign_rates(
+                &exact.best,
+                theta,
+                &transfers,
+                policy,
+                slot_len,
+                &RateAssignConfig::default(),
+            );
+            check_rates_lp_feasible(&exact.best, theta, &transfers, slot_len, &rates.allocations)
+                .unwrap_or_else(|e| panic!("{name} ({policy:?}): greedy rates infeasible: {e}"));
+            let lp = lp_max_throughput(&exact.best, theta, &transfers, slot_len, 8);
+            assert!(
+                rates.throughput_gbps <= lp.total_throughput_gbps + 1e-6,
+                "{name} ({policy:?}): greedy {} beat the LP optimum {}",
+                rates.throughput_gbps,
+                lp.total_throughput_gbps
+            );
+        }
+    }
+}
+
+/// The LP reference is demand-capped: with a single tiny transfer the LP
+/// optimum equals the demand rate exactly, and the greedy matches it.
+#[test]
+fn lp_and_greedy_agree_in_demand_limited_regime() {
+    let plant = ring_plant(4, 2, 10.0, 8);
+    let transfers = vec![transfer(0, 0, 1, 30.0)]; // 3 Gbps over 10 s
+    let fd = plant.fiber_distance_matrix();
+    let c = ctx(&plant, &fd, &transfers, SchedulingPolicy::ShortestJobFirst);
+    let topo = default_topology(&plant);
+    let out = compute_energy(&c, &topo);
+    let lp = lp_max_throughput(&out.built.achieved, 10.0, &transfers, 10.0, 8);
+    assert!((lp.total_throughput_gbps - 3.0).abs() < 1e-6);
+    assert!((out.rates.throughput_gbps - 3.0).abs() < 1e-6);
+}

@@ -13,7 +13,7 @@
 //! This is the component a deployment would run: submit requests, tick the
 //! clock, read back rate allocations and the device operation schedule.
 
-use crate::sim::CompletionRecord;
+use crate::sim::{CompletionRecord, PlanError};
 use crate::telemetry::{SimTelemetry, SlotTelemetry};
 use owan_core::{SlotInput, SlotPlan, TrafficEngineer, Transfer, TransferRequest};
 use owan_obs::Recorder;
@@ -78,6 +78,10 @@ pub struct ControllerResult {
     /// Per-slot controller telemetry, present when the run was made with
     /// a recording recorder (see [`run_controller_observed`]).
     pub telemetry: Option<Vec<SlotTelemetry>>,
+    /// Set when the engine emitted an infeasible plan: the slot it happened
+    /// in and the violated feasibility condition. The run stops at that
+    /// slot; transfers still pending are reported unfinished.
+    pub plan_error: Option<(usize, PlanError)>,
 }
 
 impl ControllerResult {
@@ -182,6 +186,7 @@ pub fn run_controller_observed(
     let mut makespan_s: f64 = 0.0;
     let mut update_ops = 0usize;
     let mut transition_loss_gbits = 0.0;
+    let mut plan_error: Option<(usize, PlanError)> = None;
 
     for slot in 0..config.max_slots {
         let now = slot as f64 * config.slot_len_s;
@@ -210,8 +215,10 @@ pub fn run_controller_observed(
             },
         );
         let plan_ns = recorder.now_ns().saturating_sub(plan_start_ns);
-        crate::sim::plan_is_feasible(&plan, theta)
-            .unwrap_or_else(|e| panic!("{} emitted an infeasible plan: {e}", engine.name()));
+        if let Err(e) = crate::sim::plan_is_feasible(&plan, theta) {
+            plan_error = Some((slot, e));
+            break;
+        }
 
         // Schedule the transition from the previous state.
         let mut slot_update_ops = 0usize;
@@ -318,6 +325,7 @@ pub fn run_controller_observed(
         update_ops,
         transition_loss_gbits,
         telemetry: telemetry.map(|_| slot_rows),
+        plan_error,
     }
 }
 

@@ -12,7 +12,7 @@
 //! [`simulate_with_failures`] drives an engine through a timeline of
 //! failure events, presenting the degraded plant from each event's slot on.
 
-use crate::sim::{plan_is_feasible, SimConfig, SimResult};
+use crate::sim::{plan_is_feasible, PlanError, SimConfig, SimResult};
 use owan_core::{SlotInput, TrafficEngineer, Transfer, TransferRequest};
 use owan_optical::{FiberId, FiberPlant, SiteId};
 
@@ -101,6 +101,7 @@ pub fn simulate_with_failures(
     let mut throughput_series = Vec::new();
     let mut makespan_s: f64 = 0.0;
     let mut slots = 0;
+    let mut plan_error: Option<(usize, PlanError)> = None;
     let mut current_plant = plant.clone();
     let mut applied = 0usize;
     // Events sorted by time.
@@ -150,8 +151,10 @@ pub fn simulate_with_failures(
                 now_s: now,
             },
         );
-        plan_is_feasible(&plan, theta)
-            .unwrap_or_else(|e| panic!("{} emitted an infeasible plan: {e}", engine.name()));
+        if let Err(e) = plan_is_feasible(&plan, theta) {
+            plan_error = Some((slot, e));
+            break;
+        }
         throughput_series.push((now, plan.throughput_gbps));
 
         for alloc in &plan.allocations {
@@ -195,6 +198,7 @@ pub fn simulate_with_failures(
         throughput_series,
         slots,
         telemetry: None,
+        plan_error,
     }
 }
 

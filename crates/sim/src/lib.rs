@@ -49,7 +49,8 @@ pub use runner::{
     make_engine, run_comparison, run_engine, run_engine_observed, EngineKind, RunnerConfig,
 };
 pub use sim::{
-    plan_is_feasible, simulate, simulate_observed, CompletionRecord, SimConfig, SimResult,
+    plan_is_feasible, simulate, simulate_observed, CompletionRecord, PlanError, SimConfig,
+    SimResult,
 };
 pub use telemetry::SlotTelemetry;
 pub use validate::{validate_simulator, ValidationReport};

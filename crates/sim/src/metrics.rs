@@ -196,6 +196,7 @@ mod tests {
             throughput_series: Vec::new(),
             slots: 0,
             telemetry: None,
+            plan_error: None,
         }
     }
 

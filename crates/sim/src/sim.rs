@@ -107,6 +107,10 @@ pub struct SimResult {
     /// Per-slot controller telemetry, present when the run was made with
     /// a recording [`Recorder`] (see [`simulate_observed`]).
     pub telemetry: Option<Vec<SlotTelemetry>>,
+    /// Set when the engine emitted an infeasible plan: the slot it happened
+    /// in and the violated feasibility condition. The run stops at that
+    /// slot; transfers still pending are reported unfinished.
+    pub plan_error: Option<(usize, PlanError)>,
 }
 
 impl SimResult {
@@ -116,14 +120,66 @@ impl SimResult {
     }
 }
 
+/// Why a [`SlotPlan`] failed the feasibility check — a bug in the engine
+/// that emitted it, not an operational condition. Fuzz harnesses record it
+/// in [`SimResult::plan_error`] instead of aborting the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanError {
+    /// An allocation carried a negative rate.
+    NegativeRate {
+        /// Offending transfer id.
+        transfer: usize,
+        /// The negative rate, Gbps.
+        rate_gbps: f64,
+    },
+    /// Allocated paths load a link beyond its circuit capacity.
+    LinkOverCapacity {
+        /// Link endpoints (u < v).
+        u: usize,
+        /// Link endpoints (u < v).
+        v: usize,
+        /// Total load crossing the link, Gbps.
+        load_gbps: f64,
+        /// Link capacity (multiplicity × θ), Gbps.
+        capacity_gbps: f64,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NegativeRate {
+                transfer,
+                rate_gbps,
+            } => {
+                write!(f, "negative rate {rate_gbps} for transfer {transfer}")
+            }
+            PlanError::LinkOverCapacity {
+                u,
+                v,
+                load_gbps,
+                capacity_gbps,
+            } => write!(
+                f,
+                "link ({u},{v}) carries {load_gbps} over capacity {capacity_gbps}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// Verifies that a plan does not oversubscribe any link of its topology.
-pub fn plan_is_feasible(plan: &SlotPlan, theta: f64) -> Result<(), String> {
+pub fn plan_is_feasible(plan: &SlotPlan, theta: f64) -> Result<(), PlanError> {
     let n = plan.topology.site_count();
     let mut load = vec![0.0f64; n * n];
     for a in &plan.allocations {
         for (path, r) in &a.paths {
             if *r < -EPS {
-                return Err(format!("negative rate {r} for transfer {}", a.transfer));
+                return Err(PlanError::NegativeRate {
+                    transfer: a.transfer,
+                    rate_gbps: *r,
+                });
             }
             for w in path.windows(2) {
                 load[w[0] * n + w[1]] += r;
@@ -135,10 +191,12 @@ pub fn plan_is_feasible(plan: &SlotPlan, theta: f64) -> Result<(), String> {
         for v in u + 1..n {
             let cap = plan.topology.multiplicity(u, v) as f64 * theta;
             if load[u * n + v] > cap + 1e-6 {
-                return Err(format!(
-                    "link ({u},{v}) carries {} over capacity {cap}",
-                    load[u * n + v]
-                ));
+                return Err(PlanError::LinkOverCapacity {
+                    u,
+                    v,
+                    load_gbps: load[u * n + v],
+                    capacity_gbps: cap,
+                });
             }
         }
     }
@@ -148,9 +206,10 @@ pub fn plan_is_feasible(plan: &SlotPlan, theta: f64) -> Result<(), String> {
 /// Runs `engine` over `requests` on `plant` until every transfer completes
 /// (or `max_slots` elapse).
 ///
-/// # Panics
-/// Panics if the engine ever emits an infeasible plan — that is a bug in
-/// the engine, not an operational condition.
+/// If the engine ever emits an infeasible plan — a bug in the engine, not
+/// an operational condition — the run stops at that slot and reports the
+/// violation in [`SimResult::plan_error`], so differential fuzz harnesses
+/// can record and minimize the failure instead of aborting.
 pub fn simulate(
     plant: &FiberPlant,
     requests: &[TransferRequest],
@@ -209,6 +268,7 @@ pub fn simulate_observed(
     let mut throughput_series = Vec::new();
     let mut makespan_s: f64 = 0.0;
     let mut slots = 0;
+    let mut plan_error: Option<(usize, PlanError)> = None;
 
     for slot in 0..config.max_slots {
         let now = slot as f64 * config.slot_len_s;
@@ -240,8 +300,10 @@ pub fn simulate_observed(
             },
         );
         let plan_ns = recorder.now_ns().saturating_sub(plan_start_ns);
-        plan_is_feasible(&plan, theta)
-            .unwrap_or_else(|e| panic!("{} emitted an infeasible plan: {e}", engine.name()));
+        if let Err(e) = plan_is_feasible(&plan, theta) {
+            plan_error = Some((slot, e));
+            break;
+        }
         throughput_series.push((now, plan.throughput_gbps));
 
         // Telemetry-only update scheduling: the idealized simulator does
@@ -359,6 +421,7 @@ pub fn simulate_observed(
         throughput_series,
         slots,
         telemetry: telemetry.map(|_| slot_rows),
+        plan_error,
     }
 }
 

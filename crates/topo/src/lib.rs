@@ -24,6 +24,60 @@ pub mod isp;
 use owan_core::Topology;
 use owan_optical::FiberPlant;
 
+/// Why a [`Network`] failed [`Network::validate`] — the static topology
+/// does not match the plant it ships with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkValidationError {
+    /// The static topology asks for more links at some site than its
+    /// router has ports.
+    PortsExceeded {
+        /// Network name.
+        network: String,
+    },
+    /// The static topology leaves some router site unreachable.
+    NotConnected {
+        /// Network name.
+        network: String,
+    },
+    /// A router site leaves ports unused — on the testbed every port
+    /// drives a wavelength, so the static topology must spend them all.
+    PortsUnused {
+        /// Network name.
+        network: String,
+        /// Offending site.
+        site: usize,
+        /// Ports the static topology uses at the site.
+        used: u32,
+        /// Ports the router actually has.
+        available: u32,
+    },
+}
+
+impl std::fmt::Display for NetworkValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkValidationError::PortsExceeded { network } => {
+                write!(f, "{network}: static topology exceeds router ports")
+            }
+            NetworkValidationError::NotConnected { network } => {
+                write!(f, "{network}: static topology does not connect routers")
+            }
+            NetworkValidationError::PortsUnused {
+                network,
+                site,
+                used,
+                available,
+            } => write!(
+                f,
+                "{network}: site {site} uses {used} of {available} ports \
+                 (must use all, as on the testbed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetworkValidationError {}
+
 /// A named evaluation network: physical plant + static reference topology.
 #[derive(Debug, Clone)]
 pub struct Network {
@@ -61,31 +115,29 @@ impl Network {
     }
 
     /// Validates internal consistency (ports cover the static topology,
-    /// topology connects all routers). Returns an error message on
-    /// violation; used by tests for every shipped network.
-    pub fn validate(&self) -> Result<(), String> {
+    /// topology connects all routers). Returns a typed violation on
+    /// failure; used by tests for every shipped network.
+    pub fn validate(&self) -> Result<(), NetworkValidationError> {
         if !self.static_topology.ports_feasible(&self.plant) {
-            return Err(format!(
-                "{}: static topology exceeds router ports",
-                self.name
-            ));
+            return Err(NetworkValidationError::PortsExceeded {
+                network: self.name.clone(),
+            });
         }
         if !self.static_topology.connects_routers(&self.plant) {
-            return Err(format!(
-                "{}: static topology does not connect routers",
-                self.name
-            ));
+            return Err(NetworkValidationError::NotConnected {
+                network: self.name.clone(),
+            });
         }
         for s in 0..self.plant.site_count() {
             if self.plant.site(s).has_router()
                 && self.static_topology.degree(s) != self.plant.router_ports(s)
             {
-                return Err(format!(
-                    "{}: site {s} uses {} of {} ports (must use all, as on the testbed)",
-                    self.name,
-                    self.static_topology.degree(s),
-                    self.plant.router_ports(s)
-                ));
+                return Err(NetworkValidationError::PortsUnused {
+                    network: self.name.clone(),
+                    site: s,
+                    used: self.static_topology.degree(s),
+                    available: self.plant.router_ports(s),
+                });
             }
         }
         Ok(())

@@ -11,7 +11,7 @@ proptest! {
     #[test]
     fn isp_generator_valid_for_every_seed(seed in any::<u64>()) {
         let net = isp_backbone(seed);
-        net.validate().map_err(TestCaseError::fail)?;
+        net.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
         // Connected fiber plant.
         for s in 1..net.plant.site_count() {
             prop_assert!(net.plant.fiber_distance(0, s).is_finite());
@@ -36,7 +36,7 @@ proptest! {
     #[test]
     fn interdc_generator_valid_for_every_seed(seed in any::<u64>()) {
         let net = inter_dc(seed);
-        net.validate().map_err(TestCaseError::fail)?;
+        net.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
         let fd = net.plant.fiber_distance_matrix();
         let built = build_topology(
             &net.plant,

@@ -1,11 +1,13 @@
 //! Command-line driver: run any engine on any evaluation network and
-//! print the §5.1 metrics.
+//! print the §5.1 metrics, or verify the control loop against the oracle.
 //!
 //! ```text
 //! owan-cli [--net internet2|isp|interdc] [--engine owan|maxflow|maxmin|swan|tempus|amoeba|greedy]
 //!          [--load λ] [--sigma σ] [--slot SECONDS] [--duration SECONDS]
 //!          [--seed N] [--iters N] [--max-requests N]
 //!          [--obs FILE.jsonl] [--obs-summary]
+//! owan-cli verify [--seeds N] [--start S] [--replay FILE] [--net NAME]
+//!                 [--slots N] [--iters N] [--load λ] [--seed N] [--out FILE]
 //! ```
 //!
 //! With `--sigma` the workload carries deadlines and the deadline metrics
@@ -14,11 +16,17 @@
 //! timing table. Either flag enables recording (off by default; a
 //! disabled recorder changes no engine output).
 //!
+//! `verify` replays fuzzed or named-network scenarios through the real
+//! controller with every cross-layer invariant checked each slot. On
+//! divergence it exits 1 and prints (or writes, with `--out`) a minimized
+//! reproducer that `--replay FILE` re-runs exactly.
+//!
 //! Example:
 //! `cargo run --release --bin owan-cli -- --net internet2 --engine owan --load 1.5`
 
 use owan::core::SchedulingPolicy;
 use owan::obs::{format_stage_table, Recorder};
+use owan::oracle::{fuzz_seeds, replay_scenario, ReplayConfig, Reproducer, Scenario};
 use owan::sim::metrics::{self, SizeBin};
 use owan::sim::runner::{run_engine_observed, EngineKind, RunnerConfig};
 use owan::sim::SimConfig;
@@ -26,7 +34,9 @@ use owan::topo::{inter_dc, internet2_testbed, isp_backbone, Network};
 use owan::workload::{generate, WorkloadConfig};
 
 const USAGE: &str = "usage: owan-cli [OPTIONS]
+       owan-cli verify [OPTIONS]
 
+run options:
   --net NAME          evaluation network: internet2 | isp | interdc  [internet2]
   --engine NAME       owan | maxflow | maxmin | swan | tempus | amoeba | greedy  [owan]
   --load L            workload load factor lambda  [1.0]
@@ -38,7 +48,21 @@ const USAGE: &str = "usage: owan-cli [OPTIONS]
   --max-requests N    truncate the workload to N transfers
   --obs FILE.jsonl    export run telemetry as JSON Lines to FILE
   --obs-summary       print a per-stage timing table after the metrics
-  -h, --help          show this help";
+  -h, --help          show this help
+
+verify options (modes are mutually exclusive; default is --seeds):
+  --seeds N           fuzz N consecutive seeds through the oracle  [200]
+  --start S           first fuzz seed  [0]
+  --replay FILE       re-run a reproducer file written by a failed verify
+  --net NAME          replay a generated workload on a named network instead
+  --slots N           replay horizon in slots (with --net)  [60]
+  --iters N           annealing iterations per slot  [40]
+  --load L            workload load factor (with --net)  [1.0]
+  --seed N            workload seed (with --net)  [42]
+  --out FILE          write the minimized reproducer here on divergence
+
+verify exits 0 when every invariant holds on every slot, 1 on divergence
+(printing the minimized reproducer), 2 on bad arguments.";
 
 /// Minimal flag parser: `--key value` pairs plus boolean switches.
 struct Args(Vec<String>);
@@ -70,11 +94,141 @@ impl Args {
     }
 }
 
+/// `owan-cli verify`: the oracle as a command. Three modes — seed fuzzing
+/// (default), reproducer replay (`--replay`), and named-network replay
+/// (`--net`) — all funnel through the same invariant checkers the test
+/// suite uses.
+fn verify_main(args: &Args) -> ! {
+    let iters = args.parse("--iters", 40usize);
+    let config = ReplayConfig {
+        anneal_iterations: iters,
+        check_updates: true,
+    };
+    let out_path = args.get("--out").map(str::to_string);
+
+    let fail = |message: &str, repro: Option<&Reproducer>| -> ! {
+        eprintln!("owan-cli verify: FAIL: {message}");
+        if let Some(r) = repro {
+            let text = r.to_text();
+            match &out_path {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &text) {
+                        eprintln!("owan-cli verify: cannot write --out file '{path}': {e}");
+                    } else {
+                        eprintln!("owan-cli verify: reproducer written to {path}");
+                    }
+                }
+                None => print!("{text}"),
+            }
+        }
+        std::process::exit(1);
+    };
+
+    if let Some(path) = args.get("--replay") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("owan-cli verify: cannot read --replay file '{path}': {e}");
+            std::process::exit(2);
+        });
+        let repro = Reproducer::from_text(&text).unwrap_or_else(|e| {
+            eprintln!("owan-cli verify: malformed reproducer '{path}': {e}");
+            std::process::exit(2);
+        });
+        let scenario = repro.scenario();
+        eprintln!(
+            "replaying reproducer {path}: seed {}, {} requests, {} failures",
+            scenario.seed,
+            scenario.requests.len(),
+            scenario.failures.len()
+        );
+        match replay_scenario(&scenario, &config) {
+            Ok(stats) => {
+                println!(
+                    "OK: seed {} replayed clean ({} slots, {} plans, {} transitions checked)",
+                    scenario.seed, stats.slots, stats.plans_checked, stats.updates_checked
+                );
+                std::process::exit(0);
+            }
+            Err(f) => fail(&f.to_string(), Some(&repro)),
+        }
+    }
+
+    if let Some(net_name) = args.get("--net") {
+        let network: Network = match net_name {
+            "internet2" => internet2_testbed(),
+            "isp" => isp_backbone(7),
+            "interdc" => inter_dc(7),
+            other => {
+                eprintln!("owan-cli verify: unknown network '{other}' for --net");
+                std::process::exit(2);
+            }
+        };
+        let load = args.parse("--load", 1.0f64);
+        let seed = args.parse("--seed", 42u64);
+        let slots = args.parse("--slots", 60usize);
+        let slot_len = args.parse("--slot", 300.0f64);
+        let wl = if net_name == "internet2" {
+            WorkloadConfig::testbed(load, seed)
+        } else {
+            WorkloadConfig::simulation(load, seed)
+        };
+        let requests = generate(&network, &wl);
+        eprintln!(
+            "verifying {net_name}: {} transfers, {slots} slots of {slot_len}s, {iters} anneal iters",
+            requests.len()
+        );
+        let scenario = Scenario {
+            seed,
+            plant: network.plant,
+            requests,
+            failures: Vec::new(),
+            slot_len_s: slot_len,
+            max_slots: slots,
+        };
+        match replay_scenario(&scenario, &config) {
+            Ok(stats) => {
+                println!(
+                    "OK: {net_name} replayed clean ({} slots, {} plans, {} transitions checked, \
+                     {} transfers completed)",
+                    stats.slots, stats.plans_checked, stats.updates_checked, stats.completed
+                );
+                std::process::exit(0);
+            }
+            // Named-network workloads are not seed-regenerable through the
+            // fuzz generator, so there is no reproducer — the seed and net
+            // name on the command line already pin the case.
+            Err(f) => fail(&format!("{net_name}: {f}"), None),
+        }
+    }
+
+    let count = args.parse("--seeds", 200u64);
+    let start = args.parse("--start", 0u64);
+    eprintln!(
+        "fuzzing seeds {start}..{} with {iters} anneal iters",
+        start + count
+    );
+    match fuzz_seeds(start, count, &config) {
+        Ok(stats) => {
+            println!(
+                "OK: {} seeds replayed clean ({} slots, {} plans, {} transitions checked)",
+                stats.seeds, stats.slots, stats.plans_checked, stats.updates_checked
+            );
+            std::process::exit(0);
+        }
+        Err(repro) => {
+            let msg = repro.message.clone();
+            fail(&format!("seed {}: {}", repro.seed, msg), Some(&repro))
+        }
+    }
+}
+
 fn main() {
     let args = Args(std::env::args().collect());
     if args.flag("--help") || args.flag("-h") {
         println!("{USAGE}");
         return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("verify") {
+        verify_main(&args);
     }
 
     let net_name = args.get("--net").unwrap_or("internet2").to_string();

@@ -9,6 +9,7 @@ pub use owan_core as core;
 pub use owan_graph as graph;
 pub use owan_obs as obs;
 pub use owan_optical as optical;
+pub use owan_oracle as oracle;
 pub use owan_sim as sim;
 pub use owan_solver as solver;
 pub use owan_te as te;
