@@ -1,0 +1,240 @@
+//! The fault model: timed events that hit the plant or the controller,
+//! and the fold that turns a history of events into the set of failures
+//! currently active.
+//!
+//! Events extend the one-way [`Failure`] set of `owan-sim` with repairs
+//! (`FiberRepaired`, `SiteUp`, `AmpRepaired`) and a control-plane fault
+//! (`ControllerCrash`) that never touches the plant at all. The
+//! controller does not see events directly: it sees the *believed* plant,
+//! derived from events whose detection delay has elapsed.
+
+use owan_optical::{FiberId, FiberPlant, SiteId};
+use owan_sim::{degrade_plant_mapped, Failure};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One kind of fault (or repair) in a chaos timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The fiber is cut: it disappears from the plant.
+    FiberCut(FiberId),
+    /// A previously cut fiber is spliced back; the plant segment returns
+    /// exactly as it was (same length, same wavelength budget).
+    FiberRepaired(FiberId),
+    /// A site goes dark: router ports drop to zero, incident fibers die.
+    SiteDown(SiteId),
+    /// A dark site comes back up with its original ports and fibers.
+    SiteUp(SiteId),
+    /// An amplifier fault shrinks the fiber's usable wavelengths to
+    /// `usable`. Repeated degradations of one fiber compose by minimum.
+    AmpDegraded {
+        /// Affected fiber.
+        fiber: FiberId,
+        /// Usable wavelengths remaining.
+        usable: u32,
+    },
+    /// The amplifier is swapped; the fiber's full budget returns.
+    AmpRepaired(FiberId),
+    /// The controller process dies. It restarts statelessly at the next
+    /// slot boundary from the stored plant and transfer set (§3.4: "the
+    /// new instance will start to compute and reconfigure the network at
+    /// the next time slot").
+    ControllerCrash,
+}
+
+impl FaultKind {
+    /// True for events that change the physical plant (everything except
+    /// a controller crash).
+    pub fn touches_plant(&self) -> bool {
+        !matches!(self, FaultKind::ControllerCrash)
+    }
+}
+
+/// A fault at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault strikes, seconds since simulation start.
+    pub time_s: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Shorthand constructor.
+    pub fn at(time_s: f64, kind: FaultKind) -> Self {
+        FaultEvent { time_s, kind }
+    }
+}
+
+/// The set of failures currently active: the left fold of applied
+/// events. Internally keyed on original (undegraded) plant ids, so
+/// applying and un-applying events is exact regardless of how fiber ids
+/// shift in the degraded view.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultState {
+    cut_fibers: BTreeSet<FiberId>,
+    down_sites: BTreeSet<SiteId>,
+    amp_caps: BTreeMap<FiberId, u32>,
+}
+
+impl FaultState {
+    /// Folds one event into the state. Returns true when the
+    /// plant-visible state changed (a crash never does; a repeat cut of
+    /// an already-cut fiber doesn't either).
+    pub fn apply(&mut self, kind: &FaultKind) -> bool {
+        match *kind {
+            FaultKind::FiberCut(f) => self.cut_fibers.insert(f),
+            FaultKind::FiberRepaired(f) => self.cut_fibers.remove(&f),
+            FaultKind::SiteDown(s) => self.down_sites.insert(s),
+            FaultKind::SiteUp(s) => self.down_sites.remove(&s),
+            FaultKind::AmpDegraded { fiber, usable } => {
+                let prev = self.amp_caps.get(&fiber).copied();
+                let next = prev.map_or(usable, |p| p.min(usable));
+                self.amp_caps.insert(fiber, next);
+                prev != Some(next)
+            }
+            FaultKind::AmpRepaired(f) => self.amp_caps.remove(&f).is_some(),
+            FaultKind::ControllerCrash => false,
+        }
+    }
+
+    /// True when no failure is active — degrading by this state is the
+    /// identity (repairs restored the original plant exactly).
+    pub fn is_clear(&self) -> bool {
+        self.cut_fibers.is_empty() && self.down_sites.is_empty() && self.amp_caps.is_empty()
+    }
+
+    /// The active failures as the `owan-sim` failure set, in a
+    /// deterministic order (cuts, then site downs, then amp caps, each
+    /// ascending by id).
+    pub fn active_failures(&self) -> Vec<Failure> {
+        let mut out = Vec::new();
+        out.extend(self.cut_fibers.iter().map(|&f| Failure::FiberCut(f)));
+        out.extend(self.down_sites.iter().map(|&s| Failure::SiteDown(s)));
+        out.extend(
+            self.amp_caps
+                .iter()
+                .map(|(&fiber, &usable)| Failure::AmpDegraded { fiber, usable }),
+        );
+        out
+    }
+
+    /// The plant as this state leaves it, plus the original→degraded
+    /// fiber id map (cut fibers map to `None`).
+    pub fn degraded_view(&self, base: &FiberPlant) -> (FiberPlant, Vec<Option<FiberId>>) {
+        degrade_plant_mapped(base, &self.active_failures())
+    }
+}
+
+/// Field-wise plant equality ([`FiberPlant`] intentionally does not
+/// implement `PartialEq`): same params, same sites (name, ports,
+/// regenerators), same fibers (endpoints, length, wavelength cap).
+pub fn plants_equal(a: &FiberPlant, b: &FiberPlant) -> bool {
+    if a.site_count() != b.site_count() || a.fiber_count() != b.fiber_count() {
+        return false;
+    }
+    let (pa, pb) = (a.params(), b.params());
+    if pa.wavelengths_per_fiber != pb.wavelengths_per_fiber
+        || (pa.wavelength_capacity_gbps - pb.wavelength_capacity_gbps).abs() > 1e-12
+    {
+        return false;
+    }
+    for s in 0..a.site_count() {
+        let (sa, sb) = (a.site(s), b.site(s));
+        if sa.name != sb.name
+            || sa.router_ports != sb.router_ports
+            || sa.regenerators != sb.regenerators
+        {
+            return false;
+        }
+    }
+    for f in 0..a.fiber_count() {
+        let (fa, fb) = (a.fiber(f), b.fiber(f));
+        if fa.a != fb.a
+            || fa.b != fb.b
+            || (fa.length_km - fb.length_km).abs() > 1e-9
+            || fa.lambda_cap != fb.lambda_cap
+        {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owan_optical::OpticalParams;
+
+    fn plant() -> FiberPlant {
+        let mut p = FiberPlant::new(OpticalParams::default());
+        for i in 0..4 {
+            p.add_site(&format!("S{i}"), 2, 1);
+        }
+        for i in 0..4 {
+            p.add_fiber(i, (i + 1) % 4, 200.0);
+        }
+        p
+    }
+
+    #[test]
+    fn cut_then_repair_restores_original_plant() {
+        let base = plant();
+        let mut st = FaultState::default();
+        st.apply(&FaultKind::FiberCut(2));
+        let (degraded, map) = st.degraded_view(&base);
+        assert_eq!(degraded.fiber_count(), 3);
+        assert_eq!(map[2], None);
+        st.apply(&FaultKind::FiberRepaired(2));
+        assert!(st.is_clear());
+        let (restored, map) = st.degraded_view(&base);
+        assert!(plants_equal(&restored, &base));
+        assert!(map.iter().enumerate().all(|(i, m)| *m == Some(i)));
+    }
+
+    #[test]
+    fn site_and_amp_repairs_round_trip() {
+        let base = plant();
+        let mut st = FaultState::default();
+        st.apply(&FaultKind::SiteDown(1));
+        st.apply(&FaultKind::AmpDegraded {
+            fiber: 3,
+            usable: 2,
+        });
+        let (degraded, _) = st.degraded_view(&base);
+        assert_eq!(degraded.site(1).router_ports, 0);
+        st.apply(&FaultKind::SiteUp(1));
+        st.apply(&FaultKind::AmpRepaired(3));
+        assert!(st.is_clear());
+        assert!(plants_equal(&st.degraded_view(&base).0, &base));
+    }
+
+    #[test]
+    fn amp_degradations_compose_by_minimum() {
+        let mut st = FaultState::default();
+        st.apply(&FaultKind::AmpDegraded {
+            fiber: 0,
+            usable: 4,
+        });
+        // Weaker degradation does not restore capacity.
+        let changed = st.apply(&FaultKind::AmpDegraded {
+            fiber: 0,
+            usable: 6,
+        });
+        assert!(!changed);
+        assert_eq!(
+            st.active_failures(),
+            vec![Failure::AmpDegraded {
+                fiber: 0,
+                usable: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn crash_never_touches_plant_state() {
+        let mut st = FaultState::default();
+        assert!(!st.apply(&FaultKind::ControllerCrash));
+        assert!(st.is_clear());
+        assert!(!FaultKind::ControllerCrash.touches_plant());
+    }
+}

@@ -1,0 +1,68 @@
+//! Chaos counters on the shared [`Recorder`]: how often faults were
+//! detected, ops retried or aborted, the controller crashed, the planner
+//! fell back, and traffic was blackholed. All land in the obs JSONL
+//! export under the `chaos.` prefix.
+
+use owan_obs::{Counter, Recorder};
+
+/// Pre-resolved counter handles for the chaos runner. Cheap to clone;
+/// disabled recorders produce no-op handles.
+#[derive(Debug, Clone)]
+pub struct ChaosTelemetry {
+    /// Plant/controller fault events whose detection delay elapsed.
+    pub faults_detected: Counter,
+    /// Update-op attempts re-run after a timeout or failure.
+    pub op_retries: Counter,
+    /// Update-op attempts that timed out.
+    pub op_timeouts: Counter,
+    /// Update-op attempts that failed fast.
+    pub op_failures: Counter,
+    /// Ops aborted (retry budget exhausted, or a prerequisite aborted).
+    pub op_aborts: Counter,
+    /// Controller crash restarts.
+    pub crashes: Counter,
+    /// Slots where the engine plan was rejected and the previous
+    /// topology (filtered to surviving links) was used instead.
+    pub fallback_slots: Counter,
+    /// Paths blackholed by a not-yet-detected cut mid-slot.
+    pub blackhole_paths: Counter,
+}
+
+impl ChaosTelemetry {
+    /// Handles registered on `recorder` (no-ops when it is disabled).
+    pub fn new(recorder: &Recorder) -> Self {
+        ChaosTelemetry {
+            faults_detected: recorder.counter("chaos.faults_detected"),
+            op_retries: recorder.counter("chaos.op_retries"),
+            op_timeouts: recorder.counter("chaos.op_timeouts"),
+            op_failures: recorder.counter("chaos.op_failures"),
+            op_aborts: recorder.counter("chaos.op_aborts"),
+            crashes: recorder.counter("chaos.crashes"),
+            fallback_slots: recorder.counter("chaos.fallback_slots"),
+            blackhole_paths: recorder.counter("chaos.blackhole_paths"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_under_chaos_prefix() {
+        let rec = Recorder::enabled();
+        let t = ChaosTelemetry::new(&rec);
+        t.op_retries.add(3);
+        t.crashes.incr();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.get("chaos.op_retries"), Some(&3));
+        assert_eq!(snap.counters.get("chaos.crashes"), Some(&1));
+    }
+
+    #[test]
+    fn disabled_recorder_is_noop() {
+        let t = ChaosTelemetry::new(&Recorder::disabled());
+        t.op_aborts.add(10);
+        assert_eq!(t.op_aborts.get(), 0);
+    }
+}

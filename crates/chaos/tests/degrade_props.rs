@@ -1,0 +1,163 @@
+//! Property tests for plant degradation and repair: `degrade_plant` is a
+//! set-fold (duplicate- and order-insensitive), strictly monotone in
+//! capacity, stable under re-application through the fiber-id map, and
+//! exactly inverted by repairs.
+
+use owan_chaos::{plants_equal, FaultKind, FaultState};
+use owan_optical::{FiberPlant, OpticalParams};
+use owan_sim::{degrade_plant, degrade_plant_mapped, Failure};
+use proptest::prelude::*;
+
+const PHI: u32 = 8;
+
+/// Deterministic test plant: ring of `n` sites plus a chord, mixed port
+/// counts so site failures bite differently.
+fn plant(n: usize) -> FiberPlant {
+    let mut p = FiberPlant::new(OpticalParams {
+        wavelength_capacity_gbps: 10.0,
+        wavelengths_per_fiber: PHI,
+        ..Default::default()
+    });
+    for i in 0..n {
+        p.add_site(&format!("S{i}"), 1 + (i as u32 % 3), 1);
+    }
+    for i in 0..n {
+        p.add_fiber(i, (i + 1) % n, 150.0 + 10.0 * i as f64);
+    }
+    p.add_fiber(0, n / 2, 400.0);
+    p
+}
+
+fn arb_failures(nf: usize, ns: usize) -> impl Strategy<Value = Vec<Failure>> {
+    proptest::collection::vec((0u8..3, 0..nf, 0..ns, 1u32..PHI), 0..6).prop_map(move |specs| {
+        specs
+            .into_iter()
+            .map(|(kind, f, s, usable)| match kind {
+                0 => Failure::FiberCut(f),
+                1 => Failure::SiteDown(s),
+                _ => Failure::AmpDegraded { fiber: f, usable },
+            })
+            .collect()
+    })
+}
+
+/// Total usable wavelengths across the plant — the capacity measure the
+/// monotonicity property tracks.
+fn total_wavelengths(p: &FiberPlant) -> u64 {
+    (0..p.fiber_count())
+        .map(|f| p.usable_wavelengths(f) as u64)
+        .sum()
+}
+
+fn total_ports(p: &FiberPlant) -> u64 {
+    (0..p.site_count()).map(|s| p.router_ports(s) as u64).sum()
+}
+
+/// Translates original-id failures into the degraded plant's ids via the
+/// map from `degrade_plant_mapped`. Failures on cut fibers vanish.
+fn translate(failures: &[Failure], map: &[Option<usize>]) -> Vec<Failure> {
+    failures
+        .iter()
+        .filter_map(|f| match *f {
+            Failure::FiberCut(id) => map[id].map(Failure::FiberCut),
+            Failure::SiteDown(s) => Some(Failure::SiteDown(s)),
+            Failure::AmpDegraded { fiber, usable } => {
+                map[fiber].map(|fiber| Failure::AmpDegraded { fiber, usable })
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn degrade_is_duplicate_insensitive(failures in arb_failures(7, 6)) {
+        let base = plant(6);
+        let once = degrade_plant(&base, &failures);
+        let mut doubled = failures.clone();
+        doubled.extend(failures.iter().copied());
+        let twice = degrade_plant(&base, &doubled);
+        prop_assert!(plants_equal(&once, &twice));
+    }
+
+    #[test]
+    fn degrade_is_order_insensitive(failures in arb_failures(7, 6)) {
+        let base = plant(6);
+        let forward = degrade_plant(&base, &failures);
+        let mut reversed = failures.clone();
+        reversed.reverse();
+        let backward = degrade_plant(&base, &reversed);
+        prop_assert!(plants_equal(&forward, &backward));
+    }
+
+    #[test]
+    fn degrade_is_monotone(failures in arb_failures(7, 6), extra in arb_failures(7, 6)) {
+        let base = plant(6);
+        let some = degrade_plant(&base, &failures);
+        let mut all = failures.clone();
+        all.extend(extra.iter().copied());
+        let more = degrade_plant(&base, &all);
+        prop_assert!(more.fiber_count() <= some.fiber_count());
+        prop_assert!(total_wavelengths(&more) <= total_wavelengths(&some));
+        prop_assert!(total_ports(&more) <= total_ports(&some));
+    }
+
+    #[test]
+    fn reapplication_through_id_map_is_noop(failures in arb_failures(7, 6)) {
+        let base = plant(6);
+        let (degraded, map) = degrade_plant_mapped(&base, &failures);
+        let again = degrade_plant(&degraded, &translate(&failures, &map));
+        prop_assert!(plants_equal(&again, &degraded));
+    }
+
+    #[test]
+    fn repairs_restore_original_plant_exactly(
+        cuts in proptest::collection::vec(0usize..7, 0..5),
+        downs in proptest::collection::vec(0usize..6, 0..4),
+        amps in proptest::collection::vec((0usize..7, 1u32..PHI), 0..4),
+    ) {
+        let base = plant(6);
+        let mut state = FaultState::default();
+        for &f in &cuts {
+            state.apply(&FaultKind::FiberCut(f));
+        }
+        for &s in &downs {
+            state.apply(&FaultKind::SiteDown(s));
+        }
+        for &(f, usable) in &amps {
+            state.apply(&FaultKind::AmpDegraded { fiber: f, usable });
+        }
+        // Repair everything, in a different order than it broke.
+        for &(f, _) in amps.iter().rev() {
+            state.apply(&FaultKind::AmpRepaired(f));
+        }
+        for &f in cuts.iter().rev() {
+            state.apply(&FaultKind::FiberRepaired(f));
+        }
+        for &s in downs.iter().rev() {
+            state.apply(&FaultKind::SiteUp(s));
+        }
+        prop_assert!(state.is_clear());
+        let (restored, map) = state.degraded_view(&base);
+        prop_assert!(plants_equal(&restored, &base));
+        prop_assert!(map.iter().enumerate().all(|(i, m)| *m == Some(i)));
+    }
+
+    #[test]
+    fn partial_repair_leaves_remaining_faults(
+        cuts in proptest::collection::vec(0usize..7, 2..5),
+    ) {
+        let base = plant(6);
+        let mut state = FaultState::default();
+        for &f in &cuts {
+            state.apply(&FaultKind::FiberCut(f));
+        }
+        // Repair only the first cut; the rest must still be active.
+        state.apply(&FaultKind::FiberRepaired(cuts[0]));
+        let distinct_rest: std::collections::BTreeSet<usize> =
+            cuts[1..].iter().copied().filter(|f| *f != cuts[0]).collect();
+        let (degraded, _) = state.degraded_view(&base);
+        prop_assert_eq!(degraded.fiber_count(), base.fiber_count() - distinct_rest.len());
+    }
+}

@@ -26,4 +26,4 @@ pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use event::{Event, Value};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use recorder::{Recorder, Snapshot, SpanGuard, Stage, DEFAULT_EVENT_CAPACITY};
-pub use report::format_stage_table;
+pub use report::{format_counter_table, format_stage_table};

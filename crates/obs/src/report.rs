@@ -43,6 +43,30 @@ pub fn format_stage_table(snapshot: &Snapshot, stages: &[(&str, &str)]) -> Strin
     out
 }
 
+/// Renders every counter whose name starts with `prefix` as a two-column
+/// table, sorted by name. Counters the run never touched are simply
+/// absent; an empty selection renders just the header, so the caller can
+/// print unconditionally.
+pub fn format_counter_table(snapshot: &Snapshot, prefix: &str) -> String {
+    let rows: Vec<(&String, &u64)> = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with(prefix))
+        .collect();
+    let name_width = rows
+        .iter()
+        .map(|(name, _)| name.len())
+        .chain(std::iter::once(7))
+        .max()
+        .unwrap_or(7);
+    let mut out = String::new();
+    out.push_str(&format!("{:<name_width$}  {:>12}\n", "counter", "value"));
+    for (name, value) in rows {
+        out.push_str(&format!("{name:<name_width$}  {value:>12}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +90,29 @@ mod tests {
         assert!(table.contains("anneal"));
         assert!(table.contains("rates"));
         assert!(table.contains("2.000"));
+    }
+
+    #[test]
+    fn counter_table_filters_by_prefix_and_sorts() {
+        let recorder = Recorder::enabled();
+        recorder.counter("chaos.crashes").add(2);
+        recorder.counter("chaos.blackhole_paths").add(7);
+        recorder.counter("update.ops").add(99);
+        let table = format_counter_table(&recorder.snapshot(), "chaos.");
+        assert!(table.contains("chaos.crashes"));
+        assert!(table.contains("chaos.blackhole_paths"));
+        assert!(!table.contains("update.ops"));
+        // Sorted by name: blackhole_paths before crashes.
+        let bh = table.find("chaos.blackhole_paths").unwrap();
+        let cr = table.find("chaos.crashes").unwrap();
+        assert!(bh < cr);
+    }
+
+    #[test]
+    fn counter_table_is_stable_when_empty() {
+        let recorder = Recorder::enabled();
+        let table = format_counter_table(&recorder.snapshot(), "chaos.");
+        assert!(table.starts_with("counter"));
+        assert_eq!(table.lines().count(), 1);
     }
 }

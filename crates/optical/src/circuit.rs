@@ -119,13 +119,14 @@ pub struct OpticalState {
 }
 
 impl OpticalState {
-    /// Fresh state: all channels free, all regenerators available.
+    /// Fresh state: all channels free, all regenerators available. Each
+    /// fiber gets its own channel count ([`FiberPlant::usable_wavelengths`]),
+    /// so degraded fibers expose fewer slots.
     pub fn new(plant: &FiberPlant) -> Self {
         OpticalState {
-            channel_used: vec![
-                vec![false; plant.params().wavelengths_per_fiber as usize];
-                plant.fiber_count()
-            ],
+            channel_used: (0..plant.fiber_count())
+                .map(|f| vec![false; plant.usable_wavelengths(f) as usize])
+                .collect(),
             regens_free: plant.sites().iter().map(|s| s.regenerators).collect(),
             circuits: Vec::new(),
         }
@@ -280,13 +281,20 @@ impl OpticalState {
     /// Internal consistency check (used in tests and debug assertions):
     /// channel occupancy must equal the union of live circuits' segments.
     pub fn check_invariants(&self, plant: &FiberPlant) -> Result<(), String> {
-        let mut expected =
-            vec![vec![false; plant.params().wavelengths_per_fiber as usize]; plant.fiber_count()];
+        let mut expected: Vec<Vec<bool>> = (0..plant.fiber_count())
+            .map(|f| vec![false; plant.usable_wavelengths(f) as usize])
+            .collect();
         let mut regen_used = vec![0u32; plant.site_count()];
         for (id, c) in self.circuits() {
             for seg in &c.segments {
                 for &fid in &seg.fibers {
-                    let slot = &mut expected[fid][seg.channel as usize];
+                    let slot = expected[fid].get_mut(seg.channel as usize).ok_or_else(|| {
+                        format!(
+                            "circuit {id}: channel {} beyond fiber {fid}'s {} usable wavelengths",
+                            seg.channel,
+                            plant.usable_wavelengths(fid)
+                        )
+                    })?;
                     if *slot {
                         return Err(format!(
                             "circuit {id}: channel {} double-booked on fiber {fid}",
@@ -317,8 +325,14 @@ impl OpticalState {
 }
 
 /// Lowest channel index free on every fiber of `fibers`, given occupancy.
+/// Fibers may expose different channel counts (per-fiber degradation caps);
+/// a channel only qualifies if it exists — and is free — on every fiber.
 fn first_fit_channel(used: &[Vec<bool>], fibers: &[FiberId]) -> Option<u32> {
-    let channels = used.first().map_or(0, |f| f.len());
+    let channels = fibers
+        .iter()
+        .map(|&f| used[f].len())
+        .min()
+        .unwrap_or_else(|| used.first().map_or(0, |f| f.len()));
     (0..channels)
         .find(|&c| fibers.iter().all(|&f| !used[f][c]))
         .map(|c| c as u32)
@@ -480,6 +494,48 @@ mod tests {
         assert_eq!(s.circuits_between(0, 1), 2);
         assert_eq!(s.circuits_between(1, 0), 2);
         assert_eq!(s.circuits_between(0, 2), 0);
+    }
+
+    #[test]
+    fn degraded_fiber_limits_channels() {
+        let mut p = line_plant(1_000.0, 4);
+        p.set_fiber_wavelength_cap(0, Some(1));
+        let mut s = OpticalState::new(&p);
+        assert_eq!(s.channels_free(0), 1);
+        assert_eq!(s.channels_free(1), 4);
+        s.provision_direct(&p, 0, 1).unwrap();
+        let err = s.provision_direct(&p, 0, 1).unwrap_err();
+        assert_eq!(err, ProvisionError::NoWavelength { from: 0, to: 1 });
+        s.check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn first_fit_spans_heterogeneous_caps() {
+        // A segment crossing a degraded fiber (2 channels) and a healthy
+        // fiber (4 channels) may only use channels that exist on both.
+        let mut p = line_plant(1_000.0, 4);
+        p.set_fiber_wavelength_cap(0, Some(2));
+        let mut s = OpticalState::new(&p);
+        // Occupy channel 0 on the healthy fiber so the A-C segment must
+        // find a channel free on both: channel 1.
+        s.provision_direct(&p, 1, 2).unwrap();
+        let id = s.provision_direct(&p, 0, 2).unwrap();
+        assert_eq!(s.circuit(id).unwrap().segments[0].channel, 1);
+        // Channels 2 and 3 exist only on the healthy fiber: one more A-C
+        // circuit is impossible even though fiber 1 has free channels.
+        s.provision_direct(&p, 0, 2).unwrap_err();
+        s.check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn cap_restoration_reexposes_channels() {
+        let mut p = line_plant(1_000.0, 4);
+        p.set_fiber_wavelength_cap(0, Some(1));
+        assert_eq!(p.usable_wavelengths(0), 1);
+        p.set_fiber_wavelength_cap(0, None);
+        assert_eq!(p.usable_wavelengths(0), 4);
+        let s = OpticalState::new(&p);
+        assert_eq!(s.channels_free(0), 4);
     }
 
     #[test]

@@ -88,6 +88,10 @@ pub struct Fiber {
     pub b: SiteId,
     /// Physical length, km (drives the optical-reach constraint).
     pub length_km: f64,
+    /// Optional cap on usable wavelengths, below the plant-wide φ. Models
+    /// partial degradation (e.g. a failed amplifier stage that narrows the
+    /// usable band). `None` means the full plant-wide count is available.
+    pub lambda_cap: Option<u32>,
 }
 
 impl Fiber {
@@ -156,7 +160,12 @@ impl FiberPlant {
         assert!(length_km > 0.0, "fiber length must be positive");
         assert_ne!(a, b, "fiber endpoints must differ");
         let id = self.fibers.len();
-        self.fibers.push(Fiber { a, b, length_km });
+        self.fibers.push(Fiber {
+            a,
+            b,
+            length_km,
+            lambda_cap: None,
+        });
         let eid = self.graph.add_undirected_edge(a, b, length_km);
         debug_assert_eq!(eid, id, "edge ids track fiber ids");
         id
@@ -190,6 +199,22 @@ impl FiberPlant {
     /// All fibers.
     pub fn fibers(&self) -> &[Fiber] {
         &self.fibers
+    }
+
+    /// Caps the usable wavelengths on `fiber` (amplifier degradation), or
+    /// restores the full plant-wide count with `None`.
+    pub fn set_fiber_wavelength_cap(&mut self, fiber: FiberId, cap: Option<u32>) {
+        self.fibers[fiber].lambda_cap = cap;
+    }
+
+    /// Usable wavelengths on `fiber`: the plant-wide φ, shrunk by any
+    /// per-fiber degradation cap.
+    pub fn usable_wavelengths(&self, fiber: FiberId) -> u32 {
+        let full = self.params.wavelengths_per_fiber;
+        match self.fibers[fiber].lambda_cap {
+            Some(cap) => cap.min(full),
+            None => full,
+        }
     }
 
     /// Looks up a site id by name.
@@ -356,6 +381,20 @@ mod tests {
                 assert_eq!(d, p.fiber_distance(i, j));
             }
         }
+    }
+
+    #[test]
+    fn wavelength_cap_clamps_to_plant_phi() {
+        let mut p = line_plant();
+        assert_eq!(p.usable_wavelengths(0), 80);
+        p.set_fiber_wavelength_cap(0, Some(12));
+        assert_eq!(p.usable_wavelengths(0), 12);
+        // A cap above the plant-wide φ cannot add wavelengths.
+        p.set_fiber_wavelength_cap(0, Some(200));
+        assert_eq!(p.usable_wavelengths(0), 80);
+        p.set_fiber_wavelength_cap(0, None);
+        assert_eq!(p.usable_wavelengths(0), 80);
+        assert_eq!(p.usable_wavelengths(1), 80);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Chaos replay: drive the *hardened* controller path (`owan-chaos`)
+//! over fuzzed scenarios and audit every planned slot.
+//!
+//! Where [`crate::replay`] checks the fault-free control loop against
+//! one-way failure injections, this module replays full chaos timelines
+//! — cuts that heal, sites that blink, amplifier degradation, injected
+//! update-op faults, controller crashes — through
+//! [`owan_chaos::run_chaos`], with [`check_plan`] asserting every slot's
+//! cross-layer invariants on the *believed* plant and [`check_timeline`]
+//! asserting blackhole/loop/overload freedom of every executed update
+//! schedule. [`fuzz_chaos`] sweeps seed ranges.
+
+use crate::fuzz::Scenario;
+use crate::invariants::{check_plan, check_timeline};
+use crate::replay::ReplayFailure;
+use owan_chaos::{run_chaos, ChaosConfig, ChaosResult, FaultEvent, FaultKind, OpFaultModel};
+use owan_core::{default_topology, AnnealConfig, OwanConfig, OwanEngine, TrafficEngineer};
+use owan_sim::Failure;
+use owan_update::RetryPolicy;
+
+/// Chaos-replay tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosReplayConfig {
+    /// Annealing iterations per slot (small: the invariants hold for any
+    /// iteration count).
+    pub anneal_iterations: usize,
+    /// Detection delay for injected faults, seconds.
+    pub detection_delay_s: f64,
+    /// Per-attempt probability an update op times out.
+    pub timeout_prob: f64,
+    /// Per-attempt probability an update op fails fast.
+    pub fail_prob: f64,
+}
+
+impl Default for ChaosReplayConfig {
+    fn default() -> Self {
+        ChaosReplayConfig {
+            anneal_iterations: 40,
+            detection_delay_s: 45.0,
+            timeout_prob: 0.1,
+            fail_prob: 0.05,
+        }
+    }
+}
+
+/// What a clean chaos replay covered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosReplayStats {
+    /// Slots the hardened controller planned in.
+    pub slots: usize,
+    /// Plans checked with [`check_plan`].
+    pub plans_checked: usize,
+    /// Update schedules checked with [`check_timeline`].
+    pub updates_checked: usize,
+    /// Transfers that completed within the horizon.
+    pub completed: usize,
+    /// Fault events whose detection delay elapsed during the run.
+    pub faults_detected: u64,
+    /// Controller crash restarts exercised.
+    pub crashes: u64,
+}
+
+/// Derives a full chaos timeline from a fuzz scenario: every generated
+/// failure becomes a fault event, heals a quarter-horizon later, and one
+/// controller crash lands mid-run. Deterministic in the scenario.
+pub fn chaos_events_for(scenario: &Scenario) -> Vec<FaultEvent> {
+    let horizon = scenario.slot_len_s * scenario.max_slots as f64;
+    let mut events: Vec<FaultEvent> = Vec::new();
+    for f in &scenario.failures {
+        let (fault, repair) = match f.failure {
+            Failure::FiberCut(id) => (FaultKind::FiberCut(id), FaultKind::FiberRepaired(id)),
+            Failure::SiteDown(s) => (FaultKind::SiteDown(s), FaultKind::SiteUp(s)),
+            Failure::AmpDegraded { fiber, usable } => (
+                FaultKind::AmpDegraded { fiber, usable },
+                FaultKind::AmpRepaired(fiber),
+            ),
+        };
+        events.push(FaultEvent::at(f.time_s, fault));
+        let heal = f.time_s + 0.25 * horizon;
+        if heal < horizon {
+            events.push(FaultEvent::at(heal, repair));
+        }
+    }
+    events.push(FaultEvent::at(0.4 * horizon, FaultKind::ControllerCrash));
+    events.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+    events
+}
+
+/// Replays one scenario through the hardened controller, checking every
+/// planned slot and every executed update schedule.
+pub fn replay_chaos_scenario(
+    scenario: &Scenario,
+    config: &ChaosReplayConfig,
+) -> Result<ChaosReplayStats, ReplayFailure> {
+    let events = chaos_events_for(scenario);
+    let op_faults = OpFaultModel {
+        seed: scenario.seed,
+        timeout_prob: config.timeout_prob,
+        fail_prob: config.fail_prob,
+    };
+    let chaos_config = ChaosConfig {
+        slot_len_s: scenario.slot_len_s,
+        max_slots: scenario.max_slots,
+        detection_delay_s: config.detection_delay_s,
+        retry: RetryPolicy::default(),
+        ..Default::default()
+    };
+    let seed = scenario.seed;
+    let iterations = config.anneal_iterations;
+    let mut make_engine = move |plant: &owan_optical::FiberPlant| {
+        let owan_config = OwanConfig {
+            anneal: AnnealConfig {
+                max_iterations: iterations,
+                seed: seed.wrapping_add(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        Box::new(OwanEngine::new(default_topology(plant), owan_config)) as Box<dyn TrafficEngineer>
+    };
+
+    let mut plans_checked = 0usize;
+    let mut updates_checked = 0usize;
+    let mut audit = |a: &owan_chaos::SlotAudit| -> Result<(), String> {
+        check_plan(a.believed_plant, a.transfers, a.slot_len_s, a.plan)
+            .map_err(|v| format!("slot plan: {v}"))?;
+        plans_checked += 1;
+        if let (Some(delta), Some(update)) = (a.delta, a.update) {
+            check_timeline(delta, update, &a.params).map_err(|v| format!("update: {v}"))?;
+            updates_checked += 1;
+        }
+        Ok(())
+    };
+
+    let result: ChaosResult = run_chaos(
+        &scenario.plant,
+        &scenario.requests,
+        &mut make_engine,
+        &chaos_config,
+        &events,
+        &op_faults,
+        &owan_obs::Recorder::disabled(),
+        Some(&mut audit),
+    )
+    .map_err(|message| ReplayFailure { slot: 0, message })?;
+
+    Ok(ChaosReplayStats {
+        slots: result.slots,
+        plans_checked,
+        updates_checked,
+        completed: result
+            .completions
+            .iter()
+            .filter(|c| c.completion_s.is_some())
+            .count(),
+        faults_detected: result.stats.faults_detected,
+        crashes: result.stats.crashes,
+    })
+}
+
+/// Aggregate coverage of a clean chaos fuzz sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosFuzzStats {
+    /// Scenarios replayed.
+    pub scenarios: usize,
+    /// Total slots planned across all replays.
+    pub slots: usize,
+    /// Total plans checked.
+    pub plans_checked: usize,
+    /// Total update schedules checked.
+    pub updates_checked: usize,
+    /// Total crash restarts exercised.
+    pub crashes: u64,
+}
+
+/// Sweeps `count` seeds starting at `start` through chaos replay. On a
+/// violation, returns the failing seed with the failure.
+pub fn fuzz_chaos(
+    start: u64,
+    count: u64,
+    config: &ChaosReplayConfig,
+) -> Result<ChaosFuzzStats, (u64, ReplayFailure)> {
+    let mut stats = ChaosFuzzStats::default();
+    for seed in start..start + count {
+        let scenario = Scenario::generate(seed);
+        let s = replay_chaos_scenario(&scenario, config).map_err(|f| (seed, f))?;
+        stats.scenarios += 1;
+        stats.slots += s.slots;
+        stats.plans_checked += s.plans_checked;
+        stats.updates_checked += s.updates_checked;
+        stats.crashes += s.crashes;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_events_are_deterministic_and_sorted() {
+        let s = Scenario::generate(17);
+        let a = chaos_events_for(&s);
+        let b = chaos_events_for(&s);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].time_s <= w[1].time_s));
+        assert!(a
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::ControllerCrash)));
+    }
+
+    #[test]
+    fn single_chaos_replay_is_clean() {
+        let s = Scenario::generate(3);
+        let stats = replay_chaos_scenario(&s, &ChaosReplayConfig::default())
+            .unwrap_or_else(|f| panic!("seed 3 violated: {f}"));
+        assert!(stats.plans_checked > 0);
+        assert_eq!(stats.plans_checked, stats.slots);
+    }
+}

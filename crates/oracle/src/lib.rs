@@ -26,12 +26,17 @@
 //!    checked; a divergence is shrunk to a minimal [`Reproducer`] whose
 //!    seed regenerates it exactly.
 
+pub mod chaos;
 pub mod exact;
 pub mod fuzz;
 pub mod invariants;
 pub mod lp;
 pub mod replay;
 
+pub use chaos::{
+    chaos_events_for, fuzz_chaos, replay_chaos_scenario, ChaosFuzzStats, ChaosReplayConfig,
+    ChaosReplayStats,
+};
 pub use exact::{
     anneal_gap, best_topology_by_enumeration, EnumerationReport, ExactError, GapReport,
 };

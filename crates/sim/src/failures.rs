@@ -10,10 +10,18 @@
 //!
 //! [`degrade_plant`] produces the post-failure physical network;
 //! [`simulate_with_failures`] drives an engine through a timeline of
-//! failure events, presenting the degraded plant from each event's slot on.
+//! failure events, presenting the degraded plant from each event's slot on;
+//! [`simulate_with_restarts`] emulates the stateless controller failover by
+//! swapping in a fresh engine at chosen slot boundaries. Richer fault
+//! dynamics — repairs, detection delay, mid-slot blackholes, update-op
+//! faults — live in the `owan-chaos` crate, which builds on the same
+//! primitives.
 
-use crate::sim::{plan_is_feasible, PlanError, SimConfig, SimResult};
-use owan_core::{SlotInput, TrafficEngineer, Transfer, TransferRequest};
+use crate::sim::{
+    drive_slots, EngineSource, PlantProvider, SimConfig, SimResult, SingleEngine, StaticPlant,
+};
+use owan_core::{TrafficEngineer, TransferRequest};
+use owan_obs::Recorder;
 use owan_optical::{FiberId, FiberPlant, SiteId};
 
 const EPS: f64 = 1e-9;
@@ -26,6 +34,15 @@ pub enum Failure {
     /// A site (router + ROADM) goes dark: its router ports drop to zero and
     /// all its fibers are removed.
     SiteDown(SiteId),
+    /// Partial degradation: an amplifier fault shrinks the fiber's usable
+    /// wavelengths to `usable` (a cap below the plant-wide φ). Multiple
+    /// degradations of the same fiber compose by taking the minimum.
+    AmpDegraded {
+        /// Affected fiber.
+        fiber: FiberId,
+        /// Usable wavelengths remaining.
+        usable: u32,
+    },
 }
 
 /// A failure at a point in time.
@@ -38,8 +55,22 @@ pub struct FailureEvent {
 }
 
 /// Rebuilds a plant with the given failures applied (fibers removed, dead
-/// sites stripped of ports and regenerators). Site ids are preserved.
+/// sites stripped of ports and regenerators, degraded fibers capped). Site
+/// ids are preserved; fiber ids compact (see [`degrade_plant_mapped`] for
+/// the id mapping).
 pub fn degrade_plant(plant: &FiberPlant, failures: &[Failure]) -> FiberPlant {
+    degrade_plant_mapped(plant, failures).0
+}
+
+/// [`degrade_plant`] plus the fiber-id mapping: `map[original_id]` is the
+/// fiber's id in the degraded plant, or `None` if it was removed. Failure
+/// fiber ids always refer to the plant passed in; callers tracking faults
+/// across a degradation (e.g. mid-slot blackhole detection in `owan-chaos`)
+/// use the map to translate.
+pub fn degrade_plant_mapped(
+    plant: &FiberPlant,
+    failures: &[Failure],
+) -> (FiberPlant, Vec<Option<FiberId>>) {
     let dead_site = |s: SiteId| {
         failures
             .iter()
@@ -49,6 +80,19 @@ pub fn degrade_plant(plant: &FiberPlant, failures: &[Failure]) -> FiberPlant {
         failures
             .iter()
             .any(|x| matches!(x, Failure::FiberCut(c) if *c == f))
+    };
+    // Minimum surviving-wavelength cap per fiber across amp faults, folded
+    // with any cap already on the fiber (degrading a degraded plant must
+    // never restore capacity).
+    let amp_cap = |f: FiberId| {
+        failures
+            .iter()
+            .filter_map(|x| match x {
+                Failure::AmpDegraded { fiber, usable } if *fiber == f => Some(*usable),
+                _ => None,
+            })
+            .chain(plant.fiber(f).lambda_cap)
+            .min()
     };
 
     let mut out = FiberPlant::new(plant.params().clone());
@@ -60,12 +104,53 @@ pub fn degrade_plant(plant: &FiberPlant, failures: &[Failure]) -> FiberPlant {
             out.add_site(&site.name, site.router_ports, site.regenerators);
         }
     }
+    let mut map = vec![None; plant.fiber_count()];
     for (id, fiber) in plant.fibers().iter().enumerate() {
         if !cut_fiber(id) && !dead_site(fiber.a) && !dead_site(fiber.b) {
-            out.add_fiber(fiber.a, fiber.b, fiber.length_km);
+            let new_id = out.add_fiber(fiber.a, fiber.b, fiber.length_km);
+            out.set_fiber_wavelength_cap(new_id, amp_cap(id));
+            map[id] = Some(new_id);
         }
     }
-    out
+    (out, map)
+}
+
+/// Folds a failure timeline into per-slot degraded plants.
+pub(crate) struct FailureTimelinePlant<'a> {
+    base: &'a FiberPlant,
+    /// Events sorted by time.
+    timeline: Vec<FailureEvent>,
+    applied: usize,
+    current: FiberPlant,
+}
+
+impl<'a> FailureTimelinePlant<'a> {
+    pub(crate) fn new(base: &'a FiberPlant, events: &[FailureEvent]) -> Self {
+        let mut timeline = events.to_vec();
+        timeline.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+        FailureTimelinePlant {
+            base,
+            timeline,
+            applied: 0,
+            current: base.clone(),
+        }
+    }
+}
+
+impl PlantProvider for FailureTimelinePlant<'_> {
+    fn plant_at(&mut self, _slot: usize, now_s: f64) -> &FiberPlant {
+        let due = self
+            .timeline
+            .iter()
+            .take_while(|e| e.time_s <= now_s + EPS)
+            .count();
+        if due > self.applied {
+            let active: Vec<Failure> = self.timeline[..due].iter().map(|e| e.failure).collect();
+            self.current = degrade_plant(self.base, &active);
+            self.applied = due;
+        }
+        &self.current
+    }
 }
 
 /// Like [`crate::sim::simulate`] but with a failure timeline: from the slot
@@ -79,127 +164,99 @@ pub fn simulate_with_failures(
     config: &SimConfig,
     events: &[FailureEvent],
 ) -> SimResult {
-    let theta = plant.params().wavelength_capacity_gbps;
-    let mut transfers: Vec<Transfer> = requests
-        .iter()
-        .enumerate()
-        .map(|(id, r)| Transfer::from_request(id, r))
-        .collect();
-    let mut records: Vec<crate::sim::CompletionRecord> = requests
-        .iter()
-        .enumerate()
-        .map(|(id, r)| crate::sim::CompletionRecord {
-            id,
-            volume_gbits: r.volume_gbits,
-            arrival_s: r.arrival_s,
-            deadline_s: r.deadline_s,
-            completion_s: None,
-            gbits_by_deadline: 0.0,
-        })
-        .collect();
+    simulate_with_failures_observed(
+        plant,
+        requests,
+        engine,
+        config,
+        events,
+        &Recorder::disabled(),
+    )
+}
 
-    let mut throughput_series = Vec::new();
-    let mut makespan_s: f64 = 0.0;
-    let mut slots = 0;
-    let mut plan_error: Option<(usize, PlanError)> = None;
-    let mut current_plant = plant.clone();
-    let mut applied = 0usize;
-    // Events sorted by time.
-    let mut timeline: Vec<FailureEvent> = events.to_vec();
-    timeline.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+/// [`simulate_with_failures`] with telemetry: failure runs are traceable
+/// exactly like [`crate::sim::simulate_observed`] — per-slot `SlotTelemetry`
+/// rows, stage spans, and update-op counts land on the recorder.
+pub fn simulate_with_failures_observed(
+    plant: &FiberPlant,
+    requests: &[TransferRequest],
+    engine: &mut dyn TrafficEngineer,
+    config: &SimConfig,
+    events: &[FailureEvent],
+    recorder: &Recorder,
+) -> SimResult {
+    drive_slots(
+        plant,
+        requests,
+        &mut FailureTimelinePlant::new(plant, events),
+        &mut SingleEngine(engine),
+        config,
+        recorder,
+    )
+}
 
-    for slot in 0..config.max_slots {
-        let now = slot as f64 * config.slot_len_s;
-        slots = slot + 1;
+/// Swaps in a fresh engine at each slot in `restart_slots` (§3.4 stateless
+/// failover: a crashed controller's replacement recomputes from the stored
+/// plant + transfer set, carrying no in-memory state across the crash).
+struct RestartingEngines<'a> {
+    factory: &'a mut dyn FnMut() -> Box<dyn TrafficEngineer>,
+    /// Sorted restart boundaries.
+    restart_slots: Vec<usize>,
+    next_restart: usize,
+    current: Box<dyn TrafficEngineer>,
+}
 
-        // Apply failures due by this slot.
-        let due = timeline
-            .iter()
-            .take_while(|e| e.time_s <= now + EPS)
-            .count();
-        if due > applied {
-            let active_failures: Vec<Failure> = timeline[..due].iter().map(|e| e.failure).collect();
-            current_plant = degrade_plant(plant, &active_failures);
-            applied = due;
-        }
-
-        let active: Vec<Transfer> = transfers
-            .iter()
-            .filter(|t| t.arrival_s <= now + EPS && !t.is_complete())
-            .cloned()
-            .collect();
-        let pending_future = transfers
-            .iter()
-            .any(|t| t.arrival_s > now + EPS && !t.is_complete());
-        if active.is_empty() && !pending_future {
-            break;
-        }
-        // A workload stuck on dead endpoints cannot drain; stop when no
-        // active transfer can make progress and nothing new will arrive.
-        let any_progress_possible = active.iter().any(|t| {
-            current_plant.router_ports(t.src) > 0 && current_plant.router_ports(t.dst) > 0
-        });
-        if !any_progress_possible && !pending_future {
-            break;
-        }
-
-        let plan = engine.plan_slot(
-            &current_plant,
-            &SlotInput {
-                transfers: &active,
-                slot_len_s: config.slot_len_s,
-                now_s: now,
-            },
-        );
-        if let Err(e) = plan_is_feasible(&plan, theta) {
-            plan_error = Some((slot, e));
-            break;
-        }
-        throughput_series.push((now, plan.throughput_gbps));
-
-        for alloc in &plan.allocations {
-            let rate_alloc = alloc.total_rate();
-            let rate = rate_alloc * config.rate_efficiency;
-            if rate <= EPS {
-                continue;
-            }
-            let t = &mut transfers[alloc.transfer];
-            // Same completion rule as `sim::simulate` (see the comment
-            // there about the impaired final sliver).
-            if rate_alloc * config.slot_len_s + EPS >= t.remaining_gbits {
-                let finish = now + t.remaining_gbits / rate;
-                t.remaining_gbits = 0.0;
-                records[alloc.transfer].completion_s = Some(finish);
-                makespan_s = makespan_s.max(finish);
-            } else {
-                t.remaining_gbits -= rate * config.slot_len_s;
-            }
-        }
-
-        // Numerical-dust floor (see `sim::COMPLETION_FLOOR_GBITS`).
-        for (i, t) in transfers.iter_mut().enumerate() {
-            if !t.is_complete() && t.remaining_gbits < 1e-6 {
-                t.remaining_gbits = 0.0;
-                let finish = now + config.slot_len_s;
-                records[i].completion_s = Some(finish);
-                makespan_s = makespan_s.max(finish);
-            }
+impl<'a> RestartingEngines<'a> {
+    fn new(factory: &'a mut dyn FnMut() -> Box<dyn TrafficEngineer>, restarts: &[usize]) -> Self {
+        let mut restart_slots = restarts.to_vec();
+        restart_slots.sort_unstable();
+        restart_slots.dedup();
+        let current = factory();
+        RestartingEngines {
+            factory,
+            restart_slots,
+            next_restart: 0,
+            current,
         }
     }
+}
 
-    if !records.iter().all(|r| r.completion_s.is_some()) {
-        makespan_s = makespan_s.max(slots as f64 * config.slot_len_s);
+impl EngineSource for RestartingEngines<'_> {
+    fn engine_at(&mut self, slot: usize) -> &mut dyn TrafficEngineer {
+        let mut restarted = false;
+        while self.next_restart < self.restart_slots.len()
+            && self.restart_slots[self.next_restart] <= slot
+        {
+            restarted = true;
+            self.next_restart += 1;
+        }
+        if restarted {
+            self.current = (self.factory)();
+        }
+        self.current.as_mut()
     }
+}
 
-    SimResult {
-        engine: engine.name().to_string(),
-        completions: records,
-        makespan_s,
-        throughput_series,
-        slots,
-        telemetry: None,
-        plan_error,
-    }
+/// Runs the workload with controller crashes at the given slot boundaries:
+/// at each slot in `restart_slots`, the engine is discarded and `factory`
+/// builds its stateless replacement. With an empty `restart_slots` this is
+/// exactly [`crate::sim::simulate`].
+pub fn simulate_with_restarts(
+    plant: &FiberPlant,
+    requests: &[TransferRequest],
+    factory: &mut dyn FnMut() -> Box<dyn TrafficEngineer>,
+    config: &SimConfig,
+    restart_slots: &[usize],
+) -> SimResult {
+    let mut engines = RestartingEngines::new(factory, restart_slots);
+    drive_slots(
+        plant,
+        requests,
+        &mut StaticPlant(plant),
+        &mut engines,
+        config,
+        &Recorder::disabled(),
+    )
 }
 
 #[cfg(test)]
@@ -235,6 +292,49 @@ mod tests {
     }
 
     #[test]
+    fn degrade_caps_wavelengths() {
+        let p = plant();
+        let d = degrade_plant(
+            &p,
+            &[Failure::AmpDegraded {
+                fiber: 1,
+                usable: 3,
+            }],
+        );
+        assert_eq!(d.fiber_count(), 4, "degraded fiber survives");
+        assert_eq!(d.usable_wavelengths(1), 3);
+        assert_eq!(d.usable_wavelengths(0), 8);
+        // Two degradations of the same fiber compose by minimum.
+        let d2 = degrade_plant(
+            &p,
+            &[
+                Failure::AmpDegraded {
+                    fiber: 1,
+                    usable: 3,
+                },
+                Failure::AmpDegraded {
+                    fiber: 1,
+                    usable: 5,
+                },
+            ],
+        );
+        assert_eq!(d2.usable_wavelengths(1), 3);
+    }
+
+    #[test]
+    fn degrade_mapping_tracks_removals() {
+        let p = plant();
+        let (d, map) = degrade_plant_mapped(&p, &[Failure::FiberCut(1)]);
+        assert_eq!(map, vec![Some(0), None, Some(1), Some(2)]);
+        for (orig, new) in map.iter().enumerate() {
+            if let Some(n) = new {
+                assert_eq!(d.fiber(*n).a, p.fiber(orig).a);
+                assert_eq!(d.fiber(*n).b, p.fiber(orig).b);
+            }
+        }
+    }
+
+    #[test]
     fn owan_survives_fiber_cut() {
         let p = plant();
         let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
@@ -258,6 +358,32 @@ mod tests {
             res.all_completed(),
             "transfer should reroute around the cut"
         );
+    }
+
+    #[test]
+    fn owan_survives_amp_degradation() {
+        let p = plant();
+        let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
+        let reqs = vec![TransferRequest {
+            src: 0,
+            dst: 2,
+            volume_gbits: 2_000.0,
+            arrival_s: 0.0,
+            deadline_s: None,
+        }];
+        let cfg = SimConfig {
+            slot_len_s: 100.0,
+            ..Default::default()
+        };
+        let events = [FailureEvent {
+            time_s: 150.0,
+            failure: Failure::AmpDegraded {
+                fiber: 0,
+                usable: 1,
+            },
+        }];
+        let res = simulate_with_failures(&p, &reqs, &mut e, &cfg, &events);
+        assert!(res.all_completed(), "{res:?}");
     }
 
     #[test]
@@ -286,13 +412,44 @@ mod tests {
     }
 
     #[test]
+    fn failure_run_carries_telemetry() {
+        let p = plant();
+        let mut e = OwanEngine::new(default_topology(&p), OwanConfig::default());
+        let reqs = vec![TransferRequest {
+            src: 0,
+            dst: 2,
+            volume_gbits: 2_000.0,
+            arrival_s: 0.0,
+            deadline_s: None,
+        }];
+        let cfg = SimConfig {
+            slot_len_s: 100.0,
+            ..Default::default()
+        };
+        let events = [FailureEvent {
+            time_s: 150.0,
+            failure: Failure::FiberCut(0),
+        }];
+        let recorder = Recorder::enabled();
+        let res = simulate_with_failures_observed(&p, &reqs, &mut e, &cfg, &events, &recorder);
+        assert!(res.all_completed());
+        let rows = res.telemetry.expect("observed run records telemetry");
+        // One row per planned slot (the final admission-only slot plans
+        // nothing and records no row).
+        assert_eq!(rows.len(), res.throughput_series.len());
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.active_transfers >= 1));
+    }
+
+    #[test]
     fn controller_failover_is_stateless() {
         // §3.4: a restarted controller resumes from the stored physical
-        // network + transfer set. Emulate a crash at slot boundary k by
-        // running one engine for the whole workload and another pair of
-        // engines split at the boundary: completions must match closely
-        // (the replacement starts its annealing from the static topology,
-        // so plans may differ slightly, but everything still completes).
+        // network + transfer set. Run one engine for the whole workload
+        // and a crash-and-restart run split at slot 3: the replacement
+        // engine re-anneals from scratch, so individual plans may differ,
+        // but every transfer still completes and the makespan stays in the
+        // same ballpark (the restart costs at most a couple of slots of
+        // re-convergence, not the workload).
         let p = plant();
         let reqs = vec![
             TransferRequest {
@@ -317,5 +474,46 @@ mod tests {
         let mut continuous = OwanEngine::new(default_topology(&p), OwanConfig::default());
         let res = crate::sim::simulate(&p, &reqs, &mut continuous, &cfg);
         assert!(res.all_completed());
+
+        let mut factory = || -> Box<dyn TrafficEngineer> {
+            Box::new(OwanEngine::new(default_topology(&p), OwanConfig::default()))
+        };
+        let restarted = simulate_with_restarts(&p, &reqs, &mut factory, &cfg, &[3]);
+        assert!(
+            restarted.all_completed(),
+            "crash-and-restart run must still drain: {restarted:?}"
+        );
+        // The restarted controller may need a little re-convergence, but a
+        // stateless failover must not derail the run.
+        assert!(
+            restarted.makespan_s <= res.makespan_s + 2.0 * cfg.slot_len_s,
+            "restart cost too high: {} vs {}",
+            restarted.makespan_s,
+            res.makespan_s
+        );
+    }
+
+    #[test]
+    fn restart_with_no_boundaries_matches_plain_run() {
+        let p = plant();
+        let reqs = vec![TransferRequest {
+            src: 0,
+            dst: 2,
+            volume_gbits: 1_200.0,
+            arrival_s: 0.0,
+            deadline_s: None,
+        }];
+        let cfg = SimConfig {
+            slot_len_s: 100.0,
+            ..Default::default()
+        };
+        let mut plain_engine = OwanEngine::new(default_topology(&p), OwanConfig::default());
+        let plain = crate::sim::simulate(&p, &reqs, &mut plain_engine, &cfg);
+        let mut factory = || -> Box<dyn TrafficEngineer> {
+            Box::new(OwanEngine::new(default_topology(&p), OwanConfig::default()))
+        };
+        let restarted = simulate_with_restarts(&p, &reqs, &mut factory, &cfg, &[]);
+        assert_eq!(plain.completions, restarted.completions);
+        assert_eq!(plain.makespan_s, restarted.makespan_s);
     }
 }

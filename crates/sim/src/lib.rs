@@ -44,7 +44,10 @@ pub mod validate;
 pub use controller::{
     run_controller, run_controller_observed, ControllerConfig, ControllerResult, UpdateDiscipline,
 };
-pub use failures::{degrade_plant, simulate_with_failures, Failure, FailureEvent};
+pub use failures::{
+    degrade_plant, degrade_plant_mapped, simulate_with_failures, simulate_with_failures_observed,
+    simulate_with_restarts, Failure, FailureEvent,
+};
 pub use runner::{
     make_engine, run_comparison, run_engine, run_engine_observed, EngineKind, RunnerConfig,
 };

@@ -203,6 +203,43 @@ pub fn plan_is_feasible(plan: &SlotPlan, theta: f64) -> Result<(), PlanError> {
     Ok(())
 }
 
+/// Supplies the plant the engine sees at each slot. The fault-free runs
+/// use a static plant; failure runs fold a timeline of events into
+/// progressively degraded plants ([`crate::failures`]). Centralizing the
+/// slot loop behind this trait keeps the failure path from drifting from
+/// the fault-free path.
+pub(crate) trait PlantProvider {
+    /// Plant presented to the engine for the slot starting at `now_s`.
+    fn plant_at(&mut self, slot: usize, now_s: f64) -> &FiberPlant;
+}
+
+/// A fixed plant for the whole run.
+pub(crate) struct StaticPlant<'a>(pub &'a FiberPlant);
+
+impl PlantProvider for StaticPlant<'_> {
+    fn plant_at(&mut self, _slot: usize, _now_s: f64) -> &FiberPlant {
+        self.0
+    }
+}
+
+/// Supplies the engine driving each slot. A fresh instance mid-run models
+/// a stateless controller restart (§3.4): the replacement recomputes from
+/// the stored plant + transfer set with no memory of its predecessor.
+pub(crate) trait EngineSource {
+    /// Engine for `slot`. Must be idempotent per slot (repeated calls with
+    /// the same slot return the same instance, not a fresh restart).
+    fn engine_at(&mut self, slot: usize) -> &mut dyn TrafficEngineer;
+}
+
+/// One engine for the whole run.
+pub(crate) struct SingleEngine<'a>(pub &'a mut dyn TrafficEngineer);
+
+impl EngineSource for SingleEngine<'_> {
+    fn engine_at(&mut self, _slot: usize) -> &mut dyn TrafficEngineer {
+        self.0
+    }
+}
+
 /// Runs `engine` over `requests` on `plant` until every transfer completes
 /// (or `max_slots` elapse).
 ///
@@ -235,13 +272,37 @@ pub fn simulate_observed(
     config: &SimConfig,
     recorder: &Recorder,
 ) -> SimResult {
+    drive_slots(
+        plant,
+        requests,
+        &mut StaticPlant(plant),
+        &mut SingleEngine(engine),
+        config,
+        recorder,
+    )
+}
+
+/// The shared slot loop behind [`simulate_observed`],
+/// [`crate::failures::simulate_with_failures_observed`] and
+/// [`crate::failures::simulate_with_restarts`]: admission, feasibility
+/// gate, fluid delivery, deadline + starvation bookkeeping, telemetry.
+/// `base` supplies global parameters (θ, reconfiguration times); the plant
+/// each slot's engine actually sees comes from `plants`.
+pub(crate) fn drive_slots(
+    base: &FiberPlant,
+    requests: &[TransferRequest],
+    plants: &mut dyn PlantProvider,
+    engines: &mut dyn EngineSource,
+    config: &SimConfig,
+    recorder: &Recorder,
+) -> SimResult {
     assert!(config.rate_efficiency > 0.0 && config.rate_efficiency <= 1.0);
-    let theta = plant.params().wavelength_capacity_gbps;
-    engine.set_recorder(recorder.clone());
+    let theta = base.params().wavelength_capacity_gbps;
+    let mut engine_name = engines.engine_at(0).name().to_string();
     let telemetry = recorder.is_enabled().then(|| SimTelemetry::new(recorder));
     let update_params = UpdateParams {
         theta_gbps: theta,
-        circuit_time_s: plant.params().circuit_reconfig_time_s,
+        circuit_time_s: base.params().circuit_reconfig_time_s,
         ..Default::default()
     };
     let mut slot_rows: Vec<SlotTelemetry> = Vec::new();
@@ -273,6 +334,7 @@ pub fn simulate_observed(
     for slot in 0..config.max_slots {
         let now = slot as f64 * config.slot_len_s;
         slots = slot + 1;
+        let current_plant = plants.plant_at(slot, now);
 
         // Active = arrived and incomplete.
         let active: Vec<Transfer> = transfers
@@ -286,13 +348,25 @@ pub fn simulate_observed(
         if active.is_empty() && !pending_future {
             break;
         }
+        // A workload stuck on portless endpoints (e.g. sites that died in
+        // a failure run) cannot drain; stop when no active transfer can
+        // make progress and nothing new will arrive.
+        let any_progress_possible = active.iter().any(|t| {
+            current_plant.router_ports(t.src) > 0 && current_plant.router_ports(t.dst) > 0
+        });
+        if !any_progress_possible && !pending_future {
+            break;
+        }
 
+        let engine = engines.engine_at(slot);
+        engine.set_recorder(recorder.clone());
+        engine_name = engine.name().to_string();
         let slot_span = telemetry
             .as_ref()
             .map(|t| (t.slot_stage.enter(), t.stage_marks()));
         let plan_start_ns = recorder.now_ns();
         let plan = engine.plan_slot(
-            plant,
+            current_plant,
             &SlotInput {
                 transfers: &active,
                 slot_len_s: config.slot_len_s,
@@ -318,7 +392,7 @@ pub fn simulate_observed(
                     &prev.allocations,
                     &plan.topology,
                     &plan.allocations,
-                    plant.params().wavelengths_per_fiber,
+                    base.params().wavelengths_per_fiber,
                 );
                 plan_consistent_observed(&delta, &update_params, &t.update)
                     .ops
@@ -415,7 +489,7 @@ pub fn simulate_observed(
     }
 
     SimResult {
-        engine: engine.name().to_string(),
+        engine: engine_name,
         completions: records,
         makespan_s,
         throughput_series,

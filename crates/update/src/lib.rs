@@ -19,14 +19,16 @@
 //! comparison (Figure 10(b)). [`throughput_timeline`] replays either
 //! schedule and reports carried traffic over time.
 
+pub mod exec;
 pub mod plan;
 pub mod telemetry;
 pub mod timeline;
 
+pub use exec::{execute_plan, ExecReport, OpExecution, OpFault, OpStatus, RetryPolicy};
 pub use plan::{
-    dependency_graph_size, plan_consistent, plan_consistent_observed, plan_one_shot,
-    plan_one_shot_observed, CircuitDesc, NetworkDelta, OpKind, PathDesc, ScheduledOp, UpdateParams,
-    UpdatePlan,
+    dependency_edges, dependency_graph_size, plan_consistent, plan_consistent_observed,
+    plan_one_shot, plan_one_shot_observed, CircuitDesc, NetworkDelta, OpKind, PathDesc,
+    ScheduledOp, UpdateParams, UpdatePlan,
 };
 pub use telemetry::UpdateTelemetry;
 pub use timeline::{throughput_timeline, TimelinePoint};

@@ -168,48 +168,75 @@ fn path_uses_link(nodes: &[SiteId], u: SiteId, v: SiteId) -> bool {
         .any(|w| (w[0] == u && w[1] == v) || (w[0] == v && w[1] == u))
 }
 
-/// Sizes the Dionysus dependency structure of a delta without scheduling
-/// it: `(nodes, edges)` where nodes are update operations and edges are
-/// the resource dependencies among them — make-before-break (a path
-/// removal waits for the same transfer's path installs), path installs
-/// waiting on circuit setups for links they traverse, circuit teardowns
-/// waiting on path removals that drain their link, and circuit setups
-/// waiting on teardowns that free a shared fiber's wavelength.
-pub fn dependency_graph_size(delta: &NetworkDelta) -> (usize, usize) {
-    let mut edges = 0usize;
-    for rp in &delta.removed_paths {
-        edges += delta
+/// Enumerates the Dionysus resource-dependency edges of a delta as
+/// `(prerequisite, dependent)` pairs:
+///
+/// * make-before-break — a path removal waits for the same transfer's path
+///   installs (`AddPath → RemovePath`),
+/// * path installs wait on circuit setups for links they traverse
+///   (`SetupCircuit → AddPath`),
+/// * circuit teardowns wait on path removals that drain their link
+///   (`RemovePath → TeardownCircuit`),
+/// * circuit setups wait on teardowns that free a shared fiber's wavelength
+///   (`TeardownCircuit → SetupCircuit`).
+///
+/// The scheduler enforces these through resource levels rather than
+/// explicit edges; the execution engine ([`crate::exec`]) uses the edge
+/// list directly to propagate aborts to dependent subtrees.
+pub fn dependency_edges(delta: &NetworkDelta) -> Vec<(OpKind, OpKind)> {
+    let mut edges = Vec::new();
+    for (i, rp) in delta.removed_paths.iter().enumerate() {
+        for (j, _) in delta
             .added_paths
             .iter()
-            .filter(|ap| ap.transfer == rp.transfer)
-            .count();
+            .enumerate()
+            .filter(|(_, ap)| ap.transfer == rp.transfer)
+        {
+            edges.push((OpKind::AddPath(j), OpKind::RemovePath(i)));
+        }
     }
-    for ap in &delta.added_paths {
-        edges += delta
+    for (i, ap) in delta.added_paths.iter().enumerate() {
+        for (j, _) in delta
             .added_circuits
             .iter()
-            .filter(|c| path_uses_link(&ap.nodes, c.u, c.v))
-            .count();
+            .enumerate()
+            .filter(|(_, c)| path_uses_link(&ap.nodes, c.u, c.v))
+        {
+            edges.push((OpKind::SetupCircuit(j), OpKind::AddPath(i)));
+        }
     }
-    for rc in &delta.removed_circuits {
-        edges += delta
+    for (i, rc) in delta.removed_circuits.iter().enumerate() {
+        for (j, _) in delta
             .removed_paths
             .iter()
-            .filter(|rp| path_uses_link(&rp.nodes, rc.u, rc.v))
-            .count();
+            .enumerate()
+            .filter(|(_, rp)| path_uses_link(&rp.nodes, rc.u, rc.v))
+        {
+            edges.push((OpKind::RemovePath(j), OpKind::TeardownCircuit(i)));
+        }
     }
-    for ac in &delta.added_circuits {
-        edges += delta
+    for (i, ac) in delta.added_circuits.iter().enumerate() {
+        for (j, _) in delta
             .removed_circuits
             .iter()
-            .filter(|rc| rc.fibers.iter().any(|f| ac.fibers.contains(f)))
-            .count();
+            .enumerate()
+            .filter(|(_, rc)| rc.fibers.iter().any(|f| ac.fibers.contains(f)))
+        {
+            edges.push((OpKind::TeardownCircuit(j), OpKind::SetupCircuit(i)));
+        }
     }
-    (delta.op_count(), edges)
+    edges
+}
+
+/// Sizes the Dionysus dependency structure of a delta without scheduling
+/// it: `(nodes, edges)` where nodes are update operations and edges are
+/// the resource dependencies enumerated by [`dependency_edges`].
+pub fn dependency_graph_size(delta: &NetworkDelta) -> (usize, usize) {
+    (delta.op_count(), dependency_edges(delta).len())
 }
 
 /// Operation identity within a plan, indexing into the delta's vectors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Uninstall `removed_paths[i]`.
     RemovePath(usize),

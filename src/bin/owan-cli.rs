@@ -8,6 +8,9 @@
 //!          [--obs FILE.jsonl] [--obs-summary]
 //! owan-cli verify [--seeds N] [--start S] [--replay FILE] [--net NAME]
 //!                 [--slots N] [--iters N] [--load λ] [--seed N] [--out FILE]
+//! owan-cli chaos  [--net NAME] [--seed N] [--load λ] [--slot SECONDS]
+//!                 [--slots N] [--iters N] [--detect SECONDS]
+//!                 [--timeout-prob P] [--fail-prob P] [--obs FILE.jsonl]
 //! ```
 //!
 //! With `--sigma` the workload carries deadlines and the deadline metrics
@@ -24,9 +27,15 @@
 //! Example:
 //! `cargo run --release --bin owan-cli -- --net internet2 --engine owan --load 1.5`
 
-use owan::core::SchedulingPolicy;
-use owan::obs::{format_stage_table, Recorder};
-use owan::oracle::{fuzz_seeds, replay_scenario, ReplayConfig, Reproducer, Scenario};
+use owan::chaos::{run_chaos, seeded_scenario, ChaosConfig, ChaosResult, OpFaultModel, SlotAudit};
+use owan::core::{
+    default_topology, AnnealConfig, OwanConfig, OwanEngine, SchedulingPolicy, TrafficEngineer,
+};
+use owan::obs::{format_counter_table, format_stage_table, Recorder};
+use owan::oracle::{
+    check_plan, check_timeline, fuzz_chaos, fuzz_seeds, replay_scenario, ChaosReplayConfig,
+    ReplayConfig, Reproducer, Scenario,
+};
 use owan::sim::metrics::{self, SizeBin};
 use owan::sim::runner::{run_engine_observed, EngineKind, RunnerConfig};
 use owan::sim::SimConfig;
@@ -35,6 +44,7 @@ use owan::workload::{generate, WorkloadConfig};
 
 const USAGE: &str = "usage: owan-cli [OPTIONS]
        owan-cli verify [OPTIONS]
+       owan-cli chaos [OPTIONS]
 
 run options:
   --net NAME          evaluation network: internet2 | isp | interdc  [internet2]
@@ -60,9 +70,30 @@ verify options (modes are mutually exclusive; default is --seeds):
   --load L            workload load factor (with --net)  [1.0]
   --seed N            workload seed (with --net)  [42]
   --out FILE          write the minimized reproducer here on divergence
+  --chaos             fuzz seeds through the hardened chaos controller
+                      (cuts+repairs, op faults, crashes) instead of the
+                      fault-free loop; failures name the seed directly
 
 verify exits 0 when every invariant holds on every slot, 1 on divergence
-(printing the minimized reproducer), 2 on bad arguments.";
+(printing the minimized reproducer), 2 on bad arguments.
+
+chaos options:
+  --net NAME          evaluation network: internet2 | isp | interdc  [internet2]
+  --seed N            scenario + workload + annealing seed  [42]
+  --load L            workload load factor lambda  [1.0]
+  --slot SECS         slot length, seconds  [300]
+  --slots N           horizon, slots  [60]
+  --iters N           annealing iterations per slot  [60]
+  --detect SECS       fault detection delay, seconds  [30]
+  --timeout-prob P    per-attempt update-op timeout probability  [0.1]
+  --fail-prob P       per-attempt update-op failure probability  [0.05]
+  --obs FILE.jsonl    export telemetry (chaos.* counters included) to FILE
+
+chaos runs a seeded scenario (fiber cut + amp degradation + op faults +
+controller crash + repairs) through the hardened controller twice — once
+fault-free, once with faults — checking every cross-layer invariant each
+slot, and reports the delivered-volume loss. Exits 0 when all invariants
+hold and the runs are deterministic, 1 otherwise, 2 on bad arguments.";
 
 /// Minimal flag parser: `--key value` pairs plus boolean switches.
 struct Args(Vec<String>);
@@ -202,6 +233,33 @@ fn verify_main(args: &Args) -> ! {
 
     let count = args.parse("--seeds", 200u64);
     let start = args.parse("--start", 0u64);
+    if args.flag("--chaos") {
+        eprintln!(
+            "chaos-fuzzing seeds {start}..{} with {iters} anneal iters",
+            start + count
+        );
+        let chaos_config = ChaosReplayConfig {
+            anneal_iterations: iters,
+            ..Default::default()
+        };
+        match fuzz_chaos(start, count, &chaos_config) {
+            Ok(stats) => {
+                println!(
+                    "OK: {} chaos scenarios replayed clean ({} slots, {} plans, {} update \
+                     schedules checked, {} crash restarts)",
+                    stats.scenarios,
+                    stats.slots,
+                    stats.plans_checked,
+                    stats.updates_checked,
+                    stats.crashes
+                );
+                std::process::exit(0);
+            }
+            // Chaos scenarios regenerate deterministically from the seed,
+            // so the seed itself is the reproducer.
+            Err((seed, f)) => fail(&format!("chaos seed {seed}: {f}"), None),
+        }
+    }
     eprintln!(
         "fuzzing seeds {start}..{} with {iters} anneal iters",
         start + count
@@ -221,6 +279,188 @@ fn verify_main(args: &Args) -> ! {
     }
 }
 
+/// `owan-cli chaos`: seeded fault injection end to end. Builds a named
+/// network and workload, derives a chaos timeline from the seed, runs the
+/// hardened controller fault-free and faulted (auditing every slot), and
+/// reports the delivered-volume loss plus the fault/recovery counters.
+fn chaos_main(args: &Args) -> ! {
+    let net_name = args.get("--net").unwrap_or("internet2").to_string();
+    let network: Network = match net_name.as_str() {
+        "internet2" => internet2_testbed(),
+        "isp" => isp_backbone(7),
+        "interdc" => inter_dc(7),
+        other => {
+            eprintln!("owan-cli chaos: unknown network '{other}' for --net");
+            std::process::exit(2);
+        }
+    };
+    let seed = args.parse("--seed", 42u64);
+    let load = args.parse("--load", 1.0f64);
+    let slot = args.parse("--slot", 300.0f64);
+    let slots = args.parse("--slots", 60usize);
+    let iters = args.parse("--iters", 60usize);
+    let detect = args.parse("--detect", 30.0f64);
+    let timeout_prob = args.parse("--timeout-prob", 0.1f64);
+    let fail_prob = args.parse("--fail-prob", 0.05f64);
+    let obs_path = args.get("--obs").map(str::to_string);
+
+    let wl = if net_name == "internet2" {
+        WorkloadConfig::testbed(load, seed)
+    } else {
+        WorkloadConfig::simulation(load, seed)
+    };
+    let requests = generate(&network, &wl);
+    let plant = network.plant;
+
+    let horizon = slot * slots as f64;
+    let events = seeded_scenario(&plant, seed, horizon);
+    let op_faults = OpFaultModel {
+        seed,
+        timeout_prob,
+        fail_prob,
+    };
+    let config = ChaosConfig {
+        slot_len_s: slot,
+        max_slots: slots,
+        detection_delay_s: detect,
+        ..Default::default()
+    };
+    let mut make_engine = |p: &owan::optical::FiberPlant| {
+        let owan_config = OwanConfig {
+            anneal: AnnealConfig {
+                max_iterations: iters,
+                seed: seed.wrapping_add(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        Box::new(OwanEngine::new(default_topology(p), owan_config)) as Box<dyn TrafficEngineer>
+    };
+
+    eprintln!(
+        "chaos on {net_name}: {} transfers, {} fault events, {slots} slots of {slot}s, \
+         detect {detect}s, op faults t={timeout_prob} f={fail_prob}",
+        requests.len(),
+        events.len()
+    );
+
+    let mut violations = 0usize;
+    let mut audit = |a: &SlotAudit| -> Result<(), String> {
+        check_plan(a.believed_plant, a.transfers, a.slot_len_s, a.plan)
+            .map_err(|v| format!("slot plan: {v}"))?;
+        if let (Some(delta), Some(update)) = (a.delta, a.update) {
+            check_timeline(delta, update, &a.params).map_err(|v| format!("update: {v}"))?;
+        }
+        Ok(())
+    };
+
+    let recorder = if obs_path.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+
+    let baseline = run_chaos(
+        &plant,
+        &requests,
+        &mut make_engine,
+        &config,
+        &[],
+        &OpFaultModel::none(),
+        &Recorder::disabled(),
+        None,
+    )
+    .expect("fault-free baseline cannot fail an absent audit");
+
+    let mut chaos_run = |rec: &Recorder| -> Result<ChaosResult, String> {
+        run_chaos(
+            &plant,
+            &requests,
+            &mut make_engine,
+            &config,
+            &events,
+            &op_faults,
+            rec,
+            Some(&mut audit),
+        )
+    };
+    let faulted = match chaos_run(&recorder) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("owan-cli chaos: FAIL: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Same seed, same scenario: the rerun must reproduce the run exactly.
+    let rerun = match chaos_run(&Recorder::disabled()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("owan-cli chaos: FAIL on rerun: {e}");
+            std::process::exit(1);
+        }
+    };
+    let deterministic = faulted.delivered_series == rerun.delivered_series
+        && faulted.stats == rerun.stats
+        && faulted.makespan_s == rerun.makespan_s;
+    if !deterministic {
+        eprintln!("owan-cli chaos: FAIL: rerun with seed {seed} diverged");
+        violations += 1;
+    }
+
+    let completed = |r: &ChaosResult| {
+        r.completions
+            .iter()
+            .filter(|c| c.completion_s.is_some())
+            .count()
+    };
+    println!("network,{net_name}");
+    println!("seed,{seed}");
+    println!("transfers,{}", requests.len());
+    println!("fault_events,{}", events.len());
+    println!("baseline_completed,{}", completed(&baseline));
+    println!("chaos_completed,{}", completed(&faulted));
+    println!("baseline_delivered_gbits,{:.0}", baseline.delivered_gbits);
+    println!("chaos_delivered_gbits,{:.0}", faulted.delivered_gbits);
+    println!(
+        "delivered_loss_gbits,{:.0}",
+        (baseline.delivered_gbits - faulted.delivered_gbits).max(0.0)
+    );
+    println!("baseline_makespan_s,{:.0}", baseline.makespan_s);
+    println!("chaos_makespan_s,{:.0}", faulted.makespan_s);
+    println!("faults_detected,{}", faulted.stats.faults_detected);
+    println!("crashes,{}", faulted.stats.crashes);
+    println!("op_retries,{}", faulted.stats.op_retries);
+    println!("op_timeouts,{}", faulted.stats.op_timeouts);
+    println!("op_failures,{}", faulted.stats.op_failures);
+    println!("op_aborts,{}", faulted.stats.op_aborts);
+    println!("fallback_slots,{}", faulted.stats.fallback_slots);
+    println!("blackhole_paths,{}", faulted.stats.blackhole_paths);
+    println!("blackhole_gbits,{:.0}", faulted.stats.blackhole_gbits);
+    println!("transition_loss_gbits,{:.0}", faulted.transition_loss_gbits);
+    println!("deterministic,{}", if deterministic { "yes" } else { "no" });
+
+    if recorder.is_enabled() {
+        let snapshot = recorder.snapshot();
+        if let Some(path) = &obs_path {
+            let mut out: Vec<u8> = Vec::new();
+            snapshot
+                .write_jsonl(&mut out)
+                .expect("serializing to memory cannot fail");
+            if let Err(e) = std::fs::write(path, &out) {
+                eprintln!("owan-cli chaos: cannot write --obs file '{path}': {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote {} telemetry lines to {path}",
+                out.iter().filter(|&&b| b == b'\n').count()
+            );
+        }
+        print!("{}", format_counter_table(&snapshot, "chaos."));
+    }
+
+    std::process::exit(if violations == 0 { 0 } else { 1 });
+}
+
 fn main() {
     let args = Args(std::env::args().collect());
     if args.flag("--help") || args.flag("-h") {
@@ -229,6 +469,9 @@ fn main() {
     }
     if std::env::args().nth(1).as_deref() == Some("verify") {
         verify_main(&args);
+    }
+    if std::env::args().nth(1).as_deref() == Some("chaos") {
+        chaos_main(&args);
     }
 
     let net_name = args.get("--net").unwrap_or("internet2").to_string();

@@ -5,6 +5,7 @@
 //! - [`owan_optical`] — optical-layer substrate (ROADMs, circuits, regenerators)
 //! - [`owan_te`] — baseline traffic-engineering algorithms
 //! - [`owan_sim`] — the time-slotted flow simulator and controller loop
+pub use owan_chaos as chaos;
 pub use owan_core as core;
 pub use owan_graph as graph;
 pub use owan_obs as obs;
