@@ -1,0 +1,70 @@
+//! Regenerates `BENCH_anneal.json` — the annealing fast-path benchmark —
+//! and optionally gates on a checked-in baseline.
+//!
+//! ```text
+//! bench_anneal [--quick] [--iters N] [--chains N] [--out FILE] [--check BASELINE]
+//! ```
+//!
+//! `--out` writes the fresh report (default: print to stdout only).
+//! `--check` compares the fresh report's `fast_evals_per_s` against the
+//! baseline file and exits 1 when it regressed more than the tolerance
+//! (30%, overridable via the `BENCH_TOLERANCE` env var, e.g. `0.5`).
+//! Run under `--release`; debug builds cross-check every cached circuit
+//! build against a naive rebuild and time nothing meaningful.
+
+use owan_bench::perf::{bench_anneal, check_against_baseline};
+use owan_bench::Scale;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args();
+    let label = if args.iter().any(|a| a == "--quick") {
+        "quick"
+    } else {
+        "full"
+    };
+    let chains = arg_value(&args, "--chains")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+
+    eprintln!(
+        "bench_anneal: scale {label}, {} iters, {chains} chains",
+        scale.anneal_iterations
+    );
+    let report = bench_anneal(&scale, label, chains);
+    let json = report.to_json();
+    print!("{json}");
+
+    if let Some(path) = arg_value(&args, "--out") {
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("bench_anneal: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("bench_anneal: wrote {path}");
+    }
+
+    if let Some(baseline_path) = arg_value(&args, "--check") {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("bench_anneal: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let tolerance = std::env::var("BENCH_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.3f64);
+        match check_against_baseline(&report, &baseline, tolerance) {
+            Ok(msg) => eprintln!("bench_anneal: OK: {msg}"),
+            Err(msg) => {
+                eprintln!("bench_anneal: FAIL: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

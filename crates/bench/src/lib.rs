@@ -12,8 +12,10 @@
 
 pub mod figs;
 pub mod micro;
+pub mod perf;
 pub mod scale;
 
 pub use figs::{fig7, fig8, fig9};
 pub use micro::{fig10a, fig10b, fig10c, fig10d, validation};
+pub use perf::{bench_anneal, check_against_baseline, AnnealBenchReport};
 pub use scale::{net_by_name, workload_for, Scale};

@@ -1,0 +1,441 @@
+//! The annealing fast-path benchmark behind `BENCH_anneal.json`.
+//!
+//! Three measurements, all at *fixed search quality* — every accelerated
+//! configuration is asserted to produce bit-identical results to the naive
+//! reference before its timing is reported:
+//!
+//! 1. **Energy-evaluation rate** — one annealing run on the ISP backbone,
+//!    naive vs cached, reporting energy-evals/sec, the
+//!    `circuits.shortest_path_calls` counts (the ≥5× reduction target),
+//!    and the outcome-memo hit rate.
+//! 2. **Pipeline wall clock** — the Fig 10(d)-style inter-DC simulation at
+//!    a fixed iteration budget, cache off vs on (the ≥2× speedup target),
+//!    plus slots/sec.
+//! 3. **Multi-chain scaling** — N independently-seeded chains run
+//!    sequentially vs through [`anneal_parallel`], same best-of result.
+//!
+//! Output is a flat JSON object so the CI smoke job can grep a single key
+//! against the checked-in baseline without a JSON parser.
+
+use crate::scale::{net_by_name, workload_for, Scale};
+use owan_core::{
+    anneal_parallel, anneal_with_cache, chain_seed, default_topology, AnnealConfig, AnnealResult,
+    CircuitBuildConfig, CoreTelemetry, EnergyCache, EnergyContext, RateAssignConfig,
+    SchedulingPolicy, Topology, Transfer,
+};
+use owan_obs::Recorder;
+use owan_sim::runner::{run_engine, EngineKind, RunnerConfig};
+use owan_sim::sim::SimResult;
+use owan_sim::SimConfig;
+use std::time::Instant;
+
+/// Everything one benchmark run measured. Field names match the JSON keys.
+#[derive(Debug, Clone)]
+pub struct AnnealBenchReport {
+    /// Scale label ("quick" or "full").
+    pub scale: String,
+    /// Annealing iterations per run.
+    pub iterations: usize,
+    /// Chains used in the multi-chain measurement.
+    pub chains: usize,
+    /// CPU cores visible to the benchmark (`available_parallelism`).
+    /// `chains_speedup` below 1.0 is expected when this is 1: the scoped
+    /// threads only add spawn overhead on a single core.
+    pub cores: usize,
+    /// Naive single-run wall time, seconds (ISP).
+    pub naive_wall_s: f64,
+    /// Naive energy evaluations per second.
+    pub naive_evals_per_s: f64,
+    /// Naive `circuits.shortest_path_calls`.
+    pub naive_shortest_path_calls: u64,
+    /// Cached single-run wall time, seconds (ISP).
+    pub fast_wall_s: f64,
+    /// Cached energy evaluations per second.
+    pub fast_evals_per_s: f64,
+    /// Cached `circuits.shortest_path_calls`.
+    pub fast_shortest_path_calls: u64,
+    /// `naive_shortest_path_calls / fast_shortest_path_calls`.
+    pub shortest_path_reduction: f64,
+    /// `naive_wall_s / fast_wall_s` for the single run.
+    pub eval_speedup: f64,
+    /// Outcome-memo hit rate over the cached run's evaluations.
+    pub cache_hit_rate: f64,
+    /// Fig 10(d)-style pipeline wall, cache off, seconds (inter-DC).
+    pub pipeline_naive_wall_s: f64,
+    /// Same pipeline with the cache on.
+    pub pipeline_fast_wall_s: f64,
+    /// `pipeline_naive_wall_s / pipeline_fast_wall_s`.
+    pub pipeline_speedup: f64,
+    /// Slots simulated by the pipeline.
+    pub pipeline_slots: usize,
+    /// Slots per second with the cache on.
+    pub pipeline_slots_per_s: f64,
+    /// Wall time of the N chains run back to back, seconds.
+    pub chains_seq_wall_s: f64,
+    /// Wall time of the same N chains through `anneal_parallel`.
+    pub chains_par_wall_s: f64,
+    /// `chains_seq_wall_s / chains_par_wall_s`.
+    pub chains_speedup: f64,
+}
+
+/// Builds the single-run annealing fixture on a named network: the energy
+/// context inputs and the initial topology.
+fn anneal_fixture(net_name: &str, scale: &Scale) -> (owan_topo::Network, Vec<Transfer>, Topology) {
+    let net = net_by_name(net_name);
+    let reqs = workload_for(&net, 1.0, None, scale);
+    let transfers: Vec<Transfer> = reqs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Transfer::from_request(i, r))
+        .collect();
+    let initial = if net.static_topology.total_links() > 0 {
+        net.static_topology.clone()
+    } else {
+        default_topology(&net.plant)
+    };
+    (net, transfers, initial)
+}
+
+/// One observed annealing run; returns the result, wall seconds, and the
+/// counter snapshot values `(evals, shortest_path_calls, cache_hits)`.
+fn timed_anneal(
+    net: &owan_topo::Network,
+    transfers: &[Transfer],
+    initial: &Topology,
+    config: &AnnealConfig,
+    cache: Option<&mut EnergyCache>,
+) -> (AnnealResult, f64, u64, u64, u64) {
+    let fiber_dist = net.plant.fiber_distance_matrix();
+    let ctx = EnergyContext {
+        plant: &net.plant,
+        fiber_dist: &fiber_dist,
+        transfers,
+        policy: SchedulingPolicy::ShortestJobFirst,
+        slot_len_s: 300.0,
+        circuit_config: CircuitBuildConfig::default(),
+        rate_config: RateAssignConfig::default(),
+    };
+    let recorder = Recorder::enabled();
+    let telemetry = CoreTelemetry::new(&recorder);
+    let start = Instant::now();
+    let result = anneal_with_cache(&ctx, initial, config, cache, &telemetry);
+    let wall = start.elapsed().as_secs_f64();
+    let snap = recorder.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let evals = counter("anneal.cache_hit") + counter("anneal.cache_miss");
+    (
+        result,
+        wall,
+        evals,
+        counter("circuits.shortest_path_calls"),
+        counter("anneal.cache_hit"),
+    )
+}
+
+/// Runs the Fig 10(d)-style inter-DC pipeline at a fixed iteration budget
+/// and returns `(result, wall_s)`.
+fn timed_pipeline(scale: &Scale, use_cache: bool) -> (SimResult, f64) {
+    let net = net_by_name("interdc");
+    let reqs = workload_for(&net, 1.0, None, scale);
+    let cfg = RunnerConfig {
+        sim: SimConfig {
+            slot_len_s: scale.slot_len_s,
+            max_slots: 2_000,
+            ..Default::default()
+        },
+        anneal_iterations: scale.anneal_iterations,
+        seed: scale.seed,
+        anneal_use_cache: use_cache,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let res = run_engine(EngineKind::Owan, &net, &reqs, &cfg);
+    (res, start.elapsed().as_secs_f64())
+}
+
+/// Asserts two simulation runs produced identical plans (same throughput
+/// trajectory and same per-transfer completions).
+fn assert_same_sim(a: &SimResult, b: &SimResult) {
+    assert_eq!(a.slots, b.slots, "slot counts differ");
+    assert_eq!(
+        a.throughput_series, b.throughput_series,
+        "throughput series differ"
+    );
+    let key = |r: &SimResult| -> Vec<(usize, Option<f64>)> {
+        r.completions
+            .iter()
+            .map(|c| (c.id, c.completion_s))
+            .collect()
+    };
+    assert_eq!(key(a), key(b), "completions differ");
+}
+
+/// Runs the full benchmark. `reps` single-anneal repetitions are measured
+/// and the fastest wall is kept (reduces scheduler noise; counters are
+/// identical across reps by determinism).
+pub fn bench_anneal(scale: &Scale, scale_label: &str, chains: usize) -> AnnealBenchReport {
+    let iterations = scale.anneal_iterations;
+    let config = AnnealConfig {
+        max_iterations: iterations,
+        seed: scale.seed,
+        ..Default::default()
+    };
+    let (net, transfers, initial) = anneal_fixture("isp", scale);
+
+    // --- single-run evaluation rate, naive vs cached (ISP) ---
+    let reps = 3;
+    let mut naive: Option<(AnnealResult, f64, u64, u64)> = None;
+    let mut fast: Option<(AnnealResult, f64, u64, u64, f64)> = None;
+    for _ in 0..reps {
+        let (res, wall, evals, sp, _) = timed_anneal(&net, &transfers, &initial, &config, None);
+        naive = match naive {
+            Some(prev) if prev.1 <= wall => Some(prev),
+            _ => Some((res, wall, evals, sp)),
+        };
+    }
+    for _ in 0..reps {
+        let mut cache = EnergyCache::new();
+        let (res, wall, evals, sp, hits) =
+            timed_anneal(&net, &transfers, &initial, &config, Some(&mut cache));
+        let hit_rate = if evals > 0 {
+            hits as f64 / evals as f64
+        } else {
+            0.0
+        };
+        fast = match fast {
+            Some(prev) if prev.1 <= wall => Some(prev),
+            _ => Some((res, wall, evals, sp, hit_rate)),
+        };
+    }
+    let (naive_res, naive_wall, naive_evals, naive_sp) = naive.expect("reps >= 1");
+    let (fast_res, fast_wall, fast_evals, fast_sp, cache_hit_rate) = fast.expect("reps >= 1");
+    assert_eq!(
+        naive_res.topology, fast_res.topology,
+        "cached anneal diverged from naive"
+    );
+    assert_eq!(naive_res.energy_gbps(), fast_res.energy_gbps());
+    assert_eq!(naive_evals, fast_evals, "same search, same evaluations");
+
+    // --- pipeline speedup at fixed quality (inter-DC) ---
+    let (pipe_naive, pipeline_naive_wall_s) = timed_pipeline(scale, false);
+    let (pipe_fast, pipeline_fast_wall_s) = timed_pipeline(scale, true);
+    assert_same_sim(&pipe_naive, &pipe_fast);
+
+    // --- multi-chain scaling (ISP) ---
+    let fiber_dist = net.plant.fiber_distance_matrix();
+    let ctx = EnergyContext {
+        plant: &net.plant,
+        fiber_dist: &fiber_dist,
+        transfers: &transfers,
+        policy: SchedulingPolicy::ShortestJobFirst,
+        slot_len_s: 300.0,
+        circuit_config: CircuitBuildConfig::default(),
+        rate_config: RateAssignConfig::default(),
+    };
+    let telemetry = CoreTelemetry::disabled();
+    let start = Instant::now();
+    let mut seq_best: Option<AnnealResult> = None;
+    for i in 0..chains {
+        let cfg = AnnealConfig {
+            seed: chain_seed(config.seed, i),
+            ..config
+        };
+        let mut cache = EnergyCache::new();
+        let r = anneal_with_cache(&ctx, &initial, &cfg, Some(&mut cache), &telemetry);
+        seq_best = match seq_best {
+            Some(b) if r.energy_gbps() <= b.energy_gbps() => Some(b),
+            _ => Some(r),
+        };
+    }
+    let chains_seq_wall_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let par = anneal_parallel(&ctx, &initial, &config, chains, &telemetry);
+    let chains_par_wall_s = start.elapsed().as_secs_f64();
+    let seq_best = seq_best.expect("chains >= 1");
+    assert_eq!(
+        seq_best.topology, par.topology,
+        "parallel best-of diverged from sequential best-of"
+    );
+    assert_eq!(seq_best.energy_gbps(), par.energy_gbps());
+
+    AnnealBenchReport {
+        scale: scale_label.to_string(),
+        iterations,
+        chains,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        naive_wall_s: naive_wall,
+        naive_evals_per_s: naive_evals as f64 / naive_wall.max(1e-9),
+        naive_shortest_path_calls: naive_sp,
+        fast_wall_s: fast_wall,
+        fast_evals_per_s: fast_evals as f64 / fast_wall.max(1e-9),
+        fast_shortest_path_calls: fast_sp,
+        shortest_path_reduction: naive_sp as f64 / (fast_sp as f64).max(1.0),
+        eval_speedup: naive_wall / fast_wall.max(1e-9),
+        cache_hit_rate,
+        pipeline_naive_wall_s,
+        pipeline_fast_wall_s,
+        pipeline_speedup: pipeline_naive_wall_s / pipeline_fast_wall_s.max(1e-9),
+        pipeline_slots: pipe_fast.slots,
+        pipeline_slots_per_s: pipe_fast.slots as f64 / pipeline_fast_wall_s.max(1e-9),
+        chains_seq_wall_s,
+        chains_par_wall_s,
+        chains_speedup: chains_seq_wall_s / chains_par_wall_s.max(1e-9),
+    }
+}
+
+impl AnnealBenchReport {
+    /// Serializes as a flat JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let mut kv = |key: &str, val: String| {
+            s.push_str(&format!("  \"{key}\": {val},\n"));
+        };
+        kv("scale", format!("\"{}\"", self.scale));
+        kv("iterations", self.iterations.to_string());
+        kv("chains", self.chains.to_string());
+        kv("cores", self.cores.to_string());
+        kv("naive_wall_s", format!("{:.6}", self.naive_wall_s));
+        kv(
+            "naive_evals_per_s",
+            format!("{:.2}", self.naive_evals_per_s),
+        );
+        kv(
+            "naive_shortest_path_calls",
+            self.naive_shortest_path_calls.to_string(),
+        );
+        kv("fast_wall_s", format!("{:.6}", self.fast_wall_s));
+        kv("fast_evals_per_s", format!("{:.2}", self.fast_evals_per_s));
+        kv(
+            "fast_shortest_path_calls",
+            self.fast_shortest_path_calls.to_string(),
+        );
+        kv(
+            "shortest_path_reduction",
+            format!("{:.2}", self.shortest_path_reduction),
+        );
+        kv("eval_speedup", format!("{:.2}", self.eval_speedup));
+        kv("cache_hit_rate", format!("{:.4}", self.cache_hit_rate));
+        kv(
+            "pipeline_naive_wall_s",
+            format!("{:.6}", self.pipeline_naive_wall_s),
+        );
+        kv(
+            "pipeline_fast_wall_s",
+            format!("{:.6}", self.pipeline_fast_wall_s),
+        );
+        kv("pipeline_speedup", format!("{:.2}", self.pipeline_speedup));
+        kv("pipeline_slots", self.pipeline_slots.to_string());
+        kv(
+            "pipeline_slots_per_s",
+            format!("{:.2}", self.pipeline_slots_per_s),
+        );
+        kv(
+            "chains_seq_wall_s",
+            format!("{:.6}", self.chains_seq_wall_s),
+        );
+        kv(
+            "chains_par_wall_s",
+            format!("{:.6}", self.chains_par_wall_s),
+        );
+        let last = format!("  \"chains_speedup\": {:.2}\n", self.chains_speedup);
+        s.push_str(&last);
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+/// Extracts a numeric value from a flat JSON object by key. Intentionally
+/// minimal — the baseline file is machine-written by this module.
+pub fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Compares a fresh report against a checked-in baseline: fails when the
+/// fresh energy-evaluation rate regresses more than `tolerance` (fraction)
+/// below the baseline's. Returns a human-readable summary on success.
+pub fn check_against_baseline(
+    report: &AnnealBenchReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Result<String, String> {
+    let base = json_number(baseline_json, "fast_evals_per_s")
+        .ok_or("baseline is missing fast_evals_per_s")?;
+    let fresh = report.fast_evals_per_s;
+    let floor = base * (1.0 - tolerance);
+    if fresh < floor {
+        return Err(format!(
+            "fast_evals_per_s regressed: {fresh:.1} < {floor:.1} \
+             (baseline {base:.1}, tolerance {:.0}%)",
+            tolerance * 100.0
+        ));
+    }
+    Ok(format!(
+        "fast_evals_per_s {fresh:.1} within {:.0}% of baseline {base:.1}",
+        tolerance * 100.0
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_and_check() {
+        let report = AnnealBenchReport {
+            scale: "quick".into(),
+            iterations: 10,
+            chains: 2,
+            cores: 1,
+            naive_wall_s: 1.0,
+            naive_evals_per_s: 100.0,
+            naive_shortest_path_calls: 1_000,
+            fast_wall_s: 0.25,
+            fast_evals_per_s: 400.0,
+            fast_shortest_path_calls: 100,
+            shortest_path_reduction: 10.0,
+            eval_speedup: 4.0,
+            cache_hit_rate: 0.5,
+            pipeline_naive_wall_s: 2.0,
+            pipeline_fast_wall_s: 1.0,
+            pipeline_speedup: 2.0,
+            pipeline_slots: 6,
+            pipeline_slots_per_s: 6.0,
+            chains_seq_wall_s: 1.0,
+            chains_par_wall_s: 0.5,
+            chains_speedup: 2.0,
+        };
+        let json = report.to_json();
+        assert_eq!(json_number(&json, "fast_evals_per_s"), Some(400.0));
+        assert_eq!(json_number(&json, "chains_speedup"), Some(2.0));
+        assert_eq!(json_number(&json, "pipeline_slots"), Some(6.0));
+
+        assert!(check_against_baseline(&report, &json, 0.3).is_ok());
+        let mut slower = report.clone();
+        slower.fast_evals_per_s = 100.0;
+        assert!(check_against_baseline(&slower, &json, 0.3).is_err());
+    }
+
+    #[test]
+    fn bench_smoke_tiny() {
+        // A minutes-free smoke of the full measurement path.
+        let scale = Scale {
+            duration_s: 900.0,
+            max_requests: 8,
+            anneal_iterations: 15,
+            ..Scale::quick()
+        };
+        let report = bench_anneal(&scale, "tiny", 2);
+        assert!(report.naive_shortest_path_calls > 0);
+        assert!(report.fast_shortest_path_calls > 0);
+        assert!(
+            report.shortest_path_reduction >= 1.0,
+            "cache can only remove shortest-path work, got {}",
+            report.shortest_path_reduction
+        );
+        assert!(report.pipeline_slots > 0);
+    }
+}

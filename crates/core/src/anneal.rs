@@ -18,7 +18,8 @@
 //! `e^{(e_neighbor − e_current)/T}` from the cited Kirkpatrick et al.
 //! formulation (see DESIGN.md §4).
 
-use crate::energy::{compute_energy_observed, EnergyContext, EnergyOutcome};
+use crate::cache::EnergyCache;
+use crate::energy::{EnergyContext, EnergyEvaluator, EnergyOutcome};
 use crate::telemetry::{names, CoreTelemetry};
 use crate::topology::Topology;
 use owan_obs::Value;
@@ -44,6 +45,11 @@ pub struct AnnealConfig {
     /// Optional wall-clock budget in seconds (used by the Fig 10(d)
     /// running-time experiment). `None` = no time limit.
     pub time_budget_s: Option<f64>,
+    /// Use the [`EnergyCache`] fast path (relay caching, delta rebuilds,
+    /// outcome memoization). The search result is bit-identical either
+    /// way; this flag only trades memory for speed. Off = the naive
+    /// reference path, kept for differential tests and benchmarks.
+    pub use_cache: bool,
 }
 
 impl Default for AnnealConfig {
@@ -54,6 +60,7 @@ impl Default for AnnealConfig {
             seed: 1,
             max_iterations: 400,
             time_budget_s: None,
+            use_cache: true,
         }
     }
 }
@@ -84,24 +91,33 @@ impl AnnealResult {
 /// links, or every sampled move would create a self-link).
 pub fn compute_neighbor(s: &Topology, rng: &mut StdRng) -> Option<Topology> {
     let links = s.links();
-    if links.is_empty() || s.total_links() < 2 {
+    let total = links.iter().map(|&(_, _, m)| m as usize).sum::<usize>();
+    if links.is_empty() || total < 2 {
         return None;
     }
-    // Expand to unit links for uniform sampling by multiplicity.
-    let mut units: Vec<(usize, usize)> = Vec::new();
-    for &(u, v, m) in &links {
-        for _ in 0..m {
-            units.push((u, v));
+    // Sampling is uniform over link *units* (a link of multiplicity m is m
+    // units), but without materializing the unit expansion: draw an index
+    // into the virtual expanded list and walk the cumulative multiplicities
+    // to the owning link — O(links) per draw, and the index→pair map is
+    // exactly the expanded list's, so the RNG-to-move mapping is unchanged.
+    let unit_at = |idx: usize| -> (usize, usize) {
+        let mut rem = idx;
+        for &(u, v, m) in &links {
+            if rem < m as usize {
+                return (u, v);
+            }
+            rem -= m as usize;
         }
-    }
+        unreachable!("index {idx} beyond {total} link units");
+    };
     for _attempt in 0..64 {
-        let i = rng.random_range(0..units.len());
-        let j = rng.random_range(0..units.len());
+        let i = rng.random_range(0..total);
+        let j = rng.random_range(0..total);
         if i == j {
             continue;
         }
-        let (mut u, mut v) = units[i];
-        let (mut p, mut q) = units[j];
+        let (mut u, mut v) = unit_at(i);
+        let (mut p, mut q) = unit_at(j);
         // Random orientation of each undirected link.
         if rng.random::<bool>() {
             std::mem::swap(&mut u, &mut v);
@@ -134,23 +150,50 @@ pub fn anneal(ctx: &EnergyContext<'_>, initial: &Topology, config: &AnnealConfig
 /// every iteration), and emits sampled energy-trajectory events. The
 /// search itself is bit-for-bit identical to the unobserved run — the
 /// recorder never touches the RNG or the accept decisions.
+///
+/// When `config.use_cache` is set (the default) an ephemeral
+/// [`EnergyCache`] accelerates the run; pass a persistent cache to
+/// [`anneal_with_cache`] instead to reuse the plant-scoped layers across
+/// slots.
 pub fn anneal_observed(
     ctx: &EnergyContext<'_>,
     initial: &Topology,
     config: &AnnealConfig,
     telemetry: &CoreTelemetry,
 ) -> AnnealResult {
+    let mut ephemeral = config.use_cache.then(EnergyCache::new);
+    anneal_with_cache(ctx, initial, config, ephemeral.as_mut(), telemetry)
+}
+
+/// [`anneal_observed`] against an explicit cache (`None` = the naive
+/// reference path, regardless of `config.use_cache`). The search result is
+/// bit-identical across `cache` choices; only wall-clock and the
+/// work-performed counters differ.
+pub fn anneal_with_cache(
+    ctx: &EnergyContext<'_>,
+    initial: &Topology,
+    config: &AnnealConfig,
+    cache: Option<&mut EnergyCache>,
+    telemetry: &CoreTelemetry,
+) -> AnnealResult {
     let _span = telemetry.anneal.enter();
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut eval = EnergyEvaluator::new(ctx, cache, telemetry);
 
     let mut current = initial.clone();
-    let mut current_outcome = compute_energy_observed(ctx, &current, telemetry);
+    let mut current_outcome = eval.eval(&current, None);
     let mut current_e = current_outcome.energy_gbps();
     let initial_energy_gbps = current_e;
 
-    let mut best = current.clone();
-    let mut best_outcome = current_outcome.clone();
+    // Best-so-far snapshot, held lazily: `None` means the best state *is*
+    // the current state, so improvement streaks cost no clones at all; a
+    // snapshot (one clone) happens only when the walk accepts a move away
+    // from the best state. Correct because an improving neighbor
+    // (`neighbor_e > best_e`) always satisfies `neighbor_e >= current_e`
+    // (the invariant `best_e >= current_e` holds throughout) and is
+    // therefore always accepted.
+    let mut best: Option<(Topology, EnergyOutcome)> = None;
     let mut best_e = current_e;
 
     // Initial temperature = current throughput (Alg 1 line 4); keep it
@@ -170,12 +213,11 @@ pub fn anneal_observed(
             iter_span.cancel();
             break;
         };
-        let neighbor_outcome = compute_energy_observed(ctx, &neighbor, telemetry);
+        let neighbor_outcome = eval.eval(&neighbor, Some((&current, &current_outcome)));
         let neighbor_e = neighbor_outcome.energy_gbps();
 
-        if neighbor_e > best_e {
-            best = neighbor.clone();
-            best_outcome = neighbor_outcome.clone();
+        let improved = neighbor_e > best_e;
+        if improved {
             best_e = neighbor_e;
         }
 
@@ -186,15 +228,23 @@ pub fn anneal_observed(
             let p = ((neighbor_e - current_e) / temperature).exp();
             rng.random::<f64>() < p
         };
+        debug_assert!(!improved || accept, "an improving move is always accepted");
         if accept {
             telemetry.anneal_accepted.incr();
+            if improved {
+                // The new current state becomes the best; drop any older
+                // snapshot.
+                best = None;
+            } else if best.is_none() {
+                // Walking away from the best state: snapshot it first.
+                best = Some((current.clone(), current_outcome.clone()));
+            }
             current = neighbor;
             current_outcome = neighbor_outcome;
             current_e = neighbor_e;
         } else {
             telemetry.anneal_rejected.incr();
         }
-        let _ = &current_outcome; // kept for symmetry/clarity
 
         if telemetry.recorder.is_enabled() && iterations % sample_every == 0 {
             telemetry.recorder.event(
@@ -214,12 +264,103 @@ pub fn anneal_observed(
     }
     telemetry.anneal_iterations.add(iterations as u64);
 
+    let (topology, outcome) = match best {
+        Some(snapshot) => snapshot,
+        None => (current, current_outcome),
+    };
     AnnealResult {
-        topology: best,
-        outcome: best_outcome,
+        topology,
+        outcome,
         initial_energy_gbps,
         iterations,
     }
+}
+
+/// The per-chain seed of chain `i`: chain 0 keeps the configured seed
+/// verbatim (so a 1-chain parallel run replays the sequential run), later
+/// chains decorrelate via a golden-ratio multiply. Public so benchmarks
+/// and tests can replay individual chains sequentially.
+pub fn chain_seed(seed: u64, i: usize) -> u64 {
+    seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs `chains` independently-seeded annealing chains and returns the
+/// best result, with deterministic reduction: chains are compared in chain
+/// order and a later chain replaces the incumbent only on *strictly*
+/// greater energy, so ties always resolve to the lowest chain index —
+/// scheduling cannot influence the winner. Each chain gets its own
+/// ephemeral [`EnergyCache`] when `config.use_cache` is set; caches are
+/// never shared between threads.
+pub fn anneal_parallel(
+    ctx: &EnergyContext<'_>,
+    initial: &Topology,
+    config: &AnnealConfig,
+    chains: usize,
+    telemetry: &CoreTelemetry,
+) -> AnnealResult {
+    let mut caches: Vec<EnergyCache> = if config.use_cache {
+        (0..chains).map(|_| EnergyCache::new()).collect()
+    } else {
+        Vec::new()
+    };
+    anneal_parallel_with_caches(ctx, initial, config, chains, &mut caches, telemetry)
+}
+
+/// [`anneal_parallel`] against caller-owned caches, so the plant-scoped
+/// cache layers persist across slots. `caches` must be empty (naive
+/// evaluation in every chain) or hold at least `chains` entries (chain `i`
+/// uses `caches[i]`).
+///
+/// Chain 0 is the sequential run: with `chains == 1` this executes inline
+/// (no thread spawn) and returns exactly what [`anneal_with_cache`] would.
+pub fn anneal_parallel_with_caches(
+    ctx: &EnergyContext<'_>,
+    initial: &Topology,
+    config: &AnnealConfig,
+    chains: usize,
+    caches: &mut [EnergyCache],
+    telemetry: &CoreTelemetry,
+) -> AnnealResult {
+    assert!(chains >= 1, "at least one annealing chain is required");
+    assert!(
+        caches.is_empty() || caches.len() >= chains,
+        "pass no caches or one per chain"
+    );
+    telemetry.anneal_chains.add(chains as u64);
+    if chains == 1 {
+        return anneal_with_cache(ctx, initial, config, caches.first_mut(), telemetry);
+    }
+
+    let mut results: Vec<Option<AnnealResult>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(chains);
+        let mut cache_slots: Vec<Option<&mut EnergyCache>> = if caches.is_empty() {
+            (0..chains).map(|_| None).collect()
+        } else {
+            caches[..chains].iter_mut().map(Some).collect()
+        };
+        for (i, cache) in cache_slots.drain(..).enumerate() {
+            let cfg = AnnealConfig {
+                seed: chain_seed(config.seed, i),
+                ..*config
+            };
+            handles
+                .push(scope.spawn(move || anneal_with_cache(ctx, initial, &cfg, cache, telemetry)));
+        }
+        results = handles
+            .into_iter()
+            .map(|h| Some(h.join().expect("annealing chain panicked")))
+            .collect();
+    });
+
+    let mut winner: Option<AnnealResult> = None;
+    for r in results.into_iter().flatten() {
+        winner = match winner {
+            Some(w) if r.energy_gbps() <= w.energy_gbps() => Some(w),
+            _ => Some(r),
+        };
+    }
+    winner.expect("chains >= 1")
 }
 
 #[cfg(test)]

@@ -1,0 +1,834 @@
+//! The annealing fast path: plant-scoped relay/footprint caches and
+//! run-scoped energy memoization.
+//!
+//! Every annealing iteration evaluates `ComputeEnergy` (Algorithm 3) on a
+//! candidate topology, and the naive evaluation rebuilds a [`RegenGraph`]
+//! (Dijkstra + Yen) for *every* desired link — even though the plant is
+//! fixed for the whole slot and the Metropolis walk revisits states. The
+//! [`EnergyCache`] removes that redundancy in three layers:
+//!
+//! 1. **Relay-candidate cache** — candidate relay paths for a link
+//!    `(u, v)` depend only on the plant, the fiber-distance matrix, and
+//!    the free-regenerator vector. Entries are keyed on `(u, v)` plus the
+//!    regenerator vector they were computed under. A hit is accepted when
+//!    the queried vector equals the stored one verbatim, or when the
+//!    *relaxed match* ([`relaxed_entry_match`]) proves the differences
+//!    cannot change the Yen output: every site whose free count moved is
+//!    screened against a static lower bound on any relay path through it,
+//!    adjusted candidate costs provably preserve their order (exact ties
+//!    are only accepted where Yen's own tie-breaks are forced), and the
+//!    stored `(k+1)`-th cost bounds every path outside the candidate set.
+//!    Since most circuits consume no regenerators, one entry per pair
+//!    serves essentially every iteration.
+//! 2. **Footprint sets** — per pair, the union of fibers any relay
+//!    candidate's shortest routes can touch. The delta rebuild uses these
+//!    to prove two links cannot contend for wavelengths.
+//! 3. **Outcome/rate memos** — full [`EnergyOutcome`]s keyed by the
+//!    canonical topology hash (revisited states cost a lookup + clone),
+//!    plus a rate memo keyed by the *achieved* topology (distinct desired
+//!    topologies frequently collapse to the same achieved one).
+//!
+//! Invalidation: layers 1–2 are valid as long as the plant content is
+//! unchanged; [`EnergyCache::begin_run`] fingerprints the plant (sites,
+//! ports, regenerators, fibers, lengths, usable wavelengths) and flushes
+//! them when the fingerprint moves — e.g. when a chaos fault degrades an
+//! amplifier and shrinks a fiber's usable band. Layer 3 is only valid for
+//! one evaluation context (one transfer set, one slot length) and is
+//! cleared on every `begin_run`.
+
+use crate::circuits::CircuitBuildConfig;
+use crate::energy::EnergyOutcome;
+use crate::rates::RateOutcome;
+use crate::regen::RegenGraph;
+use crate::telemetry::CoreTelemetry;
+use crate::topology::Topology;
+use owan_optical::{FiberPlant, SiteId};
+use std::collections::HashMap;
+
+/// Cap on memoized full outcomes per run (an outcome holds an optical
+/// state; the cap bounds memory on long runs). Inserts stop at the cap —
+/// deterministically, since the insert order is the search order.
+const OUTCOME_CAP: usize = 4096;
+
+/// Cap on memoized rate outcomes per run.
+const RATE_CAP: usize = 8192;
+
+/// Cap on relay entries per endpoint pair (distinct regenerator vectors
+/// seen). On regenerator-rich plants each pair sees one vector per
+/// distinct upstream-consumption prefix, so the cap must hold a full
+/// annealing run's worth; on overflow the *oldest* entry is evicted
+/// (deterministic: insertion order is the search order).
+const RELAY_STATES_PER_PAIR: usize = 64;
+
+/// A small fiber-id bitset used for footprint disjointness tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FiberSet {
+    words: Vec<u64>,
+}
+
+impl FiberSet {
+    /// An empty set over `n_fibers` fiber ids.
+    pub fn new(n_fibers: usize) -> Self {
+        FiberSet {
+            words: vec![0; n_fibers.div_ceil(64)],
+        }
+    }
+
+    /// Inserts fiber `f`.
+    pub fn insert(&mut self, f: usize) {
+        self.words[f / 64] |= 1 << (f % 64);
+    }
+
+    /// True if the sets share any fiber.
+    pub fn intersects(&self, other: &FiberSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Adds every fiber of `other` to `self`.
+    pub fn union_with(&mut self, other: &FiberSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterates the fiber ids in the set, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64).filter_map(move |b| {
+                if bits & (1 << b) != 0 {
+                    Some(w * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+/// Cache effectiveness counters, exposed for tests and the bench pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyCacheStats {
+    /// Full-outcome memo hits (an evaluation answered without Algorithm 3).
+    pub outcome_hits: u64,
+    /// Full-outcome memo misses.
+    pub outcome_misses: u64,
+    /// Rate-memo hits (circuits rebuilt, rates answered from the memo).
+    pub rate_hits: u64,
+    /// Relay-candidate cache hits (a `RegenGraph` build + Yen avoided).
+    pub relay_hits: u64,
+    /// Relay-candidate hits through the relaxed vector match: the queried
+    /// vector differs from the stored one only at sites provably
+    /// irrelevant to the pair's top-k relay paths.
+    pub relay_relaxed_hits: u64,
+    /// Relay-candidate cache misses.
+    pub relay_misses: u64,
+    /// Incremental (delta) circuit rebuilds performed.
+    pub delta_builds: u64,
+    /// Delta rebuilds refused outright (the desired topologies differ by
+    /// more than the neighbor-move bound; a full rebuild follows).
+    pub delta_fallbacks: u64,
+    /// Pairs whose previous circuits were reused verbatim by delta
+    /// rebuilds (no shortest-path work, no provisioning).
+    pub delta_pairs_reused: u64,
+    /// Pairs re-provisioned from scratch inside delta rebuilds (the
+    /// skip test found a regenerator or occupancy divergence).
+    pub delta_pairs_rebuilt: u64,
+    /// Full circuit rebuilds (initial evaluations and fallbacks).
+    pub full_builds: u64,
+    /// Plant-fingerprint flushes of the relay/footprint layers.
+    pub flushes: u64,
+}
+
+/// Content fingerprint of a plant: everything circuit construction can
+/// observe — parameters, per-site ports/regenerators, per-fiber endpoints,
+/// lengths, and usable wavelengths (which folds in degradation caps). Site
+/// names are excluded: they cannot influence any build decision. FNV-1a
+/// over the canonical field order.
+pub fn plant_fingerprint(plant: &FiberPlant) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    let params = plant.params();
+    mix(params.wavelength_capacity_gbps.to_bits());
+    mix(params.wavelengths_per_fiber as u64);
+    mix(params.optical_reach_km.to_bits());
+    mix(plant.site_count() as u64);
+    for s in plant.sites() {
+        mix(s.router_ports as u64);
+        mix(s.regenerators as u64);
+    }
+    mix(plant.fiber_count() as u64);
+    for (f, fiber) in plant.fibers().iter().enumerate() {
+        mix(fiber.a as u64);
+        mix(fiber.b as u64);
+        mix(fiber.length_km.to_bits());
+        mix(plant.usable_wavelengths(f) as u64);
+    }
+    h
+}
+
+/// One cached relay-candidate computation: the exact regenerator vector it
+/// was computed under, the Yen output, and the *probe set* — every fiber
+/// any of the candidates' window routes traverses. A provisioning attempt
+/// that iterates this candidate list reads (and possibly writes) channel
+/// occupancy only on probe-set fibers, which is what lets the delta
+/// rebuild prove two links cannot observe each other's channels.
+#[derive(Debug, Clone)]
+struct RelayEntry {
+    regens: Vec<u32>,
+    candidates: Vec<Vec<SiteId>>,
+    /// Yen cost of each candidate, aligned with `candidates`.
+    costs: Vec<f64>,
+    probe: FiberSet,
+    /// Yen cost of the best path *not* in `candidates` (the `k+1`-th
+    /// shortest, computed alongside), or `+inf` when the path set is
+    /// exhausted. Every path outside `candidates` costs at least this
+    /// much under the stored vector.
+    next_cost: f64,
+}
+
+/// Slack for every relaxed-match weight comparison: absorbs f64
+/// summation-order error between adjusted costs, the static bound, and
+/// Yen's own path sums. Comparisons are arranged so the slack only ever
+/// makes the match *more* conservative.
+const RELAX_EPS: f64 = 1e-9;
+
+/// Decides whether the entry, computed under its stored vector `v1`,
+/// provably yields the same Yen output (same paths, same order) under the
+/// queried vector `v2`. A path's cost is the sum of its relay weights
+/// (`1/free`), so each stored candidate's cost under `v2` is its stored
+/// cost plus the weight deltas of changed sites it relays through. The
+/// match accepts when:
+///
+/// - membership (`free > 0`) is unchanged at every changed site — the
+///   node set, and hence the node indexing every deterministic tie-break
+///   rests on, is then identical (the pair's own endpoints are skipped:
+///   the regenerator graph excludes them and weighs them zero);
+/// - the adjusted candidate costs preserve the stored order *strictly*
+///   (`RELAX_EPS`-separated), or keep exact ties only between candidates
+///   whose costs did not move at all (their cost-then-lexicographic
+///   order is then decided exactly as before);
+/// - no path outside the stored candidates can undercut the adjusted last
+///   candidate: outside paths cost at least `next_cost` under `v1`, minus
+///   at most the total weight drop of released sites — excluding sites
+///   *screened* by the static interior bound `sd[u][s] + 1/free[s] +
+///   sd[s][v]`, a vector-independent lower bound on any `u–v` path
+///   through `s` that already clears the adjusted last cost.
+///
+/// Under these conditions every path cheaper than some candidate is
+/// itself a candidate, strictly separated from the outside, so Yen
+/// selects exactly the stored list in the stored order.
+fn relaxed_entry_match(
+    e: &RelayEntry,
+    regens_free: &[u32],
+    u: SiteId,
+    v: SiteId,
+    sd: &[Vec<f64>],
+) -> bool {
+    let mut changed: Vec<SiteId> = Vec::new(); // member in both, weight moved
+    let mut entered: Vec<SiteId> = Vec::new(); // 0 regens → free (node appears)
+    let mut left: Vec<SiteId> = Vec::new(); // free → 0 regens (node vanishes)
+    for (s, (&r1, &r2)) in e.regens.iter().zip(regens_free).enumerate() {
+        if r1 == r2 || s == u || s == v {
+            continue;
+        }
+        match (r1 > 0, r2 > 0) {
+            (true, true) => changed.push(s),
+            (false, true) => entered.push(s),
+            (true, false) => left.push(s),
+            (false, false) => unreachable!("r1 != r2"),
+        }
+    }
+    if changed.is_empty() && entered.is_empty() && left.is_empty() {
+        return true;
+    }
+
+    // Node indexing shifts when membership changes, but it stays monotone
+    // in site id, so every *relative* index comparison — Dijkstra pop
+    // order, Yen's pool lexicographic tie-break — is preserved across the
+    // shift. Membership changes therefore reduce to path-set changes: a
+    // site consumed to zero removes exactly the paths through it, and a
+    // site released from zero adds them. Either is safe when the site
+    // relays no candidate and the static bound keeps every path through it
+    // strictly above the boundary — nothing within the top-k appears,
+    // disappears, or changes a tie it participates in. (Strictly above
+    // matters even for *removed* paths: Yen's tie selection is
+    // pool-dependent, and a removed boundary-tied path can unhide an
+    // equal-cost path behind its spur point.)
+    for &s in &left {
+        if e.candidates.iter().any(|c| c[1..c.len() - 1].contains(&s)) {
+            return false; // a candidate path just became invalid
+        }
+    }
+
+    // Adjusted candidate costs under the queried vector. Three exactness
+    // classes: an *unchanged* candidate keeps its stored cost, which is
+    // bit-for-bit what a fresh run computes for it (the fresh run walks
+    // the identical generation sequence over identical weights); a moved
+    // *single-relay* candidate's cost is recomputed outright — one
+    // division, no summation, so again bit-exact; a moved multi-relay
+    // adjustment carries rounding error and is only trusted to
+    // `RELAX_EPS`.
+    let k = e.candidates.len();
+    let mut adjusted = e.costs.clone();
+    let mut moved = vec![false; k];
+    let mut exact = vec![false; k];
+    for i in 0..k {
+        let interior = &e.candidates[i][1..e.candidates[i].len() - 1];
+        let mut d = 0.0;
+        for &s in interior {
+            if changed.binary_search(&s).is_ok() {
+                d += 1.0 / regens_free[s] as f64 - 1.0 / e.regens[s] as f64;
+            }
+        }
+        if d == 0.0 {
+            exact[i] = true;
+        } else {
+            moved[i] = true;
+            if interior.len() == 1 {
+                adjusted[i] = 1.0 / regens_free[interior[0]] as f64;
+                exact[i] = true;
+            } else {
+                adjusted[i] = e.costs[i] + d;
+            }
+        }
+    }
+
+    // Single-relay hub, if the candidate is one.
+    let hub = |i: usize| -> Option<SiteId> {
+        let c = &e.candidates[i];
+        (c.len() == 3).then(|| c[1])
+    };
+
+    // Order preservation among the candidates: consecutive costs must stay
+    // strictly separated, except that *exact* ties between single-relay
+    // candidates are allowed in increasing hub-id order. Node indexing in
+    // the regenerator graph is fixed by membership (unchanged) and
+    // monotone in site id, so hub order is simultaneously the Dijkstra
+    // pop-order tie-break and Yen's pool lexicographic tie-break: a
+    // hub-ordered tied group is selected in exactly the stored order.
+    for i in 1..k {
+        if !moved[i - 1] && !moved[i] {
+            continue;
+        }
+        if adjusted[i - 1] + RELAX_EPS < adjusted[i] {
+            continue;
+        }
+        if exact[i - 1] && exact[i] {
+            if adjusted[i - 1] < adjusted[i] {
+                continue;
+            }
+            if adjusted[i - 1] == adjusted[i] {
+                if let (Some(a), Some(b)) = (hub(i - 1), hub(i)) {
+                    if a < b {
+                        continue;
+                    }
+                }
+            }
+        }
+        return false;
+    }
+
+    // Boundary: can any path outside the stored candidates undercut (or
+    // tie-displace) the adjusted last candidate?
+    let Some(&last) = adjusted.last() else {
+        // No relay path exists under the stored vector. Weight changes
+        // cannot create one (connectivity depends only on membership), but
+        // a released node can.
+        return entered.is_empty();
+    };
+    // Membership crossings must clear the boundary statically (the site
+    // already relays no candidate: checked above for vanished nodes,
+    // impossible for appearing ones).
+    for &s in &entered {
+        if sd[u][s] + 1.0 / regens_free[s] as f64 + sd[s][v] <= last + RELAX_EPS {
+            return false;
+        }
+    }
+    for &s in &left {
+        if sd[u][s] + 1.0 / e.regens[s] as f64 + sd[s][v] <= last + RELAX_EPS {
+            return false;
+        }
+    }
+    let max_free = regens_free.iter().copied().max().unwrap_or(1).max(1);
+    let wmin = 1.0 / max_free as f64;
+    // Screens a site whose paths got cheaper (weight drop, or a released
+    // node appearing): true when no path through `s` can enter or
+    // tie-displace the top-k.
+    let screened = |s: SiteId, w: f64| -> bool {
+        if sd[u][s] + w + sd[s][v] > last + RELAX_EPS {
+            return true; // statically screened
+        }
+        // Exact screen: when `s` neighbors both endpoints and any longer
+        // path through it clears the boundary (a second relay adds at
+        // least `wmin`), the only potential entrant is `[u, s, v]` at the
+        // bit-exact cost `w`.
+        if sd[u][s] == 0.0 && sd[s][v] == 0.0 && w + wmin > last + RELAX_EPS {
+            if e.candidates.iter().any(|c| c.len() == 3 && c[1] == s) {
+                return true; // already a candidate; its move was order-checked
+            }
+            // `[u, s, v]` stays outside the top-k iff it sorts after every
+            // candidate: strictly costlier than the (sorted) last, or tied
+            // only with single-relay candidates of smaller hub id.
+            if exact[k - 1] && adjusted[k - 1] < w {
+                return true;
+            }
+            return (0..k).all(|i| {
+                if exact[i] {
+                    adjusted[i] < w || (adjusted[i] == w && hub(i).is_some_and(|h| h < s))
+                } else {
+                    adjusted[i] + RELAX_EPS < w
+                }
+            });
+        }
+        false
+    };
+    let mut unscreened_drop = 0.0f64;
+    for &s in &changed {
+        let (r1, r2) = (e.regens[s], regens_free[s]);
+        if r2 <= r1 {
+            // Weight rose: through-`s` paths only got heavier, and strict
+            // relaxation keeps them from stealing any tie they previously
+            // lost.
+            continue;
+        }
+        let w = 1.0 / r2 as f64;
+        if !screened(s, w) {
+            unscreened_drop += 1.0 / r1 as f64 - w;
+        }
+    }
+    if unscreened_drop == 0.0 && adjusted[k - 1] <= e.costs[k - 1] {
+        // Nothing can enter from outside and the boundary didn't rise:
+        // the last candidate keeps winning whatever tie it already won.
+        return true;
+    }
+    last + RELAX_EPS < e.next_cost - unscreened_drop
+}
+
+/// The layered evaluation cache. See the module docs for the layer
+/// structure and invalidation rules.
+///
+/// Not shared between threads: each parallel annealing chain owns its own
+/// cache, which keeps chains bit-for-bit independent of scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyCache {
+    /// Fingerprint the plant-scoped layers were built under.
+    plant_sig: Option<u64>,
+    /// `relay_candidates` count the entries were computed with.
+    relay_k: usize,
+    /// Free regenerators per site of the *pristine* plant (the regen state
+    /// footprints are defined under).
+    initial_regens: Vec<u32>,
+    /// Relay-candidate entries per endpoint pair.
+    relay: HashMap<(SiteId, SiteId), Vec<RelayEntry>>,
+    /// Fiber footprints per endpoint pair (valid under `initial_regens`).
+    footprints: HashMap<(SiteId, SiteId), FiberSet>,
+    /// Directional shortest-route fiber sets (plant-only, used to build
+    /// footprints).
+    routes: HashMap<(SiteId, SiteId), Vec<usize>>,
+    /// Static interior-weight distances on the reach graph: `sd[x][y]` is a
+    /// lower bound on the summed relay weight strictly between `x` and `y`
+    /// on any relay path, valid under *every* free-regenerator vector
+    /// (static weights `1/total` under-estimate dynamic `1/free`). Built
+    /// lazily, plant-scoped.
+    static_interior: Option<Vec<Vec<f64>>>,
+    /// Run-scoped: full outcomes keyed by desired topology.
+    outcomes: HashMap<Topology, EnergyOutcome>,
+    /// Run-scoped: rate outcomes keyed by achieved topology.
+    rate_memo: HashMap<Topology, RateOutcome>,
+    /// Effectiveness counters.
+    pub stats: EnergyCacheStats,
+}
+
+impl EnergyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the cache for one evaluation run (one annealing call):
+    /// clears the run-scoped memos unconditionally, and flushes the
+    /// plant-scoped layers if the plant content or the relay-candidate
+    /// count changed since they were built. `fiber_dist` passed to the
+    /// other methods must always be `plant.fiber_distance_matrix()`.
+    pub fn begin_run(&mut self, plant: &FiberPlant, config: &CircuitBuildConfig) {
+        self.outcomes.clear();
+        self.rate_memo.clear();
+        let sig = plant_fingerprint(plant);
+        if self.plant_sig == Some(sig) && self.relay_k == config.relay_candidates {
+            return;
+        }
+        if self.plant_sig.is_some() {
+            self.stats.flushes += 1;
+        }
+        self.plant_sig = Some(sig);
+        self.relay_k = config.relay_candidates;
+        self.relay.clear();
+        self.footprints.clear();
+        self.routes.clear();
+        self.static_interior = None;
+        self.initial_regens = plant.sites().iter().map(|s| s.regenerators).collect();
+    }
+
+    /// Builds [`Self::static_interior`] if absent: node-weighted
+    /// Floyd–Warshall over every site, pivoting on regenerator-equipped
+    /// sites with their static weight `1/total`, edges wherever the fiber
+    /// distance is within optical reach. `O(V^3)` once per plant.
+    fn ensure_static_interior(&mut self, plant: &FiberPlant, fiber_dist: &[Vec<f64>]) {
+        if self.static_interior.is_some() {
+            return;
+        }
+        let n = plant.site_count();
+        let reach = plant.params().optical_reach_km;
+        let mut d = vec![vec![f64::INFINITY; n]; n];
+        for (x, row) in d.iter_mut().enumerate() {
+            for (y, cell) in row.iter_mut().enumerate() {
+                if x == y || fiber_dist[x][y] <= reach {
+                    *cell = 0.0;
+                }
+            }
+        }
+        for (k, site) in plant.sites().iter().enumerate() {
+            if site.regenerators == 0 {
+                continue;
+            }
+            let w = 1.0 / site.regenerators as f64;
+            for i in 0..n {
+                if !d[i][k].is_finite() {
+                    continue;
+                }
+                let dik = d[i][k] + w;
+                #[allow(clippy::needless_range_loop)] // reads d[k][j], writes d[i][j]
+                for j in 0..n {
+                    let cand = dik + d[k][j];
+                    if cand < d[i][j] {
+                        d[i][j] = cand;
+                    }
+                }
+            }
+        }
+        self.static_interior = Some(d);
+    }
+
+    /// Free regenerators per site of the pristine plant the cache was
+    /// prepared for (set by [`Self::begin_run`]).
+    pub fn initial_regens(&self) -> &[u32] {
+        &self.initial_regens
+    }
+
+    /// Finds or computes the relay entry for `(u, v)` under the given
+    /// free-regenerator vector, returning its index in the pair's entry
+    /// list. A hit requires the stored vector to match verbatim, *or* to
+    /// differ only at sites [`relaxed_entry_match`] proves irrelevant to
+    /// the pair's top-k relay paths — either way the entry's candidate
+    /// list is exactly what a fresh Yen run would produce.
+    fn relay_entry_index(
+        &mut self,
+        plant: &FiberPlant,
+        fiber_dist: &[Vec<f64>],
+        regens_free: &[u32],
+        u: SiteId,
+        v: SiteId,
+        telemetry: &CoreTelemetry,
+    ) -> usize {
+        if let Some(idx) = self
+            .relay
+            .get(&(u, v))
+            .and_then(|es| es.iter().position(|e| e.regens == regens_free))
+        {
+            self.stats.relay_hits += 1;
+            return idx;
+        }
+        self.ensure_static_interior(plant, fiber_dist);
+        let sd = self.static_interior.as_deref().expect("just built");
+        if let Some(idx) = self.relay.get(&(u, v)).and_then(|es| {
+            es.iter()
+                .position(|e| relaxed_entry_match(e, regens_free, u, v, sd))
+        }) {
+            self.stats.relay_relaxed_hits += 1;
+            return idx;
+        }
+        self.stats.relay_misses += 1;
+        telemetry.shortest_path_calls.incr();
+        let rg = RegenGraph::build_with_free_regens(plant, regens_free, fiber_dist, u, v);
+        // Compute one path beyond the candidate count: Yen grows its found
+        // list incrementally, so the first `relay_k` paths are exactly what
+        // a `relay_k`-run would return, and the extra path's cost bounds
+        // every path outside the candidate list for the relaxed match.
+        let mut with_costs = rg.relay_candidates_with_costs(self.relay_k + 1);
+        let next_cost = if with_costs.len() > self.relay_k {
+            with_costs.pop().expect("k+1 paths").1
+        } else {
+            f64::INFINITY
+        };
+        let costs: Vec<f64> = with_costs.iter().map(|(_, c)| *c).collect();
+        let candidates: Vec<Vec<SiteId>> = with_costs.into_iter().map(|(p, _)| p).collect();
+        let mut probe = FiberSet::new(plant.fiber_count());
+        for cand in &candidates {
+            for w in cand.windows(2) {
+                let fibers = self.routes.entry((w[0], w[1])).or_insert_with(|| {
+                    plant
+                        .shortest_fiber_route(w[0], w[1])
+                        .map(|(fibers, _, _)| fibers)
+                        .unwrap_or_default()
+                });
+                for &f in fibers.iter() {
+                    probe.insert(f);
+                }
+            }
+        }
+        let entries = self.relay.entry((u, v)).or_default();
+        if entries.len() >= RELAY_STATES_PER_PAIR {
+            entries.remove(0);
+        }
+        entries.push(RelayEntry {
+            regens: regens_free.to_vec(),
+            candidates,
+            costs,
+            probe,
+            next_cost,
+        });
+        entries.len() - 1
+    }
+
+    /// Delta-rebuild skip-test helper: proves one provisioning attempt for
+    /// `(u, v)` would behave identically under the live vector `v_live`
+    /// and the replayed previous-build vector `v_rep` — i.e. both produce
+    /// the same candidate list. Returns that list's probe set (the fibers
+    /// whose channel occupancy must then also match) on success.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn attempt_equivalent(
+        &mut self,
+        plant: &FiberPlant,
+        fiber_dist: &[Vec<f64>],
+        v_live: &[u32],
+        v_rep: &[u32],
+        u: SiteId,
+        v: SiteId,
+        telemetry: &CoreTelemetry,
+    ) -> Option<FiberSet> {
+        let i = self.relay_entry_index(plant, fiber_dist, v_live, u, v, telemetry);
+        let e = &self.relay[&(u, v)][i];
+        let (cand_live, probe) = (e.candidates.clone(), e.probe.clone());
+        // The second lookup may insert (and thus evict), so compare by
+        // value, not by the first index.
+        let j = self.relay_entry_index(plant, fiber_dist, v_rep, u, v, telemetry);
+        (self.relay[&(u, v)][j].candidates == cand_live).then_some(probe)
+    }
+
+    /// Relay candidates for a circuit `(u, v)` under the given
+    /// free-regenerator vector — the cached equivalent of
+    /// `RegenGraph::build(..).relay_candidates(k)`. A hit requires the
+    /// stored regenerator vector to match verbatim, so the returned list
+    /// is always identical to what a fresh build would produce.
+    /// `telemetry.shortest_path_calls` counts misses only: it keeps
+    /// measuring shortest-path work actually performed.
+    pub fn relay_candidates(
+        &mut self,
+        plant: &FiberPlant,
+        fiber_dist: &[Vec<f64>],
+        regens_free: &[u32],
+        u: SiteId,
+        v: SiteId,
+        telemetry: &CoreTelemetry,
+    ) -> Vec<Vec<SiteId>> {
+        let idx = self.relay_entry_index(plant, fiber_dist, regens_free, u, v, telemetry);
+        self.relay[&(u, v)][idx].candidates.clone()
+    }
+
+    /// The probe set of `(u, v)` under the given free-regenerator vector:
+    /// every fiber a provisioning attempt iterating the pair's candidate
+    /// list (under exactly that vector) can read or write. Served from the
+    /// same entries as [`Self::relay_candidates`].
+    pub fn probe_set(
+        &mut self,
+        plant: &FiberPlant,
+        fiber_dist: &[Vec<f64>],
+        regens_free: &[u32],
+        u: SiteId,
+        v: SiteId,
+        telemetry: &CoreTelemetry,
+    ) -> FiberSet {
+        let idx = self.relay_entry_index(plant, fiber_dist, regens_free, u, v, telemetry);
+        self.relay[&(u, v)][idx].probe.clone()
+    }
+
+    /// Ensures the footprint of pair `(u, v)` is computed and cached. The
+    /// footprint is the union of fibers over the shortest routes of every
+    /// relay-candidate window, computed under the pristine regenerator
+    /// vector — i.e. every fiber provisioning for `(u, v)` can read or
+    /// write while no regenerator anywhere has been consumed.
+    pub fn ensure_footprint(
+        &mut self,
+        plant: &FiberPlant,
+        fiber_dist: &[Vec<f64>],
+        u: SiteId,
+        v: SiteId,
+        telemetry: &CoreTelemetry,
+    ) {
+        if self.footprints.contains_key(&(u, v)) {
+            return;
+        }
+        let initial = self.initial_regens.clone();
+        let fp = self.probe_set(plant, fiber_dist, &initial, u, v, telemetry);
+        self.footprints.insert((u, v), fp);
+    }
+
+    /// The cached footprint of `(u, v)`; call [`Self::ensure_footprint`]
+    /// first.
+    pub fn footprint(&self, u: SiteId, v: SiteId) -> Option<&FiberSet> {
+        self.footprints.get(&(u, v))
+    }
+
+    /// Looks up a memoized full outcome for a desired topology.
+    pub fn lookup_outcome(&mut self, desired: &Topology) -> Option<&EnergyOutcome> {
+        // Stats bookkeeping first to appease the borrow checker.
+        if self.outcomes.contains_key(desired) {
+            self.stats.outcome_hits += 1;
+        } else {
+            self.stats.outcome_misses += 1;
+        }
+        self.outcomes.get(desired)
+    }
+
+    /// Memoizes a full outcome (no-op beyond the cap).
+    pub fn store_outcome(&mut self, desired: Topology, outcome: EnergyOutcome) {
+        if self.outcomes.len() < OUTCOME_CAP {
+            self.outcomes.insert(desired, outcome);
+        }
+    }
+
+    /// Looks up a memoized rate assignment for an achieved topology.
+    pub fn lookup_rates(&mut self, achieved: &Topology) -> Option<&RateOutcome> {
+        let hit = self.rate_memo.get(achieved);
+        if hit.is_some() {
+            self.stats.rate_hits += 1;
+        }
+        hit
+    }
+
+    /// Memoizes a rate assignment (no-op beyond the cap).
+    pub fn store_rates(&mut self, achieved: Topology, rates: RateOutcome) {
+        if self.rate_memo.len() < RATE_CAP {
+            self.rate_memo.insert(achieved, rates);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owan_optical::OpticalParams;
+
+    fn plant() -> FiberPlant {
+        let mut p = FiberPlant::new(OpticalParams {
+            optical_reach_km: 500.0,
+            ..Default::default()
+        });
+        for i in 0..4 {
+            p.add_site(&format!("S{i}"), 4, 2);
+        }
+        for i in 0..4 {
+            p.add_fiber(i, (i + 1) % 4, 400.0);
+        }
+        p
+    }
+
+    #[test]
+    fn fiberset_basics() {
+        let mut a = FiberSet::new(130);
+        let mut b = FiberSet::new(130);
+        a.insert(0);
+        a.insert(129);
+        b.insert(64);
+        assert!(!a.intersects(&b));
+        b.insert(129);
+        assert!(a.intersects(&b));
+        let mut c = FiberSet::new(130);
+        c.union_with(&a);
+        assert!(c.intersects(&a));
+    }
+
+    #[test]
+    fn fingerprint_tracks_plant_content() {
+        let p = plant();
+        let base = plant_fingerprint(&p);
+        assert_eq!(base, plant_fingerprint(&p), "deterministic");
+
+        let mut degraded = p.clone();
+        degraded.set_fiber_wavelength_cap(0, Some(3));
+        assert_ne!(base, plant_fingerprint(&degraded), "amp degradation");
+        degraded.set_fiber_wavelength_cap(0, None);
+        assert_eq!(base, plant_fingerprint(&degraded), "repair restores");
+    }
+
+    #[test]
+    fn relay_cache_hits_on_same_regen_vector() {
+        let p = plant();
+        let fd = p.fiber_distance_matrix();
+        let t = CoreTelemetry::disabled();
+        let mut cache = EnergyCache::new();
+        cache.begin_run(&p, &CircuitBuildConfig::default());
+        let regens: Vec<u32> = p.sites().iter().map(|s| s.regenerators).collect();
+
+        let a = cache.relay_candidates(&p, &fd, &regens, 0, 2, &t);
+        let b = cache.relay_candidates(&p, &fd, &regens, 0, 2, &t);
+        assert_eq!(a, b);
+        assert_eq!(cache.stats.relay_misses, 1);
+        assert_eq!(cache.stats.relay_hits, 1);
+
+        // A different regenerator vector is a different key.
+        let mut spent = regens.clone();
+        spent[1] = 0;
+        let c = cache.relay_candidates(&p, &fd, &spent, 0, 2, &t);
+        assert_eq!(cache.stats.relay_misses, 2);
+        // And matches an uncached build under the same vector.
+        let fresh = RegenGraph::build_with_free_regens(&p, &spent, &fd, 0, 2)
+            .relay_candidates(CircuitBuildConfig::default().relay_candidates);
+        assert_eq!(c, fresh);
+    }
+
+    #[test]
+    fn begin_run_flushes_on_degradation_only() {
+        let mut p = plant();
+        let fd = p.fiber_distance_matrix();
+        let t = CoreTelemetry::disabled();
+        let mut cache = EnergyCache::new();
+        let cfg = CircuitBuildConfig::default();
+        cache.begin_run(&p, &cfg);
+        let regens: Vec<u32> = p.sites().iter().map(|s| s.regenerators).collect();
+        cache.relay_candidates(&p, &fd, &regens, 0, 1, &t);
+
+        cache.begin_run(&p, &cfg);
+        assert_eq!(cache.stats.flushes, 0, "same plant keeps relay layer");
+        cache.relay_candidates(&p, &fd, &regens, 0, 1, &t);
+        assert_eq!(cache.stats.relay_hits, 1);
+
+        p.set_fiber_wavelength_cap(2, Some(1));
+        cache.begin_run(&p, &cfg);
+        assert_eq!(cache.stats.flushes, 1, "degradation flushes");
+        cache.relay_candidates(&p, &fd, &regens, 0, 1, &t);
+        assert_eq!(cache.stats.relay_misses, 2, "entry was rebuilt");
+    }
+
+    #[test]
+    fn footprints_cover_candidate_routes() {
+        let p = plant();
+        let fd = p.fiber_distance_matrix();
+        let t = CoreTelemetry::disabled();
+        let mut cache = EnergyCache::new();
+        cache.begin_run(&p, &CircuitBuildConfig::default());
+        cache.ensure_footprint(&p, &fd, 0, 1, &t);
+        let fp = cache.footprint(0, 1).unwrap().clone();
+        // The direct fiber 0-1 (id 0) must be in the footprint.
+        let mut direct = FiberSet::new(p.fiber_count());
+        direct.insert(0);
+        assert!(fp.intersects(&direct));
+    }
+}

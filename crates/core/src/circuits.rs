@@ -10,13 +10,14 @@
 //! possible optical circuits to satisfy all the desired capacity, we have
 //! to decrease the link capacity" (lines 13–14).
 
+use crate::cache::EnergyCache;
 use crate::regen::RegenGraph;
 use crate::telemetry::CoreTelemetry;
 use crate::topology::Topology;
 use owan_optical::{CircuitId, FiberPlant, OpticalState};
 
 /// Result of realizing a desired topology in the optical layer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BuiltTopology {
     /// The topology actually achieved (multiplicities possibly reduced).
     pub achieved: Topology,
@@ -121,6 +122,302 @@ pub fn build_topology_observed(
         optical,
         circuits,
     }
+}
+
+/// [`build_topology_observed`] with the relay-candidate cache: identical
+/// construction order and identical results, but `RegenGraph::build` + Yen
+/// run only when the cache has no entry for the link's endpoint pair under
+/// the current free-regenerator vector. `telemetry.shortest_path_calls`
+/// therefore counts only the shortest-path work actually performed.
+pub fn build_topology_cached(
+    plant: &FiberPlant,
+    desired: &Topology,
+    fiber_dist: &[Vec<f64>],
+    config: &CircuitBuildConfig,
+    cache: &mut EnergyCache,
+    telemetry: &CoreTelemetry,
+) -> BuiltTopology {
+    cache.stats.full_builds += 1;
+    let mut optical = OpticalState::new(plant);
+    let mut achieved = Topology::empty(desired.site_count());
+    let mut circuits = Vec::new();
+
+    for (u, v, m) in desired.links() {
+        let mut ids = Vec::new();
+        for _ in 0..m {
+            let candidates = cache.relay_candidates(
+                plant,
+                fiber_dist,
+                optical.free_regen_vec(),
+                u,
+                v,
+                telemetry,
+            );
+            let mut provisioned = false;
+            for relay in &candidates {
+                match optical.provision(plant, relay) {
+                    Ok(id) => {
+                        telemetry.circuits_built.incr();
+                        telemetry
+                            .regens_consumed
+                            .add(optical.circuit(id).map_or(0, |c| c.regen_sites.len()) as u64);
+                        ids.push(id);
+                        provisioned = true;
+                        break;
+                    }
+                    Err(_) => telemetry.wavelength_failures.incr(),
+                }
+            }
+            if !provisioned {
+                break;
+            }
+        }
+        if !ids.is_empty() {
+            achieved.add_links(u, v, ids.len() as u32);
+            circuits.push(((u, v), ids));
+        }
+    }
+
+    let built = BuiltTopology {
+        achieved,
+        optical,
+        circuits,
+    };
+    debug_assert_eq!(
+        built,
+        build_topology_observed(
+            plant,
+            desired,
+            fiber_dist,
+            config,
+            &CoreTelemetry::disabled()
+        ),
+        "cached build must equal the naive build"
+    );
+    built
+}
+
+/// Maximum link-unit distance the delta rebuild accepts (Algorithm 2's
+/// neighbor move changes at most four).
+const MAX_DELTA_UNITS: u32 = 4;
+
+/// Incremental circuit rebuild: provisions `desired` by resuming from the
+/// retained build of `prev_desired` instead of rebuilding every link.
+///
+/// The builder walks every active pair in canonical order, maintaining two
+/// optical states in step: the build under construction and a verbatim
+/// replay of the previous build. For each *unchanged* pair it runs an
+/// exact **skip test**:
+///
+/// 1. the free-regenerator vectors of the two states are equal — so every
+///    provisioning attempt of a fresh build would query the regenerator
+///    graph under exactly the vectors the retained circuits were chosen
+///    under (replayed attempt by attempt, including the trailing failed
+///    attempt of a partially satisfied pair); and
+/// 2. channel occupancy is equal between the two states on every fiber of
+///    the pair's *probe sets* — the fibers any attempt's candidate list
+///    (under that attempt's vector) can read or write — so every first-fit
+///    channel choice and every wavelength failure is reproduced exactly.
+///
+/// When the test passes, the previous circuits are installed verbatim: no
+/// shortest-path work, no provisioning. When it fails — or the pair's
+/// multiplicity changed — only *that pair* is re-provisioned, through the
+/// relay-candidate cache, exactly as [`build_topology_cached`] would.
+/// There is no all-or-nothing contention fallback: divergence degrades
+/// reuse pair by pair.
+///
+/// Returns `None` only when the topologies differ by more than
+/// [`MAX_DELTA_UNITS`] units (beyond the neighbor-move bound, resuming
+/// saves little and the caller's full rebuild is simpler). The result is
+/// *structurally identical* to a fresh build — ids, storage order, and
+/// occupancy — and debug builds assert that equality on every call.
+#[allow(clippy::too_many_arguments)]
+pub fn try_build_topology_delta(
+    plant: &FiberPlant,
+    desired: &Topology,
+    prev_desired: &Topology,
+    prev_built: &BuiltTopology,
+    fiber_dist: &[Vec<f64>],
+    config: &CircuitBuildConfig,
+    cache: &mut EnergyCache,
+    telemetry: &CoreTelemetry,
+) -> Option<BuiltTopology> {
+    let n = desired.site_count();
+    debug_assert_eq!(n, prev_desired.site_count());
+
+    let mut delta_units = 0u32;
+    for u in 0..n {
+        for v in u + 1..n {
+            delta_units += prev_desired
+                .multiplicity(u, v)
+                .abs_diff(desired.multiplicity(u, v));
+        }
+    }
+    if delta_units > MAX_DELTA_UNITS {
+        cache.stats.delta_fallbacks += 1;
+        return None;
+    }
+    if delta_units == 0 {
+        cache.stats.delta_builds += 1;
+        return Some(prev_built.clone());
+    }
+
+    let prev_ids = |u: usize, v: usize| -> &[CircuitId] {
+        prev_built
+            .circuits
+            .iter()
+            .find(|&&((a, b), _)| (a, b) == (u, v))
+            .map(|(_, ids)| ids.as_slice())
+            .unwrap_or(&[])
+    };
+
+    let mut optical = OpticalState::new(plant);
+    let mut replay = OpticalState::new(plant);
+    let mut achieved = Topology::empty(n);
+    let mut circuits = Vec::new();
+    let mut reused = 0u64;
+    let mut rebuilt = 0u64;
+
+    for u in 0..n {
+        for v in u + 1..n {
+            let m_prev = prev_desired.multiplicity(u, v);
+            let m_new = desired.multiplicity(u, v);
+            if m_prev == 0 && m_new == 0 {
+                continue;
+            }
+            let ids = prev_ids(u, v);
+
+            // Skip test (unchanged pairs only): would a fresh build, given
+            // the state built so far, reproduce the previous circuits?
+            // Attempt by attempt: the candidate lists under the live and
+            // replayed vectors must provably coincide, and channel
+            // occupancy must match on every fiber those candidates can
+            // read or write. Both conditions together reproduce every
+            // wavelength decision and every regenerator consumption,
+            // including the trailing failed attempt of a partially
+            // satisfied pair.
+            let mut use_prev = false;
+            if m_prev == m_new {
+                let mut v_live = optical.free_regen_vec().to_vec();
+                let mut v_rep = replay.free_regen_vec().to_vec();
+                let mut ok = true;
+                let extra_attempt = ids.len() < m_prev as usize;
+                for i in 0..ids.len() + usize::from(extra_attempt) {
+                    let Some(probe) = cache
+                        .attempt_equivalent(plant, fiber_dist, &v_live, &v_rep, u, v, telemetry)
+                    else {
+                        ok = false;
+                        break;
+                    };
+                    if probe
+                        .iter()
+                        .any(|f| optical.channel_occupancy(f) != replay.channel_occupancy(f))
+                    {
+                        ok = false;
+                        break;
+                    }
+                    if let Some(&id) = ids.get(i) {
+                        let c = prev_built.optical.circuit(id).expect("live circuit");
+                        for &s in &c.regen_sites {
+                            v_live[s] -= 1;
+                            v_rep[s] -= 1;
+                        }
+                    }
+                }
+                use_prev = ok;
+            }
+
+            if use_prev {
+                reused += 1;
+                let mut pair_ids = Vec::new();
+                for &id in ids {
+                    let c = prev_built
+                        .optical
+                        .circuit(id)
+                        .expect("live circuit")
+                        .clone();
+                    replay.install(c.clone());
+                    pair_ids.push(optical.install(c));
+                }
+                if !pair_ids.is_empty() {
+                    achieved.add_links(u, v, pair_ids.len() as u32);
+                    circuits.push(((u, v), pair_ids));
+                }
+                continue;
+            }
+
+            // Keep the replay in step regardless of how this pair is built.
+            for &id in ids {
+                let c = prev_built
+                    .optical
+                    .circuit(id)
+                    .expect("live circuit")
+                    .clone();
+                replay.install(c);
+            }
+
+            // Re-provision this pair exactly as a fresh cached build would.
+            if m_new == 0 {
+                continue;
+            }
+            rebuilt += 1;
+            let mut pair_ids = Vec::new();
+            for _ in 0..m_new {
+                let candidates = cache.relay_candidates(
+                    plant,
+                    fiber_dist,
+                    optical.free_regen_vec(),
+                    u,
+                    v,
+                    telemetry,
+                );
+                let mut provisioned = false;
+                for relay in &candidates {
+                    match optical.provision(plant, relay) {
+                        Ok(id) => {
+                            telemetry.circuits_built.incr();
+                            telemetry
+                                .regens_consumed
+                                .add(optical.circuit(id).map_or(0, |c| c.regen_sites.len()) as u64);
+                            pair_ids.push(id);
+                            provisioned = true;
+                            break;
+                        }
+                        Err(_) => telemetry.wavelength_failures.incr(),
+                    }
+                }
+                if !provisioned {
+                    break;
+                }
+            }
+            if !pair_ids.is_empty() {
+                achieved.add_links(u, v, pair_ids.len() as u32);
+                circuits.push(((u, v), pair_ids));
+            }
+        }
+    }
+
+    cache.stats.delta_builds += 1;
+    cache.stats.delta_pairs_reused += reused;
+    cache.stats.delta_pairs_rebuilt += rebuilt;
+
+    let built = BuiltTopology {
+        achieved,
+        optical,
+        circuits,
+    };
+    debug_assert_eq!(
+        built,
+        build_topology_observed(
+            plant,
+            desired,
+            fiber_dist,
+            config,
+            &CoreTelemetry::disabled()
+        ),
+        "delta rebuild must equal the naive build"
+    );
+    Some(built)
 }
 
 #[cfg(test)]

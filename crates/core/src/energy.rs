@@ -6,7 +6,11 @@
 //! run the greedy shortest-paths-first rate assignment over the *achieved*
 //! topology.
 
-use crate::circuits::{build_topology_observed, BuiltTopology, CircuitBuildConfig};
+use crate::cache::EnergyCache;
+use crate::circuits::{
+    build_topology_cached, build_topology_observed, try_build_topology_delta, BuiltTopology,
+    CircuitBuildConfig,
+};
 use crate::rates::{assign_rates_observed, RateAssignConfig, RateOutcome};
 use crate::telemetry::CoreTelemetry;
 use crate::topology::Topology;
@@ -14,7 +18,7 @@ use crate::types::{SchedulingPolicy, Transfer};
 use owan_optical::FiberPlant;
 
 /// Everything `ComputeEnergy` produced for one candidate topology.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyOutcome {
     /// The optical realization (circuits + achieved topology).
     pub built: BuiltTopology,
@@ -87,6 +91,121 @@ pub fn compute_energy_observed(
         )
     };
     EnergyOutcome { built, rates }
+}
+
+/// Stateful energy evaluator: [`compute_energy_observed`] plus the layered
+/// [`EnergyCache`] fast path.
+///
+/// With a cache attached, an evaluation first consults the outcome memo
+/// (revisited topologies cost a hash lookup + clone), then rebuilds
+/// circuits — incrementally against a `basis` outcome when the contention
+/// detector allows, via the relay-candidate cache otherwise — and finally
+/// consults the rate memo keyed on the *achieved* topology before running
+/// rate assignment. Without a cache it is a plain pass-through, so callers
+/// can toggle the fast path with an `Option` and nothing else.
+///
+/// Every path produces a bit-identical [`EnergyOutcome`] (debug builds
+/// assert the circuit-layer equality on every cached/delta build); only
+/// the work-performed telemetry differs.
+pub struct EnergyEvaluator<'a, 'c> {
+    ctx: &'a EnergyContext<'a>,
+    cache: Option<&'c mut EnergyCache>,
+    telemetry: &'a CoreTelemetry,
+}
+
+impl<'a, 'c> EnergyEvaluator<'a, 'c> {
+    /// Creates an evaluator; a `Some` cache is prepared with
+    /// [`EnergyCache::begin_run`] (plant-fingerprint invalidation happens
+    /// here).
+    pub fn new(
+        ctx: &'a EnergyContext<'a>,
+        cache: Option<&'c mut EnergyCache>,
+        telemetry: &'a CoreTelemetry,
+    ) -> Self {
+        let mut cache = cache;
+        if let Some(c) = cache.as_deref_mut() {
+            c.begin_run(ctx.plant, &ctx.circuit_config);
+        }
+        EnergyEvaluator {
+            ctx,
+            cache,
+            telemetry,
+        }
+    }
+
+    /// Evaluates `desired`. `basis` is an already-evaluated nearby state
+    /// (the annealer passes the current state when evaluating a neighbor);
+    /// it seeds the delta rebuild and is ignored on the naive path.
+    pub fn eval(
+        &mut self,
+        desired: &Topology,
+        basis: Option<(&Topology, &EnergyOutcome)>,
+    ) -> EnergyOutcome {
+        let ctx = self.ctx;
+        let Some(cache) = self.cache.as_deref_mut() else {
+            self.telemetry.anneal_cache_miss.incr();
+            return compute_energy_observed(ctx, desired, self.telemetry);
+        };
+
+        if let Some(hit) = cache.lookup_outcome(desired) {
+            let out = hit.clone();
+            self.telemetry.anneal_cache_hit.incr();
+            return out;
+        }
+        self.telemetry.anneal_cache_miss.incr();
+
+        let built = {
+            let _span = self.telemetry.circuits.enter();
+            let delta = basis.and_then(|(prev_desired, prev_outcome)| {
+                try_build_topology_delta(
+                    ctx.plant,
+                    desired,
+                    prev_desired,
+                    &prev_outcome.built,
+                    ctx.fiber_dist,
+                    &ctx.circuit_config,
+                    cache,
+                    self.telemetry,
+                )
+            });
+            match delta {
+                Some(b) => b,
+                None => build_topology_cached(
+                    ctx.plant,
+                    desired,
+                    ctx.fiber_dist,
+                    &ctx.circuit_config,
+                    cache,
+                    self.telemetry,
+                ),
+            }
+        };
+
+        let rates = match cache.lookup_rates(&built.achieved) {
+            Some(r) => r.clone(),
+            None => {
+                let theta = ctx.plant.params().wavelength_capacity_gbps;
+                let rates = {
+                    let _span = self.telemetry.rates.enter();
+                    assign_rates_observed(
+                        &built.achieved,
+                        theta,
+                        ctx.transfers,
+                        ctx.policy,
+                        ctx.slot_len_s,
+                        &ctx.rate_config,
+                        self.telemetry,
+                    )
+                };
+                cache.store_rates(built.achieved.clone(), rates.clone());
+                rates
+            }
+        };
+
+        let outcome = EnergyOutcome { built, rates };
+        cache.store_outcome(desired.clone(), outcome.clone());
+        outcome
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,8 @@
 //! 1–3). The Owan engine runs the simulated-annealing joint optimization;
 //! baselines keep a fixed topology and only recompute routing/rates.
 
-use crate::anneal::{anneal_observed, AnnealConfig};
+use crate::anneal::{anneal_parallel_with_caches, AnnealConfig};
+use crate::cache::EnergyCache;
 use crate::circuits::CircuitBuildConfig;
 use crate::rates::RateAssignConfig;
 use crate::telemetry::CoreTelemetry;
@@ -69,6 +70,11 @@ pub struct OwanConfig {
     /// Transfer ordering policy (SJF for completion time, EDF for
     /// deadlines).
     pub policy: SchedulingPolicy,
+    /// Independently-seeded annealing chains per slot (1 = sequential;
+    /// chain 0 always replays the sequential search, so raising this only
+    /// ever adds candidate results). The best-of reduction is
+    /// deterministic regardless of thread scheduling.
+    pub chains: usize,
 }
 
 impl Default for OwanConfig {
@@ -78,6 +84,7 @@ impl Default for OwanConfig {
             circuit: CircuitBuildConfig::default(),
             rate: RateAssignConfig::default(),
             policy: SchedulingPolicy::ShortestJobFirst,
+            chains: 1,
         }
     }
 }
@@ -89,23 +96,40 @@ pub struct OwanEngine {
     current: Topology,
     slot_counter: u64,
     telemetry: CoreTelemetry,
+    /// One persistent [`EnergyCache`] per annealing chain; the plant-scoped
+    /// layers survive across slots (and are fingerprint-flushed on plant
+    /// changes). Empty when the cache fast path is disabled.
+    caches: Vec<EnergyCache>,
 }
 
 impl OwanEngine {
     /// Creates an engine starting from `initial` (typically the network's
     /// static topology).
     pub fn new(initial: Topology, config: OwanConfig) -> Self {
+        assert!(config.chains >= 1, "at least one annealing chain");
+        let caches = if config.anneal.use_cache {
+            (0..config.chains).map(|_| EnergyCache::new()).collect()
+        } else {
+            Vec::new()
+        };
         OwanEngine {
             config,
             current: initial,
             slot_counter: 0,
             telemetry: CoreTelemetry::disabled(),
+            caches,
         }
     }
 
     /// The topology the engine currently holds.
     pub fn current_topology(&self) -> &Topology {
         &self.current
+    }
+
+    /// The per-chain evaluation caches (empty when the fast path is off).
+    /// Exposed for tests and benchmarks to inspect effectiveness counters.
+    pub fn energy_caches(&self) -> &[EnergyCache] {
+        &self.caches
     }
 }
 
@@ -139,7 +163,14 @@ impl TrafficEngineer for OwanEngine {
             .wrapping_add(self.slot_counter);
         self.slot_counter += 1;
 
-        let result = anneal_observed(&ctx, &self.current, &cfg, &self.telemetry);
+        let result = anneal_parallel_with_caches(
+            &ctx,
+            &self.current,
+            &cfg,
+            self.config.chains,
+            &mut self.caches,
+            &self.telemetry,
+        );
         self.current = result.outcome.built.achieved.clone();
 
         SlotPlan {

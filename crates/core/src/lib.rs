@@ -44,6 +44,7 @@
 //! ```
 
 pub mod anneal;
+pub mod cache;
 pub mod circuits;
 pub mod energy;
 pub mod engine;
@@ -54,9 +55,18 @@ pub mod telemetry;
 pub mod topology;
 pub mod types;
 
-pub use anneal::{anneal, anneal_observed, AnnealConfig, AnnealResult};
-pub use circuits::{build_topology, build_topology_observed, BuiltTopology, CircuitBuildConfig};
-pub use energy::{compute_energy, compute_energy_observed, EnergyContext, EnergyOutcome};
+pub use anneal::{
+    anneal, anneal_observed, anneal_parallel, anneal_parallel_with_caches, anneal_with_cache,
+    chain_seed, AnnealConfig, AnnealResult,
+};
+pub use cache::{plant_fingerprint, EnergyCache, EnergyCacheStats, FiberSet};
+pub use circuits::{
+    build_topology, build_topology_cached, build_topology_observed, try_build_topology_delta,
+    BuiltTopology, CircuitBuildConfig,
+};
+pub use energy::{
+    compute_energy, compute_energy_observed, EnergyContext, EnergyEvaluator, EnergyOutcome,
+};
 pub use engine::{
     default_topology, random_topology, repair_spare_ports, OwanConfig, OwanEngine, SlotInput,
     SlotPlan, TrafficEngineer,

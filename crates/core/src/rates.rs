@@ -39,7 +39,7 @@ impl Default for RateAssignConfig {
 }
 
 /// The outcome of one rate-assignment pass.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RateOutcome {
     /// Per-transfer multi-path allocations (transfers with zero rate are
     /// omitted).

@@ -38,11 +38,26 @@ impl RegenGraph {
         src: SiteId,
         dst: SiteId,
     ) -> Self {
+        Self::build_with_free_regens(plant, state.free_regen_vec(), fiber_dist, src, dst)
+    }
+
+    /// [`RegenGraph::build`] from an explicit free-regenerator vector
+    /// instead of an [`OpticalState`]. The graph depends on the state only
+    /// through this vector, which is what makes relay-candidate results
+    /// cacheable: equal vectors (under the same plant and distance matrix)
+    /// produce identical graphs and therefore identical Yen outputs.
+    pub fn build_with_free_regens(
+        plant: &FiberPlant,
+        regens_free: &[u32],
+        fiber_dist: &[Vec<f64>],
+        src: SiteId,
+        dst: SiteId,
+    ) -> Self {
         let reach = plant.params().optical_reach_km;
 
         let mut sites = vec![src, dst];
-        for s in 0..plant.site_count() {
-            if s != src && s != dst && state.free_regenerators(s) > 0 {
+        for (s, &free) in regens_free.iter().enumerate().take(plant.site_count()) {
+            if s != src && s != dst && free > 0 {
                 sites.push(s);
             }
         }
@@ -55,7 +70,7 @@ impl RegenGraph {
                 if i < 2 {
                     0.0
                 } else {
-                    1.0 / state.free_regenerators(s) as f64
+                    1.0 / regens_free[s] as f64
                 }
             })
             .collect();
@@ -90,9 +105,22 @@ impl RegenGraph {
     /// Algorithm 3 lines 7–12 ("iterate the paths … to find enough number
     /// of paths we need that can be built as optical circuits").
     pub fn relay_candidates(&self, k: usize) -> Vec<Vec<SiteId>> {
+        self.relay_candidates_with_costs(k)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// [`Self::relay_candidates`] paired with each path's total node weight
+    /// (the Yen cost). The relay-candidate cache stores the last cost as
+    /// the cutoff for its provably-safe relaxed vector matching.
+    pub fn relay_candidates_with_costs(&self, k: usize) -> Vec<(Vec<SiteId>, f64)> {
         k_shortest_paths(&self.transformed, 0, 1, k)
             .into_iter()
-            .map(|p| p.nodes.into_iter().map(|n| self.sites[n]).collect())
+            .map(|p| {
+                let cost = p.cost();
+                (p.nodes.into_iter().map(|n| self.sites[n]).collect(), cost)
+            })
             .collect()
     }
 }

@@ -45,6 +45,13 @@ pub struct CoreTelemetry {
     pub anneal_accepted: Counter,
     /// Neighbor moves rejected.
     pub anneal_rejected: Counter,
+    /// Energy evaluations answered from the topology-keyed outcome memo.
+    pub anneal_cache_hit: Counter,
+    /// Energy evaluations that had to run Algorithm 3 (circuits + rates).
+    pub anneal_cache_miss: Counter,
+    /// Annealing chains launched via the parallel entry points (adds N per
+    /// multi-chain run, 1 per single-chain run).
+    pub anneal_chains: Counter,
     /// Optical circuits successfully provisioned.
     pub circuits_built: Counter,
     /// Failed provisioning attempts (no wavelength assignment for a relay
@@ -80,6 +87,9 @@ impl CoreTelemetry {
             anneal_iterations: recorder.counter("anneal.iterations"),
             anneal_accepted: recorder.counter("anneal.accepted"),
             anneal_rejected: recorder.counter("anneal.rejected"),
+            anneal_cache_hit: recorder.counter("anneal.cache_hit"),
+            anneal_cache_miss: recorder.counter("anneal.cache_miss"),
+            anneal_chains: recorder.counter("anneal.chains"),
             circuits_built: recorder.counter("circuits.built"),
             wavelength_failures: recorder.counter("circuits.wavelength_failures"),
             regens_consumed: recorder.counter("circuits.regens_consumed"),

@@ -11,7 +11,11 @@ use owan_optical::{FiberPlant, SiteId};
 use serde::{Deserialize, Serialize};
 
 /// An integer multigraph over the sites of a plant.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash` hashes the full multiplicity matrix, so a topology is its own
+/// canonical cache key (the matrix is a normal form: symmetric, dense,
+/// no ordering freedom) — this is what the energy memoization keys on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Topology {
     n: usize,
     /// Row-major full symmetric matrix of multiplicities; diagonal unused.

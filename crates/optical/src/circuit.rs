@@ -108,7 +108,7 @@ impl std::error::Error for ProvisionError {}
 ///
 /// Tracks per-fiber channel occupancy, per-site free regenerators, and live
 /// circuits. Provisioning is all-or-nothing: on error, no state changes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpticalState {
     /// `channel_used[fiber][channel]`.
     channel_used: Vec<Vec<bool>>,
@@ -135,6 +135,21 @@ impl OpticalState {
     /// Free regenerators at `site`.
     pub fn free_regenerators(&self, site: SiteId) -> u32 {
         self.regens_free[site]
+    }
+
+    /// Free regenerators at every site, as a dense vector. Used as a cache
+    /// key: relay-candidate computations depend on the plant and on exactly
+    /// this vector, so equal vectors yield equal candidate lists.
+    pub fn free_regen_vec(&self) -> &[u32] {
+        &self.regens_free
+    }
+
+    /// Per-channel occupancy of `fiber` (`true` = in use). First-fit
+    /// wavelength selection reads exactly this slice, so two states with
+    /// equal occupancy on every fiber a provisioning attempt can touch
+    /// make identical channel choices.
+    pub fn channel_occupancy(&self, fiber: FiberId) -> &[bool] {
+        &self.channel_used[fiber]
     }
 
     /// Number of channels in use on `fiber`.
@@ -260,6 +275,32 @@ impl OpticalState {
         dst: SiteId,
     ) -> Result<CircuitId, ProvisionError> {
         self.provision(plant, &[src, dst])
+    }
+
+    /// Installs a pre-computed circuit verbatim: marks its segments'
+    /// channels and consumes its regenerators without re-running route or
+    /// wavelength selection. The caller guarantees the circuit fits the
+    /// current occupancy (debug-checked); this is used to re-assemble a
+    /// known-good circuit set in canonical provisioning order after an
+    /// incremental rebuild, so the resulting state is structurally
+    /// identical to one built from scratch.
+    pub fn install(&mut self, circuit: Circuit) -> CircuitId {
+        for seg in &circuit.segments {
+            for &fid in &seg.fibers {
+                debug_assert!(
+                    !self.channel_used[fid][seg.channel as usize],
+                    "install: channel {} already used on fiber {fid}",
+                    seg.channel
+                );
+                self.channel_used[fid][seg.channel as usize] = true;
+            }
+        }
+        for &s in &circuit.regen_sites {
+            debug_assert!(self.regens_free[s] > 0, "install: no regenerator at {s}");
+            self.regens_free[s] -= 1;
+        }
+        self.circuits.push(Some(circuit));
+        self.circuits.len() - 1
     }
 
     /// Tears down a circuit, freeing its channels and regenerators.

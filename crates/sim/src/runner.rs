@@ -73,6 +73,12 @@ pub struct RunnerConfig {
     pub seed: u64,
     /// Transfer ordering policy for Owan/Greedy/ablations.
     pub policy: SchedulingPolicy,
+    /// Parallel annealing chains per slot for Owan (1 = sequential; the
+    /// result for N chains is deterministic and never worse than chain 0's).
+    pub anneal_chains: usize,
+    /// Use the energy-cache fast path in Owan (bit-identical plans; off =
+    /// the naive reference evaluation, for differential tests/benchmarks).
+    pub anneal_use_cache: bool,
 }
 
 impl Default for RunnerConfig {
@@ -85,6 +91,8 @@ impl Default for RunnerConfig {
             starvation_threshold: owan_core::RateAssignConfig::default().starvation_threshold,
             seed: 1,
             policy: SchedulingPolicy::ShortestJobFirst,
+            anneal_chains: 1,
+            anneal_use_cache: true,
         }
     }
 }
@@ -105,6 +113,7 @@ pub fn make_engine(
                     max_iterations: config.anneal_iterations,
                     seed: config.seed,
                     time_budget_s: config.anneal_time_budget_s,
+                    use_cache: config.anneal_use_cache,
                     ..Default::default()
                 },
                 rate: owan_core::RateAssignConfig {
@@ -112,6 +121,7 @@ pub fn make_engine(
                     ..Default::default()
                 },
                 policy: config.policy,
+                chains: config.anneal_chains,
                 ..Default::default()
             };
             let initial = if topo.total_links() > 0 {

@@ -55,6 +55,9 @@ run options:
   --duration SECS     workload arrival window, seconds  [7200]
   --seed N            workload + annealing seed  [42]
   --iters N           annealing iterations per slot  [150]
+  --chains N          parallel annealing chains per slot (owan)  [1]
+  --no-fastpath       disable the energy-cache fast path (owan); plans are
+                      bit-identical either way, only slower
   --max-requests N    truncate the workload to N transfers
   --obs FILE.jsonl    export run telemetry as JSON Lines to FILE
   --obs-summary       print a per-stage timing table after the metrics
@@ -511,6 +514,8 @@ fn main() {
     let duration = args.parse("--duration", 7_200.0f64);
     let seed = args.parse("--seed", 42u64);
     let iters = args.parse("--iters", 150usize);
+    let chains = args.parse("--chains", 1usize);
+    let use_fastpath = !args.flag("--no-fastpath");
     let max_requests = args.parse("--max-requests", usize::MAX);
     let obs_path = args.get("--obs").map(str::to_string);
     let obs_summary = args.flag("--obs-summary");
@@ -543,6 +548,8 @@ fn main() {
         } else {
             SchedulingPolicy::ShortestJobFirst
         },
+        anneal_chains: chains,
+        anneal_use_cache: use_fastpath,
         ..Default::default()
     };
 

@@ -1,0 +1,261 @@
+//! Fast-path equivalence suite: the relay/outcome caches, the delta
+//! circuit rebuilds, and parallel multi-chain annealing are pure
+//! accelerations — every test here pins the accelerated paths bit-for-bit
+//! to the naive reference, across benchmark networks, seeds, an exact
+//! enumeration oracle, and plant-mutating invalidations.
+//!
+//! Debug builds additionally cross-check every cached circuit build
+//! against a from-scratch rebuild inside `owan-core` (`debug_assert_eq!`),
+//! so running this suite under `cargo test` exercises far more equality
+//! checks than the explicit asserts below.
+
+use owan::core::{
+    anneal_observed, anneal_parallel, anneal_with_cache, default_topology, AnnealConfig,
+    CircuitBuildConfig, CoreTelemetry, EnergyCache, EnergyContext, OwanConfig, OwanEngine,
+    RateAssignConfig, SchedulingPolicy, SlotInput, Topology, TrafficEngineer, Transfer,
+};
+use owan::oracle::anneal_gap;
+use owan::topo::Network;
+use owan_bench::{net_by_name, workload_for, Scale};
+
+/// A small fixed-size fixture: network, transfers, and initial topology.
+fn fixture(net_name: &str, seed: u64) -> (Network, Vec<Transfer>, Topology) {
+    let scale = Scale {
+        duration_s: 900.0,
+        max_requests: 10,
+        seed,
+        ..Scale::quick()
+    };
+    let net = net_by_name(net_name);
+    let reqs = workload_for(&net, 1.0, None, &scale);
+    let transfers: Vec<Transfer> = reqs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Transfer::from_request(i, r))
+        .collect();
+    let initial = if net.static_topology.total_links() > 0 {
+        net.static_topology.clone()
+    } else {
+        default_topology(&net.plant)
+    };
+    (net, transfers, initial)
+}
+
+fn context<'a>(
+    net: &'a Network,
+    fiber_dist: &'a [Vec<f64>],
+    transfers: &'a [Transfer],
+) -> EnergyContext<'a> {
+    EnergyContext {
+        plant: &net.plant,
+        fiber_dist,
+        transfers,
+        policy: SchedulingPolicy::ShortestJobFirst,
+        slot_len_s: 300.0,
+        circuit_config: CircuitBuildConfig::default(),
+        rate_config: RateAssignConfig::default(),
+    }
+}
+
+/// The cached fast path must be bit-identical to the naive reference on
+/// every benchmark network, across 20 seeds each (seeds vary both the
+/// workload and the annealing walk).
+#[test]
+fn cached_anneal_is_bit_identical_to_naive() {
+    for net_name in ["internet2", "isp", "interdc"] {
+        for seed in 0..20u64 {
+            let (net, transfers, initial) = fixture(net_name, seed);
+            let fiber_dist = net.plant.fiber_distance_matrix();
+            let ctx = context(&net, &fiber_dist, &transfers);
+            let config = AnnealConfig {
+                max_iterations: 25,
+                seed,
+                ..Default::default()
+            };
+            let telemetry = CoreTelemetry::disabled();
+            let mut cache = EnergyCache::new();
+            let fast = anneal_with_cache(&ctx, &initial, &config, Some(&mut cache), &telemetry);
+            let naive = anneal_with_cache(&ctx, &initial, &config, None, &telemetry);
+            assert_eq!(
+                fast.topology, naive.topology,
+                "{net_name} seed {seed}: cached topology diverged"
+            );
+            assert_eq!(
+                fast.energy_gbps().to_bits(),
+                naive.energy_gbps().to_bits(),
+                "{net_name} seed {seed}: cached energy diverged"
+            );
+            assert_eq!(fast.iterations, naive.iterations);
+            assert_eq!(
+                fast.initial_energy_gbps.to_bits(),
+                naive.initial_energy_gbps.to_bits()
+            );
+        }
+    }
+}
+
+/// `anneal_parallel` with one chain is the sequential search, exactly.
+#[test]
+fn parallel_single_chain_equals_sequential() {
+    for seed in [0u64, 7, 19] {
+        let (net, transfers, initial) = fixture("isp", seed);
+        let fiber_dist = net.plant.fiber_distance_matrix();
+        let ctx = context(&net, &fiber_dist, &transfers);
+        let config = AnnealConfig {
+            max_iterations: 25,
+            seed,
+            ..Default::default()
+        };
+        let telemetry = CoreTelemetry::disabled();
+        let seq = anneal_observed(&ctx, &initial, &config, &telemetry);
+        let par = anneal_parallel(&ctx, &initial, &config, 1, &telemetry);
+        assert_eq!(seq.topology, par.topology);
+        assert_eq!(seq.energy_gbps().to_bits(), par.energy_gbps().to_bits());
+    }
+}
+
+/// Multi-chain annealing is deterministic: two four-chain runs agree
+/// bit-for-bit regardless of thread scheduling.
+#[test]
+fn parallel_multi_chain_is_deterministic() {
+    let (net, transfers, initial) = fixture("internet2", 3);
+    let fiber_dist = net.plant.fiber_distance_matrix();
+    let ctx = context(&net, &fiber_dist, &transfers);
+    let config = AnnealConfig {
+        max_iterations: 25,
+        seed: 3,
+        ..Default::default()
+    };
+    let telemetry = CoreTelemetry::disabled();
+    let a = anneal_parallel(&ctx, &initial, &config, 4, &telemetry);
+    let b = anneal_parallel(&ctx, &initial, &config, 4, &telemetry);
+    assert_eq!(a.topology, b.topology);
+    assert_eq!(a.energy_gbps().to_bits(), b.energy_gbps().to_bits());
+}
+
+/// Differential against the exact oracle: turning the cache on must leave
+/// the annealing gap untouched on an enumerable instance (the cache may
+/// make the search faster, never different).
+#[test]
+fn oracle_gap_is_unchanged_by_the_cache() {
+    use owan::optical::{FiberPlant, OpticalParams};
+    let params = OpticalParams {
+        wavelength_capacity_gbps: 10.0,
+        wavelengths_per_fiber: 8,
+        ..Default::default()
+    };
+    let mut plant = FiberPlant::new(params);
+    for i in 0..4 {
+        plant.add_site(&format!("S{i}"), 2, 2);
+    }
+    for i in 0..4 {
+        plant.add_fiber(i, (i + 1) % 4, 300.0);
+    }
+    let mk = |id: usize, src: usize, dst: usize| Transfer {
+        id,
+        src,
+        dst,
+        volume_gbits: 400.0,
+        remaining_gbits: 400.0,
+        arrival_s: 0.0,
+        deadline_s: None,
+        starved_slots: 0,
+    };
+    let transfers = vec![mk(0, 0, 1), mk(1, 2, 3), mk(2, 1, 2)];
+    let fiber_dist = plant.fiber_distance_matrix();
+    let ctx = EnergyContext {
+        plant: &plant,
+        fiber_dist: &fiber_dist,
+        transfers: &transfers,
+        policy: SchedulingPolicy::ShortestJobFirst,
+        slot_len_s: 300.0,
+        circuit_config: CircuitBuildConfig::default(),
+        rate_config: RateAssignConfig::default(),
+    };
+    let initial = default_topology(&plant);
+    let base = AnnealConfig {
+        max_iterations: 60,
+        seed: 11,
+        ..Default::default()
+    };
+    let on = AnnealConfig {
+        use_cache: true,
+        ..base
+    };
+    let off = AnnealConfig {
+        use_cache: false,
+        ..base
+    };
+    let gap_on = anneal_gap(&ctx, &initial, &on).expect("instance is enumerable");
+    let gap_off = anneal_gap(&ctx, &initial, &off).expect("instance is enumerable");
+    assert_eq!(
+        gap_on.heuristic_gbps.to_bits(),
+        gap_off.heuristic_gbps.to_bits(),
+        "cache changed the heuristic result"
+    );
+    assert_eq!(
+        gap_on.optimal_gbps.to_bits(),
+        gap_off.optimal_gbps.to_bits()
+    );
+    assert_eq!(
+        gap_on.gap_fraction.to_bits(),
+        gap_off.gap_fraction.to_bits()
+    );
+}
+
+/// Plant invalidation: degrading an amplifier between slots (the chaos
+/// fault model shrinks a fiber's usable band) must flush the plant-scoped
+/// cache layers — and the post-fault plans must still match a cache-less
+/// engine fed the identical slot sequence.
+#[test]
+fn plant_degradation_flushes_and_stays_equivalent() {
+    let (net, transfers, initial) = fixture("internet2", 5);
+    let mk_engine = |use_cache: bool| {
+        let config = OwanConfig {
+            anneal: AnnealConfig {
+                max_iterations: 25,
+                use_cache,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        OwanEngine::new(initial.clone(), config)
+    };
+    let mut fast = mk_engine(true);
+    let mut naive = mk_engine(false);
+
+    let mut plant = net.plant.clone();
+    let input = SlotInput {
+        transfers: &transfers,
+        slot_len_s: 300.0,
+        now_s: 0.0,
+    };
+    let p1_fast = fast.plan_slot(&plant, &input);
+    let p1_naive = naive.plan_slot(&plant, &input);
+    assert_eq!(p1_fast.topology, p1_naive.topology);
+    assert_eq!(fast.energy_caches()[0].stats.flushes, 0);
+
+    // Degrade one fiber's amplifier: usable wavelengths shrink, the plant
+    // fingerprint moves, and stale relay/footprint entries must go.
+    let cap = plant.usable_wavelengths(0).saturating_sub(2).max(1);
+    plant.set_fiber_wavelength_cap(0, Some(cap));
+    let input2 = SlotInput {
+        transfers: &transfers,
+        slot_len_s: 300.0,
+        now_s: 300.0,
+    };
+    let p2_fast = fast.plan_slot(&plant, &input2);
+    let p2_naive = naive.plan_slot(&plant, &input2);
+    assert_eq!(
+        p2_fast.topology, p2_naive.topology,
+        "post-degradation plan diverged"
+    );
+    assert_eq!(
+        p2_fast.throughput_gbps.to_bits(),
+        p2_naive.throughput_gbps.to_bits()
+    );
+    assert!(
+        fast.energy_caches()[0].stats.flushes >= 1,
+        "degradation did not flush the plant-scoped cache layers"
+    );
+}
