@@ -9,6 +9,9 @@
 //! `--check` compares the fresh report's `fast_evals_per_s` against the
 //! baseline file and exits 1 when it regressed more than the tolerance
 //! (30%, overridable via the `BENCH_TOLERANCE` env var, e.g. `0.5`).
+//! The baseline's `scale` must match the run's (`BENCH_anneal.json` is
+//! the full-scale baseline, `BENCH_anneal_quick.json` the quick-scale
+//! one CI gates on) — rates across scales are not comparable.
 //! Run under `--release`; debug builds cross-check every cached circuit
 //! build against a naive rebuild and time nothing meaningful.
 

@@ -354,14 +354,34 @@ pub fn json_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
+/// Extracts a string value from a flat JSON object by key (same minimal
+/// contract as [`json_number`]).
+pub fn json_string(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
 /// Compares a fresh report against a checked-in baseline: fails when the
 /// fresh energy-evaluation rate regresses more than `tolerance` (fraction)
-/// below the baseline's. Returns a human-readable summary on success.
+/// below the baseline's. The baseline's `scale` must match the report's —
+/// evals/s at different network/workload sizes are not commensurable, so
+/// a cross-scale comparison would make the floor arbitrary. Returns a
+/// human-readable summary on success.
 pub fn check_against_baseline(
     report: &AnnealBenchReport,
     baseline_json: &str,
     tolerance: f64,
 ) -> Result<String, String> {
+    let base_scale = json_string(baseline_json, "scale").ok_or("baseline is missing scale")?;
+    if base_scale != report.scale {
+        return Err(format!(
+            "scale mismatch: report is \"{}\" but baseline is \"{base_scale}\" — \
+             regenerate the baseline at the same scale",
+            report.scale
+        ));
+    }
     let base = json_number(baseline_json, "fast_evals_per_s")
         .ok_or("baseline is missing fast_evals_per_s")?;
     let fresh = report.fast_evals_per_s;
@@ -412,11 +432,19 @@ mod tests {
         assert_eq!(json_number(&json, "fast_evals_per_s"), Some(400.0));
         assert_eq!(json_number(&json, "chains_speedup"), Some(2.0));
         assert_eq!(json_number(&json, "pipeline_slots"), Some(6.0));
+        assert_eq!(json_string(&json, "scale").as_deref(), Some("quick"));
 
         assert!(check_against_baseline(&report, &json, 0.3).is_ok());
         let mut slower = report.clone();
         slower.fast_evals_per_s = 100.0;
         assert!(check_against_baseline(&slower, &json, 0.3).is_err());
+
+        // A baseline taken at a different scale is rejected outright,
+        // even when the rate would pass the floor.
+        let mut other_scale = report.clone();
+        other_scale.scale = "full".into();
+        let err = check_against_baseline(&other_scale, &json, 0.3).unwrap_err();
+        assert!(err.contains("scale mismatch"), "{err}");
     }
 
     #[test]

@@ -46,9 +46,14 @@ pub struct AnnealConfig {
     /// running-time experiment). `None` = no time limit.
     pub time_budget_s: Option<f64>,
     /// Use the [`EnergyCache`] fast path (relay caching, delta rebuilds,
-    /// outcome memoization). The search result is bit-identical either
-    /// way; this flag only trades memory for speed. Off = the naive
-    /// reference path, kept for differential tests and benchmarks.
+    /// outcome memoization). At a fixed iteration count (`time_budget_s
+    /// == None`) the search result is bit-identical either way — the
+    /// flag only trades memory for speed. Under a wall-clock budget the
+    /// cheaper evaluations fit *more* iterations inside the budget, so
+    /// the resulting plan legitimately differs (that is the point of the
+    /// Fig 10(d) experiment: quality per second, not per iteration). Off
+    /// = the naive reference path, kept for differential tests and
+    /// benchmarks.
     pub use_cache: bool,
 }
 
@@ -166,15 +171,33 @@ pub fn anneal_observed(
 }
 
 /// [`anneal_observed`] against an explicit cache (`None` = the naive
-/// reference path, regardless of `config.use_cache`). The search result is
+/// reference path, regardless of `config.use_cache`). At a fixed
+/// iteration count (`time_budget_s == None`) the search result is
 /// bit-identical across `cache` choices; only wall-clock and the
-/// work-performed counters differ.
+/// work-performed counters differ. With a time budget set, the cache
+/// changes how many iterations fit the budget, so the trajectories — and
+/// the returned plans — diverge.
 pub fn anneal_with_cache(
     ctx: &EnergyContext<'_>,
     initial: &Topology,
     config: &AnnealConfig,
     cache: Option<&mut EnergyCache>,
     telemetry: &CoreTelemetry,
+) -> AnnealResult {
+    anneal_chain(ctx, initial, config, cache, telemetry, 0)
+}
+
+/// [`anneal_with_cache`] tagged with a chain index: every sampled
+/// trajectory event carries a `chain` field so per-slot traces from
+/// concurrent chains stay attributable after they interleave in the
+/// recorder ring. Sequential entry points are chain 0.
+fn anneal_chain(
+    ctx: &EnergyContext<'_>,
+    initial: &Topology,
+    config: &AnnealConfig,
+    cache: Option<&mut EnergyCache>,
+    telemetry: &CoreTelemetry,
+    chain: u64,
 ) -> AnnealResult {
     let _span = telemetry.anneal.enter();
     let start = Instant::now();
@@ -250,6 +273,7 @@ pub fn anneal_with_cache(
             telemetry.recorder.event(
                 names::EVENT_ANNEAL_SAMPLE,
                 &[
+                    ("chain", Value::U64(chain)),
                     ("iteration", Value::U64(iterations as u64)),
                     ("temperature", Value::F64(temperature)),
                     ("current_gbps", Value::F64(current_e)),
@@ -313,6 +337,11 @@ pub fn anneal_parallel(
 ///
 /// Chain 0 is the sequential run: with `chains == 1` this executes inline
 /// (no thread spawn) and returns exactly what [`anneal_with_cache`] would.
+///
+/// All chains share `telemetry`: counters and span histograms aggregate
+/// across chains, and each sampled trajectory event carries the emitting
+/// chain's index in its `chain` field, so interleaved per-slot traces
+/// remain attributable.
 pub fn anneal_parallel_with_caches(
     ctx: &EnergyContext<'_>,
     initial: &Topology,
@@ -344,8 +373,9 @@ pub fn anneal_parallel_with_caches(
                 seed: chain_seed(config.seed, i),
                 ..*config
             };
-            handles
-                .push(scope.spawn(move || anneal_with_cache(ctx, initial, &cfg, cache, telemetry)));
+            handles.push(
+                scope.spawn(move || anneal_chain(ctx, initial, &cfg, cache, telemetry, i as u64)),
+            );
         }
         results = handles
             .into_iter()

@@ -199,13 +199,18 @@ struct RelayEntry {
 /// makes the match *more* conservative.
 const RELAX_EPS: f64 = 1e-9;
 
-/// Decides whether the entry, computed under its stored vector `v1`,
-/// provably yields the same Yen output (same paths, same order) under the
-/// queried vector `v2`. A path's cost is the sum of its relay weights
-/// (`1/free`), so each stored candidate's cost under `v2` is its stored
-/// cost plus the weight deltas of changed sites it relays through. The
-/// match accepts when:
+/// Decides whether the entry, computed under its stored `relay_k` and
+/// vector `v1`, provably yields the same Yen output (same paths, same
+/// order) under the queried vector `v2`. A path's cost is the sum of its
+/// relay weights (`1/free`), so each stored candidate's cost under `v2`
+/// is its stored cost plus the weight deltas of changed sites it relays
+/// through. The match accepts when:
 ///
+/// - no site is released from zero free regenerators while the stored
+///   candidate list is *shorter* than `relay_k` — a short list means Yen
+///   exhausted the path set, so a fresh run returns every path it finds
+///   and would append the released site's paths *regardless of cost*; no
+///   cost screen below can rule that out;
 /// - membership (`free > 0`) is unchanged at every changed site — the
 ///   node set, and hence the node indexing every deterministic tie-break
 ///   rests on, is then identical (the pair's own endpoints are skipped:
@@ -226,6 +231,7 @@ const RELAX_EPS: f64 = 1e-9;
 /// selects exactly the stored list in the stored order.
 fn relaxed_entry_match(
     e: &RelayEntry,
+    relay_k: usize,
     regens_free: &[u32],
     u: SiteId,
     v: SiteId,
@@ -247,6 +253,14 @@ fn relaxed_entry_match(
     }
     if changed.is_empty() && entered.is_empty() && left.is_empty() {
         return true;
+    }
+    // A list shorter than `relay_k` means Yen exhausted the path set
+    // (`next_cost` is infinite): a fresh run under `v2` would *append*
+    // every path through a released site no matter how much it costs, so
+    // the screens below — which only guard the top-k boundary — cannot
+    // apply. (This subsumes the empty-list case handled further down.)
+    if !entered.is_empty() && e.candidates.len() < relay_k {
+        return false;
     }
 
     // Node indexing shifts when membership changes, but it stays monotone
@@ -546,10 +560,11 @@ impl EnergyCache {
             return idx;
         }
         self.ensure_static_interior(plant, fiber_dist);
+        let relay_k = self.relay_k;
         let sd = self.static_interior.as_deref().expect("just built");
         if let Some(idx) = self.relay.get(&(u, v)).and_then(|es| {
             es.iter()
-                .position(|e| relaxed_entry_match(e, regens_free, u, v, sd))
+                .position(|e| relaxed_entry_match(e, relay_k, regens_free, u, v, sd))
         }) {
             self.stats.relay_relaxed_hits += 1;
             return idx;
@@ -815,6 +830,35 @@ mod tests {
         assert_eq!(cache.stats.flushes, 1, "degradation flushes");
         cache.relay_candidates(&p, &fd, &regens, 0, 1, &t);
         assert_eq!(cache.stats.relay_misses, 2, "entry was rebuilt");
+    }
+
+    #[test]
+    fn relaxed_match_requires_full_list_for_released_sites() {
+        // Stored entry for pair (0, 1): one candidate through hub 2, the
+        // path set exhausted (`next_cost` infinite). The queried vector
+        // releases site 3 from zero free regenerators; its path [0, 3, 1]
+        // costs 1.0 — strictly above the last stored candidate's 0.5.
+        let e = RelayEntry {
+            regens: vec![0, 0, 2, 0],
+            candidates: vec![vec![0, 2, 1]],
+            costs: vec![0.5],
+            probe: FiberSet::new(4),
+            next_cost: f64::INFINITY,
+        };
+        let released = vec![0, 0, 2, 1];
+        let sd = vec![vec![0.0; 4]; 4];
+        // Full list (relay_k == 1): the released path cannot enter the
+        // top-1, so the entry still matches.
+        assert!(relaxed_entry_match(&e, 1, &released, 0, 1, &sd));
+        // Partial list (relay_k == 2): a fresh Yen run would append the
+        // released path *regardless of cost* — the match must refuse,
+        // even though the static screen clears the top-k boundary.
+        assert!(!relaxed_entry_match(&e, 2, &released, 0, 1, &sd));
+        // A weight-only change (no membership crossing) on a partial
+        // list is still fine: site 2 gains a regenerator, its candidate
+        // stays the unique path.
+        let cheaper = vec![0, 0, 4, 0];
+        assert!(relaxed_entry_match(&e, 2, &cheaper, 0, 1, &sd));
     }
 
     #[test]

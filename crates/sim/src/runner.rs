@@ -76,8 +76,10 @@ pub struct RunnerConfig {
     /// Parallel annealing chains per slot for Owan (1 = sequential; the
     /// result for N chains is deterministic and never worse than chain 0's).
     pub anneal_chains: usize,
-    /// Use the energy-cache fast path in Owan (bit-identical plans; off =
-    /// the naive reference evaluation, for differential tests/benchmarks).
+    /// Use the energy-cache fast path in Owan. Plans are bit-identical at
+    /// a fixed iteration budget; under `anneal_time_budget_s` the cheaper
+    /// evaluations fit more iterations, so plans differ. Off = the naive
+    /// reference evaluation, for differential tests/benchmarks.
     pub anneal_use_cache: bool,
 }
 
