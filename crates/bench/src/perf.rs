@@ -24,7 +24,8 @@ use owan_core::{
     SchedulingPolicy, Topology, Transfer,
 };
 use owan_obs::Recorder;
-use owan_sim::runner::{run_engine, EngineKind, RunnerConfig};
+use owan_scope::{ScopeConfig, ScopeRecorder};
+use owan_sim::runner::{run_engine, run_engine_traced, EngineKind, RunnerConfig};
 use owan_sim::sim::SimResult;
 use owan_sim::SimConfig;
 use std::time::Instant;
@@ -66,6 +67,16 @@ pub struct AnnealBenchReport {
     pub pipeline_fast_wall_s: f64,
     /// `pipeline_naive_wall_s / pipeline_fast_wall_s`.
     pub pipeline_speedup: f64,
+    /// Same pipeline (cache on) with telemetry enabled but the flight
+    /// recorder off, seconds (best of 3).
+    pub pipeline_obs_wall_s: f64,
+    /// Same pipeline with telemetry and the flight recorder both
+    /// attached, seconds (best of 3).
+    pub pipeline_scope_wall_s: f64,
+    /// `pipeline_scope_wall_s / pipeline_obs_wall_s - 1` — the flight
+    /// recorder's own enabled-path overhead on top of telemetry
+    /// (fraction; the target is < 0.05).
+    pub scope_overhead: f64,
     /// Slots simulated by the pipeline.
     pub pipeline_slots: usize,
     /// Slots per second with the cache on.
@@ -153,6 +164,35 @@ fn timed_pipeline(scale: &Scale, use_cache: bool) -> (SimResult, f64) {
     (res, start.elapsed().as_secs_f64())
 }
 
+/// The same pipeline as [`timed_pipeline`] (cache on) with the obs
+/// recorder enabled and, when `scoped`, the flight recorder attached on
+/// top — isolates the scope's own enabled-path overhead from the
+/// telemetry recorder's at fixed search quality.
+fn timed_pipeline_observed(scale: &Scale, scoped: bool) -> (SimResult, f64) {
+    let net = net_by_name("interdc");
+    let reqs = workload_for(&net, 1.0, None, scale);
+    let cfg = RunnerConfig {
+        sim: SimConfig {
+            slot_len_s: scale.slot_len_s,
+            max_slots: 2_000,
+            ..Default::default()
+        },
+        anneal_iterations: scale.anneal_iterations,
+        seed: scale.seed,
+        anneal_use_cache: true,
+        ..Default::default()
+    };
+    let recorder = Recorder::enabled();
+    let scope = if scoped {
+        ScopeRecorder::enabled(ScopeConfig::default())
+    } else {
+        ScopeRecorder::disabled()
+    };
+    let start = Instant::now();
+    let res = run_engine_traced(EngineKind::Owan, &net, &reqs, &cfg, &recorder, &scope);
+    (res, start.elapsed().as_secs_f64())
+}
+
 /// Asserts two simulation runs produced identical plans (same throughput
 /// trajectory and same per-transfer completions).
 fn assert_same_sim(a: &SimResult, b: &SimResult) {
@@ -220,6 +260,20 @@ pub fn bench_anneal(scale: &Scale, scale_label: &str, chains: usize) -> AnnealBe
     let (pipe_naive, pipeline_naive_wall_s) = timed_pipeline(scale, false);
     let (pipe_fast, pipeline_fast_wall_s) = timed_pipeline(scale, true);
     assert_same_sim(&pipe_naive, &pipe_fast);
+    // Observability must not perturb: both instrumented runs' plans are
+    // asserted identical before overheads are reported. Best-of-3 walls —
+    // the quick-scale pipeline finishes in ~0.1 s, so single shots are
+    // too noisy to compare.
+    let mut pipeline_obs_wall_s = f64::INFINITY;
+    let mut pipeline_scope_wall_s = f64::INFINITY;
+    for _ in 0..3 {
+        let (pipe_obs, obs_wall) = timed_pipeline_observed(scale, false);
+        assert_same_sim(&pipe_fast, &pipe_obs);
+        let (pipe_scope, scope_wall) = timed_pipeline_observed(scale, true);
+        assert_same_sim(&pipe_fast, &pipe_scope);
+        pipeline_obs_wall_s = pipeline_obs_wall_s.min(obs_wall);
+        pipeline_scope_wall_s = pipeline_scope_wall_s.min(scope_wall);
+    }
 
     // --- multi-chain scaling (ISP) ---
     let fiber_dist = net.plant.fiber_distance_matrix();
@@ -275,6 +329,9 @@ pub fn bench_anneal(scale: &Scale, scale_label: &str, chains: usize) -> AnnealBe
         pipeline_naive_wall_s,
         pipeline_fast_wall_s,
         pipeline_speedup: pipeline_naive_wall_s / pipeline_fast_wall_s.max(1e-9),
+        pipeline_obs_wall_s,
+        pipeline_scope_wall_s,
+        scope_overhead: pipeline_scope_wall_s / pipeline_obs_wall_s.max(1e-9) - 1.0,
         pipeline_slots: pipe_fast.slots,
         pipeline_slots_per_s: pipe_fast.slots as f64 / pipeline_fast_wall_s.max(1e-9),
         chains_seq_wall_s,
@@ -324,6 +381,15 @@ impl AnnealBenchReport {
             format!("{:.6}", self.pipeline_fast_wall_s),
         );
         kv("pipeline_speedup", format!("{:.2}", self.pipeline_speedup));
+        kv(
+            "pipeline_obs_wall_s",
+            format!("{:.6}", self.pipeline_obs_wall_s),
+        );
+        kv(
+            "pipeline_scope_wall_s",
+            format!("{:.6}", self.pipeline_scope_wall_s),
+        );
+        kv("scope_overhead", format!("{:.4}", self.scope_overhead));
         kv("pipeline_slots", self.pipeline_slots.to_string());
         kv(
             "pipeline_slots_per_s",
@@ -422,6 +488,9 @@ mod tests {
             pipeline_naive_wall_s: 2.0,
             pipeline_fast_wall_s: 1.0,
             pipeline_speedup: 2.0,
+            pipeline_obs_wall_s: 1.01,
+            pipeline_scope_wall_s: 1.02,
+            scope_overhead: 0.02,
             pipeline_slots: 6,
             pipeline_slots_per_s: 6.0,
             chains_seq_wall_s: 1.0,

@@ -28,5 +28,7 @@ pub mod telemetry;
 
 pub use fault::{plants_equal, FaultEvent, FaultKind, FaultState};
 pub use inject::{seeded_scenario, ChaosSpec, OpFaultModel};
-pub use runner::{run_chaos, AuditHook, ChaosConfig, ChaosResult, ChaosStats, SlotAudit};
+pub use runner::{
+    run_chaos, run_chaos_traced, AuditHook, ChaosConfig, ChaosResult, ChaosStats, SlotAudit,
+};
 pub use telemetry::ChaosTelemetry;

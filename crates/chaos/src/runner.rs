@@ -33,7 +33,8 @@ use owan_core::{
 };
 use owan_obs::Recorder;
 use owan_optical::{FiberId, FiberPlant, SiteId};
-use owan_sim::{plan_is_feasible, CompletionRecord};
+use owan_scope::{ScopeRecorder, SlotObservation};
+use owan_sim::{build_scope_rows, plan_is_feasible, CompletionRecord, Failure};
 use owan_update::{
     execute_plan, plan_consistent, throughput_timeline, NetworkDelta, OpKind, RetryPolicy,
     UpdateParams, UpdatePlan,
@@ -170,9 +171,46 @@ pub fn run_chaos(
     events: &[FaultEvent],
     op_faults: &OpFaultModel,
     recorder: &Recorder,
+    audit: Option<&mut AuditHook>,
+) -> Result<ChaosResult, String> {
+    run_chaos_traced(
+        plant,
+        requests,
+        make_engine,
+        config,
+        events,
+        op_faults,
+        recorder,
+        &ScopeRecorder::disabled(),
+        audit,
+    )
+}
+
+/// [`run_chaos`] with a flight recorder attached. Besides the sim-side
+/// scope data (transfer lifecycle, flight frames, spans), the chaos loop
+/// contributes what only it knows: the believed-vs-actual failure sets
+/// per slot, per-slot fault events, and the anomaly triggers —
+/// `plan.infeasible` (fallback slot), `update.retry_exhausted` (op
+/// subtree aborted), `blackhole.undetected_cut` (paths dark under an
+/// undetected cut). The *first* anomaly freezes the flight ring into a
+/// deterministic dump.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chaos_traced(
+    plant: &FiberPlant,
+    requests: &[TransferRequest],
+    make_engine: &mut dyn FnMut(&FiberPlant) -> Box<dyn TrafficEngineer>,
+    config: &ChaosConfig,
+    events: &[FaultEvent],
+    op_faults: &OpFaultModel,
+    recorder: &Recorder,
+    scope: &ScopeRecorder,
     mut audit: Option<&mut AuditHook>,
 ) -> Result<ChaosResult, String> {
     let theta = plant.params().wavelength_capacity_gbps;
+    let scope_on = scope.is_enabled();
+    if scope_on {
+        scope.begin_run(requests);
+    }
     let telem = ChaosTelemetry::new(recorder);
     let params = UpdateParams {
         theta_gbps: theta,
@@ -215,6 +253,10 @@ pub fn run_chaos(
         .collect();
 
     let mut state = FaultState::default();
+    // Ground truth for the scope's believed-vs-actual frames: the same
+    // plant events folded in with zero detection delay.
+    let mut actual_state = FaultState::default();
+    let mut actual_applied = 0usize;
     let mut detected = 0usize;
     let mut next_crash = 0usize;
     let mut believed: Option<(FiberPlant, Vec<Option<FiberId>>)> = None;
@@ -233,6 +275,7 @@ pub fn run_chaos(
 
     for slot in 0..config.max_slots {
         let now = slot as f64 * config.slot_len_s;
+        let mut slot_events: Vec<String> = Vec::new();
 
         // 1. Detection: fold in events whose delay has elapsed.
         let mut changed = believed.is_none();
@@ -256,6 +299,9 @@ pub fn run_chaos(
                 engine = None;
                 telem.crashes.incr();
                 stats.crashes += 1;
+                if scope_on {
+                    slot_events.push(fault_label(&FaultKind::ControllerCrash));
+                }
             }
             next_crash += 1;
         }
@@ -289,6 +335,7 @@ pub fn run_chaos(
             continue;
         }
         slots += 1;
+        let slot_start_ns = recorder.now_ns();
 
         // 4. Plan on the believed plant; degrade gracefully if the
         // engine's answer is infeasible.
@@ -297,7 +344,9 @@ pub fn run_chaos(
             slot_len_s: config.slot_len_s,
             now_s: now,
         };
+        let plan_start_ns = recorder.now_ns();
         let mut plan = eng.plan_slot(believed_plant, &input);
+        let plan_ns = recorder.now_ns().saturating_sub(plan_start_ns);
         let mut used_fallback = false;
         let plan_ok =
             plan_is_feasible(&plan, theta).is_ok() && plan.topology.ports_feasible(believed_plant);
@@ -318,6 +367,9 @@ pub fn run_chaos(
 
         // 5. Schedule + execute the update from the achieved data-plane
         // state; the achieved (post-fault) state is what the slot runs on.
+        let update_start_ns = recorder.now_ns();
+        let mut slot_ops = 0usize;
+        let mut slot_aborts = 0u64;
         let (achieved, transition, scale, loss) = match &achieved_prev {
             Some(prev) => {
                 let delta = NetworkDelta::from_plans(
@@ -329,16 +381,24 @@ pub fn run_chaos(
                 );
                 let update = plan_consistent(&delta, &params);
                 update_ops += update.ops.len();
+                slot_ops = update.ops.len();
                 let mut inject = |op: usize, attempt: u32| op_faults.fault(slot, op, attempt);
                 let report = execute_plan(&delta, &update, &config.retry, &mut inject);
                 stats.op_retries += report.retries;
                 stats.op_timeouts += report.timeouts;
                 stats.op_failures += report.failures;
                 stats.op_aborts += report.aborted;
+                slot_aborts = report.aborted;
                 telem.op_retries.add(report.retries);
                 telem.op_timeouts.add(report.timeouts);
                 telem.op_failures.add(report.failures);
                 telem.op_aborts.add(report.aborted);
+                if scope_on && report.retries > 0 {
+                    slot_events.push(format!("op.retries {}", report.retries));
+                }
+                if scope_on && report.aborted > 0 {
+                    slot_events.push(format!("op.aborts {}", report.aborted));
+                }
                 let achieved = achieved_state(prev, &delta, &report, theta);
                 let executed = report.as_executed_plan();
                 let (scale, loss) = transition_factor(
@@ -353,6 +413,7 @@ pub fn run_chaos(
             // First plan: greenfield build, no transition to pay.
             None => (plan.clone(), None, 1.0, 0.0),
         };
+        let update_ns = recorder.now_ns().saturating_sub(update_start_ns);
         transition_loss_gbits += loss;
 
         if let Some(hook) = audit.as_deref_mut() {
@@ -387,11 +448,15 @@ pub fn run_chaos(
         let dark_paths = path_live_frac.values().filter(|f| **f < 1.0 - EPS).count() as u64;
         telem.blackhole_paths.add(dark_paths);
         stats.blackhole_paths += dark_paths;
+        if scope_on && dark_paths > 0 {
+            slot_events.push(format!("blackhole.paths {dark_paths}"));
+        }
 
         // 7. Deliver on the achieved state, discounted by the transition
         // and any blackholes.
         let mut slot_delivered = 0.0;
         let mut got_rate = vec![false; transfers.len()];
+        let mut per_delivered = scope_on.then(|| vec![0.0f64; transfers.len()]);
         for (ai, alloc) in achieved.allocations.iter().enumerate() {
             let rate_alloc: f64 = alloc
                 .paths
@@ -410,6 +475,7 @@ pub fn run_chaos(
             }
             got_rate[alloc.transfer] = true;
             let t = &mut transfers[alloc.transfer];
+            let remaining_before = t.remaining_gbits;
             let rec = &mut records[alloc.transfer];
             if let Some(d) = t.deadline_s {
                 if d > now {
@@ -433,17 +499,96 @@ pub fn run_chaos(
                 t.remaining_gbits -= vol;
                 slot_delivered += vol;
             }
+            if let Some(delivered) = per_delivered.as_mut() {
+                delivered[alloc.transfer] += remaining_before - t.remaining_gbits;
+            }
         }
         delivered_series.push((now, slot_delivered));
 
         // Starvation bookkeeping feeds the §3.2 guard in the engine.
+        let mut queue_depth = 0usize;
         for t in transfers.iter_mut() {
             if t.arrival_s <= now + EPS && !t.is_complete() {
                 if got_rate[t.id] {
                     t.starved_slots = 0;
                 } else {
                     t.starved_slots += 1;
+                    queue_depth += 1;
                 }
+            }
+        }
+
+        if let Some(delivered) = &per_delivered {
+            // Fold in every plant event that struck during this slot —
+            // detected or not — so the frame's actual_down is ground
+            // truth while believed_down lags by the detection delay.
+            while actual_applied < plant_events.len()
+                && plant_events[actual_applied].time_s < now + config.slot_len_s - EPS
+            {
+                actual_state.apply(&plant_events[actual_applied].kind);
+                slot_events.push(fault_label(&plant_events[actual_applied].kind));
+                actual_applied += 1;
+            }
+            let believed_down: Vec<String> =
+                state.active_failures().iter().map(failure_label).collect();
+            let actual_down: Vec<String> = actual_state
+                .active_failures()
+                .iter()
+                .map(failure_label)
+                .collect();
+            let at_risk = active
+                .iter()
+                .filter(|a| a.deadline_s.is_some() && !transfers[a.id].is_complete())
+                .filter(|a| {
+                    let deadline = a.deadline_s.expect("filtered to deadline transfers");
+                    let rate = achieved
+                        .allocations
+                        .iter()
+                        .find(|al| al.transfer == a.id)
+                        .map_or(0.0, Allocation::total_rate);
+                    let horizon = (deadline - now).max(0.0);
+                    rate * horizon + EPS < transfers[a.id].remaining_gbits
+                })
+                .count();
+            let rows = build_scope_rows(&active, &achieved, &transfers, &records, delivered);
+            scope.record_slot(&SlotObservation {
+                slot,
+                now_s: now,
+                slot_len_s: config.slot_len_s,
+                start_ns: slot_start_ns,
+                end_ns: recorder.now_ns().max(slot_start_ns),
+                plan_start_ns,
+                plan_ns,
+                anneal_ns: 0,
+                circuits_ns: 0,
+                rates_ns: 0,
+                update_ns,
+                update_ops: slot_ops,
+                throughput_gbps: achieved.throughput_gbps,
+                active_transfers: active.len(),
+                queue_depth,
+                at_risk,
+                plan: &achieved,
+                rows: &rows,
+                believed_down: &believed_down,
+                actual_down: &actual_down,
+                events: &slot_events,
+            });
+            scope.record_extra_span(
+                "chaos",
+                "update.execute",
+                update_start_ns,
+                update_start_ns.saturating_add(update_ns),
+                Vec::new(),
+            );
+            if used_fallback {
+                scope.anomaly("plan.infeasible", slot);
+            }
+            if slot_aborts > 0 {
+                scope.anomaly("update.retry_exhausted", slot);
+            }
+            if dark_paths > 0 {
+                scope.anomaly("blackhole.undetected_cut", slot);
             }
         }
 
@@ -465,6 +610,32 @@ pub fn run_chaos(
         stats,
         slots,
     })
+}
+
+/// Stable label for an active failure in flight-dump frames.
+fn failure_label(f: &Failure) -> String {
+    match f {
+        Failure::FiberCut(id) => format!("fiber_cut {id}"),
+        Failure::SiteDown(s) => format!("site_down {s}"),
+        Failure::AmpDegraded { fiber, usable } => {
+            format!("amp_degraded {fiber} usable={usable}")
+        }
+    }
+}
+
+/// Stable label for a timeline event in flight-dump frames.
+fn fault_label(k: &FaultKind) -> String {
+    match k {
+        FaultKind::FiberCut(id) => format!("fault fiber_cut {id}"),
+        FaultKind::FiberRepaired(id) => format!("repair fiber {id}"),
+        FaultKind::SiteDown(s) => format!("fault site_down {s}"),
+        FaultKind::SiteUp(s) => format!("repair site {s}"),
+        FaultKind::AmpDegraded { fiber, usable } => {
+            format!("fault amp_degraded {fiber} usable={usable}")
+        }
+        FaultKind::AmpRepaired(id) => format!("repair amp {id}"),
+        FaultKind::ControllerCrash => "fault controller_crash".to_string(),
+    }
 }
 
 /// Graceful degradation (§3.4): the previous topology filtered to links

@@ -1,0 +1,156 @@
+//! The [`telemetry_bundle!`] macro: one declaration per instrumented
+//! subsystem instead of four hand-rolled shims.
+//!
+//! Every crate in the pipeline (core, update, sim, chaos) keeps a small
+//! "telemetry bundle" — a struct of pre-resolved [`crate::Recorder`]
+//! handles so the hot path never touches the name→handle registry. The
+//! structs were near-identical boilerplate; the macro generates the
+//! struct, a `disabled()` constructor (all handles no-ops), and a
+//! `new(&Recorder)` constructor that resolves each handle exactly once.
+//!
+//! Field kinds:
+//!
+//! - `counter = "name"` → [`crate::Counter`]
+//! - `gauge = "name"` → [`crate::Gauge`]
+//! - `stage = "name"` → [`crate::Stage`]
+//! - `bundle(Type)` → a nested bundle, built with `Type::new(recorder)`
+//!
+//! A `pub recorder: Recorder` field is always generated first so callers
+//! can emit ad-hoc events against the same recorder the handles came
+//! from. Extra methods go in ordinary `impl` blocks next to the macro
+//! invocation.
+
+/// Declares a telemetry bundle struct (see module docs).
+///
+/// ```
+/// use owan_obs::{telemetry_bundle, Recorder};
+///
+/// telemetry_bundle! {
+///     /// Example bundle.
+///     pub struct DemoTelemetry {
+///         /// Work items processed.
+///         pub items: counter = "demo.items",
+///         /// Current depth.
+///         pub depth: gauge = "demo.depth",
+///         /// End-to-end stage timer.
+///         pub work: stage = "demo.work",
+///     }
+/// }
+///
+/// let t = DemoTelemetry::new(&Recorder::enabled());
+/// t.items.incr();
+/// assert_eq!(t.recorder.snapshot().counters["demo.items"], 1);
+/// let off = DemoTelemetry::disabled();
+/// off.items.incr(); // no-op
+/// ```
+#[macro_export]
+macro_rules! telemetry_bundle {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            $(
+                $(#[$fmeta:meta])*
+                pub $field:ident: $kind:ident $(($inner:ty))? $(= $metric:expr)?
+            ),* $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Default)]
+        $vis struct $name {
+            /// The recorder every handle in this bundle came from.
+            pub recorder: $crate::Recorder,
+            $(
+                $(#[$fmeta])*
+                pub $field: $crate::telemetry_bundle!(@ty $kind $(($inner))?),
+            )*
+        }
+
+        impl $name {
+            /// A bundle where every handle is a no-op.
+            pub fn disabled() -> Self {
+                Self::default()
+            }
+
+            /// Resolves every handle against `recorder` once; the bundle
+            /// (and its clones) never touch the registry again.
+            pub fn new(recorder: &$crate::Recorder) -> Self {
+                $name {
+                    recorder: recorder.clone(),
+                    $(
+                        $field: $crate::telemetry_bundle!(
+                            @new recorder, $kind $(($inner))?, $($metric)?
+                        ),
+                    )*
+                }
+            }
+        }
+    };
+
+    (@ty counter) => { $crate::Counter };
+    (@ty gauge) => { $crate::Gauge };
+    (@ty stage) => { $crate::Stage };
+    (@ty bundle($t:ty)) => { $t };
+
+    (@new $rec:ident, counter, $metric:expr) => { $rec.counter($metric) };
+    (@new $rec:ident, gauge, $metric:expr) => { $rec.gauge($metric) };
+    (@new $rec:ident, stage, $metric:expr) => { $rec.stage($metric) };
+    (@new $rec:ident, bundle($t:ty),) => { <$t>::new($rec) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Recorder;
+
+    telemetry_bundle! {
+        /// Inner bundle used by the nesting test.
+        pub struct InnerTelemetry {
+            /// Inner ops.
+            pub ops: counter = "inner.ops",
+        }
+    }
+
+    telemetry_bundle! {
+        /// Outer bundle exercising every field kind.
+        pub struct OuterTelemetry {
+            /// Outer counter.
+            pub hits: counter = "outer.hits",
+            /// Outer gauge.
+            pub level: gauge = "outer.level",
+            /// Outer stage.
+            pub run: stage = "outer.run",
+            /// Nested bundle.
+            pub inner: bundle(InnerTelemetry),
+        }
+    }
+
+    #[test]
+    fn bundle_resolves_and_records() {
+        let rec = Recorder::enabled();
+        let t = OuterTelemetry::new(&rec);
+        t.hits.add(3);
+        t.level.set(2.5);
+        t.inner.ops.incr();
+        t.run.record_ns(1_000_000);
+        // The nested bundle resolves against the same recorder.
+        assert!(t.inner.recorder.is_enabled());
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["outer.hits"], 3);
+        assert_eq!(snap.gauges["outer.level"], 2.5);
+        assert_eq!(snap.counters["inner.ops"], 1);
+        assert_eq!(snap.counters["outer.run.calls"], 1);
+    }
+
+    #[test]
+    fn disabled_bundle_is_inert() {
+        let inner = InnerTelemetry::disabled();
+        inner.ops.incr();
+        assert_eq!(inner.ops.get(), 0);
+        let t = OuterTelemetry::disabled();
+        t.hits.incr();
+        t.level.set(9.0);
+        t.inner.ops.incr();
+        assert_eq!(t.hits.get(), 0);
+        assert_eq!(t.inner.ops.get(), 0);
+        assert!(t.recorder.snapshot().counters.is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Crash-safe JSON Lines output: the [`JsonlWriter`] only ever hands
+//! *complete* lines to the underlying writer, so a run that dies between
+//! flushes leaves a parseable file with no truncated trailing record.
+//!
+//! Callers buffer lines with [`JsonlWriter::write_line`] and flush at
+//! natural checkpoints (slot boundaries); `Drop` flushes whatever
+//! remains. A crash between checkpoints loses at most the unflushed
+//! lines — never half a line.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Flush automatically once this many bytes of complete lines are
+/// buffered, so long gaps between checkpoints still bound memory.
+const AUTO_FLUSH_BYTES: usize = 1 << 20;
+
+/// A line-atomic buffered JSONL writer (see module docs).
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    /// `None` only after `into_inner` moved the writer out.
+    inner: Option<W>,
+    /// Complete, newline-terminated lines awaiting the next flush.
+    buf: String,
+    /// Lines accepted so far (flushed or not).
+    lines: u64,
+}
+
+impl JsonlWriter<BufWriter<File>> {
+    /// Creates (truncating) a file-backed writer at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonlWriter::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(inner: W) -> Self {
+        JsonlWriter {
+            inner: Some(inner),
+            buf: String::new(),
+            lines: 0,
+        }
+    }
+
+    /// Buffers one record. Interior newlines would break the line-per-
+    /// record framing, so they are rejected rather than silently split.
+    pub fn write_line(&mut self, line: &str) -> io::Result<()> {
+        if line.contains('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "JSONL record contains a newline",
+            ));
+        }
+        self.buf.push_str(line);
+        self.buf.push('\n');
+        self.lines += 1;
+        if self.buf.len() >= AUTO_FLUSH_BYTES {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Number of records accepted so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Writes every buffered line through to the underlying writer and
+    /// flushes it. Call at slot boundaries.
+    pub fn flush(&mut self) -> io::Result<()> {
+        let Some(inner) = self.inner.as_mut() else {
+            return Ok(());
+        };
+        if !self.buf.is_empty() {
+            inner.write_all(self.buf.as_bytes())?;
+            self.buf.clear();
+        }
+        inner.flush()
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.flush()?;
+        Ok(self.inner.take().expect("writer already taken"))
+    }
+}
+
+impl<W: Write> Drop for JsonlWriter<W> {
+    fn drop(&mut self) {
+        // Best-effort: a clean exit persists the tail; errors here have
+        // no channel to report through.
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A writer whose sink is observable mid-run.
+    #[derive(Clone, Default)]
+    struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn parse_lines(bytes: &[u8]) -> Vec<String> {
+        let text = std::str::from_utf8(bytes).expect("utf8");
+        assert!(
+            text.is_empty() || text.ends_with('\n'),
+            "file must end at a line boundary, got {text:?}"
+        );
+        text.lines().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn abort_between_flushes_leaves_only_complete_lines() {
+        let sink = SharedSink::default();
+        let mut w = JsonlWriter::new(sink.clone());
+        for slot in 0..3 {
+            for i in 0..4 {
+                w.write_line(&format!("{{\"slot\":{slot},\"i\":{i}}}"))
+                    .unwrap();
+            }
+            w.flush().unwrap(); // slot boundary
+        }
+        w.write_line("{\"slot\":3,\"i\":0}").unwrap(); // never flushed
+                                                       // Simulate a hard crash: Drop never runs.
+        std::mem::forget(w);
+        let lines = parse_lines(&sink.0.lock().unwrap());
+        assert_eq!(lines.len(), 12, "only checkpointed lines on disk");
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn drop_flushes_the_tail() {
+        let sink = SharedSink::default();
+        {
+            let mut w = JsonlWriter::new(sink.clone());
+            w.write_line("{\"a\":1}").unwrap();
+            w.write_line("{\"a\":2}").unwrap();
+        } // Drop
+        let lines = parse_lines(&sink.0.lock().unwrap());
+        assert_eq!(lines, vec!["{\"a\":1}", "{\"a\":2}"]);
+    }
+
+    #[test]
+    fn interior_newline_is_rejected() {
+        let mut w = JsonlWriter::new(Vec::new());
+        assert!(w.write_line("{\"a\":\n1}").is_err());
+        assert_eq!(w.lines_written(), 0);
+    }
+
+    #[test]
+    fn into_inner_returns_flushed_writer() {
+        let mut w = JsonlWriter::new(Vec::new());
+        w.write_line("{}").unwrap();
+        let inner = w.into_inner().unwrap();
+        assert_eq!(inner, b"{}\n");
+    }
+}

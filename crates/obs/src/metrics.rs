@@ -175,4 +175,107 @@ impl HistogramSnapshot {
             self.sum / self.total as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the containing bucket, Prometheus-style: the first bucket
+    /// interpolates from 0 (or from its bound, if negative), and ranks
+    /// landing in the overflow bucket clamp to the last finite bound.
+    /// Returns 0.0 with no observations.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.total as f64;
+        let mut cum = 0.0;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += count as f64;
+            if cum < rank || count == 0 {
+                continue;
+            }
+            if idx >= self.bounds.len() {
+                // Overflow bucket: no upper bound to interpolate toward.
+                return self.bounds[self.bounds.len() - 1];
+            }
+            let upper = self.bounds[idx];
+            let lower = if idx == 0 {
+                upper.min(0.0)
+            } else {
+                self.bounds[idx - 1]
+            };
+            let frac = ((rank - prev) / count as f64).clamp(0.0, 1.0);
+            return lower + (upper - lower) * frac;
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(bounds: &[f64]) -> Histogram {
+        Histogram(Some(Arc::new(HistogramCore::new(bounds))))
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let snap = hist(&[1.0, 10.0]).snapshot();
+        assert_eq!(snap.quantile(0.5), 0.0);
+        assert_eq!(snap.quantile(0.99), 0.0);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_interpolates_its_bucket() {
+        let h = hist(&[1.0, 2.0, 4.0]);
+        h.observe(3.0); // lands in (2, 4]
+        let snap = h.snapshot();
+        // Every quantile points into the one occupied bucket.
+        let q50 = snap.quantile(0.5);
+        assert!((2.0..=4.0).contains(&q50), "q50 = {q50}");
+        assert!((2.0..=4.0).contains(&snap.quantile(0.01)));
+        assert!((2.0..=4.0).contains(&snap.quantile(1.0)));
+        // q = 1.0 reaches the bucket's upper bound exactly.
+        assert!((snap.quantile(1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_and_p999_interpolate_linearly() {
+        // 1000 samples in the (0, 100] bucket: ranks interpolate linearly
+        // across the bucket span.
+        let h = hist(&[100.0, 200.0]);
+        for _ in 0..1000 {
+            h.observe(50.0);
+        }
+        let snap = h.snapshot();
+        assert!((snap.quantile(0.99) - 99.0).abs() < 1e-9);
+        assert!((snap.quantile(0.999) - 99.9).abs() < 1e-9);
+        assert!((snap.quantile(0.5) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p999_crosses_into_sparse_tail_bucket() {
+        // 999 fast samples, 1 slow: p99 stays in the fast bucket, the max
+        // quantile reaches the slow observation's bucket.
+        let h = hist(&[1.0, 10.0, 100.0]);
+        for _ in 0..999 {
+            h.observe(0.5);
+        }
+        h.observe(50.0);
+        let snap = h.snapshot();
+        assert!(snap.quantile(0.99) <= 1.0);
+        let p999 = snap.quantile(0.999);
+        assert!((0.0..=1.0).contains(&p999), "p999 = {p999}");
+        let p1000 = snap.quantile(1.0);
+        assert!((10.0..=100.0).contains(&p1000), "q1.0 = {p1000}");
+    }
+
+    #[test]
+    fn overflow_bucket_clamps_to_last_bound() {
+        let h = hist(&[1.0, 10.0]);
+        h.observe(1_000.0);
+        assert_eq!(h.snapshot().quantile(0.99), 10.0);
+    }
 }

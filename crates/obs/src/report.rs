@@ -109,6 +109,34 @@ mod tests {
     }
 
     #[test]
+    fn counter_table_order_is_deterministic_across_insertion_orders() {
+        // Two recorders touch the same counters in opposite orders; the
+        // rendered tables must be byte-identical (lexicographic by name).
+        let names = [
+            "chaos.z_last",
+            "chaos.a_first",
+            "chaos.m_mid",
+            "chaos.m_mid2",
+        ];
+        let forward = Recorder::enabled();
+        for name in names {
+            forward.counter(name).incr();
+        }
+        let backward = Recorder::enabled();
+        for name in names.iter().rev() {
+            backward.counter(name).incr();
+        }
+        let table_fwd = format_counter_table(&forward.snapshot(), "chaos.");
+        let table_bwd = format_counter_table(&backward.snapshot(), "chaos.");
+        assert_eq!(table_fwd, table_bwd);
+        let rows: Vec<&str> = table_fwd.lines().skip(1).collect();
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        assert_eq!(rows, sorted, "rows must come out lexicographically sorted");
+        assert_eq!(rows.len(), names.len());
+    }
+
+    #[test]
     fn counter_table_is_stable_when_empty() {
         let recorder = Recorder::enabled();
         let table = format_counter_table(&recorder.snapshot(), "chaos.");

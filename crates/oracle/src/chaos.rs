@@ -13,8 +13,10 @@
 use crate::fuzz::Scenario;
 use crate::invariants::{check_plan, check_timeline};
 use crate::replay::ReplayFailure;
-use owan_chaos::{run_chaos, ChaosConfig, ChaosResult, FaultEvent, FaultKind, OpFaultModel};
+use owan_chaos::{run_chaos_traced, ChaosConfig, ChaosResult, FaultEvent, FaultKind, OpFaultModel};
 use owan_core::{default_topology, AnnealConfig, OwanConfig, OwanEngine, TrafficEngineer};
+use owan_obs::Recorder;
+use owan_scope::ScopeRecorder;
 use owan_sim::Failure;
 use owan_update::RetryPolicy;
 
@@ -92,6 +94,26 @@ pub fn replay_chaos_scenario(
     scenario: &Scenario,
     config: &ChaosReplayConfig,
 ) -> Result<ChaosReplayStats, ReplayFailure> {
+    replay_chaos_scenario_traced(
+        scenario,
+        config,
+        &Recorder::disabled(),
+        &ScopeRecorder::disabled(),
+    )
+}
+
+/// [`replay_chaos_scenario`] with observability attached: every invariant
+/// check is counted on `recorder` (`oracle.invariant_checked` /
+/// `oracle.invariant_violated`), the hardened loop's slot timeline flows
+/// into `scope`, and a violation triggers a flight-recorder dump
+/// (`oracle.invariant_violated` anomaly) covering the slots leading up to
+/// it. With both disabled this is exactly [`replay_chaos_scenario`].
+pub fn replay_chaos_scenario_traced(
+    scenario: &Scenario,
+    config: &ChaosReplayConfig,
+    recorder: &Recorder,
+    scope: &ScopeRecorder,
+) -> Result<ChaosReplayStats, ReplayFailure> {
     let events = chaos_events_for(scenario);
     let op_faults = OpFaultModel {
         seed: scenario.seed,
@@ -119,27 +141,39 @@ pub fn replay_chaos_scenario(
         Box::new(OwanEngine::new(default_topology(plant), owan_config)) as Box<dyn TrafficEngineer>
     };
 
+    let checked = recorder.counter("oracle.invariant_checked");
+    let violated = recorder.counter("oracle.invariant_violated");
     let mut plans_checked = 0usize;
     let mut updates_checked = 0usize;
     let mut audit = |a: &owan_chaos::SlotAudit| -> Result<(), String> {
-        check_plan(a.believed_plant, a.transfers, a.slot_len_s, a.plan)
-            .map_err(|v| format!("slot plan: {v}"))?;
+        checked.add(1);
+        if let Err(v) = check_plan(a.believed_plant, a.transfers, a.slot_len_s, a.plan) {
+            violated.add(1);
+            scope.anomaly("oracle.invariant_violated", a.slot);
+            return Err(format!("slot plan: {v}"));
+        }
         plans_checked += 1;
         if let (Some(delta), Some(update)) = (a.delta, a.update) {
-            check_timeline(delta, update, &a.params).map_err(|v| format!("update: {v}"))?;
+            checked.add(1);
+            if let Err(v) = check_timeline(delta, update, &a.params) {
+                violated.add(1);
+                scope.anomaly("oracle.invariant_violated", a.slot);
+                return Err(format!("update: {v}"));
+            }
             updates_checked += 1;
         }
         Ok(())
     };
 
-    let result: ChaosResult = run_chaos(
+    let result: ChaosResult = run_chaos_traced(
         &scenario.plant,
         &scenario.requests,
         &mut make_engine,
         &chaos_config,
         &events,
         &op_faults,
-        &owan_obs::Recorder::disabled(),
+        recorder,
+        scope,
         Some(&mut audit),
     )
     .map_err(|message| ReplayFailure { slot: 0, message })?;
@@ -180,10 +214,22 @@ pub fn fuzz_chaos(
     count: u64,
     config: &ChaosReplayConfig,
 ) -> Result<ChaosFuzzStats, (u64, ReplayFailure)> {
+    fuzz_chaos_observed(start, count, config, &Recorder::disabled())
+}
+
+/// [`fuzz_chaos`] with every invariant check counted on `recorder`.
+pub fn fuzz_chaos_observed(
+    start: u64,
+    count: u64,
+    config: &ChaosReplayConfig,
+    recorder: &Recorder,
+) -> Result<ChaosFuzzStats, (u64, ReplayFailure)> {
     let mut stats = ChaosFuzzStats::default();
     for seed in start..start + count {
         let scenario = Scenario::generate(seed);
-        let s = replay_chaos_scenario(&scenario, config).map_err(|f| (seed, f))?;
+        let s =
+            replay_chaos_scenario_traced(&scenario, config, recorder, &ScopeRecorder::disabled())
+                .map_err(|f| (seed, f))?;
         stats.scenarios += 1;
         stats.slots += s.slots;
         stats.plans_checked += s.plans_checked;

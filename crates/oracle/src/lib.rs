@@ -34,8 +34,8 @@ pub mod lp;
 pub mod replay;
 
 pub use chaos::{
-    chaos_events_for, fuzz_chaos, replay_chaos_scenario, ChaosFuzzStats, ChaosReplayConfig,
-    ChaosReplayStats,
+    chaos_events_for, fuzz_chaos, fuzz_chaos_observed, replay_chaos_scenario,
+    replay_chaos_scenario_traced, ChaosFuzzStats, ChaosReplayConfig, ChaosReplayStats,
 };
 pub use exact::{
     anneal_gap, best_topology_by_enumeration, EnumerationReport, ExactError, GapReport,
@@ -46,6 +46,6 @@ pub use lp::{
     all_simple_paths, check_rates_lp_feasible, greedy_gap, lp_max_throughput, LpReference,
 };
 pub use replay::{
-    fuzz as fuzz_seeds, minimize, replay_scenario, FuzzStats, ReplayConfig, ReplayFailure,
-    ReplayStats, Reproducer,
+    fuzz as fuzz_seeds, fuzz_observed as fuzz_seeds_observed, minimize, replay_scenario,
+    replay_scenario_observed, FuzzStats, ReplayConfig, ReplayFailure, ReplayStats, Reproducer,
 };

@@ -17,6 +17,7 @@ use owan_core::{
     default_topology, AnnealConfig, OwanConfig, OwanEngine, SlotInput, SlotPlan, TrafficEngineer,
     Transfer,
 };
+use owan_obs::Recorder;
 use owan_sim::{degrade_plant, plan_is_feasible, Failure};
 use owan_update::{plan_consistent, NetworkDelta, UpdateParams};
 
@@ -76,6 +77,19 @@ pub fn replay_scenario(
     scenario: &Scenario,
     config: &ReplayConfig,
 ) -> Result<ReplayStats, ReplayFailure> {
+    replay_scenario_observed(scenario, config, &Recorder::disabled())
+}
+
+/// [`replay_scenario`] with every invariant check counted on `recorder`
+/// (`oracle.invariant_checked` / `oracle.invariant_violated`). With a
+/// disabled recorder this is exactly [`replay_scenario`].
+pub fn replay_scenario_observed(
+    scenario: &Scenario,
+    config: &ReplayConfig,
+    recorder: &Recorder,
+) -> Result<ReplayStats, ReplayFailure> {
+    let checked = recorder.counter("oracle.invariant_checked");
+    let violated = recorder.counter("oracle.invariant_violated");
     let theta = scenario.plant.params().wavelength_capacity_gbps;
     let update_params = UpdateParams {
         theta_gbps: theta,
@@ -142,14 +156,18 @@ pub fn replay_scenario(
         );
 
         // Oracle 1: the simulator's own feasibility gate.
+        checked.add(1);
         if let Err(e) = plan_is_feasible(&plan, theta) {
+            violated.add(1);
             return Err(ReplayFailure {
                 slot,
                 message: format!("PlanError: {e}"),
             });
         }
         // Oracle 2: the full cross-layer invariant suite.
+        checked.add(1);
         if let Err(v) = check_plan(&current_plant, &active, scenario.slot_len_s, &plan) {
+            violated.add(1);
             return Err(ReplayFailure {
                 slot,
                 message: v.to_string(),
@@ -169,7 +187,9 @@ pub fn replay_scenario(
                     scenario.plant.params().wavelengths_per_fiber,
                 );
                 let update = plan_consistent(&delta, &update_params);
+                checked.add(1);
                 if let Err(v) = check_timeline(&delta, &update, &update_params) {
+                    violated.add(1);
                     return Err(ReplayFailure {
                         slot,
                         message: v.to_string(),
@@ -368,10 +388,22 @@ pub struct FuzzStats {
 /// Replays `count` consecutive seeds starting at `start`. Returns stats on
 /// success, or the first failure minimized to a [`Reproducer`].
 pub fn fuzz(start: u64, count: u64, config: &ReplayConfig) -> Result<FuzzStats, Reproducer> {
+    fuzz_observed(start, count, config, &Recorder::disabled())
+}
+
+/// [`fuzz`] with every invariant check counted on `recorder`. The
+/// minimizer runs unobserved — its replays probe candidate subsets rather
+/// than verify, so counting them would inflate the check totals.
+pub fn fuzz_observed(
+    start: u64,
+    count: u64,
+    config: &ReplayConfig,
+    recorder: &Recorder,
+) -> Result<FuzzStats, Reproducer> {
     let mut stats = FuzzStats::default();
     for seed in start..start + count {
         let scenario = Scenario::generate(seed);
-        match replay_scenario(&scenario, config) {
+        match replay_scenario_observed(&scenario, config, recorder) {
             Ok(s) => {
                 stats.seeds += 1;
                 stats.slots += s.slots;

@@ -1,0 +1,634 @@
+//! `owan-scope`: per-transfer flight recorder, causal slot timelines,
+//! and live introspection for the Owan reproduction.
+//!
+//! This crate is the second observability tier on top of `owan-obs`.
+//! Where `owan-obs` answers "how much / how fast" with counters and
+//! histograms, `owan-scope` answers "what happened to *this* transfer
+//! in *that* slot":
+//!
+//! * [`TransferTracker`] — per-transfer lifecycle state machine with
+//!   per-slot rates, per-path delivered volume, queue positions,
+//!   preemptions and deadline slack (`owan-cli transfers [--trace ID]`);
+//! * [`SpanRec`] + [`write_chrome_trace`] — a causal timeline of every
+//!   slot's anneal/circuits/rates/update work, exportable as Chrome
+//!   trace-event JSON for Perfetto / `chrome://tracing`;
+//! * [`FlightRing`] — a bounded ring of full-fidelity [`SlotFrame`]s
+//!   dumped to a self-contained reproducer file on the first anomaly;
+//! * [`MetricsServer`] + [`render_top`] — live Prometheus exposition
+//!   and a terminal dashboard while a sim runs.
+//!
+//! Like the obs [`owan_obs::Recorder`], a [`ScopeRecorder`] is an
+//! `Option<Arc<...>>`: the disabled default makes every hook an early
+//! return on `None`, so instrumented loops pay nothing when scoping is
+//! off — no allocation, no locking, no formatting.
+
+mod flight;
+pub mod jsonv;
+mod prom;
+mod serve;
+mod top;
+mod trace;
+mod transfers;
+
+pub use flight::{FlightDump, FlightRing, FrameTransfer, SlotFrame, DUMP_HEADER};
+pub use prom::render_prometheus;
+pub use serve::MetricsServer;
+pub use top::render_top;
+pub use trace::{write_chrome_trace, SpanRec};
+pub use transfers::{SlotTrace, TrackedTransfer, TransferSlotRow, TransferState, TransferTracker};
+
+use owan_core::{SlotPlan, TransferRequest};
+use owan_obs::{Snapshot, Value};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Configuration for an enabled scope.
+#[derive(Debug, Clone)]
+pub struct ScopeConfig {
+    /// Flight-recorder depth: how many recent slots survive in the ring.
+    pub flight_slots: usize,
+    /// Where an anomaly dump is written; `None` keeps it in memory only
+    /// (retrievable via [`ScopeRecorder::dump_text`]).
+    pub dump_path: Option<PathBuf>,
+}
+
+impl Default for ScopeConfig {
+    fn default() -> Self {
+        ScopeConfig {
+            flight_slots: 16,
+            dump_path: None,
+        }
+    }
+}
+
+/// Everything the slot loop tells the scope once per slot.
+///
+/// Stage durations come from the obs telemetry's per-slot marks; the
+/// scope turns them into nested spans (anneal ⊃ circuits+rates, and
+/// update after planning, all inside the slot span).
+#[derive(Debug, Clone, Copy)]
+pub struct SlotObservation<'a> {
+    /// Slot index.
+    pub slot: usize,
+    /// Slot start, sim seconds.
+    pub now_s: f64,
+    /// Slot length, sim seconds.
+    pub slot_len_s: f64,
+    /// Recorder-clock ns at slot-processing start.
+    pub start_ns: u64,
+    /// Recorder-clock ns at slot-processing end.
+    pub end_ns: u64,
+    /// Recorder-clock ns when planning started.
+    pub plan_start_ns: u64,
+    /// Total planning duration this slot, ns.
+    pub plan_ns: u64,
+    /// Annealing duration inside planning, ns.
+    pub anneal_ns: u64,
+    /// Circuit-construction duration inside annealing, ns.
+    pub circuits_ns: u64,
+    /// Rate-allocation duration inside annealing, ns.
+    pub rates_ns: u64,
+    /// Network-update duration after planning, ns.
+    pub update_ns: u64,
+    /// Update operations scheduled into the slot.
+    pub update_ops: usize,
+    /// Total allocated throughput, Gbps.
+    pub throughput_gbps: f64,
+    /// Active transfers at slot start.
+    pub active_transfers: usize,
+    /// Zero-rate queue depth.
+    pub queue_depth: usize,
+    /// Deadline transfers that cannot finish in time at current rates.
+    pub at_risk: usize,
+    /// The slot's plan (topology + allocations).
+    pub plan: &'a SlotPlan,
+    /// Per-transfer observations for the tracker.
+    pub rows: &'a [TransferSlotRow],
+    /// Failures the controller believes in (detected), stable strings.
+    pub believed_down: &'a [String],
+    /// Failures actually present in the plant.
+    pub actual_down: &'a [String],
+    /// Deterministic event strings for the flight frame.
+    pub events: &'a [String],
+}
+
+#[derive(Debug, Default)]
+struct ScopeState {
+    meta: BTreeMap<String, String>,
+    tracker: TransferTracker,
+    spans: Vec<SpanRec>,
+    ring: FlightRing,
+    next_span: u64,
+    last_slot: usize,
+    last_slot_span: Option<u64>,
+    dumped: bool,
+    dump_text: Option<String>,
+}
+
+#[derive(Debug)]
+struct ScopeInner {
+    config: ScopeConfig,
+    state: Mutex<ScopeState>,
+}
+
+/// Handle to the flight recorder / timeline collector (see crate docs).
+///
+/// Cloning shares the underlying state; the disabled default is inert.
+#[derive(Debug, Clone, Default)]
+pub struct ScopeRecorder {
+    inner: Option<Arc<ScopeInner>>,
+}
+
+impl ScopeRecorder {
+    /// The inert scope: every method returns immediately.
+    pub fn disabled() -> Self {
+        ScopeRecorder::default()
+    }
+
+    /// A collecting scope.
+    pub fn enabled(config: ScopeConfig) -> Self {
+        let ring = FlightRing::new(config.flight_slots);
+        ScopeRecorder {
+            inner: Some(Arc::new(ScopeInner {
+                config,
+                state: Mutex::new(ScopeState {
+                    ring,
+                    ..ScopeState::default()
+                }),
+            })),
+        }
+    }
+
+    /// Whether this scope collects anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(&self) -> Option<std::sync::MutexGuard<'_, ScopeState>> {
+        let inner = self.inner.as_ref()?;
+        Some(inner.state.lock().expect("scope state poisoned"))
+    }
+
+    /// Attaches run-reconstruction metadata (`net`, `seed`, `load`, …)
+    /// echoed — sorted — into every flight dump.
+    pub fn set_meta(&self, key: &str, value: impl ToString) {
+        if let Some(mut state) = self.lock() {
+            state.meta.insert(key.to_string(), value.to_string());
+        }
+    }
+
+    /// Registers the run's request list and clears prior run state.
+    pub fn begin_run(&self, requests: &[TransferRequest]) {
+        let Some(mut state) = self.lock() else {
+            return;
+        };
+        state.tracker.begin_run(requests);
+        state.spans.clear();
+        state.next_span = 0;
+        state.last_slot = 0;
+        state.last_slot_span = None;
+        state.dumped = false;
+        state.dump_text = None;
+        let capacity = self
+            .inner
+            .as_ref()
+            .map_or(16, |inner| inner.config.flight_slots);
+        state.ring = FlightRing::new(capacity);
+    }
+
+    /// Feeds one slot: updates the transfer tracker, pushes a flight
+    /// frame, and synthesizes the slot's span tree.
+    pub fn record_slot(&self, obs: &SlotObservation<'_>) {
+        let Some(mut state) = self.lock() else {
+            return;
+        };
+        state.last_slot = obs.slot;
+        state
+            .tracker
+            .observe_slot(obs.slot, obs.now_s, obs.slot_len_s, obs.rows);
+        let frame = SlotFrame {
+            slot: obs.slot,
+            now_s: obs.now_s,
+            active: obs.active_transfers,
+            queue_depth: obs.queue_depth,
+            at_risk: obs.at_risk,
+            throughput_gbps: obs.throughput_gbps,
+            plan_links: obs.plan.topology.links().len(),
+            plan_allocs: obs.plan.allocations.len(),
+            update_ops: obs.update_ops,
+            believed_down: obs.believed_down.to_vec(),
+            actual_down: obs.actual_down.to_vec(),
+            transfers: obs
+                .rows
+                .iter()
+                .map(|row| FrameTransfer {
+                    id: row.id,
+                    rate_gbps: row.rate_gbps,
+                    delivered_gbits: row.delivered_gbits,
+                    remaining_gbits: row.remaining_gbits,
+                    queued: row.queue_pos.is_some(),
+                })
+                .collect(),
+            events: obs.events.to_vec(),
+        };
+        state.ring.push(frame);
+        synthesize_spans(&mut state, obs);
+    }
+
+    /// Adds an extra span (e.g. a chaos recovery window) as a child of
+    /// the most recent slot span. Bounds are clamped into the slot.
+    pub fn record_extra_span(
+        &self,
+        cat: &str,
+        name: &str,
+        start_ns: u64,
+        end_ns: u64,
+        args: Vec<(String, Value)>,
+    ) {
+        let Some(mut state) = self.lock() else {
+            return;
+        };
+        let parent = state.last_slot_span;
+        let (start_ns, end_ns) = match parent.and_then(|id| {
+            state
+                .spans
+                .iter()
+                .find(|s| s.id == id)
+                .map(|s| (s.start_ns, s.end_ns))
+        }) {
+            Some((lo, hi)) => {
+                let start = start_ns.clamp(lo, hi);
+                (start, end_ns.clamp(start, hi))
+            }
+            None => (start_ns, end_ns.max(start_ns)),
+        };
+        push_span(&mut state, parent, cat, name, start_ns, end_ns, args);
+    }
+
+    /// Reports an anomaly. The *first* anomaly of a run freezes the
+    /// flight ring into a dump: written to the configured path (returned)
+    /// or kept in memory (see [`ScopeRecorder::dump_text`]). Later
+    /// anomalies are ignored so the dump shows the slots *leading up to*
+    /// the first failure.
+    pub fn anomaly(&self, reason: &str, slot: usize) -> Option<PathBuf> {
+        let inner = self.inner.as_ref()?;
+        let mut state = inner.state.lock().expect("scope state poisoned");
+        if state.dumped {
+            return None;
+        }
+        state.dumped = true;
+        let text = flight::render_dump(reason, slot, &state.meta, &state.ring);
+        state.dump_text = Some(text.clone());
+        drop(state);
+        let path = inner.config.dump_path.clone()?;
+        std::fs::write(&path, text).ok()?;
+        Some(path)
+    }
+
+    /// Writes a dump of the current ring regardless of anomaly state
+    /// (used by CI to validate the dump pipeline). Returns `false` when
+    /// disabled.
+    pub fn force_dump(&self, path: &Path) -> io::Result<bool> {
+        let Some(state) = self.lock() else {
+            return Ok(false);
+        };
+        let text = flight::render_dump("forced", state.last_slot, &state.meta, &state.ring);
+        drop(state);
+        std::fs::write(path, text)?;
+        Ok(true)
+    }
+
+    /// The in-memory dump from the first anomaly, if one fired.
+    pub fn dump_text(&self) -> Option<String> {
+        self.lock()?.dump_text.clone()
+    }
+
+    /// Whether an anomaly has already frozen the ring.
+    pub fn has_dumped(&self) -> bool {
+        self.lock().map(|s| s.dumped).unwrap_or(false)
+    }
+
+    /// Exports the collected spans (plus, optionally, the obs event ring
+    /// as instants) as Chrome trace-event JSON.
+    pub fn export_chrome_trace<W: io::Write>(
+        &self,
+        snapshot: Option<&Snapshot>,
+        mut writer: W,
+    ) -> io::Result<()> {
+        let spans = match self.lock() {
+            Some(state) => state.spans.clone(),
+            None => Vec::new(),
+        };
+        write_chrome_trace(&mut writer, &spans, snapshot)
+    }
+
+    /// Number of spans collected so far.
+    pub fn span_count(&self) -> usize {
+        self.lock().map(|s| s.spans.len()).unwrap_or(0)
+    }
+
+    /// A point-in-time copy of the transfer tracker.
+    pub fn tracker_snapshot(&self) -> Option<TransferTracker> {
+        Some(self.lock()?.tracker.clone())
+    }
+
+    /// The `owan-cli transfers` table.
+    pub fn render_transfers(&self) -> Option<String> {
+        Some(self.lock()?.tracker.render_table())
+    }
+
+    /// The per-slot trace of one transfer (`--trace ID`).
+    pub fn render_transfer_trace(&self, id: usize) -> Option<String> {
+        self.lock()?.tracker.render_trace(id)
+    }
+
+    /// Total delivered across every tracked transfer, Gb.
+    pub fn total_delivered_gbits(&self) -> f64 {
+        self.lock()
+            .map(|s| s.tracker.total_delivered_gbits())
+            .unwrap_or(0.0)
+    }
+}
+
+/// `[0, 3, 5]` → `"0-3-5"` — the stable per-path label used in
+/// tracker rows and `delivered by path` reports.
+pub fn path_label(path: &[usize]) -> String {
+    let mut out = String::with_capacity(path.len() * 3);
+    for (i, site) in path.iter().enumerate() {
+        if i > 0 {
+            out.push('-');
+        }
+        out.push_str(&site.to_string());
+    }
+    out
+}
+
+fn push_span(
+    state: &mut ScopeState,
+    parent: Option<u64>,
+    cat: &str,
+    name: &str,
+    start_ns: u64,
+    end_ns: u64,
+    args: Vec<(String, Value)>,
+) -> u64 {
+    let id = state.next_span;
+    state.next_span += 1;
+    state.spans.push(SpanRec {
+        id,
+        parent,
+        cat: cat.to_string(),
+        name: name.to_string(),
+        start_ns,
+        end_ns: end_ns.max(start_ns),
+        args,
+    });
+    id
+}
+
+/// Builds the slot's span tree from the stage durations.
+///
+/// Layout (telemetry invariants guarantee the containments; bounds are
+/// clamped defensively anyway):
+///
+/// ```text
+/// slot N  [start_ns ............................... end_ns]      cat sim
+///   anneal   [plan_start, +anneal_ns]                             cat anneal
+///     circuits  [plan_start, +circuits_ns]                        cat circuits
+///     rates     [plan_start+circuits_ns, +rates_ns]               cat rates
+///   update   [plan_start+plan_ns, +update_ns]                     cat update
+/// ```
+fn synthesize_spans(state: &mut ScopeState, obs: &SlotObservation<'_>) {
+    let clamp = |lo: u64, hi: u64, start: u64, len: u64| {
+        let s = start.clamp(lo, hi);
+        (s, s.saturating_add(len).clamp(s, hi))
+    };
+    let (slot_lo, slot_hi) = (obs.start_ns, obs.end_ns.max(obs.start_ns));
+    let slot_span = push_span(
+        state,
+        None,
+        "sim",
+        &format!("slot {}", obs.slot),
+        slot_lo,
+        slot_hi,
+        vec![
+            ("slot".to_string(), Value::from(obs.slot as u64)),
+            ("now_s".to_string(), Value::from(obs.now_s)),
+            (
+                "throughput_gbps".to_string(),
+                Value::from(obs.throughput_gbps),
+            ),
+            (
+                "active".to_string(),
+                Value::from(obs.active_transfers as u64),
+            ),
+            (
+                "queue_depth".to_string(),
+                Value::from(obs.queue_depth as u64),
+            ),
+            ("at_risk".to_string(), Value::from(obs.at_risk as u64)),
+        ],
+    );
+    state.last_slot_span = Some(slot_span);
+
+    let (anneal_lo, anneal_hi) = clamp(slot_lo, slot_hi, obs.plan_start_ns, obs.anneal_ns);
+    let anneal_span = push_span(
+        state,
+        Some(slot_span),
+        "anneal",
+        "anneal",
+        anneal_lo,
+        anneal_hi,
+        Vec::new(),
+    );
+    let (circ_lo, circ_hi) = clamp(anneal_lo, anneal_hi, anneal_lo, obs.circuits_ns);
+    push_span(
+        state,
+        Some(anneal_span),
+        "circuits",
+        "circuits",
+        circ_lo,
+        circ_hi,
+        vec![(
+            "links".to_string(),
+            Value::from(obs.plan.topology.links().len() as u64),
+        )],
+    );
+    let (rates_lo, rates_hi) = clamp(anneal_lo, anneal_hi, circ_hi, obs.rates_ns);
+    push_span(
+        state,
+        Some(anneal_span),
+        "rates",
+        "rates",
+        rates_lo,
+        rates_hi,
+        vec![(
+            "allocations".to_string(),
+            Value::from(obs.plan.allocations.len() as u64),
+        )],
+    );
+    let (upd_lo, upd_hi) = clamp(
+        slot_lo,
+        slot_hi,
+        obs.plan_start_ns.saturating_add(obs.plan_ns),
+        obs.update_ns,
+    );
+    push_span(
+        state,
+        Some(slot_span),
+        "update",
+        "update",
+        upd_lo,
+        upd_hi,
+        vec![("ops".to_string(), Value::from(obs.update_ops as u64))],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owan_core::{SlotPlan, Topology};
+
+    fn plan() -> SlotPlan {
+        SlotPlan {
+            topology: Topology::empty(4),
+            allocations: Vec::new(),
+            throughput_gbps: 0.0,
+        }
+    }
+
+    fn obs<'a>(plan: &'a SlotPlan, slot: usize) -> SlotObservation<'a> {
+        SlotObservation {
+            slot,
+            now_s: slot as f64 * 300.0,
+            slot_len_s: 300.0,
+            start_ns: 1_000,
+            end_ns: 11_000,
+            plan_start_ns: 2_000,
+            plan_ns: 6_000,
+            anneal_ns: 5_000,
+            circuits_ns: 2_000,
+            rates_ns: 1_500,
+            update_ns: 1_000,
+            update_ops: 3,
+            throughput_gbps: 10.0,
+            active_transfers: 1,
+            queue_depth: 0,
+            at_risk: 0,
+            plan,
+            rows: &[],
+            believed_down: &[],
+            actual_down: &[],
+            events: &[],
+        }
+    }
+
+    #[test]
+    fn disabled_scope_is_inert() {
+        let scope = ScopeRecorder::disabled();
+        assert!(!scope.is_enabled());
+        scope.set_meta("net", "isp");
+        scope.begin_run(&[]);
+        let p = plan();
+        scope.record_slot(&obs(&p, 0));
+        assert_eq!(scope.span_count(), 0);
+        assert!(scope.anomaly("plan.infeasible", 0).is_none());
+        assert!(scope.dump_text().is_none());
+        assert!(scope.render_transfers().is_none());
+        let mut buf = Vec::new();
+        scope.export_chrome_trace(None, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn record_slot_builds_nested_spans() {
+        let scope = ScopeRecorder::enabled(ScopeConfig::default());
+        scope.begin_run(&[]);
+        let p = plan();
+        scope.record_slot(&obs(&p, 0));
+        assert_eq!(scope.span_count(), 5);
+        let mut buf = Vec::new();
+        scope.export_chrome_trace(None, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let doc = jsonv::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 10, "5 spans -> 5 B + 5 E");
+        for cat in ["sim", "anneal", "circuits", "rates", "update"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.get("cat").and_then(jsonv::Json::as_str) == Some(cat)),
+                "missing category {cat}"
+            );
+        }
+    }
+
+    #[test]
+    fn spans_are_clamped_into_parents() {
+        let scope = ScopeRecorder::enabled(ScopeConfig::default());
+        scope.begin_run(&[]);
+        let p = plan();
+        let mut o = obs(&p, 0);
+        // Pathological durations that would overflow the slot.
+        o.anneal_ns = 1_000_000;
+        o.circuits_ns = 2_000_000;
+        o.update_ns = 9_999_999;
+        scope.record_slot(&o);
+        let tracker = scope.lock().unwrap();
+        for span in &tracker.spans {
+            assert!(span.start_ns >= 1_000 && span.end_ns <= 11_000, "{span:?}");
+            assert!(span.start_ns <= span.end_ns);
+        }
+    }
+
+    #[test]
+    fn first_anomaly_wins_and_freezes_the_dump() {
+        let scope = ScopeRecorder::enabled(ScopeConfig {
+            flight_slots: 4,
+            dump_path: None,
+        });
+        scope.set_meta("net", "isp");
+        scope.set_meta("seed", 7u64);
+        scope.begin_run(&[]);
+        let p = plan();
+        for slot in 0..3 {
+            scope.record_slot(&obs(&p, slot));
+        }
+        assert!(
+            scope.anomaly("plan.infeasible", 2).is_none(),
+            "no path configured"
+        );
+        assert!(scope.has_dumped());
+        let text = scope.dump_text().unwrap();
+        let dump = FlightDump::from_text(&text).unwrap();
+        assert_eq!(dump.reason, "plan.infeasible");
+        assert_eq!(dump.anomaly_slot, 2);
+        assert_eq!(dump.frames.len(), 3);
+        assert_eq!(dump.meta["seed"], "7");
+        // Second anomaly is ignored.
+        scope.anomaly("blackhole.undetected_cut", 2);
+        assert_eq!(scope.dump_text().unwrap(), text);
+    }
+
+    #[test]
+    fn extra_spans_attach_to_the_slot() {
+        let scope = ScopeRecorder::enabled(ScopeConfig::default());
+        scope.begin_run(&[]);
+        let p = plan();
+        scope.record_slot(&obs(&p, 0));
+        scope.record_extra_span("chaos", "op.retry", 500, 99_000, Vec::new());
+        let state = scope.lock().unwrap();
+        let chaos = state.spans.iter().find(|s| s.cat == "chaos").unwrap();
+        assert_eq!(chaos.parent, state.last_slot_span);
+        assert!(chaos.start_ns >= 1_000 && chaos.end_ns <= 11_000);
+    }
+
+    #[test]
+    fn path_labels_are_dash_joined() {
+        assert_eq!(path_label(&[0, 3, 5]), "0-3-5");
+        assert_eq!(path_label(&[7]), "7");
+        assert_eq!(path_label(&[]), "");
+    }
+}

@@ -1,0 +1,110 @@
+//! Prometheus text-format exposition for an [`owan_obs::Snapshot`].
+//!
+//! Counter and gauge names are sanitized (dots and dashes become
+//! underscores) and prefixed `owan_`; histograms render as cumulative
+//! `_bucket{le=...}` series plus `_sum`/`_count`, per the Prometheus
+//! exposition format.
+
+use owan_obs::Snapshot;
+use std::fmt::Write as _;
+
+/// `anneal.cache_hit` → `owan_anneal_cache_hit`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("owan_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn write_float(out: &mut String, v: f64) {
+    if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{v:.0}");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Renders the snapshot in Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let metric = sanitize(name);
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let metric = sanitize(name);
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        out.push_str(&metric);
+        out.push(' ');
+        write_float(&mut out, *value);
+        out.push('\n');
+    }
+    for (name, hist) in &snapshot.histograms {
+        let metric = sanitize(name);
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        let mut cumulative = 0u64;
+        for (i, count) in hist.counts.iter().enumerate() {
+            cumulative += count;
+            match hist.bounds.get(i) {
+                Some(bound) => {
+                    out.push_str(&metric);
+                    out.push_str("_bucket{le=\"");
+                    write_float(&mut out, *bound);
+                    let _ = writeln!(out, "\"}} {cumulative}");
+                }
+                None => {
+                    let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {cumulative}");
+                }
+            }
+        }
+        out.push_str(&metric);
+        out.push_str("_sum ");
+        write_float(&mut out, hist.sum);
+        out.push('\n');
+        let _ = writeln!(out, "{metric}_count {}", hist.total);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owan_obs::Recorder;
+
+    #[test]
+    fn counters_gauges_and_histograms_render() {
+        let rec = Recorder::enabled();
+        rec.counter("anneal.cache_hit").add(41);
+        rec.gauge("slot.throughput_gbps").set(12.5);
+        let h = rec.histogram("stage.slot.ms", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(100.0);
+        let text = render_prometheus(&rec.snapshot());
+        assert!(text.contains("# TYPE owan_anneal_cache_hit counter"));
+        assert!(text.contains("owan_anneal_cache_hit 41"));
+        assert!(text.contains("owan_slot_throughput_gbps 12.5"));
+        // Cumulative buckets: 1, 2, then +Inf = 3.
+        assert!(text.contains("owan_stage_slot_ms_bucket{le=\"1\"} 1"));
+        assert!(text.contains("owan_stage_slot_ms_bucket{le=\"10\"} 2"));
+        assert!(text.contains("owan_stage_slot_ms_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("owan_stage_slot_ms_count 3"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize("a.b-c_d9"), "owan_a_b_c_d9");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_prometheus(&Recorder::disabled().snapshot()), "");
+    }
+}

@@ -1,0 +1,134 @@
+//! Rendering for the `owan-cli top` terminal dashboard.
+//!
+//! Pure snapshot → string so it is testable without a terminal; the CLI
+//! adds the refresh loop and ANSI screen clearing around it.
+
+use owan_obs::{format_stage_table, Snapshot};
+use std::fmt::Write as _;
+
+/// Stages shown in the dashboard's timing table.
+const STAGES: [(&str, &str); 6] = [
+    ("slot", "stage.slot"),
+    ("anneal", "stage.anneal"),
+    ("circuits", "stage.circuits"),
+    ("rates", "stage.rates"),
+    ("update", "stage.update"),
+    ("chaos.op", "stage.chaos.op"),
+];
+
+fn counter(snapshot: &Snapshot, name: &str) -> u64 {
+    snapshot.counters.get(name).copied().unwrap_or(0)
+}
+
+fn gauge(snapshot: &Snapshot, name: &str) -> f64 {
+    snapshot.gauges.get(name).copied().unwrap_or(0.0)
+}
+
+/// Renders one dashboard frame from a recorder snapshot.
+pub fn render_top(snapshot: &Snapshot, elapsed_s: f64) -> String {
+    let mut out = String::new();
+    let slots = counter(snapshot, "stage.slot.calls");
+    let _ = writeln!(out, "owan top — {elapsed_s:.1}s elapsed, slot {slots}",);
+    let _ = writeln!(
+        out,
+        "throughput {:.2} Gbps | active {} | queued {} | at-risk {}",
+        gauge(snapshot, "slot.throughput_gbps"),
+        gauge(snapshot, "slot.active_transfers") as u64,
+        gauge(snapshot, "slot.queue_depth") as u64,
+        gauge(snapshot, "slot.at_risk") as u64,
+    );
+
+    let hits = counter(snapshot, "anneal.cache_hit");
+    let misses = counter(snapshot, "anneal.cache_miss");
+    if hits + misses > 0 {
+        let _ = writeln!(
+            out,
+            "anneal: {} iters, cache hit rate {:.1}% ({hits} hit / {misses} miss)",
+            counter(snapshot, "anneal.iterations"),
+            100.0 * hits as f64 / (hits + misses) as f64,
+        );
+    }
+
+    let chaos_keys = [
+        ("faults", "chaos.faults_detected"),
+        ("retries", "chaos.op_retries"),
+        ("aborts", "chaos.op_aborts"),
+        ("crashes", "chaos.crashes"),
+        ("fallbacks", "chaos.fallback_slots"),
+        ("blackholed", "chaos.blackhole_paths"),
+    ];
+    if chaos_keys.iter().any(|(_, k)| counter(snapshot, k) > 0) {
+        out.push_str("chaos:");
+        for (label, key) in chaos_keys {
+            let _ = write!(out, " {label} {}", counter(snapshot, key));
+        }
+        out.push('\n');
+    }
+
+    let oracle_checked = counter(snapshot, "oracle.invariant_checked");
+    if oracle_checked > 0 {
+        let _ = writeln!(
+            out,
+            "oracle: {oracle_checked} invariants checked, {} violated",
+            counter(snapshot, "oracle.invariant_violated"),
+        );
+    }
+
+    out.push('\n');
+    // Only list stages that have run, so baselines without annealing get
+    // a compact table.
+    let active_stages: Vec<(&str, &str)> = STAGES
+        .iter()
+        .copied()
+        .filter(|(_, name)| counter(snapshot, &format!("{name}.calls")) > 0)
+        .collect();
+    if active_stages.is_empty() {
+        out.push_str("(no stage timings yet)\n");
+    } else {
+        out.push_str(&format_stage_table(snapshot, &active_stages));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owan_obs::Recorder;
+
+    #[test]
+    fn dashboard_shows_gauges_cache_rate_and_stages() {
+        let rec = Recorder::enabled();
+        rec.gauge("slot.throughput_gbps").set(42.5);
+        rec.gauge("slot.active_transfers").set(7.0);
+        rec.gauge("slot.at_risk").set(2.0);
+        rec.counter("anneal.cache_hit").add(75);
+        rec.counter("anneal.cache_miss").add(25);
+        rec.counter("anneal.iterations").add(100);
+        rec.stage("stage.slot").record_ns(5_000_000);
+        let text = render_top(&rec.snapshot(), 3.25);
+        assert!(text.contains("3.2s elapsed"));
+        assert!(text.contains("throughput 42.50 Gbps"));
+        assert!(text.contains("at-risk 2"));
+        assert!(text.contains("cache hit rate 75.0%"));
+        assert!(text.contains("slot"));
+        assert!(
+            !text.contains("chaos:"),
+            "no chaos section without counters"
+        );
+    }
+
+    #[test]
+    fn chaos_section_appears_with_counters() {
+        let rec = Recorder::enabled();
+        rec.counter("chaos.blackhole_paths").add(3);
+        let text = render_top(&rec.snapshot(), 0.0);
+        assert!(text.contains("chaos:"));
+        assert!(text.contains("blackholed 3"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let text = render_top(&Recorder::disabled().snapshot(), 0.0);
+        assert!(text.contains("(no stage timings yet)"));
+    }
+}

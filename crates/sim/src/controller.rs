@@ -14,7 +14,7 @@
 //! clock, read back rate allocations and the device operation schedule.
 
 use crate::sim::{CompletionRecord, PlanError};
-use crate::telemetry::{SimTelemetry, SlotTelemetry};
+use crate::telemetry::{at_risk_count, SimTelemetry, SlotTelemetry};
 use owan_core::{SlotInput, SlotPlan, TrafficEngineer, Transfer, TransferRequest};
 use owan_obs::Recorder;
 use owan_optical::FiberPlant;
@@ -300,6 +300,7 @@ pub fn run_controller_observed(
                 start_s: now,
                 active_transfers: active.len(),
                 queue_depth: active.iter().filter(|a| !got_rate[a.id]).count(),
+                at_risk: at_risk_count(&active, &plan, now),
                 plan_ns,
                 anneal_ns,
                 circuits_ns,

@@ -192,6 +192,7 @@ pub fn simulate_with_failures_observed(
         &mut SingleEngine(engine),
         config,
         recorder,
+        &owan_scope::ScopeRecorder::disabled(),
     )
 }
 
@@ -256,6 +257,7 @@ pub fn simulate_with_restarts(
         &mut engines,
         config,
         &Recorder::disabled(),
+        &owan_scope::ScopeRecorder::disabled(),
     )
 }
 

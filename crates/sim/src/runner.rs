@@ -1,7 +1,7 @@
 //! Experiment runner: constructs engines by name and drives whole
 //! comparison sweeps, optionally in parallel across engines/loads.
 
-use crate::sim::{simulate, simulate_observed, SimConfig, SimResult};
+use crate::sim::{simulate, simulate_observed, simulate_traced, SimConfig, SimResult};
 use owan_core::{
     default_topology, AnnealConfig, OwanConfig, OwanEngine, SchedulingPolicy, TrafficEngineer,
     TransferRequest,
@@ -172,6 +172,29 @@ pub fn run_engine_observed(
         engine.as_mut(),
         &config.sim,
         recorder,
+    )
+}
+
+/// [`run_engine_observed`] with a flight recorder attached: the scope
+/// collects per-transfer lifecycle state, per-slot flight frames, and
+/// the causal span timeline. With a disabled scope this is exactly
+/// [`run_engine_observed`].
+pub fn run_engine_traced(
+    kind: EngineKind,
+    network: &Network,
+    requests: &[TransferRequest],
+    config: &RunnerConfig,
+    recorder: &Recorder,
+    scope: &owan_scope::ScopeRecorder,
+) -> SimResult {
+    let mut engine = make_engine(kind, network, config);
+    simulate_traced(
+        &network.plant,
+        requests,
+        engine.as_mut(),
+        &config.sim,
+        recorder,
+        scope,
     )
 }
 

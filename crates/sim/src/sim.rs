@@ -15,10 +15,11 @@
 //! its hardware testbed within 10% (§5.1); [`crate::validate`] reproduces
 //! that comparison with an impaired-rate mode.
 
-use crate::telemetry::{SimTelemetry, SlotTelemetry};
+use crate::telemetry::{at_risk_count, SimTelemetry, SlotTelemetry};
 use owan_core::{SlotInput, SlotPlan, TrafficEngineer, Transfer, TransferRequest};
 use owan_obs::Recorder;
 use owan_optical::FiberPlant;
+use owan_scope::{path_label, ScopeRecorder, SlotObservation, TransferSlotRow};
 use owan_update::{plan_consistent_observed, NetworkDelta, UpdateParams};
 use serde::{Deserialize, Serialize};
 
@@ -272,6 +273,29 @@ pub fn simulate_observed(
     config: &SimConfig,
     recorder: &Recorder,
 ) -> SimResult {
+    simulate_traced(
+        plant,
+        requests,
+        engine,
+        config,
+        recorder,
+        &ScopeRecorder::disabled(),
+    )
+}
+
+/// [`simulate_observed`] with a flight recorder attached: per-transfer
+/// lifecycle tracking, per-slot flight frames, and the causal span
+/// timeline all land on `scope`. With a disabled scope this is exactly
+/// [`simulate_observed`] — the slot loop takes the same early-return
+/// path and allocates nothing extra.
+pub fn simulate_traced(
+    plant: &FiberPlant,
+    requests: &[TransferRequest],
+    engine: &mut dyn TrafficEngineer,
+    config: &SimConfig,
+    recorder: &Recorder,
+    scope: &ScopeRecorder,
+) -> SimResult {
     drive_slots(
         plant,
         requests,
@@ -279,6 +303,7 @@ pub fn simulate_observed(
         &mut SingleEngine(engine),
         config,
         recorder,
+        scope,
     )
 }
 
@@ -295,8 +320,13 @@ pub(crate) fn drive_slots(
     engines: &mut dyn EngineSource,
     config: &SimConfig,
     recorder: &Recorder,
+    scope: &ScopeRecorder,
 ) -> SimResult {
     assert!(config.rate_efficiency > 0.0 && config.rate_efficiency <= 1.0);
+    let scope_on = scope.is_enabled();
+    if scope_on {
+        scope.begin_run(requests);
+    }
     let theta = base.params().wavelength_capacity_gbps;
     let mut engine_name = engines.engine_at(0).name().to_string();
     let telemetry = recorder.is_enabled().then(|| SimTelemetry::new(recorder));
@@ -361,6 +391,7 @@ pub(crate) fn drive_slots(
         let engine = engines.engine_at(slot);
         engine.set_recorder(recorder.clone());
         engine_name = engine.name().to_string();
+        let slot_start_ns = recorder.now_ns();
         let slot_span = telemetry
             .as_ref()
             .map(|t| (t.slot_stage.enter(), t.stage_marks()));
@@ -375,6 +406,7 @@ pub(crate) fn drive_slots(
         );
         let plan_ns = recorder.now_ns().saturating_sub(plan_start_ns);
         if let Err(e) = plan_is_feasible(&plan, theta) {
+            scope.anomaly("plan.infeasible", slot);
             plan_error = Some((slot, e));
             break;
         }
@@ -403,6 +435,7 @@ pub(crate) fn drive_slots(
 
         // Advance transfers.
         let mut got_rate = vec![false; transfers.len()];
+        let mut scope_delivered = scope_on.then(|| vec![0.0f64; transfers.len()]);
         for alloc in &plan.allocations {
             let rate_alloc = alloc.total_rate();
             let rate = rate_alloc * config.rate_efficiency;
@@ -412,6 +445,7 @@ pub(crate) fn drive_slots(
             let t = &mut transfers[alloc.transfer];
             debug_assert!(!t.is_complete(), "allocation to a finished transfer");
             got_rate[alloc.transfer] = true;
+            let remaining_before = t.remaining_gbits;
 
             let rec = &mut records[alloc.transfer];
             // Bytes before the deadline (pro-rata within the slot).
@@ -436,6 +470,9 @@ pub(crate) fn drive_slots(
                 makespan_s = makespan_s.max(finish);
             } else {
                 t.remaining_gbits -= rate * config.slot_len_s;
+            }
+            if let Some(delivered) = scope_delivered.as_mut() {
+                delivered[alloc.transfer] = remaining_before - t.remaining_gbits;
             }
         }
 
@@ -462,24 +499,59 @@ pub(crate) fn drive_slots(
             }
         }
 
+        let at_risk = if telemetry.is_some() || scope_on {
+            at_risk_count(&active, &plan, now)
+        } else {
+            0
+        };
+        let mut stage_ns = (0u64, 0u64, 0u64, 0u64);
         if let (Some(t), Some((span, marks))) = (&telemetry, slot_span) {
             span.finish();
-            let (anneal_ns, circuits_ns, rates_ns, update_ns) = t.stage_marks().since(&marks);
+            stage_ns = t.stage_marks().since(&marks);
             let row = SlotTelemetry {
                 slot,
                 start_s: now,
                 active_transfers: active.len(),
                 queue_depth,
+                at_risk,
                 plan_ns,
-                anneal_ns,
-                circuits_ns,
-                rates_ns,
-                update_ns,
+                anneal_ns: stage_ns.0,
+                circuits_ns: stage_ns.1,
+                rates_ns: stage_ns.2,
+                update_ns: stage_ns.3,
                 update_ops,
                 throughput_gbps: plan.throughput_gbps,
             };
             t.publish_slot(&row);
             slot_rows.push(row);
+        }
+        if let Some(delivered) = &scope_delivered {
+            let rows = build_scope_rows(&active, &plan, &transfers, &records, delivered);
+            scope.record_slot(&SlotObservation {
+                slot,
+                now_s: now,
+                slot_len_s: config.slot_len_s,
+                start_ns: slot_start_ns,
+                end_ns: recorder.now_ns().max(slot_start_ns),
+                plan_start_ns,
+                plan_ns,
+                anneal_ns: stage_ns.0,
+                circuits_ns: stage_ns.1,
+                rates_ns: stage_ns.2,
+                update_ns: stage_ns.3,
+                update_ops,
+                throughput_gbps: plan.throughput_gbps,
+                active_transfers: active.len(),
+                queue_depth,
+                at_risk,
+                plan: &plan,
+                rows: &rows,
+                believed_down: &[],
+                actual_down: &[],
+                events: &[],
+            });
+        }
+        if telemetry.is_some() {
             prev_plan = Some(plan);
         }
     }
@@ -497,6 +569,54 @@ pub(crate) fn drive_slots(
         telemetry: telemetry.map(|_| slot_rows),
         plan_error,
     }
+}
+
+/// One [`TransferSlotRow`] per active transfer, for the scope's transfer
+/// tracker: allocated rate, volume delivered this slot (attributed per
+/// path pro-rata by path rate), post-slot remaining volume, queue
+/// position for unserved transfers, and the completion instant when the
+/// transfer finished this slot. Shared with the chaos loop, which feeds
+/// its achieved (post-fault) plan instead of the target plan.
+pub fn build_scope_rows(
+    active: &[Transfer],
+    plan: &SlotPlan,
+    transfers: &[Transfer],
+    records: &[CompletionRecord],
+    delivered: &[f64],
+) -> Vec<TransferSlotRow> {
+    let mut rows = Vec::with_capacity(active.len());
+    let mut queue_pos = 0usize;
+    for a in active {
+        let id = a.id;
+        let alloc = plan.allocations.iter().find(|al| al.transfer == id);
+        let rate_gbps = alloc.map_or(0.0, |al| al.total_rate());
+        let delivered_gbits = delivered.get(id).copied().unwrap_or(0.0);
+        let served = rate_gbps > EPS;
+        let paths = match alloc {
+            Some(al) if served && delivered_gbits > 0.0 => al
+                .paths
+                .iter()
+                .filter(|(_, r)| *r > EPS)
+                .map(|(p, r)| (path_label(p), delivered_gbits * r / rate_gbps))
+                .collect(),
+            _ => Vec::new(),
+        };
+        rows.push(TransferSlotRow {
+            id,
+            rate_gbps,
+            delivered_gbits,
+            remaining_gbits: transfers[id].remaining_gbits,
+            queue_pos: if served {
+                None
+            } else {
+                queue_pos += 1;
+                Some(queue_pos - 1)
+            },
+            completion_s: records[id].completion_s,
+            paths,
+        });
+    }
+    rows
 }
 
 #[cfg(test)]

@@ -1,48 +1,60 @@
 //! Command-line driver: run any engine on any evaluation network and
-//! print the §5.1 metrics, or verify the control loop against the oracle.
+//! print the §5.1 metrics, verify the control loop against the oracle,
+//! or introspect a run with the flight recorder.
 //!
 //! ```text
-//! owan-cli [--net internet2|isp|interdc] [--engine owan|maxflow|maxmin|swan|tempus|amoeba|greedy]
-//!          [--load λ] [--sigma σ] [--slot SECONDS] [--duration SECONDS]
-//!          [--seed N] [--iters N] [--max-requests N]
-//!          [--obs FILE.jsonl] [--obs-summary]
-//! owan-cli verify [--seeds N] [--start S] [--replay FILE] [--net NAME]
-//!                 [--slots N] [--iters N] [--load λ] [--seed N] [--out FILE]
-//! owan-cli chaos  [--net NAME] [--seed N] [--load λ] [--slot SECONDS]
-//!                 [--slots N] [--iters N] [--detect SECONDS]
-//!                 [--timeout-prob P] [--fail-prob P] [--obs FILE.jsonl]
+//! owan-cli [RUN OPTIONS]
+//! owan-cli transfers [RUN OPTIONS] [--trace ID]
+//! owan-cli top [RUN OPTIONS] [--interval SECS]
+//! owan-cli verify [VERIFY OPTIONS]
+//! owan-cli chaos [CHAOS OPTIONS]
 //! ```
 //!
 //! With `--sigma` the workload carries deadlines and the deadline metrics
 //! are reported; without it, completion-time metrics. `--obs` exports the
 //! run's telemetry as JSON Lines; `--obs-summary` prints a per-stage
-//! timing table. Either flag enables recording (off by default; a
-//! disabled recorder changes no engine output).
+//! timing table. `--scope` attaches the flight recorder: per-transfer
+//! lifecycle tracking, the causal slot timeline (`--scope-trace` exports
+//! Chrome trace-event JSON for Perfetto), and anomaly-triggered flight
+//! dumps (`--scope-dump`). `--serve ADDR` exposes live Prometheus text
+//! (`/metrics`, `/healthz`) while the run executes. Every flag is off by
+//! default and a disabled recorder/scope changes no engine output.
 //!
 //! `verify` replays fuzzed or named-network scenarios through the real
 //! controller with every cross-layer invariant checked each slot. On
 //! divergence it exits 1 and prints (or writes, with `--out`) a minimized
-//! reproducer that `--replay FILE` re-runs exactly.
+//! reproducer that `--replay FILE` re-runs exactly. `--replay` also
+//! accepts a flight dump written by `chaos --scope-dump`: the embedded
+//! metadata reconstructs the scenario, the run is re-executed under the
+//! full invariant audit, and the regenerated dump must match the file
+//! byte for byte.
 //!
 //! Example:
 //! `cargo run --release --bin owan-cli -- --net internet2 --engine owan --load 1.5`
 
-use owan::chaos::{run_chaos, seeded_scenario, ChaosConfig, ChaosResult, OpFaultModel, SlotAudit};
+use owan::chaos::{
+    run_chaos, run_chaos_traced, seeded_scenario, ChaosConfig, ChaosResult, OpFaultModel, SlotAudit,
+};
 use owan::core::{
     default_topology, AnnealConfig, OwanConfig, OwanEngine, SchedulingPolicy, TrafficEngineer,
+    TransferRequest,
 };
 use owan::obs::{format_counter_table, format_stage_table, Recorder};
 use owan::oracle::{
-    check_plan, check_timeline, fuzz_chaos, fuzz_seeds, replay_scenario, ChaosReplayConfig,
-    ReplayConfig, Reproducer, Scenario,
+    check_plan, check_timeline, fuzz_chaos_observed, fuzz_seeds_observed, replay_scenario_observed,
+    ChaosReplayConfig, ReplayConfig, Reproducer, Scenario,
 };
+use owan::scope::{render_top, FlightDump, MetricsServer, ScopeConfig, ScopeRecorder};
 use owan::sim::metrics::{self, SizeBin};
-use owan::sim::runner::{run_engine_observed, EngineKind, RunnerConfig};
+use owan::sim::runner::{run_engine_traced, EngineKind, RunnerConfig};
 use owan::sim::SimConfig;
 use owan::topo::{inter_dc, internet2_testbed, isp_backbone, Network};
 use owan::workload::{generate, WorkloadConfig};
+use std::path::PathBuf;
 
 const USAGE: &str = "usage: owan-cli [OPTIONS]
+       owan-cli transfers [OPTIONS] [--trace ID]
+       owan-cli top [OPTIONS] [--interval SECS]
        owan-cli verify [OPTIONS]
        owan-cli chaos [OPTIONS]
 
@@ -61,18 +73,35 @@ run options:
   --max-requests N    truncate the workload to N transfers
   --obs FILE.jsonl    export run telemetry as JSON Lines to FILE
   --obs-summary       print a per-stage timing table after the metrics
+  --scope             attach the flight recorder / timeline collector
+  --scope-slots N     flight-recorder ring depth, slots  [16]
+  --scope-dump FILE   write the anomaly-triggered flight dump here
+  --scope-trace FILE  export the causal slot timeline as Chrome trace JSON
+  --serve ADDR        serve live /metrics + /healthz on ADDR while running
   -h, --help          show this help
+
+transfers: run the workload with the flight recorder attached and print
+the per-transfer lifecycle table (state, slots served, delivered Gb by
+path, queue time, preemptions, deadline slack). `--trace ID` prints one
+transfer's slot-by-slot history instead. Takes all run options.
+
+top: run the workload and print a live-refreshing dashboard (throughput,
+active/queued/at-risk transfers, per-stage timings, chaos and oracle
+counters) every `--interval` seconds [2] until the run finishes. Takes
+all run options plus `--serve`.
 
 verify options (modes are mutually exclusive; default is --seeds):
   --seeds N           fuzz N consecutive seeds through the oracle  [200]
   --start S           first fuzz seed  [0]
-  --replay FILE       re-run a reproducer file written by a failed verify
+  --replay FILE       re-run a reproducer file written by a failed verify,
+                      or a flight dump written by chaos --scope-dump
   --net NAME          replay a generated workload on a named network instead
   --slots N           replay horizon in slots (with --net)  [60]
   --iters N           annealing iterations per slot  [40]
   --load L            workload load factor (with --net)  [1.0]
   --seed N            workload seed (with --net)  [42]
   --out FILE          write the minimized reproducer here on divergence
+  --obs FILE.jsonl    export oracle.invariant_* counters as JSON Lines
   --chaos             fuzz seeds through the hardened chaos controller
                       (cuts+repairs, op faults, crashes) instead of the
                       fault-free loop; failures name the seed directly
@@ -91,6 +120,11 @@ chaos options:
   --timeout-prob P    per-attempt update-op timeout probability  [0.1]
   --fail-prob P       per-attempt update-op failure probability  [0.05]
   --obs FILE.jsonl    export telemetry (chaos.* counters included) to FILE
+  --scope             attach the flight recorder to the faulted run
+  --scope-slots N     flight-recorder ring depth, slots  [16]
+  --scope-dump FILE   write the anomaly-triggered flight dump here; the
+                      file replays through `verify --replay`
+  --scope-trace FILE  export the faulted run's timeline as Chrome trace JSON
 
 chaos runs a seeded scenario (fiber cut + amp degradation + op faults +
 controller crash + repairs) through the hardened controller twice — once
@@ -128,10 +162,183 @@ impl Args {
     }
 }
 
+fn build_network(cmd: &str, name: &str) -> Network {
+    match name {
+        "internet2" => internet2_testbed(),
+        "isp" => isp_backbone(7),
+        "interdc" => inter_dc(7),
+        other => {
+            eprintln!("owan-cli{cmd}: unknown network '{other}' for --net");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Writes the recorder snapshot as JSON Lines to `path` (if set).
+fn write_obs(cmd: &str, recorder: &Recorder, path: &Option<String>) {
+    let Some(path) = path else { return };
+    if !recorder.is_enabled() {
+        return;
+    }
+    let mut out: Vec<u8> = Vec::new();
+    recorder
+        .snapshot()
+        .write_jsonl(&mut out)
+        .expect("serializing to memory cannot fail");
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("owan-cli{cmd}: cannot write --obs file '{path}': {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wrote {} telemetry lines to {path}",
+        out.iter().filter(|&&b| b == b'\n').count()
+    );
+}
+
+/// Writes the scope's Chrome trace to `path` (if set).
+fn write_trace(cmd: &str, scope: &ScopeRecorder, recorder: &Recorder, path: &Option<String>) {
+    let Some(path) = path else { return };
+    let snapshot = recorder.is_enabled().then(|| recorder.snapshot());
+    let mut out: Vec<u8> = Vec::new();
+    scope
+        .export_chrome_trace(snapshot.as_ref(), &mut out)
+        .expect("serializing to memory cannot fail");
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("owan-cli{cmd}: cannot write --scope-trace file '{path}': {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {} spans to {path}", scope.span_count());
+}
+
+/// Everything the run-shaped commands (default run, `transfers`, `top`)
+/// share: network, engine kind, generated workload, runner config, and
+/// the workload knobs echoed into scope metadata.
+struct RunSetup {
+    net_name: String,
+    network: Network,
+    engine_name: String,
+    kind: EngineKind,
+    requests: Vec<TransferRequest>,
+    cfg: RunnerConfig,
+    sigma: Option<f64>,
+    load: f64,
+    slot: f64,
+    seed: u64,
+    iters: usize,
+}
+
+fn run_setup(args: &Args) -> RunSetup {
+    let net_name = args.get("--net").unwrap_or("internet2").to_string();
+    let network = build_network("", &net_name);
+
+    let engine_name = args.get("--engine").unwrap_or("owan").to_string();
+    let kind = match engine_name.as_str() {
+        "owan" => EngineKind::Owan,
+        "maxflow" => EngineKind::MaxFlow,
+        "maxmin" => EngineKind::MaxMinFract,
+        "swan" => EngineKind::Swan,
+        "tempus" => EngineKind::Tempus,
+        "amoeba" => EngineKind::Amoeba,
+        "greedy" => EngineKind::Greedy,
+        other => {
+            eprintln!("owan-cli: unknown engine '{other}' for --engine");
+            std::process::exit(2);
+        }
+    };
+
+    let load = args.parse("--load", 1.0f64);
+    let sigma: Option<f64> = args.get("--sigma").map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("owan-cli: invalid value '{raw}' for --sigma");
+            std::process::exit(2);
+        })
+    });
+    let slot = args.parse("--slot", 300.0f64);
+    let duration = args.parse("--duration", 7_200.0f64);
+    let seed = args.parse("--seed", 42u64);
+    let iters = args.parse("--iters", 150usize);
+    let chains = args.parse("--chains", 1usize);
+    let use_fastpath = !args.flag("--no-fastpath");
+    let max_requests = args.parse("--max-requests", usize::MAX);
+
+    let mut wl = if net_name == "internet2" {
+        WorkloadConfig::testbed(load, seed)
+    } else {
+        WorkloadConfig::simulation(load, seed)
+    };
+    wl.duration_s = duration;
+    if net_name == "interdc" {
+        wl = wl.with_hotspots();
+    }
+    if let Some(s) = sigma {
+        wl = wl.with_deadlines(slot, s);
+    }
+    let mut requests = generate(&network, &wl);
+    requests.truncate(max_requests);
+
+    let cfg = RunnerConfig {
+        sim: SimConfig {
+            slot_len_s: slot,
+            max_slots: 5_000,
+            ..Default::default()
+        },
+        anneal_iterations: iters,
+        seed,
+        policy: if sigma.is_some() {
+            SchedulingPolicy::EarliestDeadlineFirst
+        } else {
+            SchedulingPolicy::ShortestJobFirst
+        },
+        anneal_chains: chains,
+        anneal_use_cache: use_fastpath,
+        ..Default::default()
+    };
+
+    RunSetup {
+        net_name,
+        network,
+        engine_name,
+        kind,
+        requests,
+        cfg,
+        sigma,
+        load,
+        slot,
+        seed,
+        iters,
+    }
+}
+
+/// Builds the scope from `--scope*` flags and stamps run-reconstruction
+/// metadata. `force` enables the scope even without `--scope` (the
+/// `transfers` command needs it unconditionally).
+fn scope_from_args(args: &Args, setup: &RunSetup, mode: &str, force: bool) -> ScopeRecorder {
+    let dump_path = args.get("--scope-dump").map(str::to_string);
+    let enabled =
+        force || args.flag("--scope") || dump_path.is_some() || args.get("--scope-trace").is_some();
+    if !enabled {
+        return ScopeRecorder::disabled();
+    }
+    let flight_slots = args.parse("--scope-slots", 16usize);
+    let scope = ScopeRecorder::enabled(ScopeConfig {
+        flight_slots,
+        dump_path: dump_path.map(PathBuf::from),
+    });
+    scope.set_meta("mode", mode);
+    scope.set_meta("net", &setup.net_name);
+    scope.set_meta("engine", &setup.engine_name);
+    scope.set_meta("seed", setup.seed);
+    scope.set_meta("load", setup.load);
+    scope.set_meta("slot_len_s", setup.slot);
+    scope.set_meta("iters", setup.iters);
+    scope.set_meta("scope_slots", flight_slots);
+    scope
+}
+
 /// `owan-cli verify`: the oracle as a command. Three modes — seed fuzzing
-/// (default), reproducer replay (`--replay`), and named-network replay
-/// (`--net`) — all funnel through the same invariant checkers the test
-/// suite uses.
+/// (default), reproducer/flight-dump replay (`--replay`), and
+/// named-network replay (`--net`) — all funnel through the same invariant
+/// checkers the test suite uses.
 fn verify_main(args: &Args) -> ! {
     let iters = args.parse("--iters", 40usize);
     let config = ReplayConfig {
@@ -139,6 +346,12 @@ fn verify_main(args: &Args) -> ! {
         check_updates: true,
     };
     let out_path = args.get("--out").map(str::to_string);
+    let obs_path = args.get("--obs").map(str::to_string);
+    let recorder = if obs_path.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
 
     let fail = |message: &str, repro: Option<&Reproducer>| -> ! {
         eprintln!("owan-cli verify: FAIL: {message}");
@@ -155,6 +368,7 @@ fn verify_main(args: &Args) -> ! {
                 None => print!("{text}"),
             }
         }
+        write_obs(" verify", &recorder, &obs_path);
         std::process::exit(1);
     };
 
@@ -163,6 +377,9 @@ fn verify_main(args: &Args) -> ! {
             eprintln!("owan-cli verify: cannot read --replay file '{path}': {e}");
             std::process::exit(2);
         });
+        if FlightDump::is_dump(&text) {
+            replay_flight_dump(path, &text, iters, &recorder, &obs_path);
+        }
         let repro = Reproducer::from_text(&text).unwrap_or_else(|e| {
             eprintln!("owan-cli verify: malformed reproducer '{path}': {e}");
             std::process::exit(2);
@@ -174,12 +391,13 @@ fn verify_main(args: &Args) -> ! {
             scenario.requests.len(),
             scenario.failures.len()
         );
-        match replay_scenario(&scenario, &config) {
+        match replay_scenario_observed(&scenario, &config, &recorder) {
             Ok(stats) => {
                 println!(
                     "OK: seed {} replayed clean ({} slots, {} plans, {} transitions checked)",
                     scenario.seed, stats.slots, stats.plans_checked, stats.updates_checked
                 );
+                write_obs(" verify", &recorder, &obs_path);
                 std::process::exit(0);
             }
             Err(f) => fail(&f.to_string(), Some(&repro)),
@@ -187,15 +405,7 @@ fn verify_main(args: &Args) -> ! {
     }
 
     if let Some(net_name) = args.get("--net") {
-        let network: Network = match net_name {
-            "internet2" => internet2_testbed(),
-            "isp" => isp_backbone(7),
-            "interdc" => inter_dc(7),
-            other => {
-                eprintln!("owan-cli verify: unknown network '{other}' for --net");
-                std::process::exit(2);
-            }
-        };
+        let network = build_network(" verify", net_name);
         let load = args.parse("--load", 1.0f64);
         let seed = args.parse("--seed", 42u64);
         let slots = args.parse("--slots", 60usize);
@@ -218,13 +428,14 @@ fn verify_main(args: &Args) -> ! {
             slot_len_s: slot_len,
             max_slots: slots,
         };
-        match replay_scenario(&scenario, &config) {
+        match replay_scenario_observed(&scenario, &config, &recorder) {
             Ok(stats) => {
                 println!(
                     "OK: {net_name} replayed clean ({} slots, {} plans, {} transitions checked, \
                      {} transfers completed)",
                     stats.slots, stats.plans_checked, stats.updates_checked, stats.completed
                 );
+                write_obs(" verify", &recorder, &obs_path);
                 std::process::exit(0);
             }
             // Named-network workloads are not seed-regenerable through the
@@ -245,7 +456,7 @@ fn verify_main(args: &Args) -> ! {
             anneal_iterations: iters,
             ..Default::default()
         };
-        match fuzz_chaos(start, count, &chaos_config) {
+        match fuzz_chaos_observed(start, count, &chaos_config, &recorder) {
             Ok(stats) => {
                 println!(
                     "OK: {} chaos scenarios replayed clean ({} slots, {} plans, {} update \
@@ -256,6 +467,7 @@ fn verify_main(args: &Args) -> ! {
                     stats.updates_checked,
                     stats.crashes
                 );
+                write_obs(" verify", &recorder, &obs_path);
                 std::process::exit(0);
             }
             // Chaos scenarios regenerate deterministically from the seed,
@@ -267,17 +479,180 @@ fn verify_main(args: &Args) -> ! {
         "fuzzing seeds {start}..{} with {iters} anneal iters",
         start + count
     );
-    match fuzz_seeds(start, count, &config) {
+    match fuzz_seeds_observed(start, count, &config, &recorder) {
         Ok(stats) => {
             println!(
                 "OK: {} seeds replayed clean ({} slots, {} plans, {} transitions checked)",
                 stats.seeds, stats.slots, stats.plans_checked, stats.updates_checked
             );
+            write_obs(" verify", &recorder, &obs_path);
             std::process::exit(0);
         }
         Err(repro) => {
             let msg = repro.message.clone();
             fail(&format!("seed {}: {}", repro.seed, msg), Some(&repro))
+        }
+    }
+}
+
+/// `verify --replay` on a flight dump: the embedded metadata reconstructs
+/// the chaos scenario, the run re-executes under the full invariant
+/// audit, and the regenerated dump must match the input byte for byte.
+fn replay_flight_dump(
+    path: &str,
+    text: &str,
+    iters_flag: usize,
+    recorder: &Recorder,
+    obs_path: &Option<String>,
+) -> ! {
+    let dump = FlightDump::from_text(text).unwrap_or_else(|e| {
+        eprintln!("owan-cli verify: malformed flight dump '{path}': {e}");
+        std::process::exit(2);
+    });
+    let meta = |key: &str| -> String {
+        dump.meta.get(key).cloned().unwrap_or_else(|| {
+            eprintln!("owan-cli verify: flight dump '{path}' missing `{key}:` metadata");
+            std::process::exit(2);
+        })
+    };
+    let parse = |key: &str, raw: &str| -> f64 {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("owan-cli verify: flight dump '{path}': bad `{key}: {raw}`");
+            std::process::exit(2);
+        })
+    };
+    let mode = meta("mode");
+    if mode != "chaos" {
+        eprintln!(
+            "owan-cli verify: flight dump '{path}' has mode '{mode}'; only chaos dumps replay"
+        );
+        std::process::exit(2);
+    }
+    let net_name = meta("net");
+    let seed = parse("seed", &meta("seed")) as u64;
+    let load = parse("load", &meta("load"));
+    let slot = parse("slot_len_s", &meta("slot_len_s"));
+    let slots = parse("slots", &meta("slots")) as usize;
+    let iters = dump
+        .meta
+        .get("iters")
+        .map_or(iters_flag, |raw| parse("iters", raw) as usize);
+    let detect = parse("detect_s", &meta("detect_s"));
+    let timeout_prob = parse("timeout_prob", &meta("timeout_prob"));
+    let fail_prob = parse("fail_prob", &meta("fail_prob"));
+    let flight_slots = parse("scope_slots", &meta("scope_slots")) as usize;
+
+    eprintln!(
+        "replaying flight dump {path}: {} anomaly at slot {}, {} frames, net {net_name}, seed {seed}",
+        dump.reason,
+        dump.anomaly_slot,
+        dump.frames.len()
+    );
+
+    let network = build_network(" verify", &net_name);
+    let wl = if net_name == "internet2" {
+        WorkloadConfig::testbed(load, seed)
+    } else {
+        WorkloadConfig::simulation(load, seed)
+    };
+    let requests = generate(&network, &wl);
+    let plant = network.plant;
+    let horizon = slot * slots as f64;
+    let events = seeded_scenario(&plant, seed, horizon);
+    let op_faults = OpFaultModel {
+        seed,
+        timeout_prob,
+        fail_prob,
+    };
+    let config = ChaosConfig {
+        slot_len_s: slot,
+        max_slots: slots,
+        detection_delay_s: detect,
+        ..Default::default()
+    };
+    let mut make_engine = |p: &owan::optical::FiberPlant| {
+        let owan_config = OwanConfig {
+            anneal: AnnealConfig {
+                max_iterations: iters,
+                seed: seed.wrapping_add(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        Box::new(OwanEngine::new(default_topology(p), owan_config)) as Box<dyn TrafficEngineer>
+    };
+
+    let scope = ScopeRecorder::enabled(ScopeConfig {
+        flight_slots,
+        dump_path: None,
+    });
+    for (key, value) in &dump.meta {
+        scope.set_meta(key, value);
+    }
+
+    let checked = recorder.counter("oracle.invariant_checked");
+    let violated = recorder.counter("oracle.invariant_violated");
+    let mut audit = |a: &SlotAudit| -> Result<(), String> {
+        checked.add(1);
+        if let Err(v) = check_plan(a.believed_plant, a.transfers, a.slot_len_s, a.plan) {
+            violated.add(1);
+            scope.anomaly("oracle.invariant_violated", a.slot);
+            return Err(format!("slot plan: {v}"));
+        }
+        if let (Some(delta), Some(update)) = (a.delta, a.update) {
+            checked.add(1);
+            if let Err(v) = check_timeline(delta, update, &a.params) {
+                violated.add(1);
+                scope.anomaly("oracle.invariant_violated", a.slot);
+                return Err(format!("update: {v}"));
+            }
+        }
+        Ok(())
+    };
+
+    if let Err(e) = run_chaos_traced(
+        &plant,
+        &requests,
+        &mut make_engine,
+        &config,
+        &events,
+        &op_faults,
+        recorder,
+        &scope,
+        Some(&mut audit),
+    ) {
+        eprintln!("owan-cli verify: FAIL: flight-dump replay violated an invariant: {e}");
+        write_obs(" verify", recorder, obs_path);
+        std::process::exit(1);
+    }
+
+    let regenerated = scope.dump_text();
+    write_obs(" verify", recorder, obs_path);
+    match regenerated {
+        None => {
+            eprintln!(
+                "owan-cli verify: FAIL: replay of '{path}' triggered no anomaly \
+                 (expected {} at slot {})",
+                dump.reason, dump.anomaly_slot
+            );
+            std::process::exit(1);
+        }
+        Some(t) if t == text => {
+            println!(
+                "OK: flight dump {path} replayed exactly ({} anomaly at slot {}, {} frames, \
+                 all invariants held)",
+                dump.reason,
+                dump.anomaly_slot,
+                dump.frames.len()
+            );
+            std::process::exit(0);
+        }
+        Some(_) => {
+            eprintln!(
+                "owan-cli verify: FAIL: replay of '{path}' regenerated a different dump \
+                 (non-deterministic run or stale metadata)"
+            );
+            std::process::exit(1);
         }
     }
 }
@@ -288,15 +663,7 @@ fn verify_main(args: &Args) -> ! {
 /// reports the delivered-volume loss plus the fault/recovery counters.
 fn chaos_main(args: &Args) -> ! {
     let net_name = args.get("--net").unwrap_or("internet2").to_string();
-    let network: Network = match net_name.as_str() {
-        "internet2" => internet2_testbed(),
-        "isp" => isp_backbone(7),
-        "interdc" => inter_dc(7),
-        other => {
-            eprintln!("owan-cli chaos: unknown network '{other}' for --net");
-            std::process::exit(2);
-        }
-    };
+    let network = build_network(" chaos", &net_name);
     let seed = args.parse("--seed", 42u64);
     let load = args.parse("--load", 1.0f64);
     let slot = args.parse("--slot", 300.0f64);
@@ -306,6 +673,10 @@ fn chaos_main(args: &Args) -> ! {
     let timeout_prob = args.parse("--timeout-prob", 0.1f64);
     let fail_prob = args.parse("--fail-prob", 0.05f64);
     let obs_path = args.get("--obs").map(str::to_string);
+    let scope_dump = args.get("--scope-dump").map(str::to_string);
+    let scope_trace = args.get("--scope-trace").map(str::to_string);
+    let scope_on = args.flag("--scope") || scope_dump.is_some() || scope_trace.is_some();
+    let flight_slots = args.parse("--scope-slots", 16usize);
 
     let wl = if net_name == "internet2" {
         WorkloadConfig::testbed(load, seed)
@@ -347,22 +718,38 @@ fn chaos_main(args: &Args) -> ! {
         events.len()
     );
 
-    let mut violations = 0usize;
-    let mut audit = |a: &SlotAudit| -> Result<(), String> {
-        check_plan(a.believed_plant, a.transfers, a.slot_len_s, a.plan)
-            .map_err(|v| format!("slot plan: {v}"))?;
-        if let (Some(delta), Some(update)) = (a.delta, a.update) {
-            check_timeline(delta, update, &a.params).map_err(|v| format!("update: {v}"))?;
-        }
-        Ok(())
-    };
-
-    let recorder = if obs_path.is_some() {
+    let recorder = if obs_path.is_some() || scope_on {
         Recorder::enabled()
     } else {
         Recorder::disabled()
     };
+    // Dumps from both faulted runs must be byte-identical, so both scopes
+    // carry the same reconstruction metadata; only the first writes a file.
+    let make_scope = |dump_path: Option<&String>| -> ScopeRecorder {
+        if !scope_on {
+            return ScopeRecorder::disabled();
+        }
+        let scope = ScopeRecorder::enabled(ScopeConfig {
+            flight_slots,
+            dump_path: dump_path.map(PathBuf::from),
+        });
+        scope.set_meta("mode", "chaos");
+        scope.set_meta("net", &net_name);
+        scope.set_meta("seed", seed);
+        scope.set_meta("load", load);
+        scope.set_meta("slot_len_s", slot);
+        scope.set_meta("slots", slots);
+        scope.set_meta("iters", iters);
+        scope.set_meta("detect_s", detect);
+        scope.set_meta("timeout_prob", timeout_prob);
+        scope.set_meta("fail_prob", fail_prob);
+        scope.set_meta("scope_slots", flight_slots);
+        scope
+    };
+    let scope = make_scope(scope_dump.as_ref());
+    let rerun_scope = make_scope(None);
 
+    let mut violations = 0usize;
     let baseline = run_chaos(
         &plant,
         &requests,
@@ -375,8 +762,27 @@ fn chaos_main(args: &Args) -> ! {
     )
     .expect("fault-free baseline cannot fail an absent audit");
 
-    let mut chaos_run = |rec: &Recorder| -> Result<ChaosResult, String> {
-        run_chaos(
+    let mut run_with = |rec: &Recorder, scp: &ScopeRecorder| -> Result<ChaosResult, String> {
+        let checked = rec.counter("oracle.invariant_checked");
+        let violated = rec.counter("oracle.invariant_violated");
+        let mut audit = |a: &SlotAudit| -> Result<(), String> {
+            checked.add(1);
+            if let Err(v) = check_plan(a.believed_plant, a.transfers, a.slot_len_s, a.plan) {
+                violated.add(1);
+                scp.anomaly("oracle.invariant_violated", a.slot);
+                return Err(format!("slot plan: {v}"));
+            }
+            if let (Some(delta), Some(update)) = (a.delta, a.update) {
+                checked.add(1);
+                if let Err(v) = check_timeline(delta, update, &a.params) {
+                    violated.add(1);
+                    scp.anomaly("oracle.invariant_violated", a.slot);
+                    return Err(format!("update: {v}"));
+                }
+            }
+            Ok(())
+        };
+        run_chaos_traced(
             &plant,
             &requests,
             &mut make_engine,
@@ -384,10 +790,12 @@ fn chaos_main(args: &Args) -> ! {
             &events,
             &op_faults,
             rec,
+            scp,
             Some(&mut audit),
         )
     };
-    let faulted = match chaos_run(&recorder) {
+
+    let faulted = match run_with(&recorder, &scope) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("owan-cli chaos: FAIL: {e}");
@@ -395,16 +803,19 @@ fn chaos_main(args: &Args) -> ! {
         }
     };
     // Same seed, same scenario: the rerun must reproduce the run exactly.
-    let rerun = match chaos_run(&Recorder::disabled()) {
+    let rerun = match run_with(&Recorder::disabled(), &rerun_scope) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("owan-cli chaos: FAIL on rerun: {e}");
             std::process::exit(1);
         }
     };
-    let deterministic = faulted.delivered_series == rerun.delivered_series
+    let mut deterministic = faulted.delivered_series == rerun.delivered_series
         && faulted.stats == rerun.stats
         && faulted.makespan_s == rerun.makespan_s;
+    if scope_on && scope.dump_text() != rerun_scope.dump_text() {
+        deterministic = false;
+    }
     if !deterministic {
         eprintln!("owan-cli chaos: FAIL: rerun with seed {seed} diverged");
         violations += 1;
@@ -441,27 +852,148 @@ fn chaos_main(args: &Args) -> ! {
     println!("blackhole_gbits,{:.0}", faulted.stats.blackhole_gbits);
     println!("transition_loss_gbits,{:.0}", faulted.transition_loss_gbits);
     println!("deterministic,{}", if deterministic { "yes" } else { "no" });
+    if scope_on {
+        println!(
+            "scope_dumped,{}",
+            if scope.has_dumped() { "yes" } else { "no" }
+        );
+        if scope.has_dumped() {
+            if let Some(path) = &scope_dump {
+                eprintln!("flight dump written to {path}");
+            }
+        }
+        write_trace(" chaos", &scope, &recorder, &scope_trace);
+    }
 
+    write_obs(" chaos", &recorder, &obs_path);
     if recorder.is_enabled() {
         let snapshot = recorder.snapshot();
-        if let Some(path) = &obs_path {
-            let mut out: Vec<u8> = Vec::new();
-            snapshot
-                .write_jsonl(&mut out)
-                .expect("serializing to memory cannot fail");
-            if let Err(e) = std::fs::write(path, &out) {
-                eprintln!("owan-cli chaos: cannot write --obs file '{path}': {e}");
-                std::process::exit(1);
-            }
-            eprintln!(
-                "wrote {} telemetry lines to {path}",
-                out.iter().filter(|&&b| b == b'\n').count()
-            );
-        }
         print!("{}", format_counter_table(&snapshot, "chaos."));
+        print!("{}", format_counter_table(&snapshot, "oracle."));
     }
 
     std::process::exit(if violations == 0 { 0 } else { 1 });
+}
+
+/// `owan-cli transfers`: run the workload with the flight recorder
+/// attached, then print the per-transfer lifecycle table (or, with
+/// `--trace ID`, one transfer's slot-by-slot history).
+fn transfers_main(args: &Args) -> ! {
+    let setup = run_setup(args);
+    let scope = scope_from_args(args, &setup, "sim", true);
+    let recorder = Recorder::enabled();
+    eprintln!(
+        "tracing {} on {}: {} transfers, load {}, slot {}s",
+        setup.engine_name,
+        setup.net_name,
+        setup.requests.len(),
+        setup.load,
+        setup.slot
+    );
+    let result = run_engine_traced(
+        setup.kind,
+        &setup.network,
+        &setup.requests,
+        &setup.cfg,
+        &recorder,
+        &scope,
+    );
+
+    if let Some(raw) = args.get("--trace") {
+        let id: usize = raw.parse().unwrap_or_else(|_| {
+            eprintln!("owan-cli transfers: invalid value '{raw}' for --trace");
+            std::process::exit(2);
+        });
+        match scope.render_transfer_trace(id) {
+            Some(trace) => print!("{trace}"),
+            None => {
+                eprintln!("owan-cli transfers: no transfer with id {id}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        print!("{}", scope.render_transfers().unwrap_or_default());
+        println!();
+        println!(
+            "total delivered: {:.1} Gb across {} transfers in {} slots",
+            scope.total_delivered_gbits(),
+            result.completions.len(),
+            result.slots
+        );
+    }
+    write_trace(
+        " transfers",
+        &scope,
+        &recorder,
+        &args.get("--scope-trace").map(str::to_string),
+    );
+    std::process::exit(0);
+}
+
+/// `owan-cli top`: run the workload on a background thread and print a
+/// refreshing dashboard from the live recorder until it finishes.
+fn top_main(args: &Args) -> ! {
+    let setup = run_setup(args);
+    let scope = scope_from_args(args, &setup, "sim", false);
+    let recorder = Recorder::enabled();
+    let interval = args.parse("--interval", 2.0f64).max(0.1);
+    let server = args.get("--serve").map(|addr| {
+        let server = MetricsServer::spawn(addr, recorder.clone()).unwrap_or_else(|e| {
+            eprintln!("owan-cli top: cannot bind --serve address '{addr}': {e}");
+            std::process::exit(2);
+        });
+        eprintln!("serving /metrics on http://{}", server.addr());
+        server
+    });
+
+    eprintln!(
+        "running {} on {}: {} transfers, load {}, slot {}s (dashboard every {interval}s)",
+        setup.engine_name,
+        setup.net_name,
+        setup.requests.len(),
+        setup.load,
+        setup.slot
+    );
+
+    let start = std::time::Instant::now();
+    let handle = {
+        let network = setup.network.clone();
+        let requests = setup.requests.clone();
+        let cfg = setup.cfg;
+        let kind = setup.kind;
+        let rec = recorder.clone();
+        let scp = scope.clone();
+        std::thread::spawn(move || run_engine_traced(kind, &network, &requests, &cfg, &rec, &scp))
+    };
+    while !handle.is_finished() {
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval.min(0.25)));
+        if start.elapsed().as_secs_f64() >= interval {
+            print!(
+                "{}",
+                render_top(&recorder.snapshot(), start.elapsed().as_secs_f64())
+            );
+            println!();
+        }
+    }
+    let result = handle.join().expect("sim thread panicked");
+    println!("=== final ===");
+    print!(
+        "{}",
+        render_top(&recorder.snapshot(), start.elapsed().as_secs_f64())
+    );
+    println!(
+        "completed {}/{} transfers in {} slots, makespan {:.0}s",
+        result
+            .completions
+            .iter()
+            .filter(|c| c.completion_s.is_some())
+            .count(),
+        result.completions.len(),
+        result.slots,
+        result.makespan_s
+    );
+    drop(server);
+    std::process::exit(0);
 }
 
 fn main() {
@@ -470,103 +1002,55 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    if std::env::args().nth(1).as_deref() == Some("verify") {
-        verify_main(&args);
+    match std::env::args().nth(1).as_deref() {
+        Some("verify") => verify_main(&args),
+        Some("chaos") => chaos_main(&args),
+        Some("transfers") => transfers_main(&args),
+        Some("top") => top_main(&args),
+        _ => {}
     }
-    if std::env::args().nth(1).as_deref() == Some("chaos") {
-        chaos_main(&args);
-    }
 
-    let net_name = args.get("--net").unwrap_or("internet2").to_string();
-    let network: Network = match net_name.as_str() {
-        "internet2" => internet2_testbed(),
-        "isp" => isp_backbone(7),
-        "interdc" => inter_dc(7),
-        other => {
-            eprintln!("owan-cli: unknown network '{other}' for --net");
-            std::process::exit(2);
-        }
-    };
-
-    let engine_name = args.get("--engine").unwrap_or("owan").to_string();
-    let kind = match engine_name.as_str() {
-        "owan" => EngineKind::Owan,
-        "maxflow" => EngineKind::MaxFlow,
-        "maxmin" => EngineKind::MaxMinFract,
-        "swan" => EngineKind::Swan,
-        "tempus" => EngineKind::Tempus,
-        "amoeba" => EngineKind::Amoeba,
-        "greedy" => EngineKind::Greedy,
-        other => {
-            eprintln!("owan-cli: unknown engine '{other}' for --engine");
-            std::process::exit(2);
-        }
-    };
-
-    let load = args.parse("--load", 1.0f64);
-    let sigma: Option<f64> = args.get("--sigma").map(|raw| {
-        raw.parse().unwrap_or_else(|_| {
-            eprintln!("owan-cli: invalid value '{raw}' for --sigma");
-            std::process::exit(2);
-        })
-    });
-    let slot = args.parse("--slot", 300.0f64);
-    let duration = args.parse("--duration", 7_200.0f64);
-    let seed = args.parse("--seed", 42u64);
-    let iters = args.parse("--iters", 150usize);
-    let chains = args.parse("--chains", 1usize);
-    let use_fastpath = !args.flag("--no-fastpath");
-    let max_requests = args.parse("--max-requests", usize::MAX);
+    let setup = run_setup(&args);
     let obs_path = args.get("--obs").map(str::to_string);
     let obs_summary = args.flag("--obs-summary");
+    let scope_trace = args.get("--scope-trace").map(str::to_string);
+    let serve_addr = args.get("--serve").map(str::to_string);
+    let scope = scope_from_args(&args, &setup, "sim", false);
 
-    let mut wl = if net_name == "internet2" {
-        WorkloadConfig::testbed(load, seed)
-    } else {
-        WorkloadConfig::simulation(load, seed)
-    };
-    wl.duration_s = duration;
-    if net_name == "interdc" {
-        wl = wl.with_hotspots();
-    }
-    if let Some(s) = sigma {
-        wl = wl.with_deadlines(slot, s);
-    }
-    let mut requests = generate(&network, &wl);
-    requests.truncate(max_requests);
-
-    let cfg = RunnerConfig {
-        sim: SimConfig {
-            slot_len_s: slot,
-            max_slots: 5_000,
-            ..Default::default()
-        },
-        anneal_iterations: iters,
-        seed,
-        policy: if sigma.is_some() {
-            SchedulingPolicy::EarliestDeadlineFirst
+    let recorder =
+        if obs_path.is_some() || obs_summary || scope.is_enabled() || serve_addr.is_some() {
+            Recorder::enabled()
         } else {
-            SchedulingPolicy::ShortestJobFirst
-        },
-        anneal_chains: chains,
-        anneal_use_cache: use_fastpath,
-        ..Default::default()
-    };
-
-    let recorder = if obs_path.is_some() || obs_summary {
-        Recorder::enabled()
-    } else {
-        Recorder::disabled()
-    };
+            Recorder::disabled()
+        };
+    let server = serve_addr.map(|addr| {
+        let server = MetricsServer::spawn(&addr, recorder.clone()).unwrap_or_else(|e| {
+            eprintln!("owan-cli: cannot bind --serve address '{addr}': {e}");
+            std::process::exit(2);
+        });
+        eprintln!("serving /metrics on http://{}", server.addr());
+        server
+    });
 
     eprintln!(
-        "running {engine_name} on {net_name}: {} transfers, load {load}, slot {slot}s",
-        requests.len()
+        "running {} on {}: {} transfers, load {}, slot {}s",
+        setup.engine_name,
+        setup.net_name,
+        setup.requests.len(),
+        setup.load,
+        setup.slot
     );
-    let result = run_engine_observed(kind, &network, &requests, &cfg, &recorder);
+    let result = run_engine_traced(
+        setup.kind,
+        &setup.network,
+        &setup.requests,
+        &setup.cfg,
+        &recorder,
+        &scope,
+    );
 
     println!("engine,{}", result.engine);
-    println!("network,{net_name}");
+    println!("network,{}", setup.net_name);
     println!("transfers,{}", result.completions.len());
     println!(
         "completed,{}",
@@ -581,7 +1065,7 @@ fn main() {
     let (avg, p95) = metrics::summary(&result, SizeBin::All);
     println!("avg_completion_s,{avg:.0}");
     println!("p95_completion_s,{p95:.0}");
-    if sigma.is_some() {
+    if setup.sigma.is_some() {
         println!(
             "pct_deadlines_met,{:.1}",
             metrics::pct_deadlines_met(&result, SizeBin::All)
@@ -596,38 +1080,30 @@ fn main() {
         println!("{}_avg_s,{avg:.0}", bin.label().to_lowercase());
         println!("{}_p95_s,{p95:.0}", bin.label().to_lowercase());
     }
-
-    if recorder.is_enabled() {
-        let snapshot = recorder.snapshot();
-        if let Some(path) = &obs_path {
-            let mut out: Vec<u8> = Vec::new();
-            snapshot
-                .write_jsonl(&mut out)
-                .expect("serializing to memory cannot fail");
-            if let Err(e) = std::fs::write(path, &out) {
-                eprintln!("owan-cli: cannot write --obs file '{path}': {e}");
-                std::process::exit(1);
-            }
-            eprintln!(
-                "wrote {} telemetry lines to {path}",
-                out.iter().filter(|&&b| b == b'\n').count()
-            );
-        }
-        if obs_summary {
-            print!(
-                "{}",
-                format_stage_table(
-                    &snapshot,
-                    &[
-                        ("slot", "stage.slot"),
-                        ("anneal", "stage.anneal"),
-                        ("anneal iteration", "stage.anneal.iter"),
-                        ("circuit build", "stage.circuits"),
-                        ("rate assignment", "stage.rates"),
-                        ("update scheduling", "stage.update"),
-                    ],
-                )
-            );
-        }
+    if scope.is_enabled() {
+        println!(
+            "scope_dumped,{}",
+            if scope.has_dumped() { "yes" } else { "no" }
+        );
+        write_trace("", &scope, &recorder, &scope_trace);
     }
+
+    write_obs("", &recorder, &obs_path);
+    if recorder.is_enabled() && obs_summary {
+        print!(
+            "{}",
+            format_stage_table(
+                &recorder.snapshot(),
+                &[
+                    ("slot", "stage.slot"),
+                    ("anneal", "stage.anneal"),
+                    ("anneal iteration", "stage.anneal.iter"),
+                    ("circuit build", "stage.circuits"),
+                    ("rate assignment", "stage.rates"),
+                    ("update scheduling", "stage.update"),
+                ],
+            )
+        );
+    }
+    drop(server);
 }

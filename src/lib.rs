@@ -11,6 +11,7 @@ pub use owan_graph as graph;
 pub use owan_obs as obs;
 pub use owan_optical as optical;
 pub use owan_oracle as oracle;
+pub use owan_scope as scope;
 pub use owan_sim as sim;
 pub use owan_solver as solver;
 pub use owan_te as te;
