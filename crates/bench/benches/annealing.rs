@@ -35,6 +35,7 @@ fn bench_energy(c: &mut Criterion) {
             slot_len_s: 300.0,
             circuit_config: CircuitBuildConfig::default(),
             rate_config: RateAssignConfig::default(),
+            prof: owan_core::Profiler::disabled(),
         };
         c.bench_function(format!("compute_energy/{name}"), |b| {
             b.iter(|| compute_energy(black_box(&ctx), &net.static_topology))
@@ -55,6 +56,7 @@ fn bench_anneal(c: &mut Criterion) {
             slot_len_s: 300.0,
             circuit_config: CircuitBuildConfig::default(),
             rate_config: RateAssignConfig::default(),
+            prof: owan_core::Profiler::disabled(),
         };
         let cfg = AnnealConfig {
             max_iterations: 50,

@@ -50,6 +50,7 @@ fn seed_ablation(scale: &Scale) {
             slot_len_s: scale.slot_len_s,
             circuit_config: CircuitBuildConfig::default(),
             rate_config: RateAssignConfig::default(),
+            prof: owan_core::Profiler::disabled(),
         };
         // Average over several annealing seeds: single-seed comparisons
         // are dominated by luck at small iteration budgets.

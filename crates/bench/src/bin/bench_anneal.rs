@@ -2,10 +2,14 @@
 //! and optionally gates on a checked-in baseline.
 //!
 //! ```text
-//! bench_anneal [--quick] [--iters N] [--chains N] [--out FILE] [--check BASELINE]
+//! bench_anneal [--quick] [--iters N] [--chains N] [--out FILE]
+//!              [--check BASELINE] [--history FILE] [--no-history]
 //! ```
 //!
-//! `--out` writes the fresh report (default: print to stdout only).
+//! `--out` writes the fresh report (default: print to stdout only) and,
+//! unless `--no-history` is given, appends a one-line summary record to
+//! `BENCH_history.jsonl` next to it (`--history FILE` overrides the
+//! path) — the append-only log `owan-cli perf diff` runs bisect against.
 //! `--check` compares the fresh report's `fast_evals_per_s` against the
 //! baseline file and exits 1 when it regressed more than the tolerance
 //! (30%, overridable via the `BENCH_TOLERANCE` env var, e.g. `0.5`).
@@ -15,8 +19,10 @@
 //! Run under `--release`; debug builds cross-check every cached circuit
 //! build against a naive rebuild and time nothing meaningful.
 
+use owan_bench::diff::history_record;
 use owan_bench::perf::{bench_anneal, check_against_baseline};
 use owan_bench::Scale;
+use std::io::Write as _;
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -51,6 +57,31 @@ fn main() {
             std::process::exit(2);
         });
         eprintln!("bench_anneal: wrote {path}");
+
+        // Append-only history: one summary line per run, next to the
+        // report unless --history points elsewhere.
+        if !args.iter().any(|a| a == "--no-history") {
+            let history_path = arg_value(&args, "--history").unwrap_or_else(|| {
+                let dir = std::path::Path::new(&path)
+                    .parent()
+                    .filter(|p| !p.as_os_str().is_empty())
+                    .map_or_else(String::new, |p| format!("{}/", p.display()));
+                format!("{dir}BENCH_history.jsonl")
+            });
+            let ts = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs());
+            let line = history_record(&report, ts);
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&history_path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            match appended {
+                Ok(()) => eprintln!("bench_anneal: appended {history_path}"),
+                Err(e) => eprintln!("bench_anneal: cannot append {history_path}: {e}"),
+            }
+        }
     }
 
     if let Some(baseline_path) = arg_value(&args, "--check") {

@@ -10,12 +10,14 @@
 //! paper's parameters (two-hour workloads, five-minute slots);
 //! `Scale::quick()` shrinks everything for smoke tests and CI.
 
+pub mod diff;
 pub mod figs;
 pub mod micro;
 pub mod perf;
 pub mod scale;
 
+pub use diff::{history_record, perf_diff, PerfDiff, PhaseDelta, Verdict};
 pub use figs::{fig7, fig8, fig9};
 pub use micro::{fig10a, fig10b, fig10c, fig10d, validation};
-pub use perf::{bench_anneal, check_against_baseline, AnnealBenchReport};
+pub use perf::{bench_anneal, check_against_baseline, git_commit, AnnealBenchReport};
 pub use scale::{net_by_name, workload_for, Scale};

@@ -20,12 +20,12 @@
 use crate::scale::{net_by_name, workload_for, Scale};
 use owan_core::{
     anneal_parallel, anneal_with_cache, chain_seed, default_topology, AnnealConfig, AnnealResult,
-    CircuitBuildConfig, CoreTelemetry, EnergyCache, EnergyContext, RateAssignConfig,
-    SchedulingPolicy, Topology, Transfer,
+    CircuitBuildConfig, CoreTelemetry, EnergyCache, EnergyCacheStats, EnergyContext, Profiler,
+    RateAssignConfig, SchedulingPolicy, Topology, Transfer,
 };
 use owan_obs::Recorder;
 use owan_scope::{ScopeConfig, ScopeRecorder};
-use owan_sim::runner::{run_engine, run_engine_traced, EngineKind, RunnerConfig};
+use owan_sim::runner::{run_engine, run_engine_profiled, EngineKind, RunnerConfig};
 use owan_sim::sim::SimResult;
 use owan_sim::SimConfig;
 use std::time::Instant;
@@ -35,6 +35,10 @@ use std::time::Instant;
 pub struct AnnealBenchReport {
     /// Scale label ("quick" or "full").
     pub scale: String,
+    /// Git commit the benchmark binary was built from (short hash, or
+    /// `"unknown"` outside a git checkout) — perf numbers without a commit
+    /// are not comparable across time.
+    pub commit: String,
     /// Annealing iterations per run.
     pub iterations: usize,
     /// Chains used in the multi-chain measurement.
@@ -77,6 +81,13 @@ pub struct AnnealBenchReport {
     /// recorder's own enabled-path overhead on top of telemetry
     /// (fraction; the target is < 0.05).
     pub scope_overhead: f64,
+    /// Same pipeline with telemetry and the region profiler attached,
+    /// seconds (best of 3).
+    pub pipeline_prof_wall_s: f64,
+    /// `pipeline_prof_wall_s / pipeline_obs_wall_s - 1` — the profiler's
+    /// enabled-path overhead on top of telemetry (fraction; the target is
+    /// < 0.05, recorded alongside `scope_overhead`).
+    pub prof_overhead: f64,
     /// Slots simulated by the pipeline.
     pub pipeline_slots: usize,
     /// Slots per second with the cache on.
@@ -87,6 +98,25 @@ pub struct AnnealBenchReport {
     pub chains_par_wall_s: f64,
     /// `chains_seq_wall_s / chains_par_wall_s`.
     pub chains_speedup: f64,
+    /// Summed per-chain busy time inside the parallel run, seconds
+    /// (from the `anneal.parallel.busy_ns` counter).
+    pub chains_busy_s: f64,
+    /// `chains_busy_s / chains_par_wall_s` — how many chains were alive
+    /// per wall second. Near `chains` means the spawn/join window was
+    /// fully overlapped (whether or not the hardware ran them
+    /// concurrently); below it, spawn latency or skew left gaps.
+    pub chains_concurrency: f64,
+    /// `chains_speedup / min(chains, cores)` — achieved fraction of the
+    /// hardware speedup ceiling. On a single core the ceiling is 1× and
+    /// this directly reads off the spawn/scheduling tax behind a 0.95×
+    /// "speedup"; on real parallel hardware it reads off scaling loss.
+    pub chains_utilization: f64,
+    /// Cache-miss attribution from the cached single run, one count per
+    /// [`owan_core::MissReason`] slug (evaluation-level; sums to the
+    /// outcome-miss total).
+    pub miss_by_reason: [(&'static str, u64); 7],
+    /// The dominant attributed miss cause (slug) and its count.
+    pub miss_dominant: (String, u64),
 }
 
 /// Builds the single-run annealing fixture on a named network: the energy
@@ -125,6 +155,7 @@ fn timed_anneal(
         slot_len_s: 300.0,
         circuit_config: CircuitBuildConfig::default(),
         rate_config: RateAssignConfig::default(),
+        prof: Profiler::disabled(),
     };
     let recorder = Recorder::enabled();
     let telemetry = CoreTelemetry::new(&recorder);
@@ -167,8 +198,10 @@ fn timed_pipeline(scale: &Scale, use_cache: bool) -> (SimResult, f64) {
 /// The same pipeline as [`timed_pipeline`] (cache on) with the obs
 /// recorder enabled and, when `scoped`, the flight recorder attached on
 /// top — isolates the scope's own enabled-path overhead from the
-/// telemetry recorder's at fixed search quality.
-fn timed_pipeline_observed(scale: &Scale, scoped: bool) -> (SimResult, f64) {
+/// telemetry recorder's at fixed search quality. `profiled` attaches the
+/// region profiler instead, isolating *its* enabled-path overhead the
+/// same way.
+fn timed_pipeline_observed(scale: &Scale, scoped: bool, profiled: bool) -> (SimResult, f64) {
     let net = net_by_name("interdc");
     let reqs = workload_for(&net, 1.0, None, scale);
     let cfg = RunnerConfig {
@@ -188,9 +221,36 @@ fn timed_pipeline_observed(scale: &Scale, scoped: bool) -> (SimResult, f64) {
     } else {
         ScopeRecorder::disabled()
     };
+    let prof = if profiled {
+        Profiler::enabled()
+    } else {
+        Profiler::disabled()
+    };
     let start = Instant::now();
-    let res = run_engine_traced(EngineKind::Owan, &net, &reqs, &cfg, &recorder, &scope);
+    let res = run_engine_profiled(
+        EngineKind::Owan,
+        &net,
+        &reqs,
+        &cfg,
+        &recorder,
+        &scope,
+        &prof,
+    );
     (res, start.elapsed().as_secs_f64())
+}
+
+/// The short git commit hash of the working tree, or `"unknown"` when git
+/// or the checkout is unavailable (e.g. a source tarball build).
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Asserts two simulation runs produced identical plans (same throughput
@@ -226,6 +286,7 @@ pub fn bench_anneal(scale: &Scale, scale_label: &str, chains: usize) -> AnnealBe
     let reps = 3;
     let mut naive: Option<(AnnealResult, f64, u64, u64)> = None;
     let mut fast: Option<(AnnealResult, f64, u64, u64, f64)> = None;
+    let mut fast_stats = EnergyCacheStats::default();
     for _ in 0..reps {
         let (res, wall, evals, sp, _) = timed_anneal(&net, &transfers, &initial, &config, None);
         naive = match naive {
@@ -237,6 +298,9 @@ pub fn bench_anneal(scale: &Scale, scale_label: &str, chains: usize) -> AnnealBe
         let mut cache = EnergyCache::new();
         let (res, wall, evals, sp, hits) =
             timed_anneal(&net, &transfers, &initial, &config, Some(&mut cache));
+        // Counters are identical across reps by determinism, so any rep's
+        // stats stand for the kept one.
+        fast_stats = cache.stats;
         let hit_rate = if evals > 0 {
             hits as f64 / evals as f64
         } else {
@@ -249,6 +313,11 @@ pub fn bench_anneal(scale: &Scale, scale_label: &str, chains: usize) -> AnnealBe
     }
     let (naive_res, naive_wall, naive_evals, naive_sp) = naive.expect("reps >= 1");
     let (fast_res, fast_wall, fast_evals, fast_sp, cache_hit_rate) = fast.expect("reps >= 1");
+    let attributed: u64 = fast_stats.miss_by_reason.iter().sum();
+    assert_eq!(
+        attributed, fast_stats.outcome_misses,
+        "per-reason miss counters must account for every outcome miss"
+    );
     assert_eq!(
         naive_res.topology, fast_res.topology,
         "cached anneal diverged from naive"
@@ -266,13 +335,17 @@ pub fn bench_anneal(scale: &Scale, scale_label: &str, chains: usize) -> AnnealBe
     // too noisy to compare.
     let mut pipeline_obs_wall_s = f64::INFINITY;
     let mut pipeline_scope_wall_s = f64::INFINITY;
+    let mut pipeline_prof_wall_s = f64::INFINITY;
     for _ in 0..3 {
-        let (pipe_obs, obs_wall) = timed_pipeline_observed(scale, false);
+        let (pipe_obs, obs_wall) = timed_pipeline_observed(scale, false, false);
         assert_same_sim(&pipe_fast, &pipe_obs);
-        let (pipe_scope, scope_wall) = timed_pipeline_observed(scale, true);
+        let (pipe_scope, scope_wall) = timed_pipeline_observed(scale, true, false);
         assert_same_sim(&pipe_fast, &pipe_scope);
+        let (pipe_prof, prof_wall) = timed_pipeline_observed(scale, false, true);
+        assert_same_sim(&pipe_fast, &pipe_prof);
         pipeline_obs_wall_s = pipeline_obs_wall_s.min(obs_wall);
         pipeline_scope_wall_s = pipeline_scope_wall_s.min(scope_wall);
+        pipeline_prof_wall_s = pipeline_prof_wall_s.min(prof_wall);
     }
 
     // --- multi-chain scaling (ISP) ---
@@ -285,6 +358,7 @@ pub fn bench_anneal(scale: &Scale, scale_label: &str, chains: usize) -> AnnealBe
         slot_len_s: 300.0,
         circuit_config: CircuitBuildConfig::default(),
         rate_config: RateAssignConfig::default(),
+        prof: Profiler::disabled(),
     };
     let telemetry = CoreTelemetry::disabled();
     let start = Instant::now();
@@ -302,9 +376,18 @@ pub fn bench_anneal(scale: &Scale, scale_label: &str, chains: usize) -> AnnealBe
         };
     }
     let chains_seq_wall_s = start.elapsed().as_secs_f64();
+    // The parallel run carries an enabled recorder so the spawn-to-join
+    // wall and summed per-chain busy counters come from the measured run
+    // itself (the recorder costs two counter adds and 2N clock reads).
+    let par_recorder = Recorder::enabled();
+    let par_telemetry = CoreTelemetry::new(&par_recorder);
     let start = Instant::now();
-    let par = anneal_parallel(&ctx, &initial, &config, chains, &telemetry);
+    let par = anneal_parallel(&ctx, &initial, &config, chains, &par_telemetry);
     let chains_par_wall_s = start.elapsed().as_secs_f64();
+    let par_snap = par_recorder.snapshot();
+    let par_counter = |name: &str| par_snap.counters.get(name).copied().unwrap_or(0);
+    let chains_wall_ns = par_counter("anneal.parallel.wall_ns");
+    let chains_busy_ns = par_counter("anneal.parallel.busy_ns");
     let seq_best = seq_best.expect("chains >= 1");
     assert_eq!(
         seq_best.topology, par.topology,
@@ -312,11 +395,14 @@ pub fn bench_anneal(scale: &Scale, scale_label: &str, chains: usize) -> AnnealBe
     );
     assert_eq!(seq_best.energy_gbps(), par.energy_gbps());
 
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let chains_speedup = chains_seq_wall_s / chains_par_wall_s.max(1e-9);
     AnnealBenchReport {
         scale: scale_label.to_string(),
+        commit: git_commit(),
         iterations,
         chains,
-        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cores,
         naive_wall_s: naive_wall,
         naive_evals_per_s: naive_evals as f64 / naive_wall.max(1e-9),
         naive_shortest_path_calls: naive_sp,
@@ -332,11 +418,20 @@ pub fn bench_anneal(scale: &Scale, scale_label: &str, chains: usize) -> AnnealBe
         pipeline_obs_wall_s,
         pipeline_scope_wall_s,
         scope_overhead: pipeline_scope_wall_s / pipeline_obs_wall_s.max(1e-9) - 1.0,
+        pipeline_prof_wall_s,
+        prof_overhead: pipeline_prof_wall_s / pipeline_obs_wall_s.max(1e-9) - 1.0,
         pipeline_slots: pipe_fast.slots,
         pipeline_slots_per_s: pipe_fast.slots as f64 / pipeline_fast_wall_s.max(1e-9),
         chains_seq_wall_s,
         chains_par_wall_s,
-        chains_speedup: chains_seq_wall_s / chains_par_wall_s.max(1e-9),
+        chains_speedup,
+        chains_busy_s: chains_busy_ns as f64 / 1e9,
+        chains_concurrency: chains_busy_ns as f64 / (chains_wall_ns as f64).max(1.0),
+        chains_utilization: chains_speedup / chains.min(cores).max(1) as f64,
+        miss_by_reason: fast_stats.miss_reasons(),
+        miss_dominant: fast_stats
+            .dominant_miss_cause()
+            .map_or(("none".to_string(), 0), |(slug, n)| (slug.to_string(), n)),
     }
 }
 
@@ -348,6 +443,7 @@ impl AnnealBenchReport {
             s.push_str(&format!("  \"{key}\": {val},\n"));
         };
         kv("scale", format!("\"{}\"", self.scale));
+        kv("commit", format!("\"{}\"", self.commit));
         kv("iterations", self.iterations.to_string());
         kv("chains", self.chains.to_string());
         kv("cores", self.cores.to_string());
@@ -390,6 +486,11 @@ impl AnnealBenchReport {
             format!("{:.6}", self.pipeline_scope_wall_s),
         );
         kv("scope_overhead", format!("{:.4}", self.scope_overhead));
+        kv(
+            "pipeline_prof_wall_s",
+            format!("{:.6}", self.pipeline_prof_wall_s),
+        );
+        kv("prof_overhead", format!("{:.4}", self.prof_overhead));
         kv("pipeline_slots", self.pipeline_slots.to_string());
         kv(
             "pipeline_slots_per_s",
@@ -403,7 +504,21 @@ impl AnnealBenchReport {
             "chains_par_wall_s",
             format!("{:.6}", self.chains_par_wall_s),
         );
-        let last = format!("  \"chains_speedup\": {:.2}\n", self.chains_speedup);
+        kv("chains_speedup", format!("{:.2}", self.chains_speedup));
+        kv("chains_busy_s", format!("{:.6}", self.chains_busy_s));
+        kv(
+            "chains_concurrency",
+            format!("{:.2}", self.chains_concurrency),
+        );
+        kv(
+            "chains_utilization",
+            format!("{:.2}", self.chains_utilization),
+        );
+        for (slug, n) in self.miss_by_reason {
+            kv(&format!("cache_miss_{slug}"), n.to_string());
+        }
+        kv("miss_dominant", format!("\"{}\"", self.miss_dominant.0));
+        let last = format!("  \"miss_dominant_count\": {}\n", self.miss_dominant.1);
         s.push_str(&last);
         s.push('}');
         s.push('\n');
@@ -459,10 +574,22 @@ pub fn check_against_baseline(
             tolerance * 100.0
         ));
     }
-    Ok(format!(
+    let mut summary = format!(
         "fast_evals_per_s {fresh:.1} within {:.0}% of baseline {base:.1}",
         tolerance * 100.0
-    ))
+    );
+    // Core-count mismatch does not fail the check (evals/s is single-
+    // threaded) but makes chain-scaling keys incomparable — say so.
+    if let Some(base_cores) = json_number(baseline_json, "cores") {
+        if base_cores as usize != report.cores {
+            summary.push_str(&format!(
+                "; warning: baseline ran on {} cores, this run on {} — \
+                 chain-scaling keys are not comparable",
+                base_cores as usize, report.cores
+            ));
+        }
+    }
+    Ok(summary)
 }
 
 #[cfg(test)]
@@ -473,6 +600,7 @@ mod tests {
     fn json_roundtrip_and_check() {
         let report = AnnealBenchReport {
             scale: "quick".into(),
+            commit: "abc1234".into(),
             iterations: 10,
             chains: 2,
             cores: 1,
@@ -491,17 +619,39 @@ mod tests {
             pipeline_obs_wall_s: 1.01,
             pipeline_scope_wall_s: 1.02,
             scope_overhead: 0.02,
+            pipeline_prof_wall_s: 1.03,
+            prof_overhead: 0.02,
             pipeline_slots: 6,
             pipeline_slots_per_s: 6.0,
             chains_seq_wall_s: 1.0,
             chains_par_wall_s: 0.5,
             chains_speedup: 2.0,
+            chains_busy_s: 0.9,
+            chains_concurrency: 1.8,
+            chains_utilization: 2.0,
+            miss_by_reason: [
+                ("cold", 40),
+                ("flush", 2),
+                ("constraint_class", 1),
+                ("partial_candidate_list", 0),
+                ("boundary_guard", 3),
+                ("membership_crossing", 0),
+                ("capacity", 0),
+            ],
+            miss_dominant: ("cold".into(), 40),
         };
         let json = report.to_json();
         assert_eq!(json_number(&json, "fast_evals_per_s"), Some(400.0));
         assert_eq!(json_number(&json, "chains_speedup"), Some(2.0));
         assert_eq!(json_number(&json, "pipeline_slots"), Some(6.0));
         assert_eq!(json_string(&json, "scale").as_deref(), Some("quick"));
+        assert_eq!(json_string(&json, "commit").as_deref(), Some("abc1234"));
+        assert_eq!(json_number(&json, "prof_overhead"), Some(0.02));
+        assert_eq!(json_number(&json, "chains_concurrency"), Some(1.8));
+        assert_eq!(json_number(&json, "cache_miss_cold"), Some(40.0));
+        assert_eq!(json_number(&json, "cache_miss_boundary_guard"), Some(3.0));
+        assert_eq!(json_number(&json, "miss_dominant_count"), Some(40.0));
+        assert_eq!(json_string(&json, "miss_dominant").as_deref(), Some("cold"));
 
         assert!(check_against_baseline(&report, &json, 0.3).is_ok());
         let mut slower = report.clone();
@@ -514,6 +664,14 @@ mod tests {
         other_scale.scale = "full".into();
         let err = check_against_baseline(&other_scale, &json, 0.3).unwrap_err();
         assert!(err.contains("scale mismatch"), "{err}");
+
+        // A core-count mismatch still passes but carries a warning — the
+        // chain-scaling keys stop being comparable, the eval rate doesn't.
+        let mut other_cores = report.clone();
+        other_cores.cores = 8;
+        let ok = check_against_baseline(&other_cores, &json, 0.3).unwrap();
+        assert!(ok.contains("warning"), "{ok}");
+        assert!(ok.contains("8"), "{ok}");
     }
 
     #[test]
@@ -528,6 +686,17 @@ mod tests {
         let report = bench_anneal(&scale, "tiny", 2);
         assert!(report.naive_shortest_path_calls > 0);
         assert!(report.fast_shortest_path_calls > 0);
+        let attributed: u64 = report.miss_by_reason.iter().map(|&(_, n)| n).sum();
+        assert!(
+            attributed > 0,
+            "a fresh cache must record attributed misses"
+        );
+        assert_eq!(
+            report.miss_dominant.1,
+            report.miss_by_reason.iter().map(|&(_, n)| n).max().unwrap()
+        );
+        assert!(report.chains_busy_s > 0.0, "busy counter did not record");
+        assert!(report.chains_concurrency > 0.0);
         assert!(
             report.shortest_path_reduction >= 1.0,
             "cache can only remove shortest-path work, got {}",

@@ -200,6 +200,7 @@ fn anneal_chain(
     chain: u64,
 ) -> AnnealResult {
     let _span = telemetry.anneal.enter();
+    let _region = ctx.prof.region("anneal");
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut eval = EnergyEvaluator::new(ctx, cache, telemetry);
@@ -360,7 +361,10 @@ pub fn anneal_parallel_with_caches(
         return anneal_with_cache(ctx, initial, config, caches.first_mut(), telemetry);
     }
 
-    let mut results: Vec<Option<AnnealResult>> = Vec::new();
+    let parallel_region = ctx.prof.region("anneal.parallel");
+    let parallel_id = parallel_region.id();
+    let spawn_ns = telemetry.recorder.now_ns();
+    let mut results: Vec<Option<(AnnealResult, u64, u64)>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(chains);
         let mut cache_slots: Vec<Option<&mut EnergyCache>> = if caches.is_empty() {
@@ -373,16 +377,54 @@ pub fn anneal_parallel_with_caches(
                 seed: chain_seed(config.seed, i),
                 ..*config
             };
-            handles.push(
-                scope.spawn(move || anneal_chain(ctx, initial, &cfg, cache, telemetry, i as u64)),
-            );
+            handles.push(scope.spawn(move || {
+                // A chain runs on its own thread, so its regions land on a
+                // fresh thread-local stack; parent them under the spawning
+                // `anneal.parallel` region explicitly.
+                let _chain_region = ctx.prof.region_under(parallel_id, "chain");
+                let start_ns = telemetry.recorder.now_ns();
+                let r = anneal_chain(ctx, initial, &cfg, cache, telemetry, i as u64);
+                (r, start_ns, telemetry.recorder.now_ns())
+            }));
         }
         results = handles
             .into_iter()
             .map(|h| Some(h.join().expect("annealing chain panicked")))
             .collect();
     });
+    drop(parallel_region);
 
+    // Utilization accounting: summed per-chain busy time over the wall
+    // time of the spawn-to-join window says how parallel the run really
+    // was (`busy / wall ≈ 1` means the chains effectively serialized —
+    // the observed ~0.95× "speedup" on one core). All clock reads come
+    // from the recorder and are 0 when it is disabled, so the math below
+    // degenerates to counting zeros into no-op counters.
+    let wall_ns = telemetry.recorder.now_ns().saturating_sub(spawn_ns);
+    telemetry.anneal_parallel_wall_ns.add(wall_ns);
+    if telemetry.recorder.is_enabled() {
+        for (i, r) in results.iter().enumerate() {
+            let Some((_, start_ns, end_ns)) = r else {
+                continue;
+            };
+            let busy_ns = end_ns.saturating_sub(*start_ns);
+            telemetry.anneal_parallel_busy_ns.add(busy_ns);
+            telemetry.recorder.event(
+                names::EVENT_CHAIN_TIMING,
+                &[
+                    ("chain", Value::U64(i as u64)),
+                    (
+                        "start_offset_ns",
+                        Value::U64(start_ns.saturating_sub(spawn_ns)),
+                    ),
+                    ("busy_ns", Value::U64(busy_ns)),
+                    ("wall_ns", Value::U64(wall_ns)),
+                ],
+            );
+        }
+    }
+
+    let results = results.into_iter().map(|r| r.map(|(r, _, _)| r));
     let mut winner: Option<AnnealResult> = None;
     for r in results.into_iter().flatten() {
         winner = match winner {
@@ -473,6 +515,7 @@ mod tests {
             slot_len_s: 1.0,
             circuit_config: CircuitBuildConfig::default(),
             rate_config: RateAssignConfig::default(),
+            prof: owan_prof::Profiler::disabled(),
         };
         let mut ring = Topology::empty(4);
         for i in 0..4 {
@@ -504,6 +547,7 @@ mod tests {
             slot_len_s: 1.0,
             circuit_config: CircuitBuildConfig::default(),
             rate_config: RateAssignConfig::default(),
+            prof: owan_prof::Profiler::disabled(),
         };
         let mut ring = Topology::empty(5);
         for i in 0..5 {
@@ -532,6 +576,7 @@ mod tests {
             slot_len_s: 1.0,
             circuit_config: CircuitBuildConfig::default(),
             rate_config: RateAssignConfig::default(),
+            prof: owan_prof::Profiler::disabled(),
         };
         let mut ring = Topology::empty(6);
         for i in 0..6 {

@@ -43,7 +43,7 @@ use crate::regen::RegenGraph;
 use crate::telemetry::CoreTelemetry;
 use crate::topology::Topology;
 use owan_optical::{FiberPlant, SiteId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Cap on memoized full outcomes per run (an outcome holds an optical
 /// state; the cap bounds memory on long runs). Inserts stop at the cap —
@@ -52,6 +52,10 @@ const OUTCOME_CAP: usize = 4096;
 
 /// Cap on memoized rate outcomes per run.
 const RATE_CAP: usize = 8192;
+
+/// Cap on the capacity-miss overflow key set (topology hashes remembered
+/// after the outcome memo fills, so repeats attribute to `capacity`).
+const OVERFLOW_CAP: usize = 4 * OUTCOME_CAP;
 
 /// Cap on relay entries per endpoint pair (distinct regenerator vectors
 /// seen). On regenerator-rich plants each pair sees one vector per
@@ -105,6 +109,64 @@ impl FiberSet {
     }
 }
 
+/// Attributed cause of a cache miss. Evaluation-level misses (the
+/// `anneal.cache_miss.<reason>` counters, which partition
+/// `anneal.cache_miss` exactly) use every variant; relay-layer misses use
+/// the subset below [`MissReason::Flush`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MissReason {
+    /// No cache attached at all (the naive reference path).
+    Uncached,
+    /// First sight: the key was never computed under this run/plant.
+    Cold,
+    /// The outcome was computed before but the memo's capacity cap
+    /// refused to store it.
+    Capacity,
+    /// The relay entry existed but was lost to a plant-fingerprint flush.
+    Flush,
+    /// The relaxed match failed order preservation among adjusted
+    /// candidate costs (the stored constraint class no longer applies).
+    ConstraintClass,
+    /// A site released from zero regenerators met a candidate list
+    /// shorter than `relay_k` — Yen would append its paths regardless of
+    /// cost.
+    PartialCandidateList,
+    /// The top-k boundary guard failed: an outside path could undercut
+    /// or tie-displace the adjusted last candidate.
+    BoundaryGuard,
+    /// A membership crossing failed its static screen (a vanished site
+    /// relayed a candidate, or a crossing site's static bound did not
+    /// clear the boundary).
+    MembershipCrossing,
+}
+
+impl MissReason {
+    /// Stable slug used in counter names and report tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MissReason::Uncached => "uncached",
+            MissReason::Cold => "cold",
+            MissReason::Capacity => "capacity",
+            MissReason::Flush => "flush",
+            MissReason::ConstraintClass => "constraint_class",
+            MissReason::PartialCandidateList => "partial_candidate_list",
+            MissReason::BoundaryGuard => "boundary_guard",
+            MissReason::MembershipCrossing => "membership_crossing",
+        }
+    }
+
+    /// The relay-layer reasons, in attribution-priority order (ties in
+    /// per-evaluation dominance resolve to the earliest).
+    pub const RELAY: [MissReason; 6] = [
+        MissReason::Cold,
+        MissReason::Flush,
+        MissReason::ConstraintClass,
+        MissReason::PartialCandidateList,
+        MissReason::BoundaryGuard,
+        MissReason::MembershipCrossing,
+    ];
+}
+
 /// Cache effectiveness counters, exposed for tests and the bench pipeline.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EnergyCacheStats {
@@ -137,6 +199,158 @@ pub struct EnergyCacheStats {
     pub full_builds: u64,
     /// Plant-fingerprint flushes of the relay/footprint layers.
     pub flushes: u64,
+    /// Relay misses by cause, indexed by position in
+    /// [`MissReason::RELAY`]; the six entries sum to `relay_misses`.
+    pub relay_miss_by_reason: [u64; 6],
+    /// Outcome-memo misses by attributed cause, same indexing plus
+    /// [`MissReason::Capacity`] in the final slot; the seven entries sum
+    /// to `outcome_misses`.
+    pub miss_by_reason: [u64; 7],
+}
+
+impl EnergyCacheStats {
+    /// Field-wise sum, for aggregating per-chain caches into one report.
+    pub fn merge(&mut self, other: &EnergyCacheStats) {
+        self.outcome_hits += other.outcome_hits;
+        self.outcome_misses += other.outcome_misses;
+        self.rate_hits += other.rate_hits;
+        self.relay_hits += other.relay_hits;
+        self.relay_relaxed_hits += other.relay_relaxed_hits;
+        self.relay_misses += other.relay_misses;
+        self.delta_builds += other.delta_builds;
+        self.delta_fallbacks += other.delta_fallbacks;
+        self.delta_pairs_reused += other.delta_pairs_reused;
+        self.delta_pairs_rebuilt += other.delta_pairs_rebuilt;
+        self.full_builds += other.full_builds;
+        self.flushes += other.flushes;
+        for (a, b) in self
+            .relay_miss_by_reason
+            .iter_mut()
+            .zip(&other.relay_miss_by_reason)
+        {
+            *a += b;
+        }
+        for (a, b) in self.miss_by_reason.iter_mut().zip(&other.miss_by_reason) {
+            *a += b;
+        }
+    }
+
+    pub(crate) fn count_eval_miss(&mut self, reason: MissReason) {
+        let idx = match reason {
+            MissReason::Capacity => 6,
+            r => MissReason::RELAY
+                .iter()
+                .position(|&x| x == r)
+                .expect("evaluation misses never attribute to Uncached here"),
+        };
+        self.miss_by_reason[idx] += 1;
+    }
+
+    fn count_relay_miss(&mut self, reason: MissReason) {
+        let idx = MissReason::RELAY
+            .iter()
+            .position(|&r| r == reason)
+            .expect("relay misses use relay reasons");
+        self.relay_miss_by_reason[idx] += 1;
+    }
+
+    /// Relay misses by cause as `(slug, count)` pairs.
+    pub fn relay_miss_reasons(&self) -> [(&'static str, u64); 6] {
+        let mut out = [("", 0); 6];
+        for (i, r) in MissReason::RELAY.iter().enumerate() {
+            out[i] = (r.name(), self.relay_miss_by_reason[i]);
+        }
+        out
+    }
+
+    /// Outcome-memo misses by attributed cause as `(slug, count)` pairs.
+    pub fn miss_reasons(&self) -> [(&'static str, u64); 7] {
+        let mut out = [("", 0); 7];
+        for (i, r) in MissReason::RELAY.iter().enumerate() {
+            out[i] = (r.name(), self.miss_by_reason[i]);
+        }
+        out[6] = (MissReason::Capacity.name(), self.miss_by_reason[6]);
+        out
+    }
+
+    /// The largest attributed evaluation-miss cause, if any miss was
+    /// recorded (ties resolve to the attribution-priority order).
+    pub fn dominant_miss_cause(&self) -> Option<(&'static str, u64)> {
+        self.miss_reasons()
+            .into_iter()
+            .filter(|&(_, n)| n > 0)
+            .max_by_key(|&(_, n)| n)
+    }
+
+    /// Renders the per-run cache breakdown: hit/miss totals for each
+    /// layer, misses split by attributed cause, and the dominant cause
+    /// named on the last line.
+    pub fn format_breakdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let pct = |part: u64, whole: u64| {
+            if whole == 0 {
+                0.0
+            } else {
+                100.0 * part as f64 / whole as f64
+            }
+        };
+        let evals = self.outcome_hits + self.outcome_misses;
+        let _ = writeln!(
+            out,
+            "outcome memo   {:>10} hits {:>10} misses ({:.1}% hit)",
+            self.outcome_hits,
+            self.outcome_misses,
+            pct(self.outcome_hits, evals)
+        );
+        let relay_lookups = self.relay_hits + self.relay_relaxed_hits + self.relay_misses;
+        let _ = writeln!(
+            out,
+            "relay cache    {:>10} hits {:>10} relaxed {:>7} misses ({:.1}% hit)",
+            self.relay_hits,
+            self.relay_relaxed_hits,
+            self.relay_misses,
+            pct(self.relay_hits + self.relay_relaxed_hits, relay_lookups)
+        );
+        let _ = writeln!(
+            out,
+            "rate memo      {:>10} hits; builds: {} delta / {} full ({} fallbacks)",
+            self.rate_hits, self.delta_builds, self.full_builds, self.delta_fallbacks
+        );
+        let _ = writeln!(out, "eval misses by cause (sum = outcome misses):");
+        for (slug, n) in self.miss_reasons() {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10} ({:.1}%)",
+                slug,
+                n,
+                pct(n, self.outcome_misses)
+            );
+        }
+        let _ = writeln!(out, "relay misses by cause (sum = relay misses):");
+        for (slug, n) in self.relay_miss_reasons() {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10} ({:.1}%)",
+                slug,
+                n,
+                pct(n, self.relay_misses)
+            );
+        }
+        match self.dominant_miss_cause() {
+            Some((slug, n)) => {
+                let _ = writeln!(
+                    out,
+                    "dominant miss cause: {slug} ({n} of {} misses)",
+                    self.outcome_misses
+                );
+            }
+            None => {
+                let _ = writeln!(out, "dominant miss cause: none (no misses recorded)");
+            }
+        }
+        out
+    }
 }
 
 /// Content fingerprint of a plant: everything circuit construction can
@@ -237,6 +451,20 @@ fn relaxed_entry_match(
     v: SiteId,
     sd: &[Vec<f64>],
 ) -> bool {
+    relaxed_entry_reject(e, relay_k, regens_free, u, v, sd).is_none()
+}
+
+/// [`relaxed_entry_match`] with attribution: `None` accepts the entry,
+/// `Some(reason)` names which screen refused it — the per-reason miss
+/// counters of the taxonomy are built from these reject points.
+fn relaxed_entry_reject(
+    e: &RelayEntry,
+    relay_k: usize,
+    regens_free: &[u32],
+    u: SiteId,
+    v: SiteId,
+    sd: &[Vec<f64>],
+) -> Option<MissReason> {
     let mut changed: Vec<SiteId> = Vec::new(); // member in both, weight moved
     let mut entered: Vec<SiteId> = Vec::new(); // 0 regens → free (node appears)
     let mut left: Vec<SiteId> = Vec::new(); // free → 0 regens (node vanishes)
@@ -252,7 +480,7 @@ fn relaxed_entry_match(
         }
     }
     if changed.is_empty() && entered.is_empty() && left.is_empty() {
-        return true;
+        return None;
     }
     // A list shorter than `relay_k` means Yen exhausted the path set
     // (`next_cost` is infinite): a fresh run under `v2` would *append*
@@ -260,7 +488,7 @@ fn relaxed_entry_match(
     // the screens below — which only guard the top-k boundary — cannot
     // apply. (This subsumes the empty-list case handled further down.)
     if !entered.is_empty() && e.candidates.len() < relay_k {
-        return false;
+        return Some(MissReason::PartialCandidateList);
     }
 
     // Node indexing shifts when membership changes, but it stays monotone
@@ -277,7 +505,8 @@ fn relaxed_entry_match(
     // equal-cost path behind its spur point.)
     for &s in &left {
         if e.candidates.iter().any(|c| c[1..c.len() - 1].contains(&s)) {
-            return false; // a candidate path just became invalid
+            // A candidate path just became invalid.
+            return Some(MissReason::MembershipCrossing);
         }
     }
 
@@ -346,7 +575,7 @@ fn relaxed_entry_match(
                 }
             }
         }
-        return false;
+        return Some(MissReason::ConstraintClass);
     }
 
     // Boundary: can any path outside the stored candidates undercut (or
@@ -355,19 +584,19 @@ fn relaxed_entry_match(
         // No relay path exists under the stored vector. Weight changes
         // cannot create one (connectivity depends only on membership), but
         // a released node can.
-        return entered.is_empty();
+        return (!entered.is_empty()).then_some(MissReason::MembershipCrossing);
     };
     // Membership crossings must clear the boundary statically (the site
     // already relays no candidate: checked above for vanished nodes,
     // impossible for appearing ones).
     for &s in &entered {
         if sd[u][s] + 1.0 / regens_free[s] as f64 + sd[s][v] <= last + RELAX_EPS {
-            return false;
+            return Some(MissReason::MembershipCrossing);
         }
     }
     for &s in &left {
         if sd[u][s] + 1.0 / e.regens[s] as f64 + sd[s][v] <= last + RELAX_EPS {
-            return false;
+            return Some(MissReason::MembershipCrossing);
         }
     }
     let max_free = regens_free.iter().copied().max().unwrap_or(1).max(1);
@@ -420,9 +649,9 @@ fn relaxed_entry_match(
     if unscreened_drop == 0.0 && adjusted[k - 1] <= e.costs[k - 1] {
         // Nothing can enter from outside and the boundary didn't rise:
         // the last candidate keeps winning whatever tie it already won.
-        return true;
+        return None;
     }
-    last + RELAX_EPS < e.next_cost - unscreened_drop
+    (last + RELAX_EPS >= e.next_cost - unscreened_drop).then_some(MissReason::BoundaryGuard)
 }
 
 /// The layered evaluation cache. See the module docs for the layer
@@ -456,6 +685,15 @@ pub struct EnergyCache {
     outcomes: HashMap<Topology, EnergyOutcome>,
     /// Run-scoped: rate outcomes keyed by achieved topology.
     rate_memo: HashMap<Topology, RateOutcome>,
+    /// Run-scoped: desired topologies whose outcome the memo *refused* at
+    /// [`OUTCOME_CAP`] — a re-evaluation of one of these is a capacity
+    /// miss, not a cold one. Itself capped (see [`OVERFLOW_CAP`]); beyond
+    /// that the attribution degrades to `cold`, never miscounts.
+    overflow: HashSet<Topology>,
+    /// Pairs that held relay entries when a plant-fingerprint flush wiped
+    /// the relay layer: their next entry-less miss is attributed to the
+    /// flush rather than to cold start.
+    flushed_pairs: HashSet<(SiteId, SiteId)>,
     /// Effectiveness counters.
     pub stats: EnergyCacheStats,
 }
@@ -474,12 +712,14 @@ impl EnergyCache {
     pub fn begin_run(&mut self, plant: &FiberPlant, config: &CircuitBuildConfig) {
         self.outcomes.clear();
         self.rate_memo.clear();
+        self.overflow.clear();
         let sig = plant_fingerprint(plant);
         if self.plant_sig == Some(sig) && self.relay_k == config.relay_candidates {
             return;
         }
         if self.plant_sig.is_some() {
             self.stats.flushes += 1;
+            self.flushed_pairs.extend(self.relay.keys().copied());
         }
         self.plant_sig = Some(sig);
         self.relay_k = config.relay_candidates;
@@ -570,6 +810,18 @@ impl EnergyCache {
             return idx;
         }
         self.stats.relay_misses += 1;
+        // Attribute the miss: entries exist → the reject reason of the
+        // most recently stored one (the entry a fresh hit would most
+        // plausibly have matched); none → flush if a fingerprint flush
+        // wiped this pair, cold otherwise.
+        let reason = match self.relay.get(&(u, v)).and_then(|es| es.last()) {
+            Some(e) => {
+                relaxed_entry_reject(e, relay_k, regens_free, u, v, sd).unwrap_or(MissReason::Cold)
+            }
+            None if self.flushed_pairs.contains(&(u, v)) => MissReason::Flush,
+            None => MissReason::Cold,
+        };
+        self.stats.count_relay_miss(reason);
         telemetry.shortest_path_calls.incr();
         let rg = RegenGraph::build_with_free_regens(plant, regens_free, fiber_dist, u, v);
         // Compute one path beyond the candidate count: Yen grows its found
@@ -712,11 +964,21 @@ impl EnergyCache {
         self.outcomes.get(desired)
     }
 
-    /// Memoizes a full outcome (no-op beyond the cap).
+    /// Memoizes a full outcome. Beyond the cap the outcome is dropped and
+    /// the key remembered in the overflow set, so re-evaluations attribute
+    /// to `capacity` rather than `cold`.
     pub fn store_outcome(&mut self, desired: Topology, outcome: EnergyOutcome) {
         if self.outcomes.len() < OUTCOME_CAP {
             self.outcomes.insert(desired, outcome);
+        } else if self.overflow.len() < OVERFLOW_CAP {
+            self.overflow.insert(desired);
         }
+    }
+
+    /// True when `desired` was evaluated this run but the outcome memo
+    /// refused to store it (capacity cap).
+    pub(crate) fn outcome_overflowed(&self, desired: &Topology) -> bool {
+        self.overflow.contains(desired)
     }
 
     /// Looks up a memoized rate assignment for an achieved topology.

@@ -6,7 +6,7 @@
 //! run the greedy shortest-paths-first rate assignment over the *achieved*
 //! topology.
 
-use crate::cache::EnergyCache;
+use crate::cache::{EnergyCache, MissReason};
 use crate::circuits::{
     build_topology_cached, build_topology_observed, try_build_topology_delta, BuiltTopology,
     CircuitBuildConfig,
@@ -16,6 +16,7 @@ use crate::telemetry::CoreTelemetry;
 use crate::topology::Topology;
 use crate::types::{SchedulingPolicy, Transfer};
 use owan_optical::FiberPlant;
+use owan_prof::Profiler;
 
 /// Everything `ComputeEnergy` produced for one candidate topology.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +52,11 @@ pub struct EnergyContext<'a> {
     pub circuit_config: CircuitBuildConfig,
     /// Rate-assignment tunables.
     pub rate_config: RateAssignConfig,
+    /// Region profiler for performance attribution (tier 3 of the
+    /// observability stack). A [`Profiler::disabled`] handle — the
+    /// [`Default`]-like choice every existing caller makes — is inert:
+    /// one `Option` check per region open, nothing else.
+    pub prof: Profiler,
 }
 
 /// Computes the energy of `topology` (Algorithm 3).
@@ -69,6 +75,7 @@ pub fn compute_energy_observed(
 ) -> EnergyOutcome {
     let built = {
         let _span = telemetry.circuits.enter();
+        let _region = ctx.prof.region("circuits");
         build_topology_observed(
             ctx.plant,
             topology,
@@ -80,6 +87,7 @@ pub fn compute_energy_observed(
     let theta = ctx.plant.params().wavelength_capacity_gbps;
     let rates = {
         let _span = telemetry.rates.enter();
+        let _region = ctx.prof.region("rates");
         assign_rates_observed(
             &built.achieved,
             theta,
@@ -142,8 +150,10 @@ impl<'a, 'c> EnergyEvaluator<'a, 'c> {
         basis: Option<(&Topology, &EnergyOutcome)>,
     ) -> EnergyOutcome {
         let ctx = self.ctx;
+        let _region = ctx.prof.region("eval");
         let Some(cache) = self.cache.as_deref_mut() else {
             self.telemetry.anneal_cache_miss.incr();
+            self.telemetry.cache_miss_uncached.incr();
             return compute_energy_observed(ctx, desired, self.telemetry);
         };
 
@@ -153,9 +163,16 @@ impl<'a, 'c> EnergyEvaluator<'a, 'c> {
             return out;
         }
         self.telemetry.anneal_cache_miss.incr();
+        // Miss attribution: a refused-at-capacity repeat is `capacity`;
+        // otherwise the dominant relay-layer reject observed while
+        // building this evaluation names the cause, and a build that
+        // missed no relay entry at all is a plain cold start.
+        let overflowed = cache.outcome_overflowed(desired);
+        let relay_before = cache.stats.relay_miss_by_reason;
 
         let built = {
             let _span = self.telemetry.circuits.enter();
+            let _region = ctx.prof.region("circuits");
             let delta = basis.and_then(|(prev_desired, prev_outcome)| {
                 try_build_topology_delta(
                     ctx.plant,
@@ -181,12 +198,32 @@ impl<'a, 'c> EnergyEvaluator<'a, 'c> {
             }
         };
 
+        let reason = if overflowed {
+            MissReason::Capacity
+        } else {
+            let relay_after = cache.stats.relay_miss_by_reason;
+            let mut dominant = None::<(usize, u64)>;
+            for (i, (after, before)) in relay_after.iter().zip(&relay_before).enumerate() {
+                let d = after - before;
+                if d > 0 && dominant.is_none_or(|(_, best)| d > best) {
+                    dominant = Some((i, d));
+                }
+            }
+            match dominant {
+                Some((i, _)) => MissReason::RELAY[i],
+                None => MissReason::Cold,
+            }
+        };
+        cache.stats.count_eval_miss(reason);
+        self.telemetry.cache_miss_reason(reason).incr();
+
         let rates = match cache.lookup_rates(&built.achieved) {
             Some(r) => r.clone(),
             None => {
                 let theta = ctx.plant.params().wavelength_capacity_gbps;
                 let rates = {
                     let _span = self.telemetry.rates.enter();
+                    let _region = ctx.prof.region("rates");
                     assign_rates_observed(
                         &built.achieved,
                         theta,
@@ -256,6 +293,7 @@ mod tests {
             slot_len_s: 1.0,
             circuit_config: CircuitBuildConfig::default(),
             rate_config: RateAssignConfig::default(),
+            prof: Profiler::disabled(),
         };
 
         // Ring topology: one circuit per adjacent pair.
@@ -295,6 +333,7 @@ mod tests {
             slot_len_s: 1.0,
             circuit_config: CircuitBuildConfig::default(),
             rate_config: RateAssignConfig::default(),
+            prof: Profiler::disabled(),
         };
         // Demand far beyond any achievable topology: 0-2 with multiplicity 2
         // needs two 2-hop circuits; wavelengths suffice, so it builds, but

@@ -16,6 +16,7 @@ use crate::topology::Topology;
 use crate::types::{Allocation, SchedulingPolicy, Transfer};
 use owan_obs::Recorder;
 use owan_optical::FiberPlant;
+use owan_prof::Profiler;
 
 /// Input to an engine for one slot.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +56,13 @@ pub trait TrafficEngineer {
     /// recorder, `plan_slot` returns identical plans.
     fn set_recorder(&mut self, recorder: Recorder) {
         let _ = recorder;
+    }
+
+    /// Attaches a region profiler (observability tier 3). Same contract as
+    /// [`TrafficEngineer::set_recorder`]: the default ignores it, and an
+    /// attached profiler must never change planning behavior.
+    fn set_profiler(&mut self, prof: Profiler) {
+        let _ = prof;
     }
 }
 
@@ -96,6 +104,7 @@ pub struct OwanEngine {
     current: Topology,
     slot_counter: u64,
     telemetry: CoreTelemetry,
+    prof: Profiler,
     /// One persistent [`EnergyCache`] per annealing chain; the plant-scoped
     /// layers survive across slots (and are fingerprint-flushed on plant
     /// changes). Empty when the cache fast path is disabled.
@@ -117,6 +126,7 @@ impl OwanEngine {
             current: initial,
             slot_counter: 0,
             telemetry: CoreTelemetry::disabled(),
+            prof: Profiler::disabled(),
             caches,
         }
     }
@@ -139,12 +149,16 @@ impl TrafficEngineer for OwanEngine {
     }
 
     fn plan_slot(&mut self, plant: &FiberPlant, input: &SlotInput<'_>) -> SlotPlan {
+        let _region = self.prof.region("plan_slot");
         let fiber_dist = plant.fiber_distance_matrix();
         // Re-spend any ports freed by past circuit-construction failures:
         // the achieved topology may have fewer links than desired (Alg 3
         // lines 13-14), and the degree-preserving neighbor move can never
         // add them back on its own.
-        repair_spare_ports(plant, &mut self.current, input.transfers, &fiber_dist);
+        {
+            let _region = self.prof.region("repair");
+            repair_spare_ports(plant, &mut self.current, input.transfers, &fiber_dist);
+        }
         let ctx = crate::energy::EnergyContext {
             plant,
             fiber_dist: &fiber_dist,
@@ -153,6 +167,7 @@ impl TrafficEngineer for OwanEngine {
             slot_len_s: input.slot_len_s,
             circuit_config: self.config.circuit,
             rate_config: self.config.rate,
+            prof: self.prof.clone(),
         };
         // Vary the seed per slot deterministically so repeated runs agree
         // but successive slots explore differently.
@@ -182,6 +197,10 @@ impl TrafficEngineer for OwanEngine {
 
     fn set_recorder(&mut self, recorder: Recorder) {
         self.telemetry = CoreTelemetry::new(&recorder);
+    }
+
+    fn set_profiler(&mut self, prof: Profiler) {
+        self.prof = prof;
     }
 }
 

@@ -59,7 +59,7 @@ pub use anneal::{
     anneal, anneal_observed, anneal_parallel, anneal_parallel_with_caches, anneal_with_cache,
     chain_seed, AnnealConfig, AnnealResult,
 };
-pub use cache::{plant_fingerprint, EnergyCache, EnergyCacheStats, FiberSet};
+pub use cache::{plant_fingerprint, EnergyCache, EnergyCacheStats, FiberSet, MissReason};
 pub use circuits::{
     build_topology, build_topology_cached, build_topology_observed, try_build_topology_delta,
     BuiltTopology, CircuitBuildConfig,
@@ -78,5 +78,8 @@ pub use rates::{
 };
 pub use regen::RegenGraph;
 pub use telemetry::CoreTelemetry;
+// Re-exported so downstream crates (oracle, sim, bench) can attach or stub
+// the tier-3 profiler without depending on `owan-prof` directly.
+pub use owan_prof::Profiler;
 pub use topology::Topology;
 pub use types::{Allocation, SchedulingPolicy, Transfer, TransferId, TransferRequest};

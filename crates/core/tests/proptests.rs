@@ -189,6 +189,7 @@ proptest! {
             slot_len_s: 10.0,
             circuit_config: CircuitBuildConfig::default(),
             rate_config: RateAssignConfig::default(),
+            prof: owan_core::Profiler::disabled(),
         };
         let cfg = AnnealConfig { max_iterations: 30, seed, ..Default::default() };
         let res = anneal(&ctx, &topo, &cfg);
@@ -198,5 +199,54 @@ proptest! {
         // Energy is reproducible.
         let again = compute_energy(&ctx, &res.topology);
         prop_assert!((again.energy_gbps() - res.energy_gbps()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn miss_taxonomy_partitions_every_cache_miss(
+        plant in arb_plant(),
+        pairs in proptest::collection::vec((0usize..16, 0usize..16), 2..10),
+        specs in proptest::collection::vec((0usize..16, 0usize..16, 10u32..500), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let topo = topology_for(&plant, &pairs);
+        let transfers = transfers_for(&plant, &specs);
+        let fd = plant.fiber_distance_matrix();
+        let ctx = EnergyContext {
+            plant: &plant,
+            fiber_dist: &fd,
+            transfers: &transfers,
+            policy: SchedulingPolicy::ShortestJobFirst,
+            slot_len_s: 10.0,
+            circuit_config: CircuitBuildConfig::default(),
+            rate_config: RateAssignConfig::default(),
+            prof: owan_core::Profiler::disabled(),
+        };
+        let cfg = AnnealConfig { max_iterations: 40, seed, ..Default::default() };
+        let recorder = owan_obs::Recorder::enabled();
+        let telemetry = owan_core::CoreTelemetry::new(&recorder);
+        let mut cache = owan_core::EnergyCache::new();
+        owan_core::anneal_with_cache(&ctx, &topo, &cfg, Some(&mut cache), &telemetry);
+
+        // Struct-level accounting: the per-reason arrays partition their
+        // totals exactly — every relay miss and every outcome miss gets
+        // exactly one attributed cause.
+        let relay_sum: u64 = cache.stats.relay_miss_by_reason.iter().sum();
+        prop_assert_eq!(relay_sum, cache.stats.relay_misses);
+        let eval_sum: u64 = cache.stats.miss_by_reason.iter().sum();
+        prop_assert_eq!(eval_sum, cache.stats.outcome_misses);
+
+        // Counter-level accounting: the `anneal.cache_miss.<reason>`
+        // counters sum exactly to `anneal.cache_miss` on the cached path.
+        let snap = recorder.snapshot();
+        let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        let by_reason: u64 = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("anneal.cache_miss."))
+            .map(|(_, v)| *v)
+            .sum();
+        prop_assert_eq!(by_reason, counter("anneal.cache_miss"));
+        prop_assert_eq!(counter("anneal.cache_miss.uncached"), 0);
+        prop_assert_eq!(counter("anneal.cache_miss"), cache.stats.outcome_misses);
     }
 }

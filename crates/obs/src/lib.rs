@@ -29,4 +29,4 @@ pub use event::{Event, Value};
 pub use jsonl::JsonlWriter;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use recorder::{Recorder, Snapshot, SpanGuard, Stage, DEFAULT_EVENT_CAPACITY};
-pub use report::{format_counter_table, format_stage_table};
+pub use report::{format_counter_rows, format_counter_table, format_stage_table};

@@ -43,28 +43,38 @@ pub fn format_stage_table(snapshot: &Snapshot, stages: &[(&str, &str)]) -> Strin
     out
 }
 
-/// Renders every counter whose name starts with `prefix` as a two-column
-/// table, sorted by name. Counters the run never touched are simply
-/// absent; an empty selection renders just the header, so the caller can
-/// print unconditionally.
-pub fn format_counter_table(snapshot: &Snapshot, prefix: &str) -> String {
-    let rows: Vec<(&String, &u64)> = snapshot
-        .counters
-        .iter()
-        .filter(|(name, _)| name.starts_with(prefix))
-        .collect();
+/// Renders pre-selected `(label, value)` rows as the standard aligned
+/// two-column counter table, in the order given. The shared core behind
+/// [`format_counter_table`] and the `owan-cli top` dashboard sections —
+/// every counter table in the CLI goes through here so they all line up
+/// the same way.
+pub fn format_counter_rows(rows: &[(&str, u64)]) -> String {
     let name_width = rows
         .iter()
-        .map(|(name, _)| name.len())
+        .map(|(label, _)| label.len())
         .chain(std::iter::once(7))
         .max()
         .unwrap_or(7);
     let mut out = String::new();
     out.push_str(&format!("{:<name_width$}  {:>12}\n", "counter", "value"));
-    for (name, value) in rows {
-        out.push_str(&format!("{name:<name_width$}  {value:>12}\n"));
+    for (label, value) in rows {
+        out.push_str(&format!("{label:<name_width$}  {value:>12}\n"));
     }
     out
+}
+
+/// Renders every counter whose name starts with `prefix` as a two-column
+/// table, sorted by name. Counters the run never touched are simply
+/// absent; an empty selection renders just the header, so the caller can
+/// print unconditionally.
+pub fn format_counter_table(snapshot: &Snapshot, prefix: &str) -> String {
+    let rows: Vec<(&str, u64)> = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with(prefix))
+        .map(|(name, value)| (name.as_str(), *value))
+        .collect();
+    format_counter_rows(&rows)
 }
 
 #[cfg(test)]

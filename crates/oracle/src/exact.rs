@@ -234,6 +234,7 @@ mod tests {
             slot_len_s: 10.0,
             circuit_config: CircuitBuildConfig::default(),
             rate_config: RateAssignConfig::default(),
+            prof: owan_core::Profiler::disabled(),
         };
         let report = best_topology_by_enumeration(&ctx).unwrap();
         // Both ports of 0 toward 1 and of 2 toward 3 serve 40 Gbps total.
@@ -255,6 +256,7 @@ mod tests {
             slot_len_s: 10.0,
             circuit_config: CircuitBuildConfig::default(),
             rate_config: RateAssignConfig::default(),
+            prof: owan_core::Profiler::disabled(),
         };
         assert_eq!(
             best_topology_by_enumeration(&ctx).unwrap_err(),

@@ -104,6 +104,7 @@ fn ctx<'a>(
         slot_len_s: 10.0,
         circuit_config: CircuitBuildConfig::default(),
         rate_config: RateAssignConfig::default(),
+        prof: owan_core::Profiler::disabled(),
     }
 }
 

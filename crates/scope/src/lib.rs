@@ -34,7 +34,7 @@ pub use flight::{FlightDump, FlightRing, FrameTransfer, SlotFrame, DUMP_HEADER};
 pub use prom::render_prometheus;
 pub use serve::MetricsServer;
 pub use top::render_top;
-pub use trace::{write_chrome_trace, SpanRec};
+pub use trace::{prof_trace_spans, write_chrome_trace, SpanRec};
 pub use transfers::{SlotTrace, TrackedTransfer, TransferSlotRow, TransferState, TransferTracker};
 
 use owan_core::{SlotPlan, TransferRequest};
@@ -321,6 +321,25 @@ impl ScopeRecorder {
             Some(state) => state.spans.clone(),
             None => Vec::new(),
         };
+        write_chrome_trace(&mut writer, &spans, snapshot)
+    }
+
+    /// [`Self::export_chrome_trace`] with a tier-3 profiler snapshot's
+    /// retained spans merged in (category `prof`), their ids rebased past
+    /// the scope's own — one trace file carries the causal slot timeline
+    /// and the measured hot-path regions side by side.
+    pub fn export_chrome_trace_with_prof<W: io::Write>(
+        &self,
+        snapshot: Option<&Snapshot>,
+        prof: &owan_prof::ProfSnapshot,
+        mut writer: W,
+    ) -> io::Result<()> {
+        let mut spans = match self.lock() {
+            Some(state) => state.spans.clone(),
+            None => Vec::new(),
+        };
+        let offset = spans.iter().map(|s| s.id).max().map_or(0, |m| m + 1);
+        spans.extend(prof_trace_spans(prof, offset));
         write_chrome_trace(&mut writer, &spans, snapshot)
     }
 

@@ -3,7 +3,7 @@
 //! Pure snapshot → string so it is testable without a terminal; the CLI
 //! adds the refresh loop and ANSI screen clearing around it.
 
-use owan_obs::{format_stage_table, Snapshot};
+use owan_obs::{format_counter_rows, format_stage_table, Snapshot};
 use std::fmt::Write as _;
 
 /// Stages shown in the dashboard's timing table.
@@ -47,22 +47,35 @@ pub fn render_top(snapshot: &Snapshot, elapsed_s: f64) -> String {
             counter(snapshot, "anneal.iterations"),
             100.0 * hits as f64 / (hits + misses) as f64,
         );
+        // Miss attribution, when the run recorded any: the
+        // `anneal.cache_miss.<reason>` counters partition the miss total.
+        let reason_rows: Vec<(&str, u64)> = snapshot
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("anneal.cache_miss."))
+            .map(|(name, value)| (name.as_str(), *value))
+            .collect();
+        if reason_rows.iter().any(|&(_, n)| n > 0) {
+            out.push_str(&format_counter_rows(&reason_rows));
+        }
     }
 
+    // Chaos counters share the standard table renderer so every counter
+    // table in the CLI lines up the same way.
     let chaos_keys = [
-        ("faults", "chaos.faults_detected"),
-        ("retries", "chaos.op_retries"),
-        ("aborts", "chaos.op_aborts"),
-        ("crashes", "chaos.crashes"),
-        ("fallbacks", "chaos.fallback_slots"),
-        ("blackholed", "chaos.blackhole_paths"),
+        ("chaos faults", "chaos.faults_detected"),
+        ("chaos retries", "chaos.op_retries"),
+        ("chaos aborts", "chaos.op_aborts"),
+        ("chaos crashes", "chaos.crashes"),
+        ("chaos fallbacks", "chaos.fallback_slots"),
+        ("chaos blackholed", "chaos.blackhole_paths"),
     ];
     if chaos_keys.iter().any(|(_, k)| counter(snapshot, k) > 0) {
-        out.push_str("chaos:");
-        for (label, key) in chaos_keys {
-            let _ = write!(out, " {label} {}", counter(snapshot, key));
-        }
-        out.push('\n');
+        let rows: Vec<(&str, u64)> = chaos_keys
+            .iter()
+            .map(|&(label, key)| (label, counter(snapshot, key)))
+            .collect();
+        out.push_str(&format_counter_rows(&rows));
     }
 
     let oracle_checked = counter(snapshot, "oracle.invariant_checked");
@@ -111,10 +124,7 @@ mod tests {
         assert!(text.contains("at-risk 2"));
         assert!(text.contains("cache hit rate 75.0%"));
         assert!(text.contains("slot"));
-        assert!(
-            !text.contains("chaos:"),
-            "no chaos section without counters"
-        );
+        assert!(!text.contains("chaos"), "no chaos section without counters");
     }
 
     #[test]
@@ -122,8 +132,23 @@ mod tests {
         let rec = Recorder::enabled();
         rec.counter("chaos.blackhole_paths").add(3);
         let text = render_top(&rec.snapshot(), 0.0);
-        assert!(text.contains("chaos:"));
-        assert!(text.contains("blackholed 3"));
+        let row = text
+            .lines()
+            .find(|l| l.starts_with("chaos blackholed"))
+            .expect("chaos table row");
+        assert!(row.trim_end().ends_with('3'), "{row}");
+    }
+
+    #[test]
+    fn miss_attribution_table_appears_with_reason_counters() {
+        let rec = Recorder::enabled();
+        rec.counter("anneal.cache_hit").add(9);
+        rec.counter("anneal.cache_miss").add(5);
+        rec.counter("anneal.cache_miss.cold").add(4);
+        rec.counter("anneal.cache_miss.flush").add(1);
+        let text = render_top(&rec.snapshot(), 0.0);
+        assert!(text.contains("anneal.cache_miss.cold"));
+        assert!(text.contains("anneal.cache_miss.flush"));
     }
 
     #[test]

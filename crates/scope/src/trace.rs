@@ -158,6 +158,32 @@ pub fn write_chrome_trace<W: Write>(
     writer.write_all(out.as_bytes())
 }
 
+/// Converts a profiler snapshot's retained raw spans into trace spans,
+/// so one Chrome trace carries both the scope's causal timeline and the
+/// tier-3 measured regions (category `prof`). `id_offset` must exceed
+/// every id among the scope spans the result will be merged with — the
+/// profiler's span indices are rebased past it. Spans whose enclosing
+/// span fell outside the retention cap surface as roots rather than
+/// being dropped.
+pub fn prof_trace_spans(snap: &owan_prof::ProfSnapshot, id_offset: u64) -> Vec<SpanRec> {
+    snap.spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| SpanRec {
+            id: id_offset + i as u64,
+            parent: s.parent.map(|p| id_offset + p as u64),
+            cat: "prof".into(),
+            name: snap.nodes[s.node].name.clone(),
+            start_ns: s.start_ns,
+            end_ns: s.end_ns,
+            args: vec![
+                ("path".into(), Value::Str(snap.path(s.node).join(";"))),
+                ("tid".into(), Value::U64(s.tid as u64)),
+            ],
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +239,44 @@ mod tests {
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
         assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(2.5));
         assert_eq!(events[1].get("ts").unwrap().as_f64(), Some(4.5));
+    }
+
+    #[test]
+    fn prof_spans_merge_into_the_trace() {
+        let prof = owan_prof::Profiler::enabled();
+        {
+            let _outer = prof.region("plan_slot");
+            let _inner = prof.region("anneal");
+        }
+        let snap = prof.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let mut spans = vec![span(1, None, "sim", 0, 100)];
+        spans.extend(prof_trace_spans(&snap, 1_000));
+        assert_eq!(spans.len(), 3);
+        assert!(spans
+            .iter()
+            .skip(1)
+            .all(|s| s.cat == "prof" && s.id >= 1_000));
+        // The nested prof region keeps its parent link after rebasing.
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "anneal" && s.parent.is_some_and(|p| p >= 1_000)));
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &spans, None).unwrap();
+        let doc = parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 3 spans -> 3 B + 3 E events, stack-balanced.
+        assert_eq!(events.len(), 6);
+        let mut depth = 0i64;
+        for ev in events {
+            match ev.get("ph").unwrap().as_str().unwrap() {
+                "B" => depth += 1,
+                "E" => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
     }
 
     #[test]

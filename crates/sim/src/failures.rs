@@ -193,6 +193,7 @@ pub fn simulate_with_failures_observed(
         config,
         recorder,
         &owan_scope::ScopeRecorder::disabled(),
+        &owan_core::Profiler::disabled(),
     )
 }
 
@@ -258,6 +259,7 @@ pub fn simulate_with_restarts(
         config,
         &Recorder::disabled(),
         &owan_scope::ScopeRecorder::disabled(),
+        &owan_core::Profiler::disabled(),
     )
 }
 

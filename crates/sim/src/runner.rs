@@ -1,7 +1,9 @@
 //! Experiment runner: constructs engines by name and drives whole
 //! comparison sweeps, optionally in parallel across engines/loads.
 
-use crate::sim::{simulate, simulate_observed, simulate_traced, SimConfig, SimResult};
+use crate::sim::{
+    simulate, simulate_observed, simulate_profiled, simulate_traced, SimConfig, SimResult,
+};
 use owan_core::{
     default_topology, AnnealConfig, OwanConfig, OwanEngine, SchedulingPolicy, TrafficEngineer,
     TransferRequest,
@@ -195,6 +197,29 @@ pub fn run_engine_traced(
         &config.sim,
         recorder,
         scope,
+    )
+}
+
+/// [`run_engine_traced`] with a region profiler attached on top. With a
+/// disabled profiler this is exactly [`run_engine_traced`].
+pub fn run_engine_profiled(
+    kind: EngineKind,
+    network: &Network,
+    requests: &[TransferRequest],
+    config: &RunnerConfig,
+    recorder: &Recorder,
+    scope: &owan_scope::ScopeRecorder,
+    prof: &owan_core::Profiler,
+) -> SimResult {
+    let mut engine = make_engine(kind, network, config);
+    simulate_profiled(
+        &network.plant,
+        requests,
+        engine.as_mut(),
+        &config.sim,
+        recorder,
+        scope,
+        prof,
     )
 }
 

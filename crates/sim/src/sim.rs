@@ -16,7 +16,7 @@
 //! that comparison with an impaired-rate mode.
 
 use crate::telemetry::{at_risk_count, SimTelemetry, SlotTelemetry};
-use owan_core::{SlotInput, SlotPlan, TrafficEngineer, Transfer, TransferRequest};
+use owan_core::{Profiler, SlotInput, SlotPlan, TrafficEngineer, Transfer, TransferRequest};
 use owan_obs::Recorder;
 use owan_optical::FiberPlant;
 use owan_scope::{path_label, ScopeRecorder, SlotObservation, TransferSlotRow};
@@ -296,6 +296,32 @@ pub fn simulate_traced(
     recorder: &Recorder,
     scope: &ScopeRecorder,
 ) -> SimResult {
+    simulate_profiled(
+        plant,
+        requests,
+        engine,
+        config,
+        recorder,
+        scope,
+        &Profiler::disabled(),
+    )
+}
+
+/// [`simulate_traced`] with a region profiler attached on top: the engine
+/// gets it via [`TrafficEngineer::set_profiler`], and the slot loop wraps
+/// each slot and its telemetry-only update-scheduling pass in `slot` /
+/// `update` regions. With a disabled profiler this is exactly
+/// [`simulate_traced`] — region opens cost one `Option` check.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_profiled(
+    plant: &FiberPlant,
+    requests: &[TransferRequest],
+    engine: &mut dyn TrafficEngineer,
+    config: &SimConfig,
+    recorder: &Recorder,
+    scope: &ScopeRecorder,
+    prof: &Profiler,
+) -> SimResult {
     drive_slots(
         plant,
         requests,
@@ -304,6 +330,7 @@ pub fn simulate_traced(
         config,
         recorder,
         scope,
+        prof,
     )
 }
 
@@ -313,6 +340,7 @@ pub fn simulate_traced(
 /// gate, fluid delivery, deadline + starvation bookkeeping, telemetry.
 /// `base` supplies global parameters (θ, reconfiguration times); the plant
 /// each slot's engine actually sees comes from `plants`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn drive_slots(
     base: &FiberPlant,
     requests: &[TransferRequest],
@@ -321,6 +349,7 @@ pub(crate) fn drive_slots(
     config: &SimConfig,
     recorder: &Recorder,
     scope: &ScopeRecorder,
+    prof: &Profiler,
 ) -> SimResult {
     assert!(config.rate_efficiency > 0.0 && config.rate_efficiency <= 1.0);
     let scope_on = scope.is_enabled();
@@ -390,7 +419,9 @@ pub(crate) fn drive_slots(
 
         let engine = engines.engine_at(slot);
         engine.set_recorder(recorder.clone());
+        engine.set_profiler(prof.clone());
         engine_name = engine.name().to_string();
+        let slot_region = prof.region("slot");
         let slot_start_ns = recorder.now_ns();
         let slot_span = telemetry
             .as_ref()
@@ -419,6 +450,7 @@ pub(crate) fn drive_slots(
         // counting; delivery below uses the full allocation either way.
         let update_ops = match (&telemetry, &prev_plan) {
             (Some(t), Some(prev)) => {
+                let _region = prof.region("update");
                 let delta = NetworkDelta::from_plans(
                     &prev.topology,
                     &prev.allocations,
@@ -554,6 +586,7 @@ pub(crate) fn drive_slots(
         if telemetry.is_some() {
             prev_plan = Some(plan);
         }
+        slot_region.finish();
     }
 
     if !records.iter().all(|r| r.completion_s.is_some()) {

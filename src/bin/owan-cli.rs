@@ -8,6 +8,7 @@
 //! owan-cli top [RUN OPTIONS] [--interval SECS]
 //! owan-cli verify [VERIFY OPTIONS]
 //! owan-cli chaos [CHAOS OPTIONS]
+//! owan-cli perf diff A.json B.json [--threshold F] [--gate]
 //! ```
 //!
 //! With `--sigma` the workload carries deadlines and the deadline metrics
@@ -16,9 +17,14 @@
 //! timing table. `--scope` attaches the flight recorder: per-transfer
 //! lifecycle tracking, the causal slot timeline (`--scope-trace` exports
 //! Chrome trace-event JSON for Perfetto), and anomaly-triggered flight
-//! dumps (`--scope-dump`). `--serve ADDR` exposes live Prometheus text
+//! dumps (`--scope-dump`). `--prof FILE` attaches the tier-3 region
+//! profiler and writes folded stacks for flamegraph tooling;
+//! `--prof-report` prints the region tree and the cache-miss attribution
+//! table instead. `--serve ADDR` exposes live Prometheus text
 //! (`/metrics`, `/healthz`) while the run executes. Every flag is off by
-//! default and a disabled recorder/scope changes no engine output.
+//! default and a disabled recorder/scope/profiler changes no engine
+//! output. `perf diff` compares two `bench_anneal` JSON reports phase by
+//! phase with noise-aware thresholds; `--gate` exits 1 on regression.
 //!
 //! `verify` replays fuzzed or named-network scenarios through the real
 //! controller with every cross-layer invariant checked each slot. On
@@ -36,8 +42,8 @@ use owan::chaos::{
     run_chaos, run_chaos_traced, seeded_scenario, ChaosConfig, ChaosResult, OpFaultModel, SlotAudit,
 };
 use owan::core::{
-    default_topology, AnnealConfig, OwanConfig, OwanEngine, SchedulingPolicy, TrafficEngineer,
-    TransferRequest,
+    default_topology, AnnealConfig, OwanConfig, OwanEngine, Profiler, SchedulingPolicy,
+    TrafficEngineer, TransferRequest,
 };
 use owan::obs::{format_counter_table, format_stage_table, Recorder};
 use owan::oracle::{
@@ -46,7 +52,7 @@ use owan::oracle::{
 };
 use owan::scope::{render_top, FlightDump, MetricsServer, ScopeConfig, ScopeRecorder};
 use owan::sim::metrics::{self, SizeBin};
-use owan::sim::runner::{run_engine_traced, EngineKind, RunnerConfig};
+use owan::sim::runner::{run_engine_profiled, run_engine_traced, EngineKind, RunnerConfig};
 use owan::sim::SimConfig;
 use owan::topo::{inter_dc, internet2_testbed, isp_backbone, Network};
 use owan::workload::{generate, WorkloadConfig};
@@ -57,6 +63,7 @@ const USAGE: &str = "usage: owan-cli [OPTIONS]
        owan-cli top [OPTIONS] [--interval SECS]
        owan-cli verify [OPTIONS]
        owan-cli chaos [OPTIONS]
+       owan-cli perf diff A.json B.json [--threshold F] [--gate]
 
 run options:
   --net NAME          evaluation network: internet2 | isp | interdc  [internet2]
@@ -77,6 +84,11 @@ run options:
   --scope-slots N     flight-recorder ring depth, slots  [16]
   --scope-dump FILE   write the anomaly-triggered flight dump here
   --scope-trace FILE  export the causal slot timeline as Chrome trace JSON
+                      (profiler regions merged in when --prof* is also set)
+  --prof FILE         attach the region profiler; write folded stacks to
+                      FILE for flamegraph tooling
+  --prof-report       attach the region profiler; print the region tree
+                      and the cache-miss attribution table after the run
   --serve ADDR        serve live /metrics + /healthz on ADDR while running
   -h, --help          show this help
 
@@ -130,7 +142,18 @@ chaos runs a seeded scenario (fiber cut + amp degradation + op faults +
 controller crash + repairs) through the hardened controller twice — once
 fault-free, once with faults — checking every cross-layer invariant each
 slot, and reports the delivered-volume loss. Exits 0 when all invariants
-hold and the runs are deterministic, 1 otherwise, 2 on bad arguments.";
+hold and the runs are deterministic, 1 otherwise, 2 on bad arguments.
+
+perf diff options:
+  --threshold F       relative change (fraction) a metric must move in the
+                      bad direction to count as a regression  [0.15]
+  --gate              exit 1 when any metric regressed past the threshold
+
+perf diff compares two bench_anneal JSON reports phase by phase with
+noise-aware thresholds. Reports at different scales are refused; a
+core-count mismatch warns and masks the chain-scaling rows. Exits 0 when
+comparable (regressions print but only --gate turns them into exit 1),
+2 on bad arguments or incomparable reports.";
 
 /// Minimal flag parser: `--key value` pairs plus boolean switches.
 struct Args(Vec<String>);
@@ -195,19 +218,37 @@ fn write_obs(cmd: &str, recorder: &Recorder, path: &Option<String>) {
     );
 }
 
-/// Writes the scope's Chrome trace to `path` (if set).
-fn write_trace(cmd: &str, scope: &ScopeRecorder, recorder: &Recorder, path: &Option<String>) {
+/// Writes the scope's Chrome trace to `path` (if set). An enabled
+/// profiler's retained spans are merged into the same trace (category
+/// `prof`).
+fn write_trace(
+    cmd: &str,
+    scope: &ScopeRecorder,
+    recorder: &Recorder,
+    prof: &Profiler,
+    path: &Option<String>,
+) {
     let Some(path) = path else { return };
     let snapshot = recorder.is_enabled().then(|| recorder.snapshot());
     let mut out: Vec<u8> = Vec::new();
-    scope
-        .export_chrome_trace(snapshot.as_ref(), &mut out)
-        .expect("serializing to memory cannot fail");
+    let prof_spans = if prof.is_enabled() {
+        let snap = prof.snapshot();
+        let n = snap.spans.len();
+        scope
+            .export_chrome_trace_with_prof(snapshot.as_ref(), &snap, &mut out)
+            .expect("serializing to memory cannot fail");
+        n
+    } else {
+        scope
+            .export_chrome_trace(snapshot.as_ref(), &mut out)
+            .expect("serializing to memory cannot fail");
+        0
+    };
     if let Err(e) = std::fs::write(path, &out) {
         eprintln!("owan-cli{cmd}: cannot write --scope-trace file '{path}': {e}");
         std::process::exit(1);
     }
-    eprintln!("wrote {} spans to {path}", scope.span_count());
+    eprintln!("wrote {} spans to {path}", scope.span_count() + prof_spans);
 }
 
 /// Everything the run-shaped commands (default run, `transfers`, `top`)
@@ -862,7 +903,13 @@ fn chaos_main(args: &Args) -> ! {
                 eprintln!("flight dump written to {path}");
             }
         }
-        write_trace(" chaos", &scope, &recorder, &scope_trace);
+        write_trace(
+            " chaos",
+            &scope,
+            &recorder,
+            &Profiler::disabled(),
+            &scope_trace,
+        );
     }
 
     write_obs(" chaos", &recorder, &obs_path);
@@ -873,6 +920,73 @@ fn chaos_main(args: &Args) -> ! {
     }
 
     std::process::exit(if violations == 0 { 0 } else { 1 });
+}
+
+/// `owan-cli perf diff`: compare two `bench_anneal` JSON reports with
+/// noise-aware per-phase thresholds. Strict flag parsing — unknown flags
+/// and malformed values exit 2 rather than being silently ignored, so a
+/// typo'd `--gate` can never turn a gating CI job into a no-op.
+fn perf_main() -> ! {
+    let rest: Vec<String> = std::env::args().skip(2).collect();
+    let usage = "owan-cli perf: usage: owan-cli perf diff A.json B.json [--threshold F] [--gate]";
+    if rest.first().map(String::as_str) != Some("diff") {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    }
+    let mut threshold = 0.15f64;
+    let mut gate = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = rest.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let raw = it.next().unwrap_or_else(|| {
+                    eprintln!("owan-cli perf: --threshold needs a value");
+                    std::process::exit(2);
+                });
+                threshold = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("owan-cli perf: invalid value '{raw}' for --threshold");
+                    std::process::exit(2);
+                });
+            }
+            "--gate" => gate = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("owan-cli perf: unknown flag '{flag}'\n{usage}");
+                std::process::exit(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    let [a_path, b_path] = files.as_slice() else {
+        eprintln!(
+            "owan-cli perf: expected exactly two report files, got {}\n{usage}",
+            files.len()
+        );
+        std::process::exit(2);
+    };
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("owan-cli perf: cannot read '{path}': {e}");
+            std::process::exit(2);
+        })
+    };
+    match owan::bench::perf_diff(&read(a_path), &read(b_path), threshold) {
+        Ok(diff) => {
+            print!("{}", diff.format_table());
+            if gate && diff.has_regressions() {
+                eprintln!(
+                    "owan-cli perf: FAIL: regression past the {:.0}% threshold",
+                    threshold * 100.0
+                );
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("owan-cli perf: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// `owan-cli transfers`: run the workload with the flight recorder
@@ -925,6 +1039,7 @@ fn transfers_main(args: &Args) -> ! {
         " transfers",
         &scope,
         &recorder,
+        &Profiler::disabled(),
         &args.get("--scope-trace").map(str::to_string),
     );
     std::process::exit(0);
@@ -1007,6 +1122,7 @@ fn main() {
         Some("chaos") => chaos_main(&args),
         Some("transfers") => transfers_main(&args),
         Some("top") => top_main(&args),
+        Some("perf") => perf_main(),
         _ => {}
     }
 
@@ -1016,13 +1132,24 @@ fn main() {
     let scope_trace = args.get("--scope-trace").map(str::to_string);
     let serve_addr = args.get("--serve").map(str::to_string);
     let scope = scope_from_args(&args, &setup, "sim", false);
+    let prof_path = args.get("--prof").map(str::to_string);
+    let prof_report = args.flag("--prof-report");
+    let prof = if prof_path.is_some() || prof_report {
+        Profiler::enabled()
+    } else {
+        Profiler::disabled()
+    };
 
-    let recorder =
-        if obs_path.is_some() || obs_summary || scope.is_enabled() || serve_addr.is_some() {
-            Recorder::enabled()
-        } else {
-            Recorder::disabled()
-        };
+    let recorder = if obs_path.is_some()
+        || obs_summary
+        || prof_report
+        || scope.is_enabled()
+        || serve_addr.is_some()
+    {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
     let server = serve_addr.map(|addr| {
         let server = MetricsServer::spawn(&addr, recorder.clone()).unwrap_or_else(|e| {
             eprintln!("owan-cli: cannot bind --serve address '{addr}': {e}");
@@ -1040,13 +1167,14 @@ fn main() {
         setup.load,
         setup.slot
     );
-    let result = run_engine_traced(
+    let result = run_engine_profiled(
         setup.kind,
         &setup.network,
         &setup.requests,
         &setup.cfg,
         &recorder,
         &scope,
+        &prof,
     );
 
     println!("engine,{}", result.engine);
@@ -1085,7 +1213,29 @@ fn main() {
             "scope_dumped,{}",
             if scope.has_dumped() { "yes" } else { "no" }
         );
-        write_trace("", &scope, &recorder, &scope_trace);
+        write_trace("", &scope, &recorder, &prof, &scope_trace);
+    }
+
+    if let Some(path) = &prof_path {
+        let mut out: Vec<u8> = Vec::new();
+        prof.write_folded(&mut out)
+            .expect("serializing to memory cannot fail");
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("owan-cli: cannot write --prof file '{path}': {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote folded stacks to {path} ({} lines)",
+            out.iter().filter(|&&b| b == b'\n').count()
+        );
+    }
+    if prof_report {
+        print!("{}", prof.snapshot().format_tree());
+        let snapshot = recorder.snapshot();
+        let table = format_counter_table(&snapshot, "anneal.cache_miss.");
+        if table.lines().count() > 1 {
+            print!("{table}");
+        }
     }
 
     write_obs("", &recorder, &obs_path);

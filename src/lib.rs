@@ -5,12 +5,14 @@
 //! - [`owan_optical`] — optical-layer substrate (ROADMs, circuits, regenerators)
 //! - [`owan_te`] — baseline traffic-engineering algorithms
 //! - [`owan_sim`] — the time-slotted flow simulator and controller loop
+pub use owan_bench as bench;
 pub use owan_chaos as chaos;
 pub use owan_core as core;
 pub use owan_graph as graph;
 pub use owan_obs as obs;
 pub use owan_optical as optical;
 pub use owan_oracle as oracle;
+pub use owan_prof as prof;
 pub use owan_scope as scope;
 pub use owan_sim as sim;
 pub use owan_solver as solver;

@@ -54,6 +54,7 @@ fn context<'a>(
         slot_len_s: 300.0,
         circuit_config: CircuitBuildConfig::default(),
         rate_config: RateAssignConfig::default(),
+        prof: owan::prof::Profiler::disabled(),
     }
 }
 
@@ -171,6 +172,7 @@ fn oracle_gap_is_unchanged_by_the_cache() {
         slot_len_s: 300.0,
         circuit_config: CircuitBuildConfig::default(),
         rate_config: RateAssignConfig::default(),
+        prof: owan::prof::Profiler::disabled(),
     };
     let initial = default_topology(&plant);
     let base = AnnealConfig {

@@ -1,0 +1,351 @@
+//! The region profiler must observe, never perturb — disabled it changes
+//! no simulation outcome, enabled it still reproduces the same plans and
+//! its miss-attribution counters must account for every single cache
+//! miss. The `perf diff` CLI parser is strict: a typo'd flag exits 2
+//! instead of silently dropping a gate.
+
+use std::process::Command;
+
+use owan::core::{Profiler, TransferRequest};
+use owan::obs::Recorder;
+use owan::scope::ScopeRecorder;
+use owan::sim::runner::{run_engine, run_engine_profiled, EngineKind, RunnerConfig};
+use owan::sim::SimConfig;
+use owan::topo::isp::ISP_SITES;
+use owan::topo::{isp_backbone, Network};
+use owan::workload::{generate, WorkloadConfig};
+
+fn fast_runner(iters: usize) -> RunnerConfig {
+    RunnerConfig {
+        sim: SimConfig {
+            slot_len_s: 300.0,
+            max_slots: 400,
+            ..Default::default()
+        },
+        anneal_iterations: iters,
+        seed: 11,
+        ..Default::default()
+    }
+}
+
+fn isp_workload(load: f64, take: usize) -> (Network, Vec<TransferRequest>) {
+    let net = isp_backbone(42);
+    let mut cfg = WorkloadConfig::simulation(load, 42);
+    cfg.duration_s = 3_000.0;
+    let requests: Vec<_> = generate(&net, &cfg).into_iter().take(take).collect();
+    (net, requests)
+}
+
+/// A disabled profiler must not change a single simulation outcome.
+#[test]
+fn disabled_profiler_is_zero_perturbation() {
+    let (net, requests) = isp_workload(0.6, 8);
+    let cfg = fast_runner(40);
+    let plain = run_engine(EngineKind::Owan, &net, &requests, &cfg);
+    let profiled = run_engine_profiled(
+        EngineKind::Owan,
+        &net,
+        &requests,
+        &cfg,
+        &Recorder::disabled(),
+        &ScopeRecorder::disabled(),
+        &Profiler::disabled(),
+    );
+    assert_eq!(plain.makespan_s, profiled.makespan_s);
+    assert_eq!(plain.slots, profiled.slots);
+    assert_eq!(plain.throughput_series, profiled.throughput_series);
+    for (a, b) in plain.completions.iter().zip(&profiled.completions) {
+        assert_eq!(a.completion_s, b.completion_s);
+    }
+}
+
+/// An enabled profiler still reproduces the same plans, and its region
+/// tree covers the whole pipeline: slot → plan_slot → anneal → eval →
+/// circuits/rates, plus update. The folded-stack export is well-formed
+/// `path;to;leaf <self_ns>` lines over those same regions.
+#[test]
+fn enabled_profiler_preserves_results_and_exports_folded_stacks() {
+    let (net, requests) = isp_workload(0.6, 8);
+    let cfg = fast_runner(40);
+    let plain = run_engine(EngineKind::Owan, &net, &requests, &cfg);
+    let prof = Profiler::enabled();
+    // Recorder enabled so the telemetry-only update-scheduling stage runs
+    // and its region shows up; observed runs are result-identical.
+    let profiled = run_engine_profiled(
+        EngineKind::Owan,
+        &net,
+        &requests,
+        &cfg,
+        &Recorder::enabled(),
+        &ScopeRecorder::disabled(),
+        &prof,
+    );
+    assert_eq!(plain.makespan_s, profiled.makespan_s);
+    assert_eq!(plain.throughput_series, profiled.throughput_series);
+
+    let snap = prof.snapshot();
+    let names: Vec<&str> = snap.nodes.iter().map(|n| n.name.as_str()).collect();
+    for required in [
+        "slot",
+        "plan_slot",
+        "anneal",
+        "eval",
+        "circuits",
+        "rates",
+        "update",
+    ] {
+        assert!(
+            names.contains(&required),
+            "region tree is missing {required:?} (got {names:?})"
+        );
+    }
+    // Self time can never exceed total time, and calls are non-zero for
+    // every node that exists.
+    for node in &snap.nodes {
+        assert!(node.self_ns <= node.total_ns, "{}", node.name);
+        assert!(node.calls > 0, "{}", node.name);
+    }
+
+    let mut folded = Vec::new();
+    snap.write_folded(&mut folded).unwrap();
+    let text = String::from_utf8(folded).unwrap();
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let (path, value) = line.rsplit_once(' ').expect("`path value` shape");
+        assert!(!path.is_empty());
+        assert!(path.starts_with("slot"), "all stacks root at slot: {line}");
+        value.parse::<u64>().expect("self-time must be integer ns");
+    }
+    assert!(
+        text.lines().any(|l| l.contains("slot;plan_slot;anneal")),
+        "expected the anneal stack in the folded output:\n{text}"
+    );
+}
+
+/// On the Fig-10 network (40-site ISP backbone) every cache miss must be
+/// attributed to exactly one reason: the `anneal.cache_miss.<reason>`
+/// counters sum to `anneal.cache_miss`, and a dominant cause exists.
+#[test]
+fn isp_fig10_cache_misses_are_fully_attributed() {
+    assert_eq!(ISP_SITES, 40, "Fig-10 backbone must have 40 sites");
+    let (net, requests) = isp_workload(0.6, 10);
+    let recorder = Recorder::enabled();
+    let result = run_engine_profiled(
+        EngineKind::Owan,
+        &net,
+        &requests,
+        &fast_runner(40),
+        &recorder,
+        &ScopeRecorder::disabled(),
+        &Profiler::disabled(),
+    );
+    assert!(result.all_completed(), "ISP run left transfers unfinished");
+
+    let snap = recorder.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let total = counter("anneal.cache_miss");
+    assert!(total > 0, "run recorded no cache misses at all");
+    let attributed: u64 = snap
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("anneal.cache_miss."))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(
+        attributed, total,
+        "per-reason counters must account for 100% of misses"
+    );
+    // With the fast path on, no eval should fall through uncached.
+    assert_eq!(counter("anneal.cache_miss.uncached"), 0);
+    // A dominant cause must be nameable from the counters alone.
+    let dominant = snap
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("anneal.cache_miss."))
+        .max_by_key(|(_, v)| **v)
+        .expect("at least one reason counter");
+    assert!(*dominant.1 > 0, "dominant cause {} is zero", dominant.0);
+}
+
+// ---------------------------------------------------------------- CLI --
+
+fn owan_cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_owan-cli"))
+}
+
+/// A bench report JSON with every key `perf diff` looks at.
+fn sample_report(scale: &str, fast_wall: f64, cores: usize) -> String {
+    format!(
+        concat!(
+            "{{\n\"scale\": \"{scale}\",\n\"commit\": \"test\",\n",
+            "\"cores\": {cores},\n",
+            "\"naive_wall_s\": 1.0,\n\"fast_wall_s\": {fw:.6},\n",
+            "\"naive_evals_per_s\": 100.0,\n\"fast_evals_per_s\": {rate:.2},\n",
+            "\"pipeline_naive_wall_s\": 2.0,\n\"pipeline_fast_wall_s\": 1.0,\n",
+            "\"pipeline_obs_wall_s\": 1.0,\n\"pipeline_scope_wall_s\": 1.02,\n",
+            "\"pipeline_prof_wall_s\": 1.01,\n\"pipeline_slots_per_s\": 6.0,\n",
+            "\"chains_seq_wall_s\": 1.0,\n\"chains_par_wall_s\": 0.5,\n",
+            "\"scope_overhead\": 0.02,\n\"prof_overhead\": 0.01\n}}\n"
+        ),
+        scale = scale,
+        cores = cores,
+        fw = fast_wall,
+        rate = 100.0 / fast_wall,
+    )
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every malformed `perf` invocation exits 2 — never silently succeeds.
+#[test]
+fn perf_cli_parser_is_strict() {
+    let dir = temp_dir("owan_prof_cli_strict");
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    std::fs::write(&a, sample_report("quick", 0.25, 4)).unwrap();
+    std::fs::write(&b, sample_report("quick", 0.25, 4)).unwrap();
+
+    // `perf` without the `diff` verb.
+    let out = owan_cli().arg("perf").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Too few / too many files.
+    let out = owan_cli().args(["perf", "diff"]).arg(&a).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = owan_cli()
+        .args(["perf", "diff"])
+        .args([&a, &b, &a])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Unknown flag must be fatal: a typo'd --gate can never turn a
+    // gating CI job into a no-op.
+    let out = owan_cli()
+        .args(["perf", "diff", "--gat"])
+        .args([&a, &b])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    // Bad threshold value.
+    let out = owan_cli()
+        .args(["perf", "diff", "--threshold", "bogus"])
+        .args([&a, &b])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Unreadable file is a runtime error, also exit 2.
+    let out = owan_cli()
+        .args(["perf", "diff"])
+        .arg(&a)
+        .arg(dir.join("missing.json"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The happy path prints the comparison table and exits 0; `--gate` on a
+/// regressed pair exits 1.
+#[test]
+fn perf_cli_diffs_reports_and_gates_regressions() {
+    let dir = temp_dir("owan_prof_cli_diff");
+    let a = dir.join("base.json");
+    let b = dir.join("slow.json");
+    std::fs::write(&a, sample_report("quick", 0.25, 4)).unwrap();
+    std::fs::write(&b, sample_report("quick", 0.60, 4)).unwrap();
+
+    // Identical pair: table, no regressions, exit 0 even with --gate.
+    let out = owan_cli()
+        .args(["perf", "diff", "--gate"])
+        .args([&a, &a])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fast_wall_s"), "{stdout}");
+
+    // 2.4x slower fast path: report-only exits 0, --gate exits 1.
+    let out = owan_cli()
+        .args(["perf", "diff"])
+        .args([&a, &b])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSED"));
+    let out = owan_cli()
+        .args(["perf", "diff", "--gate"])
+        .args([&a, &b])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // Scale mismatch is refused outright.
+    let c = dir.join("full.json");
+    std::fs::write(&c, sample_report("full", 0.25, 4)).unwrap();
+    let out = owan_cli()
+        .args(["perf", "diff"])
+        .args([&a, &c])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// `--prof FILE` writes a folded-stack file and `--prof-report` prints
+/// the region tree, end to end through the binary.
+#[test]
+fn prof_flags_write_folded_stacks_and_print_the_region_tree() {
+    let dir = temp_dir("owan_prof_cli_run");
+    let folded = dir.join("profile.folded");
+    let _ = std::fs::remove_file(&folded);
+
+    let run_args = [
+        "--net",
+        "internet2",
+        "--load",
+        "0.5",
+        "--duration",
+        "1200",
+        "--max-requests",
+        "4",
+        "--iters",
+        "10",
+    ];
+    let out = owan_cli()
+        .args(run_args)
+        .arg("--prof")
+        .arg(&folded)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&folded).unwrap();
+    assert!(
+        text.lines().any(|l| l.starts_with("slot")),
+        "folded stacks must root at slot:\n{text}"
+    );
+    for line in text.lines() {
+        let (_, value) = line.rsplit_once(' ').unwrap();
+        value.parse::<u64>().expect("self-time must be integer ns");
+    }
+
+    let out = owan_cli()
+        .args(run_args)
+        .arg("--prof-report")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for required in ["slot", "plan_slot", "anneal"] {
+        assert!(stdout.contains(required), "{stdout}");
+    }
+}
