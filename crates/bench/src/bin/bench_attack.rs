@@ -1,0 +1,68 @@
+//! Regenerates `BENCH_attack.json` — the adversarial-traffic recovery
+//! benchmark — and optionally gates on a checked-in baseline.
+//!
+//! ```text
+//! bench_attack [--quick] [--iters N] [--out FILE] [--check BASELINE]
+//! ```
+//!
+//! Runs coremelt and sustained flash-crowd attacks on the 40-site ISP
+//! backbone under the annealed Owan engine and the fixed-topology
+//! MaxFlow and SWAN baselines, auditing every slot with the oracle
+//! invariant checkers, and prints a flat JSON report with
+//! time-to-restore-90% and residual-loss keys per cell. `--out` writes
+//! the report to a file; `--check` compares against a baseline file and
+//! exits 1 on mismatch. Every number is a seeded deterministic
+//! simulation result, so the check is exact — no tolerance knob.
+
+use owan_bench::attack::{bench_attack, check_attack_against_baseline};
+use owan_bench::Scale;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args();
+    let label = if args.iter().any(|a| a == "--quick") {
+        "quick"
+    } else {
+        "full"
+    };
+
+    eprintln!(
+        "bench_attack: scale {label}, {} anneal iters",
+        scale.anneal_iterations
+    );
+    let report = bench_attack(&scale, label);
+    let json = report.to_json();
+    print!("{json}");
+
+    if let Some(path) = arg_value(&args, "--out") {
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("bench_attack: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("bench_attack: wrote {path}");
+    }
+
+    if let Some(baseline_path) = arg_value(&args, "--check") {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("bench_attack: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        match check_attack_against_baseline(&report, &baseline) {
+            Ok(summary) => {
+                eprintln!("bench_attack: OK, recovery matrix matches {baseline_path}:");
+                eprint!("{summary}");
+            }
+            Err(msg) => {
+                eprintln!("bench_attack: FAIL: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -18,17 +18,26 @@
 //!   state, blackholes circuits over undetected cuts, degrades to the
 //!   filtered previous topology when planning fails, and rebuilds the
 //!   engine from stored state after a crash;
-//! * **counters** ([`ChaosTelemetry`]) for all of the above on the
-//!   shared obs recorder.
+//! * an **adversarial traffic layer** ([`AttackTimeline`], [`run_attack`]):
+//!   coremelt, flash-crowd, and drift demand waves (generated in
+//!   `owan_workload::attack`) composed with the fault timeline as
+//!   slot-indexed demand deltas, with recovery measured against a
+//!   fault-free baseline ([`RecoveryMetrics`]);
+//! * **counters** ([`ChaosTelemetry`], [`AttackTelemetry`]) for all of
+//!   the above on the shared obs recorder.
 
+pub mod attack;
 pub mod fault;
 pub mod inject;
 pub mod runner;
 pub mod telemetry;
 
+pub use attack::{
+    recovery_metrics, run_attack, AttackOutcome, AttackTimeline, ComposedScenario, RecoveryMetrics,
+};
 pub use fault::{plants_equal, FaultEvent, FaultKind, FaultState};
 pub use inject::{seeded_scenario, ChaosSpec, OpFaultModel};
 pub use runner::{
     run_chaos, run_chaos_traced, AuditHook, ChaosConfig, ChaosResult, ChaosStats, SlotAudit,
 };
-pub use telemetry::ChaosTelemetry;
+pub use telemetry::{AttackTelemetry, ChaosTelemetry};

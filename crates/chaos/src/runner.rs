@@ -57,6 +57,13 @@ pub struct ChaosConfig {
     pub detection_delay_s: f64,
     /// Retry budget and backoff for failed update ops.
     pub retry: RetryPolicy,
+    /// Per-request adversarial flags aligned with the request list:
+    /// `true` marks injected attack traffic, which is excluded from the
+    /// background delivered accounting. Empty means all background.
+    pub attack_flags: Vec<bool>,
+    /// Network-layer links (normalized `u < v` site pairs) whose
+    /// utilization the runner tracks per slot on the achieved plan.
+    pub victim_links: Vec<(SiteId, SiteId)>,
 }
 
 impl Default for ChaosConfig {
@@ -67,6 +74,8 @@ impl Default for ChaosConfig {
             path_time_s: 0.1,
             detection_delay_s: 30.0,
             retry: RetryPolicy::default(),
+            attack_flags: Vec::new(),
+            victim_links: Vec::new(),
         }
     }
 }
@@ -105,6 +114,15 @@ pub struct ChaosResult {
     pub delivered_series: Vec<(f64, f64)>,
     /// Total delivered volume, gigabits.
     pub delivered_gbits: f64,
+    /// Delivered gigabits per slot for *background* transfers only —
+    /// those not flagged in [`ChaosConfig::attack_flags`]. Identical to
+    /// `delivered_series` when no attack flags are set.
+    pub background_series: Vec<(f64, f64)>,
+    /// Total background delivered volume, gigabits.
+    pub background_gbits: f64,
+    /// Per-slot peak utilization across [`ChaosConfig::victim_links`] on
+    /// the achieved plan (`load / capacity`; 0 when no victims tracked).
+    pub victim_util_series: Vec<(f64, f64)>,
     /// Absolute completion time of the last transfer, or simulation end.
     pub makespan_s: f64,
     /// Total scheduled update operations.
@@ -268,6 +286,9 @@ pub fn run_chaos_traced(
 
     let mut stats = ChaosStats::default();
     let mut delivered_series: Vec<(f64, f64)> = Vec::new();
+    let mut background_series: Vec<(f64, f64)> = Vec::new();
+    let mut victim_util_series: Vec<(f64, f64)> = Vec::new();
+    let is_attack = |id: usize| -> bool { config.attack_flags.get(id).copied().unwrap_or(false) };
     let mut makespan_s: f64 = 0.0;
     let mut update_ops = 0usize;
     let mut transition_loss_gbits = 0.0;
@@ -332,6 +353,8 @@ pub fn run_chaos_traced(
                 break;
             }
             delivered_series.push((now, 0.0));
+            background_series.push((now, 0.0));
+            victim_util_series.push((now, 0.0));
             continue;
         }
         slots += 1;
@@ -455,6 +478,7 @@ pub fn run_chaos_traced(
         // 7. Deliver on the achieved state, discounted by the transition
         // and any blackholes.
         let mut slot_delivered = 0.0;
+        let mut slot_background = 0.0;
         let mut got_rate = vec![false; transfers.len()];
         let mut per_delivered = scope_on.then(|| vec![0.0f64; transfers.len()]);
         for (ai, alloc) in achieved.allocations.iter().enumerate() {
@@ -499,11 +523,19 @@ pub fn run_chaos_traced(
                 t.remaining_gbits -= vol;
                 slot_delivered += vol;
             }
+            if !is_attack(alloc.transfer) {
+                slot_background += remaining_before - t.remaining_gbits;
+            }
             if let Some(delivered) = per_delivered.as_mut() {
                 delivered[alloc.transfer] += remaining_before - t.remaining_gbits;
             }
         }
         delivered_series.push((now, slot_delivered));
+        background_series.push((now, slot_background));
+        victim_util_series.push((
+            now,
+            victim_utilization(&achieved, &config.victim_links, theta),
+        ));
 
         // Starvation bookkeeping feeds the §3.2 guard in the engine.
         let mut queue_depth = 0usize;
@@ -599,17 +631,52 @@ pub fn run_chaos_traced(
         makespan_s = makespan_s.max(delivered_series.len() as f64 * config.slot_len_s);
     }
     let delivered_gbits = delivered_series.iter().map(|(_, g)| g).sum();
+    let background_gbits = background_series.iter().map(|(_, g)| g).sum();
 
     Ok(ChaosResult {
         completions: records,
         delivered_series,
         delivered_gbits,
+        background_series,
+        background_gbits,
+        victim_util_series,
         makespan_s,
         update_ops,
         transition_loss_gbits,
         stats,
         slots,
     })
+}
+
+/// Peak utilization across the tracked victim links on one achieved
+/// plan: summed path load over a link divided by its capacity in the
+/// achieved topology. A loaded link with zero achieved capacity counts
+/// as fully utilized (traffic is riding a link that no longer exists).
+fn victim_utilization(plan: &SlotPlan, victims: &[(SiteId, SiteId)], theta: f64) -> f64 {
+    if victims.is_empty() {
+        return 0.0;
+    }
+    let mut load: HashMap<(SiteId, SiteId), f64> = HashMap::new();
+    for alloc in &plan.allocations {
+        for (nodes, r) in &alloc.paths {
+            for w in nodes.windows(2) {
+                let key = (w[0].min(w[1]), w[0].max(w[1]));
+                *load.entry(key).or_insert(0.0) += *r;
+            }
+        }
+    }
+    let mut peak: f64 = 0.0;
+    for &(u, v) in victims {
+        let key = (u.min(v), u.max(v));
+        let l = load.get(&key).copied().unwrap_or(0.0);
+        let cap = plan.topology.multiplicity(key.0, key.1) as f64 * theta;
+        if cap > EPS {
+            peak = peak.max(l / cap);
+        } else if l > EPS {
+            peak = peak.max(1.0);
+        }
+    }
+    peak
 }
 
 /// Stable label for an active failure in flight-dump frames.

@@ -1,0 +1,144 @@
+//! Property tests for the adversarial traffic layer: same-seed schedule
+//! determinism, wave-order and attack⊕fault composition insensitivity,
+//! and conservation of the composed request set.
+
+use owan_chaos::{run_chaos, AttackTimeline, ChaosConfig, FaultEvent, FaultKind, OpFaultModel};
+use owan_core::{default_topology, OwanConfig, OwanEngine, TrafficEngineer, TransferRequest};
+use owan_obs::Recorder;
+use owan_optical::FiberPlant;
+use owan_workload::attack::{
+    coremelt, drift, flash_crowd, CoremeltConfig, DriftConfig, FlashCrowdConfig,
+};
+use proptest::prelude::*;
+
+fn net() -> owan_topo::Network {
+    owan_topo::internet2_testbed()
+}
+
+fn background() -> Vec<TransferRequest> {
+    vec![
+        TransferRequest {
+            src: 0,
+            dst: 3,
+            volume_gbits: 2_000.0,
+            arrival_s: 0.0,
+            deadline_s: None,
+        },
+        TransferRequest {
+            src: 2,
+            dst: 5,
+            volume_gbits: 1_500.0,
+            arrival_s: 300.0,
+            deadline_s: None,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed, same plant → bit-identical attack schedules for all
+    /// three generators.
+    #[test]
+    fn same_seed_means_identical_schedules(seed in 0u64..1_000) {
+        let net = net();
+        let cm = CoremeltConfig::new(seed, 300.0, 900.0);
+        prop_assert_eq!(coremelt(&net.plant, &cm), coremelt(&net.plant, &cm));
+        let fc = FlashCrowdConfig::new(seed, 600.0);
+        prop_assert_eq!(flash_crowd(&net.plant, &fc), flash_crowd(&net.plant, &fc));
+        let dr = DriftConfig::new(seed, 3_600.0, 0.5);
+        prop_assert_eq!(drift(&net, &dr), drift(&net, &dr));
+    }
+
+    /// Composition is insensitive to the order waves are handed to the
+    /// timeline, and conserves every request exactly once.
+    #[test]
+    fn compose_is_order_insensitive_and_conservative(
+        seed_a in 0u64..500,
+        seed_b in 500u64..1_000,
+        onset_a in 0usize..6,
+        onset_b in 0usize..6,
+    ) {
+        let net = net();
+        let wave_a = coremelt(
+            &net.plant,
+            &CoremeltConfig::new(seed_a, onset_a as f64 * 300.0, 900.0),
+        );
+        let wave_b = flash_crowd(
+            &net.plant,
+            &FlashCrowdConfig::new(seed_b, onset_b as f64 * 300.0),
+        );
+        let bg = background();
+        let ab = AttackTimeline::new(vec![wave_a.clone(), wave_b.clone()]).compose(&bg, 300.0);
+        let ba = AttackTimeline::new(vec![wave_b.clone(), wave_a.clone()]).compose(&bg, 300.0);
+        prop_assert_eq!(&ab, &ba);
+        let injected = wave_a.requests.len() + wave_b.requests.len();
+        prop_assert_eq!(ab.requests.len(), bg.len() + injected);
+        prop_assert_eq!(
+            ab.attack_flags.iter().filter(|&&f| f).count(),
+            injected
+        );
+        // Attack arrivals all sit on slot boundaries.
+        for (r, &flag) in ab.requests.iter().zip(&ab.attack_flags) {
+            if flag {
+                prop_assert!((r.arrival_s / 300.0).fract() == 0.0);
+            }
+        }
+    }
+
+    /// Attack ⊕ fault composition order doesn't matter: the fault list
+    /// may be assembled before or after (and around) the attack compose,
+    /// in any event order — the run is identical.
+    #[test]
+    fn attack_and_fault_composition_commutes(
+        seed in 0u64..64,
+        cut_slot in 1usize..5,
+    ) {
+        let net = net();
+        let wave = coremelt(&net.plant, &CoremeltConfig::new(seed, 300.0, 600.0));
+        let bg = background();
+        let composed = AttackTimeline::new(vec![wave]).compose(&bg, 300.0);
+        let cut_s = cut_slot as f64 * 300.0;
+        let events_fwd = vec![
+            FaultEvent::at(cut_s, FaultKind::FiberCut(1)),
+            FaultEvent::at(cut_s + 900.0, FaultKind::FiberRepaired(1)),
+        ];
+        let events_rev: Vec<FaultEvent> = events_fwd.iter().rev().copied().collect();
+        let config = ChaosConfig {
+            slot_len_s: 300.0,
+            max_slots: 10,
+            attack_flags: composed.attack_flags.clone(),
+            ..Default::default()
+        };
+        let run = |events: &[FaultEvent]| {
+            let mut factory = |p: &FiberPlant| {
+                let cfg = OwanConfig {
+                    anneal: owan_core::AnnealConfig {
+                        max_iterations: 20,
+                        seed: 3,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                Box::new(OwanEngine::new(default_topology(p), cfg))
+                    as Box<dyn TrafficEngineer>
+            };
+            run_chaos(
+                &net.plant,
+                &composed.requests,
+                &mut factory,
+                &config,
+                events,
+                &OpFaultModel::none(),
+                &Recorder::disabled(),
+                None,
+            )
+            .expect("chaos run")
+        };
+        let fwd = run(&events_fwd);
+        let rev = run(&events_rev);
+        prop_assert_eq!(fwd.delivered_series, rev.delivered_series);
+        prop_assert_eq!(fwd.background_series, rev.background_series);
+        prop_assert_eq!(fwd.stats, rev.stats);
+    }
+}

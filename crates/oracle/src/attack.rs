@@ -1,0 +1,240 @@
+//! Attack replay: adversarial demand waves composed with chaos fault
+//! timelines, driven through the hardened controller with every attacked
+//! slot audited by both invariant checkers.
+//!
+//! This is the traffic-adversity twin of [`crate::chaos`]: where
+//! [`fuzz_chaos`](crate::chaos::fuzz_chaos) sweeps physical-fault
+//! timelines, [`fuzz_attack`] additionally injects a seeded coremelt
+//! and/or flash-crowd wave into every scenario, so the oracle exercises
+//! exactly the composition the `owan-cli attack` subcommand runs —
+//! detection-delayed believed plant, op faults, controller crashes, and
+//! hostile demand, all at once.
+
+use crate::chaos::{chaos_events_for, ChaosReplayConfig};
+use crate::fuzz::Scenario;
+use crate::invariants::{check_plan, check_timeline};
+use crate::replay::ReplayFailure;
+use owan_chaos::{run_attack, AttackOutcome, AttackTimeline, ChaosConfig, OpFaultModel};
+use owan_core::{default_topology, AnnealConfig, OwanConfig, OwanEngine, TrafficEngineer};
+use owan_obs::Recorder;
+use owan_scope::ScopeRecorder;
+use owan_update::RetryPolicy;
+use owan_workload::attack::{coremelt, flash_crowd, AttackWave, CoremeltConfig, FlashCrowdConfig};
+
+/// Derives a deterministic attack timeline for a fuzz scenario: a
+/// coremelt wave, a flash-crowd wave, or both, by seed, with onsets in
+/// the first half of the horizon so recovery has room to show.
+pub fn attack_timeline_for(scenario: &Scenario) -> AttackTimeline {
+    let horizon = scenario.slot_len_s * scenario.max_slots as f64;
+    let mut waves: Vec<AttackWave> = Vec::new();
+    if scenario.seed % 3 != 1 {
+        let mut cm = CoremeltConfig::new(scenario.seed ^ 0xC0DE, 0.2 * horizon, 0.4 * horizon);
+        // Fuzz plants are small rings; one target and modest intensity
+        // keep the surge within what invariant-checked plans can carry.
+        cm.target_fibers = 1;
+        cm.pairs_per_fiber = 2;
+        cm.intensity = 1.0;
+        waves.push(coremelt(&scenario.plant, &cm));
+    }
+    if scenario.seed % 3 != 2 {
+        let mut fc = FlashCrowdConfig::new(scenario.seed ^ 0xF1A5, 0.3 * horizon);
+        fc.sources = 3;
+        fc.ramp_s = scenario.slot_len_s;
+        fc.hold_s = 2.0 * scenario.slot_len_s;
+        fc.decay_s = scenario.slot_len_s;
+        fc.bucket_s = scenario.slot_len_s;
+        waves.push(flash_crowd(&scenario.plant, &fc));
+    }
+    AttackTimeline::new(waves)
+}
+
+/// What a clean attack replay covered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttackReplayStats {
+    /// Slots the hardened controller planned in (attacked run).
+    pub slots: usize,
+    /// Plans checked with [`check_plan`].
+    pub plans_checked: usize,
+    /// Update schedules checked with [`check_timeline`].
+    pub updates_checked: usize,
+    /// Attack waves composed into the scenario.
+    pub waves: usize,
+    /// Post-onset slots in the restored state.
+    pub restored_slots: u64,
+    /// True when background delivery recovered to the target fraction
+    /// and held to the end of the horizon.
+    pub recovered: bool,
+}
+
+/// Replays one fuzz scenario with its derived attack timeline composed
+/// into the fault timeline, auditing every attacked slot.
+pub fn replay_attack_scenario(
+    scenario: &Scenario,
+    config: &ChaosReplayConfig,
+) -> Result<AttackReplayStats, ReplayFailure> {
+    replay_attack_scenario_traced(
+        scenario,
+        config,
+        &Recorder::disabled(),
+        &ScopeRecorder::disabled(),
+    )
+}
+
+/// [`replay_attack_scenario`] with observability attached: invariant
+/// checks count on `recorder` (`oracle.invariant_checked` /
+/// `oracle.invariant_violated`), attack counters land under
+/// `chaos.attack.*`, and the hardened loop's timeline flows into `scope`.
+pub fn replay_attack_scenario_traced(
+    scenario: &Scenario,
+    config: &ChaosReplayConfig,
+    recorder: &Recorder,
+    scope: &ScopeRecorder,
+) -> Result<AttackReplayStats, ReplayFailure> {
+    let timeline = attack_timeline_for(scenario);
+    let events = chaos_events_for(scenario);
+    let op_faults = OpFaultModel {
+        seed: scenario.seed,
+        timeout_prob: config.timeout_prob,
+        fail_prob: config.fail_prob,
+    };
+    let chaos_config = ChaosConfig {
+        slot_len_s: scenario.slot_len_s,
+        max_slots: scenario.max_slots,
+        detection_delay_s: config.detection_delay_s,
+        retry: RetryPolicy::default(),
+        ..Default::default()
+    };
+    let seed = scenario.seed;
+    let iterations = config.anneal_iterations;
+    let mut make_engine = move |plant: &owan_optical::FiberPlant| {
+        let owan_config = OwanConfig {
+            anneal: AnnealConfig {
+                max_iterations: iterations,
+                seed: seed.wrapping_add(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        Box::new(OwanEngine::new(default_topology(plant), owan_config)) as Box<dyn TrafficEngineer>
+    };
+
+    let checked = recorder.counter("oracle.invariant_checked");
+    let violated = recorder.counter("oracle.invariant_violated");
+    let mut plans_checked = 0usize;
+    let mut updates_checked = 0usize;
+    let mut audit = |a: &owan_chaos::SlotAudit| -> Result<(), String> {
+        checked.add(1);
+        if let Err(v) = check_plan(a.believed_plant, a.transfers, a.slot_len_s, a.plan) {
+            violated.add(1);
+            scope.anomaly("oracle.invariant_violated", a.slot);
+            return Err(format!("slot plan: {v}"));
+        }
+        plans_checked += 1;
+        if let (Some(delta), Some(update)) = (a.delta, a.update) {
+            checked.add(1);
+            if let Err(v) = check_timeline(delta, update, &a.params) {
+                violated.add(1);
+                scope.anomaly("oracle.invariant_violated", a.slot);
+                return Err(format!("update: {v}"));
+            }
+            updates_checked += 1;
+        }
+        Ok(())
+    };
+
+    let outcome: AttackOutcome = run_attack(
+        &scenario.plant,
+        &scenario.requests,
+        &timeline,
+        &mut make_engine,
+        &chaos_config,
+        0.9,
+        &events,
+        &op_faults,
+        recorder,
+        scope,
+        Some(&mut audit),
+    )
+    .map_err(|message| ReplayFailure { slot: 0, message })?;
+
+    Ok(AttackReplayStats {
+        slots: outcome.attacked.slots,
+        plans_checked,
+        updates_checked,
+        waves: timeline.waves().len(),
+        restored_slots: outcome.metrics.restored_slots,
+        recovered: outcome.metrics.time_to_restore_slots.is_some(),
+    })
+}
+
+/// Aggregate coverage of a clean attack fuzz sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttackFuzzStats {
+    /// Scenarios replayed.
+    pub scenarios: usize,
+    /// Total slots planned across all attacked runs.
+    pub slots: usize,
+    /// Total plans checked.
+    pub plans_checked: usize,
+    /// Total update schedules checked.
+    pub updates_checked: usize,
+    /// Total attack waves composed.
+    pub waves: usize,
+    /// Scenarios whose background delivery recovered to the bar.
+    pub recovered: usize,
+}
+
+/// Sweeps `count` seeds starting at `start` through attack replay. On a
+/// violation, returns the failing seed with the failure.
+pub fn fuzz_attack(
+    start: u64,
+    count: u64,
+    config: &ChaosReplayConfig,
+) -> Result<AttackFuzzStats, (u64, ReplayFailure)> {
+    fuzz_attack_observed(start, count, config, &Recorder::disabled())
+}
+
+/// [`fuzz_attack`] with every invariant check counted on `recorder`.
+pub fn fuzz_attack_observed(
+    start: u64,
+    count: u64,
+    config: &ChaosReplayConfig,
+    recorder: &Recorder,
+) -> Result<AttackFuzzStats, (u64, ReplayFailure)> {
+    let mut stats = AttackFuzzStats::default();
+    for seed in start..start + count {
+        let scenario = Scenario::generate(seed);
+        let s =
+            replay_attack_scenario_traced(&scenario, config, recorder, &ScopeRecorder::disabled())
+                .map_err(|f| (seed, f))?;
+        stats.scenarios += 1;
+        stats.slots += s.slots;
+        stats.plans_checked += s.plans_checked;
+        stats.updates_checked += s.updates_checked;
+        stats.waves += s.waves;
+        stats.recovered += s.recovered as usize;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_timeline_is_deterministic_per_scenario() {
+        let s = Scenario::generate(21);
+        assert_eq!(attack_timeline_for(&s), attack_timeline_for(&s));
+        assert!(!attack_timeline_for(&s).waves().is_empty());
+    }
+
+    #[test]
+    fn single_attack_replay_is_clean() {
+        let s = Scenario::generate(4);
+        let stats = replay_attack_scenario(&s, &ChaosReplayConfig::default())
+            .unwrap_or_else(|f| panic!("seed 4 violated: {f}"));
+        assert!(stats.plans_checked > 0);
+        assert_eq!(stats.plans_checked, stats.slots);
+        assert!(stats.waves > 0);
+    }
+}

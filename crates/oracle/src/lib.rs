@@ -26,6 +26,7 @@
 //!    checked; a divergence is shrunk to a minimal [`Reproducer`] whose
 //!    seed regenerates it exactly.
 
+pub mod attack;
 pub mod chaos;
 pub mod exact;
 pub mod fuzz;
@@ -33,6 +34,10 @@ pub mod invariants;
 pub mod lp;
 pub mod replay;
 
+pub use attack::{
+    attack_timeline_for, fuzz_attack, fuzz_attack_observed, replay_attack_scenario,
+    replay_attack_scenario_traced, AttackFuzzStats, AttackReplayStats,
+};
 pub use chaos::{
     chaos_events_for, fuzz_chaos, fuzz_chaos_observed, replay_chaos_scenario,
     replay_chaos_scenario_traced, ChaosFuzzStats, ChaosReplayConfig, ChaosReplayStats,

@@ -78,6 +78,23 @@ pub fn render_top(snapshot: &Snapshot, elapsed_s: f64) -> String {
         out.push_str(&format_counter_rows(&rows));
     }
 
+    // Adversarial-traffic counters (`owan-cli attack` runs): same table
+    // renderer, only shown when an attack actually injected something.
+    let attack_keys = [
+        ("attack waves", "chaos.attack.waves"),
+        ("attack slots", "chaos.attack.active_slots"),
+        ("attack injected Gb", "chaos.attack.injected_gbits"),
+        ("attack victim links", "chaos.attack.victim_links"),
+        ("attack restored slots", "chaos.attack.restored_slots"),
+    ];
+    if attack_keys.iter().any(|(_, k)| counter(snapshot, k) > 0) {
+        let rows: Vec<(&str, u64)> = attack_keys
+            .iter()
+            .map(|&(label, key)| (label, counter(snapshot, key)))
+            .collect();
+        out.push_str(&format_counter_rows(&rows));
+    }
+
     let oracle_checked = counter(snapshot, "oracle.invariant_checked");
     if oracle_checked > 0 {
         let _ = writeln!(
@@ -137,6 +154,20 @@ mod tests {
             .find(|l| l.starts_with("chaos blackholed"))
             .expect("chaos table row");
         assert!(row.trim_end().ends_with('3'), "{row}");
+    }
+
+    #[test]
+    fn attack_section_appears_with_counters() {
+        let rec = Recorder::enabled();
+        rec.counter("chaos.attack.waves").add(2);
+        rec.counter("chaos.attack.injected_gbits").add(43_200_000);
+        let text = render_top(&rec.snapshot(), 0.0);
+        let row = text
+            .lines()
+            .find(|l| l.starts_with("attack waves"))
+            .expect("attack table row");
+        assert!(row.trim_end().ends_with('2'), "{row}");
+        assert!(text.contains("attack injected Gb"));
     }
 
     #[test]

@@ -258,8 +258,10 @@ pub struct ScheduledOp {
     /// End time.
     pub end_s: f64,
     /// True if the scheduler had to force-start the operation to break a
-    /// resource deadlock (Dionysus resolves these by rate reduction; we
-    /// surface them instead — none of the shipped experiments trigger it).
+    /// resource deadlock. Path removals are forced first (Dionysus-style
+    /// rate reduction: the transfer loses throughput until its new paths
+    /// fit, which is always safe); other kinds are forced only when no
+    /// removal is pending.
     pub forced: bool,
 }
 
@@ -301,10 +303,20 @@ impl UpdatePlan {
     }
 }
 
-/// Mutable resource state the scheduler tracks.
+/// Mutable resource state the scheduler tracks. Link load is kept in two
+/// views that bracket the true instantaneous load:
+///
+/// * **reserved** — a path's rate is claimed when its install *starts*
+///   and released when its removal *starts*. This is the admission view:
+///   two installs that each fit alone cannot jointly oversubscribe a
+///   link, because the first one's reservation is visible to the second.
+/// * **carried** — a path's rate counts while traffic actually flows:
+///   from install *end* until removal *end*. This is what the wire sees;
+///   a teardown must not go dark under it.
 struct SchedState {
     link_circuits: HashMap<(SiteId, SiteId), u32>,
-    link_load: HashMap<(SiteId, SiteId), f64>,
+    reserved_load: HashMap<(SiteId, SiteId), f64>,
+    carried_load: HashMap<(SiteId, SiteId), f64>,
     fiber_free: HashMap<FiberId, u32>,
 }
 
@@ -317,13 +329,29 @@ impl SchedState {
         *self.link_circuits.get(&Self::key(u, v)).unwrap_or(&0)
     }
 
-    fn load(&self, u: SiteId, v: SiteId) -> f64 {
-        *self.link_load.get(&Self::key(u, v)).unwrap_or(&0.0)
+    fn reserved(&self, u: SiteId, v: SiteId) -> f64 {
+        *self.reserved_load.get(&Self::key(u, v)).unwrap_or(&0.0)
     }
 
-    fn add_load(&mut self, nodes: &[SiteId], rate: f64) {
+    fn carried(&self, u: SiteId, v: SiteId) -> f64 {
+        *self.carried_load.get(&Self::key(u, v)).unwrap_or(&0.0)
+    }
+
+    fn add_reserved(&mut self, nodes: &[SiteId], rate: f64) {
         for w in nodes.windows(2) {
-            *self.link_load.entry(Self::key(w[0], w[1])).or_insert(0.0) += rate;
+            *self
+                .reserved_load
+                .entry(Self::key(w[0], w[1]))
+                .or_insert(0.0) += rate;
+        }
+    }
+
+    fn add_carried(&mut self, nodes: &[SiteId], rate: f64) {
+        for w in nodes.windows(2) {
+            *self
+                .carried_load
+                .entry(Self::key(w[0], w[1]))
+                .or_insert(0.0) += rate;
         }
     }
 }
@@ -369,12 +397,14 @@ fn plan_consistent_inner(delta: &NetworkDelta, params: &UpdateParams) -> UpdateP
     let theta = params.theta_gbps;
     let mut state = SchedState {
         link_circuits: delta.initial_circuits.clone(),
-        link_load: HashMap::new(),
+        reserved_load: HashMap::new(),
+        carried_load: HashMap::new(),
         fiber_free: delta.fiber_free.clone(),
     };
     // Initial load: unchanged + to-be-removed paths carry traffic now.
     for p in delta.unchanged_paths.iter().chain(&delta.removed_paths) {
-        state.add_load(&p.nodes, p.rate_gbps);
+        state.add_reserved(&p.nodes, p.rate_gbps);
+        state.add_carried(&p.nodes, p.rate_gbps);
     }
 
     #[derive(Clone, Copy, PartialEq)]
@@ -425,9 +455,12 @@ fn plan_consistent_inner(delta: &NetworkDelta, params: &UpdateParams) -> UpdateP
             }
             OpKind::TeardownCircuit(i) => {
                 let c = &delta.removed_circuits[i];
-                // Removing one circuit must not strand live traffic.
-                state.load(c.u, c.v)
-                    <= (state.circuits(c.u, c.v).saturating_sub(1)) as f64 * theta + EPS
+                // Removing one circuit must not strand live traffic: the
+                // remaining capacity must cover both the wire-visible load
+                // (in-flight removals still carry until they complete) and
+                // the reserved load (in-flight installs land later).
+                let cap = (state.circuits(c.u, c.v).saturating_sub(1)) as f64 * theta + EPS;
+                state.carried(c.u, c.v) <= cap && state.reserved(c.u, c.v) <= cap
             }
             OpKind::SetupCircuit(i) => {
                 let c = &delta.added_circuits[i];
@@ -436,9 +469,14 @@ fn plan_consistent_inner(delta: &NetworkDelta, params: &UpdateParams) -> UpdateP
                     .all(|f| *state.fiber_free.get(f).unwrap_or(&0) > 0)
             }
             OpKind::AddPath(i) => {
+                // Admission is against the reserved view, so concurrent
+                // installs cannot jointly oversubscribe a link. (An install
+                // that starts while a removal is in flight is safe: both
+                // take `path_time_s`, so the new traffic cannot land before
+                // the old traffic is gone.)
                 let p = &delta.added_paths[i];
                 p.nodes.windows(2).all(|w| {
-                    state.load(w[0], w[1]) + p.rate_gbps
+                    state.reserved(w[0], w[1]) + p.rate_gbps
                         <= state.circuits(w[0], w[1]) as f64 * theta + EPS
                 })
             }
@@ -448,9 +486,10 @@ fn plan_consistent_inner(delta: &NetworkDelta, params: &UpdateParams) -> UpdateP
     // Effects applied at op start (resource reservation / traffic off).
     let apply_start = |k: OpKind, state: &mut SchedState| match k {
         OpKind::RemovePath(i) => {
-            // Sending stops as soon as the removal begins.
+            // Sending stops as soon as the removal begins; the reservation
+            // is released now, the carried view at completion.
             let p = &delta.removed_paths[i];
-            state.add_load(&p.nodes, -p.rate_gbps);
+            state.add_reserved(&p.nodes, -p.rate_gbps);
         }
         OpKind::TeardownCircuit(i) => {
             // The circuit goes dark at start.
@@ -467,11 +506,19 @@ fn plan_consistent_inner(delta: &NetworkDelta, params: &UpdateParams) -> UpdateP
                 *e = e.saturating_sub(1);
             }
         }
-        OpKind::AddPath(_) => {}
+        OpKind::AddPath(i) => {
+            // Reserve the capacity the moment the install starts.
+            let p = &delta.added_paths[i];
+            state.add_reserved(&p.nodes, p.rate_gbps);
+        }
     };
     // Effects applied at op end.
     let apply_end = |k: OpKind, state: &mut SchedState| match k {
-        OpKind::RemovePath(_) => {}
+        OpKind::RemovePath(i) => {
+            // The old traffic is off the wire once the removal completes.
+            let p = &delta.removed_paths[i];
+            state.add_carried(&p.nodes, -p.rate_gbps);
+        }
         OpKind::TeardownCircuit(i) => {
             // Wavelengths are free once the teardown completes.
             let c = &delta.removed_circuits[i];
@@ -488,7 +535,7 @@ fn plan_consistent_inner(delta: &NetworkDelta, params: &UpdateParams) -> UpdateP
         }
         OpKind::AddPath(i) => {
             let p = &delta.added_paths[i];
-            state.add_load(&p.nodes, p.rate_gbps);
+            state.add_carried(&p.nodes, p.rate_gbps);
         }
     };
 
@@ -554,10 +601,20 @@ fn plan_consistent_inner(delta: &NetworkDelta, params: &UpdateParams) -> UpdateP
         if next_end.is_finite() {
             now = next_end;
         } else if !started_any {
-            // Deadlock: force the first pending op.
+            // Deadlock. Dionysus breaks these by rate reduction; forcing a
+            // path removal is exactly that — the transfer loses throughput
+            // until its replacement paths fit, but taking traffic *off* a
+            // link can never overload or blackhole anything. Only when no
+            // removal is pending does the first pending op get forced.
             let idx = status
                 .iter()
-                .position(|&s| s == Status::Pending)
+                .enumerate()
+                .filter(|&(_, &s)| s == Status::Pending)
+                .min_by_key(|&(i, _)| match all_ops[i] {
+                    OpKind::RemovePath(_) => (0, i),
+                    _ => (1, i),
+                })
+                .map(|(i, _)| i)
                 .expect("pending op exists");
             status[idx] = Status::Running;
             start_times[idx] = now;

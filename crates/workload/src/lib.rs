@@ -17,6 +17,13 @@ use owan_topo::Network;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+pub mod attack;
+
+pub use attack::{
+    coremelt, coremelt_targets, drift, fiber_betweenness, flash_crowd, AttackKind, AttackWave,
+    CoremeltConfig, DriftConfig, FlashCrowdConfig,
+};
+
 /// Fraction of the network's port capacity that the λ = 1 workload demands
 /// on average over the generation window. The paper's absolute traffic
 /// volumes are proprietary; this constant calibrates "load factor 1" to a
@@ -105,13 +112,31 @@ impl WorkloadConfig {
 }
 
 /// Generates a workload for `network`, sorted by arrival time.
+///
+/// A zero load factor is a valid (empty) workload: attack scenarios run
+/// windows with no background demand at all, and those must generate an
+/// empty request list rather than panic.
 pub fn generate(network: &Network, config: &WorkloadConfig) -> Vec<TransferRequest> {
+    generate_weighted(network, config, &network.site_weights())
+}
+
+/// [`generate`] with an explicit per-site demand weight vector replacing
+/// `network.site_weights()`. The drift generator rotates this vector
+/// phase by phase to move demand around the network.
+pub fn generate_weighted(
+    network: &Network,
+    config: &WorkloadConfig,
+    weights: &[f64],
+) -> Vec<TransferRequest> {
     assert!(config.duration_s > 0.0);
     assert!(config.mean_size_gbits > 0.0);
-    assert!(config.load_factor > 0.0);
+    assert!(config.load_factor >= 0.0);
+    assert_eq!(weights.len(), network.plant.site_count());
+    if config.load_factor == 0.0 {
+        return Vec::new();
+    }
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let weights = network.site_weights();
     let weight_sum: f64 = weights.iter().sum();
     assert!(weight_sum > 0.0, "network has no demand weights");
 
@@ -314,17 +339,27 @@ mod tests {
         let base = generate(&net, &WorkloadConfig::simulation(1.0, 9));
         let hot = generate(&net, &WorkloadConfig::simulation(1.0, 9).with_hotspots());
         let top_share = |reqs: &[owan_core::TransferRequest]| -> f64 {
+            if reqs.is_empty() {
+                return 0.0;
+            }
             let mut counts = vec![0usize; net.plant.site_count()];
             for r in reqs {
                 counts[r.src] += 1;
             }
-            let max = *counts.iter().max().unwrap();
+            let max = counts.iter().max().copied().unwrap_or(0);
             max as f64 / reqs.len() as f64
         };
         assert!(
             top_share(&hot) > top_share(&base),
             "hotspot model should concentrate sources"
         );
+    }
+
+    #[test]
+    fn zero_load_factor_is_an_empty_workload() {
+        let net = internet2_testbed();
+        let reqs = generate(&net, &WorkloadConfig::testbed(0.0, 42));
+        assert!(reqs.is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! owan-cli top [RUN OPTIONS] [--interval SECS]
 //! owan-cli verify [VERIFY OPTIONS]
 //! owan-cli chaos [CHAOS OPTIONS]
+//! owan-cli attack [ATTACK OPTIONS]
 //! owan-cli perf diff A.json B.json [--threshold F] [--gate]
 //! ```
 //!
@@ -26,6 +27,11 @@
 //! output. `perf diff` compares two `bench_anneal` JSON reports phase by
 //! phase with noise-aware thresholds; `--gate` exits 1 on regression.
 //!
+//! `attack` composes adversarial traffic (coremelt, flash crowd, drift)
+//! with the chaos fault machinery and measures recovery — delivered-volume
+//! and victim-utilization timelines, time-to-restore against a fault-free
+//! baseline — for the annealed engine or any fixed-topology baseline.
+//!
 //! `verify` replays fuzzed or named-network scenarios through the real
 //! controller with every cross-layer invariant checked each slot. On
 //! divergence it exits 1 and prints (or writes, with `--out`) a minimized
@@ -39,7 +45,8 @@
 //! `cargo run --release --bin owan-cli -- --net internet2 --engine owan --load 1.5`
 
 use owan::chaos::{
-    run_chaos, run_chaos_traced, seeded_scenario, ChaosConfig, ChaosResult, OpFaultModel, SlotAudit,
+    run_attack, run_chaos, run_chaos_traced, seeded_scenario, AttackOutcome, AttackTimeline,
+    ChaosConfig, ChaosResult, OpFaultModel, SlotAudit,
 };
 use owan::core::{
     default_topology, AnnealConfig, OwanConfig, OwanEngine, Profiler, SchedulingPolicy,
@@ -47,14 +54,17 @@ use owan::core::{
 };
 use owan::obs::{format_counter_table, format_stage_table, Recorder};
 use owan::oracle::{
-    check_plan, check_timeline, fuzz_chaos_observed, fuzz_seeds_observed, replay_scenario_observed,
-    ChaosReplayConfig, ReplayConfig, Reproducer, Scenario,
+    check_plan, check_timeline, fuzz_attack_observed, fuzz_chaos_observed, fuzz_seeds_observed,
+    replay_scenario_observed, ChaosReplayConfig, ReplayConfig, Reproducer, Scenario,
 };
 use owan::scope::{render_top, FlightDump, MetricsServer, ScopeConfig, ScopeRecorder};
 use owan::sim::metrics::{self, SizeBin};
 use owan::sim::runner::{run_engine_profiled, run_engine_traced, EngineKind, RunnerConfig};
 use owan::sim::SimConfig;
 use owan::topo::{inter_dc, internet2_testbed, isp_backbone, Network};
+use owan::workload::attack::{
+    coremelt, drift, flash_crowd, CoremeltConfig, DriftConfig, FlashCrowdConfig,
+};
 use owan::workload::{generate, WorkloadConfig};
 use std::path::PathBuf;
 
@@ -63,6 +73,7 @@ const USAGE: &str = "usage: owan-cli [OPTIONS]
        owan-cli top [OPTIONS] [--interval SECS]
        owan-cli verify [OPTIONS]
        owan-cli chaos [OPTIONS]
+       owan-cli attack [OPTIONS]
        owan-cli perf diff A.json B.json [--threshold F] [--gate]
 
 run options:
@@ -117,6 +128,9 @@ verify options (modes are mutually exclusive; default is --seeds):
   --chaos             fuzz seeds through the hardened chaos controller
                       (cuts+repairs, op faults, crashes) instead of the
                       fault-free loop; failures name the seed directly
+  --attack            fuzz seeds with adversarial traffic (coremelt and/or
+                      flash-crowd waves) composed into each chaos scenario;
+                      failures name the seed directly
 
 verify exits 0 when every invariant holds on every slot, 1 on divergence
 (printing the minimized reproducer), 2 on bad arguments.
@@ -143,6 +157,44 @@ controller crash + repairs) through the hardened controller twice — once
 fault-free, once with faults — checking every cross-layer invariant each
 slot, and reports the delivered-volume loss. Exits 0 when all invariants
 hold and the runs are deterministic, 1 otherwise, 2 on bad arguments.
+
+attack options:
+  --net NAME          evaluation network: internet2 | isp | interdc  [isp]
+  --engine NAME       owan | maxflow | maxmin | swan | tempus | amoeba | greedy  [owan]
+  --attack NAME       coremelt | flashcrowd | drift | mix  [coremelt]
+  --seed N            workload + attack + annealing seed  [42]
+  --load L            background workload load factor lambda  [0.4]
+  --slot SECS         slot length, seconds  [300]
+  --slots N           horizon, slots  [40]
+  --duration SECS     background arrival window, seconds  [min(horizon, 7200)]
+  --max-requests N    truncate the background workload to N transfers  [200]
+  --iters N           annealing iterations per slot  [60]
+  --onset SECS        attack onset  [4 slots]
+  --attack-duration S coremelt / drift window length, seconds  [6 slots]
+  --intensity F       coremelt demand as a multiple of victim capacity  [1.5]
+  --target-fibers N   coremelt: max-betweenness fibers to saturate  [2]
+  --pairs-per-fiber N coremelt: adversarial src/dst pairs per fiber  [3]
+  --sources N         flash crowd: sites surging onto the victim  [6]
+  --peak-gbps F       flash crowd: aggregate peak rate (0 = 2x victim ports)  [0]
+  --hold SECS         flash crowd: time held at peak  [1200]
+  --restore F         recovery bar, fraction of baseline delivery  [0.9]
+  --with-faults       compose the seeded chaos fault timeline and op faults
+                      into the attacked run
+  --detect SECS       fault detection delay, seconds  [30]
+  --timeout-prob P    per-attempt update-op timeout probability  [0.1]
+  --fail-prob P       per-attempt update-op failure probability  [0.05]
+  --timeline          print the per-slot recovery timeline rows
+  --obs FILE.jsonl    export telemetry (chaos.attack.* counters included)
+  --scope / --scope-slots / --scope-dump / --scope-trace   as in chaos
+
+attack derives an adversarial timeline from the seed, composes it (and,
+with --with-faults, the seeded fault scenario) into the background
+workload, and runs the hardened controller twice — attack-free and
+attacked — checking every cross-layer invariant each slot. It reports
+time-to-restore (slots until cumulative background delivery is back to
+--restore of baseline and stays there), residual loss, and peak victim
+utilization. Exits 0 when all invariants hold and the runs are
+deterministic, 1 otherwise, 2 on bad arguments.
 
 perf diff options:
   --threshold F       relative change (fraction) a metric must move in the
@@ -488,6 +540,35 @@ fn verify_main(args: &Args) -> ! {
 
     let count = args.parse("--seeds", 200u64);
     let start = args.parse("--start", 0u64);
+    if args.flag("--attack") {
+        eprintln!(
+            "attack-fuzzing seeds {start}..{} with {iters} anneal iters",
+            start + count
+        );
+        let chaos_config = ChaosReplayConfig {
+            anneal_iterations: iters,
+            ..Default::default()
+        };
+        match fuzz_attack_observed(start, count, &chaos_config, &recorder) {
+            Ok(stats) => {
+                println!(
+                    "OK: {} attack scenarios replayed clean ({} slots, {} plans, {} update \
+                     schedules checked, {} waves, {} recovered)",
+                    stats.scenarios,
+                    stats.slots,
+                    stats.plans_checked,
+                    stats.updates_checked,
+                    stats.waves,
+                    stats.recovered
+                );
+                write_obs(" verify", &recorder, &obs_path);
+                std::process::exit(0);
+            }
+            // Attack scenarios regenerate deterministically from the
+            // seed, so the seed itself is the reproducer.
+            Err((seed, f)) => fail(&format!("attack seed {seed}: {f}"), None),
+        }
+    }
     if args.flag("--chaos") {
         eprintln!(
             "chaos-fuzzing seeds {start}..{} with {iters} anneal iters",
@@ -922,6 +1003,342 @@ fn chaos_main(args: &Args) -> ! {
     std::process::exit(if violations == 0 { 0 } else { 1 });
 }
 
+/// `owan-cli attack`: adversarial traffic end to end. Derives a
+/// coremelt / flash-crowd / drift timeline from the seed, composes it
+/// (plus, with `--with-faults`, the seeded fault scenario) into a
+/// background workload, runs the hardened controller attack-free and
+/// attacked with every slot audited, and reports the recovery metrics:
+/// time-to-restore against the baseline, residual background loss, and
+/// peak victim-link utilization.
+fn attack_main(args: &Args) -> ! {
+    let net_name = args.get("--net").unwrap_or("isp").to_string();
+    let network = build_network(" attack", &net_name);
+    let engine_name = args.get("--engine").unwrap_or("owan").to_string();
+    let kind = match engine_name.as_str() {
+        "owan" => EngineKind::Owan,
+        "maxflow" => EngineKind::MaxFlow,
+        "maxmin" => EngineKind::MaxMinFract,
+        "swan" => EngineKind::Swan,
+        "tempus" => EngineKind::Tempus,
+        "amoeba" => EngineKind::Amoeba,
+        "greedy" => EngineKind::Greedy,
+        other => {
+            eprintln!("owan-cli attack: unknown engine '{other}' for --engine");
+            std::process::exit(2);
+        }
+    };
+    let attack_name = args.get("--attack").unwrap_or("coremelt").to_string();
+    let seed = args.parse("--seed", 42u64);
+    let load = args.parse("--load", 0.4f64);
+    let slot = args.parse("--slot", 300.0f64);
+    let slots = args.parse("--slots", 40usize);
+    let iters = args.parse("--iters", 60usize);
+    let horizon = slot * slots as f64;
+    let onset = args.parse("--onset", 4.0 * slot);
+    let attack_dur = args.parse("--attack-duration", 6.0 * slot);
+    let intensity = args.parse("--intensity", 1.5f64);
+    let target_fibers = args.parse("--target-fibers", 2usize);
+    let pairs_per_fiber = args.parse("--pairs-per-fiber", 3usize);
+    let sources = args.parse("--sources", 6usize);
+    let peak_gbps = args.parse("--peak-gbps", 0.0f64);
+    let hold_s = args.parse("--hold", 1_200.0f64);
+    let restore = args.parse("--restore", 0.9f64);
+    let max_requests = args.parse("--max-requests", 200usize);
+    let with_faults = args.flag("--with-faults");
+    let detect = args.parse("--detect", 30.0f64);
+    let timeout_prob = args.parse("--timeout-prob", 0.1f64);
+    let fail_prob = args.parse("--fail-prob", 0.05f64);
+    let timeline_rows = args.flag("--timeline");
+    let obs_path = args.get("--obs").map(str::to_string);
+    let scope_dump = args.get("--scope-dump").map(str::to_string);
+    let scope_trace = args.get("--scope-trace").map(str::to_string);
+    let scope_on = args.flag("--scope") || scope_dump.is_some() || scope_trace.is_some();
+    let flight_slots = args.parse("--scope-slots", 16usize);
+    if !(restore > 0.0 && restore <= 1.0) {
+        eprintln!("owan-cli attack: --restore must be in (0, 1]");
+        std::process::exit(2);
+    }
+
+    let mut wl = if net_name == "internet2" {
+        WorkloadConfig::testbed(load, seed)
+    } else {
+        WorkloadConfig::simulation(load, seed)
+    };
+    wl.duration_s = args.parse("--duration", horizon.min(7_200.0));
+    let mut requests = generate(&network, &wl);
+    requests.truncate(max_requests);
+
+    let coremelt_cfg = || {
+        let mut cm = CoremeltConfig::new(seed, onset, attack_dur);
+        cm.intensity = intensity;
+        cm.target_fibers = target_fibers;
+        cm.pairs_per_fiber = pairs_per_fiber;
+        cm
+    };
+    let flash_cfg = |seed: u64, onset: f64| {
+        let mut fc = FlashCrowdConfig::new(seed, onset);
+        fc.sources = sources;
+        fc.peak_gbps = peak_gbps;
+        fc.hold_s = hold_s;
+        fc
+    };
+    let timeline = match attack_name.as_str() {
+        "coremelt" => AttackTimeline::new(vec![coremelt(&network.plant, &coremelt_cfg())]),
+        "flashcrowd" => {
+            AttackTimeline::new(vec![flash_crowd(&network.plant, &flash_cfg(seed, onset))])
+        }
+        "drift" => {
+            let mut dr = DriftConfig::new(seed, attack_dur, load);
+            dr.start_s = onset;
+            AttackTimeline::new(vec![drift(&network, &dr)])
+        }
+        "mix" => AttackTimeline::new(vec![
+            coremelt(&network.plant, &coremelt_cfg()),
+            flash_crowd(
+                &network.plant,
+                &flash_cfg(seed.wrapping_add(1), onset + 2.0 * slot),
+            ),
+        ]),
+        other => {
+            eprintln!("owan-cli attack: unknown attack '{other}' for --attack");
+            std::process::exit(2);
+        }
+    };
+    let attack_requests: usize = timeline.waves().iter().map(|w| w.requests.len()).sum();
+
+    let events = if with_faults {
+        seeded_scenario(&network.plant, seed, horizon)
+    } else {
+        Vec::new()
+    };
+    let op_faults = if with_faults {
+        OpFaultModel {
+            seed,
+            timeout_prob,
+            fail_prob,
+        }
+    } else {
+        OpFaultModel::none()
+    };
+    let config = ChaosConfig {
+        slot_len_s: slot,
+        max_slots: slots,
+        detection_delay_s: detect,
+        ..Default::default()
+    };
+
+    // The annealed engine re-optimizes the topology from the believed
+    // plant every restart; every other kind plans on the network's fixed
+    // static topology, which is exactly the baseline the recovery
+    // comparison is about.
+    let runner_cfg = RunnerConfig {
+        anneal_iterations: iters,
+        seed: seed.wrapping_add(1),
+        ..Default::default()
+    };
+    let mut engine_factory = |p: &owan::optical::FiberPlant| -> Box<dyn TrafficEngineer> {
+        if kind == EngineKind::Owan {
+            let owan_config = OwanConfig {
+                anneal: AnnealConfig {
+                    max_iterations: iters,
+                    seed: seed.wrapping_add(1),
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            Box::new(OwanEngine::new(default_topology(p), owan_config))
+        } else {
+            owan::sim::runner::make_engine(kind, &network, &runner_cfg)
+        }
+    };
+
+    eprintln!(
+        "attack on {net_name} ({engine_name}): {attack_name}, {} background transfers, \
+         {attack_requests} attack requests ({:.0} Gb injected), {} fault events, \
+         {slots} slots of {slot}s, onset {onset}s",
+        requests.len(),
+        timeline.injected_gbits(),
+        events.len()
+    );
+
+    let recorder = if obs_path.is_some() || scope_on {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let make_scope = |dump_path: Option<&String>| -> ScopeRecorder {
+        if !scope_on {
+            return ScopeRecorder::disabled();
+        }
+        let scope = ScopeRecorder::enabled(ScopeConfig {
+            flight_slots,
+            dump_path: dump_path.map(PathBuf::from),
+        });
+        scope.set_meta("mode", "attack");
+        scope.set_meta("net", &net_name);
+        scope.set_meta("engine", &engine_name);
+        scope.set_meta("attack", &attack_name);
+        scope.set_meta("seed", seed);
+        scope.set_meta("load", load);
+        scope.set_meta("slot_len_s", slot);
+        scope.set_meta("slots", slots);
+        scope.set_meta("iters", iters);
+        scope.set_meta("onset_s", onset);
+        scope.set_meta("detect_s", detect);
+        scope.set_meta("scope_slots", flight_slots);
+        scope
+    };
+    let scope = make_scope(scope_dump.as_ref());
+    let rerun_scope = make_scope(None);
+
+    let mut run_with = |rec: &Recorder, scp: &ScopeRecorder| -> Result<AttackOutcome, String> {
+        let checked = rec.counter("oracle.invariant_checked");
+        let violated = rec.counter("oracle.invariant_violated");
+        let mut audit = |a: &SlotAudit| -> Result<(), String> {
+            checked.add(1);
+            if let Err(v) = check_plan(a.believed_plant, a.transfers, a.slot_len_s, a.plan) {
+                violated.add(1);
+                scp.anomaly("oracle.invariant_violated", a.slot);
+                return Err(format!("slot plan: {v}"));
+            }
+            if let (Some(delta), Some(update)) = (a.delta, a.update) {
+                checked.add(1);
+                if let Err(v) = check_timeline(delta, update, &a.params) {
+                    violated.add(1);
+                    scp.anomaly("oracle.invariant_violated", a.slot);
+                    return Err(format!("update: {v}"));
+                }
+            }
+            Ok(())
+        };
+        run_attack(
+            &network.plant,
+            &requests,
+            &timeline,
+            &mut engine_factory,
+            &config,
+            restore,
+            &events,
+            &op_faults,
+            rec,
+            scp,
+            Some(&mut audit),
+        )
+    };
+
+    let outcome = match run_with(&recorder, &scope) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("owan-cli attack: FAIL: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Same seed, same timeline: the rerun must reproduce the run exactly.
+    let rerun = match run_with(&Recorder::disabled(), &rerun_scope) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("owan-cli attack: FAIL on rerun: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut deterministic = outcome.attacked.delivered_series == rerun.attacked.delivered_series
+        && outcome.attacked.background_series == rerun.attacked.background_series
+        && outcome.attacked.victim_util_series == rerun.attacked.victim_util_series
+        && outcome.attacked.stats == rerun.attacked.stats
+        && outcome.metrics == rerun.metrics;
+    if scope_on && scope.dump_text() != rerun_scope.dump_text() {
+        deterministic = false;
+    }
+    let mut violations = 0usize;
+    if !deterministic {
+        eprintln!("owan-cli attack: FAIL: rerun with seed {seed} diverged");
+        violations += 1;
+    }
+
+    println!("network,{net_name}");
+    println!("engine,{engine_name}");
+    println!("attack,{attack_name}");
+    println!("seed,{seed}");
+    println!("transfers,{}", requests.len());
+    println!("attack_waves,{}", timeline.waves().len());
+    println!("attack_requests,{attack_requests}");
+    println!("injected_gbits,{:.0}", outcome.metrics.injected_gbits);
+    println!("fault_events,{}", events.len());
+    println!("onset_slot,{}", outcome.metrics.onset_slot);
+    println!(
+        "baseline_delivered_gbits,{:.0}",
+        outcome.baseline.delivered_gbits
+    );
+    println!(
+        "attacked_delivered_gbits,{:.0}",
+        outcome.attacked.delivered_gbits
+    );
+    println!(
+        "attacked_background_gbits,{:.0}",
+        outcome.attacked.background_gbits
+    );
+    println!(
+        "residual_loss_gbits,{:.0}",
+        outcome.metrics.residual_loss_gbits
+    );
+    println!("restore_fraction,{restore}");
+    match outcome.metrics.time_to_restore_slots {
+        Some(t) => println!("time_to_restore_slots,{t}"),
+        None => println!("time_to_restore_slots,never"),
+    }
+    println!("restored_slots,{}", outcome.metrics.restored_slots);
+    println!("peak_victim_util,{:.3}", outcome.metrics.peak_victim_util);
+    println!("victim_links,{}", timeline.victim_links().len());
+    println!("faults_detected,{}", outcome.attacked.stats.faults_detected);
+    println!("crashes,{}", outcome.attacked.stats.crashes);
+    println!("fallback_slots,{}", outcome.attacked.stats.fallback_slots);
+    println!("deterministic,{}", if deterministic { "yes" } else { "no" });
+    if timeline_rows {
+        println!("timeline,slot,baseline_gbits,background_gbits,victim_util");
+        for i in 0..outcome.attacked.background_series.len() {
+            let base = outcome
+                .baseline
+                .delivered_series
+                .get(i)
+                .map_or(0.0, |&(_, g)| g);
+            let bg = outcome.attacked.background_series[i].1;
+            let vu = outcome
+                .attacked
+                .victim_util_series
+                .get(i)
+                .map_or(0.0, |&(_, u)| u);
+            println!("timeline,{i},{base:.0},{bg:.0},{vu:.3}");
+        }
+    }
+    if scope_on {
+        println!(
+            "scope_dumped,{}",
+            if scope.has_dumped() { "yes" } else { "no" }
+        );
+        if scope.has_dumped() {
+            if let Some(path) = &scope_dump {
+                eprintln!("flight dump written to {path}");
+            }
+        }
+        write_trace(
+            " attack",
+            &scope,
+            &recorder,
+            &Profiler::disabled(),
+            &scope_trace,
+        );
+    }
+
+    write_obs(" attack", &recorder, &obs_path);
+    if recorder.is_enabled() {
+        let snapshot = recorder.snapshot();
+        print!("{}", format_counter_table(&snapshot, "chaos."));
+        print!("{}", format_counter_table(&snapshot, "oracle."));
+    }
+
+    std::process::exit(if violations == 0 { 0 } else { 1 });
+}
+
 /// `owan-cli perf diff`: compare two `bench_anneal` JSON reports with
 /// noise-aware per-phase thresholds. Strict flag parsing — unknown flags
 /// and malformed values exit 2 rather than being silently ignored, so a
@@ -1120,6 +1537,7 @@ fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("verify") => verify_main(&args),
         Some("chaos") => chaos_main(&args),
+        Some("attack") => attack_main(&args),
         Some("transfers") => transfers_main(&args),
         Some("top") => top_main(&args),
         Some("perf") => perf_main(),
