@@ -2,8 +2,9 @@
 //! and optionally gates on a checked-in baseline.
 //!
 //! ```text
-//! bench_anneal [--quick] [--iters N] [--chains N] [--out FILE]
-//!              [--check BASELINE] [--history FILE] [--no-history]
+//! bench_anneal [--quick] [--iters N] [--chains N] [--workers N]
+//!              [--out FILE] [--check BASELINE] [--history FILE]
+//!              [--no-history]
 //! ```
 //!
 //! `--out` writes the fresh report (default: print to stdout only) and,
@@ -42,16 +43,31 @@ fn main() {
     let chains = arg_value(&args, "--chains")
         .and_then(|v| v.parse().ok())
         .unwrap_or(4usize);
+    // Evaluation-pool budget for the multi-chain measurement: default
+    // machine-sized, `--workers 1` forces the inline (no-spawn) path.
+    let workers: Option<usize> = arg_value(&args, "--workers").and_then(|v| v.parse().ok());
 
     eprintln!(
-        "bench_anneal: scale {label}, {} iters, {chains} chains",
-        scale.anneal_iterations
+        "bench_anneal: scale {label}, {} iters, {chains} chains, {} workers",
+        scale.anneal_iterations,
+        workers.map_or("auto".to_string(), |w| w.to_string()),
     );
-    let report = bench_anneal(&scale, label, chains);
+    let report = bench_anneal(&scale, label, chains, workers);
     let json = report.to_json();
     print!("{json}");
 
     if let Some(path) = arg_value(&args, "--out") {
+        // A 1-core multi-chain run's scaling keys read pool overhead, not
+        // parallelism — such a report must carry its own caveat or it is
+        // not worth checking in.
+        if report.cores == 1 && report.chains > 1 && report.warnings.is_empty() {
+            eprintln!(
+                "bench_anneal: refusing to write {path}: cores==1 with {} chains \
+                 but the report has no warning row",
+                report.chains
+            );
+            std::process::exit(2);
+        }
         std::fs::write(&path, &json).unwrap_or_else(|e| {
             eprintln!("bench_anneal: cannot write {path}: {e}");
             std::process::exit(2);

@@ -18,13 +18,15 @@
 //! `e^{(e_neighbor − e_current)/T}` from the cited Kirkpatrick et al.
 //! formulation (see DESIGN.md §4).
 
-use crate::cache::EnergyCache;
+use crate::cache::{plant_fingerprint, EnergyCache, PlantCache};
 use crate::energy::{EnergyContext, EnergyEvaluator, EnergyOutcome};
+use crate::pool::EvalPool;
 use crate::telemetry::{names, CoreTelemetry};
 use crate::topology::Topology;
 use owan_obs::Value;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Energy-trajectory samples recorded per annealing run (spread evenly
@@ -217,7 +219,7 @@ fn anneal_chain(
     // (`neighbor_e > best_e`) always satisfies `neighbor_e >= current_e`
     // (the invariant `best_e >= current_e` holds throughout) and is
     // therefore always accepted.
-    let mut best: Option<(Topology, EnergyOutcome)> = None;
+    let mut best: Option<(Topology, Arc<EnergyOutcome>)> = None;
     let mut best_e = current_e;
 
     // Initial temperature = current throughput (Alg 1 line 4); keep it
@@ -237,7 +239,7 @@ fn anneal_chain(
             iter_span.cancel();
             break;
         };
-        let neighbor_outcome = eval.eval(&neighbor, Some((&current, &current_outcome)));
+        let neighbor_outcome = eval.eval(&neighbor, Some((&current, current_outcome.as_ref())));
         let neighbor_e = neighbor_outcome.energy_gbps();
 
         let improved = neighbor_e > best_e;
@@ -261,7 +263,7 @@ fn anneal_chain(
                 best = None;
             } else if best.is_none() {
                 // Walking away from the best state: snapshot it first.
-                best = Some((current.clone(), current_outcome.clone()));
+                best = Some((current.clone(), Arc::clone(&current_outcome)));
             }
             current = neighbor;
             current_outcome = neighbor_outcome;
@@ -293,6 +295,9 @@ fn anneal_chain(
         Some(snapshot) => snapshot,
         None => (current, current_outcome),
     };
+    // Outcomes are shared with the cache's memo behind an `Arc`; the
+    // result owns its copy (cheap unwrap when the memo already evicted it).
+    let outcome = Arc::try_unwrap(outcome).unwrap_or_else(|a| (*a).clone());
     AnnealResult {
         topology,
         outcome,
@@ -351,47 +356,90 @@ pub fn anneal_parallel_with_caches(
     caches: &mut [EnergyCache],
     telemetry: &CoreTelemetry,
 ) -> AnnealResult {
+    anneal_parallel_pooled(ctx, initial, config, chains, caches, None, telemetry)
+}
+
+/// [`anneal_parallel_with_caches`] with an explicit worker budget for the
+/// evaluation pool: `None` sizes the pool to the machine
+/// ([`EvalPool::auto`]), `Some(1)` forces every chain inline on the caller
+/// thread (no spawns at all — the right choice on one core, where the old
+/// thread-per-chain model paid spawn and scheduler overhead for nothing).
+/// The chain → result mapping and the winner are identical for every
+/// worker count; only wall-clock changes.
+///
+/// Before any chain runs, the per-plant precompute (the Floyd–Warshall
+/// static-interior matrix and relay domains, see
+/// [`PlantCache`]) is resolved **once** — recycled from
+/// whichever cache already holds it for this plant, built fresh otherwise
+/// — and offered to every chain's cache, so N chains never redo the
+/// all-pairs work N times.
+#[allow(clippy::too_many_arguments)]
+pub fn anneal_parallel_pooled(
+    ctx: &EnergyContext<'_>,
+    initial: &Topology,
+    config: &AnnealConfig,
+    chains: usize,
+    caches: &mut [EnergyCache],
+    workers: Option<usize>,
+    telemetry: &CoreTelemetry,
+) -> AnnealResult {
     assert!(chains >= 1, "at least one annealing chain is required");
     assert!(
         caches.is_empty() || caches.len() >= chains,
         "pass no caches or one per chain"
     );
     telemetry.anneal_chains.add(chains as u64);
+
+    // Hoist the per-plant precompute out of the chains: one Floyd–Warshall
+    // pass shared by every chain (and, via the caches, by later slots).
+    if !caches.is_empty() {
+        let sig = plant_fingerprint(ctx.plant);
+        let shared = caches[..chains]
+            .iter()
+            .find_map(|c| c.plant_cache_for(sig))
+            .unwrap_or_else(|| Arc::new(PlantCache::build(ctx.plant, ctx.fiber_dist)));
+        for c in caches[..chains].iter_mut() {
+            c.install_plant_cache(Arc::clone(&shared));
+        }
+    }
+
     if chains == 1 {
         return anneal_with_cache(ctx, initial, config, caches.first_mut(), telemetry);
     }
 
+    let pool = match workers {
+        Some(w) => EvalPool::with_workers(w),
+        None => EvalPool::auto(chains),
+    };
     let parallel_region = ctx.prof.region("anneal.parallel");
     let parallel_id = parallel_region.id();
     let spawn_ns = telemetry.recorder.now_ns();
-    let mut results: Vec<Option<(AnnealResult, u64, u64)>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(chains);
-        let mut cache_slots: Vec<Option<&mut EnergyCache>> = if caches.is_empty() {
-            (0..chains).map(|_| None).collect()
-        } else {
-            caches[..chains].iter_mut().map(Some).collect()
-        };
-        for (i, cache) in cache_slots.drain(..).enumerate() {
+    let mut cache_slots: Vec<Option<&mut EnergyCache>> = if caches.is_empty() {
+        (0..chains).map(|_| None).collect()
+    } else {
+        caches[..chains].iter_mut().map(Some).collect()
+    };
+    let tasks: Vec<_> = cache_slots
+        .drain(..)
+        .enumerate()
+        .map(|(i, cache)| {
             let cfg = AnnealConfig {
                 seed: chain_seed(config.seed, i),
                 ..*config
             };
-            handles.push(scope.spawn(move || {
-                // A chain runs on its own thread, so its regions land on a
+            move || {
+                // A chain may run on a pool thread, where regions land on a
                 // fresh thread-local stack; parent them under the spawning
                 // `anneal.parallel` region explicitly.
                 let _chain_region = ctx.prof.region_under(parallel_id, "chain");
                 let start_ns = telemetry.recorder.now_ns();
                 let r = anneal_chain(ctx, initial, &cfg, cache, telemetry, i as u64);
                 (r, start_ns, telemetry.recorder.now_ns())
-            }));
-        }
-        results = handles
-            .into_iter()
-            .map(|h| Some(h.join().expect("annealing chain panicked")))
-            .collect();
-    });
+            }
+        })
+        .collect();
+    let results: Vec<Option<(AnnealResult, u64, u64)>> =
+        pool.run(tasks).into_iter().map(Some).collect();
     drop(parallel_region);
 
     // Utilization accounting: summed per-chain busy time over the wall

@@ -9,17 +9,22 @@
 //!
 //! 1. **Relay-candidate cache** — candidate relay paths for a link
 //!    `(u, v)` depend only on the plant, the fiber-distance matrix, and
-//!    the free-regenerator vector. Entries are keyed on `(u, v)` plus the
-//!    regenerator vector they were computed under. A hit is accepted when
-//!    the queried vector equals the stored one verbatim, or when the
-//!    *relaxed match* ([`relaxed_entry_match`]) proves the differences
-//!    cannot change the Yen output: every site whose free count moved is
+//!    the free-regenerator vector — but not on the *whole* vector: only
+//!    the sites in the pair's **relay domain** (regenerator-equipped and
+//!    reachable from both endpoints through equipped interiors, see
+//!    [`PlantCache`]) can influence the Yen output. Entries are therefore
+//!    keyed on `(u, v)` plus the **constraint class** of the vector — an
+//!    FNV hash of the domain projection — and a class hit is verified by
+//!    comparing the projections site-for-site (a hash collision falls
+//!    through). When no class matches, the *relaxed match*
+//!    ([`relaxed_entry_match`]) may still prove an existing entry's
+//!    differences irrelevant: every site whose free count moved is
 //!    screened against a static lower bound on any relay path through it,
 //!    adjusted candidate costs provably preserve their order (exact ties
 //!    are only accepted where Yen's own tie-breaks are forced), and the
 //!    stored `(k+1)`-th cost bounds every path outside the candidate set.
-//!    Since most circuits consume no regenerators, one entry per pair
-//!    serves essentially every iteration.
+//!    Since most circuits consume regenerators only near their own
+//!    endpoints, one class per pair serves essentially every iteration.
 //! 2. **Footprint sets** — per pair, the union of fibers any relay
 //!    candidate's shortest routes can touch. The delta rebuild uses these
 //!    to prove two links cannot contend for wavelengths.
@@ -43,7 +48,8 @@ use crate::regen::RegenGraph;
 use crate::telemetry::CoreTelemetry;
 use crate::topology::Topology;
 use owan_optical::{FiberPlant, SiteId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Cap on memoized full outcomes per run (an outcome holds an optical
 /// state; the cap bounds memory on long runs). Inserts stop at the cap —
@@ -107,6 +113,24 @@ impl FiberSet {
             })
         })
     }
+
+    /// Iterates the fiber ids present in *both* sets, in increasing order.
+    pub fn iter_common<'a>(&'a self, other: &'a FiberSet) -> impl Iterator<Item = usize> + 'a {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .flat_map(|(w, (&a, &b))| {
+                let bits = a & b;
+                (0..64).filter_map(move |bit| {
+                    if bits & (1 << bit) != 0 {
+                        Some(w * 64 + bit)
+                    } else {
+                        None
+                    }
+                })
+            })
+    }
 }
 
 /// Attributed cause of a cache miss. Evaluation-level misses (the
@@ -124,9 +148,11 @@ pub enum MissReason {
     Capacity,
     /// The relay entry existed but was lost to a plant-fingerprint flush.
     Flush,
-    /// The relaxed match failed order preservation among adjusted
-    /// candidate costs (the stored constraint class no longer applies).
-    ConstraintClass,
+    /// The constraint-class machinery failed to prove equivalence: the
+    /// class hash matched an entry whose domain projection differs (a
+    /// genuine hash collision), or the relaxed match failed order
+    /// preservation among adjusted candidate costs.
+    ClassCollision,
     /// A site released from zero regenerators met a candidate list
     /// shorter than `relay_k` — Yen would append its paths regardless of
     /// cost.
@@ -148,7 +174,7 @@ impl MissReason {
             MissReason::Cold => "cold",
             MissReason::Capacity => "capacity",
             MissReason::Flush => "flush",
-            MissReason::ConstraintClass => "constraint_class",
+            MissReason::ClassCollision => "class_collision",
             MissReason::PartialCandidateList => "partial_candidate_list",
             MissReason::BoundaryGuard => "boundary_guard",
             MissReason::MembershipCrossing => "membership_crossing",
@@ -160,7 +186,7 @@ impl MissReason {
     pub const RELAY: [MissReason; 6] = [
         MissReason::Cold,
         MissReason::Flush,
-        MissReason::ConstraintClass,
+        MissReason::ClassCollision,
         MissReason::PartialCandidateList,
         MissReason::BoundaryGuard,
         MissReason::MembershipCrossing,
@@ -195,6 +221,10 @@ pub struct EnergyCacheStats {
     /// Pairs re-provisioned from scratch inside delta rebuilds (the
     /// skip test found a regenerator or occupancy divergence).
     pub delta_pairs_rebuilt: u64,
+    /// The subset of `delta_pairs_reused` cleared by the dirty-set screen
+    /// alone — two bitset intersections against the recorded probe union,
+    /// with no relay-cache lookups and no attempt walk.
+    pub delta_pairs_screened: u64,
     /// Full circuit rebuilds (initial evaluations and fallbacks).
     pub full_builds: u64,
     /// Plant-fingerprint flushes of the relay/footprint layers.
@@ -221,6 +251,7 @@ impl EnergyCacheStats {
         self.delta_fallbacks += other.delta_fallbacks;
         self.delta_pairs_reused += other.delta_pairs_reused;
         self.delta_pairs_rebuilt += other.delta_pairs_rebuilt;
+        self.delta_pairs_screened += other.delta_pairs_screened;
         self.full_builds += other.full_builds;
         self.flushes += other.flushes;
         for (a, b) in self
@@ -387,6 +418,131 @@ pub fn plant_fingerprint(plant: &FiberPlant) -> u64 {
     h
 }
 
+/// Plant-scoped, vector-independent precompute shared by every run and
+/// every parallel chain's cache (`Arc`-shared, immutable once built):
+///
+/// - the **static-interior Floyd–Warshall matrix** `sd`: `sd[x][y]` is a
+///   lower bound on the summed relay weight strictly between `x` and `y`
+///   on any relay path, valid under every free-regenerator vector (static
+///   weights `1/total` under-estimate dynamic `1/free`) — the screen the
+///   relaxed match rests on, formerly rebuilt per cache;
+/// - the per-pair **relay domains**: for a pair `(u, v)`, the sites
+///   `s ∉ {u, v}` with `total_regens[s] > 0` and `sd[u][s]`, `sd[s][v]`
+///   both finite. Finite `sd[u][s]` means a reach-graph path from `u` to
+///   `s` exists whose interior sites are all regenerator-equipped —
+///   exactly the criterion for `s` to appear on *some* relay path under
+///   *some* vector (`free ≤ total`, so static reachability over-covers
+///   every dynamic one). A site outside the domain is never a node the
+///   pair's Dijkstra/Yen run can pop or relax through on a returned path,
+///   so its free count cannot influence the output: two vectors with
+///   equal domain projections yield bit-identical candidate lists.
+///
+/// Invalidation piggybacks on the plant fingerprint: a degradation that
+/// moves the fingerprint (e.g. an amp fault shrinking a fiber's usable
+/// band) drops the `Arc` and the next run rebuilds.
+#[derive(Debug)]
+pub struct PlantCache {
+    sig: u64,
+    n: usize,
+    static_interior: Vec<Vec<f64>>,
+    /// Relay domain per unordered pair, indexed `min * n + max` (the
+    /// domain is symmetric in `u`, `v` because `sd` is).
+    domains: Vec<Vec<SiteId>>,
+}
+
+impl PlantCache {
+    /// Builds the precompute: one node-weighted Floyd–Warshall (`O(V^3)`)
+    /// pivoting on regenerator-equipped sites with weight `1/total`, edges
+    /// wherever the fiber distance is within optical reach, then the
+    /// per-pair domains read off the matrix.
+    pub fn build(plant: &FiberPlant, fiber_dist: &[Vec<f64>]) -> Self {
+        let n = plant.site_count();
+        let reach = plant.params().optical_reach_km;
+        let mut d = vec![vec![f64::INFINITY; n]; n];
+        for (x, row) in d.iter_mut().enumerate() {
+            for (y, cell) in row.iter_mut().enumerate() {
+                if x == y || fiber_dist[x][y] <= reach {
+                    *cell = 0.0;
+                }
+            }
+        }
+        for (k, site) in plant.sites().iter().enumerate() {
+            if site.regenerators == 0 {
+                continue;
+            }
+            let w = 1.0 / site.regenerators as f64;
+            for i in 0..n {
+                if !d[i][k].is_finite() {
+                    continue;
+                }
+                let dik = d[i][k] + w;
+                #[allow(clippy::needless_range_loop)] // reads d[k][j], writes d[i][j]
+                for j in 0..n {
+                    let cand = dik + d[k][j];
+                    if cand < d[i][j] {
+                        d[i][j] = cand;
+                    }
+                }
+            }
+        }
+        let mut domains = vec![Vec::new(); n * n];
+        for u in 0..n {
+            for v in u + 1..n {
+                let dom: Vec<SiteId> = (0..n)
+                    .filter(|&s| {
+                        s != u
+                            && s != v
+                            && plant.site(s).regenerators > 0
+                            && d[u][s].is_finite()
+                            && d[s][v].is_finite()
+                    })
+                    .collect();
+                domains[u * n + v] = dom;
+            }
+        }
+        PlantCache {
+            sig: plant_fingerprint(plant),
+            n,
+            static_interior: d,
+            domains,
+        }
+    }
+
+    /// Fingerprint of the plant this precompute was built from.
+    pub fn fingerprint(&self) -> u64 {
+        self.sig
+    }
+
+    /// The relay domain of pair `(u, v)`, in increasing site order.
+    pub fn domain(&self, u: SiteId, v: SiteId) -> &[SiteId] {
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        &self.domains[a * self.n + b]
+    }
+
+    /// The static-interior distance matrix.
+    pub fn static_interior(&self) -> &[Vec<f64>] {
+        &self.static_interior
+    }
+}
+
+/// Constraint-class hash of a free-regenerator vector for one pair: FNV-1a
+/// over the counts at the pair's relay-domain sites, in domain order. Two
+/// vectors hash equal whenever their domain projections are equal; the
+/// converse is only probabilistic, so class hits verify the projection
+/// site-for-site before being trusted.
+fn class_hash(domain: &[SiteId], regens_free: &[u32]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &s in domain {
+        for byte in (regens_free[s] as u64).to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
 /// One cached relay-candidate computation: the exact regenerator vector it
 /// was computed under, the Yen output, and the *probe set* — every fiber
 /// any of the candidates' window routes traverses. A provisioning attempt
@@ -405,6 +561,68 @@ struct RelayEntry {
     /// exhausted. Every path outside `candidates` costs at least this
     /// much under the stored vector.
     next_cost: f64,
+}
+
+/// An entry in the constraint-class index: the entry it resolves to plus
+/// the domain projection the proof was made under. The projection is the
+/// *query's*, not the entry's — a relaxed match can prove an entry built
+/// under a different projection still yields the query's Yen output, and
+/// every later query with that same projection inherits the proof (equal
+/// projections produce identical Yen runs, the class-key theorem). Without
+/// the stored projection, verifying such an alias against the entry's own
+/// vector would spuriously reject it on every revisit.
+#[derive(Debug, Clone)]
+struct ClassAlias {
+    /// Sequence number (`base` + offset) of the resolved entry.
+    seq: u64,
+    /// The free-regenerator counts at the pair's domain sites, in domain
+    /// order, that this class was proven for.
+    proj: Vec<u32>,
+}
+
+/// Aliases kept per pair before the index is reset wholesale. Each alias
+/// owns a domain-sized projection, so unbounded growth would leak on long
+/// runs; re-proving an evicted alias is one relaxed scan.
+const CLASS_ALIASES_PER_PAIR: usize = 4096;
+
+/// The relay entries of one endpoint pair: a FIFO of at most
+/// [`RELAY_STATES_PER_PAIR`] entries plus the constraint-class index over
+/// them. Entries are addressed by *sequence number* (`base` + offset) so
+/// FIFO eviction never invalidates index entries — a class mapping whose
+/// sequence fell below `base` points at an evicted entry and is purged
+/// lazily on lookup.
+#[derive(Debug, Clone, Default)]
+struct PairEntries {
+    entries: VecDeque<RelayEntry>,
+    /// Sequence number of `entries.front()`.
+    base: u64,
+    /// Constraint-class hash → proven resolution (latest proof wins).
+    by_class: HashMap<u64, ClassAlias>,
+}
+
+impl PairEntries {
+    /// Records that the class with hash `class` and projection `proj`
+    /// resolves to the entry at `seq`.
+    fn alias(&mut self, class: u64, seq: u64, proj: Vec<u32>) {
+        if self.by_class.len() >= CLASS_ALIASES_PER_PAIR {
+            self.by_class.clear();
+        }
+        self.by_class.insert(class, ClassAlias { seq, proj });
+    }
+
+    /// Pushes a fresh entry (evicting the oldest at the cap) and indexes
+    /// it under `class` with projection `proj`; returns its offset in
+    /// `entries`.
+    fn push(&mut self, class: u64, proj: Vec<u32>, entry: RelayEntry) -> usize {
+        if self.entries.len() >= RELAY_STATES_PER_PAIR {
+            self.entries.pop_front();
+            self.base += 1;
+        }
+        self.entries.push_back(entry);
+        let seq = self.base + (self.entries.len() - 1) as u64;
+        self.alias(class, seq, proj);
+        self.entries.len() - 1
+    }
 }
 
 /// Slack for every relaxed-match weight comparison: absorbs f64
@@ -575,7 +793,7 @@ fn relaxed_entry_reject(
                 }
             }
         }
-        return Some(MissReason::ConstraintClass);
+        return Some(MissReason::ClassCollision);
     }
 
     // Boundary: can any path outside the stored candidates undercut (or
@@ -668,21 +886,24 @@ pub struct EnergyCache {
     /// Free regenerators per site of the *pristine* plant (the regen state
     /// footprints are defined under).
     initial_regens: Vec<u32>,
-    /// Relay-candidate entries per endpoint pair.
-    relay: HashMap<(SiteId, SiteId), Vec<RelayEntry>>,
+    /// Relay-candidate entries per endpoint pair, class-indexed.
+    relay: HashMap<(SiteId, SiteId), PairEntries>,
     /// Fiber footprints per endpoint pair (valid under `initial_regens`).
     footprints: HashMap<(SiteId, SiteId), FiberSet>,
     /// Directional shortest-route fiber sets (plant-only, used to build
     /// footprints).
     routes: HashMap<(SiteId, SiteId), Vec<usize>>,
-    /// Static interior-weight distances on the reach graph: `sd[x][y]` is a
-    /// lower bound on the summed relay weight strictly between `x` and `y`
-    /// on any relay path, valid under *every* free-regenerator vector
-    /// (static weights `1/total` under-estimate dynamic `1/free`). Built
-    /// lazily, plant-scoped.
-    static_interior: Option<Vec<Vec<f64>>>,
-    /// Run-scoped: full outcomes keyed by desired topology.
-    outcomes: HashMap<Topology, EnergyOutcome>,
+    /// Plant-scoped precompute (static-interior screens + relay domains),
+    /// `Arc`-shared across chains when a parallel run installs one.
+    plant: Option<Arc<PlantCache>>,
+    /// A shared precompute offered by the enclosing parallel run via
+    /// [`Self::install_plant_cache`]; adopted by [`Self::begin_run`] when
+    /// its fingerprint matches, so sibling chains never rebuild it.
+    shared_plant: Option<Arc<PlantCache>>,
+    /// Run-scoped: full outcomes keyed by desired topology. `Arc`-shared
+    /// with the annealing loop's current/best snapshots, so a hit (and a
+    /// store) is a pointer clone, not a deep outcome copy.
+    outcomes: HashMap<Topology, Arc<EnergyOutcome>>,
     /// Run-scoped: rate outcomes keyed by achieved topology.
     rate_memo: HashMap<Topology, RateOutcome>,
     /// Run-scoped: desired topologies whose outcome the memo *refused* at
@@ -726,48 +947,47 @@ impl EnergyCache {
         self.relay.clear();
         self.footprints.clear();
         self.routes.clear();
-        self.static_interior = None;
+        self.plant = None;
         self.initial_regens = plant.sites().iter().map(|s| s.regenerators).collect();
     }
 
-    /// Builds [`Self::static_interior`] if absent: node-weighted
-    /// Floyd–Warshall over every site, pivoting on regenerator-equipped
-    /// sites with their static weight `1/total`, edges wherever the fiber
-    /// distance is within optical reach. `O(V^3)` once per plant.
-    fn ensure_static_interior(&mut self, plant: &FiberPlant, fiber_dist: &[Vec<f64>]) {
-        if self.static_interior.is_some() {
-            return;
+    /// Offers a shared [`PlantCache`] built by the enclosing run. The
+    /// cache adopts it (instead of building its own) as long as its
+    /// fingerprint matches the plant of the current run.
+    pub fn install_plant_cache(&mut self, pc: Arc<PlantCache>) {
+        self.shared_plant = Some(pc);
+    }
+
+    /// The plant-scoped precompute currently adopted or offered, if its
+    /// fingerprint is `sig` — lets a parallel run recycle one chain's
+    /// precompute for its siblings across slots.
+    pub fn plant_cache_for(&self, sig: u64) -> Option<Arc<PlantCache>> {
+        self.plant
+            .iter()
+            .chain(self.shared_plant.iter())
+            .find(|p| p.sig == sig)
+            .cloned()
+    }
+
+    /// Returns the plant-scoped precompute, adopting the shared one or
+    /// building a fresh one on first use after a flush.
+    fn ensure_plant_cache(
+        &mut self,
+        plant: &FiberPlant,
+        fiber_dist: &[Vec<f64>],
+    ) -> Arc<PlantCache> {
+        if let Some(pc) = &self.plant {
+            return Arc::clone(pc);
         }
-        let n = plant.site_count();
-        let reach = plant.params().optical_reach_km;
-        let mut d = vec![vec![f64::INFINITY; n]; n];
-        for (x, row) in d.iter_mut().enumerate() {
-            for (y, cell) in row.iter_mut().enumerate() {
-                if x == y || fiber_dist[x][y] <= reach {
-                    *cell = 0.0;
-                }
-            }
-        }
-        for (k, site) in plant.sites().iter().enumerate() {
-            if site.regenerators == 0 {
-                continue;
-            }
-            let w = 1.0 / site.regenerators as f64;
-            for i in 0..n {
-                if !d[i][k].is_finite() {
-                    continue;
-                }
-                let dik = d[i][k] + w;
-                #[allow(clippy::needless_range_loop)] // reads d[k][j], writes d[i][j]
-                for j in 0..n {
-                    let cand = dik + d[k][j];
-                    if cand < d[i][j] {
-                        d[i][j] = cand;
-                    }
-                }
-            }
-        }
-        self.static_interior = Some(d);
+        let sig = self.plant_sig.unwrap_or_else(|| plant_fingerprint(plant));
+        let pc = self
+            .shared_plant
+            .as_ref()
+            .filter(|p| p.sig == sig)
+            .cloned()
+            .unwrap_or_else(|| Arc::new(PlantCache::build(plant, fiber_dist)));
+        self.plant = Some(Arc::clone(&pc));
+        pc
     }
 
     /// Free regenerators per site of the pristine plant the cache was
@@ -778,10 +998,14 @@ impl EnergyCache {
 
     /// Finds or computes the relay entry for `(u, v)` under the given
     /// free-regenerator vector, returning its index in the pair's entry
-    /// list. A hit requires the stored vector to match verbatim, *or* to
-    /// differ only at sites [`relaxed_entry_match`] proves irrelevant to
-    /// the pair's top-k relay paths — either way the entry's candidate
-    /// list is exactly what a fresh Yen run would produce.
+    /// list. The lookup goes constraint class first: the vector's domain
+    /// projection is hashed and the class index consulted, with the
+    /// projection verified site-for-site (see [`PlantCache`] for why
+    /// projection equality implies identical Yen output). On a class miss
+    /// the entries are scanned with the relaxed match, which may prove an
+    /// entry built under a *different* projection still yields the same
+    /// output — either way the returned entry's candidate list is exactly
+    /// what a fresh Yen run would produce.
     fn relay_entry_index(
         &mut self,
         plant: &FiberPlant,
@@ -791,35 +1015,67 @@ impl EnergyCache {
         v: SiteId,
         telemetry: &CoreTelemetry,
     ) -> usize {
-        if let Some(idx) = self
-            .relay
-            .get(&(u, v))
-            .and_then(|es| es.iter().position(|e| e.regens == regens_free))
-        {
-            self.stats.relay_hits += 1;
-            return idx;
-        }
-        self.ensure_static_interior(plant, fiber_dist);
+        let pc = self.ensure_plant_cache(plant, fiber_dist);
+        let domain = pc.domain(u, v);
+        let class = class_hash(domain, regens_free);
         let relay_k = self.relay_k;
-        let sd = self.static_interior.as_deref().expect("just built");
-        if let Some(idx) = self.relay.get(&(u, v)).and_then(|es| {
-            es.iter()
+        let sd = pc.static_interior();
+        let mut collision = false;
+        {
+            let pair = self.relay.entry((u, v)).or_default();
+            if let Some(alias) = pair.by_class.get(&class) {
+                if alias.seq >= pair.base {
+                    // Verify against the projection the alias was PROVEN
+                    // for — not the entry's own vector, which may differ
+                    // when the proof came from the relaxed matcher. Equal
+                    // projections run identical Yen searches, so the proof
+                    // transfers to this query verbatim.
+                    if domain
+                        .iter()
+                        .zip(&alias.proj)
+                        .all(|(&s, &p)| regens_free[s] == p)
+                    {
+                        let off = (alias.seq - pair.base) as usize;
+                        self.stats.relay_hits += 1;
+                        return off;
+                    }
+                    // Same hash, different projection: a genuine FNV
+                    // collision. Fall through to the relaxed scan.
+                    collision = true;
+                } else {
+                    // The mapped entry was FIFO-evicted; purge lazily.
+                    pair.by_class.remove(&class);
+                }
+            }
+            if let Some(off) = pair
+                .entries
+                .iter()
                 .position(|e| relaxed_entry_match(e, relay_k, regens_free, u, v, sd))
-        }) {
-            self.stats.relay_relaxed_hits += 1;
-            return idx;
+            {
+                self.stats.relay_relaxed_hits += 1;
+                // Alias this class to the proven entry so the next query
+                // under the same projection hits on the fast path.
+                let proj: Vec<u32> = domain.iter().map(|&s| regens_free[s]).collect();
+                let seq = pair.base + off as u64;
+                pair.alias(class, seq, proj);
+                return off;
+            }
         }
         self.stats.relay_misses += 1;
-        // Attribute the miss: entries exist → the reject reason of the
-        // most recently stored one (the entry a fresh hit would most
-        // plausibly have matched); none → flush if a fingerprint flush
-        // wiped this pair, cold otherwise.
-        let reason = match self.relay.get(&(u, v)).and_then(|es| es.last()) {
-            Some(e) => {
-                relaxed_entry_reject(e, relay_k, regens_free, u, v, sd).unwrap_or(MissReason::Cold)
+        // Attribute the miss: a failed class verification is a collision;
+        // otherwise entries exist → the reject reason of the most recently
+        // stored one (the entry a fresh hit would most plausibly have
+        // matched); none → flush if a fingerprint flush wiped this pair,
+        // cold otherwise.
+        let reason = if collision {
+            MissReason::ClassCollision
+        } else {
+            match self.relay.get(&(u, v)).and_then(|p| p.entries.back()) {
+                Some(e) => relaxed_entry_reject(e, relay_k, regens_free, u, v, sd)
+                    .unwrap_or(MissReason::Cold),
+                None if self.flushed_pairs.contains(&(u, v)) => MissReason::Flush,
+                None => MissReason::Cold,
             }
-            None if self.flushed_pairs.contains(&(u, v)) => MissReason::Flush,
-            None => MissReason::Cold,
         };
         self.stats.count_relay_miss(reason);
         telemetry.shortest_path_calls.incr();
@@ -850,18 +1106,18 @@ impl EnergyCache {
                 }
             }
         }
-        let entries = self.relay.entry((u, v)).or_default();
-        if entries.len() >= RELAY_STATES_PER_PAIR {
-            entries.remove(0);
-        }
-        entries.push(RelayEntry {
-            regens: regens_free.to_vec(),
-            candidates,
-            costs,
-            probe,
-            next_cost,
-        });
-        entries.len() - 1
+        let proj: Vec<u32> = domain.iter().map(|&s| regens_free[s]).collect();
+        self.relay.entry((u, v)).or_default().push(
+            class,
+            proj,
+            RelayEntry {
+                regens: regens_free.to_vec(),
+                candidates,
+                costs,
+                probe,
+                next_cost,
+            },
+        )
     }
 
     /// Delta-rebuild skip-test helper: proves one provisioning attempt for
@@ -869,6 +1125,12 @@ impl EnergyCache {
     /// and the replayed previous-build vector `v_rep` — i.e. both produce
     /// the same candidate list. Returns that list's probe set (the fibers
     /// whose channel occupancy must then also match) on success.
+    ///
+    /// Fast path: when the two vectors agree on the pair's relay domain,
+    /// equivalence holds outright (see [`PlantCache`]) and a single
+    /// class-keyed lookup serves the probe set. Only when the projections
+    /// differ do both vectors get looked up and their candidate lists
+    /// compared by value.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn attempt_equivalent(
         &mut self,
@@ -880,13 +1142,19 @@ impl EnergyCache {
         v: SiteId,
         telemetry: &CoreTelemetry,
     ) -> Option<FiberSet> {
+        let pc = self.ensure_plant_cache(plant, fiber_dist);
+        let domain = pc.domain(u, v);
+        if domain.iter().all(|&s| v_live[s] == v_rep[s]) {
+            let i = self.relay_entry_index(plant, fiber_dist, v_live, u, v, telemetry);
+            return Some(self.relay[&(u, v)].entries[i].probe.clone());
+        }
         let i = self.relay_entry_index(plant, fiber_dist, v_live, u, v, telemetry);
-        let e = &self.relay[&(u, v)][i];
+        let e = &self.relay[&(u, v)].entries[i];
         let (cand_live, probe) = (e.candidates.clone(), e.probe.clone());
         // The second lookup may insert (and thus evict), so compare by
         // value, not by the first index.
         let j = self.relay_entry_index(plant, fiber_dist, v_rep, u, v, telemetry);
-        (self.relay[&(u, v)][j].candidates == cand_live).then_some(probe)
+        (self.relay[&(u, v)].entries[j].candidates == cand_live).then_some(probe)
     }
 
     /// Relay candidates for a circuit `(u, v)` under the given
@@ -906,7 +1174,36 @@ impl EnergyCache {
         telemetry: &CoreTelemetry,
     ) -> Vec<Vec<SiteId>> {
         let idx = self.relay_entry_index(plant, fiber_dist, regens_free, u, v, telemetry);
-        self.relay[&(u, v)][idx].candidates.clone()
+        self.relay[&(u, v)].entries[idx].candidates.clone()
+    }
+
+    /// [`Self::relay_candidates`] plus the entry's probe set, from a single
+    /// lookup — the builders record the probes so a later delta rebuild can
+    /// clear its dirty-set screen without consulting the cache at all.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn relay_candidates_and_probe(
+        &mut self,
+        plant: &FiberPlant,
+        fiber_dist: &[Vec<f64>],
+        regens_free: &[u32],
+        u: SiteId,
+        v: SiteId,
+        telemetry: &CoreTelemetry,
+    ) -> (Vec<Vec<SiteId>>, FiberSet) {
+        let idx = self.relay_entry_index(plant, fiber_dist, regens_free, u, v, telemetry);
+        let e = &self.relay[&(u, v)].entries[idx];
+        (e.candidates.clone(), e.probe.clone())
+    }
+
+    /// The plant-scoped precompute (relay domains + static screens),
+    /// adopting or building it on first use — the delta rebuild reads pair
+    /// domains from it for the dirty-site screen.
+    pub(crate) fn plant_precompute(
+        &mut self,
+        plant: &FiberPlant,
+        fiber_dist: &[Vec<f64>],
+    ) -> Arc<PlantCache> {
+        self.ensure_plant_cache(plant, fiber_dist)
     }
 
     /// The probe set of `(u, v)` under the given free-regenerator vector:
@@ -923,7 +1220,7 @@ impl EnergyCache {
         telemetry: &CoreTelemetry,
     ) -> FiberSet {
         let idx = self.relay_entry_index(plant, fiber_dist, regens_free, u, v, telemetry);
-        self.relay[&(u, v)][idx].probe.clone()
+        self.relay[&(u, v)].entries[idx].probe.clone()
     }
 
     /// Ensures the footprint of pair `(u, v)` is computed and cached. The
@@ -953,21 +1250,22 @@ impl EnergyCache {
         self.footprints.get(&(u, v))
     }
 
-    /// Looks up a memoized full outcome for a desired topology.
-    pub fn lookup_outcome(&mut self, desired: &Topology) -> Option<&EnergyOutcome> {
+    /// Looks up a memoized full outcome for a desired topology. Returns a
+    /// shared handle: a hit costs one `Arc` clone, not a deep copy.
+    pub fn lookup_outcome(&mut self, desired: &Topology) -> Option<Arc<EnergyOutcome>> {
         // Stats bookkeeping first to appease the borrow checker.
         if self.outcomes.contains_key(desired) {
             self.stats.outcome_hits += 1;
         } else {
             self.stats.outcome_misses += 1;
         }
-        self.outcomes.get(desired)
+        self.outcomes.get(desired).cloned()
     }
 
     /// Memoizes a full outcome. Beyond the cap the outcome is dropped and
     /// the key remembered in the overflow set, so re-evaluations attribute
     /// to `capacity` rather than `cold`.
-    pub fn store_outcome(&mut self, desired: Topology, outcome: EnergyOutcome) {
+    pub fn store_outcome(&mut self, desired: Topology, outcome: Arc<EnergyOutcome>) {
         if self.outcomes.len() < OUTCOME_CAP {
             self.outcomes.insert(desired, outcome);
         } else if self.overflow.len() < OVERFLOW_CAP {
@@ -1121,6 +1419,54 @@ mod tests {
         // stays the unique path.
         let cheaper = vec![0, 0, 4, 0];
         assert!(relaxed_entry_match(&e, 2, &cheaper, 0, 1, &sd));
+    }
+
+    #[test]
+    fn class_key_ignores_sites_outside_domain() {
+        // Line 0-1-2-3, 400 km hops, reach 500. Site 2 has no
+        // regenerators, so site 3 cannot be reached from 0 or 2 through
+        // equipped interiors: it is outside the (0, 2) relay domain, and
+        // spending its regenerators must not change the pair's
+        // constraint class — the lookup stays a plain hit.
+        let mut p = FiberPlant::new(OpticalParams {
+            optical_reach_km: 500.0,
+            ..Default::default()
+        });
+        p.add_site("A", 4, 2);
+        p.add_site("B", 4, 2);
+        p.add_site("C", 4, 0);
+        p.add_site("D", 4, 2);
+        p.add_fiber(0, 1, 400.0);
+        p.add_fiber(1, 2, 400.0);
+        p.add_fiber(2, 3, 400.0);
+        let fd = p.fiber_distance_matrix();
+        let t = CoreTelemetry::disabled();
+        let mut cache = EnergyCache::new();
+        cache.begin_run(&p, &CircuitBuildConfig::default());
+        let regens: Vec<u32> = p.sites().iter().map(|s| s.regenerators).collect();
+
+        let a = cache.relay_candidates(&p, &fd, &regens, 0, 2, &t);
+        let mut spent3 = regens.clone();
+        spent3[3] = 0;
+        let b = cache.relay_candidates(&p, &fd, &spent3, 0, 2, &t);
+        assert_eq!(cache.stats.relay_misses, 1, "only the cold build misses");
+        assert_eq!(cache.stats.relay_hits, 1, "out-of-domain change class-hits");
+        assert_eq!(a, b);
+        // The served list is exactly what a fresh build would produce.
+        let fresh = RegenGraph::build_with_free_regens(&p, &spent3, &fd, 0, 2)
+            .relay_candidates(CircuitBuildConfig::default().relay_candidates);
+        assert_eq!(b, fresh);
+
+        // An in-domain change (site 1 relays the only candidate) is a
+        // different class; here the relaxed proof machine still accepts.
+        let mut spent1 = regens.clone();
+        spent1[1] = 1;
+        let c = cache.relay_candidates(&p, &fd, &spent1, 0, 2, &t);
+        assert_eq!(cache.stats.relay_relaxed_hits, 1);
+        assert_eq!(cache.stats.relay_misses, 1);
+        let fresh1 = RegenGraph::build_with_free_regens(&p, &spent1, &fd, 0, 2)
+            .relay_candidates(CircuitBuildConfig::default().relay_candidates);
+        assert_eq!(c, fresh1);
     }
 
     #[test]

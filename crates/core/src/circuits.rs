@@ -10,11 +10,48 @@
 //! possible optical circuits to satisfy all the desired capacity, we have
 //! to decrease the link capacity" (lines 13–14).
 
-use crate::cache::EnergyCache;
+use crate::cache::{EnergyCache, FiberSet};
 use crate::regen::RegenGraph;
 use crate::telemetry::CoreTelemetry;
 use crate::topology::Topology;
-use owan_optical::{CircuitId, FiberPlant, OpticalState};
+use owan_optical::{Circuit, CircuitId, FiberPlant, OccupancyShadow, OpticalState};
+
+/// Per-pair unions of the probe sets a build consulted: for each desired
+/// pair, every fiber any provisioning attempt's candidate list (under that
+/// attempt's free-regenerator vector) could read or write. Recorded by the
+/// cached and delta builders; the naive builder leaves it empty.
+///
+/// A later delta rebuild resuming from this build uses the log as the
+/// fiber half of its **dirty-set screen**: a pair whose recorded probe
+/// union avoids every diverged fiber (and whose relay domain avoids every
+/// diverged regenerator site) provably reproduces its previous circuits,
+/// with no relay-cache lookups and no attempt walk.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeLog(Vec<((usize, usize), FiberSet)>);
+
+impl ProbeLog {
+    fn get(&self, u: usize, v: usize) -> Option<&FiberSet> {
+        self.0
+            .iter()
+            .find(|&&((a, b), _)| (a, b) == (u, v))
+            .map(|(_, p)| p)
+    }
+
+    fn push(&mut self, u: usize, v: usize, probe: FiberSet) {
+        self.0.push(((u, v), probe));
+    }
+}
+
+/// The log is derived data — two builds with equal circuits have equal
+/// probe unions wherever both recorded them — so it is excluded from
+/// equality: the naive builder records nothing, and the structural
+/// identity the debug assertions check is over achieved topology, optical
+/// state, and circuits.
+impl PartialEq for ProbeLog {
+    fn eq(&self, _: &ProbeLog) -> bool {
+        true
+    }
+}
 
 /// Result of realizing a desired topology in the optical layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +62,8 @@ pub struct BuiltTopology {
     pub optical: OpticalState,
     /// Circuit ids per link, aligned with `achieved.links()` order.
     pub circuits: Vec<((usize, usize), Vec<CircuitId>)>,
+    /// Probe-set unions per desired pair (see [`ProbeLog`]).
+    pub pair_probes: ProbeLog,
 }
 
 impl BuiltTopology {
@@ -121,6 +160,7 @@ pub fn build_topology_observed(
         achieved,
         optical,
         circuits,
+        pair_probes: ProbeLog::default(),
     }
 }
 
@@ -141,11 +181,13 @@ pub fn build_topology_cached(
     let mut optical = OpticalState::new(plant);
     let mut achieved = Topology::empty(desired.site_count());
     let mut circuits = Vec::new();
+    let mut pair_probes = ProbeLog::default();
 
     for (u, v, m) in desired.links() {
         let mut ids = Vec::new();
+        let mut pair_probe = FiberSet::new(plant.fiber_count());
         for _ in 0..m {
-            let candidates = cache.relay_candidates(
+            let (candidates, probe) = cache.relay_candidates_and_probe(
                 plant,
                 fiber_dist,
                 optical.free_regen_vec(),
@@ -153,6 +195,7 @@ pub fn build_topology_cached(
                 v,
                 telemetry,
             );
+            pair_probe.union_with(&probe);
             let mut provisioned = false;
             for relay in &candidates {
                 match optical.provision(plant, relay) {
@@ -172,6 +215,10 @@ pub fn build_topology_cached(
                 break;
             }
         }
+        // Recorded even for pairs that built nothing: the failed attempt
+        // still consulted a candidate list, and a future delta's skip test
+        // replays exactly that attempt.
+        pair_probes.push(u, v, pair_probe);
         if !ids.is_empty() {
             achieved.add_links(u, v, ids.len() as u32);
             circuits.push(((u, v), ids));
@@ -182,6 +229,7 @@ pub fn build_topology_cached(
         achieved,
         optical,
         circuits,
+        pair_probes,
     };
     debug_assert_eq!(
         built,
@@ -204,10 +252,16 @@ const MAX_DELTA_UNITS: u32 = 4;
 /// Incremental circuit rebuild: provisions `desired` by resuming from the
 /// retained build of `prev_desired` instead of rebuilding every link.
 ///
-/// The builder walks every active pair in canonical order, maintaining two
-/// optical states in step: the build under construction and a verbatim
-/// replay of the previous build. For each *unchanged* pair it runs an
-/// exact **skip test**:
+/// The builder walks every active pair in canonical order, maintaining the
+/// build under construction plus a lightweight **occupancy shadow** — the
+/// packed channel words and regenerator vector of a verbatim replay of the
+/// previous build, without circuit storage. It tracks **dirty sets**: the
+/// fibers and regenerator sites on which the live build has provably
+/// diverged from the replay (contributed only by pairs whose circuits
+/// actually changed). An unchanged pair whose relay domain avoids every
+/// dirty site and whose recorded probe union (see [`ProbeLog`]) avoids
+/// every dirty fiber is reused by those two intersections alone. Only
+/// pairs the screen cannot clear run the exact **skip test**:
 ///
 /// 1. the free-regenerator vectors of the two states are equal — so every
 ///    provisioning attempt of a fresh build would query the regenerator
@@ -271,12 +325,32 @@ pub fn try_build_topology_delta(
             .unwrap_or(&[])
     };
 
+    let pc = cache.plant_precompute(plant, fiber_dist);
     let mut optical = OpticalState::new(plant);
-    let mut replay = OpticalState::new(plant);
+    let mut replay = OccupancyShadow::new(plant);
     let mut achieved = Topology::empty(n);
     let mut circuits = Vec::new();
+    let mut pair_probes = ProbeLog::default();
     let mut reused = 0u64;
     let mut rebuilt = 0u64;
+    let mut screened = 0u64;
+
+    // Dirty sets: conservative supersets of where the live build has
+    // diverged from the replay so far. A rebuilt pair whose new circuits
+    // differ from its previous ones contributes the fibers and regenerator
+    // sites of *both* generations; everything else (reused pairs, and
+    // rebuilds that reproduced their circuits verbatim) contributes
+    // nothing, because identical circuits installed on both sides leave
+    // occupancy words and free-regenerator counts equal.
+    let mut dirty_fibers = FiberSet::new(plant.fiber_count());
+    let mut any_dirty = false;
+    let mark_dirty = |c: &Circuit, df: &mut FiberSet| {
+        for seg in &c.segments {
+            for &f in &seg.fibers {
+                df.insert(f);
+            }
+        }
+    };
 
     for u in 0..n {
         for v in u + 1..n {
@@ -289,56 +363,104 @@ pub fn try_build_topology_delta(
 
             // Skip test (unchanged pairs only): would a fresh build, given
             // the state built so far, reproduce the previous circuits?
-            // Attempt by attempt: the candidate lists under the live and
-            // replayed vectors must provably coincide, and channel
-            // occupancy must match on every fiber those candidates can
-            // read or write. Both conditions together reproduce every
-            // wavelength decision and every regenerator consumption,
+            //
+            // Dirty-set screen first: when the pair's relay domain avoids
+            // every diverged regenerator site, the live and replayed
+            // vectors agree on the domain at every attempt (they start
+            // equal there and decrement identically), so each attempt's
+            // candidate list — and hence its probe set — is exactly the
+            // one the previous build recorded. When that recorded probe
+            // union also avoids every diverged fiber, channel occupancy
+            // matches on all fibers any attempt can read or write. Two
+            // bitset intersections then prove what the attempt walk
+            // proves, with no cache lookups at all.
+            //
+            // Only pairs the screen cannot clear fall through to the
+            // exact walk: attempt by attempt, the candidate lists under
+            // the live and replayed vectors must provably coincide, and
+            // channel occupancy must match on every probe fiber —
             // including the trailing failed attempt of a partially
             // satisfied pair.
             let mut use_prev = false;
+            let mut pair_probe: Option<FiberSet> = None;
             if m_prev == m_new {
-                let mut v_live = optical.free_regen_vec().to_vec();
-                let mut v_rep = replay.free_regen_vec().to_vec();
-                let mut ok = true;
-                let extra_attempt = ids.len() < m_prev as usize;
-                for i in 0..ids.len() + usize::from(extra_attempt) {
-                    let Some(probe) = cache
-                        .attempt_equivalent(plant, fiber_dist, &v_live, &v_rep, u, v, telemetry)
-                    else {
-                        ok = false;
-                        break;
-                    };
-                    if probe
-                        .iter()
-                        .any(|f| optical.channel_occupancy(f) != replay.channel_occupancy(f))
+                // Pairs whose live and replayed vectors agree on the relay
+                // domain are decided without any cache lookup. Equal domain
+                // projections at the pair's start stay equal through every
+                // attempt (both sides decrement by the same circuits), so
+                // candidate-list equality holds attempt by attempt — and
+                // each attempt's probe set is then exactly the one the
+                // previous build recorded, so the occupancy comparison
+                // runs on the recorded union, restricted to its dirty
+                // fibers (clean fibers are equal by the dirty invariant).
+                // Equality there is precisely what the attempt walk would
+                // establish; inequality is precisely where it would fail.
+                // The walk below remains only for pairs whose projections
+                // genuinely diverge — where Yen output equality needs the
+                // cache's relaxed prover.
+                let proj_equal = !any_dirty || {
+                    let lv = optical.free_regen_vec();
+                    let rv = replay.free_regen_vec();
+                    pc.domain(u, v).iter().all(|&s| lv[s] == rv[s])
+                };
+                let recorded = prev_built.pair_probes.get(u, v);
+                if proj_equal && recorded.is_some() {
+                    let prev_probe = recorded.expect("checked");
+                    if prev_probe
+                        .iter_common(&dirty_fibers)
+                        .all(|f| optical.occupancy_words(f) == replay.occupancy_words(f))
                     {
-                        ok = false;
-                        break;
+                        use_prev = true;
+                        pair_probe = Some(prev_probe.clone());
+                        screened += 1;
                     }
-                    if let Some(&id) = ids.get(i) {
-                        let c = prev_built.optical.circuit(id).expect("live circuit");
-                        for &s in &c.regen_sites {
-                            v_live[s] -= 1;
-                            v_rep[s] -= 1;
+                    // else: a probe fiber genuinely diverged — rebuild,
+                    // exactly as a failed walk would.
+                } else {
+                    let mut v_live = optical.free_regen_vec().to_vec();
+                    let mut v_rep = replay.free_regen_vec().to_vec();
+                    let mut walk_probe = FiberSet::new(plant.fiber_count());
+                    let mut ok = true;
+                    let extra_attempt = ids.len() < m_prev as usize;
+                    for i in 0..ids.len() + usize::from(extra_attempt) {
+                        let Some(probe) = cache.attempt_equivalent(
+                            plant, fiber_dist, &v_live, &v_rep, u, v, telemetry,
+                        ) else {
+                            ok = false;
+                            break;
+                        };
+                        if probe
+                            .iter()
+                            .any(|f| optical.occupancy_words(f) != replay.occupancy_words(f))
+                        {
+                            ok = false;
+                            break;
+                        }
+                        walk_probe.union_with(&probe);
+                        if let Some(&id) = ids.get(i) {
+                            let c = prev_built.optical.circuit(id).expect("live circuit");
+                            for &s in &c.regen_sites {
+                                v_live[s] -= 1;
+                                v_rep[s] -= 1;
+                            }
                         }
                     }
+                    use_prev = ok;
+                    if ok {
+                        pair_probe = Some(walk_probe);
+                    }
                 }
-                use_prev = ok;
             }
 
             if use_prev {
                 reused += 1;
                 let mut pair_ids = Vec::new();
                 for &id in ids {
-                    let c = prev_built
-                        .optical
-                        .circuit(id)
-                        .expect("live circuit")
-                        .clone();
-                    replay.install(c.clone());
-                    pair_ids.push(optical.install(c));
+                    let c = prev_built.optical.circuit(id).expect("live circuit");
+                    replay.install(c);
+                    pair_ids.push(optical.install(c.clone()));
                 }
+                pair_probes.push(u, v, pair_probe.expect("probe recorded on reuse"));
                 if !pair_ids.is_empty() {
                     achieved.add_links(u, v, pair_ids.len() as u32);
                     circuits.push(((u, v), pair_ids));
@@ -348,22 +470,25 @@ pub fn try_build_topology_delta(
 
             // Keep the replay in step regardless of how this pair is built.
             for &id in ids {
-                let c = prev_built
-                    .optical
-                    .circuit(id)
-                    .expect("live circuit")
-                    .clone();
-                replay.install(c);
+                replay.install(prev_built.optical.circuit(id).expect("live circuit"));
             }
 
             // Re-provision this pair exactly as a fresh cached build would.
             if m_new == 0 {
+                // The previous circuits vanish from the live build: their
+                // channels and regenerators now differ from the replay.
+                for &id in ids {
+                    let c = prev_built.optical.circuit(id).expect("live circuit");
+                    mark_dirty(c, &mut dirty_fibers);
+                    any_dirty = true;
+                }
                 continue;
             }
             rebuilt += 1;
             let mut pair_ids = Vec::new();
+            let mut rebuild_probe = FiberSet::new(plant.fiber_count());
             for _ in 0..m_new {
-                let candidates = cache.relay_candidates(
+                let (candidates, probe) = cache.relay_candidates_and_probe(
                     plant,
                     fiber_dist,
                     optical.free_regen_vec(),
@@ -371,6 +496,7 @@ pub fn try_build_topology_delta(
                     v,
                     telemetry,
                 );
+                rebuild_probe.union_with(&probe);
                 let mut provisioned = false;
                 for relay in &candidates {
                     match optical.provision(plant, relay) {
@@ -390,6 +516,29 @@ pub fn try_build_topology_delta(
                     break;
                 }
             }
+            pair_probes.push(u, v, rebuild_probe);
+
+            // A rebuild that reproduced the previous circuits verbatim
+            // (the walk merely failed to *prove* it would) leaves live and
+            // replay identical on every fiber and site it touched — no
+            // dirt, so the screen stays sharp for the pairs after it.
+            let identical = pair_ids.len() == ids.len()
+                && pair_ids
+                    .iter()
+                    .zip(ids)
+                    .all(|(&nid, &oid)| optical.circuit(nid) == prev_built.optical.circuit(oid));
+            if !identical {
+                for &id in ids {
+                    let c = prev_built.optical.circuit(id).expect("live circuit");
+                    mark_dirty(c, &mut dirty_fibers);
+                }
+                for &id in &pair_ids {
+                    let c = optical.circuit(id).expect("just provisioned");
+                    mark_dirty(c, &mut dirty_fibers);
+                }
+                any_dirty = true;
+            }
+
             if !pair_ids.is_empty() {
                 achieved.add_links(u, v, pair_ids.len() as u32);
                 circuits.push(((u, v), pair_ids));
@@ -400,11 +549,13 @@ pub fn try_build_topology_delta(
     cache.stats.delta_builds += 1;
     cache.stats.delta_pairs_reused += reused;
     cache.stats.delta_pairs_rebuilt += rebuilt;
+    cache.stats.delta_pairs_screened += screened;
 
     let built = BuiltTopology {
         achieved,
         optical,
         circuits,
+        pair_probes,
     };
     debug_assert_eq!(
         built,

@@ -11,12 +11,15 @@ use crate::circuits::{
     build_topology_cached, build_topology_observed, try_build_topology_delta, BuiltTopology,
     CircuitBuildConfig,
 };
-use crate::rates::{assign_rates_observed, RateAssignConfig, RateOutcome};
+use crate::rates::{
+    assign_rates_delta_observed, assign_rates_observed, RateAssignConfig, RateOutcome,
+};
 use crate::telemetry::CoreTelemetry;
 use crate::topology::Topology;
 use crate::types::{SchedulingPolicy, Transfer};
 use owan_optical::FiberPlant;
 use owan_prof::Profiler;
+use std::sync::Arc;
 
 /// Everything `ComputeEnergy` produced for one candidate topology.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,24 +146,26 @@ impl<'a, 'c> EnergyEvaluator<'a, 'c> {
 
     /// Evaluates `desired`. `basis` is an already-evaluated nearby state
     /// (the annealer passes the current state when evaluating a neighbor);
-    /// it seeds the delta rebuild and is ignored on the naive path.
+    /// it seeds the delta rebuild and the delta rate pass, and is ignored
+    /// on the naive path. Outcomes are shared behind an [`Arc`] so the
+    /// memo, the annealer's current/best snapshots, and the caller never
+    /// deep-clone the circuit set.
     pub fn eval(
         &mut self,
         desired: &Topology,
         basis: Option<(&Topology, &EnergyOutcome)>,
-    ) -> EnergyOutcome {
+    ) -> Arc<EnergyOutcome> {
         let ctx = self.ctx;
         let _region = ctx.prof.region("eval");
         let Some(cache) = self.cache.as_deref_mut() else {
             self.telemetry.anneal_cache_miss.incr();
             self.telemetry.cache_miss_uncached.incr();
-            return compute_energy_observed(ctx, desired, self.telemetry);
+            return Arc::new(compute_energy_observed(ctx, desired, self.telemetry));
         };
 
         if let Some(hit) = cache.lookup_outcome(desired) {
-            let out = hit.clone();
             self.telemetry.anneal_cache_hit.incr();
-            return out;
+            return hit;
         }
         self.telemetry.anneal_cache_miss.incr();
         // Miss attribution: a refused-at-capacity repeat is `capacity`;
@@ -224,23 +229,36 @@ impl<'a, 'c> EnergyEvaluator<'a, 'c> {
                 let rates = {
                     let _span = self.telemetry.rates.enter();
                     let _region = ctx.prof.region("rates");
-                    assign_rates_observed(
-                        &built.achieved,
-                        theta,
-                        ctx.transfers,
-                        ctx.policy,
-                        ctx.slot_len_s,
-                        &ctx.rate_config,
-                        self.telemetry,
-                    )
+                    match basis {
+                        Some((_, prev)) => assign_rates_delta_observed(
+                            &built.achieved,
+                            &prev.built.achieved,
+                            &prev.rates,
+                            theta,
+                            ctx.transfers,
+                            ctx.policy,
+                            ctx.slot_len_s,
+                            &ctx.rate_config,
+                            self.telemetry,
+                        ),
+                        None => assign_rates_observed(
+                            &built.achieved,
+                            theta,
+                            ctx.transfers,
+                            ctx.policy,
+                            ctx.slot_len_s,
+                            &ctx.rate_config,
+                            self.telemetry,
+                        ),
+                    }
                 };
                 cache.store_rates(built.achieved.clone(), rates.clone());
                 rates
             }
         };
 
-        let outcome = EnergyOutcome { built, rates };
-        cache.store_outcome(desired.clone(), outcome.clone());
+        let outcome = Arc::new(EnergyOutcome { built, rates });
+        cache.store_outcome(desired.clone(), Arc::clone(&outcome));
         outcome
     }
 }

@@ -7,7 +7,7 @@
 //! 1–3). The Owan engine runs the simulated-annealing joint optimization;
 //! baselines keep a fixed topology and only recompute routing/rates.
 
-use crate::anneal::{anneal_parallel_with_caches, AnnealConfig};
+use crate::anneal::{anneal_parallel_pooled, AnnealConfig};
 use crate::cache::EnergyCache;
 use crate::circuits::CircuitBuildConfig;
 use crate::rates::RateAssignConfig;
@@ -83,6 +83,12 @@ pub struct OwanConfig {
     /// ever adds candidate results). The best-of reduction is
     /// deterministic regardless of thread scheduling.
     pub chains: usize,
+    /// Worker budget of the chain evaluation pool: `None` sizes it to the
+    /// machine, `Some(1)` runs every chain inline on the caller thread
+    /// (zero spawn overhead — what a single-core host wants), `Some(w)`
+    /// caps helper threads at `w − 1`. Plans are identical for every
+    /// setting; only wall-clock changes.
+    pub eval_workers: Option<usize>,
 }
 
 impl Default for OwanConfig {
@@ -93,6 +99,7 @@ impl Default for OwanConfig {
             rate: RateAssignConfig::default(),
             policy: SchedulingPolicy::ShortestJobFirst,
             chains: 1,
+            eval_workers: None,
         }
     }
 }
@@ -178,12 +185,13 @@ impl TrafficEngineer for OwanEngine {
             .wrapping_add(self.slot_counter);
         self.slot_counter += 1;
 
-        let result = anneal_parallel_with_caches(
+        let result = anneal_parallel_pooled(
             &ctx,
             &self.current,
             &cfg,
             self.config.chains,
             &mut self.caches,
+            self.config.eval_workers,
             &self.telemetry,
         );
         self.current = result.outcome.built.achieved.clone();

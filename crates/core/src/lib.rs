@@ -49,6 +49,7 @@ pub mod circuits;
 pub mod energy;
 pub mod engine;
 pub mod groups;
+pub mod pool;
 pub mod rates;
 pub mod regen;
 pub mod telemetry;
@@ -56,10 +57,12 @@ pub mod topology;
 pub mod types;
 
 pub use anneal::{
-    anneal, anneal_observed, anneal_parallel, anneal_parallel_with_caches, anneal_with_cache,
-    chain_seed, AnnealConfig, AnnealResult,
+    anneal, anneal_observed, anneal_parallel, anneal_parallel_pooled, anneal_parallel_with_caches,
+    anneal_with_cache, chain_seed, AnnealConfig, AnnealResult,
 };
-pub use cache::{plant_fingerprint, EnergyCache, EnergyCacheStats, FiberSet, MissReason};
+pub use cache::{
+    plant_fingerprint, EnergyCache, EnergyCacheStats, FiberSet, MissReason, PlantCache,
+};
 pub use circuits::{
     build_topology, build_topology_cached, build_topology_observed, try_build_topology_delta,
     BuiltTopology, CircuitBuildConfig,
@@ -72,9 +75,10 @@ pub use engine::{
     SlotPlan, TrafficEngineer,
 };
 pub use groups::{effective_bottleneck_s, group_completion_s, sebf_order, TransferGroup};
+pub use pool::EvalPool;
 pub use rates::{
-    assign_rates, assign_rates_observed, assign_rates_ordered, assign_rates_ordered_observed,
-    RateAssignConfig, RateOutcome,
+    assign_rates, assign_rates_delta_observed, assign_rates_observed, assign_rates_ordered,
+    assign_rates_ordered_observed, RateAssignConfig, RateOutcome,
 };
 pub use regen::RegenGraph;
 pub use telemetry::CoreTelemetry;

@@ -12,6 +12,7 @@ use crate::telemetry::CoreTelemetry;
 use crate::topology::Topology;
 use crate::types::{Allocation, SchedulingPolicy, Transfer};
 use owan_optical::SiteId;
+use std::collections::HashMap;
 
 const EPS: f64 = 1e-9;
 
@@ -258,6 +259,7 @@ pub fn assign_rates_ordered_observed(
     telemetry: &CoreTelemetry,
 ) -> RateOutcome {
     debug_assert_eq!(order.len(), transfers.len());
+    telemetry.rates_full_evals.incr();
     let mut residual = Residual::new(topology, theta);
 
     let mut demand: Vec<f64> = transfers
@@ -325,6 +327,298 @@ pub fn assign_rates_ordered_observed(
         allocations,
         throughput_gbps: throughput,
     }
+}
+
+/// Symmetric edge set over which the live and basis residuals may differ.
+///
+/// Seeded with every pair whose initial capacity changed between the two
+/// topologies; grows as recomputed transfers allocate differently from the
+/// basis (both the live and the basis grab edges join, since both residuals
+/// moved where the other did not).
+struct DirtyEdges {
+    n: usize,
+    mat: Vec<bool>,
+    pairs: Vec<(SiteId, SiteId)>,
+}
+
+impl DirtyEdges {
+    fn new(n: usize) -> Self {
+        DirtyEdges {
+            n,
+            mat: vec![false; n * n],
+            pairs: Vec::new(),
+        }
+    }
+
+    fn mark(&mut self, u: SiteId, v: SiteId) {
+        let (a, b) = (u.min(v), u.max(v));
+        if !self.mat[a * self.n + b] {
+            self.mat[a * self.n + b] = true;
+            self.mat[b * self.n + a] = true;
+            self.pairs.push((a, b));
+        }
+    }
+
+    fn mark_path(&mut self, path: &[SiteId]) {
+        for w in path.windows(2) {
+            self.mark(w[0], w[1]);
+        }
+    }
+}
+
+/// Hop distances from `from` over the static union graph (edges with
+/// positive *initial* capacity in either topology). Capacities only shrink
+/// as rounds consume them, so these are lower bounds on the hop distance in
+/// any residual state of either run — the basis run and the live one.
+fn union_bfs(adj: &[Vec<SiteId>], from: SiteId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; adj.len()];
+    dist[from] = 0;
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// True when no dirty edge can be touched by a length-`l` path search from
+/// `src` to `dst`: every simple path of ≤ `l` hops traversing dirty edge
+/// `(a, b)`, and every DFS probe of it, implies
+/// `min(dU(src,a)+1+dU(b,dst), dU(src,b)+1+dU(a,dst)) ≤ l` over the union
+/// graph, so a strict `> l` for every dirty pair guarantees the search
+/// reads only edges where live and basis residuals agree.
+fn screen_clear(
+    src: SiteId,
+    dst: SiteId,
+    l: usize,
+    dirty: &DirtyEdges,
+    union_adj: &[Vec<SiteId>],
+    union_dist: &mut HashMap<SiteId, Vec<usize>>,
+) -> bool {
+    if dirty.pairs.is_empty() {
+        return true;
+    }
+    union_dist
+        .entry(src)
+        .or_insert_with(|| union_bfs(union_adj, src));
+    union_dist
+        .entry(dst)
+        .or_insert_with(|| union_bfs(union_adj, dst));
+    let ds = &union_dist[&src];
+    let dd = &union_dist[&dst];
+    let corridor = |x: usize, y: usize| {
+        if x == usize::MAX || y == usize::MAX {
+            usize::MAX
+        } else {
+            x + 1 + y
+        }
+    };
+    dirty
+        .pairs
+        .iter()
+        .all(|&(a, b)| corridor(ds[a], dd[b]) > l && corridor(ds[b], dd[a]) > l)
+}
+
+/// [`assign_rates_observed`] seeded by the outcome of a *nearby* basis
+/// topology: the delta path replays the basis allocation wherever the
+/// round's path search provably cannot observe any capacity that differs
+/// from the basis run, and falls back to the real DFS (on the live
+/// residual, so the result is exact by construction) everywhere else.
+///
+/// Soundness: the expensive part of a round — [`Residual::paths_of_length`]
+/// — reads only residual entries inside the `l`-hop corridor between the
+/// transfer's endpoints, and its completed-path sequence is independent of
+/// the `dist_to_dst` pruning hints (they are lower bounds; pruning can
+/// only skip completion-free subtrees). So if a transfer has never
+/// diverged from its basis trajectory and no dirty edge intersects the
+/// corridor ([`screen_clear`]), the DFS would return exactly the basis
+/// grabs — we apply them without searching. Replayed grabs perform the
+/// same floating-point operations in the same order as a from-scratch
+/// run, so the outcome is **bit-identical**; debug builds assert this
+/// against a full recompute on every call.
+#[allow(clippy::too_many_arguments)]
+pub fn assign_rates_delta_observed(
+    topology: &Topology,
+    basis_topology: &Topology,
+    basis: &RateOutcome,
+    theta: f64,
+    transfers: &[Transfer],
+    policy: SchedulingPolicy,
+    slot_len_s: f64,
+    config: &RateAssignConfig,
+    telemetry: &CoreTelemetry,
+) -> RateOutcome {
+    telemetry.rates_delta_evals.incr();
+    let order = policy.order(transfers, config.starvation_threshold);
+    telemetry.starvation_promotions.add(
+        transfers
+            .iter()
+            .filter(|t| t.starved_slots >= config.starvation_threshold)
+            .count() as u64,
+    );
+
+    let n = topology.site_count();
+    debug_assert_eq!(basis_topology.site_count(), n);
+    let mut residual = Residual::new(topology, theta);
+    let basis_init = Residual::new(basis_topology, theta);
+
+    let mut dirty = DirtyEdges::new(n);
+    let mut union_adj: Vec<Vec<SiteId>> = vec![Vec::new(); n];
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if residual.get(u, v).to_bits() != basis_init.get(u, v).to_bits() {
+                dirty.mark(u, v);
+            }
+            if residual.get(u, v) > EPS || basis_init.get(u, v) > EPS {
+                union_adj[u].push(v);
+                union_adj[v].push(u);
+            }
+        }
+    }
+    let mut union_dist: HashMap<SiteId, Vec<usize>> = HashMap::new();
+
+    // The basis grabs for transfer `i` at round `l` are exactly its stored
+    // paths of `l` hops, in stored order (a round-`l` grab always has `l`
+    // hops, and per-transfer path order is grab order).
+    let mut buckets: Vec<Vec<Vec<(&Vec<SiteId>, f64)>>> =
+        vec![vec![Vec::new(); config.max_path_hops + 1]; transfers.len()];
+    {
+        let by_id: HashMap<usize, &Allocation> =
+            basis.allocations.iter().map(|a| (a.transfer, a)).collect();
+        for (i, t) in transfers.iter().enumerate() {
+            if let Some(a) = by_id.get(&t.id) {
+                for (path, rate) in &a.paths {
+                    let l = path.len() - 1;
+                    if l <= config.max_path_hops {
+                        buckets[i][l].push((path, *rate));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut diverged = vec![false; transfers.len()];
+    let mut demand: Vec<f64> = transfers
+        .iter()
+        .map(|t| t.demand_rate_gbps(slot_len_s))
+        .collect();
+    let mut allocations: Vec<Allocation> = transfers
+        .iter()
+        .map(|t| Allocation {
+            transfer: t.id,
+            paths: Vec::new(),
+        })
+        .collect();
+    let mut throughput = 0.0;
+
+    'outer: for l in 1..=config.max_path_hops {
+        let any_demand = demand.iter().any(|&d| d > EPS);
+        if !any_demand || !residual.any_free() {
+            break 'outer;
+        }
+        let mut dist_cache: HashMap<SiteId, Vec<usize>> = HashMap::new();
+        for &i in &order {
+            let bucket = &buckets[i][l];
+            if demand[i] <= EPS {
+                // The basis run may still have grabbed here (its demand
+                // trajectory diverged from ours), moving the basis residual
+                // where the live one stays put.
+                if diverged[i] {
+                    for (p, _) in bucket {
+                        dirty.mark_path(p);
+                    }
+                }
+                continue;
+            }
+            let t = &transfers[i];
+            if t.src == t.dst {
+                demand[i] = 0.0;
+                continue;
+            }
+            if !diverged[i] && screen_clear(t.src, t.dst, l, &dirty, &union_adj, &mut union_dist) {
+                // Replay: same grabs, same float ops, same order.
+                for (path, rate) in bucket {
+                    residual.consume(path, *rate);
+                    demand[i] -= *rate;
+                    throughput += *rate;
+                    telemetry.allocations_made.incr();
+                    allocations[i].paths.push(((*path).clone(), *rate));
+                }
+                continue;
+            }
+            // Recompute on the live residual — exact by construction.
+            let dist_to_dst = dist_cache
+                .entry(t.dst)
+                .or_insert_with(|| residual.hop_distances_to(t.dst));
+            let paths =
+                residual.paths_of_length(t.src, t.dst, l, config.max_paths_per_round, dist_to_dst);
+            telemetry.paths_examined.add(paths.len() as u64);
+            let grab_start = allocations[i].paths.len();
+            for path in paths {
+                if demand[i] <= EPS {
+                    break;
+                }
+                let min_c = path
+                    .windows(2)
+                    .map(|w| residual.get(w[0], w[1]))
+                    .fold(f64::INFINITY, f64::min);
+                let rate = demand[i].min(min_c);
+                if rate > EPS {
+                    residual.consume(&path, rate);
+                    demand[i] -= rate;
+                    throughput += rate;
+                    telemetry.allocations_made.incr();
+                    allocations[i].paths.push((path, rate));
+                }
+            }
+            let grabs = &allocations[i].paths[grab_start..];
+            let equal = !diverged[i]
+                && grabs.len() == bucket.len()
+                && grabs
+                    .iter()
+                    .zip(bucket)
+                    .all(|((p, r), (bp, br))| p == *bp && r.to_bits() == br.to_bits());
+            if !equal {
+                // Recomputed-but-equal grabs keep the transfer clean; a
+                // difference taints both runs' touched edges for good.
+                diverged[i] = true;
+                let touched: Vec<Vec<SiteId>> = grabs.iter().map(|(p, _)| p.clone()).collect();
+                for p in &touched {
+                    dirty.mark_path(p);
+                }
+                for (p, _) in bucket {
+                    dirty.mark_path(p);
+                }
+            }
+        }
+    }
+
+    allocations.retain(|a| !a.paths.is_empty());
+    let outcome = RateOutcome {
+        allocations,
+        throughput_gbps: throughput,
+    };
+    #[cfg(debug_assertions)]
+    {
+        let fresh = assign_rates_ordered_observed(
+            topology,
+            theta,
+            transfers,
+            &order,
+            slot_len_s,
+            config,
+            &CoreTelemetry::disabled(),
+        );
+        debug_assert_eq!(
+            outcome, fresh,
+            "delta rate pass must be bit-identical to a from-scratch run"
+        );
+    }
+    outcome
 }
 
 #[cfg(test)]
@@ -531,6 +825,63 @@ mod tests {
             &RateAssignConfig::default(),
         );
         assert_eq!(out.throughput_gbps, 0.0);
+    }
+
+    #[test]
+    fn delta_rates_match_full_recompute() {
+        // Basis = the Figure-3 square; currents perturb it the way ≤4-link
+        // neighbor moves do (multiplicity bumps, removals, new links).
+        let basis_topo = square();
+        let ts = vec![
+            transfer(0, 0, 1, 20.0),
+            transfer(1, 2, 3, 12.0),
+            transfer(2, 0, 3, 7.0),
+            transfer(3, 1, 2, 35.0),
+        ];
+        let cfg = RateAssignConfig::default();
+        let basis_out = assign_rates(
+            &basis_topo,
+            10.0,
+            &ts,
+            SchedulingPolicy::ShortestJobFirst,
+            1.0,
+            &cfg,
+        );
+
+        let mut variants = Vec::new();
+        variants.push(basis_topo.clone()); // identity: pure replay
+        let mut v = basis_topo.clone();
+        v.add_links(0, 1, 1); // bump one multiplicity
+        variants.push(v);
+        let mut v = Topology::empty(4); // drop a link, add a chord
+        v.add_links(0, 1, 1);
+        v.add_links(0, 2, 1);
+        v.add_links(1, 3, 1);
+        v.add_links(0, 3, 2);
+        variants.push(v);
+
+        for current in &variants {
+            let full = assign_rates(
+                current,
+                10.0,
+                &ts,
+                SchedulingPolicy::ShortestJobFirst,
+                1.0,
+                &cfg,
+            );
+            let delta = assign_rates_delta_observed(
+                current,
+                &basis_topo,
+                &basis_out,
+                10.0,
+                &ts,
+                SchedulingPolicy::ShortestJobFirst,
+                1.0,
+                &cfg,
+                &CoreTelemetry::disabled(),
+            );
+            assert_eq!(delta, full, "delta diverged on {current:?}");
+        }
     }
 
     #[test]

@@ -135,6 +135,69 @@ where
     ShortestPaths { source, dist, pred }
 }
 
+/// Dijkstra with an edge filter that stops as soon as `dst` is settled,
+/// returning only the path to it. Popping a node finalizes its distance
+/// and its predecessor chain (every node on the path popped earlier, and
+/// relaxations update only on strict improvement), so the returned path is
+/// bit-identical to the one [`shortest_paths_filtered`] reconstructs — the
+/// search just skips the part of the graph beyond `dst`. Yen's inner loop
+/// is the heavy caller: its spur searches need exactly one target.
+pub fn shortest_path_filtered_to<F>(
+    g: &Graph,
+    source: NodeId,
+    dst: NodeId,
+    mut allow: F,
+) -> Option<Path>
+where
+    F: FnMut(EdgeId, NodeId) -> bool,
+{
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+
+    dist[source] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        if u == dst {
+            break;
+        }
+        for (eid, v) in g.neighbors(u) {
+            if done[v] || !allow(eid, v) {
+                continue;
+            }
+            let nd = d + g.edge(eid).weight;
+            if nd < dist[v] {
+                dist[v] = nd;
+                pred[v] = Some((u, eid));
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+
+    if !dist[dst].is_finite() {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while let Some((prev, _)) = pred[cur] {
+        nodes.push(prev);
+        cur = prev;
+    }
+    nodes.reverse();
+    debug_assert_eq!(nodes[0], source);
+    Some(Path::new(nodes, dist[dst]))
+}
+
 /// Convenience: shortest path between a pair of nodes.
 pub fn shortest_path_between(g: &Graph, src: NodeId, dst: NodeId) -> Option<Path> {
     shortest_paths(g, src).full_path_to(dst)

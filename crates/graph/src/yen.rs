@@ -5,7 +5,7 @@
 //! those candidates. Paths are returned in non-decreasing cost order and are
 //! guaranteed loopless.
 
-use crate::dijkstra::{shortest_paths_filtered, ShortestPaths};
+use crate::dijkstra::shortest_path_filtered_to;
 use crate::graph::{EdgeId, Graph, NodeId};
 use crate::Path;
 
@@ -29,6 +29,19 @@ pub fn k_shortest_paths(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Pa
 
     while found.len() < k {
         let last = found.last().expect("at least one found path").clone();
+        // Prefix costs of the last path's roots, accumulated left to right —
+        // the same order `path_cost` sums in, so each prefix is bit-equal to
+        // recomputing it from scratch at its spur index.
+        let mut root_costs = Vec::with_capacity(last.nodes.len());
+        root_costs.push(0.0f64);
+        for w in last.nodes.windows(2) {
+            let hop = g
+                .neighbors(w[0])
+                .filter(|&(_, n)| n == w[1])
+                .map(|(e, _)| g.edge(e).weight)
+                .fold(f64::INFINITY, f64::min);
+            root_costs.push(root_costs.last().expect("non-empty") + hop);
+        }
         // Spur from every node of the last found path except the destination.
         for i in 0..last.nodes.len() - 1 {
             let spur_node = last.nodes[i];
@@ -56,8 +69,7 @@ pub fn k_shortest_paths(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Pa
                 // Stitch root + spur path.
                 let mut nodes = root[..i].to_vec();
                 nodes.extend_from_slice(&spur.nodes);
-                let root_cost = path_cost(g, root);
-                let total = Path::new(nodes, root_cost + spur.cost());
+                let total = Path::new(nodes, root_costs[i] + spur.cost());
                 if !found.contains(&total) && !candidates.contains(&total) {
                     candidates.push(total);
                 }
@@ -85,7 +97,8 @@ pub fn k_shortest_paths(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Pa
     found
 }
 
-/// Shortest path avoiding the given edges and nodes.
+/// Shortest path avoiding the given edges and nodes. The search settles
+/// nodes only until `dst` pops — identical output, less work.
 fn full_shortest(
     g: &Graph,
     src: NodeId,
@@ -96,25 +109,9 @@ fn full_shortest(
     if banned_nodes.contains(&src) || banned_nodes.contains(&dst) {
         return None;
     }
-    let sp: ShortestPaths = shortest_paths_filtered(g, src, |eid, head| {
+    shortest_path_filtered_to(g, src, dst, |eid, head| {
         !banned_edges.contains(&eid) && !banned_nodes.contains(&head)
-    });
-    sp.full_path_to(dst)
-}
-
-/// Cost of walking the node sequence, taking the lightest parallel edge at
-/// every hop. Returns 0 for a single node.
-fn path_cost(g: &Graph, nodes: &[NodeId]) -> f64 {
-    nodes
-        .windows(2)
-        .map(|w| {
-            g.neighbors(w[0])
-                .filter(|&(_, n)| n == w[1])
-                .map(|(e, _)| g.edge(e).weight)
-                .fold(f64::INFINITY, f64::min)
-        })
-        .sum::<f64>()
-        .max(0.0)
+    })
 }
 
 #[cfg(test)]

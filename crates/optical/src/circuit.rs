@@ -104,14 +104,31 @@ impl std::fmt::Display for ProvisionError {
 
 impl std::error::Error for ProvisionError {}
 
+/// Words needed to hold one bit per channel for the widest fiber. Every
+/// fiber uses the same stride so occupancy lives in one flat allocation.
+fn words_for(channels: &[u32]) -> usize {
+    let max = channels.iter().copied().max().unwrap_or(0) as usize;
+    ((max + 63) / 64).max(1)
+}
+
 /// Dynamic optical-layer state over a [`FiberPlant`].
 ///
 /// Tracks per-fiber channel occupancy, per-site free regenerators, and live
 /// circuits. Provisioning is all-or-nothing: on error, no state changes.
+///
+/// Occupancy is bitset-packed: fiber `f`'s channels live in the
+/// `words_per_fiber` u64 words starting at `f * words_per_fiber`, bit
+/// `c % 64` of word `c / 64` set when channel `c` is in use. First-fit
+/// wavelength selection and occupancy comparisons are word operations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpticalState {
-    /// `channel_used[fiber][channel]`.
-    channel_used: Vec<Vec<bool>>,
+    /// Packed occupancy words, `words_per_fiber` per fiber.
+    channel_words: Vec<u64>,
+    /// Word stride per fiber (sized for the widest fiber in the plant).
+    words_per_fiber: usize,
+    /// Usable channels per fiber (folds in degradation caps); bits at or
+    /// beyond this count are never set.
+    channels: Vec<u32>,
     /// Free regenerators per site.
     regens_free: Vec<u32>,
     /// Live circuits (`None` = torn down).
@@ -123,13 +140,26 @@ impl OpticalState {
     /// fiber gets its own channel count ([`FiberPlant::usable_wavelengths`]),
     /// so degraded fibers expose fewer slots.
     pub fn new(plant: &FiberPlant) -> Self {
+        let channels: Vec<u32> = (0..plant.fiber_count())
+            .map(|f| plant.usable_wavelengths(f))
+            .collect();
+        let words_per_fiber = words_for(&channels);
         OpticalState {
-            channel_used: (0..plant.fiber_count())
-                .map(|f| vec![false; plant.usable_wavelengths(f) as usize])
-                .collect(),
+            channel_words: vec![0; words_per_fiber * plant.fiber_count()],
+            words_per_fiber,
+            channels,
             regens_free: plant.sites().iter().map(|s| s.regenerators).collect(),
             circuits: Vec::new(),
         }
+    }
+
+    /// Flat word index and bit mask addressing `channel` on `fiber`.
+    #[inline]
+    fn word_bit(&self, fiber: FiberId, channel: u32) -> (usize, u64) {
+        (
+            fiber * self.words_per_fiber + (channel as usize) / 64,
+            1u64 << (channel % 64),
+        )
     }
 
     /// Free regenerators at `site`.
@@ -144,22 +174,32 @@ impl OpticalState {
         &self.regens_free
     }
 
-    /// Per-channel occupancy of `fiber` (`true` = in use). First-fit
-    /// wavelength selection reads exactly this slice, so two states with
-    /// equal occupancy on every fiber a provisioning attempt can touch
-    /// make identical channel choices.
-    pub fn channel_occupancy(&self, fiber: FiberId) -> &[bool] {
-        &self.channel_used[fiber]
+    /// Packed occupancy words of `fiber`. First-fit wavelength selection
+    /// reads exactly these bits, so two states with equal words on every
+    /// fiber a provisioning attempt can touch make identical channel
+    /// choices — occupancy-probe skip tests compare these slices.
+    pub fn occupancy_words(&self, fiber: FiberId) -> &[u64] {
+        let start = fiber * self.words_per_fiber;
+        &self.channel_words[start..start + self.words_per_fiber]
+    }
+
+    /// Whether `channel` is in use on `fiber`.
+    pub fn channel_in_use(&self, fiber: FiberId, channel: u32) -> bool {
+        let (word, bit) = self.word_bit(fiber, channel);
+        self.channel_words[word] & bit != 0
     }
 
     /// Number of channels in use on `fiber`.
     pub fn channels_used(&self, fiber: FiberId) -> u32 {
-        self.channel_used[fiber].iter().filter(|&&u| u).count() as u32
+        self.occupancy_words(fiber)
+            .iter()
+            .map(|w| w.count_ones())
+            .sum()
     }
 
     /// Number of free channels on `fiber`.
     pub fn channels_free(&self, fiber: FiberId) -> u32 {
-        self.channel_used[fiber].iter().filter(|&&u| !u).count() as u32
+        self.channels[fiber] - self.channels_used(fiber)
     }
 
     /// The circuit with id `id`, if still provisioned.
@@ -212,8 +252,10 @@ impl OpticalState {
 
         // Plan phase: compute all segments against a tentative occupancy
         // overlay so that two segments of the same circuit cannot take the
-        // same channel on a shared fiber.
-        let mut tentative = self.channel_used.clone();
+        // same channel on a shared fiber. The overlay is a short list of
+        // (word index, bits) pairs — only the circuit's own marks — instead
+        // of a clone of the full occupancy matrix.
+        let mut tentative: Vec<(usize, u64)> = Vec::new();
         let mut segments = Vec::with_capacity(relay_sites.len() - 1);
         for w in relay_sites.windows(2) {
             let (from, to) = (w[0], w[1]);
@@ -228,10 +270,15 @@ impl OpticalState {
                     reach_km: reach as u64,
                 });
             }
-            let channel = first_fit_channel(&tentative, &fibers)
+            let channel = self
+                .first_fit_channel(&tentative, &fibers)
                 .ok_or(ProvisionError::NoWavelength { from, to })?;
             for &fid in &fibers {
-                tentative[fid][channel as usize] = true;
+                let (word, bit) = self.word_bit(fid, channel);
+                match tentative.iter_mut().find(|(w, _)| *w == word) {
+                    Some(entry) => entry.1 |= bit,
+                    None => tentative.push((word, bit)),
+                }
             }
             segments.push(Segment {
                 fibers,
@@ -252,7 +299,10 @@ impl OpticalState {
         // decrement per site suffices.
 
         // Commit.
-        self.channel_used = tentative;
+        for &(word, bits) in &tentative {
+            debug_assert_eq!(self.channel_words[word] & bits, 0);
+            self.channel_words[word] |= bits;
+        }
         for &s in &regen_sites {
             self.regens_free[s] -= 1;
         }
@@ -287,12 +337,14 @@ impl OpticalState {
     pub fn install(&mut self, circuit: Circuit) -> CircuitId {
         for seg in &circuit.segments {
             for &fid in &seg.fibers {
-                debug_assert!(
-                    !self.channel_used[fid][seg.channel as usize],
+                let (word, bit) = self.word_bit(fid, seg.channel);
+                debug_assert_eq!(
+                    self.channel_words[word] & bit,
+                    0,
                     "install: channel {} already used on fiber {fid}",
                     seg.channel
                 );
-                self.channel_used[fid][seg.channel as usize] = true;
+                self.channel_words[word] |= bit;
             }
         }
         for &s in &circuit.regen_sites {
@@ -309,8 +361,9 @@ impl OpticalState {
         let circuit = self.circuits.get_mut(id)?.take()?;
         for seg in &circuit.segments {
             for &fid in &seg.fibers {
-                debug_assert!(self.channel_used[fid][seg.channel as usize]);
-                self.channel_used[fid][seg.channel as usize] = false;
+                let (word, bit) = self.word_bit(fid, seg.channel);
+                debug_assert_ne!(self.channel_words[word] & bit, 0);
+                self.channel_words[word] &= !bit;
             }
         }
         for &s in &circuit.regen_sites {
@@ -322,34 +375,39 @@ impl OpticalState {
     /// Internal consistency check (used in tests and debug assertions):
     /// channel occupancy must equal the union of live circuits' segments.
     pub fn check_invariants(&self, plant: &FiberPlant) -> Result<(), String> {
-        let mut expected: Vec<Vec<bool>> = (0..plant.fiber_count())
-            .map(|f| vec![false; plant.usable_wavelengths(f) as usize])
+        let channels: Vec<u32> = (0..plant.fiber_count())
+            .map(|f| plant.usable_wavelengths(f))
             .collect();
+        if channels != self.channels || words_for(&channels) != self.words_per_fiber {
+            return Err("channel occupancy out of sync with circuits".into());
+        }
+        let mut expected = vec![0u64; self.channel_words.len()];
         let mut regen_used = vec![0u32; plant.site_count()];
         for (id, c) in self.circuits() {
             for seg in &c.segments {
                 for &fid in &seg.fibers {
-                    let slot = expected[fid].get_mut(seg.channel as usize).ok_or_else(|| {
-                        format!(
+                    if seg.channel >= channels[fid] {
+                        return Err(format!(
                             "circuit {id}: channel {} beyond fiber {fid}'s {} usable wavelengths",
                             seg.channel,
                             plant.usable_wavelengths(fid)
-                        )
-                    })?;
-                    if *slot {
+                        ));
+                    }
+                    let (word, bit) = self.word_bit(fid, seg.channel);
+                    if expected[word] & bit != 0 {
                         return Err(format!(
                             "circuit {id}: channel {} double-booked on fiber {fid}",
                             seg.channel
                         ));
                     }
-                    *slot = true;
+                    expected[word] |= bit;
                 }
             }
             for &s in &c.regen_sites {
                 regen_used[s] += 1;
             }
         }
-        if expected != self.channel_used {
+        if expected != self.channel_words {
             return Err("channel occupancy out of sync with circuits".into());
         }
         for (s, &used) in regen_used.iter().enumerate() {
@@ -363,20 +421,106 @@ impl OpticalState {
         }
         Ok(())
     }
+
+    /// Lowest channel index free on every fiber of `fibers`, given the
+    /// committed occupancy plus a tentative overlay of `(word, bits)`
+    /// marks. Fibers may expose different channel counts (per-fiber
+    /// degradation caps); a channel only qualifies if it exists — and is
+    /// free — on every fiber. Word-parallel: ORs the fibers' words, masks
+    /// off channels beyond the qualifying count, and takes the lowest
+    /// free bit.
+    fn first_fit_channel(&self, tentative: &[(usize, u64)], fibers: &[FiberId]) -> Option<u32> {
+        let channels = fibers
+            .iter()
+            .map(|&f| self.channels[f])
+            .min()
+            .unwrap_or_else(|| self.channels.first().copied().unwrap_or(0));
+        for w in 0..self.words_per_fiber {
+            let base = (w as u32) * 64;
+            if base >= channels {
+                break;
+            }
+            let mut used = 0u64;
+            for &f in fibers {
+                let word = f * self.words_per_fiber + w;
+                used |= self.channel_words[word];
+                for &(t, bits) in tentative {
+                    if t == word {
+                        used |= bits;
+                    }
+                }
+            }
+            let remaining = channels - base;
+            let mask = if remaining >= 64 {
+                !0u64
+            } else {
+                (1u64 << remaining) - 1
+            };
+            let free = !used & mask;
+            if free != 0 {
+                return Some(base + free.trailing_zeros());
+            }
+        }
+        None
+    }
 }
 
-/// Lowest channel index free on every fiber of `fibers`, given occupancy.
-/// Fibers may expose different channel counts (per-fiber degradation caps);
-/// a channel only qualifies if it exists — and is free — on every fiber.
-fn first_fit_channel(used: &[Vec<bool>], fibers: &[FiberId]) -> Option<u32> {
-    let channels = fibers
-        .iter()
-        .map(|&f| used[f].len())
-        .min()
-        .unwrap_or_else(|| used.first().map_or(0, |f| f.len()));
-    (0..channels)
-        .find(|&c| fibers.iter().all(|&f| !used[f][c]))
-        .map(|c| c as u32)
+/// Occupancy-only replay of an [`OpticalState`]: the packed channel words
+/// and free-regenerator vector, without circuit storage or route/wavelength
+/// validation. Incremental rebuilds replay a previous build's resource
+/// consumption against this instead of cloning a full state — installing a
+/// circuit is a handful of word ORs and regenerator decrements, and
+/// occupancy-probe comparisons against a live [`OpticalState`] are word
+/// compares (the two share one word layout per plant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancyShadow {
+    words: Vec<u64>,
+    words_per_fiber: usize,
+    regens_free: Vec<u32>,
+}
+
+impl OccupancyShadow {
+    /// Fresh shadow with the same word layout as `OpticalState::new(plant)`.
+    pub fn new(plant: &FiberPlant) -> Self {
+        let channels: Vec<u32> = (0..plant.fiber_count())
+            .map(|f| plant.usable_wavelengths(f))
+            .collect();
+        let words_per_fiber = words_for(&channels);
+        OccupancyShadow {
+            words: vec![0; words_per_fiber * plant.fiber_count()],
+            words_per_fiber,
+            regens_free: plant.sites().iter().map(|s| s.regenerators).collect(),
+        }
+    }
+
+    /// Replays a known-good circuit's resource consumption: marks its
+    /// segments' channels and consumes its regenerators.
+    pub fn install(&mut self, circuit: &Circuit) {
+        for seg in &circuit.segments {
+            for &fid in &seg.fibers {
+                let word = fid * self.words_per_fiber + (seg.channel as usize) / 64;
+                let bit = 1u64 << (seg.channel % 64);
+                debug_assert_eq!(self.words[word] & bit, 0);
+                self.words[word] |= bit;
+            }
+        }
+        for &s in &circuit.regen_sites {
+            debug_assert!(self.regens_free[s] > 0);
+            self.regens_free[s] -= 1;
+        }
+    }
+
+    /// Packed occupancy words of `fiber`, layout-compatible with
+    /// [`OpticalState::occupancy_words`].
+    pub fn occupancy_words(&self, fiber: FiberId) -> &[u64] {
+        let start = fiber * self.words_per_fiber;
+        &self.words[start..start + self.words_per_fiber]
+    }
+
+    /// Free regenerators at every site.
+    pub fn free_regen_vec(&self) -> &[u32] {
+        &self.regens_free
+    }
 }
 
 #[cfg(test)]

@@ -53,7 +53,7 @@ pub mod plant;
 pub mod power;
 pub mod roadm;
 
-pub use circuit::{Circuit, CircuitId, OpticalState, ProvisionError, Segment};
+pub use circuit::{Circuit, CircuitId, OccupancyShadow, OpticalState, ProvisionError, Segment};
 pub use plant::{Fiber, FiberId, FiberPlant, OpticalParams, Site, SiteId};
 pub use power::{PowerBudget, SegmentPower};
 pub use roadm::{Roadm, RoadmConfig};

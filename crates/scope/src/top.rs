@@ -60,6 +60,18 @@ pub fn render_top(snapshot: &Snapshot, elapsed_s: f64) -> String {
         }
     }
 
+    // Rate-assignment recomputation split: how many energy evaluations the
+    // incremental (delta) path carried vs full shortest-paths-first passes.
+    let delta = counter(snapshot, "rates.delta_evals");
+    let full = counter(snapshot, "rates.full_evals");
+    if delta + full > 0 {
+        let _ = writeln!(
+            out,
+            "rates: {:.1}% delta ({delta} delta / {full} full)",
+            100.0 * delta as f64 / (delta + full) as f64,
+        );
+    }
+
     // Chaos counters share the standard table renderer so every counter
     // table in the CLI lines up the same way.
     let chaos_keys = [
@@ -180,6 +192,20 @@ mod tests {
         let text = render_top(&rec.snapshot(), 0.0);
         assert!(text.contains("anneal.cache_miss.cold"));
         assert!(text.contains("anneal.cache_miss.flush"));
+    }
+
+    #[test]
+    fn rates_split_appears_with_counters() {
+        let rec = Recorder::enabled();
+        rec.counter("rates.delta_evals").add(30);
+        rec.counter("rates.full_evals").add(10);
+        let text = render_top(&rec.snapshot(), 0.0);
+        assert!(
+            text.contains("rates: 75.0% delta (30 delta / 10 full)"),
+            "{text}"
+        );
+        let none = render_top(&Recorder::enabled().snapshot(), 0.0);
+        assert!(!none.contains("rates:"), "no rates row without counters");
     }
 
     #[test]

@@ -1654,6 +1654,12 @@ fn main() {
         if table.lines().count() > 1 {
             print!("{table}");
         }
+        // Delta vs full rate recomputation split — how often the
+        // incremental path carried an evaluation.
+        let rates = format_counter_table(&snapshot, "rates.");
+        if rates.lines().count() > 1 {
+            print!("{rates}");
+        }
     }
 
     write_obs("", &recorder, &obs_path);

@@ -10,9 +10,9 @@
 //! checks than the explicit asserts below.
 
 use owan::core::{
-    anneal_observed, anneal_parallel, anneal_with_cache, default_topology, AnnealConfig,
-    CircuitBuildConfig, CoreTelemetry, EnergyCache, EnergyContext, OwanConfig, OwanEngine,
-    RateAssignConfig, SchedulingPolicy, SlotInput, Topology, TrafficEngineer, Transfer,
+    anneal_observed, anneal_parallel, anneal_parallel_pooled, anneal_with_cache, default_topology,
+    AnnealConfig, CircuitBuildConfig, CoreTelemetry, EnergyCache, EnergyContext, OwanConfig,
+    OwanEngine, RateAssignConfig, SchedulingPolicy, SlotInput, Topology, TrafficEngineer, Transfer,
 };
 use owan::oracle::anneal_gap;
 use owan::topo::Network;
@@ -132,6 +132,50 @@ fn parallel_multi_chain_is_deterministic() {
     let b = anneal_parallel(&ctx, &initial, &config, 4, &telemetry);
     assert_eq!(a.topology, b.topology);
     assert_eq!(a.energy_gbps().to_bits(), b.energy_gbps().to_bits());
+}
+
+/// The evaluation pool's worker count is a pure scheduling knob: the same
+/// four-chain search through 1, 2, and 8 workers (inline, under-, and
+/// over-subscribed relative to the chains) returns the identical winner,
+/// bit for bit, and matches the machine-sized default.
+#[test]
+fn eval_pool_worker_count_never_changes_the_plan() {
+    let (net, transfers, initial) = fixture("isp", 13);
+    let fiber_dist = net.plant.fiber_distance_matrix();
+    let ctx = context(&net, &fiber_dist, &transfers);
+    let config = AnnealConfig {
+        max_iterations: 25,
+        seed: 13,
+        ..Default::default()
+    };
+    let telemetry = CoreTelemetry::disabled();
+    let chains = 4;
+    let run = |workers: Option<usize>| {
+        let mut caches: Vec<EnergyCache> = (0..chains).map(|_| EnergyCache::new()).collect();
+        anneal_parallel_pooled(
+            &ctx,
+            &initial,
+            &config,
+            chains,
+            &mut caches,
+            workers,
+            &telemetry,
+        )
+    };
+    let reference = run(Some(1));
+    for workers in [Some(2), Some(8), None] {
+        let r = run(workers);
+        assert_eq!(
+            reference.topology, r.topology,
+            "workers {workers:?}: pooled topology diverged from inline"
+        );
+        assert_eq!(
+            reference.energy_gbps().to_bits(),
+            r.energy_gbps().to_bits(),
+            "workers {workers:?}: pooled energy diverged from inline"
+        );
+        assert_eq!(reference.iterations, r.iterations);
+    }
 }
 
 /// Differential against the exact oracle: turning the cache on must leave
