@@ -14,12 +14,13 @@
 
 use crate::fault::FaultEvent;
 use crate::inject::OpFaultModel;
-use crate::runner::{run_chaos_traced, AuditHook, ChaosConfig, ChaosResult};
+use crate::runner::{run_chaos_explained, run_chaos_traced, AuditHook, ChaosConfig, ChaosResult};
 use crate::telemetry::AttackTelemetry;
 use owan_core::{TrafficEngineer, TransferRequest};
 use owan_obs::Recorder;
 use owan_optical::{FiberPlant, SiteId};
 use owan_scope::ScopeRecorder;
+use owan_why::WhyRecorder;
 use owan_workload::attack::AttackWave;
 
 const EPS: f64 = 1e-9;
@@ -187,6 +188,41 @@ pub fn run_attack(
     scope: &ScopeRecorder,
     audit: Option<&mut AuditHook>,
 ) -> Result<AttackOutcome, String> {
+    run_attack_explained(
+        plant,
+        background,
+        timeline,
+        make_engine,
+        config,
+        restore_fraction,
+        events,
+        op_faults,
+        recorder,
+        scope,
+        &WhyRecorder::disabled(),
+        audit,
+    )
+}
+
+/// [`run_attack`] with a why recorder attached to the *attacked* run
+/// (the quiet baseline keeps a disabled one: its transfers face no
+/// adversary, so there is nothing to attribute). With a disabled
+/// recorder this is exactly [`run_attack`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_attack_explained(
+    plant: &FiberPlant,
+    background: &[TransferRequest],
+    timeline: &AttackTimeline,
+    make_engine: &mut dyn FnMut(&FiberPlant) -> Box<dyn TrafficEngineer>,
+    config: &ChaosConfig,
+    restore_fraction: f64,
+    events: &[FaultEvent],
+    op_faults: &OpFaultModel,
+    recorder: &Recorder,
+    scope: &ScopeRecorder,
+    why: &WhyRecorder,
+    audit: Option<&mut AuditHook>,
+) -> Result<AttackOutcome, String> {
     assert!(restore_fraction > 0.0 && restore_fraction <= 1.0);
     let baseline_cfg = ChaosConfig {
         attack_flags: Vec::new(),
@@ -211,7 +247,7 @@ pub fn run_attack(
         victim_links: timeline.victim_links(),
         ..config.clone()
     };
-    let attacked = run_chaos_traced(
+    let attacked = run_chaos_explained(
         plant,
         &composed.requests,
         make_engine,
@@ -220,6 +256,7 @@ pub fn run_attack(
         op_faults,
         recorder,
         scope,
+        why,
         audit,
     )?;
 

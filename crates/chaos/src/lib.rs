@@ -33,11 +33,13 @@ pub mod runner;
 pub mod telemetry;
 
 pub use attack::{
-    recovery_metrics, run_attack, AttackOutcome, AttackTimeline, ComposedScenario, RecoveryMetrics,
+    recovery_metrics, run_attack, run_attack_explained, AttackOutcome, AttackTimeline,
+    ComposedScenario, RecoveryMetrics,
 };
 pub use fault::{plants_equal, FaultEvent, FaultKind, FaultState};
 pub use inject::{seeded_scenario, ChaosSpec, OpFaultModel};
 pub use runner::{
-    run_chaos, run_chaos_traced, AuditHook, ChaosConfig, ChaosResult, ChaosStats, SlotAudit,
+    run_chaos, run_chaos_explained, run_chaos_traced, AuditHook, ChaosConfig, ChaosResult,
+    ChaosStats, SlotAudit,
 };
 pub use telemetry::{AttackTelemetry, ChaosTelemetry};

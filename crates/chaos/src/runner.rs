@@ -39,6 +39,7 @@ use owan_update::{
     execute_plan, plan_consistent, throughput_timeline, NetworkDelta, OpKind, RetryPolicy,
     UpdateParams, UpdatePlan,
 };
+use owan_why::{TransferSample, WhyRecorder, WhySlotObservation};
 use std::collections::{HashMap, HashSet};
 
 const EPS: f64 = 1e-9;
@@ -222,6 +223,42 @@ pub fn run_chaos_traced(
     op_faults: &OpFaultModel,
     recorder: &Recorder,
     scope: &ScopeRecorder,
+    audit: Option<&mut AuditHook>,
+) -> Result<ChaosResult, String> {
+    run_chaos_explained(
+        plant,
+        requests,
+        make_engine,
+        config,
+        events,
+        op_faults,
+        recorder,
+        scope,
+        &WhyRecorder::disabled(),
+        audit,
+    )
+}
+
+/// [`run_chaos_traced`] with the tier-4 attribution/SLO collector on
+/// top. The chaos loop feeds `why` the values only it knows: the
+/// pre-blackhole (`full`) and post-blackhole (`live`) rate of every
+/// achieved allocation, the transition scale, the slot's fault labels,
+/// and whether an attack wave was active — exactly the inputs the
+/// attribution engine needs to reproduce the runner's booked
+/// blackhole-Gb figure bit-for-bit. A tripped SLO monitor freezes the
+/// flight recorder through the existing [`ScopeRecorder::anomaly`]
+/// path, so `verify --replay` reconstructs the dump unchanged.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chaos_explained(
+    plant: &FiberPlant,
+    requests: &[TransferRequest],
+    make_engine: &mut dyn FnMut(&FiberPlant) -> Box<dyn TrafficEngineer>,
+    config: &ChaosConfig,
+    events: &[FaultEvent],
+    op_faults: &OpFaultModel,
+    recorder: &Recorder,
+    scope: &ScopeRecorder,
+    why: &WhyRecorder,
     mut audit: Option<&mut AuditHook>,
 ) -> Result<ChaosResult, String> {
     let theta = plant.params().wavelength_capacity_gbps;
@@ -229,6 +266,13 @@ pub fn run_chaos_traced(
     if scope_on {
         scope.begin_run(requests);
     }
+    let why_on = why.is_enabled();
+    if why_on {
+        why.begin_run(requests);
+    }
+    // Slot-event labels and per-transfer delivery feed both tier-2
+    // frames and the tier-4 joiner.
+    let trace_on = scope_on || why_on;
     let telem = ChaosTelemetry::new(recorder);
     let params = UpdateParams {
         theta_gbps: theta,
@@ -320,7 +364,7 @@ pub fn run_chaos_traced(
                 engine = None;
                 telem.crashes.incr();
                 stats.crashes += 1;
-                if scope_on {
+                if trace_on {
                     slot_events.push(fault_label(&FaultKind::ControllerCrash));
                 }
             }
@@ -416,10 +460,10 @@ pub fn run_chaos_traced(
                 telem.op_timeouts.add(report.timeouts);
                 telem.op_failures.add(report.failures);
                 telem.op_aborts.add(report.aborted);
-                if scope_on && report.retries > 0 {
+                if trace_on && report.retries > 0 {
                     slot_events.push(format!("op.retries {}", report.retries));
                 }
-                if scope_on && report.aborted > 0 {
+                if trace_on && report.aborted > 0 {
                     slot_events.push(format!("op.aborts {}", report.aborted));
                 }
                 let achieved = achieved_state(prev, &delta, &report, theta);
@@ -471,7 +515,7 @@ pub fn run_chaos_traced(
         let dark_paths = path_live_frac.values().filter(|f| **f < 1.0 - EPS).count() as u64;
         telem.blackhole_paths.add(dark_paths);
         stats.blackhole_paths += dark_paths;
-        if scope_on && dark_paths > 0 {
+        if trace_on && dark_paths > 0 {
             slot_events.push(format!("blackhole.paths {dark_paths}"));
         }
 
@@ -480,7 +524,7 @@ pub fn run_chaos_traced(
         let mut slot_delivered = 0.0;
         let mut slot_background = 0.0;
         let mut got_rate = vec![false; transfers.len()];
-        let mut per_delivered = scope_on.then(|| vec![0.0f64; transfers.len()]);
+        let mut per_delivered = trace_on.then(|| vec![0.0f64; transfers.len()]);
         for (ai, alloc) in achieved.allocations.iter().enumerate() {
             let rate_alloc: f64 = alloc
                 .paths
@@ -554,6 +598,7 @@ pub fn run_chaos_traced(
             // Fold in every plant event that struck during this slot —
             // detected or not — so the frame's actual_down is ground
             // truth while believed_down lags by the detection delay.
+            // The same labels become the tier-4 joiner's fault instants.
             while actual_applied < plant_events.len()
                 && plant_events[actual_applied].time_s < now + config.slot_len_s - EPS
             {
@@ -561,58 +606,60 @@ pub fn run_chaos_traced(
                 slot_events.push(fault_label(&plant_events[actual_applied].kind));
                 actual_applied += 1;
             }
-            let believed_down: Vec<String> =
-                state.active_failures().iter().map(failure_label).collect();
-            let actual_down: Vec<String> = actual_state
-                .active_failures()
-                .iter()
-                .map(failure_label)
-                .collect();
-            let at_risk = active
-                .iter()
-                .filter(|a| a.deadline_s.is_some() && !transfers[a.id].is_complete())
-                .filter(|a| {
-                    let deadline = a.deadline_s.expect("filtered to deadline transfers");
-                    let rate = achieved
-                        .allocations
-                        .iter()
-                        .find(|al| al.transfer == a.id)
-                        .map_or(0.0, Allocation::total_rate);
-                    let horizon = (deadline - now).max(0.0);
-                    rate * horizon + EPS < transfers[a.id].remaining_gbits
-                })
-                .count();
-            let rows = build_scope_rows(&active, &achieved, &transfers, &records, delivered);
-            scope.record_slot(&SlotObservation {
-                slot,
-                now_s: now,
-                slot_len_s: config.slot_len_s,
-                start_ns: slot_start_ns,
-                end_ns: recorder.now_ns().max(slot_start_ns),
-                plan_start_ns,
-                plan_ns,
-                anneal_ns: 0,
-                circuits_ns: 0,
-                rates_ns: 0,
-                update_ns,
-                update_ops: slot_ops,
-                throughput_gbps: achieved.throughput_gbps,
-                active_transfers: active.len(),
-                queue_depth,
-                at_risk,
-                plan: &achieved,
-                rows: &rows,
-                believed_down: &believed_down,
-                actual_down: &actual_down,
-                events: &slot_events,
-            });
-            scope.record_extra_span(
-                "chaos",
-                "update.execute",
-                update_start_ns,
-                update_start_ns.saturating_add(update_ns),
-                Vec::new(),
-            );
+            if scope_on {
+                let believed_down: Vec<String> =
+                    state.active_failures().iter().map(failure_label).collect();
+                let actual_down: Vec<String> = actual_state
+                    .active_failures()
+                    .iter()
+                    .map(failure_label)
+                    .collect();
+                let at_risk = active
+                    .iter()
+                    .filter(|a| a.deadline_s.is_some() && !transfers[a.id].is_complete())
+                    .filter(|a| {
+                        let deadline = a.deadline_s.expect("filtered to deadline transfers");
+                        let rate = achieved
+                            .allocations
+                            .iter()
+                            .find(|al| al.transfer == a.id)
+                            .map_or(0.0, Allocation::total_rate);
+                        let horizon = (deadline - now).max(0.0);
+                        rate * horizon + EPS < transfers[a.id].remaining_gbits
+                    })
+                    .count();
+                let rows = build_scope_rows(&active, &achieved, &transfers, &records, delivered);
+                scope.record_slot(&SlotObservation {
+                    slot,
+                    now_s: now,
+                    slot_len_s: config.slot_len_s,
+                    start_ns: slot_start_ns,
+                    end_ns: recorder.now_ns().max(slot_start_ns),
+                    plan_start_ns,
+                    plan_ns,
+                    anneal_ns: 0,
+                    circuits_ns: 0,
+                    rates_ns: 0,
+                    update_ns,
+                    update_ops: slot_ops,
+                    throughput_gbps: achieved.throughput_gbps,
+                    active_transfers: active.len(),
+                    queue_depth,
+                    at_risk,
+                    plan: &achieved,
+                    rows: &rows,
+                    believed_down: &believed_down,
+                    actual_down: &actual_down,
+                    events: &slot_events,
+                });
+                scope.record_extra_span(
+                    "chaos",
+                    "update.execute",
+                    update_start_ns,
+                    update_start_ns.saturating_add(update_ns),
+                    Vec::new(),
+                );
+            }
             if used_fallback {
                 scope.anomaly("plan.infeasible", slot);
             }
@@ -621,6 +668,65 @@ pub fn run_chaos_traced(
             }
             if dark_paths > 0 {
                 scope.anomaly("blackhole.undetected_cut", slot);
+            }
+            if why_on {
+                // Tier-4 feed: recompute each achieved allocation's
+                // full and live rate with the exact expressions the
+                // delivery loop used, in the same order, so the why
+                // report's Gb ledger reproduces `stats.blackhole_gbits`
+                // bit-for-bit.
+                let mut samples: Vec<TransferSample> = Vec::with_capacity(active.len());
+                let mut sampled = vec![false; transfers.len()];
+                for (ai, alloc) in achieved.allocations.iter().enumerate() {
+                    let rate_alloc: f64 = alloc
+                        .paths
+                        .iter()
+                        .enumerate()
+                        .map(|(pi, (_, r))| {
+                            r * path_live_frac.get(&(ai, pi)).copied().unwrap_or(1.0)
+                        })
+                        .sum();
+                    let full_alloc = alloc.total_rate();
+                    sampled[alloc.transfer] = true;
+                    samples.push(TransferSample {
+                        id: alloc.transfer,
+                        full_rate_gbps: full_alloc,
+                        live_rate_gbps: rate_alloc,
+                        delivered_gbits: delivered[alloc.transfer],
+                        remaining_gbits: transfers[alloc.transfer].remaining_gbits,
+                        completion_s: records[alloc.transfer].completion_s,
+                        queued: full_alloc <= EPS,
+                    });
+                }
+                for t in &active {
+                    if !sampled[t.id] {
+                        samples.push(TransferSample {
+                            id: t.id,
+                            full_rate_gbps: 0.0,
+                            live_rate_gbps: 0.0,
+                            delivered_gbits: 0.0,
+                            remaining_gbits: transfers[t.id].remaining_gbits,
+                            completion_s: records[t.id].completion_s,
+                            queued: true,
+                        });
+                    }
+                }
+                let attack_active = active.iter().any(|t| is_attack(t.id));
+                if let Some(reason) = why.observe_slot(&WhySlotObservation {
+                    slot,
+                    now_s: now,
+                    slot_len_s: config.slot_len_s,
+                    start_ns: slot_start_ns,
+                    end_ns: recorder.now_ns().max(slot_start_ns),
+                    plan_ns,
+                    transition_scale: scale,
+                    throughput_gbps: achieved.throughput_gbps,
+                    attack_active,
+                    samples: &samples,
+                    events: &slot_events,
+                }) {
+                    scope.anomaly(reason, slot);
+                }
             }
         }
 

@@ -404,8 +404,7 @@ pub fn try_build_topology_delta(
                     pc.domain(u, v).iter().all(|&s| lv[s] == rv[s])
                 };
                 let recorded = prev_built.pair_probes.get(u, v);
-                if proj_equal && recorded.is_some() {
-                    let prev_probe = recorded.expect("checked");
+                if let (true, Some(prev_probe)) = (proj_equal, recorded) {
                     if prev_probe
                         .iter_common(&dirty_fibers)
                         .all(|f| optical.occupancy_words(f) == replay.occupancy_words(f))

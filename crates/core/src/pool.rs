@@ -86,15 +86,11 @@ impl EvalPool {
                 // Steal from the back of the first non-empty victim.
                 // Tasks never re-enter a queue, so an all-empty scan
                 // means the batch is fully claimed and we can exit.
-                for victim in 0..workers {
+                for (victim, queue) in queues.iter().enumerate() {
                     if victim == wid {
                         continue;
                     }
-                    if let Some(i) = queues[victim]
-                        .lock()
-                        .expect("victim queue poisoned")
-                        .pop_back()
-                    {
+                    if let Some(i) = queue.lock().expect("victim queue poisoned").pop_back() {
                         task = Some(i);
                         break;
                     }

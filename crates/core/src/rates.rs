@@ -484,7 +484,8 @@ pub fn assign_rates_delta_observed(
     // The basis grabs for transfer `i` at round `l` are exactly its stored
     // paths of `l` hops, in stored order (a round-`l` grab always has `l`
     // hops, and per-transfer path order is grab order).
-    let mut buckets: Vec<Vec<Vec<(&Vec<SiteId>, f64)>>> =
+    type HopBuckets<'a> = Vec<(&'a Vec<SiteId>, f64)>;
+    let mut buckets: Vec<Vec<HopBuckets>> =
         vec![vec![Vec::new(); config.max_path_hops + 1]; transfers.len()];
     {
         let by_id: HashMap<usize, &Allocation> =
@@ -515,6 +516,9 @@ pub fn assign_rates_delta_observed(
         .collect();
     let mut throughput = 0.0;
 
+    // `l` is a hop count indexing the second level of `buckets`, not a
+    // position in any single vector — enumerate() doesn't apply.
+    #[allow(clippy::needless_range_loop)]
     'outer: for l in 1..=config.max_path_hops {
         let any_demand = demand.iter().any(|&d| d > EPS);
         if !any_demand || !residual.any_free() {

@@ -108,7 +108,7 @@ impl std::error::Error for ProvisionError {}
 /// fiber uses the same stride so occupancy lives in one flat allocation.
 fn words_for(channels: &[u32]) -> usize {
     let max = channels.iter().copied().max().unwrap_or(0) as usize;
-    ((max + 63) / 64).max(1)
+    max.div_ceil(64).max(1)
 }
 
 /// Dynamic optical-layer state over a [`FiberPlant`].

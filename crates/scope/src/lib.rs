@@ -34,7 +34,7 @@ pub use flight::{FlightDump, FlightRing, FrameTransfer, SlotFrame, DUMP_HEADER};
 pub use prom::render_prometheus;
 pub use serve::MetricsServer;
 pub use top::render_top;
-pub use trace::{prof_trace_spans, write_chrome_trace, SpanRec};
+pub use trace::{merge_span_streams, prof_trace_spans, stream_base, write_chrome_trace, SpanRec};
 pub use transfers::{SlotTrace, TrackedTransfer, TransferSlotRow, TransferState, TransferTracker};
 
 use owan_core::{SlotPlan, TransferRequest};
@@ -325,9 +325,10 @@ impl ScopeRecorder {
     }
 
     /// [`Self::export_chrome_trace`] with a tier-3 profiler snapshot's
-    /// retained spans merged in (category `prof`), their ids rebased past
-    /// the scope's own — one trace file carries the causal slot timeline
-    /// and the measured hot-path regions side by side.
+    /// retained spans merged in (category `prof`), their ids rebased into
+    /// the next [`stream_base`] namespace block — one trace file carries
+    /// the causal slot timeline and the measured hot-path regions side by
+    /// side, with no id collisions between the two streams.
     pub fn export_chrome_trace_with_prof<W: io::Write>(
         &self,
         snapshot: Option<&Snapshot>,
@@ -338,8 +339,7 @@ impl ScopeRecorder {
             Some(state) => state.spans.clone(),
             None => Vec::new(),
         };
-        let offset = spans.iter().map(|s| s.id).max().map_or(0, |m| m + 1);
-        spans.extend(prof_trace_spans(prof, offset));
+        spans.extend(prof_trace_spans(prof, trace::stream_base(1)));
         write_chrome_trace(&mut writer, &spans, snapshot)
     }
 

@@ -3,7 +3,10 @@
 //! Counter and gauge names are sanitized (dots and dashes become
 //! underscores) and prefixed `owan_`; histograms render as cumulative
 //! `_bucket{le=...}` series plus `_sum`/`_count`, per the Prometheus
-//! exposition format.
+//! exposition format. Span-timer histograms (names ending `.ms`) also
+//! render a companion `_summary` metric with p50/p90/p99 quantile lines
+//! estimated by bucket interpolation, so dashboards get tail latency
+//! without a PromQL `histogram_quantile` round trip.
 
 use owan_obs::Snapshot;
 use std::fmt::Write as _;
@@ -69,6 +72,19 @@ pub fn render_prometheus(snapshot: &Snapshot) -> String {
         write_float(&mut out, hist.sum);
         out.push('\n');
         let _ = writeln!(out, "{metric}_count {}", hist.total);
+        if name.ends_with(".ms") {
+            let _ = writeln!(out, "# TYPE {metric}_summary summary");
+            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+                let _ = write!(out, "{metric}_summary{{quantile=\"{label}\"}} ");
+                write_float(&mut out, hist.quantile(q));
+                out.push('\n');
+            }
+            out.push_str(&metric);
+            out.push_str("_summary_sum ");
+            write_float(&mut out, hist.sum);
+            out.push('\n');
+            let _ = writeln!(out, "{metric}_summary_count {}", hist.total);
+        }
     }
     out
 }
@@ -96,6 +112,39 @@ mod tests {
         assert!(text.contains("owan_stage_slot_ms_bucket{le=\"10\"} 2"));
         assert!(text.contains("owan_stage_slot_ms_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("owan_stage_slot_ms_count 3"));
+    }
+
+    #[test]
+    fn span_timer_histograms_render_quantile_summaries() {
+        let rec = Recorder::enabled();
+        let h = rec.histogram("stage.anneal.ms", &[1.0, 10.0, 100.0]);
+        for _ in 0..90 {
+            h.observe(0.5);
+        }
+        for _ in 0..10 {
+            h.observe(50.0);
+        }
+        let text = render_prometheus(&rec.snapshot());
+        assert!(text.contains("# TYPE owan_stage_anneal_ms_summary summary"));
+        // p50 interpolates inside the first bucket, p99 inside (10, 100].
+        assert!(text.contains("owan_stage_anneal_ms_summary{quantile=\"0.5\"}"));
+        assert!(text.contains("owan_stage_anneal_ms_summary{quantile=\"0.9\"}"));
+        assert!(text.contains("owan_stage_anneal_ms_summary{quantile=\"0.99\"}"));
+        assert!(text.contains("owan_stage_anneal_ms_summary_count 100"));
+        let p99_line = text
+            .lines()
+            .find(|l| l.contains("quantile=\"0.99\""))
+            .expect("p99 line renders");
+        let p99: f64 = p99_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(p99 > 10.0 && p99 <= 100.0, "p99 {p99} outside its bucket");
+    }
+
+    #[test]
+    fn non_timer_histograms_render_no_summary() {
+        let rec = Recorder::enabled();
+        rec.histogram("transfer.size_gbits", &[10.0]).observe(3.0);
+        let text = render_prometheus(&rec.snapshot());
+        assert!(!text.contains("_summary"));
     }
 
     #[test]

@@ -194,6 +194,7 @@ pub fn simulate_with_failures_observed(
         recorder,
         &owan_scope::ScopeRecorder::disabled(),
         &owan_core::Profiler::disabled(),
+        &owan_why::WhyRecorder::disabled(),
     )
 }
 
@@ -260,6 +261,7 @@ pub fn simulate_with_restarts(
         &Recorder::disabled(),
         &owan_scope::ScopeRecorder::disabled(),
         &owan_core::Profiler::disabled(),
+        &owan_why::WhyRecorder::disabled(),
     )
 }
 

@@ -49,12 +49,12 @@ pub use failures::{
     simulate_with_restarts, Failure, FailureEvent,
 };
 pub use runner::{
-    make_engine, run_comparison, run_engine, run_engine_observed, run_engine_profiled,
-    run_engine_traced, EngineKind, RunnerConfig,
+    make_engine, run_comparison, run_engine, run_engine_explained, run_engine_observed,
+    run_engine_profiled, run_engine_traced, EngineKind, RunnerConfig,
 };
 pub use sim::{
-    build_scope_rows, plan_is_feasible, simulate, simulate_observed, simulate_profiled,
-    simulate_traced, CompletionRecord, PlanError, SimConfig, SimResult,
+    build_scope_rows, plan_is_feasible, simulate, simulate_explained, simulate_observed,
+    simulate_profiled, simulate_traced, CompletionRecord, PlanError, SimConfig, SimResult,
 };
 pub use telemetry::SlotTelemetry;
 pub use validate::{validate_simulator, ValidationReport};

@@ -2,7 +2,8 @@
 //! comparison sweeps, optionally in parallel across engines/loads.
 
 use crate::sim::{
-    simulate, simulate_observed, simulate_profiled, simulate_traced, SimConfig, SimResult,
+    simulate, simulate_explained, simulate_observed, simulate_profiled, simulate_traced, SimConfig,
+    SimResult,
 };
 use owan_core::{
     default_topology, AnnealConfig, OwanConfig, OwanEngine, SchedulingPolicy, TrafficEngineer,
@@ -220,6 +221,34 @@ pub fn run_engine_profiled(
         recorder,
         scope,
         prof,
+    )
+}
+
+/// [`run_engine_profiled`] with a why recorder attached on top: the
+/// recorder joins the other streams into per-transfer causal
+/// attribution and online SLO monitors. With a disabled why recorder
+/// this is exactly [`run_engine_profiled`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_engine_explained(
+    kind: EngineKind,
+    network: &Network,
+    requests: &[TransferRequest],
+    config: &RunnerConfig,
+    recorder: &Recorder,
+    scope: &owan_scope::ScopeRecorder,
+    prof: &owan_core::Profiler,
+    why: &owan_why::WhyRecorder,
+) -> SimResult {
+    let mut engine = make_engine(kind, network, config);
+    simulate_explained(
+        &network.plant,
+        requests,
+        engine.as_mut(),
+        &config.sim,
+        recorder,
+        scope,
+        prof,
+        why,
     )
 }
 

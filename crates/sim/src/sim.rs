@@ -21,6 +21,7 @@ use owan_obs::Recorder;
 use owan_optical::FiberPlant;
 use owan_scope::{path_label, ScopeRecorder, SlotObservation, TransferSlotRow};
 use owan_update::{plan_consistent_observed, NetworkDelta, UpdateParams};
+use owan_why::{TransferSample, WhyRecorder, WhySlotObservation};
 use serde::{Deserialize, Serialize};
 
 const EPS: f64 = 1e-9;
@@ -322,6 +323,34 @@ pub fn simulate_profiled(
     scope: &ScopeRecorder,
     prof: &Profiler,
 ) -> SimResult {
+    simulate_explained(
+        plant,
+        requests,
+        engine,
+        config,
+        recorder,
+        scope,
+        prof,
+        &WhyRecorder::disabled(),
+    )
+}
+
+/// [`simulate_profiled`] with the tier-4 attribution/SLO collector on
+/// top: every slot is fed to `why` (per-transfer rate samples, planning
+/// latency, throughput), and a tripped SLO monitor freezes the flight
+/// recorder through the existing [`ScopeRecorder::anomaly`] path. With
+/// a disabled why recorder this is exactly [`simulate_profiled`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_explained(
+    plant: &FiberPlant,
+    requests: &[TransferRequest],
+    engine: &mut dyn TrafficEngineer,
+    config: &SimConfig,
+    recorder: &Recorder,
+    scope: &ScopeRecorder,
+    prof: &Profiler,
+    why: &WhyRecorder,
+) -> SimResult {
     drive_slots(
         plant,
         requests,
@@ -331,6 +360,7 @@ pub fn simulate_profiled(
         recorder,
         scope,
         prof,
+        why,
     )
 }
 
@@ -350,11 +380,16 @@ pub(crate) fn drive_slots(
     recorder: &Recorder,
     scope: &ScopeRecorder,
     prof: &Profiler,
+    why: &WhyRecorder,
 ) -> SimResult {
     assert!(config.rate_efficiency > 0.0 && config.rate_efficiency <= 1.0);
     let scope_on = scope.is_enabled();
     if scope_on {
         scope.begin_run(requests);
+    }
+    let why_on = why.is_enabled();
+    if why_on {
+        why.begin_run(requests);
     }
     let theta = base.params().wavelength_capacity_gbps;
     let mut engine_name = engines.engine_at(0).name().to_string();
@@ -467,7 +502,7 @@ pub(crate) fn drive_slots(
 
         // Advance transfers.
         let mut got_rate = vec![false; transfers.len()];
-        let mut scope_delivered = scope_on.then(|| vec![0.0f64; transfers.len()]);
+        let mut scope_delivered = (scope_on || why_on).then(|| vec![0.0f64; transfers.len()]);
         for alloc in &plan.allocations {
             let rate_alloc = alloc.total_rate();
             let rate = rate_alloc * config.rate_efficiency;
@@ -557,7 +592,7 @@ pub(crate) fn drive_slots(
             t.publish_slot(&row);
             slot_rows.push(row);
         }
-        if let Some(delivered) = &scope_delivered {
+        if let (true, Some(delivered)) = (scope_on, &scope_delivered) {
             let rows = build_scope_rows(&active, &plan, &transfers, &records, delivered);
             scope.record_slot(&SlotObservation {
                 slot,
@@ -582,6 +617,57 @@ pub(crate) fn drive_slots(
                 actual_down: &[],
                 events: &[],
             });
+        }
+        if let (true, Some(delivered)) = (why_on, &scope_delivered) {
+            // Tier-4 feed: allocation-order samples first (the order
+            // the chaos runner books its Gb ledger in), then the
+            // queued actives. The idealized simulator has no
+            // transitions, blackholes, or attacks, so full == live,
+            // scale == 1, and the fault channel stays empty.
+            let mut samples: Vec<TransferSample> = Vec::with_capacity(active.len());
+            let mut allocated = vec![false; transfers.len()];
+            for alloc in &plan.allocations {
+                let id = alloc.transfer;
+                let rate_alloc = alloc.total_rate();
+                allocated[id] = true;
+                samples.push(TransferSample {
+                    id,
+                    full_rate_gbps: rate_alloc,
+                    live_rate_gbps: rate_alloc,
+                    delivered_gbits: delivered[id],
+                    remaining_gbits: transfers[id].remaining_gbits,
+                    completion_s: records[id].completion_s,
+                    queued: rate_alloc <= EPS,
+                });
+            }
+            for t in &active {
+                if !allocated[t.id] {
+                    samples.push(TransferSample {
+                        id: t.id,
+                        full_rate_gbps: 0.0,
+                        live_rate_gbps: 0.0,
+                        delivered_gbits: 0.0,
+                        remaining_gbits: transfers[t.id].remaining_gbits,
+                        completion_s: records[t.id].completion_s,
+                        queued: true,
+                    });
+                }
+            }
+            if let Some(reason) = why.observe_slot(&WhySlotObservation {
+                slot,
+                now_s: now,
+                slot_len_s: config.slot_len_s,
+                start_ns: slot_start_ns,
+                end_ns: recorder.now_ns().max(slot_start_ns),
+                plan_ns,
+                transition_scale: 1.0,
+                throughput_gbps: plan.throughput_gbps,
+                attack_active: false,
+                samples: &samples,
+                events: &[],
+            }) {
+                scope.anomaly(reason, slot);
+            }
         }
         if telemetry.is_some() {
             prev_plan = Some(plan);

@@ -1,0 +1,283 @@
+//! The cross-stream joiner: one per-slot, per-transfer timeline built
+//! from what the three collection tiers already emitted.
+//!
+//! Inputs and their join keys:
+//!
+//! * **slot records** (the why recorder's own feed, derived from the
+//!   values the slot loop hands `owan-scope`) — primary key: slot index
+//!   plus the recorder-clock `[start_ns, end_ns]` window;
+//! * **obs events** (`Snapshot::events`, the JSONL ring) — joined by
+//!   `ts_ns` falling inside a slot's clock window;
+//! * **chaos/attack fault instants** — the deterministic labels the
+//!   flight frames carry (`fault fiber_cut 3`, `attack wave`, ...),
+//!   already per-slot;
+//! * **prof region tree** (`ProfSnapshot`) — run-scoped, joined as
+//!   self-time shares (regions are not per-slot; per-slot prof spans
+//!   remain in the Chrome trace, which this crate does not re-parse).
+//!
+//! The result feeds the attribution engine (which only needs the slot
+//! records) and the `explain` report (which prints fault instants and
+//! the hottest regions next to the bucket table).
+
+use crate::{SlotRecord, TransferInfo, TransferSample};
+use owan_obs::Snapshot;
+use owan_prof::ProfSnapshot;
+
+/// How many prof regions the timeline retains, hottest-self-time first.
+pub const PROF_REGIONS_KEPT: usize = 12;
+
+/// A deterministic fault/attack label pinned to a slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultInstant {
+    /// Slot the fault landed in.
+    pub slot: usize,
+    /// The flight-frame label, e.g. `fault fiber_cut 3`.
+    pub label: String,
+}
+
+/// One transfer's appearance in one slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinedTransferSlot {
+    /// Transfer id.
+    pub id: usize,
+    /// The slot-loop sample.
+    pub sample: TransferSample,
+}
+
+/// One slot with every stream's contribution attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinedSlot {
+    /// Slot index.
+    pub slot: usize,
+    /// Slot start, sim seconds.
+    pub now_s: f64,
+    /// Slot length, sim seconds.
+    pub slot_len_s: f64,
+    /// Planning wall time, ns.
+    pub plan_ns: u64,
+    /// Post-reconfiguration delivery fraction.
+    pub transition_scale: f64,
+    /// Total allocated throughput, Gbps.
+    pub throughput_gbps: f64,
+    /// Attack wave active.
+    pub attack_active: bool,
+    /// Fault/event labels this slot.
+    pub faults: Vec<FaultInstant>,
+    /// Names of obs events whose timestamp fell in this slot's
+    /// processing window.
+    pub obs_events: Vec<String>,
+    /// Per-transfer samples, allocation order.
+    pub transfers: Vec<JoinedTransferSlot>,
+}
+
+/// A prof region's share of run wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfRegionShare {
+    /// `a;b;c` region path, root first.
+    pub path: String,
+    /// Completed entries.
+    pub calls: u64,
+    /// Wall time, children included, ns.
+    pub total_ns: u64,
+    /// Wall time, children excluded, ns.
+    pub self_ns: u64,
+    /// `self_ns` as a fraction of the root total (0 when no roots).
+    pub share: f64,
+}
+
+/// The joined timeline of one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// Every observed slot, in order.
+    pub slots: Vec<JoinedSlot>,
+    /// Hottest prof regions by self time (at most
+    /// [`PROF_REGIONS_KEPT`]), empty without an attached profiler.
+    pub prof_regions: Vec<ProfRegionShare>,
+    /// Obs events matched to a slot window.
+    pub obs_events_joined: usize,
+    /// Obs events outside every slot window (startup, teardown).
+    pub obs_events_unmatched: usize,
+}
+
+impl Timeline {
+    /// Builds the joined timeline. `obs` and `prof` are optional — runs
+    /// without those tiers still get the slot/fault view.
+    pub fn build(
+        _transfers: &[TransferInfo],
+        slots: &[SlotRecord],
+        obs: Option<&Snapshot>,
+        prof: Option<&ProfSnapshot>,
+    ) -> Timeline {
+        let mut joined: Vec<JoinedSlot> = slots
+            .iter()
+            .map(|s| JoinedSlot {
+                slot: s.slot,
+                now_s: s.now_s,
+                slot_len_s: s.slot_len_s,
+                plan_ns: s.plan_ns,
+                transition_scale: s.transition_scale,
+                throughput_gbps: s.throughput_gbps,
+                attack_active: s.attack_active,
+                faults: s
+                    .events
+                    .iter()
+                    .map(|label| FaultInstant {
+                        slot: s.slot,
+                        label: label.clone(),
+                    })
+                    .collect(),
+                obs_events: Vec::new(),
+                transfers: s
+                    .samples
+                    .iter()
+                    .map(|sample| JoinedTransferSlot {
+                        id: sample.id,
+                        sample: *sample,
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let mut events_joined = 0;
+        let mut events_unmatched = 0;
+        if let Some(snapshot) = obs {
+            for event in &snapshot.events {
+                // Slot windows are disjoint and ordered; find the one
+                // whose clock window contains the event.
+                let hit = slots
+                    .binary_search_by(|s| {
+                        if event.ts_ns < s.start_ns {
+                            std::cmp::Ordering::Greater
+                        } else if event.ts_ns > s.end_ns {
+                            std::cmp::Ordering::Less
+                        } else {
+                            std::cmp::Ordering::Equal
+                        }
+                    })
+                    .ok();
+                match hit {
+                    Some(i) => {
+                        joined[i].obs_events.push(event.name.clone());
+                        events_joined += 1;
+                    }
+                    None => events_unmatched += 1,
+                }
+            }
+        }
+
+        let mut prof_regions = Vec::new();
+        if let Some(snapshot) = prof {
+            let root_total = snapshot.root_total_ns();
+            let mut by_self: Vec<usize> = (0..snapshot.nodes.len()).collect();
+            by_self.sort_by(|&a, &b| {
+                snapshot.nodes[b]
+                    .self_ns
+                    .cmp(&snapshot.nodes[a].self_ns)
+                    .then(a.cmp(&b))
+            });
+            for &i in by_self.iter().take(PROF_REGIONS_KEPT) {
+                let node = &snapshot.nodes[i];
+                if node.self_ns == 0 {
+                    break;
+                }
+                prof_regions.push(ProfRegionShare {
+                    path: snapshot.path(i).join(";"),
+                    calls: node.calls,
+                    total_ns: node.total_ns,
+                    self_ns: node.self_ns,
+                    share: if root_total > 0 {
+                        node.self_ns as f64 / root_total as f64
+                    } else {
+                        0.0
+                    },
+                });
+            }
+        }
+
+        Timeline {
+            slots: joined,
+            prof_regions,
+            obs_events_joined: events_joined,
+            obs_events_unmatched: events_unmatched,
+        }
+    }
+
+    /// Fault instants across every slot, in slot order.
+    pub fn faults(&self) -> impl Iterator<Item = &FaultInstant> {
+        self.slots.iter().flat_map(|s| s.faults.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owan_obs::Recorder;
+    use owan_prof::Profiler;
+
+    fn record(slot: usize, events: Vec<String>) -> SlotRecord {
+        SlotRecord {
+            slot,
+            now_s: slot as f64 * 300.0,
+            slot_len_s: 300.0,
+            start_ns: slot as u64 * 1_000_000,
+            end_ns: slot as u64 * 1_000_000 + 900_000,
+            plan_ns: 50_000,
+            transition_scale: 1.0,
+            throughput_gbps: 2.0,
+            attack_active: false,
+            samples: vec![TransferSample {
+                id: 0,
+                full_rate_gbps: 2.0,
+                live_rate_gbps: 2.0,
+                delivered_gbits: 600.0,
+                remaining_gbits: 1.0,
+                completion_s: None,
+                queued: false,
+            }],
+            events,
+        }
+    }
+
+    #[test]
+    fn joins_obs_events_into_slot_windows() {
+        let clock = std::sync::Arc::new(owan_obs::ManualClock::new());
+        let rec = Recorder::with_clock(clock.clone());
+        clock.advance_ns(500_000); // inside slot 0's window [0, 0.9 ms]
+        rec.event("inside.slot0", &[]);
+        clock.advance_ns(450_000); // 0.95 ms: in the gap between windows
+        rec.event("between.slots", &[]);
+        let slots = vec![
+            record(0, vec!["fault fiber_cut 3".into()]),
+            record(1, Vec::new()),
+        ];
+        let timeline = Timeline::build(&[], &slots, Some(&rec.snapshot()), None);
+        assert_eq!(timeline.obs_events_joined, 1);
+        assert_eq!(timeline.obs_events_unmatched, 1);
+        assert_eq!(
+            timeline.slots[0].obs_events,
+            vec!["inside.slot0".to_string()]
+        );
+        let faults: Vec<_> = timeline.faults().collect();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].label, "fault fiber_cut 3");
+        assert_eq!(faults[0].slot, 0);
+    }
+
+    #[test]
+    fn prof_regions_ranked_by_self_time() {
+        let clock = std::sync::Arc::new(owan_obs::ManualClock::new());
+        let prof = Profiler::with_clock(clock.clone());
+        {
+            let _outer = prof.region("slot");
+            {
+                let _inner = prof.region("anneal");
+                clock.advance_ns(3_000_000);
+            }
+            clock.advance_ns(1_000_000);
+        }
+        let timeline = Timeline::build(&[], &[], None, Some(&prof.snapshot()));
+        assert!(!timeline.prof_regions.is_empty());
+        assert_eq!(timeline.prof_regions[0].path, "slot;anneal");
+        assert!(timeline.prof_regions[0].share > 0.5);
+    }
+}

@@ -9,6 +9,8 @@
 //! owan-cli verify [VERIFY OPTIONS]
 //! owan-cli chaos [CHAOS OPTIONS]
 //! owan-cli attack [ATTACK OPTIONS]
+//! owan-cli explain [RUN OPTIONS] [--chaos] [--id N]
+//! owan-cli slo [RUN OPTIONS] [--chaos] [--slo-burn F] [--slo-p99 MS]
 //! owan-cli perf diff A.json B.json [--threshold F] [--gate]
 //! ```
 //!
@@ -32,6 +34,13 @@
 //! and victim-utilization timelines, time-to-restore against a fault-free
 //! baseline — for the annealed engine or any fixed-topology baseline.
 //!
+//! `explain` and `slo` attach the tier-4 why recorder: the run's obs,
+//! scope, profiler, and fault streams are joined into one per-transfer
+//! timeline, completion time decomposes into causal buckets that provably
+//! partition in-system wall time, and online SLO monitors (deadline-miss
+//! burn rate, p99 slot-planning latency, delivered-Gb deficit) freeze the
+//! flight recorder when a `--slo-*` threshold trips.
+//!
 //! `verify` replays fuzzed or named-network scenarios through the real
 //! controller with every cross-layer invariant checked each slot. On
 //! divergence it exits 1 and prints (or writes, with `--out`) a minimized
@@ -45,8 +54,8 @@
 //! `cargo run --release --bin owan-cli -- --net internet2 --engine owan --load 1.5`
 
 use owan::chaos::{
-    run_attack, run_chaos, run_chaos_traced, seeded_scenario, AttackOutcome, AttackTimeline,
-    ChaosConfig, ChaosResult, OpFaultModel, SlotAudit,
+    run_attack_explained, run_chaos, run_chaos_explained, seeded_scenario, AttackOutcome,
+    AttackTimeline, ChaosConfig, ChaosResult, OpFaultModel, SlotAudit,
 };
 use owan::core::{
     default_topology, AnnealConfig, OwanConfig, OwanEngine, Profiler, SchedulingPolicy,
@@ -59,9 +68,12 @@ use owan::oracle::{
 };
 use owan::scope::{render_top, FlightDump, MetricsServer, ScopeConfig, ScopeRecorder};
 use owan::sim::metrics::{self, SizeBin};
-use owan::sim::runner::{run_engine_profiled, run_engine_traced, EngineKind, RunnerConfig};
+use owan::sim::runner::{
+    run_engine_explained, run_engine_profiled, run_engine_traced, EngineKind, RunnerConfig,
+};
 use owan::sim::SimConfig;
 use owan::topo::{inter_dc, internet2_testbed, isp_backbone, Network};
+use owan::why::{render_explain, render_slo, SloConfig, WhyConfig, WhyRecorder, WhyReport};
 use owan::workload::attack::{
     coremelt, drift, flash_crowd, CoremeltConfig, DriftConfig, FlashCrowdConfig,
 };
@@ -74,6 +86,8 @@ const USAGE: &str = "usage: owan-cli [OPTIONS]
        owan-cli verify [OPTIONS]
        owan-cli chaos [OPTIONS]
        owan-cli attack [OPTIONS]
+       owan-cli explain [OPTIONS] [--chaos] [--id N]
+       owan-cli slo [OPTIONS] [--chaos]
        owan-cli perf diff A.json B.json [--threshold F] [--gate]
 
 run options:
@@ -139,6 +153,8 @@ chaos options:
   --net NAME          evaluation network: internet2 | isp | interdc  [internet2]
   --seed N            scenario + workload + annealing seed  [42]
   --load L            workload load factor lambda  [1.0]
+  --sigma S           deadline tightness; enables the deadline workload
+                      (the burn-rate and deficit SLOs judge deadlines)
   --slot SECS         slot length, seconds  [300]
   --slots N           horizon, slots  [60]
   --iters N           annealing iterations per slot  [60]
@@ -151,6 +167,13 @@ chaos options:
   --scope-dump FILE   write the anomaly-triggered flight dump here; the
                       file replays through `verify --replay`
   --scope-trace FILE  export the faulted run's timeline as Chrome trace JSON
+  --slo-burn F        attach the why recorder; freeze the flight recorder
+                      when the deadline-miss burn rate exceeds F
+  --slo-window N      burn-rate sliding window, slots  [8]
+  --slo-p99 MS        trip when p99 slot-planning latency exceeds MS
+                      (wall-clock: trips may differ between reruns)
+  --slo-deficit G     trip when delivered Gb falls G behind the pro-rata
+                      deadline promise
 
 chaos runs a seeded scenario (fiber cut + amp degradation + op faults +
 controller crash + repairs) through the hardened controller twice — once
@@ -164,6 +187,7 @@ attack options:
   --attack NAME       coremelt | flashcrowd | drift | mix  [coremelt]
   --seed N            workload + attack + annealing seed  [42]
   --load L            background workload load factor lambda  [0.4]
+  --sigma S           deadline tightness for the background workload
   --slot SECS         slot length, seconds  [300]
   --slots N           horizon, slots  [40]
   --duration SECS     background arrival window, seconds  [min(horizon, 7200)]
@@ -186,6 +210,8 @@ attack options:
   --timeline          print the per-slot recovery timeline rows
   --obs FILE.jsonl    export telemetry (chaos.attack.* counters included)
   --scope / --scope-slots / --scope-dump / --scope-trace   as in chaos
+  --slo-burn / --slo-window / --slo-p99 / --slo-deficit    as in chaos
+                      (monitors attach to the attacked run)
 
 attack derives an adversarial timeline from the seed, composes it (and,
 with --with-faults, the seeded fault scenario) into the background
@@ -195,6 +221,30 @@ time-to-restore (slots until cumulative background delivery is back to
 --restore of baseline and stays there), residual loss, and peak victim
 utilization. Exits 0 when all invariants hold and the runs are
 deterministic, 1 otherwise, 2 on bad arguments.
+
+explain / slo options (take all run options, plus):
+  --chaos             run the seeded chaos scenario (chaos options apply)
+                      instead of the fault-free workload
+  --id N              explain transfer N instead of the worst-slack one
+  --slo-burn F        deadline-miss burn-rate threshold (unset: measured,
+                      never tripped)
+  --slo-window N      burn-rate sliding window, slots  [8]
+  --slo-p99 MS        p99 slot-planning latency threshold, milliseconds
+  --slo-deficit G     delivered-Gb deficit threshold vs pro-rata promise
+
+explain re-runs the configured scenario with the tier-4 why recorder
+joined onto the obs, scope, and profiler streams, then decomposes one
+transfer's in-system wall time into causal buckets (serving, queue wait,
+attack preemption, reconfiguration downtime, blackholed loss, rate
+starvation vs fair share, stalled) that sum exactly to the wall time;
+`bucket,*` rows carry seconds and share, `fault,*` rows the overlapping
+fault instants, `prof_region,*` rows the controller hot spots. Exits 2
+if --id names no transfer, 1 if the partition check fails.
+
+slo runs the same scenario and prints the monitor report: deadline
+outcomes and burn rate over the sliding window, p99 slot-planning
+latency, delivered-Gb deficit, and which monitor (if any) tripped the
+flight-recorder freeze.
 
 perf diff options:
   --threshold F       relative change (fraction) a metric must move in the
@@ -426,6 +476,283 @@ fn scope_from_args(args: &Args, setup: &RunSetup, mode: &str, force: bool) -> Sc
     scope.set_meta("iters", setup.iters);
     scope.set_meta("scope_slots", flight_slots);
     scope
+}
+
+/// Builds the SLO monitor config from the `--slo-*` flags. Absent
+/// thresholds stay `None`: the monitor measures but never trips.
+fn slo_from_args(args: &Args) -> SloConfig {
+    let mut slo = SloConfig::default();
+    slo.burn_window_slots = args.parse("--slo-window", slo.burn_window_slots);
+    if args.get("--slo-burn").is_some() {
+        slo.burn_threshold = Some(args.parse("--slo-burn", 0.0f64));
+    }
+    if args.get("--slo-p99").is_some() {
+        slo.plan_p99_ms = Some(args.parse("--slo-p99", 0.0f64));
+    }
+    if args.get("--slo-deficit").is_some() {
+        slo.deficit_gbits = Some(args.parse("--slo-deficit", 0.0f64));
+    }
+    slo
+}
+
+/// True when any `--slo-*` threshold flag asks for the why recorder.
+fn slo_flags_on(args: &Args) -> bool {
+    args.get("--slo-burn").is_some()
+        || args.get("--slo-p99").is_some()
+        || args.get("--slo-deficit").is_some()
+}
+
+/// Stamps the SLO thresholds into scope metadata so a flight dump frozen
+/// by a tripped monitor carries everything `verify --replay` needs to
+/// rebuild the same why recorder. `slo_window` doubles as the marker
+/// that the why recorder was attached at all.
+fn stamp_slo_meta(scope: &ScopeRecorder, slo: &SloConfig) {
+    scope.set_meta("slo_window", slo.burn_window_slots);
+    if let Some(f) = slo.burn_threshold {
+        scope.set_meta("slo_burn", f);
+    }
+    if let Some(ms) = slo.plan_p99_ms {
+        scope.set_meta("slo_p99_ms", ms);
+    }
+    if let Some(g) = slo.deficit_gbits {
+        scope.set_meta("slo_deficit", g);
+    }
+}
+
+/// Everything `explain` and `slo` need back from a why-recorded run.
+struct WhyRun {
+    report: WhyReport,
+    recorder: Recorder,
+    scope: ScopeRecorder,
+    prof: Profiler,
+}
+
+/// Runs the configured scenario for `explain` / `slo` with the tier-4
+/// why recorder attached, joins the obs (and, on the sim path, profiler)
+/// snapshots in, and distills the report. `--chaos` swaps the fault-free
+/// workload for the seeded chaos scenario of `owan-cli chaos`.
+fn why_run(args: &Args, cmd: &str) -> WhyRun {
+    let recorder = Recorder::enabled();
+    let slo = slo_from_args(args);
+    let why = WhyRecorder::enabled(WhyConfig { slo: slo.clone() }, &recorder);
+
+    let (scope, prof);
+    if args.flag("--chaos") {
+        let net_name = args.get("--net").unwrap_or("internet2").to_string();
+        let network = build_network(cmd, &net_name);
+        let seed = args.parse("--seed", 42u64);
+        let load = args.parse("--load", 1.0f64);
+        let sigma: Option<f64> = args.get("--sigma").map(|raw| {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("owan-cli{cmd}: invalid value '{raw}' for --sigma");
+                std::process::exit(2);
+            })
+        });
+        let slot = args.parse("--slot", 300.0f64);
+        let slots = args.parse("--slots", 60usize);
+        let iters = args.parse("--iters", 60usize);
+        let detect = args.parse("--detect", 30.0f64);
+        let timeout_prob = args.parse("--timeout-prob", 0.1f64);
+        let fail_prob = args.parse("--fail-prob", 0.05f64);
+
+        let mut wl = if net_name == "internet2" {
+            WorkloadConfig::testbed(load, seed)
+        } else {
+            WorkloadConfig::simulation(load, seed)
+        };
+        if let Some(s) = sigma {
+            wl = wl.with_deadlines(slot, s);
+        }
+        let requests = generate(&network, &wl);
+        let plant = network.plant;
+        let events = seeded_scenario(&plant, seed, slot * slots as f64);
+        let op_faults = OpFaultModel {
+            seed,
+            timeout_prob,
+            fail_prob,
+        };
+        let config = ChaosConfig {
+            slot_len_s: slot,
+            max_slots: slots,
+            detection_delay_s: detect,
+            ..Default::default()
+        };
+        let mut make_engine = |p: &owan::optical::FiberPlant| {
+            let owan_config = OwanConfig {
+                anneal: AnnealConfig {
+                    max_iterations: iters,
+                    seed: seed.wrapping_add(1),
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            Box::new(OwanEngine::new(default_topology(p), owan_config)) as Box<dyn TrafficEngineer>
+        };
+
+        prof = Profiler::disabled();
+        let dump_path = args.get("--scope-dump").map(str::to_string);
+        let scope_on =
+            args.flag("--scope") || dump_path.is_some() || args.get("--scope-trace").is_some();
+        scope = if scope_on {
+            let flight_slots = args.parse("--scope-slots", 16usize);
+            let scope = ScopeRecorder::enabled(ScopeConfig {
+                flight_slots,
+                dump_path: dump_path.map(PathBuf::from),
+            });
+            scope.set_meta("mode", "chaos");
+            scope.set_meta("net", &net_name);
+            scope.set_meta("seed", seed);
+            scope.set_meta("load", load);
+            if let Some(s) = sigma {
+                scope.set_meta("sigma", s);
+            }
+            scope.set_meta("slot_len_s", slot);
+            scope.set_meta("slots", slots);
+            scope.set_meta("iters", iters);
+            scope.set_meta("detect_s", detect);
+            scope.set_meta("timeout_prob", timeout_prob);
+            scope.set_meta("fail_prob", fail_prob);
+            scope.set_meta("scope_slots", flight_slots);
+            stamp_slo_meta(&scope, &slo);
+            scope
+        } else {
+            ScopeRecorder::disabled()
+        };
+
+        eprintln!(
+            "owan-cli{cmd}: chaos {net_name}, {} transfers, {} fault events, \
+             {slots} slots of {slot}s",
+            requests.len(),
+            events.len()
+        );
+        if let Err(e) = run_chaos_explained(
+            &plant,
+            &requests,
+            &mut make_engine,
+            &config,
+            &events,
+            &op_faults,
+            &recorder,
+            &scope,
+            &why,
+            None,
+        ) {
+            eprintln!("owan-cli{cmd}: FAIL: {e}");
+            std::process::exit(1);
+        }
+    } else {
+        let setup = run_setup(args);
+        scope = scope_from_args(args, &setup, "sim", false);
+        prof = Profiler::enabled();
+        eprintln!(
+            "owan-cli{cmd}: {} on {}, {} transfers, load {}, slot {}s",
+            setup.engine_name,
+            setup.net_name,
+            setup.requests.len(),
+            setup.load,
+            setup.slot
+        );
+        run_engine_explained(
+            setup.kind,
+            &setup.network,
+            &setup.requests,
+            &setup.cfg,
+            &recorder,
+            &scope,
+            &prof,
+            &why,
+        );
+    }
+
+    if prof.is_enabled() {
+        why.attach_prof(&prof.snapshot());
+    }
+    why.attach_obs(&recorder.snapshot());
+    let report = why.report().unwrap_or_else(|| {
+        eprintln!("owan-cli{cmd}: the run recorded no slots");
+        std::process::exit(1);
+    });
+    WhyRun {
+        report,
+        recorder,
+        scope,
+        prof,
+    }
+}
+
+/// Shared tail of `explain` / `slo`: honor the export flags the run
+/// options advertise (`--scope-trace`, `--prof`, `--obs`).
+fn why_run_exports(args: &Args, cmd: &str, run: &WhyRun) {
+    if run.scope.is_enabled() {
+        write_trace(
+            cmd,
+            &run.scope,
+            &run.recorder,
+            &run.prof,
+            &args.get("--scope-trace").map(str::to_string),
+        );
+    }
+    if let Some(path) = args.get("--prof") {
+        if run.prof.is_enabled() {
+            let mut out: Vec<u8> = Vec::new();
+            run.prof
+                .write_folded(&mut out)
+                .expect("serializing to memory cannot fail");
+            if let Err(e) = std::fs::write(path, &out) {
+                eprintln!("owan-cli{cmd}: cannot write --prof file '{path}': {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote folded stacks to {path} ({} lines)",
+                out.iter().filter(|&&b| b == b'\n').count()
+            );
+        }
+    }
+    write_obs(cmd, &run.recorder, &args.get("--obs").map(str::to_string));
+}
+
+/// `owan-cli explain`: re-run the scenario with the why recorder joined
+/// onto every stream and print one transfer's causal decomposition —
+/// the worst-slack transfer by default, `--id N` to pick. Exits 1 when
+/// the bucket partition check fails, 2 when `--id` names no transfer.
+fn explain_main(args: &Args) -> ! {
+    let run = why_run(args, " explain");
+    let text = match args.get("--id") {
+        Some(raw) => {
+            let id: usize = raw.parse().unwrap_or_else(|_| {
+                eprintln!("owan-cli explain: invalid value '{raw}' for --id");
+                std::process::exit(2);
+            });
+            render_explain(&run.report, id).unwrap_or_else(|| {
+                eprintln!("owan-cli explain: no transfer with id {id}");
+                std::process::exit(2);
+            })
+        }
+        None => {
+            let worst = run.report.worst_slack().unwrap_or_else(|| {
+                eprintln!("owan-cli explain: the run held no transfers");
+                std::process::exit(1);
+            });
+            render_explain(&run.report, worst.id).expect("worst-slack transfer renders")
+        }
+    };
+    print!("{text}");
+    why_run_exports(args, " explain", &run);
+    std::process::exit(if text.contains("partition,BROKEN") {
+        1
+    } else {
+        0
+    });
+}
+
+/// `owan-cli slo`: re-run the scenario with the why recorder attached
+/// and print the monitor report (burn rate, p99 planning latency,
+/// delivered-Gb deficit, and any tripped monitor).
+fn slo_main(args: &Args) -> ! {
+    let run = why_run(args, " slo");
+    print!("{}", render_slo(&run.report));
+    why_run_exports(args, " slo", &run);
+    std::process::exit(0);
 }
 
 /// `owan-cli verify`: the oracle as a command. Three modes — seed fuzzing
@@ -672,11 +999,14 @@ fn replay_flight_dump(
     );
 
     let network = build_network(" verify", &net_name);
-    let wl = if net_name == "internet2" {
+    let mut wl = if net_name == "internet2" {
         WorkloadConfig::testbed(load, seed)
     } else {
         WorkloadConfig::simulation(load, seed)
     };
+    if let Some(raw) = dump.meta.get("sigma") {
+        wl = wl.with_deadlines(slot, parse("sigma", raw));
+    }
     let requests = generate(&network, &wl);
     let plant = network.plant;
     let horizon = slot * slots as f64;
@@ -712,6 +1042,29 @@ fn replay_flight_dump(
         scope.set_meta(key, value);
     }
 
+    // `slo_window` marks a dump whose run had the why recorder attached;
+    // rebuilding the same monitors lets an SLO-tripped freeze reproduce
+    // its anomaly (and so the dump) exactly.
+    let why = match dump.meta.get("slo_window") {
+        Some(raw) => {
+            let mut slo = SloConfig {
+                burn_window_slots: parse("slo_window", raw) as usize,
+                ..Default::default()
+            };
+            if let Some(v) = dump.meta.get("slo_burn") {
+                slo.burn_threshold = Some(parse("slo_burn", v));
+            }
+            if let Some(v) = dump.meta.get("slo_p99_ms") {
+                slo.plan_p99_ms = Some(parse("slo_p99_ms", v));
+            }
+            if let Some(v) = dump.meta.get("slo_deficit") {
+                slo.deficit_gbits = Some(parse("slo_deficit", v));
+            }
+            WhyRecorder::enabled(WhyConfig { slo }, recorder)
+        }
+        None => WhyRecorder::disabled(),
+    };
+
     let checked = recorder.counter("oracle.invariant_checked");
     let violated = recorder.counter("oracle.invariant_violated");
     let mut audit = |a: &SlotAudit| -> Result<(), String> {
@@ -732,7 +1085,7 @@ fn replay_flight_dump(
         Ok(())
     };
 
-    if let Err(e) = run_chaos_traced(
+    if let Err(e) = run_chaos_explained(
         &plant,
         &requests,
         &mut make_engine,
@@ -741,6 +1094,7 @@ fn replay_flight_dump(
         &op_faults,
         recorder,
         &scope,
+        &why,
         Some(&mut audit),
     ) {
         eprintln!("owan-cli verify: FAIL: flight-dump replay violated an invariant: {e}");
@@ -788,6 +1142,12 @@ fn chaos_main(args: &Args) -> ! {
     let network = build_network(" chaos", &net_name);
     let seed = args.parse("--seed", 42u64);
     let load = args.parse("--load", 1.0f64);
+    let sigma: Option<f64> = args.get("--sigma").map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("owan-cli chaos: invalid value '{raw}' for --sigma");
+            std::process::exit(2);
+        })
+    });
     let slot = args.parse("--slot", 300.0f64);
     let slots = args.parse("--slots", 60usize);
     let iters = args.parse("--iters", 60usize);
@@ -799,12 +1159,17 @@ fn chaos_main(args: &Args) -> ! {
     let scope_trace = args.get("--scope-trace").map(str::to_string);
     let scope_on = args.flag("--scope") || scope_dump.is_some() || scope_trace.is_some();
     let flight_slots = args.parse("--scope-slots", 16usize);
+    let slo = slo_from_args(args);
+    let why_enabled = slo_flags_on(args);
 
-    let wl = if net_name == "internet2" {
+    let mut wl = if net_name == "internet2" {
         WorkloadConfig::testbed(load, seed)
     } else {
         WorkloadConfig::simulation(load, seed)
     };
+    if let Some(s) = sigma {
+        wl = wl.with_deadlines(slot, s);
+    }
     let requests = generate(&network, &wl);
     let plant = network.plant;
 
@@ -840,7 +1205,7 @@ fn chaos_main(args: &Args) -> ! {
         events.len()
     );
 
-    let recorder = if obs_path.is_some() || scope_on {
+    let recorder = if obs_path.is_some() || scope_on || why_enabled {
         Recorder::enabled()
     } else {
         Recorder::disabled()
@@ -859,6 +1224,9 @@ fn chaos_main(args: &Args) -> ! {
         scope.set_meta("net", &net_name);
         scope.set_meta("seed", seed);
         scope.set_meta("load", load);
+        if let Some(s) = sigma {
+            scope.set_meta("sigma", s);
+        }
         scope.set_meta("slot_len_s", slot);
         scope.set_meta("slots", slots);
         scope.set_meta("iters", iters);
@@ -866,10 +1234,22 @@ fn chaos_main(args: &Args) -> ! {
         scope.set_meta("timeout_prob", timeout_prob);
         scope.set_meta("fail_prob", fail_prob);
         scope.set_meta("scope_slots", flight_slots);
+        if why_enabled {
+            stamp_slo_meta(&scope, &slo);
+        }
         scope
     };
     let scope = make_scope(scope_dump.as_ref());
     let rerun_scope = make_scope(None);
+    let make_why = |rec: &Recorder| -> WhyRecorder {
+        if why_enabled {
+            WhyRecorder::enabled(WhyConfig { slo: slo.clone() }, rec)
+        } else {
+            WhyRecorder::disabled()
+        }
+    };
+    let why = make_why(&recorder);
+    let rerun_why = make_why(&Recorder::disabled());
 
     let mut violations = 0usize;
     let baseline = run_chaos(
@@ -884,40 +1264,42 @@ fn chaos_main(args: &Args) -> ! {
     )
     .expect("fault-free baseline cannot fail an absent audit");
 
-    let mut run_with = |rec: &Recorder, scp: &ScopeRecorder| -> Result<ChaosResult, String> {
-        let checked = rec.counter("oracle.invariant_checked");
-        let violated = rec.counter("oracle.invariant_violated");
-        let mut audit = |a: &SlotAudit| -> Result<(), String> {
-            checked.add(1);
-            if let Err(v) = check_plan(a.believed_plant, a.transfers, a.slot_len_s, a.plan) {
-                violated.add(1);
-                scp.anomaly("oracle.invariant_violated", a.slot);
-                return Err(format!("slot plan: {v}"));
-            }
-            if let (Some(delta), Some(update)) = (a.delta, a.update) {
+    let mut run_with =
+        |rec: &Recorder, scp: &ScopeRecorder, why: &WhyRecorder| -> Result<ChaosResult, String> {
+            let checked = rec.counter("oracle.invariant_checked");
+            let violated = rec.counter("oracle.invariant_violated");
+            let mut audit = |a: &SlotAudit| -> Result<(), String> {
                 checked.add(1);
-                if let Err(v) = check_timeline(delta, update, &a.params) {
+                if let Err(v) = check_plan(a.believed_plant, a.transfers, a.slot_len_s, a.plan) {
                     violated.add(1);
                     scp.anomaly("oracle.invariant_violated", a.slot);
-                    return Err(format!("update: {v}"));
+                    return Err(format!("slot plan: {v}"));
                 }
-            }
-            Ok(())
+                if let (Some(delta), Some(update)) = (a.delta, a.update) {
+                    checked.add(1);
+                    if let Err(v) = check_timeline(delta, update, &a.params) {
+                        violated.add(1);
+                        scp.anomaly("oracle.invariant_violated", a.slot);
+                        return Err(format!("update: {v}"));
+                    }
+                }
+                Ok(())
+            };
+            run_chaos_explained(
+                &plant,
+                &requests,
+                &mut make_engine,
+                &config,
+                &events,
+                &op_faults,
+                rec,
+                scp,
+                why,
+                Some(&mut audit),
+            )
         };
-        run_chaos_traced(
-            &plant,
-            &requests,
-            &mut make_engine,
-            &config,
-            &events,
-            &op_faults,
-            rec,
-            scp,
-            Some(&mut audit),
-        )
-    };
 
-    let faulted = match run_with(&recorder, &scope) {
+    let faulted = match run_with(&recorder, &scope, &why) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("owan-cli chaos: FAIL: {e}");
@@ -925,7 +1307,7 @@ fn chaos_main(args: &Args) -> ! {
         }
     };
     // Same seed, same scenario: the rerun must reproduce the run exactly.
-    let rerun = match run_with(&Recorder::disabled(), &rerun_scope) {
+    let rerun = match run_with(&Recorder::disabled(), &rerun_scope, &rerun_why) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("owan-cli chaos: FAIL on rerun: {e}");
@@ -973,6 +1355,12 @@ fn chaos_main(args: &Args) -> ! {
     println!("blackhole_paths,{}", faulted.stats.blackhole_paths);
     println!("blackhole_gbits,{:.0}", faulted.stats.blackhole_gbits);
     println!("transition_loss_gbits,{:.0}", faulted.transition_loss_gbits);
+    if why_enabled {
+        match why.tripped() {
+            Some((reason, slot)) => println!("slo_tripped,{reason},{slot}"),
+            None => println!("slo_tripped,none"),
+        }
+    }
     println!("deterministic,{}", if deterministic { "yes" } else { "no" });
     if scope_on {
         println!(
@@ -998,6 +1386,9 @@ fn chaos_main(args: &Args) -> ! {
         let snapshot = recorder.snapshot();
         print!("{}", format_counter_table(&snapshot, "chaos."));
         print!("{}", format_counter_table(&snapshot, "oracle."));
+        if why_enabled {
+            print!("{}", format_counter_table(&snapshot, "slo."));
+        }
     }
 
     std::process::exit(if violations == 0 { 0 } else { 1 });
@@ -1030,6 +1421,12 @@ fn attack_main(args: &Args) -> ! {
     let attack_name = args.get("--attack").unwrap_or("coremelt").to_string();
     let seed = args.parse("--seed", 42u64);
     let load = args.parse("--load", 0.4f64);
+    let sigma: Option<f64> = args.get("--sigma").map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("owan-cli attack: invalid value '{raw}' for --sigma");
+            std::process::exit(2);
+        })
+    });
     let slot = args.parse("--slot", 300.0f64);
     let slots = args.parse("--slots", 40usize);
     let iters = args.parse("--iters", 60usize);
@@ -1054,6 +1451,8 @@ fn attack_main(args: &Args) -> ! {
     let scope_trace = args.get("--scope-trace").map(str::to_string);
     let scope_on = args.flag("--scope") || scope_dump.is_some() || scope_trace.is_some();
     let flight_slots = args.parse("--scope-slots", 16usize);
+    let slo = slo_from_args(args);
+    let why_enabled = slo_flags_on(args);
     if !(restore > 0.0 && restore <= 1.0) {
         eprintln!("owan-cli attack: --restore must be in (0, 1]");
         std::process::exit(2);
@@ -1065,6 +1464,9 @@ fn attack_main(args: &Args) -> ! {
         WorkloadConfig::simulation(load, seed)
     };
     wl.duration_s = args.parse("--duration", horizon.min(7_200.0));
+    if let Some(s) = sigma {
+        wl = wl.with_deadlines(slot, s);
+    }
     let mut requests = generate(&network, &wl);
     requests.truncate(max_requests);
 
@@ -1161,7 +1563,7 @@ fn attack_main(args: &Args) -> ! {
         events.len()
     );
 
-    let recorder = if obs_path.is_some() || scope_on {
+    let recorder = if obs_path.is_some() || scope_on || why_enabled {
         Recorder::enabled()
     } else {
         Recorder::disabled()
@@ -1186,47 +1588,61 @@ fn attack_main(args: &Args) -> ! {
         scope.set_meta("onset_s", onset);
         scope.set_meta("detect_s", detect);
         scope.set_meta("scope_slots", flight_slots);
+        if why_enabled {
+            stamp_slo_meta(&scope, &slo);
+        }
         scope
     };
     let scope = make_scope(scope_dump.as_ref());
     let rerun_scope = make_scope(None);
+    let make_why = |rec: &Recorder| -> WhyRecorder {
+        if why_enabled {
+            WhyRecorder::enabled(WhyConfig { slo: slo.clone() }, rec)
+        } else {
+            WhyRecorder::disabled()
+        }
+    };
+    let why = make_why(&recorder);
+    let rerun_why = make_why(&Recorder::disabled());
 
-    let mut run_with = |rec: &Recorder, scp: &ScopeRecorder| -> Result<AttackOutcome, String> {
-        let checked = rec.counter("oracle.invariant_checked");
-        let violated = rec.counter("oracle.invariant_violated");
-        let mut audit = |a: &SlotAudit| -> Result<(), String> {
-            checked.add(1);
-            if let Err(v) = check_plan(a.believed_plant, a.transfers, a.slot_len_s, a.plan) {
-                violated.add(1);
-                scp.anomaly("oracle.invariant_violated", a.slot);
-                return Err(format!("slot plan: {v}"));
-            }
-            if let (Some(delta), Some(update)) = (a.delta, a.update) {
+    let mut run_with =
+        |rec: &Recorder, scp: &ScopeRecorder, why: &WhyRecorder| -> Result<AttackOutcome, String> {
+            let checked = rec.counter("oracle.invariant_checked");
+            let violated = rec.counter("oracle.invariant_violated");
+            let mut audit = |a: &SlotAudit| -> Result<(), String> {
                 checked.add(1);
-                if let Err(v) = check_timeline(delta, update, &a.params) {
+                if let Err(v) = check_plan(a.believed_plant, a.transfers, a.slot_len_s, a.plan) {
                     violated.add(1);
                     scp.anomaly("oracle.invariant_violated", a.slot);
-                    return Err(format!("update: {v}"));
+                    return Err(format!("slot plan: {v}"));
                 }
-            }
-            Ok(())
+                if let (Some(delta), Some(update)) = (a.delta, a.update) {
+                    checked.add(1);
+                    if let Err(v) = check_timeline(delta, update, &a.params) {
+                        violated.add(1);
+                        scp.anomaly("oracle.invariant_violated", a.slot);
+                        return Err(format!("update: {v}"));
+                    }
+                }
+                Ok(())
+            };
+            run_attack_explained(
+                &network.plant,
+                &requests,
+                &timeline,
+                &mut engine_factory,
+                &config,
+                restore,
+                &events,
+                &op_faults,
+                rec,
+                scp,
+                why,
+                Some(&mut audit),
+            )
         };
-        run_attack(
-            &network.plant,
-            &requests,
-            &timeline,
-            &mut engine_factory,
-            &config,
-            restore,
-            &events,
-            &op_faults,
-            rec,
-            scp,
-            Some(&mut audit),
-        )
-    };
 
-    let outcome = match run_with(&recorder, &scope) {
+    let outcome = match run_with(&recorder, &scope, &why) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("owan-cli attack: FAIL: {e}");
@@ -1234,7 +1650,7 @@ fn attack_main(args: &Args) -> ! {
         }
     };
     // Same seed, same timeline: the rerun must reproduce the run exactly.
-    let rerun = match run_with(&Recorder::disabled(), &rerun_scope) {
+    let rerun = match run_with(&Recorder::disabled(), &rerun_scope, &rerun_why) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("owan-cli attack: FAIL on rerun: {e}");
@@ -1292,6 +1708,12 @@ fn attack_main(args: &Args) -> ! {
     println!("faults_detected,{}", outcome.attacked.stats.faults_detected);
     println!("crashes,{}", outcome.attacked.stats.crashes);
     println!("fallback_slots,{}", outcome.attacked.stats.fallback_slots);
+    if why_enabled {
+        match why.tripped() {
+            Some((reason, slot)) => println!("slo_tripped,{reason},{slot}"),
+            None => println!("slo_tripped,none"),
+        }
+    }
     println!("deterministic,{}", if deterministic { "yes" } else { "no" });
     if timeline_rows {
         println!("timeline,slot,baseline_gbits,background_gbits,victim_util");
@@ -1334,6 +1756,9 @@ fn attack_main(args: &Args) -> ! {
         let snapshot = recorder.snapshot();
         print!("{}", format_counter_table(&snapshot, "chaos."));
         print!("{}", format_counter_table(&snapshot, "oracle."));
+        if why_enabled {
+            print!("{}", format_counter_table(&snapshot, "slo."));
+        }
     }
 
     std::process::exit(if violations == 0 { 0 } else { 1 });
@@ -1538,6 +1963,8 @@ fn main() {
         Some("verify") => verify_main(&args),
         Some("chaos") => chaos_main(&args),
         Some("attack") => attack_main(&args),
+        Some("explain") => explain_main(&args),
+        Some("slo") => slo_main(&args),
         Some("transfers") => transfers_main(&args),
         Some("top") => top_main(&args),
         Some("perf") => perf_main(),

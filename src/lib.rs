@@ -19,4 +19,5 @@ pub use owan_solver as solver;
 pub use owan_te as te;
 pub use owan_topo as topo;
 pub use owan_update as update;
+pub use owan_why as why;
 pub use owan_workload as workload;

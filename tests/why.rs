@@ -1,0 +1,218 @@
+//! Tier-4 (`owan-why`) acceptance tests: the attribution buckets must
+//! partition wall time on the paper's Fig-10 network, the blackhole
+//! bucket must agree bit-for-bit with the chaos runner's loss ledger,
+//! and a disabled why recorder must never perturb a run.
+
+use owan::chaos::{run_chaos_explained, seeded_scenario, ChaosConfig, OpFaultModel};
+use owan::core::{
+    default_topology, AnnealConfig, OwanConfig, OwanEngine, Profiler, TrafficEngineer,
+    TransferRequest,
+};
+use owan::obs::Recorder;
+use owan::scope::ScopeRecorder;
+use owan::sim::runner::{run_engine, run_engine_explained, EngineKind, RunnerConfig};
+use owan::sim::SimConfig;
+use owan::topo::isp::ISP_SITES;
+use owan::topo::{internet2_testbed, isp_backbone, Network};
+use owan::why::{render_explain, WhyConfig, WhyRecorder, WhyReport};
+use owan::workload::{generate, WorkloadConfig};
+
+fn fast_runner(iters: usize) -> RunnerConfig {
+    RunnerConfig {
+        sim: SimConfig {
+            slot_len_s: 300.0,
+            max_slots: 400,
+            ..Default::default()
+        },
+        anneal_iterations: iters,
+        seed: 11,
+        ..Default::default()
+    }
+}
+
+fn isp_deadline_workload(load: f64, take: usize) -> (Network, Vec<TransferRequest>) {
+    let net = isp_backbone(42);
+    let mut cfg = WorkloadConfig::simulation(load, 42).with_deadlines(300.0, 1.5);
+    cfg.duration_s = 3_000.0;
+    let requests: Vec<_> = generate(&net, &cfg).into_iter().take(take).collect();
+    (net, requests)
+}
+
+fn assert_partition(report: &WhyReport) {
+    assert!(!report.transfers.is_empty());
+    for attr in &report.transfers {
+        let sum = attr.buckets.sum_s();
+        assert!(
+            (sum - attr.wall_s).abs() <= 1e-6 * attr.wall_s.max(1.0),
+            "transfer {}: buckets sum {} != wall {} (buckets {:?})",
+            attr.id,
+            sum,
+            attr.wall_s,
+            attr.buckets
+        );
+        for (name, value) in attr.buckets.named() {
+            assert!(value >= 0.0, "transfer {}: bucket {name} negative", attr.id);
+        }
+    }
+}
+
+/// Fig-10 acceptance: on the 40-site ISP backbone with a deadline
+/// workload, every transfer's seven buckets partition its in-system wall
+/// time, and `render_explain` agrees (`partition,ok` footer).
+#[test]
+fn fig10_isp_buckets_partition_wall_time() {
+    assert_eq!(ISP_SITES, 40, "Fig-10 backbone must have 40 sites");
+    let (net, requests) = isp_deadline_workload(0.6, 12);
+    let recorder = Recorder::enabled();
+    let why = WhyRecorder::enabled(WhyConfig::default(), &recorder);
+    let result = run_engine_explained(
+        EngineKind::Owan,
+        &net,
+        &requests,
+        &fast_runner(40),
+        &recorder,
+        &ScopeRecorder::disabled(),
+        &Profiler::disabled(),
+        &why,
+    );
+    assert!(result.all_completed(), "ISP run left transfers unfinished");
+    let report = why.report().expect("enabled why recorder yields a report");
+    assert_eq!(report.transfers.len(), requests.len());
+    assert_partition(&report);
+
+    // No faults in a plain sim run: nothing may be blamed on the plant.
+    assert_eq!(report.total_blackhole_gbits, 0.0);
+    for attr in &report.transfers {
+        assert_eq!(attr.buckets.blackhole_s, 0.0);
+        assert_eq!(attr.buckets.preempted_s, 0.0);
+    }
+
+    // Completed transfers must show serving time, and the rendered
+    // explanation must confirm the partition for every transfer.
+    for attr in &report.transfers {
+        assert!(attr.completion_s.is_some());
+        assert!(
+            attr.buckets.serving_s > 0.0,
+            "transfer {} never served",
+            attr.id
+        );
+        let text = render_explain(&report, attr.id).expect("known id renders");
+        assert!(
+            text.contains("partition,ok"),
+            "transfer {}: explain footer broken:\n{text}",
+            attr.id
+        );
+    }
+
+    // worst_slack prefers deadline transfers and ranks by slack.
+    let worst = report.worst_slack().expect("non-empty report");
+    assert!(worst.slack_s.is_some());
+    for attr in &report.transfers {
+        if let (Some(w), Some(s)) = (worst.slack_s, attr.slack_s) {
+            assert!(w <= s + 1e-9);
+        }
+    }
+}
+
+fn chaos_why_run(seed: u64) -> (owan::chaos::ChaosResult, WhyReport) {
+    let net = internet2_testbed();
+    let requests = generate(&net, &WorkloadConfig::testbed(0.5, seed));
+    let plant = net.plant;
+    let config = ChaosConfig {
+        slot_len_s: 300.0,
+        max_slots: 16,
+        // Longer than the horizon: the mid-run fiber cut stays
+        // undetected and blackholes live circuits, so the ledger and the
+        // blackhole bucket both see real loss.
+        detection_delay_s: 400.0,
+        ..Default::default()
+    };
+    let events = seeded_scenario(&plant, seed, 300.0 * 16.0);
+    let op_faults = OpFaultModel {
+        seed,
+        timeout_prob: 0.1,
+        fail_prob: 0.05,
+    };
+    let mut make_engine = |p: &owan::optical::FiberPlant| {
+        let owan_config = OwanConfig {
+            anneal: AnnealConfig {
+                max_iterations: 30,
+                seed: seed.wrapping_add(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        Box::new(OwanEngine::new(default_topology(p), owan_config)) as Box<dyn TrafficEngineer>
+    };
+    let recorder = Recorder::enabled();
+    let why = WhyRecorder::enabled(WhyConfig::default(), &recorder);
+    let result = run_chaos_explained(
+        &plant,
+        &requests,
+        &mut make_engine,
+        &config,
+        &events,
+        &op_faults,
+        &recorder,
+        &ScopeRecorder::disabled(),
+        &why,
+        None,
+    )
+    .expect("chaos run failed");
+    let report = why.report().expect("enabled why recorder yields a report");
+    (result, report)
+}
+
+/// The why report's blackhole ledger is computed from the same per-slot
+/// samples with the same expression and iteration order the chaos runner
+/// uses to book `ChaosStats::blackhole_gbits` — so the two f64 totals
+/// must be *identical*, not merely close.
+#[test]
+fn blackhole_bucket_matches_chaos_ledger_exactly() {
+    let (result, report) = chaos_why_run(42);
+    assert!(
+        result.stats.blackhole_gbits > 0.0,
+        "seed 42 must blackhole traffic for this test to bite"
+    );
+    assert_eq!(
+        report.total_blackhole_gbits, result.stats.blackhole_gbits,
+        "why ledger diverged from the chaos runner's booking"
+    );
+    // And the per-transfer buckets still partition under faults.
+    assert_partition(&report);
+    let blamed: f64 = report.transfers.iter().map(|t| t.buckets.blackhole_s).sum();
+    assert!(
+        blamed > 0.0,
+        "loss booked but no transfer blames a blackhole"
+    );
+}
+
+/// A disabled why recorder must not change a single simulation outcome,
+/// and an enabled one must not either (observe, never perturb).
+#[test]
+fn why_recorder_is_zero_perturbation() {
+    let (net, requests) = isp_deadline_workload(0.6, 8);
+    let cfg = fast_runner(40);
+    let plain = run_engine(EngineKind::Owan, &net, &requests, &cfg);
+    for why in [
+        WhyRecorder::disabled(),
+        WhyRecorder::enabled(WhyConfig::default(), &Recorder::enabled()),
+    ] {
+        let explained = run_engine_explained(
+            EngineKind::Owan,
+            &net,
+            &requests,
+            &cfg,
+            &Recorder::disabled(),
+            &ScopeRecorder::disabled(),
+            &Profiler::disabled(),
+            &why,
+        );
+        assert_eq!(plain.makespan_s, explained.makespan_s);
+        assert_eq!(plain.slots, explained.slots);
+        assert_eq!(plain.throughput_series, explained.throughput_series);
+        for (a, b) in plain.completions.iter().zip(&explained.completions) {
+            assert_eq!(a.completion_s, b.completion_s);
+        }
+    }
+}
